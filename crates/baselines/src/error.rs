@@ -1,0 +1,38 @@
+//! Errors of the baseline compilers.
+
+use std::fmt;
+
+use velus_nlustre::SemError;
+use velus_obc::ObcError;
+
+/// An error from a baseline compilation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// A dataflow-level failure (scheduling, well-formedness).
+    Sem(SemError),
+    /// An Obc-level failure.
+    Obc(ObcError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Sem(e) => write!(f, "{e}"),
+            BaselineError::Obc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<SemError> for BaselineError {
+    fn from(e: SemError) -> BaselineError {
+        BaselineError::Sem(e)
+    }
+}
+
+impl From<ObcError> for BaselineError {
+    fn from(e: ObcError) -> BaselineError {
+        BaselineError::Obc(e)
+    }
+}

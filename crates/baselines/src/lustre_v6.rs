@@ -1,0 +1,394 @@
+//! The Lustre v6-style translation: delays as separate stateful
+//! functions.
+//!
+//! "The estimated WCETs for the Lustre v6 generated code only become
+//! competitive when inlining is enabled because Lustre v6 implements
+//! operators, like pre and −>, using separate functions" (§5).
+//!
+//! Each `fby` equation compiles to a pair of method calls on an auxiliary
+//! per-type class — `get` reads the delayed value (handling the first
+//! instant through an internal flag, i.e. the fused `->`/`pre` pair), and
+//! `set` stores the next one:
+//!
+//! ```text
+//! class lv6$fby$int {
+//!   memory first: bool;  memory m: int;
+//!   (y: int) get(i: int) = if state(first) then y := i else y := state(m)
+//!   () set(v: int)       = state(m) := v; state(first) := false
+//!   () reset()           = state(first) := true
+//! }
+//! ```
+//!
+//! All `get`s run at the top of `step` (delayed values must be available
+//! to every reader), the `set`s sit where the `fby` equations were
+//! scheduled. No fusion is applied, matching the modular v6 scheme.
+
+use std::collections::HashMap;
+
+use velus_common::Ident;
+use velus_nlustre::ast::{CExpr, Equation, Expr, Node, Program};
+use velus_nlustre::clock::Clock;
+use velus_obc::ast::{reset_name, step_name, Class, Method, ObcExpr, ObcProgram, Stmt};
+use velus_ops::Ops;
+
+use crate::BaselineError;
+
+fn get_name() -> Ident {
+    Ident::new("get")
+}
+
+fn set_name() -> Ident {
+    Ident::new("set")
+}
+
+/// The auxiliary class implementing delays at type `ty`.
+fn fby_class_name<O: Ops>(ty: &O::Ty) -> Ident {
+    Ident::new(&format!("lv6$fby${ty}"))
+}
+
+fn make_fby_class<O: Ops>(ty: &O::Ty) -> Class<O> {
+    let first = Ident::new("first");
+    let m = Ident::new("m");
+    let y = Ident::new("y");
+    let i = Ident::new("i");
+    let v = Ident::new("v");
+    let bool_ty = O::bool_type();
+    let tt = O::const_of_literal(&velus_ops::Literal::Bool(true), &bool_ty)
+        .expect("boolean constants exist");
+    let ff = O::const_of_literal(&velus_ops::Literal::Bool(false), &bool_ty)
+        .expect("boolean constants exist");
+    Class {
+        name: fby_class_name::<O>(ty),
+        memories: vec![(first, bool_ty.clone()), (m, ty.clone())],
+        instances: vec![],
+        methods: vec![
+            Method {
+                name: get_name(),
+                inputs: vec![(i, ty.clone())],
+                outputs: vec![(y, ty.clone())],
+                locals: vec![],
+                body: Stmt::If(
+                    ObcExpr::State(first, bool_ty.clone()),
+                    Box::new(Stmt::Assign(y, ObcExpr::Var(i, ty.clone()))),
+                    Box::new(Stmt::Assign(y, ObcExpr::State(m, ty.clone()))),
+                ),
+            },
+            Method {
+                name: set_name(),
+                inputs: vec![(v, ty.clone())],
+                outputs: vec![],
+                locals: vec![],
+                body: Stmt::seq(
+                    Stmt::AssignSt(m, ObcExpr::Var(v, ty.clone())),
+                    Stmt::AssignSt(first, ObcExpr::Const(ff)),
+                ),
+            },
+            Method {
+                name: reset_name(),
+                inputs: vec![],
+                outputs: vec![],
+                locals: vec![],
+                body: Stmt::AssignSt(first, ObcExpr::Const(tt)),
+            },
+        ],
+    }
+}
+
+/// Per-node context (no memories: every variable is a step local).
+struct Ctx<O: Ops> {
+    types: HashMap<Ident, O::Ty>,
+}
+
+impl<O: Ops> Ctx<O> {
+    fn var(&self, x: Ident) -> Result<ObcExpr<O>, BaselineError> {
+        let ty = self
+            .types
+            .get(&x)
+            .cloned()
+            .ok_or(velus_obc::ObcError::UnboundVariable(x))?;
+        Ok(ObcExpr::Var(x, ty))
+    }
+
+    fn trexp(&self, e: &Expr<O>) -> Result<ObcExpr<O>, BaselineError> {
+        Ok(match e {
+            Expr::Const(c) => ObcExpr::Const(c.clone()),
+            Expr::Var(x, _) => self.var(*x)?,
+            Expr::When(e1, _, _) => self.trexp(e1)?,
+            Expr::Unop(op, e1, ty) => {
+                ObcExpr::Unop(*op, Box::new(self.trexp(e1)?), ty.clone())
+            }
+            Expr::Binop(op, l, r, ty) => ObcExpr::Binop(
+                *op,
+                Box::new(self.trexp(l)?),
+                Box::new(self.trexp(r)?),
+                ty.clone(),
+            ),
+        })
+    }
+
+    fn trcexp(&self, x: Ident, ce: &CExpr<O>) -> Result<Stmt<O>, BaselineError> {
+        Ok(match ce {
+            CExpr::Merge(y, t, f) => Stmt::If(
+                self.var(*y)?,
+                Box::new(self.trcexp(x, t)?),
+                Box::new(self.trcexp(x, f)?),
+            ),
+            CExpr::If(c, t, f) => Stmt::If(
+                self.trexp(c)?,
+                Box::new(self.trcexp(x, t)?),
+                Box::new(self.trcexp(x, f)?),
+            ),
+            CExpr::Expr(e) => Stmt::Assign(x, self.trexp(e)?),
+        })
+    }
+
+    fn ctrl(&self, ck: &Clock, s: Stmt<O>) -> Result<Stmt<O>, BaselineError> {
+        match ck {
+            Clock::Base => Ok(s),
+            Clock::On(parent, x, polarity) => {
+                let guarded = if *polarity {
+                    Stmt::If(self.var(*x)?, Box::new(s), Box::new(Stmt::Skip))
+                } else {
+                    Stmt::If(self.var(*x)?, Box::new(Stmt::Skip), Box::new(s))
+                };
+                self.ctrl(parent, guarded)
+            }
+        }
+    }
+}
+
+fn delay_instance(x: Ident) -> Ident {
+    Ident::new(&format!("{x}$d"))
+}
+
+fn translate_node_v6<O: Ops>(node: &Node<O>) -> Result<Class<O>, BaselineError> {
+    let mut types: HashMap<Ident, O::Ty> = HashMap::new();
+    for d in node.inputs.iter().chain(&node.outputs).chain(&node.locals) {
+        types.insert(d.name, d.ty.clone());
+    }
+    let ctx = Ctx::<O> { types };
+
+    let mut instances: Vec<(Ident, Ident)> = Vec::new();
+    let mut gets: Vec<Stmt<O>> = Vec::new();
+    let mut body: Vec<Stmt<O>> = Vec::new();
+    let mut resets: Vec<Stmt<O>> = Vec::new();
+
+    for eq in &node.eqs {
+        match eq {
+            Equation::Fby { x, ck, init, .. } => {
+                let ty = ctx.types[x].clone();
+                let cls = fby_class_name::<O>(&ty);
+                let inst = delay_instance(*x);
+                instances.push((inst, cls));
+                // x := fby.get(init), available to all readers.
+                gets.push(ctx.ctrl(
+                    ck,
+                    Stmt::Call {
+                        results: vec![*x],
+                        class: cls,
+                        instance: inst,
+                        method: get_name(),
+                        args: vec![ObcExpr::Const(init.clone())],
+                    },
+                )?);
+                resets.push(Stmt::Call {
+                    results: vec![],
+                    class: cls,
+                    instance: inst,
+                    method: reset_name(),
+                    args: vec![],
+                });
+            }
+            Equation::Call { xs, node: f, .. } => {
+                instances.push((xs[0], *f));
+                resets.push(Stmt::Call {
+                    results: vec![],
+                    class: *f,
+                    instance: xs[0],
+                    method: reset_name(),
+                    args: vec![],
+                });
+            }
+            Equation::Def { .. } => {}
+        }
+    }
+
+    for eq in &node.eqs {
+        let s = match eq {
+            Equation::Def { x, ck, rhs } => ctx.ctrl(ck, ctx.trcexp(*x, rhs)?)?,
+            Equation::Fby { x, ck, rhs, .. } => {
+                let ty = ctx.types[x].clone();
+                ctx.ctrl(
+                    ck,
+                    Stmt::Call {
+                        results: vec![],
+                        class: fby_class_name::<O>(&ty),
+                        instance: delay_instance(*x),
+                        method: set_name(),
+                        args: vec![ctx.trexp(rhs)?],
+                    },
+                )?
+            }
+            Equation::Call { xs, ck, node: f, args } => {
+                let args = args
+                    .iter()
+                    .map(|a| ctx.trexp(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                ctx.ctrl(
+                    ck,
+                    Stmt::Call {
+                        results: xs.clone(),
+                        class: *f,
+                        instance: xs[0],
+                        method: step_name(),
+                        args,
+                    },
+                )?
+            }
+        };
+        body.push(s);
+    }
+
+    let step = Method {
+        name: step_name(),
+        inputs: node.inputs.iter().map(|d| (d.name, d.ty.clone())).collect(),
+        outputs: node.outputs.iter().map(|d| (d.name, d.ty.clone())).collect(),
+        locals: node.locals.iter().map(|d| (d.name, d.ty.clone())).collect(),
+        body: Stmt::seq_all(gets.into_iter().chain(body)),
+    };
+    let reset = Method {
+        name: reset_name(),
+        inputs: vec![],
+        outputs: vec![],
+        locals: vec![],
+        body: Stmt::seq_all(resets),
+    };
+    Ok(Class {
+        name: node.name,
+        memories: vec![],
+        instances,
+        methods: vec![step, reset],
+    })
+}
+
+/// Translates a scheduled N-Lustre program in the Lustre v6 style: every
+/// delay becomes `get`/`set` calls on auxiliary classes, no memories in
+/// node classes, no fusion.
+///
+/// # Errors
+///
+/// Unbound variables (ruled out by the front-end checks).
+pub fn translate_v6<O: Ops>(prog: &Program<O>) -> Result<ObcProgram<O>, BaselineError> {
+    // Collect the delay types used anywhere, to emit each helper once.
+    let mut delay_types: Vec<O::Ty> = Vec::new();
+    for node in &prog.nodes {
+        for eq in &node.eqs {
+            if let Equation::Fby { x, .. } = eq {
+                let ty = node
+                    .decl(*x)
+                    .map(|d| d.ty.clone())
+                    .ok_or(velus_obc::ObcError::UnboundVariable(*x))?;
+                if !delay_types.contains(&ty) {
+                    delay_types.push(ty);
+                }
+            }
+        }
+    }
+    let mut classes: Vec<Class<O>> = delay_types
+        .iter()
+        .map(|ty| make_fby_class::<O>(ty))
+        .collect();
+    for node in &prog.nodes {
+        classes.push(translate_node_v6(node)?);
+    }
+    Ok(ObcProgram { classes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velus_obc::sem::run_class;
+    use velus_obc::typecheck;
+    use velus_ops::{CVal, ClightOps};
+
+    fn id(s: &str) -> Ident {
+        Ident::new(s)
+    }
+
+    fn compile_v6(src: &str) -> ObcProgram<ClightOps> {
+        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src).unwrap().0;
+        crate::lustre_v6_obc(&prog).unwrap()
+    }
+
+    #[test]
+    fn delays_become_auxiliary_instances() {
+        let obc = compile_v6(
+            "node f(x: int) returns (y: int)
+             let y = 0 fby (y + x); tel",
+        );
+        // lv6$fby$int helper class + node class.
+        assert!(obc.classes.iter().any(|c| c.name.as_str().starts_with("lv6$fby$")));
+        let f = obc.class(id("f")).unwrap();
+        assert!(f.memories.is_empty());
+        assert!(!f.instances.is_empty());
+        typecheck::check_program(&obc).unwrap();
+    }
+
+    #[test]
+    fn v6_semantics_matches_standard_translation() {
+        let src = "node counter(ini, inc: int; res: bool) returns (n: int)
+                   let
+                     n = if (true fby false) or res then ini else (0 fby n) + inc;
+                   tel";
+        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src).unwrap().0;
+        let mut scheduled = prog.clone();
+        velus_nlustre::schedule::schedule_program(&mut scheduled).unwrap();
+        let standard = velus_obc::translate::translate_program(&scheduled).unwrap();
+        let v6 = crate::lustre_v6_obc(&prog).unwrap();
+
+        let inputs: Vec<Option<Vec<CVal>>> = (0..8)
+            .map(|i| Some(vec![CVal::int(100), CVal::int(i), CVal::bool(i == 5)]))
+            .collect();
+        let a = run_class(&standard, id("counter"), &inputs).unwrap();
+        let b = run_class(&v6, id("counter"), &inputs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heptagon_semantics_matches_standard_translation() {
+        let src = "node f(c: bool; a, b: int) returns (y: int)
+                   let y = (0 fby y) + (if c then a * 2 else b - 1); tel";
+        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src).unwrap().0;
+        let mut scheduled = prog.clone();
+        velus_nlustre::schedule::schedule_program(&mut scheduled).unwrap();
+        let standard = velus_obc::translate::translate_program(&scheduled).unwrap();
+        let hept = crate::heptagon_obc(&prog).unwrap();
+        typecheck::check_program(&hept).unwrap();
+
+        let inputs: Vec<Option<Vec<CVal>>> = (0..8)
+            .map(|i| Some(vec![CVal::bool(i % 3 == 0), CVal::int(i), CVal::int(-i)]))
+            .collect();
+        let a = run_class(&standard, id("f"), &inputs).unwrap();
+        let b = run_class(&hept, id("f"), &inputs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn v6_code_is_larger() {
+        let src = "node f(x: int) returns (y: int)
+                   let y = (0 fby y) + x; tel";
+        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src).unwrap().0;
+        let mut scheduled = prog.clone();
+        velus_nlustre::schedule::schedule_program(&mut scheduled).unwrap();
+        let standard = velus_obc::translate::translate_program(&scheduled).unwrap();
+        let v6 = crate::lustre_v6_obc(&prog).unwrap();
+        let count = |p: &ObcProgram<ClightOps>| {
+            p.classes
+                .iter()
+                .flat_map(|c| &c.methods)
+                .map(|m| m.body.size())
+                .sum::<usize>()
+        };
+        assert!(count(&v6) > count(&standard));
+    }
+}

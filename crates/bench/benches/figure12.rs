@@ -1,0 +1,20 @@
+//! Criterion benchmark over the Fig. 12 computation: how long the
+//! reproduced WCET analysis takes per benchmark and per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use velus_bench::suite::{figure12_row, load};
+
+fn bench_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure12");
+    group.sample_size(10);
+    for name in ["count", "tracker", "functionalchain"] {
+        let source = load(name);
+        group.bench_function(name, |b| {
+            b.iter(|| figure12_row(name, &source).expect("row computes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmark of compile-time scaling on the synthetic
+//! industrial application (§5). The full 6000-node run lives in the
+//! `industrial` binary; here we benchmark smaller scales repeatedly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use velus_testkit::industrial::{industrial_program, IndustrialConfig};
+
+fn bench_industrial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("industrial");
+    group.sample_size(10);
+    for nodes in [50usize, 150, 400] {
+        let cfg = IndustrialConfig { nodes, eqs_per_node: 24, fan_in: 2 };
+        let prog = industrial_program(&cfg);
+        let root = velus_common::Ident::new(&format!("blk{}", nodes - 1));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &prog, |b, prog| {
+            b.iter(|| {
+                velus::compile_program(
+                    prog.clone(),
+                    root,
+                    velus_common::Diagnostics::new(),
+                )
+                .expect("compiles")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_industrial);
+criterion_main!(benches);

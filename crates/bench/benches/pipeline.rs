@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the individual compiler passes on the
+//! `tracker` benchmark (the paper's running example), plus the
+//! interpreters that substitute for hardware execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use velus_bench::suite::load;
+use velus_common::Ident;
+use velus_nlustre::streams::{StreamSet, SVal};
+use velus_ops::{CVal, ClightOps};
+
+fn bench_passes(c: &mut Criterion) {
+    let source = load("tracker");
+    let mut group = c.benchmark_group("pipeline/tracker");
+
+    group.bench_function("frontend", |b| {
+        b.iter(|| velus_lustre::compile_to_nlustre::<ClightOps>(&source).expect("compiles"))
+    });
+
+    let (nlustre, _) = velus_lustre::compile_to_nlustre::<ClightOps>(&source).unwrap();
+    group.bench_function("schedule", |b| {
+        b.iter(|| {
+            let mut p = nlustre.clone();
+            velus_nlustre::schedule::schedule_program(&mut p).expect("schedules");
+            p
+        })
+    });
+
+    let mut scheduled = nlustre.clone();
+    velus_nlustre::schedule::schedule_program(&mut scheduled).unwrap();
+    group.bench_function("translate", |b| {
+        b.iter(|| velus_obc::translate::translate_program(&scheduled).expect("translates"))
+    });
+
+    let obc = velus_obc::translate::translate_program(&scheduled).unwrap();
+    group.bench_function("fuse", |b| b.iter(|| velus_obc::fusion::fuse_program(&obc)));
+
+    let fused = velus_obc::fusion::fuse_program(&obc);
+    group.bench_function("generate", |b| {
+        b.iter(|| {
+            velus_clight::generate::generate(&fused, Ident::new("tracker")).expect("generates")
+        })
+    });
+
+    group.bench_function("end_to_end", |b| {
+        b.iter(|| velus::compile(&source, Some("tracker")).expect("compiles"))
+    });
+    group.finish();
+}
+
+fn bench_semantics(c: &mut Criterion) {
+    let source = load("tracker");
+    let compiled = velus::compile(&source, Some("tracker")).unwrap();
+    let n = 64usize;
+    let inputs: StreamSet<ClightOps> = vec![
+        (0..n).map(|i| SVal::Pres(CVal::int((i as i32 * 7) % 11 - 5))).collect(),
+        (0..n).map(|_| SVal::Pres(CVal::int(5))).collect(),
+    ];
+    let mut group = c.benchmark_group("semantics/tracker");
+    group.bench_function("dataflow_64", |b| {
+        b.iter(|| {
+            velus_nlustre::dataflow::run_node(
+                &compiled.snlustre,
+                Ident::new("tracker"),
+                &inputs,
+                n,
+            )
+            .expect("runs")
+        })
+    });
+    group.bench_function("validate_64", |b| {
+        b.iter(|| velus::validate(&compiled, &inputs, n).expect("validates"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes, bench_semantics);
+criterion_main!(benches);

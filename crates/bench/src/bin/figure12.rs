@@ -1,0 +1,34 @@
+//! Regenerates Figure 12 of the paper: WCET estimates in cycles for the
+//! `step` functions of the 14-benchmark suite under seven compilation
+//! configurations.
+//!
+//! ```text
+//! cargo run -p velus-bench --bin figure12 [--md]
+//! ```
+
+use velus_bench::suite::{figure12, PAPER_VELUS_CYCLES};
+use velus_bench::table::{render_markdown, render_text};
+
+fn main() {
+    let md = std::env::args().any(|a| a == "--md");
+    let rows = match figure12() {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("figure12 failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if md {
+        print!("{}", render_markdown(&rows));
+    } else {
+        println!("Figure 12 (reproduced): WCET estimates in cycles for step functions.");
+        println!("Percentages are relative to the first column, as in the paper.\n");
+        print!("{}", render_text(&rows));
+        println!();
+        println!("Paper (Vélus column, OTAWA cycles on armv7) for comparison of shape:");
+        for (name, cycles) in PAPER_VELUS_CYCLES {
+            let ours = rows.iter().find(|r| r.name == *name).map(|r| r.velus).unwrap_or(0);
+            println!("  {name:<22} paper {cycles:>6}   reproduced {ours:>6}");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! The evaluation harness: regenerates the PLDI'17 experiments.
+//!
+//! * [`suite`] — the 14-program benchmark suite of Fig. 12 and the
+//!   computation of all seven columns (Vélus, Heptagon ± GCC ± inlining,
+//!   Lustre v6 ± GCC ± inlining).
+//! * [`table`] — rendering in the paper's format (cycles with
+//!   percentages relative to the first column).
+//!
+//! Binaries:
+//!
+//! * `figure12` — prints the reproduced Fig. 12;
+//! * `industrial` — the §5 compile-time scaling experiment;
+//! * `schedules` — the §5 schedule-quality observation.
+
+pub mod suite;
+pub mod table;

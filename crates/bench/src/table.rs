@@ -1,0 +1,93 @@
+//! Rendering of the reproduced Fig. 12 in the paper's format.
+
+use crate::suite::Row;
+
+fn pct(value: u64, base: u64) -> String {
+    if base == 0 {
+        return "-".to_owned();
+    }
+    let p = (value as f64 / base as f64 - 1.0) * 100.0;
+    format!("({}%)", p.round() as i64)
+}
+
+/// Renders the table as aligned plain text, cycles with percentages
+/// relative to the Vélus column, exactly as Fig. 12 presents them.
+pub fn render_text(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>16} {:>16} {:>16} {:>16} {:>16} {:>16}\n",
+        "benchmark", "Velus", "Hept+CC", "Hept+gcc", "Hept+gcci", "Lus6+CC", "Lus6+gcc", "Lus6+gcci"
+    ));
+    for r in rows {
+        let cell = |v: u64| format!("{v} {}", pct(v, r.velus));
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>16} {:>16} {:>16} {:>16} {:>16} {:>16}\n",
+            r.name,
+            r.velus,
+            cell(r.hept[0]),
+            cell(r.hept[1]),
+            cell(r.hept[2]),
+            cell(r.lus6[0]),
+            cell(r.lus6[1]),
+            cell(r.lus6[2]),
+        ));
+    }
+    out
+}
+
+/// Renders the table as a Markdown table (for EXPERIMENTS.md).
+pub fn render_markdown(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("| benchmark | Vélus | Hept+CC | Hept+gcc | Hept+gcci | Lus6+CC | Lus6+gcc | Lus6+gcci |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for r in rows {
+        let cell = |v: u64| format!("{v} {}", pct(v, r.velus));
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            r.name,
+            r.velus,
+            cell(r.hept[0]),
+            cell(r.hept[1]),
+            cell(r.hept[2]),
+            cell(r.lus6[0]),
+            cell(r.lus6[1]),
+            cell(r.lus6[2]),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row {
+            name: "t".to_owned(),
+            velus: 100,
+            hept: [110, 70, 60],
+            lus6: [350, 200, 90],
+        }
+    }
+
+    #[test]
+    fn percentages_match_the_papers_convention() {
+        assert_eq!(pct(110, 100), "(10%)");
+        assert_eq!(pct(70, 100), "(-30%)");
+        assert_eq!(pct(100, 100), "(0%)");
+    }
+
+    #[test]
+    fn text_table_contains_all_columns() {
+        let t = render_text(&[row()]);
+        assert!(t.contains("Lus6+gcci"));
+        assert!(t.contains("350 (250%)"));
+    }
+
+    #[test]
+    fn markdown_is_well_formed() {
+        let t = render_markdown(&[row()]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.lines().all(|l| l.starts_with('|')));
+    }
+}

@@ -1,0 +1,42 @@
+//! A Clight subset with a block-based memory model, separation
+//! assertions, a big-step interpreter, generation from Obc, and a C
+//! pretty-printer (PLDI'17 §4).
+//!
+//! The paper generates Clight — the C subset whose compilation CompCert
+//! verifies — and reasons about the generated code in CompCert's
+//! byte-level block memory model, using a small library of separation
+//! assertions to relate the tree-shaped Obc memory to nested C structs
+//! (`staterep`, Fig. 11). This crate reproduces that stack executably:
+//!
+//! * [`ctypes`] — Clight types (scalars, pointers, named structs), C ABI
+//!   layout for armv7: field offsets, alignment, padding.
+//! * [`memory`] — blocks of bytes with bounds, alignment and
+//!   initialization checking; little-endian scalar encode/decode.
+//! * [`ast`] — expressions (temporaries vs. addressable variables, field
+//!   accesses through `self`/`out` pointers), statements (including
+//!   volatile loads/stores, which form the observable trace), functions.
+//! * [`sep`] — separation assertions: `contains`, separating conjunction
+//!   with footprint disjointness, `sepall`, and [`sep::staterep`] — the
+//!   executable Fig. 11, used as a validation oracle between the Obc
+//!   memory tree and the Clight memory.
+//! * [`interp`] — a big-step interpreter producing volatile-event traces;
+//!   the paper's theorem compares exactly this trace with the dataflow
+//!   semantics.
+//! * [`generate`] — the generation pass of §4: one struct per class, one
+//!   function per class/method, out-structs for multiple return values
+//!   (with the zero/one-output optimizations), `self`/`out` pointer
+//!   threading (Fig. 9).
+//! * [`printer`] — emission of compilable C99, plus a `main` in the
+//!   paper's "test mode".
+
+pub mod ast;
+pub mod ctypes;
+pub mod generate;
+pub mod interp;
+pub mod memory;
+pub mod printer;
+pub mod sep;
+
+mod error;
+
+pub use error::ClightError;

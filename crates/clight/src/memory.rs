@@ -1,0 +1,272 @@
+//! A CompCert-style block memory model.
+//!
+//! Memory is a collection of *blocks*, each a bounded array of bytes.
+//! Addresses pair a block identifier with an integer offset — there is no
+//! pointer arithmetic across blocks, which is what makes separation
+//! reasoning tractable (§4.2). Scalar values are encoded little-endian;
+//! every byte tracks an *initialized* bit, so reads of uninitialized
+//! memory are errors rather than garbage (CompCert's `Vundef`), and loads
+//! and stores check bounds, alignment, and block liveness.
+
+use velus_ops::CTy;
+use velus_ops::CVal;
+
+use crate::ClightError;
+
+/// A block identifier.
+pub type BlockId = usize;
+
+#[derive(Debug, Clone)]
+struct Block {
+    bytes: Vec<u8>,
+    init: Vec<bool>,
+    alive: bool,
+}
+
+/// The memory state: a growing collection of blocks.
+#[derive(Debug, Clone, Default)]
+pub struct Mem {
+    blocks: Vec<Block>,
+}
+
+impl Mem {
+    /// An empty memory.
+    pub fn new() -> Mem {
+        Mem::default()
+    }
+
+    /// Allocates a fresh zero-length-capable block of `size` bytes,
+    /// uninitialized.
+    pub fn alloc(&mut self, size: u32) -> BlockId {
+        let id = self.blocks.len();
+        self.blocks.push(Block {
+            bytes: vec![0; size as usize],
+            init: vec![false; size as usize],
+            alive: true,
+        });
+        id
+    }
+
+    /// Frees a block: subsequent accesses fail. Models CompCert's
+    /// requirement that ownership of locals be surrendered on return.
+    ///
+    /// # Errors
+    ///
+    /// Freeing an unknown or already dead block.
+    pub fn free(&mut self, b: BlockId) -> Result<(), ClightError> {
+        let blk = self
+            .blocks
+            .get_mut(b)
+            .ok_or_else(|| ClightError::MemoryError(format!("free of unknown block {b}")))?;
+        if !blk.alive {
+            return Err(ClightError::MemoryError(format!("double free of block {b}")));
+        }
+        blk.alive = false;
+        Ok(())
+    }
+
+    /// The size of a block.
+    ///
+    /// # Errors
+    ///
+    /// Unknown block.
+    pub fn block_size(&self, b: BlockId) -> Result<u32, ClightError> {
+        Ok(self
+            .blocks
+            .get(b)
+            .ok_or_else(|| ClightError::MemoryError(format!("unknown block {b}")))?
+            .bytes
+            .len() as u32)
+    }
+
+    fn check_access(&self, b: BlockId, ofs: u32, size: u32, align: u32) -> Result<(), ClightError> {
+        let blk = self
+            .blocks
+            .get(b)
+            .ok_or_else(|| ClightError::MemoryError(format!("unknown block {b}")))?;
+        if !blk.alive {
+            return Err(ClightError::MemoryError(format!("access to freed block {b}")));
+        }
+        if (ofs as usize) + (size as usize) > blk.bytes.len() {
+            return Err(ClightError::MemoryError(format!(
+                "out-of-bounds access at block {b}, offset {ofs}, size {size} (block size {})",
+                blk.bytes.len()
+            )));
+        }
+        if ofs % align != 0 {
+            return Err(ClightError::MemoryError(format!(
+                "misaligned access at block {b}, offset {ofs}, alignment {align}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Stores a scalar of type `ty` at `(b, ofs)`.
+    ///
+    /// # Errors
+    ///
+    /// Bounds/alignment/liveness violations, or a value not of type `ty`.
+    pub fn store(&mut self, ty: CTy, b: BlockId, ofs: u32, v: &CVal) -> Result<(), ClightError> {
+        self.check_access(b, ofs, ty.size(), ty.align())?;
+        let bytes = encode(ty, v)?;
+        let blk = &mut self.blocks[b];
+        let start = ofs as usize;
+        blk.bytes[start..start + bytes.len()].copy_from_slice(&bytes);
+        for i in start..start + bytes.len() {
+            blk.init[i] = true;
+        }
+        Ok(())
+    }
+
+    /// Loads a scalar of type `ty` from `(b, ofs)`.
+    ///
+    /// # Errors
+    ///
+    /// Bounds/alignment/liveness violations or uninitialized bytes.
+    pub fn load(&self, ty: CTy, b: BlockId, ofs: u32) -> Result<CVal, ClightError> {
+        self.check_access(b, ofs, ty.size(), ty.align())?;
+        let blk = &self.blocks[b];
+        let start = ofs as usize;
+        let end = start + ty.size() as usize;
+        if !blk.init[start..end].iter().all(|&i| i) {
+            return Err(ClightError::Uninitialized(format!(
+                "load of type {ty} at block {b}, offset {ofs}"
+            )));
+        }
+        decode(ty, &blk.bytes[start..end])
+    }
+
+    /// Whether every byte in `[ofs, ofs + size)` of block `b` is within
+    /// bounds of a live block.
+    pub fn range_valid(&self, b: BlockId, ofs: u32, size: u32) -> bool {
+        self.check_access(b, ofs, size, 1).is_ok()
+    }
+}
+
+/// Encodes a well-typed scalar little-endian.
+fn encode(ty: CTy, v: &CVal) -> Result<Vec<u8>, ClightError> {
+    let err = || ClightError::ValueError(format!("cannot store {v} at type {ty}"));
+    Ok(match (ty, v) {
+        (CTy::Bool | CTy::I8 | CTy::U8, CVal::Int(n)) => vec![*n as u8],
+        (CTy::I16 | CTy::U16, CVal::Int(n)) => (*n as u16).to_le_bytes().to_vec(),
+        (CTy::I32 | CTy::U32, CVal::Int(n)) => (*n as u32).to_le_bytes().to_vec(),
+        (CTy::I64 | CTy::U64, CVal::Long(n)) => (*n as u64).to_le_bytes().to_vec(),
+        (CTy::F32, CVal::Single(x)) => x.to_bits().to_le_bytes().to_vec(),
+        (CTy::F64, CVal::Float(x)) => x.to_bits().to_le_bytes().to_vec(),
+        _ => return Err(err()),
+    })
+}
+
+/// Decodes a scalar stored little-endian, normalizing to the
+/// representation invariants of [`CVal`] (sign/zero extension).
+fn decode(ty: CTy, bytes: &[u8]) -> Result<CVal, ClightError> {
+    Ok(match ty {
+        CTy::Bool => {
+            let b = bytes[0];
+            if b > 1 {
+                return Err(ClightError::ValueError(format!(
+                    "byte {b} decoded at type bool"
+                )));
+            }
+            CVal::Int(b as i32)
+        }
+        CTy::I8 => CVal::Int(bytes[0] as i8 as i32),
+        CTy::U8 => CVal::Int(bytes[0] as i32),
+        CTy::I16 => CVal::Int(i16::from_le_bytes([bytes[0], bytes[1]]) as i32),
+        CTy::U16 => CVal::Int(u16::from_le_bytes([bytes[0], bytes[1]]) as i32),
+        CTy::I32 | CTy::U32 => CVal::Int(i32::from_le_bytes([
+            bytes[0], bytes[1], bytes[2], bytes[3],
+        ])),
+        CTy::I64 | CTy::U64 => {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(bytes);
+            CVal::Long(i64::from_le_bytes(a))
+        }
+        CTy::F32 => {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(bytes);
+            CVal::Single(f32::from_bits(u32::from_le_bytes(a)))
+        }
+        CTy::F64 => {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(bytes);
+            CVal::Float(f64::from_bits(u64::from_le_bytes(a)))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut m = Mem::new();
+        let b = m.alloc(16);
+        for (ty, v) in [
+            (CTy::I32, CVal::int(-7)),
+            (CTy::Bool, CVal::bool(true)),
+            (CTy::F64, CVal::float(3.25)),
+            (CTy::I64, CVal::long(1 << 40)),
+            (CTy::I8, CVal::Int(-5)),
+            (CTy::U16, CVal::Int(40000)),
+        ] {
+            m.store(ty, b, 0, &v).unwrap();
+            assert_eq!(m.load(ty, b, 0).unwrap(), v, "{ty}");
+        }
+    }
+
+    #[test]
+    fn uninitialized_reads_fail() {
+        let mut m = Mem::new();
+        let b = m.alloc(8);
+        assert!(matches!(m.load(CTy::I32, b, 0), Err(ClightError::Uninitialized(_))));
+        m.store(CTy::I32, b, 0, &CVal::int(1)).unwrap();
+        assert!(m.load(CTy::I32, b, 0).is_ok());
+        // Bytes 4..8 still uninitialized.
+        assert!(matches!(m.load(CTy::I32, b, 4), Err(ClightError::Uninitialized(_))));
+    }
+
+    #[test]
+    fn bounds_and_alignment_are_checked() {
+        let mut m = Mem::new();
+        let b = m.alloc(8);
+        assert!(matches!(
+            m.store(CTy::I32, b, 6, &CVal::int(0)),
+            Err(ClightError::MemoryError(_))
+        ));
+        assert!(matches!(
+            m.store(CTy::I32, b, 2, &CVal::int(0)),
+            Err(ClightError::MemoryError(_))
+        ));
+    }
+
+    #[test]
+    fn freed_blocks_reject_access() {
+        let mut m = Mem::new();
+        let b = m.alloc(4);
+        m.store(CTy::I32, b, 0, &CVal::int(1)).unwrap();
+        m.free(b).unwrap();
+        assert!(m.load(CTy::I32, b, 0).is_err());
+        assert!(m.free(b).is_err());
+    }
+
+    #[test]
+    fn type_mismatched_stores_fail() {
+        let mut m = Mem::new();
+        let b = m.alloc(8);
+        assert!(matches!(
+            m.store(CTy::I32, b, 0, &CVal::float(1.0)),
+            Err(ClightError::ValueError(_))
+        ));
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let mut m = Mem::new();
+        let b = m.alloc(8);
+        let nan = CVal::float(f64::from_bits(0x7ff8_dead_beef_0001));
+        m.store(CTy::F64, b, 0, &nan).unwrap();
+        assert_eq!(m.load(CTy::F64, b, 0).unwrap(), nan);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests of the layout computation and the block memory model:
+//! the invariants that the paper's separation-logic development
+//! establishes once and for all, checked here over random inputs.
+
+use proptest::prelude::*;
+use velus_clight::ctypes::{align_up, Composite, CType, LayoutEnv};
+use velus_clight::memory::Mem;
+use velus_common::Ident;
+use velus_ops::{CTy, CVal};
+
+fn arb_scalar() -> impl Strategy<Value = CTy> {
+    prop::sample::select(CTy::ALL.to_vec())
+}
+
+fn arb_fields() -> impl Strategy<Value = Vec<CTy>> {
+    prop::collection::vec(arb_scalar(), 1..12)
+}
+
+fn composite(name: &str, tys: &[CTy]) -> Composite {
+    Composite {
+        name: Ident::new(name),
+        fields: tys
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Ident::new(&format!("f{i}")), CType::Scalar(*t)))
+            .collect(),
+    }
+}
+
+proptest! {
+    /// Every field is aligned, in bounds, and fields are pairwise
+    /// disjoint; the struct size is padded to its alignment.
+    #[test]
+    fn layout_invariants(tys in arb_fields()) {
+        let c = composite("s", &tys);
+        let env = LayoutEnv::new(vec![c]).unwrap();
+        let s = Ident::new("s");
+        let layout = env.layout(s).unwrap().clone();
+        prop_assert_eq!(layout.size, align_up(layout.size, layout.align));
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for (i, t) in tys.iter().enumerate() {
+            let off = env.field_offset(s, Ident::new(&format!("f{i}"))).unwrap();
+            prop_assert_eq!(off % t.align(), 0, "field f{} misaligned", i);
+            prop_assert!(off + t.size() <= layout.size, "field f{} out of bounds", i);
+            ranges.push((off, off + t.size()));
+        }
+        ranges.sort();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "fields overlap: {:?}", w);
+        }
+    }
+
+    /// A struct-of-struct nests without overlap: the inner struct's
+    /// footprint stays inside its field slot.
+    #[test]
+    fn nested_layouts_stay_in_bounds(inner in arb_fields(), outer in arb_fields()) {
+        let ci = composite("inner", &inner);
+        let mut co = composite("outer", &outer);
+        co.fields.push((Ident::new("sub"), CType::Struct(Ident::new("inner"))));
+        let env = LayoutEnv::new(vec![ci, co]).unwrap();
+        let o = Ident::new("outer");
+        let sub_off = env.field_offset(o, Ident::new("sub")).unwrap();
+        let inner_layout = env.layout(Ident::new("inner")).unwrap();
+        let outer_layout = env.layout(o).unwrap();
+        prop_assert!(sub_off + inner_layout.size <= outer_layout.size);
+        prop_assert_eq!(sub_off % inner_layout.align.max(1), 0);
+    }
+
+    /// Random well-typed stores followed by loads round-trip, and never
+    /// disturb a neighbouring field.
+    #[test]
+    fn memory_round_trips_disjointly(tys in arb_fields(), seed in any::<u64>()) {
+        let c = composite("s", &tys);
+        let env = LayoutEnv::new(vec![c]).unwrap();
+        let s = Ident::new("s");
+        let size = env.layout(s).unwrap().size;
+        let mut mem = Mem::new();
+        let b = mem.alloc(size.max(1));
+
+        let value_for = |t: CTy, k: u64| -> CVal {
+            match t {
+                CTy::Bool => CVal::bool(k % 2 == 0),
+                CTy::I8 => CVal::Int((k as i8) as i32),
+                CTy::U8 => CVal::Int((k as u8) as i32),
+                CTy::I16 => CVal::Int((k as i16) as i32),
+                CTy::U16 => CVal::Int((k as u16) as i32),
+                CTy::I32 | CTy::U32 => CVal::Int(k as i32),
+                CTy::I64 | CTy::U64 => CVal::Long(k as i64),
+                CTy::F32 => CVal::single(k as f32),
+                CTy::F64 => CVal::float(k as f64),
+            }
+        };
+
+        // Store a distinct value in every field, then read them all back.
+        for (i, t) in tys.iter().enumerate() {
+            let off = env.field_offset(s, Ident::new(&format!("f{i}"))).unwrap();
+            mem.store(*t, b, off, &value_for(*t, seed ^ i as u64)).unwrap();
+        }
+        for (i, t) in tys.iter().enumerate() {
+            let off = env.field_offset(s, Ident::new(&format!("f{i}"))).unwrap();
+            prop_assert_eq!(mem.load(*t, b, off).unwrap(), value_for(*t, seed ^ i as u64));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Structured diagnostics.
+//!
+//! All compiler passes report failures through [`Diagnostics`], which
+//! implements [`std::error::Error`] and renders with source positions when
+//! a source text is supplied.
+
+use std::fmt;
+
+use crate::span::{Loc, Span};
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A non-fatal observation (e.g. a possibly uninitialized `pre`).
+    Warning,
+    /// A fatal elaboration or compilation failure.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A single compiler message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Fatal or not.
+    pub severity: Severity,
+    /// Human-readable explanation, lowercase, no trailing period.
+    pub message: String,
+    /// Source region the message refers to; [`Span::DUMMY`] when unknown.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic against `source` (for line/column info).
+    pub fn render(&self, source: &str) -> String {
+        if self.span.is_dummy() {
+            format!("{}: {}", self.severity, self.message)
+        } else {
+            let loc = Loc::of_offset(source, self.span.start);
+            format!("{loc}: {}: {}", self.severity, self.message)
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.severity, self.message)
+    }
+}
+
+/// A non-empty collection of diagnostics, used as the error type of every
+/// fallible compiler pass.
+///
+/// # Examples
+///
+/// ```
+/// use velus_common::{Diagnostic, Diagnostics, Span};
+///
+/// let errs = Diagnostics::from(Diagnostic::error("unknown variable x", Span::new(4, 5)));
+/// assert!(errs.has_errors());
+/// assert_eq!(errs.to_string(), "error: unknown variable x");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty accumulator.
+    ///
+    /// An empty `Diagnostics` must not be returned as an error; use
+    /// [`Diagnostics::into_result`] to convert an accumulator into a
+    /// `Result`.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Adds one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Records an error message.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Records a warning message.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::warning(message, span));
+    }
+
+    /// Whether any diagnostic is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether there are no diagnostics at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Iterates over the diagnostics in emission order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Turns the accumulator into `Ok(value)` when no *errors* were
+    /// recorded, and `Err(self)` otherwise. Warnings do not fail the pass.
+    pub fn into_result<T>(self, value: T) -> Result<T, Diagnostics> {
+        if self.has_errors() {
+            Err(self)
+        } else {
+            Ok(value)
+        }
+    }
+
+    /// Renders all diagnostics against `source`, one per line.
+    pub fn render(&self, source: &str) -> String {
+        self.items
+            .iter()
+            .map(|d| d.render(source))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl From<Diagnostic> for Diagnostics {
+    fn from(d: Diagnostic) -> Diagnostics {
+        Diagnostics { items: vec![d] }
+    }
+}
+
+impl Extend<Diagnostic> for Diagnostics {
+    fn extend<I: IntoIterator<Item = Diagnostic>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn into_result_fails_only_on_errors() {
+        let mut d = Diagnostics::new();
+        assert_eq!(d.clone().into_result(1), Ok(1));
+        d.warning("just a warning", Span::DUMMY);
+        assert_eq!(d.clone().into_result(2), Ok(2));
+        d.error("boom", Span::DUMMY);
+        assert!(d.into_result(3).is_err());
+    }
+
+    #[test]
+    fn render_includes_position() {
+        let src = "a\nbcd";
+        let d = Diagnostic::error("bad thing", Span::new(2, 3));
+        assert_eq!(d.render(src), "2:1: error: bad thing");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut d = Diagnostics::new();
+        d.error("first", Span::DUMMY);
+        d.warning("second", Span::DUMMY);
+        let s = d.to_string();
+        assert!(s.contains("first") && s.contains("second"));
+    }
+}

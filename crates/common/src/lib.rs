@@ -1,0 +1,58 @@
+//! Shared compiler infrastructure for the Velus-rs workspace.
+//!
+//! This crate provides the small, dependency-free substrate that every
+//! other crate in the reproduction builds on:
+//!
+//! * [`Ident`] — cheap, copyable, interned identifiers with a global
+//!   interner (the usual compiler pattern; comparison and hashing are on a
+//!   `u32` symbol, not on string contents),
+//! * [`Span`] / [`Loc`] — byte-offset source spans and their resolution to
+//!   line/column positions,
+//! * [`Diagnostic`] / [`Diagnostics`] — structured compiler errors and
+//!   warnings with source rendering,
+//! * [`pretty`] — a minimal indentation-aware code writer used by the C
+//!   pretty-printer and the IR dumpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use velus_common::Ident;
+//!
+//! let a = Ident::new("speed");
+//! let b = Ident::new("speed");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "speed");
+//! ```
+
+mod diag;
+mod ident;
+pub mod pretty;
+mod span;
+
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use ident::{FreshGen, Ident};
+pub use span::{Loc, Span, Spanned};
+
+/// Runs `f` on a thread with a `stack_mb`-MiB stack and returns its
+/// result.
+///
+/// The demand-driven dataflow interpreter and the recursive-descent
+/// passes recurse proportionally to program depth; deeply nested
+/// instance trees (e.g. the industrial-scale workload) need more than
+/// the 2 MiB default of spawned threads. The `velus` CLI and the heavy
+/// tests wrap their entry points with this.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if the thread cannot be
+/// spawned.
+pub fn with_stack<T: Send>(stack_mb: usize, f: impl FnOnce() -> T + Send) -> T {
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(stack_mb * 1024 * 1024)
+            .spawn_scoped(scope, f)
+            .expect("spawn big-stack worker")
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e))
+    })
+}

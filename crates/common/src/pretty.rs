@@ -1,0 +1,105 @@
+//! A minimal indentation-aware code writer.
+//!
+//! Used by the C pretty-printer and the IR dump routines. The writer keeps
+//! an indentation level; [`Printer::line`] emits a fully indented line and
+//! [`Printer::block`] runs a closure one level deeper.
+//!
+//! # Examples
+//!
+//! ```
+//! use velus_common::pretty::Printer;
+//!
+//! let mut p = Printer::new();
+//! p.line("if (x) {");
+//! p.block(|p| p.line("y = 1;"));
+//! p.line("}");
+//! assert_eq!(p.finish(), "if (x) {\n  y = 1;\n}\n");
+//! ```
+
+/// Indentation-aware text accumulator.
+#[derive(Debug, Default)]
+pub struct Printer {
+    buf: String,
+    indent: usize,
+    width: usize,
+}
+
+impl Printer {
+    /// Creates a printer indenting by two spaces.
+    pub fn new() -> Printer {
+        Printer::with_indent(2)
+    }
+
+    /// Creates a printer indenting by `width` spaces per level.
+    pub fn with_indent(width: usize) -> Printer {
+        Printer {
+            buf: String::new(),
+            indent: 0,
+            width,
+        }
+    }
+
+    /// Emits one indented line followed by a newline.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let text = text.as_ref();
+        if text.is_empty() {
+            self.buf.push('\n');
+            return;
+        }
+        for _ in 0..self.indent * self.width {
+            self.buf.push(' ');
+        }
+        self.buf.push_str(text);
+        self.buf.push('\n');
+    }
+
+    /// Emits a blank line.
+    pub fn blank(&mut self) {
+        self.buf.push('\n');
+    }
+
+    /// Runs `f` with the indentation level increased by one.
+    pub fn block<R>(&mut self, f: impl FnOnce(&mut Printer) -> R) -> R {
+        self.indent += 1;
+        let r = f(self);
+        self.indent -= 1;
+        r
+    }
+
+    /// Returns the accumulated text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    /// Borrow of the accumulated text so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting() {
+        let mut p = Printer::new();
+        p.line("a");
+        p.block(|p| {
+            p.line("b");
+            p.block(|p| p.line("c"));
+        });
+        p.line("d");
+        assert_eq!(p.finish(), "a\n  b\n    c\nd\n");
+    }
+
+    #[test]
+    fn empty_lines_are_not_indented() {
+        let mut p = Printer::new();
+        p.block(|p| {
+            p.line("");
+            p.blank();
+        });
+        assert_eq!(p.finish(), "\n\n");
+    }
+}

@@ -1,0 +1,161 @@
+//! Source locations.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+///
+/// # Examples
+///
+/// ```
+/// use velus_common::Span;
+///
+/// let s = Span::new(3, 7);
+/// assert_eq!(s.len(), 4);
+/// assert!(Span::DUMMY.is_dummy());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// The span used for synthesized nodes with no source position.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Creates a span from byte offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: u32, end: u32) -> Span {
+        assert!(end >= start, "span end before start");
+        Span { start, end }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether this is the dummy (no-position) span.
+    pub fn is_dummy(self) -> bool {
+        self == Span::DUMMY
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    ///
+    /// A dummy operand is absorbed by the other span.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A 1-based line/column position resolved from a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl Loc {
+    /// Resolves a byte `offset` within `source` to a line/column position.
+    pub fn of_offset(source: &str, offset: u32) -> Loc {
+        let upto = &source[..(offset as usize).min(source.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+        let col = match upto.rfind('\n') {
+            Some(i) => (upto.len() - i) as u32,
+            None => upto.len() as u32 + 1,
+        };
+        Loc { line, col }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A value paired with the source span it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The wrapped value.
+    pub node: T,
+    /// Where it appeared in the source.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs `node` with `span`.
+    pub fn new(node: T, span: Span) -> Spanned<T> {
+        Spanned { node, span }
+    }
+
+    /// Maps the wrapped value, keeping the span.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Spanned<U> {
+        Spanned {
+            node: f(self.node),
+            span: self.span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn merge_absorbs_dummy() {
+        let a = Span::new(2, 5);
+        assert_eq!(a.merge(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.merge(a), a);
+    }
+
+    #[test]
+    fn loc_resolution() {
+        let src = "node f()\nreturns ();\nlet tel";
+        assert_eq!(Loc::of_offset(src, 0), Loc { line: 1, col: 1 });
+        assert_eq!(Loc::of_offset(src, 5), Loc { line: 1, col: 6 });
+        assert_eq!(Loc::of_offset(src, 9), Loc { line: 2, col: 1 });
+        assert_eq!(Loc::of_offset(src, 10), Loc { line: 2, col: 2 });
+    }
+
+    #[test]
+    fn loc_clamps_past_end() {
+        let l = Loc::of_offset("ab", 100);
+        assert_eq!(l.line, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "span end before start")]
+    fn invalid_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+}

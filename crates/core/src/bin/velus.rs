@@ -1,0 +1,234 @@
+//! The `velus` command-line compiler.
+//!
+//! ```text
+//! velus compile FILE [--node NAME] [-o OUT.c] [--stdio]   emit C
+//! velus check   FILE                                      elaborate + schedule only
+//! velus run     FILE [--node NAME] --steps N              interpret (dataflow semantics)
+//! velus validate FILE [--node NAME] --steps N             full translation validation
+//! velus wcet    FILE [--node NAME] [--model cc|gcc|gcci]  WCET estimate of step
+//! velus dump    FILE [--node NAME] [--ir nlustre|snlustre|obc|obc-fused]
+//! ```
+//!
+//! `run` reads one instant of whitespace-separated input values per line
+//! from stdin (`true`/`false` for booleans) and prints the outputs.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use velus::{compile, emit_c, validate::default_inputs, TestIo, VelusError};
+use velus_nlustre::streams::{StreamSet, SVal};
+use velus_ops::{ClightOps, Literal, Ops};
+
+struct Args {
+    cmd: String,
+    file: Option<String>,
+    node: Option<String>,
+    out: Option<String>,
+    steps: usize,
+    stdio: bool,
+    model: String,
+    ir: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().ok_or_else(usage)?;
+    let mut parsed = Args {
+        cmd,
+        file: None,
+        node: None,
+        out: None,
+        steps: 32,
+        stdio: false,
+        model: "cc".to_owned(),
+        ir: "snlustre".to_owned(),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--node" => parsed.node = Some(args.next().ok_or("missing value for --node")?),
+            "-o" | "--output" => parsed.out = Some(args.next().ok_or("missing value for -o")?),
+            "--steps" => {
+                parsed.steps = args
+                    .next()
+                    .ok_or("missing value for --steps")?
+                    .parse()
+                    .map_err(|_| "invalid --steps value")?
+            }
+            "--stdio" => parsed.stdio = true,
+            "--model" => parsed.model = args.next().ok_or("missing value for --model")?,
+            "--ir" => parsed.ir = args.next().ok_or("missing value for --ir")?,
+            other if parsed.file.is_none() && !other.starts_with('-') => {
+                parsed.file = Some(other.to_owned())
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: velus <compile|check|run|validate|wcet|dump> FILE [options]
+options: --node NAME, -o OUT.c, --steps N, --stdio, --model cc|gcc|gcci, --ir nlustre|snlustre|obc|obc-fused"
+        .to_owned()
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Parses one instant of inputs (one whitespace-separated value per
+/// declared input).
+fn parse_instant(
+    line: &str,
+    decls: &[velus_nlustre::ast::VarDecl<ClightOps>],
+) -> Result<Vec<velus_ops::CVal>, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() != decls.len() {
+        return Err(format!(
+            "expected {} values, found {}",
+            decls.len(),
+            tokens.len()
+        ));
+    }
+    tokens
+        .iter()
+        .zip(decls)
+        .map(|(t, d)| {
+            let lit = if *t == "true" {
+                Literal::Bool(true)
+            } else if *t == "false" {
+                Literal::Bool(false)
+            } else if t.contains('.') || t.contains('e') {
+                Literal::Float(t.parse().map_err(|_| format!("bad float `{t}`"))?)
+            } else {
+                Literal::Int(t.parse().map_err(|_| format!("bad integer `{t}`"))?)
+            };
+            ClightOps::const_of_literal(&lit, &d.ty)
+                .map(|c| c.val())
+                .ok_or(format!("value `{t}` does not fit type {}", d.ty))
+        })
+        .collect()
+}
+
+fn main_inner() -> Result<(), String> {
+    let args = parse_args()?;
+    let file = args.file.as_deref().ok_or_else(usage)?;
+    let source = read_file(file)?;
+    let node = args.node.as_deref();
+
+    let render_err = |e: VelusError| -> String {
+        match e {
+            VelusError::Front(d) => d.render(&source),
+            other => other.to_string(),
+        }
+    };
+
+    match args.cmd.as_str() {
+        "check" => {
+            let c = compile(&source, node).map_err(render_err)?;
+            for w in c.warnings.iter() {
+                eprintln!("{}", w.render(&source));
+            }
+            println!(
+                "ok: {} nodes, {} equations, root {}",
+                c.snlustre.nodes.len(),
+                c.snlustre.equation_count(),
+                c.root
+            );
+            Ok(())
+        }
+        "compile" => {
+            let c = compile(&source, node).map_err(render_err)?;
+            for w in c.warnings.iter() {
+                eprintln!("{}", w.render(&source));
+            }
+            let io = if args.stdio { TestIo::Stdio } else { TestIo::Volatile };
+            let code = emit_c(&c, io);
+            match &args.out {
+                Some(path) => std::fs::write(path, code)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?,
+                None => print!("{code}"),
+            }
+            Ok(())
+        }
+        "dump" => {
+            let c = compile(&source, node).map_err(render_err)?;
+            match args.ir.as_str() {
+                "nlustre" => println!("{}", c.nlustre),
+                "snlustre" => println!("{}", c.snlustre),
+                "obc" => println!("{}", c.obc),
+                "obc-fused" => println!("{}", c.obc_fused),
+                other => return Err(format!("unknown IR `{other}`")),
+            }
+            Ok(())
+        }
+        "run" => {
+            let c = compile(&source, node).map_err(render_err)?;
+            let root = c.snlustre.node(c.root).expect("root exists");
+            let inputs_decl = root.inputs.clone();
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| e.to_string())?;
+            let mut streams: StreamSet<ClightOps> = vec![Vec::new(); inputs_decl.len()];
+            let mut count = 0usize;
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let vals = parse_instant(line, &inputs_decl)?;
+                for (k, v) in vals.into_iter().enumerate() {
+                    streams[k].push(SVal::Pres(v));
+                }
+                count += 1;
+            }
+            let outs = velus_nlustre::dataflow::run_node(&c.snlustre, c.root, &streams, count)
+                .map_err(|e| e.to_string())?;
+            for i in 0..count {
+                let row: Vec<String> = outs.iter().map(|s| format!("{}", s[i])).collect();
+                println!("{}", row.join(" "));
+            }
+            Ok(())
+        }
+        "validate" => {
+            let c = compile(&source, node).map_err(render_err)?;
+            let inputs = default_inputs(&c, args.steps);
+            let report = velus::validate_with_report(&c, &inputs, args.steps)
+                .map_err(render_err)?;
+            println!(
+                "validated {} instants: {} MemCorres checks, {} staterep checks, {} trace events",
+                report.instants,
+                report.memcorres_checks,
+                report.staterep_checks,
+                report.trace_events
+            );
+            Ok(())
+        }
+        "wcet" => {
+            let c = compile(&source, node).map_err(render_err)?;
+            let model = match args.model.as_str() {
+                "cc" => velus_wcet::CostModel::CompCert,
+                "gcc" => velus_wcet::CostModel::Gcc,
+                "gcci" => velus_wcet::CostModel::GccInline,
+                other => return Err(format!("unknown model `{other}` (cc|gcc|gcci)")),
+            };
+            let cycles = velus_wcet::wcet_step(&c.clight, c.root, model)
+                .map_err(|e| e.to_string())?;
+            println!("{} step: {cycles} cycles ({})", c.root, args.model);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    // Deeply nested programs make the reference interpreter recurse
+    // deeply; give it room (see `velus_common::with_stack`).
+    match velus_common::with_stack(256, main_inner) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

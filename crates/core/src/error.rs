@@ -1,0 +1,63 @@
+//! The unified error type of the compiler driver.
+
+use std::fmt;
+
+use velus_common::Diagnostics;
+use velus_nlustre::SemError;
+use velus_obc::ObcError;
+
+/// Any failure of the pipeline or of translation validation.
+#[derive(Debug)]
+pub enum VelusError {
+    /// Front-end failures (syntax, typing, clocking) with positions.
+    Front(Diagnostics),
+    /// Dataflow-level failures (scheduling, semantics).
+    Sem(SemError),
+    /// Obc-level failures.
+    Obc(ObcError),
+    /// Clight-level failures.
+    Clight(velus_clight::ClightError),
+    /// A translation-validation mismatch: the stages disagree.
+    Validation(String),
+    /// I/O or usage errors from the CLI.
+    Usage(String),
+}
+
+impl fmt::Display for VelusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VelusError::Front(d) => write!(f, "{d}"),
+            VelusError::Sem(e) => write!(f, "{e}"),
+            VelusError::Obc(e) => write!(f, "{e}"),
+            VelusError::Clight(e) => write!(f, "{e}"),
+            VelusError::Validation(m) => write!(f, "validation failed: {m}"),
+            VelusError::Usage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for VelusError {}
+
+impl From<Diagnostics> for VelusError {
+    fn from(d: Diagnostics) -> VelusError {
+        VelusError::Front(d)
+    }
+}
+
+impl From<SemError> for VelusError {
+    fn from(e: SemError) -> VelusError {
+        VelusError::Sem(e)
+    }
+}
+
+impl From<ObcError> for VelusError {
+    fn from(e: ObcError) -> VelusError {
+        VelusError::Obc(e)
+    }
+}
+
+impl From<velus_clight::ClightError> for VelusError {
+    fn from(e: velus_clight::ClightError) -> VelusError {
+        VelusError::Clight(e)
+    }
+}

@@ -1,0 +1,43 @@
+//! Vélus-rs: a Lustre-to-C compiler reproducing the pipeline of
+//! *A Formally Verified Compiler for Lustre* (PLDI 2017), with executable
+//! semantics at every level and translation validation in place of Coq
+//! proofs.
+//!
+//! ```text
+//! Lustre ─parse/elaborate─▶ N-Lustre ─schedule─▶ SN-Lustre
+//!        ─translate─▶ Obc ─fuse─▶ Obc ─generate─▶ Clight ─print─▶ C
+//! ```
+//!
+//! * [`compile`] runs the whole pipeline and returns every intermediate
+//!   representation ([`Compiled`]).
+//! * [`validate`] checks the paper's end-to-end correctness statement on
+//!   a finite input prefix: the dataflow semantics, the exposed-memory
+//!   semantics, the Obc big-step execution (fused and unfused, with
+//!   `MemCorres` asserted at every instant), and the Clight execution
+//!   (with `staterep` separation assertions checked at every step
+//!   boundary and the volatile-event trace compared against
+//!   `⟨VLoad(xs(n)) · VStore(ys(n))⟩`) must all agree.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = "
+//!     node counter(ini, inc: int; res: bool) returns (n: int)
+//!     let
+//!       n = if (true fby false) or res then ini else (0 fby n) + inc;
+//!     tel
+//! ";
+//! let compiled = velus::compile(src, None)?;
+//! let c_code = velus::emit_c(&compiled, velus::TestIo::Volatile);
+//! assert!(c_code.contains("counter__step"));
+//! # Ok::<(), velus::VelusError>(())
+//! ```
+
+mod error;
+pub mod pipeline;
+pub mod validate;
+
+pub use error::VelusError;
+pub use pipeline::{compile, compile_program, emit_c, Compiled};
+pub use validate::{validate, validate_with_report, ValidationReport};
+pub use velus_clight::printer::TestIo;

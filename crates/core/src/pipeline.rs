@@ -1,0 +1,211 @@
+//! The compiler driver: composition of all passes, with the paper's
+//! checked invariants re-validated between stages.
+
+use velus_clight::printer::TestIo;
+use velus_common::{Diagnostics, Ident};
+use velus_nlustre::ast::Program;
+use velus_nlustre::{clockcheck, typecheck};
+use velus_obc::ast::ObcProgram;
+use velus_obc::fusion::{fuse_program, fusible};
+use velus_ops::ClightOps;
+
+use crate::VelusError;
+
+/// The result of a full compilation: every intermediate representation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Elaborated, normalized, *unscheduled* N-Lustre.
+    pub nlustre: Program<ClightOps>,
+    /// Scheduled SN-Lustre (the input of the translation proper).
+    pub snlustre: Program<ClightOps>,
+    /// Translated Obc, before fusion.
+    pub obc: ObcProgram<ClightOps>,
+    /// Obc after the fusion optimization.
+    pub obc_fused: ObcProgram<ClightOps>,
+    /// Generated Clight (with the simulation `main` for `root`).
+    pub clight: velus_clight::ast::Program,
+    /// The root node the program is compiled for.
+    pub root: Ident,
+    /// Front-end warnings (e.g. the initialization lint).
+    pub warnings: Diagnostics,
+}
+
+/// Picks the default root node: a node never instantiated by another
+/// (the program's sink); ties broken towards the last one declared.
+fn default_root(prog: &Program<ClightOps>) -> Option<Ident> {
+    let mut called: Vec<Ident> = Vec::new();
+    for node in &prog.nodes {
+        for eq in &node.eqs {
+            if let velus_nlustre::ast::Equation::Call { node: f, .. } = eq {
+                called.push(*f);
+            }
+        }
+    }
+    prog.nodes
+        .iter()
+        .rev()
+        .map(|n| n.name)
+        .find(|n| !called.contains(n))
+        .or_else(|| prog.nodes.last().map(|n| n.name))
+}
+
+/// Compiles Lustre source text down to Clight.
+///
+/// `root` selects the node to build the simulation entry point for; by
+/// default the last node that no other node instantiates.
+///
+/// # Errors
+///
+/// Any front-end diagnostic, scheduling failure, or internal invariant
+/// violation (each stage's output is re-checked).
+pub fn compile(source: &str, root: Option<&str>) -> Result<Compiled, VelusError> {
+    let (nlustre, warnings) = velus_lustre::compile_to_nlustre::<ClightOps>(source)?;
+    let root = match root {
+        Some(r) => Ident::new(r),
+        None => default_root(&nlustre)
+            .ok_or_else(|| VelusError::Usage("program has no nodes".to_owned()))?,
+    };
+    compile_program(nlustre, root, warnings)
+}
+
+/// Compiles an already-elaborated N-Lustre program (used by the
+/// benchmarks and by generated workloads that skip the parser).
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_program(
+    nlustre: Program<ClightOps>,
+    root: Ident,
+    warnings: Diagnostics,
+) -> Result<Compiled, VelusError> {
+    if nlustre.node(root).is_none() {
+        return Err(VelusError::Usage(format!("no node named {root}")));
+    }
+
+    // The elaborator's postconditions, re-checked (the paper proves them).
+    typecheck::check_program(&nlustre)?;
+    clockcheck::check_program_clocks(&nlustre)?;
+
+    // Scheduling: untrusted heuristic + validated checker.
+    let mut snlustre = nlustre.clone();
+    velus_nlustre::schedule::schedule_program(&mut snlustre)?;
+    for node in &snlustre.nodes {
+        velus_nlustre::deps::check_schedule(node)?;
+    }
+    typecheck::check_program(&snlustre)?;
+    clockcheck::check_program_clocks(&snlustre)?;
+
+    // Translation to Obc; the result is well typed and Fusible.
+    let obc = velus_obc::translate::translate_program(&snlustre)?;
+    velus_obc::typecheck::check_program(&obc)?;
+    for class in &obc.classes {
+        for m in &class.methods {
+            if !fusible(&m.body) {
+                return Err(VelusError::Validation(format!(
+                    "translated method {}.{} is not Fusible",
+                    class.name, m.name
+                )));
+            }
+        }
+    }
+
+    // Fusion preserves typing and Fusible.
+    let obc_fused = fuse_program(&obc);
+    velus_obc::typecheck::check_program(&obc_fused)?;
+    for class in &obc_fused.classes {
+        for m in &class.methods {
+            if !fusible(&m.body) {
+                return Err(VelusError::Validation(format!(
+                    "fused method {}.{} lost Fusible",
+                    class.name, m.name
+                )));
+            }
+        }
+    }
+
+    // Generation to Clight.
+    let clight = velus_clight::generate::generate(&obc_fused, root)?;
+
+    Ok(Compiled {
+        nlustre,
+        snlustre,
+        obc,
+        obc_fused,
+        clight,
+        root,
+        warnings,
+    })
+}
+
+/// Prints the generated Clight as a compilable C translation unit.
+pub fn emit_c(compiled: &Compiled, io: TestIo) -> String {
+    velus_clight::printer::print_program(&compiled.clight, io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = "
+        node counter(ini, inc: int; res: bool) returns (n: int)
+        let
+          n = if (true fby false) or res then ini else (0 fby n) + inc;
+        tel
+    ";
+
+    #[test]
+    fn full_pipeline_runs() {
+        let c = compile(COUNTER, None).unwrap();
+        assert_eq!(c.root, Ident::new("counter"));
+        assert!(!c.clight.functions.is_empty());
+        let code = emit_c(&c, TestIo::Volatile);
+        assert!(code.contains("struct counter"), "{code}");
+    }
+
+    #[test]
+    fn fusion_reduces_code_size() {
+        // Multiple equations on the same sub-clock fuse into one guard.
+        let src = "
+            node f(k: bool; x: int) returns (o: int)
+            var a, b: int when k;
+            let
+              a = (x + 1) when k;
+              b = a * 2;
+              o = merge k b ((0 fby o) when not k);
+            tel
+        ";
+        let c = compile(src, None).unwrap();
+        let size = |p: &ObcProgram<ClightOps>| {
+            p.classes[0]
+                .method(velus_obc::ast::step_name())
+                .unwrap()
+                .body
+                .size()
+        };
+        assert!(size(&c.obc_fused) < size(&c.obc), "{}", c.obc_fused);
+    }
+
+    #[test]
+    fn default_root_is_the_uncalled_sink() {
+        let src = format!(
+            "{COUNTER}
+            node top(g: int) returns (p: int)
+            let p = counter(0, g, false); tel"
+        );
+        let c = compile(&src, None).unwrap();
+        assert_eq!(c.root, Ident::new("top"));
+    }
+
+    #[test]
+    fn explicit_root_overrides() {
+        let src = format!(
+            "{COUNTER}
+            node top(g: int) returns (p: int)
+            let p = counter(0, g, false); tel"
+        );
+        let c = compile(&src, Some("counter")).unwrap();
+        assert_eq!(c.root, Ident::new("counter"));
+        assert!(compile(&src, Some("missing")).is_err());
+    }
+}

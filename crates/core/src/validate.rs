@@ -1,0 +1,428 @@
+//! Translation validation: the paper's end-to-end theorem as a runtime
+//! check over a finite input prefix.
+//!
+//! The PLDI'17 theorem states that for a node `f` with dataflow semantics
+//! `G ⊢node f(xs, ys)`, the generated assembly produces an infinite trace
+//! bisimilar to `⟨VLoad(xs(n)) · VStore(ys(n))⟩`. Without a proof
+//! assistant we *check* the chain on executions:
+//!
+//! 1. the dataflow semantics of the unscheduled and the scheduled program
+//!    agree (scheduling preserves semantics);
+//! 2. the exposed-memory semantics (§3.2) produces the same outputs, and
+//!    materializes the memory tree `M`;
+//! 3. the translated Obc — unfused and fused — produces the same outputs
+//!    under `reset(); step()*`, with `MemCorres_n(M, mem)` (Fig. 7)
+//!    asserted before every step (Lemma 1's invariant);
+//! 4. the generated Clight produces the same outputs when driven step by
+//!    step, with the `staterep` separation assertion (Fig. 11) checked
+//!    between the Obc memory and the Clight block memory at every
+//!    boundary (the `match_states` invariant);
+//! 5. a fresh Clight machine running the generated `main` produces
+//!    exactly the volatile trace `⟨VLoad · VStore⟩` of the dataflow
+//!    streams.
+//!
+//! Any disagreement is reported as [`VelusError::Validation`] naming the
+//! stage and instant.
+
+use velus_clight::generate::{main_fn_name, method_fn_name, vol_in_name};
+use velus_clight::interp::{Event, Machine, RVal};
+use velus_clight::sep::staterep;
+use velus_common::Ident;
+use velus_nlustre::memory::Memory;
+use velus_nlustre::msem::MSem;
+use velus_nlustre::streams::{StreamSet, SVal};
+use velus_obc::ast::{reset_name, step_name};
+use velus_obc::memcorres::check_memcorres;
+use velus_obc::sem::call_method;
+use velus_ops::{ClightOps, CVal, Ops};
+
+use crate::pipeline::Compiled;
+use crate::VelusError;
+
+/// Statistics from a successful validation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Number of instants checked.
+    pub instants: usize,
+    /// Number of `MemCorres` assertions checked.
+    pub memcorres_checks: usize,
+    /// Number of `staterep` separation assertions checked.
+    pub staterep_checks: usize,
+    /// Number of volatile events compared.
+    pub trace_events: usize,
+}
+
+fn mismatch<T>(stage: &str, instant: usize, detail: String) -> Result<T, VelusError> {
+    Err(VelusError::Validation(format!(
+        "{stage} disagrees at instant {instant}: {detail}"
+    )))
+}
+
+/// Extracts the (present) values of instant `i` from a stream set.
+fn values_at(
+    inputs: &StreamSet<ClightOps>,
+    i: usize,
+) -> Result<Vec<CVal>, VelusError> {
+    inputs
+        .iter()
+        .map(|s| match s.get(i) {
+            Some(SVal::Pres(v)) => Ok(v.clone()),
+            Some(SVal::Abs) => Err(VelusError::Validation(format!(
+                "validation requires all-present inputs (absent at instant {i})"
+            ))),
+            None => Err(VelusError::Validation(format!(
+                "input stream shorter than {i} instants"
+            ))),
+        })
+        .collect()
+}
+
+/// Validates the full compilation chain on `n` instants of `inputs` and
+/// returns the checked statistics.
+///
+/// # Errors
+///
+/// The first stage disagreement, semantic failure (e.g. the source
+/// program applies an operator outside its domain — then the theorem is
+/// vacuous and validation cannot proceed), or assertion violation.
+pub fn validate_with_report(
+    c: &Compiled,
+    inputs: &StreamSet<ClightOps>,
+    n: usize,
+) -> Result<ValidationReport, VelusError> {
+    let root = c.root;
+    let node = c
+        .snlustre
+        .node(root)
+        .ok_or_else(|| VelusError::Usage(format!("no node named {root}")))?;
+
+    // 1. Dataflow semantics, unscheduled and scheduled.
+    let df = velus_nlustre::dataflow::run_node(&c.nlustre, root, inputs, n)?;
+    let df_sched = velus_nlustre::dataflow::run_node(&c.snlustre, root, inputs, n)?;
+    if df != df_sched {
+        return mismatch("scheduling", 0, "dataflow semantics changed".to_owned());
+    }
+
+    // 2. Exposed-memory semantics.
+    let mut msem = MSem::new(&c.snlustre, root)?.recording();
+    let ms_out = msem.run(inputs, n)?;
+    if ms_out != df {
+        return mismatch(
+            "memory semantics",
+            0,
+            "outputs differ from the dataflow semantics".to_owned(),
+        );
+    }
+    let mtrace = msem.trace();
+
+    // 3. Obc, unfused and fused, with MemCorres at every boundary.
+    let mut memcorres_checks = 0usize;
+    let mut obc_mem_boundaries: Vec<Memory<CVal>> = Vec::with_capacity(n + 1);
+    for (label, obc) in [("obc", &c.obc), ("obc (fused)", &c.obc_fused)] {
+        let record = label == "obc (fused)";
+        let mut mem = Memory::new();
+        call_method(obc, root, &mut mem, reset_name(), &[])?;
+        for i in 0..n {
+            check_memcorres(&c.snlustre, node, mtrace, i, &mem)?;
+            memcorres_checks += 1;
+            if record {
+                obc_mem_boundaries.push(mem.clone());
+            }
+            let vals = values_at(inputs, i)?;
+            let outs = call_method(obc, root, &mut mem, step_name(), &vals)?;
+            for (k, v) in outs.iter().enumerate() {
+                match &df[k][i] {
+                    SVal::Pres(expected) if expected == v => {}
+                    other => {
+                        return mismatch(
+                            label,
+                            i,
+                            format!("output {k} is {v}, dataflow has {other:?}"),
+                        )
+                    }
+                }
+            }
+        }
+        if record {
+            obc_mem_boundaries.push(mem.clone());
+        }
+    }
+
+    // 4. Clight, driven step by step, with staterep at every boundary.
+    let mut staterep_checks = 0usize;
+    {
+        let mut machine = Machine::new(&c.clight)?;
+        let selfb = machine.alloc_struct(root)?;
+        machine.call(method_fn_name(root, reset_name()), &[RVal::Ptr(selfb, 0)])?;
+        let step_m = c
+            .obc_fused
+            .class(root)
+            .and_then(|k| k.method(step_name()))
+            .ok_or_else(|| VelusError::Validation("missing step method".to_owned()))?
+            .clone();
+        let multi = step_m.outputs.len() >= 2;
+        let out_struct = velus_clight::generate::out_struct_name(root, step_name());
+        let outb = if multi {
+            Some(machine.alloc_struct(out_struct)?)
+        } else {
+            None
+        };
+        for i in 0..n {
+            let assertion = staterep(
+                &machine.layouts,
+                &c.obc_fused,
+                root,
+                &obc_mem_boundaries[i],
+                selfb,
+                0,
+            )?;
+            assertion.check(&machine.mem)?;
+            staterep_checks += 1;
+
+            let vals = values_at(inputs, i)?;
+            let mut args = vec![RVal::Ptr(selfb, 0)];
+            if let Some(b) = outb {
+                args.push(RVal::Ptr(b, 0));
+            }
+            args.extend(vals.into_iter().map(RVal::Scalar));
+            let ret = machine.call(method_fn_name(root, step_name()), &args)?;
+
+            // Collect the outputs.
+            let outs: Vec<CVal> = if multi {
+                let b = outb.expect("allocated above");
+                step_m
+                    .outputs
+                    .iter()
+                    .map(|(o, oty)| {
+                        let off = machine.layouts.field_offset(out_struct, *o)?;
+                        machine.mem.load(*oty, b, off)
+                    })
+                    .collect::<Result<_, _>>()?
+            } else {
+                match ret {
+                    Some(RVal::Scalar(v)) => vec![v],
+                    None => vec![],
+                    Some(RVal::Ptr(..)) => {
+                        return mismatch("clight", i, "step returned a pointer".to_owned())
+                    }
+                }
+            };
+            for (k, v) in outs.iter().enumerate() {
+                match &df[k][i] {
+                    SVal::Pres(expected) if expected == v => {}
+                    other => {
+                        return mismatch(
+                            "clight",
+                            i,
+                            format!("output {k} is {v}, dataflow has {other:?}"),
+                        )
+                    }
+                }
+            }
+        }
+        // Final boundary.
+        let assertion = staterep(
+            &machine.layouts,
+            &c.obc_fused,
+            root,
+            &obc_mem_boundaries[n],
+            selfb,
+            0,
+        )?;
+        assertion.check(&machine.mem)?;
+        staterep_checks += 1;
+    }
+
+    // 5. The generated main's volatile trace.
+    let trace_events;
+    {
+        let mut machine = Machine::new(&c.clight)?;
+        let decls: Vec<(Ident, _)> = node.inputs.iter().map(|d| (d.name, d.ty.clone())).collect();
+        if decls.is_empty() {
+            machine.push_inputs(
+                vol_in_name(Ident::new("tick")),
+                (0..n).map(|_| CVal::bool(true)),
+            );
+        }
+        for (k, (name, _)) in decls.iter().enumerate() {
+            let vals: Vec<CVal> = (0..n)
+                .map(|i| values_at(inputs, i).map(|v| v[k]))
+                .collect::<Result<_, _>>()?;
+            machine.push_inputs(vol_in_name(*name), vals);
+        }
+        machine.run_main(main_fn_name())?;
+
+        // Build the expected trace.
+        let mut expected: Vec<Event> = Vec::new();
+        for i in 0..n {
+            if decls.is_empty() {
+                expected.push(Event::Load(vol_in_name(Ident::new("tick")), CVal::bool(true)));
+            }
+            let vals = values_at(inputs, i)?;
+            for ((name, _), v) in decls.iter().zip(&vals) {
+                expected.push(Event::Load(vol_in_name(*name), *v));
+            }
+            for (k, d) in node.outputs.iter().enumerate() {
+                match &df[k][i] {
+                    SVal::Pres(v) => expected.push(Event::Store(
+                        velus_clight::generate::vol_out_name(d.name),
+                        *v,
+                    )),
+                    SVal::Abs => {
+                        return mismatch("trace", i, "absent output at root".to_owned())
+                    }
+                }
+            }
+        }
+        if machine.trace != expected {
+            let got = velus_clight::interp::render_trace(&machine.trace);
+            let want = velus_clight::interp::render_trace(&expected);
+            return mismatch(
+                "volatile trace",
+                0,
+                format!("trace differs.\nexpected:\n{want}\n\ngot:\n{got}"),
+            );
+        }
+        trace_events = expected.len();
+    }
+
+    Ok(ValidationReport {
+        instants: n,
+        memcorres_checks,
+        staterep_checks,
+        trace_events,
+    })
+}
+
+/// Validates and discards the report.
+///
+/// # Errors
+///
+/// See [`validate_with_report`].
+pub fn validate(
+    c: &Compiled,
+    inputs: &StreamSet<ClightOps>,
+    n: usize,
+) -> Result<(), VelusError> {
+    validate_with_report(c, inputs, n).map(|_| ())
+}
+
+/// Builds simple deterministic all-present input streams for a compiled
+/// program's root node: ramps for numeric inputs, alternating booleans.
+/// Useful for quick CLI validation; the test suite uses the random
+/// generators of `velus-testkit` instead.
+pub fn default_inputs(c: &Compiled, n: usize) -> StreamSet<ClightOps> {
+    let node = c.snlustre.node(c.root).expect("root exists");
+    node.inputs
+        .iter()
+        .enumerate()
+        .map(|(k, d)| {
+            (0..n)
+                .map(|i| {
+                    let v = match d.ty {
+                        velus_ops::CTy::Bool => CVal::bool((i + k) % 3 == 0),
+                        velus_ops::CTy::F32 => CVal::single((i as f32) / 4.0 + k as f32),
+                        velus_ops::CTy::F64 => CVal::float((i as f64) / 4.0 + k as f64),
+                        velus_ops::CTy::I64 | velus_ops::CTy::U64 => {
+                            CVal::long((i as i64) + (k as i64) * 10)
+                        }
+                        _ => {
+                            let raw = (i as i64 + k as i64 * 7) % 100;
+                            match ClightOps::const_of_literal(
+                                &velus_ops::Literal::Int(raw as i128),
+                                &d.ty,
+                            ) {
+                                Some(c) => c.val(),
+                                None => CVal::int(0),
+                            }
+                        }
+                    };
+                    SVal::Pres(v)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compile;
+
+    const COUNTER: &str = "
+        node counter(ini, inc: int; res: bool) returns (n: int)
+        let
+          n = if (true fby false) or res then ini else (0 fby n) + inc;
+        tel
+    ";
+
+    #[test]
+    fn counter_validates_end_to_end() {
+        let c = compile(COUNTER, None).unwrap();
+        let inputs = default_inputs(&c, 20);
+        let report = validate_with_report(&c, &inputs, 20).unwrap();
+        assert_eq!(report.instants, 20);
+        assert!(report.memcorres_checks >= 40);
+        assert!(report.staterep_checks >= 21);
+        // 3 loads + 1 store per instant.
+        assert_eq!(report.trace_events, 80);
+    }
+
+    #[test]
+    fn multi_output_nodes_validate() {
+        let src = format!(
+            "{COUNTER}
+            node d_integrator(gamma: int) returns (speed, position: int)
+            let
+              speed = counter(0, gamma, false);
+              position = counter(0, speed, false);
+            tel"
+        );
+        let c = compile(&src, None).unwrap();
+        let inputs = default_inputs(&c, 16);
+        validate(&c, &inputs, 16).unwrap();
+    }
+
+    #[test]
+    fn sampled_programs_validate() {
+        let src = "
+            node sub(i: int) returns (o: int)
+            let o = (0 fby o) + i; tel
+            node top(k: bool; x: int) returns (y: int)
+            var s: int when k;
+            let
+              s = sub(x when k);
+              y = merge k s ((0 fby y) when not k);
+            tel
+        ";
+        let c = compile(src, None).unwrap();
+        let inputs = default_inputs(&c, 24);
+        validate(&c, &inputs, 24).unwrap();
+    }
+
+    #[test]
+    fn inputless_nodes_validate_via_tick() {
+        let src = "
+            node blink() returns (b: bool)
+            let b = true fby (not b); tel
+        ";
+        let c = compile(src, None).unwrap();
+        validate(&c, &vec![], 8).unwrap();
+    }
+
+    #[test]
+    fn undefined_operations_are_reported_not_miscompiled() {
+        let src = "
+            node divider(x: int) returns (y: int)
+            let y = 100 / x; tel
+        ";
+        let c = compile(src, None).unwrap();
+        // x ramps from 0: division by zero at instant 0.
+        let inputs = default_inputs(&c, 4);
+        let err = validate(&c, &inputs, 4).unwrap_err();
+        match err {
+            VelusError::Sem(velus_nlustre::SemError::UndefinedOperation(_)) => {}
+            other => panic!("expected an undefined-operation error, got {other}"),
+        }
+    }
+}

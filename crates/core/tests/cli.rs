@@ -1,0 +1,120 @@
+//! Black-box tests of the `velus` command-line interface.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn velus_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_velus")
+}
+
+fn tracker_path() -> String {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root")
+        .join("benchmarks/tracker.lus")
+        .display()
+        .to_string()
+}
+
+#[test]
+fn check_reports_program_statistics() {
+    let out = Command::new(velus_bin())
+        .args(["check", &tracker_path()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("root tracker"), "{stdout}");
+}
+
+#[test]
+fn compile_emits_c_to_stdout() {
+    let out = Command::new(velus_bin())
+        .args(["compile", &tracker_path(), "--node", "tracker"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("struct tracker {"), "{stdout}");
+    assert!(stdout.contains("int main(void)"), "{stdout}");
+}
+
+#[test]
+fn run_interprets_stdin_instants() {
+    let mut child = Command::new(velus_bin())
+        .args(["run", &tracker_path(), "--node", "tracker"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The §2.2 inputs: acc and limit.
+    let input = "0 5\n2 5\n4 5\n-2 5\n0 5\n3 5\n-3 5\n2 5\n";
+    child.stdin.as_mut().unwrap().write_all(input.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 8);
+    // p and t at the last instant: 33 and 3.
+    assert_eq!(lines[7], "33 3");
+}
+
+#[test]
+fn validate_reports_checks() {
+    let out = Command::new(velus_bin())
+        .args(["validate", &tracker_path(), "--steps", "12"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("validated 12 instants"), "{stdout}");
+}
+
+#[test]
+fn wcet_prints_cycles_for_all_models() {
+    for model in ["cc", "gcc", "gcci"] {
+        let out = Command::new(velus_bin())
+            .args(["wcet", &tracker_path(), "--model", model])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("cycles"), "{stdout}");
+    }
+}
+
+#[test]
+fn dump_prints_intermediate_representations() {
+    for (ir, marker) in [
+        ("nlustre", "node tracker"),
+        ("snlustre", "node tracker"),
+        ("obc", "class tracker"),
+        ("obc-fused", "class tracker"),
+    ] {
+        let out = Command::new(velus_bin())
+            .args(["dump", &tracker_path(), "--ir", ir])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(marker), "--ir {ir}: {stdout}");
+    }
+}
+
+#[test]
+fn syntax_errors_exit_nonzero_with_position() {
+    let dir = std::env::temp_dir().join("velus-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.lus");
+    std::fs::write(&bad, "node f() returns (y: int) let y = ; tel").unwrap();
+    let out = Command::new(velus_bin())
+        .args(["check", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "{stderr}");
+    assert!(stderr.contains("1:"), "position missing: {stderr}");
+}

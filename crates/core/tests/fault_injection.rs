@@ -1,0 +1,165 @@
+//! Fault injection: the translation-validation harness is only worth its
+//! name if it *fails* on miscompiled programs. These tests corrupt one
+//! stage at a time and assert that validation pinpoints the disagreement.
+
+use velus::validate::default_inputs;
+use velus_common::Ident;
+use velus_obc::ast::{ObcExpr, Stmt};
+use velus_ops::{CConst, ClightOps};
+
+const SRC: &str = "
+    node counter(ini, inc: int; res: bool) returns (n: int)
+    let
+      n = if (true fby false) or res then ini else (0 fby n) + inc;
+    tel
+";
+
+fn compiled() -> velus::Compiled {
+    velus::compile(SRC, None).unwrap()
+}
+
+/// Rewrites every integer constant `0` to `1` in a statement — a typical
+/// "wrong initial value" miscompilation.
+fn corrupt_stmt(s: &mut Stmt<ClightOps>) {
+    match s {
+        Stmt::Assign(_, e) | Stmt::AssignSt(_, e) => corrupt_expr(e),
+        Stmt::If(c, t, f) => {
+            corrupt_expr(c);
+            corrupt_stmt(t);
+            corrupt_stmt(f);
+        }
+        Stmt::Seq(a, b) => {
+            corrupt_stmt(a);
+            corrupt_stmt(b);
+        }
+        Stmt::Call { args, .. } => args.iter_mut().for_each(corrupt_expr),
+        Stmt::Skip => {}
+    }
+}
+
+fn corrupt_expr(e: &mut ObcExpr<ClightOps>) {
+    match e {
+        ObcExpr::Const(c) if *c == CConst::int(0) => *e = ObcExpr::Const(CConst::int(1)),
+        ObcExpr::Unop(_, e1, _) => corrupt_expr(e1),
+        ObcExpr::Binop(_, e1, e2, _) => {
+            corrupt_expr(e1);
+            corrupt_expr(e2);
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn clean_compilation_validates() {
+    let c = compiled();
+    let inputs = default_inputs(&c, 12);
+    velus::validate(&c, &inputs, 12).unwrap();
+}
+
+#[test]
+fn corrupted_reset_is_caught_by_memcorres() {
+    let mut c = compiled();
+    // Break the reset method of the fused Obc: wrong initial state.
+    let class = &mut c.obc_fused.classes[0];
+    let reset = class
+        .methods
+        .iter_mut()
+        .find(|m| m.name == velus_obc::ast::reset_name())
+        .unwrap();
+    corrupt_stmt(&mut reset.body);
+    let inputs = default_inputs(&c, 8);
+    let err = velus::validate(&c, &inputs, 8).unwrap_err();
+    // Either the MemCorres check or the output comparison trips.
+    let msg = err.to_string();
+    assert!(
+        msg.contains("memory correspondence") || msg.contains("disagrees"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn corrupted_step_output_is_caught() {
+    let mut c = compiled();
+    let class = &mut c.obc_fused.classes[0];
+    let step = class
+        .methods
+        .iter_mut()
+        .find(|m| m.name == velus_obc::ast::step_name())
+        .unwrap();
+    // Append a final overwrite of the output: n := n + 1.
+    let n = Ident::new("n");
+    let bump = Stmt::Assign(
+        n,
+        ObcExpr::Binop(
+            velus_ops::CBinOp::Add,
+            Box::new(ObcExpr::Var(n, velus_ops::CTy::I32)),
+            Box::new(ObcExpr::Const(CConst::int(1))),
+            velus_ops::CTy::I32,
+        ),
+    );
+    step.body = Stmt::seq(step.body.clone(), bump);
+    let inputs = default_inputs(&c, 8);
+    let err = velus::validate(&c, &inputs, 8).unwrap_err();
+    assert!(err.to_string().contains("disagrees"), "{err}");
+}
+
+#[test]
+fn corrupted_clight_constant_is_caught() {
+    let mut c = compiled();
+    // Corrupt the generated Clight reset: flip the stored constants.
+    let reset_name = velus_clight::generate::method_fn_name(
+        c.root,
+        velus_obc::ast::reset_name(),
+    );
+    let f = c
+        .clight
+        .functions
+        .iter_mut()
+        .find(|f| f.name == reset_name)
+        .unwrap();
+    fn corrupt_clight(s: &mut velus_clight::ast::Stmt) {
+        use velus_clight::ast::{Expr, Stmt};
+        match s {
+            Stmt::Assign(_, e) => {
+                if let Expr::Const(v, ty) = e {
+                    if *v == velus_ops::CVal::int(0) && *ty == velus_ops::CTy::I32 {
+                        *e = Expr::Const(velus_ops::CVal::int(7), *ty);
+                    }
+                }
+            }
+            Stmt::Seq(a, b) => {
+                corrupt_clight(a);
+                corrupt_clight(b);
+            }
+            Stmt::If(_, t, f) => {
+                corrupt_clight(t);
+                corrupt_clight(f);
+            }
+            _ => {}
+        }
+    }
+    corrupt_clight(&mut f.body);
+    let inputs = default_inputs(&c, 8);
+    let err = velus::validate(&c, &inputs, 8).unwrap_err();
+    let msg = err.to_string();
+    // The staterep separation assertion relates the Clight memory to the
+    // (correct) Obc memory and trips first.
+    assert!(
+        msg.contains("separation assertion") || msg.contains("disagrees"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn corrupting_the_unfused_obc_is_also_caught() {
+    let mut c = compiled();
+    let class = &mut c.obc.classes[0];
+    let reset = class
+        .methods
+        .iter_mut()
+        .find(|m| m.name == velus_obc::ast::reset_name())
+        .unwrap();
+    corrupt_stmt(&mut reset.body);
+    let inputs = default_inputs(&c, 8);
+    assert!(velus::validate(&c, &inputs, 8).is_err());
+}

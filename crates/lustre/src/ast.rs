@@ -1,0 +1,126 @@
+//! The surface (unannotated) abstract syntax, as produced by the parser.
+//!
+//! This is the full Lustre expression language: operators nest freely,
+//! `fby`, `->` and `pre` appear anywhere, node calls return tuples.
+//! Elaboration types it; normalization flattens it into N-Lustre.
+
+use velus_common::{Ident, Span};
+use velus_ops::{Literal, SurfaceBinOp, SurfaceUnOp};
+
+/// A surface expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UExpr {
+    /// A literal.
+    Lit(Literal, Span),
+    /// A variable (or global constant) reference.
+    Var(Ident, Span),
+    /// Unary operator application.
+    Unop(SurfaceUnOp, Box<UExpr>, Span),
+    /// Binary operator application.
+    Binop(SurfaceBinOp, Box<UExpr>, Box<UExpr>, Span),
+    /// Sampling `e when x` (`true`) or `e when not x` / `e whenot x`.
+    When(Box<UExpr>, Ident, bool, Span),
+    /// `merge x e1 e2`.
+    Merge(Ident, Box<UExpr>, Box<UExpr>, Span),
+    /// `if e then e else e` (a multiplexer).
+    If(Box<UExpr>, Box<UExpr>, Box<UExpr>, Span),
+    /// `e1 fby e2` — initialized delay; `e1` must be a constant.
+    Fby(Box<UExpr>, Box<UExpr>, Span),
+    /// `e1 -> e2` — initialization.
+    Arrow(Box<UExpr>, Box<UExpr>, Span),
+    /// `pre e` — uninitialized delay.
+    Pre(Box<UExpr>, Span),
+    /// `f(e, …)` — node instantiation or type cast (`int(e)`).
+    Call(Ident, Vec<UExpr>, Span),
+}
+
+impl UExpr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            UExpr::Lit(_, s)
+            | UExpr::Var(_, s)
+            | UExpr::Unop(_, _, s)
+            | UExpr::Binop(_, _, _, s)
+            | UExpr::When(_, _, _, s)
+            | UExpr::Merge(_, _, _, s)
+            | UExpr::If(_, _, _, s)
+            | UExpr::Fby(_, _, s)
+            | UExpr::Arrow(_, _, s)
+            | UExpr::Pre(_, s)
+            | UExpr::Call(_, _, s) => *s,
+        }
+    }
+}
+
+/// A clock annotation in a declaration: `base`, or `ck on (not) x`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UClock {
+    /// The node's base clock.
+    Base,
+    /// Sampled: `when x` (`true`) or `when not x` (`false`).
+    On(Box<UClock>, Ident, bool),
+}
+
+/// A variable declaration `x : ty [when …]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UDecl {
+    /// Variable name.
+    pub name: Ident,
+    /// Type name (resolved through the operator interface).
+    pub ty_name: Ident,
+    /// Clock annotation.
+    pub clock: UClock,
+    /// Source position.
+    pub span: Span,
+}
+
+/// An equation `x, y, … = e;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UEquation {
+    /// The defined variables (a tuple pattern for multi-output calls).
+    pub lhs: Vec<Ident>,
+    /// The right-hand side.
+    pub rhs: UExpr,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A node declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UNode {
+    /// Node name.
+    pub name: Ident,
+    /// Inputs.
+    pub inputs: Vec<UDecl>,
+    /// Outputs.
+    pub outputs: Vec<UDecl>,
+    /// Locals (the `var` section).
+    pub locals: Vec<UDecl>,
+    /// The equations, in source order.
+    pub eqs: Vec<UEquation>,
+    /// Source position of the header.
+    pub span: Span,
+}
+
+/// A global constant declaration `const x : ty = lit;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UConst {
+    /// Constant name.
+    pub name: Ident,
+    /// Type name.
+    pub ty_name: Ident,
+    /// Value (a literal, possibly negated).
+    pub value: UExpr,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UProgram {
+    /// Global constants, in source order.
+    pub consts: Vec<UConst>,
+    /// Nodes, in source order.
+    pub nodes: Vec<UNode>,
+}

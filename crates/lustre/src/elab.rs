@@ -1,0 +1,829 @@
+//! Elaboration: typing and clocking of the surface syntax (§2.1).
+//!
+//! Elaboration rejects programs that are not well typed or well clocked
+//! and produces an *annotated* AST ([`TExpr`]) in which every variable and
+//! operator application carries its machine type, literals have been
+//! resolved to constants of the operator interface, `pre` has been
+//! desugared to `fby` of the type's default value (with an initialization
+//! lint), and casts have been resolved.
+//!
+//! Bidirectional typing: literals are type-polymorphic ([`PTy::IntLit`],
+//! [`PTy::FloatLit`]) and take their type from context (`0 fby n` gives
+//! `0` the type of `n`); unconstrained integer literals default to `int`,
+//! float literals to `real`. Clocks are checked against declarations;
+//! constants are clock-polymorphic.
+//!
+//! Nodes may be declared in any order; elaboration topologically orders
+//! them (callees first) and rejects recursion — the paper's "nodes are not
+//! applied circularly".
+
+use std::collections::HashMap;
+
+use velus_common::{Diagnostic, Diagnostics, Ident, Span};
+use velus_nlustre::clock::Clock;
+use velus_ops::{Literal, Ops, SurfaceBinOp, SurfaceUnOp};
+
+use crate::ast::{UClock, UDecl, UExpr, UNode, UProgram};
+
+/// A typed expression (surface constructs preserved, annotations added).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExpr<O: Ops> {
+    /// A constant (literal or global constant, resolved).
+    Const(O::Const),
+    /// A variable with its type.
+    Var(Ident, O::Ty),
+    /// Unary operator (including casts), annotated with the result type.
+    Unop(O::UnOp, Box<TExpr<O>>, O::Ty),
+    /// Binary operator, annotated with the result type.
+    Binop(O::BinOp, Box<TExpr<O>>, Box<TExpr<O>>, O::Ty),
+    /// Sampling.
+    When(Box<TExpr<O>>, Ident, bool),
+    /// Merge of complementary streams.
+    Merge(Ident, Box<TExpr<O>>, Box<TExpr<O>>),
+    /// Multiplexer.
+    If(Box<TExpr<O>>, Box<TExpr<O>>, Box<TExpr<O>>),
+    /// Initialized delay (the `pre` form has already been desugared).
+    Fby(O::Const, Box<TExpr<O>>),
+    /// Initialization `e1 -> e2`.
+    Arrow(Box<TExpr<O>>, Box<TExpr<O>>),
+    /// Node instantiation with the callee's output signature.
+    Call(Ident, Vec<TExpr<O>>, Vec<(Ident, O::Ty)>),
+}
+
+impl<O: Ops> TExpr<O> {
+    /// The type of the expression (first output for calls).
+    pub fn ty(&self) -> O::Ty {
+        match self {
+            TExpr::Const(c) => O::type_of_const(c),
+            TExpr::Var(_, ty) | TExpr::Unop(_, _, ty) | TExpr::Binop(_, _, _, ty) => ty.clone(),
+            TExpr::When(e, _, _) => e.ty(),
+            TExpr::Merge(_, t, _) => t.ty(),
+            TExpr::If(_, t, _) => t.ty(),
+            TExpr::Fby(_, e) => e.ty(),
+            TExpr::Arrow(l, _) => l.ty(),
+            TExpr::Call(_, _, outs) => outs[0].1.clone(),
+        }
+    }
+}
+
+/// A typed equation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TEquation<O: Ops> {
+    /// Defined variables.
+    pub lhs: Vec<Ident>,
+    /// The (common) clock of the defined variables.
+    pub ck: Clock,
+    /// Typed right-hand side.
+    pub rhs: TExpr<O>,
+}
+
+/// A typed node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TNode<O: Ops> {
+    /// Node name.
+    pub name: Ident,
+    /// Typed, clocked inputs.
+    pub inputs: Vec<velus_nlustre::ast::VarDecl<O>>,
+    /// Typed, clocked outputs.
+    pub outputs: Vec<velus_nlustre::ast::VarDecl<O>>,
+    /// Typed, clocked locals.
+    pub locals: Vec<velus_nlustre::ast::VarDecl<O>>,
+    /// Typed equations.
+    pub eqs: Vec<TEquation<O>>,
+}
+
+/// A typed program, nodes in dependency order (callees first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TProgram<O: Ops> {
+    /// The nodes.
+    pub nodes: Vec<TNode<O>>,
+}
+
+/// Partial types for literal inference.
+#[derive(Debug, Clone, PartialEq)]
+enum PTy<O: Ops> {
+    Known(O::Ty),
+    IntLit,
+    FloatLit,
+}
+
+struct NodeEnv<O: Ops> {
+    /// Variable name → (type, clock).
+    vars: HashMap<Ident, (O::Ty, Clock)>,
+    /// Global constants.
+    consts: HashMap<Ident, O::Const>,
+    /// Callee signatures: name → (input types, outputs).
+    sigs: HashMap<Ident, (Vec<O::Ty>, Vec<(Ident, O::Ty)>)>,
+}
+
+struct Elab<'a, O: Ops> {
+    env: NodeEnv<O>,
+    warnings: &'a mut Diagnostics,
+}
+
+type EResult<T> = Result<T, Diagnostics>;
+
+fn err<T>(msg: impl Into<String>, span: Span) -> EResult<T> {
+    Err(Diagnostics::from(Diagnostic::error(msg, span)))
+}
+
+impl<O: Ops> Elab<'_, O> {
+    // ---- types ---------------------------------------------------------
+
+    fn unify(&self, a: PTy<O>, b: PTy<O>, span: Span) -> EResult<PTy<O>> {
+        use PTy::*;
+        match (a, b) {
+            (Known(x), Known(y)) if x == y => Ok(Known(x)),
+            (Known(x), Known(y)) => err(format!("type mismatch: {x} vs {y}"), span),
+            (IntLit, IntLit) => Ok(IntLit),
+            (FloatLit, FloatLit) | (IntLit, FloatLit) | (FloatLit, IntLit) => Ok(FloatLit),
+            (IntLit, Known(t)) | (Known(t), IntLit) => {
+                if O::const_of_literal(&Literal::Int(0), &t).is_some() {
+                    Ok(Known(t))
+                } else {
+                    err(format!("integer literal used at type {t}"), span)
+                }
+            }
+            (FloatLit, Known(t)) | (Known(t), FloatLit) => {
+                if O::const_of_literal(&Literal::Float(0.0), &t).is_some() {
+                    Ok(Known(t))
+                } else {
+                    err(format!("float literal used at type {t}"), span)
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, p: PTy<O>, span: Span) -> EResult<O::Ty> {
+        match p {
+            PTy::Known(t) => Ok(t),
+            PTy::IntLit => O::type_of_name("int")
+                .ok_or(())
+                .or_else(|_| err("no default integer type in this operator interface", span)),
+            PTy::FloatLit => O::type_of_name("real")
+                .ok_or(())
+                .or_else(|_| err("no default real type in this operator interface", span)),
+        }
+    }
+
+    fn var_ty(&self, x: Ident, span: Span) -> EResult<PTy<O>> {
+        if let Some((t, _)) = self.env.vars.get(&x) {
+            return Ok(PTy::Known(t.clone()));
+        }
+        if let Some(c) = self.env.consts.get(&x) {
+            return Ok(PTy::Known(O::type_of_const(c)));
+        }
+        err(format!("unknown variable {x}"), span)
+    }
+
+    /// Infers a partial type bottom-up (used where no expectation exists).
+    fn infer(&self, e: &UExpr) -> EResult<PTy<O>> {
+        match e {
+            UExpr::Lit(Literal::Int(_), _) => Ok(PTy::IntLit),
+            UExpr::Lit(Literal::Float(_), _) => Ok(PTy::FloatLit),
+            UExpr::Lit(Literal::Bool(_), _) => Ok(PTy::Known(O::bool_type())),
+            UExpr::Var(x, s) => self.var_ty(*x, *s),
+            UExpr::Unop(SurfaceUnOp::Not, _, _) => Ok(PTy::Known(O::bool_type())),
+            UExpr::Unop(SurfaceUnOp::Neg, e1, _) => self.infer(e1),
+            UExpr::Binop(op, l, r, s) => {
+                use SurfaceBinOp::*;
+                match op {
+                    Eq | Ne | Lt | Le | Gt | Ge => Ok(PTy::Known(O::bool_type())),
+                    And | Or | Xor => Ok(PTy::Known(O::bool_type())),
+                    _ => {
+                        let a = self.infer(l)?;
+                        let b = self.infer(r)?;
+                        self.unify(a, b, *s)
+                    }
+                }
+            }
+            UExpr::When(e1, _, _, _) => self.infer(e1),
+            UExpr::Merge(_, t, f, s) | UExpr::If(_, t, f, s) => {
+                let a = self.infer(t)?;
+                let b = self.infer(f)?;
+                self.unify(a, b, *s)
+            }
+            UExpr::Fby(c, e1, s) | UExpr::Arrow(c, e1, s) => {
+                let a = self.infer(c)?;
+                let b = self.infer(e1)?;
+                self.unify(a, b, *s)
+            }
+            UExpr::Pre(e1, _) => self.infer(e1),
+            UExpr::Call(f, args, s) => {
+                if O::type_of_name(f.as_str()).is_some() {
+                    return Ok(PTy::Known(O::type_of_name(f.as_str()).expect("checked")));
+                }
+                match self.env.sigs.get(f) {
+                    Some((_, outs)) if outs.len() == 1 => Ok(PTy::Known(outs[0].1.clone())),
+                    Some((_, outs)) => err(
+                        format!("node {f} has {} outputs; tuple calls only at equation level", outs.len()),
+                        *s,
+                    ),
+                    None => {
+                        let _ = args;
+                        err(format!("unknown node or type {f}"), *s)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds a typed expression at the expected type.
+    ///
+    /// `initialized` tracks whether the expression sits under the
+    /// right-hand side of an `->` (for the `pre` lint).
+    fn build(&mut self, e: &UExpr, expected: &O::Ty, initialized: bool) -> EResult<TExpr<O>> {
+        match e {
+            UExpr::Lit(lit, s) => match O::const_of_literal(lit, expected) {
+                Some(c) => Ok(TExpr::Const(c)),
+                None => err(format!("literal {lit} does not fit type {expected}"), *s),
+            },
+            UExpr::Var(x, s) => {
+                if let Some((t, _)) = self.env.vars.get(x) {
+                    if t == expected {
+                        Ok(TExpr::Var(*x, t.clone()))
+                    } else {
+                        err(format!("variable {x} has type {t}, expected {expected}"), *s)
+                    }
+                } else if let Some(c) = self.env.consts.get(x) {
+                    if O::type_of_const(c) == *expected {
+                        Ok(TExpr::Const(c.clone()))
+                    } else {
+                        err(
+                            format!(
+                                "constant {x} has type {}, expected {expected}",
+                                O::type_of_const(c)
+                            ),
+                            *s,
+                        )
+                    }
+                } else {
+                    err(format!("unknown variable {x}"), *s)
+                }
+            }
+            UExpr::Unop(sop, e1, s) => {
+                let operand_ty = match sop {
+                    SurfaceUnOp::Not => O::bool_type(),
+                    SurfaceUnOp::Neg => expected.clone(),
+                };
+                let te = self.build(e1, &operand_ty, initialized)?;
+                match O::elab_unop(*sop, &operand_ty) {
+                    Some((op, rty)) if rty == *expected => {
+                        Ok(TExpr::Unop(op, Box::new(te), rty))
+                    }
+                    Some((_, rty)) => {
+                        err(format!("operator {sop} yields {rty}, expected {expected}"), *s)
+                    }
+                    None => err(format!("operator {sop} inapplicable at type {operand_ty}"), *s),
+                }
+            }
+            UExpr::Binop(sop, l, r, s) => {
+                use SurfaceBinOp::*;
+                let operand_ty = match sop {
+                    Eq | Ne | Lt | Le | Gt | Ge => {
+                        let a = self.infer(l)?;
+                        let b = self.infer(r)?;
+                        let u = self.unify(a, b, *s)?;
+                        self.resolve(u, *s)?
+                    }
+                    And | Or | Xor => O::bool_type(),
+                    _ => expected.clone(),
+                };
+                let tl = self.build(l, &operand_ty, initialized)?;
+                let tr = self.build(r, &operand_ty, initialized)?;
+                match O::elab_binop(*sop, &operand_ty, &operand_ty) {
+                    Some((op, rty)) if rty == *expected => {
+                        Ok(TExpr::Binop(op, Box::new(tl), Box::new(tr), rty))
+                    }
+                    Some((_, rty)) => {
+                        err(format!("operator {sop} yields {rty}, expected {expected}"), *s)
+                    }
+                    None => err(format!("operator {sop} inapplicable at type {operand_ty}"), *s),
+                }
+            }
+            UExpr::When(e1, x, k, s) => {
+                self.require_bool_var(*x, *s)?;
+                let te = self.build(e1, expected, initialized)?;
+                Ok(TExpr::When(Box::new(te), *x, *k))
+            }
+            UExpr::Merge(x, t, f, s) => {
+                self.require_bool_var(*x, *s)?;
+                let tt = self.build(t, expected, initialized)?;
+                let tf = self.build(f, expected, initialized)?;
+                Ok(TExpr::Merge(*x, Box::new(tt), Box::new(tf)))
+            }
+            UExpr::If(c, t, f, _) => {
+                let tc = self.build(c, &O::bool_type(), initialized)?;
+                let tt = self.build(t, expected, initialized)?;
+                let tf = self.build(f, expected, initialized)?;
+                Ok(TExpr::If(Box::new(tc), Box::new(tt), Box::new(tf)))
+            }
+            UExpr::Fby(c, e1, s) => {
+                let init = self.const_value(c, expected)?;
+                let te = self.build(e1, expected, initialized)?;
+                let _ = s;
+                Ok(TExpr::Fby(init, Box::new(te)))
+            }
+            UExpr::Arrow(l, r, _) => {
+                let tl = self.build(l, expected, initialized)?;
+                let tr = self.build(r, expected, true)?;
+                Ok(TExpr::Arrow(Box::new(tl), Box::new(tr)))
+            }
+            UExpr::Pre(e1, s) => {
+                if !initialized {
+                    self.warnings.push(Diagnostic::warning(
+                        "`pre` may be read before initialization; consider `e -> pre …`",
+                        *s,
+                    ));
+                }
+                let te = self.build(e1, expected, initialized)?;
+                Ok(TExpr::Fby(O::default_const(expected), Box::new(te)))
+            }
+            UExpr::Call(f, args, s) => {
+                // Type cast?
+                if let Some(to) = O::type_of_name(f.as_str()) {
+                    if args.len() != 1 {
+                        return err(format!("cast {f}(…) takes exactly one argument"), *s);
+                    }
+                    if to != *expected {
+                        return err(format!("cast to {to} used at type {expected}"), *s);
+                    }
+                    let from_p = self.infer(&args[0])?;
+                    let from = self.resolve(from_p, *s)?;
+                    let te = self.build(&args[0], &from, initialized)?;
+                    return match O::elab_cast(&from, &to) {
+                        Some(op) => Ok(TExpr::Unop(op, Box::new(te), to)),
+                        None => err(format!("no cast from {from} to {to}"), *s),
+                    };
+                }
+                let (ins, outs) = match self.env.sigs.get(f) {
+                    Some(sig) => sig.clone(),
+                    None => return err(format!("unknown node or type {f}"), *s),
+                };
+                if outs.len() != 1 {
+                    return err(
+                        format!("node {f} has {} outputs; tuple calls only at equation level", outs.len()),
+                        *s,
+                    );
+                }
+                if outs[0].1 != *expected {
+                    return err(
+                        format!("node {f} returns {}, expected {expected}", outs[0].1),
+                        *s,
+                    );
+                }
+                let targs = self.build_args(f, &ins, args, *s, initialized)?;
+                Ok(TExpr::Call(*f, targs, outs))
+            }
+        }
+    }
+
+    fn build_args(
+        &mut self,
+        f: &Ident,
+        ins: &[O::Ty],
+        args: &[UExpr],
+        span: Span,
+        initialized: bool,
+    ) -> EResult<Vec<TExpr<O>>> {
+        if ins.len() != args.len() {
+            return err(
+                format!("node {f} takes {} arguments, {} given", ins.len(), args.len()),
+                span,
+            );
+        }
+        args.iter()
+            .zip(ins)
+            .map(|(a, t)| self.build(a, t, initialized))
+            .collect()
+    }
+
+    fn require_bool_var(&self, x: Ident, span: Span) -> EResult<()> {
+        match self.env.vars.get(&x) {
+            Some((t, _)) if *t == O::bool_type() => Ok(()),
+            Some((t, _)) => err(format!("sampler {x} has type {t}, expected bool"), span),
+            None => err(format!("unknown variable {x}"), span),
+        }
+    }
+
+    /// Evaluates a constant expression (literal, possibly negated literal,
+    /// or global constant) at the expected type.
+    fn const_value(&self, e: &UExpr, expected: &O::Ty) -> EResult<O::Const> {
+        match e {
+            UExpr::Lit(lit, s) => O::const_of_literal(lit, expected)
+                .ok_or(())
+                .or_else(|_| err(format!("literal {lit} does not fit type {expected}"), *s)),
+            UExpr::Var(x, s) => match self.env.consts.get(x) {
+                Some(c) if O::type_of_const(c) == *expected => Ok(c.clone()),
+                Some(c) => err(
+                    format!("constant {x} has type {}, expected {expected}", O::type_of_const(c)),
+                    *s,
+                ),
+                None => err(
+                    format!("`fby` initial value must be a constant, found variable {x}"),
+                    *s,
+                ),
+            },
+            other => err(
+                "`fby` initial value must be a constant expression",
+                other.span(),
+            ),
+        }
+    }
+
+    // ---- clocks ---------------------------------------------------------
+
+    /// Checks that `e` is well clocked at `ck` (`None` = clock-polymorphic
+    /// constant context is not needed: equations always give a concrete
+    /// expectation).
+    fn check_clock(&self, e: &TExpr<O>, ck: &Clock, span: Span) -> EResult<()> {
+        match e {
+            TExpr::Const(_) => Ok(()),
+            TExpr::Var(x, _) => {
+                let (_, cx) = self.env.vars.get(x).expect("vars checked during typing");
+                if cx == ck {
+                    Ok(())
+                } else {
+                    err(format!("variable {x} on clock `{cx}`, expected `{ck}`"), span)
+                }
+            }
+            TExpr::Unop(_, e1, _) => self.check_clock(e1, ck, span),
+            TExpr::Binop(_, l, r, _) => {
+                self.check_clock(l, ck, span)?;
+                self.check_clock(r, ck, span)
+            }
+            TExpr::When(e1, x, k) => match ck {
+                Clock::On(parent, y, k2) if y == x && k2 == k => {
+                    self.check_var_clock(*x, parent, span)?;
+                    self.check_clock(e1, parent, span)
+                }
+                _ => err(format!("`… when {x}` used at clock `{ck}`"), span),
+            },
+            TExpr::Merge(x, t, f) => {
+                self.check_var_clock(*x, ck, span)?;
+                self.check_clock(t, &ck.clone().on(*x, true), span)?;
+                self.check_clock(f, &ck.clone().on(*x, false), span)
+            }
+            TExpr::If(c, t, f) => {
+                self.check_clock(c, ck, span)?;
+                self.check_clock(t, ck, span)?;
+                self.check_clock(f, ck, span)
+            }
+            TExpr::Fby(_, e1) => self.check_clock(e1, ck, span),
+            TExpr::Arrow(l, r) => {
+                self.check_clock(l, ck, span)?;
+                self.check_clock(r, ck, span)
+            }
+            TExpr::Call(_, args, _) => {
+                for a in args {
+                    self.check_clock(a, ck, span)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_var_clock(&self, x: Ident, ck: &Clock, span: Span) -> EResult<()> {
+        match self.env.vars.get(&x) {
+            Some((_, cx)) if cx == ck => Ok(()),
+            Some((_, cx)) => err(format!("variable {x} on clock `{cx}`, expected `{ck}`"), span),
+            None => err(format!("unknown variable {x}"), span),
+        }
+    }
+}
+
+fn elab_clock<O: Ops>(
+    uclock: &UClock,
+    vars: &HashMap<Ident, (O::Ty, Clock)>,
+    span: Span,
+) -> EResult<Clock> {
+    match uclock {
+        UClock::Base => Ok(Clock::Base),
+        UClock::On(parent, x, k) => {
+            let p = elab_clock::<O>(parent, vars, span)?;
+            match vars.get(x) {
+                Some((t, cx)) => {
+                    if *t != O::bool_type() {
+                        return err(format!("clock variable {x} has type {t}, expected bool"), span);
+                    }
+                    if *cx != p {
+                        return err(
+                            format!("clock variable {x} lives on `{cx}`, expected `{p}`"),
+                            span,
+                        );
+                    }
+                    Ok(p.on(*x, *k))
+                }
+                None => err(format!("unknown clock variable {x}"), span),
+            }
+        }
+    }
+}
+
+/// Scans an expression for node-call targets (for dependency ordering).
+fn call_targets(e: &UExpr, out: &mut Vec<Ident>) {
+    match e {
+        UExpr::Call(f, args, _) => {
+            out.push(*f);
+            for a in args {
+                call_targets(a, out);
+            }
+        }
+        UExpr::Lit(..) | UExpr::Var(..) => {}
+        UExpr::Unop(_, e1, _) | UExpr::When(e1, _, _, _) | UExpr::Pre(e1, _) => {
+            call_targets(e1, out)
+        }
+        UExpr::Binop(_, l, r, _) | UExpr::Fby(l, r, _) | UExpr::Arrow(l, r, _) => {
+            call_targets(l, out);
+            call_targets(r, out);
+        }
+        UExpr::Merge(_, t, f, _) => {
+            call_targets(t, out);
+            call_targets(f, out);
+        }
+        UExpr::If(c, t, f, _) => {
+            call_targets(c, out);
+            call_targets(t, out);
+            call_targets(f, out);
+        }
+    }
+}
+
+/// Topologically orders nodes, callees first.
+fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
+    let index: HashMap<Ident, usize> = prog
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.name, i))
+        .collect();
+    if index.len() != prog.nodes.len() {
+        for (i, n) in prog.nodes.iter().enumerate() {
+            if index[&n.name] != i {
+                return err(format!("duplicate node name {}", n.name), n.span);
+            }
+        }
+    }
+    // DFS with cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; prog.nodes.len()];
+    let mut order = Vec::new();
+    fn visit<O: Ops>(
+        i: usize,
+        prog: &UProgram,
+        index: &HashMap<Ident, usize>,
+        marks: &mut Vec<Mark>,
+        order: &mut Vec<usize>,
+    ) -> EResult<()> {
+        match marks[i] {
+            Mark::Black => return Ok(()),
+            Mark::Grey => {
+                return err(
+                    format!("recursive node instantiation through {}", prog.nodes[i].name),
+                    prog.nodes[i].span,
+                )
+            }
+            Mark::White => {}
+        }
+        marks[i] = Mark::Grey;
+        let mut calls = Vec::new();
+        for eq in &prog.nodes[i].eqs {
+            call_targets(&eq.rhs, &mut calls);
+        }
+        for f in calls {
+            if O::type_of_name(f.as_str()).is_some() {
+                continue; // a cast, not a node
+            }
+            if let Some(&j) = index.get(&f) {
+                visit::<O>(j, prog, index, marks, order)?;
+            }
+            // Unknown callees are reported during typing with a position.
+        }
+        marks[i] = Mark::Black;
+        order.push(i);
+        Ok(())
+    }
+    for i in 0..prog.nodes.len() {
+        visit::<O>(i, prog, &index, &mut marks, &mut order)?;
+    }
+    Ok(order)
+}
+
+fn elab_decls<O: Ops>(
+    groups: [&[UDecl]; 3],
+) -> EResult<(HashMap<Ident, (O::Ty, Clock)>, [Vec<velus_nlustre::ast::VarDecl<O>>; 3])> {
+    // First pass: resolve types (clocks may reference any declared var).
+    let mut tys: HashMap<Ident, O::Ty> = HashMap::new();
+    for d in groups.iter().flat_map(|g| g.iter()) {
+        let ty = match O::type_of_name(d.ty_name.as_str()) {
+            Some(t) => t,
+            None => return err(format!("unknown type {}", d.ty_name), d.span),
+        };
+        if tys.insert(d.name, ty).is_some() {
+            return err(format!("duplicate declaration of {}", d.name), d.span);
+        }
+    }
+    // Second pass: resolve clocks. Clocks may be declared in dependency
+    // order (a sampler must be declared with its own clock resolvable);
+    // iterate until fixpoint to allow forward references.
+    let mut vars: HashMap<Ident, (O::Ty, Clock)> = HashMap::new();
+    let all: Vec<&UDecl> = groups.iter().flat_map(|g| g.iter()).collect();
+    let mut pending: Vec<&UDecl> = all.clone();
+    while !pending.is_empty() {
+        let before = pending.len();
+        let mut next = Vec::new();
+        for d in pending {
+            match elab_clock::<O>(&d.clock, &vars, d.span) {
+                Ok(ck) => {
+                    vars.insert(d.name, (tys[&d.name].clone(), ck));
+                }
+                Err(_) => next.push(d),
+            }
+        }
+        if next.len() == before {
+            // No progress: report the first real error.
+            let d = next[0];
+            elab_clock::<O>(&d.clock, &vars, d.span)?;
+            unreachable!("elab_clock must fail where it failed before");
+        }
+        pending = next;
+    }
+    let mk = |g: &[UDecl]| -> Vec<velus_nlustre::ast::VarDecl<O>> {
+        g.iter()
+            .map(|d| velus_nlustre::ast::VarDecl {
+                name: d.name,
+                ty: vars[&d.name].0.clone(),
+                ck: vars[&d.name].1.clone(),
+            })
+            .collect()
+    };
+    let out = [mk(groups[0]), mk(groups[1]), mk(groups[2])];
+    Ok((vars, out))
+}
+
+fn elab_node<O: Ops>(
+    unode: &UNode,
+    consts: &HashMap<Ident, O::Const>,
+    sigs: &HashMap<Ident, (Vec<O::Ty>, Vec<(Ident, O::Ty)>)>,
+    warnings: &mut Diagnostics,
+) -> EResult<TNode<O>> {
+    let (vars, [inputs, outputs, locals]) =
+        elab_decls::<O>([&unode.inputs, &unode.outputs, &unode.locals])?;
+    // Interface variables live on the base clock (paper's restriction).
+    for d in inputs.iter().chain(&outputs) {
+        if d.ck != Clock::Base {
+            return err(
+                format!("interface variable {} must be on the base clock", d.name),
+                unode.span,
+            );
+        }
+    }
+    if outputs.is_empty() {
+        return err(format!("node {} has no outputs", unode.name), unode.span);
+    }
+
+    let mut elab = Elab::<O> {
+        env: NodeEnv { vars, consts: consts.clone(), sigs: sigs.clone() },
+        warnings,
+    };
+
+    let mut eqs = Vec::new();
+    let mut defined: Vec<Ident> = Vec::new();
+    for ueq in &unode.eqs {
+        // The equation clock comes from the (identical) clocks of the
+        // defined variables.
+        let mut lhs_ck: Option<Clock> = None;
+        for x in &ueq.lhs {
+            let (_, cx) = match elab.env.vars.get(x) {
+                Some(v) => v.clone(),
+                None => return err(format!("unknown variable {x}"), ueq.span),
+            };
+            match &lhs_ck {
+                None => lhs_ck = Some(cx),
+                Some(c) if *c == cx => {}
+                Some(c) => {
+                    return err(
+                        format!("tuple pattern mixes clocks `{c}` and `{cx}`"),
+                        ueq.span,
+                    )
+                }
+            }
+            if defined.contains(x) {
+                return err(format!("variable {x} defined twice"), ueq.span);
+            }
+            if inputs.iter().any(|d| d.name == *x) {
+                return err(format!("input {x} cannot be defined"), ueq.span);
+            }
+            defined.push(*x);
+        }
+        let ck = lhs_ck.expect("patterns are non-empty");
+
+        let rhs = if ueq.lhs.len() > 1 {
+            // Tuple call.
+            match &ueq.rhs {
+                UExpr::Call(f, args, s) => {
+                    if O::type_of_name(f.as_str()).is_some() {
+                        return err("a cast returns a single value", *s);
+                    }
+                    let (ins, outs) = match elab.env.sigs.get(f) {
+                        Some(sig) => sig.clone(),
+                        None => return err(format!("unknown node {f}"), *s),
+                    };
+                    if outs.len() != ueq.lhs.len() {
+                        return err(
+                            format!(
+                                "node {f} has {} outputs, pattern binds {}",
+                                outs.len(),
+                                ueq.lhs.len()
+                            ),
+                            *s,
+                        );
+                    }
+                    for (x, (oname, oty)) in ueq.lhs.iter().zip(&outs) {
+                        let (tx, _) = &elab.env.vars[x];
+                        if tx != oty {
+                            return err(
+                                format!("{x} has type {tx}, output {oname} has type {oty}"),
+                                *s,
+                            );
+                        }
+                    }
+                    let targs = elab.build_args(f, &ins, args, *s, false)?;
+                    TExpr::Call(*f, targs, outs)
+                }
+                other => {
+                    return err("tuple patterns require a node call on the right", other.span())
+                }
+            }
+        } else {
+            let x = ueq.lhs[0];
+            let (tx, _) = elab.env.vars[&x].clone();
+            elab.build(&ueq.rhs, &tx, false)?
+        };
+        elab.check_clock(&rhs, &ck, ueq.span)?;
+        eqs.push(TEquation { lhs: ueq.lhs.clone(), ck, rhs });
+    }
+
+    // Every output and local must be defined.
+    for d in outputs.iter().chain(&locals) {
+        if !defined.contains(&d.name) {
+            return err(format!("variable {} is never defined", d.name), unode.span);
+        }
+    }
+
+    Ok(TNode { name: unode.name, inputs, outputs, locals, eqs })
+}
+
+/// Elaborates a surface program: resolves constants, orders nodes,
+/// type-checks and clock-checks everything.
+///
+/// Returns the typed program and accumulated warnings.
+///
+/// # Errors
+///
+/// All typing, clocking and structural errors as positioned diagnostics.
+pub fn elaborate<O: Ops>(prog: &UProgram) -> Result<(TProgram<O>, Diagnostics), Diagnostics> {
+    let mut warnings = Diagnostics::new();
+
+    // Global constants.
+    let mut consts: HashMap<Ident, O::Const> = HashMap::new();
+    for c in &prog.consts {
+        let ty = match O::type_of_name(c.ty_name.as_str()) {
+            Some(t) => t,
+            None => return err(format!("unknown type {}", c.ty_name), c.span),
+        };
+        let scratch = Elab::<O> {
+            env: NodeEnv {
+                vars: HashMap::new(),
+                consts: consts.clone(),
+                sigs: HashMap::new(),
+            },
+            warnings: &mut warnings,
+        };
+        let value = scratch.const_value(&c.value, &ty)?;
+        if consts.insert(c.name, value).is_some() {
+            return err(format!("duplicate constant {}", c.name), c.span);
+        }
+    }
+
+    let order = order_nodes::<O>(prog)?;
+    let mut sigs: HashMap<Ident, (Vec<O::Ty>, Vec<(Ident, O::Ty)>)> = HashMap::new();
+    let mut nodes = Vec::with_capacity(prog.nodes.len());
+    for i in order {
+        let tnode = elab_node::<O>(&prog.nodes[i], &consts, &sigs, &mut warnings)?;
+        sigs.insert(
+            tnode.name,
+            (
+                tnode.inputs.iter().map(|d| d.ty.clone()).collect(),
+                tnode.outputs.iter().map(|d| (d.name, d.ty.clone())).collect(),
+            ),
+        );
+        nodes.push(tnode);
+    }
+    Ok((TProgram { nodes }, warnings))
+}

@@ -1,0 +1,399 @@
+//! The Lustre lexer.
+//!
+//! Hand-written (the paper generates one with ocamllex). Supports `--`
+//! line comments and `(* … *)` block comments, decimal integer and float
+//! literals, and the keyword/operator set of the surface language.
+
+use std::fmt;
+
+use velus_common::{Diagnostics, Span};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal (kept wide; typed during elaboration).
+    Int(i128),
+    /// A floating-point literal.
+    Float(f64),
+    // Keywords.
+    /// `node`
+    Node,
+    /// `function` (accepted as a synonym of `node`)
+    Function,
+    /// `returns`
+    Returns,
+    /// `var`
+    Var,
+    /// `let`
+    Let,
+    /// `tel`
+    Tel,
+    /// `const`
+    Const,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `when`
+    When,
+    /// `whenot` (alias for `when not`)
+    Whenot,
+    /// `merge`
+    Merge,
+    /// `fby`
+    Fby,
+    /// `pre`
+    Pre,
+    /// `not`
+    Not,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `xor`
+    Xor,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Node => f.write_str("node"),
+            Tok::Function => f.write_str("function"),
+            Tok::Returns => f.write_str("returns"),
+            Tok::Var => f.write_str("var"),
+            Tok::Let => f.write_str("let"),
+            Tok::Tel => f.write_str("tel"),
+            Tok::Const => f.write_str("const"),
+            Tok::If => f.write_str("if"),
+            Tok::Then => f.write_str("then"),
+            Tok::Else => f.write_str("else"),
+            Tok::When => f.write_str("when"),
+            Tok::Whenot => f.write_str("whenot"),
+            Tok::Merge => f.write_str("merge"),
+            Tok::Fby => f.write_str("fby"),
+            Tok::Pre => f.write_str("pre"),
+            Tok::Not => f.write_str("not"),
+            Tok::And => f.write_str("and"),
+            Tok::Or => f.write_str("or"),
+            Tok::Xor => f.write_str("xor"),
+            Tok::Div => f.write_str("div"),
+            Tok::Mod => f.write_str("mod"),
+            Tok::True => f.write_str("true"),
+            Tok::False => f.write_str("false"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::Comma => f.write_str(","),
+            Tok::Semi => f.write_str(";"),
+            Tok::Colon => f.write_str(":"),
+            Tok::Eq => f.write_str("="),
+            Tok::Neq => f.write_str("<>"),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Star => f.write_str("*"),
+            Tok::Slash => f.write_str("/"),
+            Tok::Arrow => f.write_str("->"),
+            Tok::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Its position.
+    pub span: Span,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "node" => Tok::Node,
+        "function" => Tok::Function,
+        "returns" => Tok::Returns,
+        "var" => Tok::Var,
+        "let" => Tok::Let,
+        "tel" => Tok::Tel,
+        "const" => Tok::Const,
+        "if" => Tok::If,
+        "then" => Tok::Then,
+        "else" => Tok::Else,
+        "when" => Tok::When,
+        "whenot" => Tok::Whenot,
+        "merge" => Tok::Merge,
+        "fby" => Tok::Fby,
+        "pre" => Tok::Pre,
+        "not" => Tok::Not,
+        "and" => Tok::And,
+        "or" => Tok::Or,
+        "xor" => Tok::Xor,
+        "div" => Tok::Div,
+        "mod" => Tok::Mod,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        _ => return None,
+    })
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Unterminated comments, malformed numbers and unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+    let mut errs = Diagnostics::new();
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == b'-' && i + 1 < n && bytes[i + 1] == b'-' {
+            while i < n && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (* ... *), nestable.
+        if c == b'(' && i + 1 < n && bytes[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == b'(' && i + 1 < n && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b')' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            if depth > 0 {
+                errs.error("unterminated comment", Span::new(start as u32, n as u32));
+            }
+            continue;
+        }
+        let start = i as u32;
+        // Identifier or keyword.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut j = i + 1;
+            while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            let text = &source[i..j];
+            let tok = keyword(text).unwrap_or_else(|| Tok::Ident(text.to_owned()));
+            out.push(Token { tok, span: Span::new(start, j as u32) });
+            i = j;
+            continue;
+        }
+        // Number (integer or float).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            let mut is_float = false;
+            if j < n && bytes[j] == b'.' && j + 1 < n && bytes[j + 1].is_ascii_digit() {
+                is_float = true;
+                j += 1;
+                while j < n && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+            }
+            if j < n && (bytes[j] == b'e' || bytes[j] == b'E') {
+                let mut k = j + 1;
+                if k < n && (bytes[k] == b'+' || bytes[k] == b'-') {
+                    k += 1;
+                }
+                if k < n && bytes[k].is_ascii_digit() {
+                    is_float = true;
+                    j = k + 1;
+                    while j < n && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+            }
+            let text = &source[i..j];
+            let span = Span::new(start, j as u32);
+            if is_float {
+                match text.parse::<f64>() {
+                    Ok(x) => out.push(Token { tok: Tok::Float(x), span }),
+                    Err(_) => errs.error(format!("malformed float literal `{text}`"), span),
+                }
+            } else {
+                match text.parse::<i128>() {
+                    Ok(x) => out.push(Token { tok: Tok::Int(x), span }),
+                    Err(_) => errs.error(format!("malformed integer literal `{text}`"), span),
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Operators and punctuation.
+        let two = if i + 1 < n { &source[i..i + 2] } else { "" };
+        let (tok, len) = match two {
+            "->" => (Tok::Arrow, 2),
+            "<>" => (Tok::Neq, 2),
+            "<=" => (Tok::Le, 2),
+            ">=" => (Tok::Ge, 2),
+            _ => match c {
+                b'(' => (Tok::LParen, 1),
+                b')' => (Tok::RParen, 1),
+                b',' => (Tok::Comma, 1),
+                b';' => (Tok::Semi, 1),
+                b':' => (Tok::Colon, 1),
+                b'=' => (Tok::Eq, 1),
+                b'<' => (Tok::Lt, 1),
+                b'>' => (Tok::Gt, 1),
+                b'+' => (Tok::Plus, 1),
+                b'-' => (Tok::Minus, 1),
+                b'*' => (Tok::Star, 1),
+                b'/' => (Tok::Slash, 1),
+                other => {
+                    errs.error(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(start, start + 1),
+                    );
+                    i += 1;
+                    continue;
+                }
+            },
+        };
+        out.push(Token { tok, span: Span::new(start, start + len as u32) });
+        i += len;
+    }
+    out.push(Token { tok: Tok::Eof, span: Span::new(n as u32, n as u32) });
+    errs.into_result(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("node counter tel"),
+            vec![Tok::Node, Tok::Ident("counter".into()), Tok::Tel, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(toks("3.5"), vec![Tok::Float(3.5), Tok::Eof]);
+        assert_eq!(toks("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+        // A bare dot is not part of the language.
+        assert!(lex("1 .").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a -> b <> c <= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Neq,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments() {
+        assert_eq!(toks("a -- to end of line\nb"), toks("a b"));
+        assert_eq!(toks("a (* nested (* ok *) still *) b"), toks("a b"));
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(lex("a (* whoops").is_err());
+    }
+
+    #[test]
+    fn minus_minus_needs_spacing() {
+        // `a - -1` is subtraction of a negated literal, not a comment.
+        assert_eq!(
+            toks("a - - 1"),
+            vec![Tok::Ident("a".into()), Tok::Minus, Tok::Minus, Tok::Int(1), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_point_into_the_source() {
+        let ts = lex("ab cd").unwrap();
+        assert_eq!(ts[1].span, Span::new(3, 5));
+    }
+}

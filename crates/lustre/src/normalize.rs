@@ -1,0 +1,382 @@
+//! Normalization: typed full Lustre → N-Lustre (§2.1).
+//!
+//! Normalization "ensures that every fby expression and node instantiation
+//! occurs in a dedicated equation and not nested arbitrarily within an
+//! expression", and that merges and muxes appear only at the top of
+//! control expressions. It is justified by referential transparency: a
+//! variable can always be replaced by its defining expression and
+//! conversely.
+//!
+//! Concretely, this pass:
+//!
+//! * extracts nested `fby`s, node calls, and control expressions in
+//!   expression position into fresh equations;
+//! * desugars `e1 -> e2` into `if h then e1 else e2` with one fresh
+//!   `h = true fby false` equation per clock (shared across arrows on the
+//!   same clock);
+//! * copies `fby`-defined *outputs* through a fresh local (the translation
+//!   to Obc requires memories to be locals — outputs are returned from the
+//!   `step` method's environment);
+//! * assigns every generated equation the clock of the expression it was
+//!   extracted from.
+
+use std::collections::HashMap;
+
+use velus_common::{FreshGen, Ident};
+use velus_nlustre::ast::{CExpr, Equation, Expr, Node, Program, VarDecl};
+use velus_nlustre::clock::Clock;
+use velus_nlustre::SemError;
+use velus_ops::Ops;
+
+use crate::elab::{TEquation, TExpr, TNode, TProgram};
+
+struct Norm<O: Ops> {
+    fresh: FreshGen,
+    new_locals: Vec<VarDecl<O>>,
+    new_eqs: Vec<Equation<O>>,
+    /// Shared `true fby false` initialization flags, per clock.
+    init_flags: HashMap<Clock, Ident>,
+}
+
+impl<O: Ops> Norm<O> {
+    fn fresh_var(&mut self, prefix: &str, ty: O::Ty, ck: Clock) -> Ident {
+        let x = self.fresh.fresh(prefix);
+        self.new_locals.push(VarDecl { name: x, ty, ck });
+        x
+    }
+
+    /// The initialization flag `h = true fby false` for clock `ck`.
+    fn init_flag(&mut self, ck: &Clock) -> Ident {
+        if let Some(&h) = self.init_flags.get(ck) {
+            return h;
+        }
+        let h = self.fresh_var("h", O::bool_type(), ck.clone());
+        self.new_eqs.push(Equation::Fby {
+            x: h,
+            ck: ck.clone(),
+            init: truthy::<O>(true),
+            rhs: Expr::Const(truthy::<O>(false)),
+        });
+        self.init_flags.insert(ck.clone(), h);
+        h
+    }
+
+    /// Normalizes `e` in control-expression position at clock `ck`.
+    fn norm_cexpr(&mut self, e: &TExpr<O>, ck: &Clock) -> Result<CExpr<O>, SemError> {
+        match e {
+            TExpr::If(c, t, f) => Ok(CExpr::If(
+                self.norm_expr(c, ck)?,
+                Box::new(self.norm_cexpr(t, ck)?),
+                Box::new(self.norm_cexpr(f, ck)?),
+            )),
+            TExpr::Merge(x, t, f) => Ok(CExpr::Merge(
+                *x,
+                Box::new(self.norm_cexpr(t, &ck.clone().on(*x, true))?),
+                Box::new(self.norm_cexpr(f, &ck.clone().on(*x, false))?),
+            )),
+            TExpr::Arrow(l, r) => {
+                let h = self.init_flag(ck);
+                Ok(CExpr::If(
+                    Expr::Var(h, O::bool_type()),
+                    Box::new(self.norm_cexpr(l, ck)?),
+                    Box::new(self.norm_cexpr(r, ck)?),
+                ))
+            }
+            other => Ok(CExpr::Expr(self.norm_expr(other, ck)?)),
+        }
+    }
+
+    /// Normalizes `e` in simple-expression position at clock `ck`,
+    /// extracting anything that is not a simple expression.
+    fn norm_expr(&mut self, e: &TExpr<O>, ck: &Clock) -> Result<Expr<O>, SemError> {
+        match e {
+            TExpr::Const(c) => Ok(Expr::Const(c.clone())),
+            TExpr::Var(x, ty) => Ok(Expr::Var(*x, ty.clone())),
+            TExpr::Unop(op, e1, ty) => Ok(Expr::Unop(
+                *op,
+                Box::new(self.norm_expr(e1, ck)?),
+                ty.clone(),
+            )),
+            TExpr::Binop(op, l, r, ty) => Ok(Expr::Binop(
+                *op,
+                Box::new(self.norm_expr(l, ck)?),
+                Box::new(self.norm_expr(r, ck)?),
+                ty.clone(),
+            )),
+            TExpr::When(e1, x, k) => {
+                let parent = match ck {
+                    Clock::On(p, y, k2) if y == x && k2 == k => p.as_ref().clone(),
+                    _ => {
+                        return Err(SemError::ClockError(format!(
+                            "normalization: `when {x}` at clock {ck}"
+                        )))
+                    }
+                };
+                Ok(Expr::When(Box::new(self.norm_expr(e1, &parent)?), *x, *k))
+            }
+            TExpr::Fby(init, e1) => {
+                let rhs = self.norm_expr(e1, ck)?;
+                let x = self.fresh_var("fby", e1.ty(), ck.clone());
+                self.new_eqs.push(Equation::Fby {
+                    x,
+                    ck: ck.clone(),
+                    init: init.clone(),
+                    rhs,
+                });
+                Ok(Expr::Var(x, e1.ty()))
+            }
+            TExpr::Call(f, args, outs) => {
+                let args = args
+                    .iter()
+                    .map(|a| self.norm_expr(a, ck))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let x = self.fresh_var("out", outs[0].1.clone(), ck.clone());
+                self.new_eqs.push(Equation::Call {
+                    xs: vec![x],
+                    ck: ck.clone(),
+                    node: *f,
+                    args,
+                });
+                Ok(Expr::Var(x, outs[0].1.clone()))
+            }
+            ctrl @ (TExpr::If(..) | TExpr::Merge(..) | TExpr::Arrow(..)) => {
+                let rhs = self.norm_cexpr(ctrl, ck)?;
+                let x = self.fresh_var("v", ctrl.ty(), ck.clone());
+                self.new_eqs.push(Equation::Def { x, ck: ck.clone(), rhs });
+                Ok(Expr::Var(x, ctrl.ty()))
+            }
+        }
+    }
+}
+
+/// A boolean constant of the operator interface.
+fn truthy<O: Ops>(b: bool) -> O::Const {
+    let lit = velus_ops::Literal::Bool(b);
+    O::const_of_literal(&lit, &O::bool_type())
+        .expect("every operator interface supplies boolean constants")
+}
+
+fn normalize_node<O: Ops>(tnode: TNode<O>) -> Result<Node<O>, SemError> {
+    let mut norm = Norm::<O> {
+        fresh: FreshGen::new("n"),
+        new_locals: Vec::new(),
+        new_eqs: Vec::new(),
+        init_flags: HashMap::new(),
+    };
+    let output_names: Vec<Ident> = tnode.outputs.iter().map(|d| d.name).collect();
+    let mut eqs = Vec::new();
+
+    for TEquation { lhs, ck, rhs } in &tnode.eqs {
+        if lhs.len() > 1 {
+            // Tuple call.
+            match rhs {
+                TExpr::Call(f, args, _) => {
+                    let args = args
+                        .iter()
+                        .map(|a| norm.norm_expr(a, ck))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    eqs.push(Equation::Call { xs: lhs.clone(), ck: ck.clone(), node: *f, args });
+                }
+                _ => {
+                    return Err(SemError::Malformed(
+                        "tuple equation without a call survived elaboration".to_owned(),
+                    ))
+                }
+            }
+            continue;
+        }
+        let x = lhs[0];
+        match rhs {
+            // Keep top-level fbys as fby equations; copy through a fresh
+            // local when the target is an output.
+            TExpr::Fby(init, e1) => {
+                let rhs = norm.norm_expr(e1, ck)?;
+                if output_names.contains(&x) {
+                    let m = norm.fresh_var("mem", e1.ty(), ck.clone());
+                    eqs.push(Equation::Fby { x: m, ck: ck.clone(), init: init.clone(), rhs });
+                    eqs.push(Equation::Def {
+                        x,
+                        ck: ck.clone(),
+                        rhs: CExpr::Expr(Expr::Var(m, e1.ty())),
+                    });
+                } else {
+                    eqs.push(Equation::Fby { x, ck: ck.clone(), init: init.clone(), rhs });
+                }
+            }
+            // Keep top-level single-output calls as call equations.
+            TExpr::Call(f, args, _) => {
+                let args = args
+                    .iter()
+                    .map(|a| norm.norm_expr(a, ck))
+                    .collect::<Result<Vec<_>, _>>()?;
+                eqs.push(Equation::Call { xs: vec![x], ck: ck.clone(), node: *f, args });
+            }
+            other => {
+                let rhs = norm.norm_cexpr(other, ck)?;
+                eqs.push(Equation::Def { x, ck: ck.clone(), rhs });
+            }
+        }
+    }
+
+    eqs.extend(norm.new_eqs);
+    let mut locals = tnode.locals;
+    locals.extend(norm.new_locals);
+    Ok(Node {
+        name: tnode.name,
+        inputs: tnode.inputs,
+        outputs: tnode.outputs,
+        locals,
+        eqs,
+    })
+}
+
+/// Normalizes a typed program into N-Lustre.
+///
+/// The result satisfies the structural invariants of
+/// [`velus_nlustre::ast`] by construction and is re-validated by the
+/// pipeline's type and clock checks.
+///
+/// # Errors
+///
+/// Internal clock inconsistencies (which indicate an elaboration bug) are
+/// reported as [`SemError`]s rather than panics.
+pub fn normalize<O: Ops>(prog: TProgram<O>) -> Result<Program<O>, SemError> {
+    let nodes = prog
+        .nodes
+        .into_iter()
+        .map(normalize_node)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Program::new(nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velus_nlustre::{clockcheck, typecheck};
+    use velus_ops::ClightOps;
+
+    fn compile(src: &str) -> Program<ClightOps> {
+        let (prog, _) = crate::compile_to_nlustre::<ClightOps>(src).expect("compiles");
+        prog
+    }
+
+    #[test]
+    fn nested_fby_is_extracted() {
+        let prog = compile(
+            "node f(x: int) returns (y: int)
+             let y = (0 fby x) + x; tel",
+        );
+        let node = &prog.nodes[0];
+        assert_eq!(node.eqs.len(), 2);
+        assert!(node
+            .eqs
+            .iter()
+            .any(|e| matches!(e, Equation::Fby { .. })));
+        typecheck::check_program(&prog).unwrap();
+        clockcheck::check_program_clocks(&prog).unwrap();
+    }
+
+    #[test]
+    fn arrow_introduces_shared_init_flag() {
+        let prog = compile(
+            "node f(x: int) returns (y, z: int)
+             let y = 0 -> x; z = 1 -> x; tel",
+        );
+        let node = &prog.nodes[0];
+        // One h = true fby false shared by both arrows.
+        let fbys = node
+            .eqs
+            .iter()
+            .filter(|e| matches!(e, Equation::Fby { .. }))
+            .count();
+        assert_eq!(fbys, 1, "{node}");
+        typecheck::check_program(&prog).unwrap();
+        clockcheck::check_program_clocks(&prog).unwrap();
+    }
+
+    #[test]
+    fn pre_desugars_to_default_fby() {
+        let (prog, warnings) = crate::compile_to_nlustre::<ClightOps>(
+            "node f(x: int) returns (y: int)
+             let y = pre x; tel",
+        )
+        .unwrap();
+        assert!(warnings.iter().any(|d| d.message.contains("pre")));
+        let node = &prog.nodes[0];
+        assert!(node.eqs.iter().any(|e| matches!(e, Equation::Fby { .. })));
+    }
+
+    #[test]
+    fn initialized_pre_does_not_warn() {
+        let (_, warnings) = crate::compile_to_nlustre::<ClightOps>(
+            "node f(x: int) returns (y: int)
+             let y = x -> pre y + x; tel",
+        )
+        .unwrap();
+        assert!(warnings.is_empty(), "{warnings}");
+    }
+
+    #[test]
+    fn fby_defined_output_gets_a_copy() {
+        let prog = compile(
+            "node f(x: int) returns (y: int)
+             let y = 0 fby (y + x); tel",
+        );
+        let node = &prog.nodes[0];
+        // Output y is defined by a Def that copies the fresh memory.
+        let def_y = node.eqs.iter().find_map(|e| match e {
+            Equation::Def { x, rhs, .. } if x.as_str() == "y" => Some(rhs),
+            _ => None,
+        });
+        assert!(def_y.is_some(), "{node}");
+        velus_obc::translate::translate_program(&prog).unwrap();
+    }
+
+    #[test]
+    fn nested_calls_are_flattened() {
+        let prog = compile(
+            "node id(a: int) returns (b: int) let b = a; tel
+             node g(x: int) returns (y: int) let y = id(id(x)) + 1; tel",
+        );
+        let g = prog.node(velus_common::Ident::new("g")).unwrap();
+        let calls = g
+            .eqs
+            .iter()
+            .filter(|e| matches!(e, Equation::Call { .. }))
+            .count();
+        assert_eq!(calls, 2, "{g}");
+        typecheck::check_program(&prog).unwrap();
+    }
+
+    #[test]
+    fn control_in_expression_position_is_extracted() {
+        let prog = compile(
+            "node f(c: bool; x: int) returns (y: int)
+             let y = (if c then x else 0) + 1; tel",
+        );
+        let node = &prog.nodes[0];
+        assert_eq!(node.eqs.len(), 2, "{node}");
+        typecheck::check_program(&prog).unwrap();
+        clockcheck::check_program_clocks(&prog).unwrap();
+    }
+
+    #[test]
+    fn normalized_programs_validate() {
+        let prog = compile(
+            "node counter(ini, inc: int; res: bool) returns (n: int)
+             let
+               n = if (true fby false) or res then ini else (0 fby n) + inc;
+             tel
+             node d_integrator(gamma: int) returns (speed, position: int)
+             let
+               speed = counter(0, gamma, false);
+               position = counter(0, speed, false);
+             tel",
+        );
+        typecheck::check_program(&prog).unwrap();
+        clockcheck::check_program_clocks(&prog).unwrap();
+        assert_eq!(prog.nodes.len(), 2);
+        // counter first (callee), d_integrator second.
+        assert_eq!(prog.nodes[0].name.as_str(), "counter");
+    }
+}

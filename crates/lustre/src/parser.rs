@@ -1,0 +1,617 @@
+//! A recursive-descent parser for the Lustre surface syntax.
+//!
+//! The paper uses a Menhir-generated parser with a Coq-verified
+//! correctness/completeness proof; here the grammar is small enough that a
+//! hand-written precedence-climbing parser with good error messages is the
+//! idiomatic Rust choice.
+//!
+//! Operator precedence, loosest to tightest:
+//!
+//! | level | operators                       | associativity |
+//! |-------|---------------------------------|---------------|
+//! | 1     | `->`, `fby`                     | right         |
+//! | 2     | `or`, `xor`                     | left          |
+//! | 3     | `and`                           | left          |
+//! | 4     | `when`, `whenot`                | left (postfix)|
+//! | 5     | `=`, `<>`, `<`, `<=`, `>`, `>=` | none          |
+//! | 6     | `+`, `-`                        | left          |
+//! | 7     | `*`, `/`, `div`, `mod`          | left          |
+//! | 8     | unary `-`, `not`, `pre`         | prefix        |
+
+use velus_common::{Diagnostic, Diagnostics, Ident, Span};
+use velus_ops::{Literal, SurfaceBinOp, SurfaceUnOp};
+
+use crate::ast::{UClock, UConst, UDecl, UEquation, UExpr, UNode, UProgram};
+use crate::lexer::{Tok, Token};
+
+struct Parser<'t> {
+    toks: &'t [Token],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, Diagnostics>;
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(Diagnostics::from(Diagnostic::error(msg, self.span())))
+    }
+
+    fn expect(&mut self, tok: Tok) -> PResult<()> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected `{tok}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, tok: Tok) -> bool {
+        if *self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<Ident> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Ident::new(&s))
+            }
+            other => self.error(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    // ---- declarations -------------------------------------------------
+
+    fn clock_annotation(&mut self) -> PResult<UClock> {
+        let mut ck = UClock::Base;
+        loop {
+            if self.eat(Tok::When) {
+                let polarity = !self.eat(Tok::Not);
+                let x = self.ident()?;
+                ck = UClock::On(Box::new(ck), x, polarity);
+            } else if self.eat(Tok::Whenot) {
+                let x = self.ident()?;
+                ck = UClock::On(Box::new(ck), x, false);
+            } else {
+                return Ok(ck);
+            }
+        }
+    }
+
+    /// `x, y : ty [when …]` — one typed group.
+    fn decl_group(&mut self) -> PResult<Vec<UDecl>> {
+        let start = self.span();
+        let mut names = vec![self.ident()?];
+        while self.eat(Tok::Comma) {
+            names.push(self.ident()?);
+        }
+        self.expect(Tok::Colon)?;
+        let ty_name = self.ident()?;
+        let clock = self.clock_annotation()?;
+        let span = start.merge(self.prev_span());
+        Ok(names
+            .into_iter()
+            .map(|name| UDecl { name, ty_name, clock: clock.clone(), span })
+            .collect())
+    }
+
+    /// `group ; group ; …` until a closing token.
+    fn decl_list(&mut self, stop: &Tok) -> PResult<Vec<UDecl>> {
+        let mut out = Vec::new();
+        if self.peek() == stop {
+            return Ok(out);
+        }
+        loop {
+            out.extend(self.decl_group()?);
+            if self.eat(Tok::Semi) {
+                if self.peek() == stop {
+                    return Ok(out);
+                }
+                continue;
+            }
+            return Ok(out);
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> PResult<UExpr> {
+        self.arrow_expr()
+    }
+
+    /// Level 1: `->` and `fby`, right associative.
+    fn arrow_expr(&mut self) -> PResult<UExpr> {
+        let lhs = self.or_expr()?;
+        if self.eat(Tok::Arrow) {
+            let rhs = self.arrow_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            return Ok(UExpr::Arrow(Box::new(lhs), Box::new(rhs), span));
+        }
+        if self.eat(Tok::Fby) {
+            let rhs = self.arrow_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            return Ok(UExpr::Fby(Box::new(lhs), Box::new(rhs), span));
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> PResult<UExpr> {
+        let mut lhs = self.and_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Or => SurfaceBinOp::Or,
+                Tok::Xor => SurfaceBinOp::Xor,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = UExpr::Binop(op, Box::new(lhs), Box::new(rhs), span);
+        }
+    }
+
+    fn and_expr(&mut self) -> PResult<UExpr> {
+        let mut lhs = self.when_expr()?;
+        while self.eat(Tok::And) {
+            let rhs = self.when_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = UExpr::Binop(SurfaceBinOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    /// Level 4: postfix sampling chains.
+    fn when_expr(&mut self) -> PResult<UExpr> {
+        let mut e = self.cmp_expr()?;
+        loop {
+            if self.eat(Tok::When) {
+                let polarity = !self.eat(Tok::Not);
+                let x = self.ident()?;
+                let span = e.span().merge(self.prev_span());
+                e = UExpr::When(Box::new(e), x, polarity, span);
+            } else if self.eat(Tok::Whenot) {
+                let x = self.ident()?;
+                let span = e.span().merge(self.prev_span());
+                e = UExpr::When(Box::new(e), x, false, span);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn cmp_expr(&mut self) -> PResult<UExpr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => SurfaceBinOp::Eq,
+            Tok::Neq => SurfaceBinOp::Ne,
+            Tok::Lt => SurfaceBinOp::Lt,
+            Tok::Le => SurfaceBinOp::Le,
+            Tok::Gt => SurfaceBinOp::Gt,
+            Tok::Ge => SurfaceBinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().merge(rhs.span());
+        Ok(UExpr::Binop(op, Box::new(lhs), Box::new(rhs), span))
+    }
+
+    fn add_expr(&mut self) -> PResult<UExpr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => SurfaceBinOp::Add,
+                Tok::Minus => SurfaceBinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = UExpr::Binop(op, Box::new(lhs), Box::new(rhs), span);
+        }
+    }
+
+    fn mul_expr(&mut self) -> PResult<UExpr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => SurfaceBinOp::Mul,
+                Tok::Slash | Tok::Div => SurfaceBinOp::Div,
+                Tok::Mod => SurfaceBinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = UExpr::Binop(op, Box::new(lhs), Box::new(rhs), span);
+        }
+    }
+
+    fn unary_expr(&mut self) -> PResult<UExpr> {
+        let start = self.span();
+        if self.eat(Tok::Minus) {
+            let e = self.unary_expr()?;
+            let span = start.merge(e.span());
+            // Fold negation into literals so that `-1 fby x` has a
+            // constant head.
+            return Ok(match e {
+                UExpr::Lit(Literal::Int(i), _) => UExpr::Lit(Literal::Int(-i), span),
+                UExpr::Lit(Literal::Float(x), _) => UExpr::Lit(Literal::Float(-x), span),
+                e => UExpr::Unop(SurfaceUnOp::Neg, Box::new(e), span),
+            });
+        }
+        if self.eat(Tok::Not) {
+            let e = self.unary_expr()?;
+            let span = start.merge(e.span());
+            return Ok(UExpr::Unop(SurfaceUnOp::Not, Box::new(e), span));
+        }
+        if self.eat(Tok::Pre) {
+            let e = self.unary_expr()?;
+            let span = start.merge(e.span());
+            return Ok(UExpr::Pre(Box::new(e), span));
+        }
+        self.primary_expr()
+    }
+
+    /// A `merge` branch is atomic: a variable, a literal, or a
+    /// parenthesized expression. A bare identifier is *never* treated as
+    /// a call here, so that `merge x c (e)` parses as two branches rather
+    /// than the call `c(e)`.
+    fn merge_branch(&mut self) -> PResult<UExpr> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(UExpr::Var(Ident::new(&name), span))
+            }
+            Tok::Int(i) => {
+                self.bump();
+                Ok(UExpr::Lit(Literal::Int(i), span))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(UExpr::Lit(Literal::Float(x), span))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(UExpr::Lit(Literal::Bool(true), span))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(UExpr::Lit(Literal::Bool(false), span))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => self.error(format!(
+                "expected a merge branch (variable, literal or parenthesized expression), found `{other}`"
+            )),
+        }
+    }
+
+    fn primary_expr(&mut self) -> PResult<UExpr> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(UExpr::Lit(Literal::Int(i), span))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(UExpr::Lit(Literal::Float(x), span))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(UExpr::Lit(Literal::Bool(true), span))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(UExpr::Lit(Literal::Bool(false), span))
+            }
+            Tok::If => {
+                self.bump();
+                let c = self.expr()?;
+                self.expect(Tok::Then)?;
+                let t = self.expr()?;
+                self.expect(Tok::Else)?;
+                let f = self.expr()?;
+                let span = span.merge(f.span());
+                Ok(UExpr::If(Box::new(c), Box::new(t), Box::new(f), span))
+            }
+            Tok::Merge => {
+                self.bump();
+                let x = self.ident()?;
+                let t = self.merge_branch()?;
+                let f = self.merge_branch()?;
+                let span = span.merge(f.span());
+                Ok(UExpr::Merge(x, Box::new(t), Box::new(f), span))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                let id = Ident::new(&name);
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        args.push(self.expr()?);
+                        while self.eat(Tok::Comma) {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    let span = span.merge(self.prev_span());
+                    Ok(UExpr::Call(id, args, span))
+                } else {
+                    Ok(UExpr::Var(id, span))
+                }
+            }
+            other => self.error(format!("expected expression, found `{other}`")),
+        }
+    }
+
+    // ---- top level -----------------------------------------------------
+
+    fn equation(&mut self) -> PResult<UEquation> {
+        let start = self.span();
+        let mut lhs = Vec::new();
+        if self.eat(Tok::LParen) {
+            lhs.push(self.ident()?);
+            while self.eat(Tok::Comma) {
+                lhs.push(self.ident()?);
+            }
+            self.expect(Tok::RParen)?;
+        } else {
+            lhs.push(self.ident()?);
+            while self.eat(Tok::Comma) {
+                lhs.push(self.ident()?);
+            }
+        }
+        self.expect(Tok::Eq)?;
+        let rhs = self.expr()?;
+        self.expect(Tok::Semi)?;
+        let span = start.merge(self.prev_span());
+        Ok(UEquation { lhs, rhs, span })
+    }
+
+    fn node(&mut self) -> PResult<UNode> {
+        let start = self.span();
+        self.bump(); // `node` or `function`
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let inputs = self.decl_list(&Tok::RParen)?;
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Returns)?;
+        self.expect(Tok::LParen)?;
+        let outputs = self.decl_list(&Tok::RParen)?;
+        self.expect(Tok::RParen)?;
+        self.eat(Tok::Semi);
+        let locals = if self.eat(Tok::Var) {
+            let ds = self.decl_list(&Tok::Let)?;
+            self.eat(Tok::Semi);
+            ds
+        } else {
+            Vec::new()
+        };
+        self.expect(Tok::Let)?;
+        let mut eqs = Vec::new();
+        while *self.peek() != Tok::Tel {
+            if *self.peek() == Tok::Eof {
+                return self.error("unexpected end of file inside node body (missing `tel`?)");
+            }
+            eqs.push(self.equation()?);
+        }
+        self.expect(Tok::Tel)?;
+        self.eat(Tok::Semi);
+        let span = start.merge(self.prev_span());
+        Ok(UNode { name, inputs, outputs, locals, eqs, span })
+    }
+
+    fn const_decl(&mut self) -> PResult<UConst> {
+        let start = self.span();
+        self.expect(Tok::Const)?;
+        let name = self.ident()?;
+        self.expect(Tok::Colon)?;
+        let ty_name = self.ident()?;
+        self.expect(Tok::Eq)?;
+        let value = self.expr()?;
+        self.expect(Tok::Semi)?;
+        let span = start.merge(self.prev_span());
+        Ok(UConst { name, ty_name, value, span })
+    }
+
+    fn program(&mut self) -> PResult<UProgram> {
+        let mut prog = UProgram::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => return Ok(prog),
+                Tok::Const => prog.consts.push(self.const_decl()?),
+                Tok::Node | Tok::Function => prog.nodes.push(self.node()?),
+                other => {
+                    return self.error(format!(
+                        "expected `node`, `function` or `const`, found `{other}`"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Parses a token stream into a surface program.
+///
+/// `source` is only used for error rendering by callers; the parser works
+/// on spans.
+///
+/// # Errors
+///
+/// Syntax errors with positions.
+pub fn parse(tokens: &[Token], source: &str) -> Result<UProgram, Diagnostics> {
+    let _ = source;
+    let mut p = Parser { toks: tokens, pos: 0 };
+    p.program()
+}
+
+/// Convenience: lex and parse in one step.
+///
+/// # Errors
+///
+/// Lexical and syntax errors.
+pub fn parse_source(source: &str) -> Result<UProgram, Diagnostics> {
+    let toks = crate::lexer::lex(source)?;
+    parse(&toks, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_counter() {
+        let src = "
+            node counter(ini, inc: int; res: bool) returns (n: int)
+            let
+              n = if (true fby false) or res then ini else (0 fby n) + inc;
+            tel
+        ";
+        let p = parse_source(src).unwrap();
+        assert_eq!(p.nodes.len(), 1);
+        let n = &p.nodes[0];
+        assert_eq!(n.name, Ident::new("counter"));
+        assert_eq!(n.inputs.len(), 3);
+        assert_eq!(n.outputs.len(), 1);
+        assert_eq!(n.eqs.len(), 1);
+        assert!(matches!(n.eqs[0].rhs, UExpr::If(..)));
+    }
+
+    #[test]
+    fn parses_tuple_equations() {
+        let src = "
+            node d(gamma: int) returns (speed, position: int)
+            let
+              (speed, position) = two(gamma);
+            tel
+        ";
+        let p = parse_source(src).unwrap();
+        assert_eq!(p.nodes[0].eqs[0].lhs.len(), 2);
+    }
+
+    #[test]
+    fn precedence_arrow_is_loosest() {
+        let p = parse_source("node f(x: int) returns (y: int) let y = 0 -> x + 1; tel").unwrap();
+        match &p.nodes[0].eqs[0].rhs {
+            UExpr::Arrow(_, rhs, _) => assert!(matches!(**rhs, UExpr::Binop(..))),
+            other => panic!("expected arrow at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_fby_binds_like_arrow() {
+        let p = parse_source("node f(x: int) returns (y: int) let y = 0 fby y + x; tel").unwrap();
+        match &p.nodes[0].eqs[0].rhs {
+            UExpr::Fby(init, rhs, _) => {
+                assert!(matches!(**init, UExpr::Lit(..)));
+                assert!(matches!(**rhs, UExpr::Binop(..)));
+            }
+            other => panic!("expected fby at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn when_samples_whole_comparisons() {
+        let p =
+            parse_source("node f(s: int; c: bool) returns (y: bool) let y = s > 5 when c; tel")
+                .unwrap();
+        match &p.nodes[0].eqs[0].rhs {
+            UExpr::When(inner, _, true, _) => assert!(matches!(**inner, UExpr::Binop(..))),
+            other => panic!("expected when at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn when_not_parses_both_ways() {
+        for src in [
+            "node f(x: int; c: bool) returns (y: int) let y = x when not c; tel",
+            "node f(x: int; c: bool) returns (y: int) let y = x whenot c; tel",
+        ] {
+            let p = parse_source(src).unwrap();
+            assert!(matches!(&p.nodes[0].eqs[0].rhs, UExpr::When(_, _, false, _)));
+        }
+    }
+
+    #[test]
+    fn clock_annotations_on_declarations() {
+        let src = "
+            node f(x: bool) returns (o: int)
+            var c: int when x;
+            let c = 1 when x; o = merge x c (0 when not x); tel
+        ";
+        let p = parse_source(src).unwrap();
+        let d = &p.nodes[0].locals[0];
+        assert_eq!(d.clock, UClock::On(Box::new(UClock::Base), Ident::new("x"), true));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let p = parse_source("node f() returns (y: int) let y = -3 fby y; tel").unwrap();
+        match &p.nodes[0].eqs[0].rhs {
+            UExpr::Fby(init, _, _) => {
+                assert!(matches!(**init, UExpr::Lit(Literal::Int(-3), _)))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn const_declarations() {
+        let p = parse_source("const limit: int = 5; node f() returns (y: int) let y = limit; tel")
+            .unwrap();
+        assert_eq!(p.consts.len(), 1);
+        assert_eq!(p.consts[0].name, Ident::new("limit"));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_source("node f() returns (y: int) let y = ; tel").unwrap_err();
+        assert!(err.has_errors());
+        let msg = err.to_string();
+        assert!(msg.contains("expected expression"), "{msg}");
+    }
+
+    #[test]
+    fn missing_tel_is_a_clear_error() {
+        let err = parse_source("node f() returns (y: int) let y = 1;").unwrap_err();
+        assert!(err.to_string().contains("missing `tel`"));
+    }
+}

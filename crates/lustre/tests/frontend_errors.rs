@@ -1,0 +1,189 @@
+//! Error-path tests of the front end: every rejection the elaborator is
+//! supposed to make, with a usable message and a real source position.
+
+use velus_lustre::compile_to_nlustre;
+use velus_ops::ClightOps;
+
+fn err_of(src: &str) -> String {
+    match compile_to_nlustre::<ClightOps>(src) {
+        Ok(_) => panic!("expected rejection of:\n{src}"),
+        Err(d) => d.render(src),
+    }
+}
+
+#[test]
+fn unknown_variable() {
+    let e = err_of("node f(x: int) returns (y: int) let y = z; tel");
+    assert!(e.contains("unknown variable z"), "{e}");
+    assert!(e.contains("error"), "{e}");
+}
+
+#[test]
+fn unknown_type() {
+    let e = err_of("node f(x: quaternion) returns (y: int) let y = 0; tel");
+    assert!(e.contains("unknown type quaternion"), "{e}");
+}
+
+#[test]
+fn type_mismatch_across_equation() {
+    let e = err_of("node f(x: int) returns (y: bool) let y = x + 1; tel");
+    assert!(e.contains("expected bool") || e.contains("yields int"), "{e}");
+}
+
+#[test]
+fn boolean_connectives_reject_integers() {
+    // `and` forces both operands to bool; the integer operand is the error.
+    let e = err_of("node f(x: int) returns (y: bool) let y = x and true; tel");
+    assert!(e.contains("has type int, expected bool"), "{e}");
+}
+
+#[test]
+fn comparison_operands_must_agree() {
+    let e = err_of("node f(x: int; r: real) returns (y: bool) let y = x > r; tel");
+    assert!(e.contains("type mismatch"), "{e}");
+}
+
+#[test]
+fn fby_initial_value_must_be_constant() {
+    let e = err_of("node f(x: int) returns (y: int) let y = x fby y; tel");
+    assert!(e.contains("must be a constant"), "{e}");
+}
+
+#[test]
+fn duplicate_definition() {
+    let e = err_of("node f(x: int) returns (y: int) let y = x; y = x; tel");
+    assert!(e.contains("defined twice"), "{e}");
+}
+
+#[test]
+fn inputs_cannot_be_defined() {
+    let e = err_of("node f(x: int) returns (y: int) let x = 1; y = x; tel");
+    assert!(e.contains("input x cannot be defined"), "{e}");
+}
+
+#[test]
+fn undefined_output() {
+    let e = err_of("node f(x: int) returns (y, z: int) let y = x; tel");
+    assert!(e.contains("never defined"), "{e}");
+}
+
+#[test]
+fn recursive_nodes_are_rejected() {
+    let e = err_of(
+        "node f(x: int) returns (y: int) let y = g(x); tel
+         node g(x: int) returns (y: int) let y = f(x); tel",
+    );
+    assert!(e.contains("recursive node instantiation"), "{e}");
+}
+
+#[test]
+fn self_recursion_is_rejected() {
+    let e = err_of("node f(x: int) returns (y: int) let y = f(x); tel");
+    assert!(e.contains("recursive"), "{e}");
+}
+
+#[test]
+fn arity_mismatch_in_call() {
+    let e = err_of(
+        "node g(a, b: int) returns (c: int) let c = a + b; tel
+         node f(x: int) returns (y: int) let y = g(x); tel",
+    );
+    assert!(e.contains("takes 2 arguments"), "{e}");
+}
+
+#[test]
+fn tuple_pattern_requires_matching_outputs() {
+    let e = err_of(
+        "node g(a: int) returns (b, c: int) let b = a; c = a; tel
+         node f(x: int) returns (y: int) var z, w, v: int;
+         let (z, w, v) = g(x); y = z; tel",
+    );
+    assert!(e.contains("2 outputs"), "{e}");
+}
+
+#[test]
+fn multi_output_call_in_expression_position() {
+    let e = err_of(
+        "node g(a: int) returns (b, c: int) let b = a; c = a; tel
+         node f(x: int) returns (y: int) let y = g(x) + 1; tel",
+    );
+    assert!(e.contains("tuple calls only at equation level"), "{e}");
+}
+
+#[test]
+fn sampler_must_be_boolean() {
+    let e = err_of("node f(x, k: int) returns (y: int) let y = x when k; tel");
+    assert!(e.contains("expected bool"), "{e}");
+}
+
+#[test]
+fn clock_mismatch_in_operator() {
+    let e = err_of(
+        "node f(k: bool; x: int) returns (y: int)
+         let y = x + (x when k); tel",
+    );
+    assert!(e.contains("clock"), "{e}");
+}
+
+#[test]
+fn merge_branches_must_be_complementary() {
+    let e = err_of(
+        "node f(k: bool; x: int) returns (y: int)
+         let y = merge k (x when k) (x when k); tel",
+    );
+    assert!(e.contains("clock"), "{e}");
+}
+
+#[test]
+fn interface_variables_live_on_the_base_clock() {
+    let e = err_of(
+        "node f(k: bool; x: int when k) returns (y: int)
+         let y = merge k x (0 when not k); tel",
+    );
+    assert!(e.contains("base clock"), "{e}");
+}
+
+#[test]
+fn literal_range_is_checked() {
+    let e = err_of("node f() returns (y: int8) let y = 200; tel");
+    assert!(e.contains("does not fit"), "{e}");
+}
+
+#[test]
+fn instantaneous_cycles_fail_scheduling() {
+    // The front end accepts this (it is well typed and well clocked);
+    // the scheduling pass rejects it. Exercised through the driver.
+    let src = "node f(x: int) returns (y: int) var a, b: int;
+               let a = b + x; b = a; y = a; tel";
+    let prog = compile_to_nlustre::<ClightOps>(src).unwrap().0;
+    let mut p = prog;
+    let err = velus_nlustre::schedule::schedule_program(&mut p).unwrap_err();
+    assert!(matches!(err, velus_nlustre::SemError::SchedulingCycle(..)));
+}
+
+#[test]
+fn error_positions_point_into_the_source() {
+    let src = "node f(x: int) returns (y: int)\nlet y = unknown_var; tel";
+    let e = err_of(src);
+    // Line 2 of the source.
+    assert!(e.starts_with("2:"), "{e}");
+}
+
+#[test]
+fn casts_are_type_checked() {
+    let ok = "node f(r: real) returns (y: int) let y = int(r); tel";
+    assert!(compile_to_nlustre::<ClightOps>(ok).is_ok());
+    let e = err_of("node f(r: real) returns (y: int) let y = bool(r) + 1; tel");
+    assert!(e.contains("cast") || e.contains("bool"), "{e}");
+}
+
+#[test]
+fn mixed_clock_tuple_patterns_are_rejected() {
+    let e = err_of(
+        "node g(a: int) returns (b, c: int) let b = a; c = a; tel
+         node f(k: bool; x: int) returns (y: int)
+         var u: int; v: int when k;
+         let (u, v) = g(x); y = u; tel",
+    );
+    assert!(e.contains("mixes clocks"), "{e}");
+}

@@ -1,0 +1,127 @@
+//! Hierarchical clocks (paper Fig. 2).
+//!
+//! A clock describes when a stream carries a value: on the `base` clock of
+//! the enclosing node, or on a sub-clock obtained by sampling another
+//! (boolean) stream: `ck on x` holds when `ck` holds and `x` is true,
+//! `ck onot x` when `ck` holds and `x` is false.
+
+use std::fmt;
+
+use velus_common::Ident;
+
+/// A clock expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Clock {
+    /// The base clock of the enclosing node.
+    Base,
+    /// A sub-clock: `on(ck, x, true)` is `ck on x`, `on(ck, x, false)` is
+    /// `ck onot x`.
+    On(Box<Clock>, Ident, bool),
+}
+
+impl Clock {
+    /// Builds `self on x` (positive polarity) or `self onot x`.
+    pub fn on(self, x: Ident, polarity: bool) -> Clock {
+        Clock::On(Box::new(self), x, polarity)
+    }
+
+    /// Nesting depth: `base` is 0, each `on` adds one.
+    pub fn depth(&self) -> usize {
+        match self {
+            Clock::Base => 0,
+            Clock::On(ck, _, _) => 1 + ck.depth(),
+        }
+    }
+
+    /// The sampling variables appearing in the clock, outermost last.
+    pub fn vars(&self) -> Vec<Ident> {
+        let mut out = Vec::new();
+        let mut ck = self;
+        while let Clock::On(parent, x, _) = ck {
+            out.push(*x);
+            ck = parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// The immediate parent clock (`None` for `base`).
+    pub fn parent(&self) -> Option<&Clock> {
+        match self {
+            Clock::Base => None,
+            Clock::On(ck, _, _) => Some(ck),
+        }
+    }
+
+    /// Whether `self` is `other` or a (transitive) sub-clock of it.
+    pub fn is_suffix_of(&self, other: &Clock) -> bool {
+        let mut ck = other;
+        loop {
+            if ck == self {
+                return true;
+            }
+            match ck.parent() {
+                Some(p) => ck = p,
+                None => return false,
+            }
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::Base
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clock::Base => f.write_str("."),
+            Clock::On(ck, x, true) => write!(f, "{ck} on {x}"),
+            Clock::On(ck, x, false) => write!(f, "{ck} onot {x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Ident {
+        Ident::new("x")
+    }
+
+    fn y() -> Ident {
+        Ident::new("y")
+    }
+
+    #[test]
+    fn display() {
+        let ck = Clock::Base.on(x(), true).on(y(), false);
+        assert_eq!(ck.to_string(), ". on x onot y");
+    }
+
+    #[test]
+    fn depth_and_vars() {
+        let ck = Clock::Base.on(x(), true).on(y(), false);
+        assert_eq!(ck.depth(), 2);
+        assert_eq!(ck.vars(), vec![x(), y()]);
+        assert_eq!(Clock::Base.depth(), 0);
+        assert!(Clock::Base.vars().is_empty());
+    }
+
+    #[test]
+    fn suffix_relation() {
+        let base = Clock::Base;
+        let on_x = base.clone().on(x(), true);
+        let on_xy = on_x.clone().on(y(), false);
+        assert!(base.is_suffix_of(&on_xy));
+        assert!(on_x.is_suffix_of(&on_xy));
+        assert!(on_xy.is_suffix_of(&on_xy));
+        assert!(!on_xy.is_suffix_of(&on_x));
+        // Polarity matters.
+        let on_x_neg = Clock::Base.on(x(), false);
+        assert!(!on_x_neg.is_suffix_of(&on_xy));
+    }
+}

@@ -1,0 +1,54 @@
+//! Semantic and structural errors of the dataflow layer.
+
+use std::fmt;
+
+use velus_common::Ident;
+
+/// Errors raised by the semantic models and the scheduling passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemError {
+    /// A variable with no defining equation (and not an input) was read.
+    UndefinedVariable(Ident),
+    /// A node instantiation refers to a node that does not exist.
+    UnknownNode(Ident),
+    /// The demand-driven evaluation looped: instantaneous dependency cycle.
+    CausalityLoop(Ident),
+    /// An operator was applied outside its domain (e.g. division by zero).
+    UndefinedOperation(String),
+    /// A clocking inconsistency surfaced at run time (should have been
+    /// ruled out by clock checking).
+    ClockError(String),
+    /// A value failed the typing judgment at run time (should have been
+    /// ruled out by type checking).
+    TypeError(String),
+    /// Inputs of mismatched arity or length were supplied to a node.
+    InputMismatch(String),
+    /// The equations of a node cannot be scheduled (dependency cycle).
+    SchedulingCycle(Ident, Vec<Ident>),
+    /// A schedule failed validation.
+    BadSchedule(String),
+    /// A structural well-formedness violation (duplicate names, …).
+    Malformed(String),
+}
+
+impl fmt::Display for SemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemError::UndefinedVariable(x) => write!(f, "undefined variable {x}"),
+            SemError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SemError::CausalityLoop(x) => write!(f, "causality loop through variable {x}"),
+            SemError::UndefinedOperation(m) => write!(f, "undefined operation: {m}"),
+            SemError::ClockError(m) => write!(f, "clock inconsistency: {m}"),
+            SemError::TypeError(m) => write!(f, "type inconsistency: {m}"),
+            SemError::InputMismatch(m) => write!(f, "input mismatch: {m}"),
+            SemError::SchedulingCycle(node, vars) => {
+                let vars: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+                write!(f, "dependency cycle in node {node} through {}", vars.join(" -> "))
+            }
+            SemError::BadSchedule(m) => write!(f, "invalid schedule: {m}"),
+            SemError::Malformed(m) => write!(f, "malformed program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SemError {}

@@ -1,0 +1,124 @@
+//! The recursive memory tree `memory V` of §3.1.
+//!
+//! > `memory V ≜ { values : ident ⇀ V; instances : ident ⇀ memory V }`
+//!
+//! The memory of a program compiled from SN-Lustre reflects the tree of
+//! nodes in the source: an entry in `values` for each `fby`, an entry in
+//! `instances` for each node call. The same structure is used
+//!
+//! * with `V = O::Val` as the run-time state of the Obc interpreter, and
+//! * with `V = Vec<O::Val>` (streams) as the exposed memory `M` of the
+//!   intermediate semantic model (§3.2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use velus_common::Ident;
+
+/// A tree-shaped memory, parameterized by the domain of stored values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Memory<V> {
+    /// Named scalar cells (one per `fby` in the corresponding node).
+    pub values: BTreeMap<Ident, V>,
+    /// Named sub-memories (one per node instantiation).
+    pub instances: BTreeMap<Ident, Memory<V>>,
+}
+
+impl<V> Memory<V> {
+    /// An empty memory.
+    pub fn new() -> Memory<V> {
+        Memory {
+            values: BTreeMap::new(),
+            instances: BTreeMap::new(),
+        }
+    }
+
+    /// Reads a scalar cell.
+    pub fn value(&self, x: Ident) -> Option<&V> {
+        self.values.get(&x)
+    }
+
+    /// Writes a scalar cell.
+    pub fn set_value(&mut self, x: Ident, v: V) {
+        self.values.insert(x, v);
+    }
+
+    /// Accesses a sub-memory.
+    pub fn instance(&self, i: Ident) -> Option<&Memory<V>> {
+        self.instances.get(&i)
+    }
+
+    /// Mutable access to a sub-memory, creating it if absent.
+    pub fn instance_mut(&mut self, i: Ident) -> &mut Memory<V> {
+        self.instances.entry(i).or_insert_with(Memory::new)
+    }
+
+    /// Total number of scalar cells in the whole tree.
+    pub fn total_cells(&self) -> usize {
+        self.values.len() + self.instances.values().map(Memory::total_cells).sum::<usize>()
+    }
+
+    /// Maps every value in the tree, preserving the structure.
+    pub fn map<W>(&self, f: &mut impl FnMut(&V) -> W) -> Memory<W> {
+        Memory {
+            values: self.values.iter().map(|(k, v)| (*k, f(v))).collect(),
+            instances: self.instances.iter().map(|(k, m)| (*k, m.map(f))).collect(),
+        }
+    }
+}
+
+impl<V: fmt::Display> fmt::Display for Memory<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (k, v) in &self.values {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{k} = {v}")?;
+        }
+        for (k, m) in &self.instances {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{k}: {m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_structure() {
+        let mut m: Memory<i32> = Memory::new();
+        m.set_value(Ident::new("pt"), 7);
+        m.instance_mut(Ident::new("s")).set_value(Ident::new("c"), 1);
+        assert_eq!(m.value(Ident::new("pt")), Some(&7));
+        assert_eq!(m.instance(Ident::new("s")).unwrap().value(Ident::new("c")), Some(&1));
+        assert_eq!(m.total_cells(), 2);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let mut m: Memory<i32> = Memory::new();
+        m.set_value(Ident::new("a"), 2);
+        m.instance_mut(Ident::new("i")).set_value(Ident::new("b"), 3);
+        let doubled = m.map(&mut |v| v * 2);
+        assert_eq!(doubled.value(Ident::new("a")), Some(&4));
+        assert_eq!(
+            doubled.instance(Ident::new("i")).unwrap().value(Ident::new("b")),
+            Some(&6)
+        );
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m: Memory<i32> = Memory::new();
+        assert_eq!(m.to_string(), "{}");
+    }
+}

@@ -1,0 +1,213 @@
+//! The scheduling pass: N-Lustre → SN-Lustre.
+//!
+//! The paper implements scheduling as an untrusted OCaml heuristic whose
+//! output is validated by a Coq-verified checker (§2.1). We keep that
+//! architecture: [`schedule_node`] is a heuristic, and every caller
+//! re-validates the result with [`deps::check_schedule`].
+//!
+//! The heuristic is a Kahn topological sort that *prefers to keep
+//! equations of equal clocks adjacent*. This is the property that makes
+//! the later fusion optimization effective — "scheduling places similarly
+//! clocked equations together" (§3.3) — and it is why, on the benchmarks
+//! with the deepest clock nesting, the schedule coincides with the one
+//! Heptagon finds (§5).
+
+use std::collections::VecDeque;
+
+use velus_ops::Ops;
+
+use crate::ast::{Node, Program};
+use crate::clock::Clock;
+use crate::deps::{check_schedule, cycle_witness, dep_graph};
+use crate::SemError;
+
+/// Schedules the equations of one node. Returns the new equation order as
+/// indices into the original list.
+///
+/// # Errors
+///
+/// [`SemError::SchedulingCycle`] when the dependency graph is cyclic.
+pub fn schedule_order<O: Ops>(node: &Node<O>) -> Result<Vec<usize>, SemError> {
+    let graph = dep_graph(node);
+    let n = graph.len();
+    let mut preds = graph.preds.clone();
+    // Ready equations, grouped to allow clock-affine picking.
+    let mut ready: VecDeque<usize> = (0..n).filter(|&i| preds[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut last_clock: Option<Clock> = None;
+
+    while !ready.is_empty() {
+        // Prefer an equation on the same clock as the previous one; fall
+        // back to the earliest ready equation (stable order).
+        let pick_pos = last_clock
+            .as_ref()
+            .and_then(|ck| ready.iter().position(|&i| node.eqs[i].clock() == ck))
+            .unwrap_or(0);
+        let i = ready.remove(pick_pos).expect("position is in range");
+        last_clock = Some(node.eqs[i].clock().clone());
+        order.push(i);
+        for &j in &graph.succs[i] {
+            preds[j] -= 1;
+            if preds[j] == 0 {
+                ready.push_back(j);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(SemError::SchedulingCycle(
+            node.name,
+            cycle_witness(node, &graph),
+        ));
+    }
+    Ok(order)
+}
+
+/// Schedules a node in place (reorders its equations) and validates the
+/// result with the independent checker.
+///
+/// # Errors
+///
+/// [`SemError::SchedulingCycle`] on causality cycles; [`SemError::BadSchedule`]
+/// if (impossibly, absent bugs) the heuristic produced an invalid order —
+/// the untrusted-scheduler/validated-checker split of the paper.
+pub fn schedule_node<O: Ops>(node: &mut Node<O>) -> Result<(), SemError> {
+    let order = schedule_order(node)?;
+    let mut eqs = Vec::with_capacity(node.eqs.len());
+    for &i in &order {
+        eqs.push(node.eqs[i].clone());
+    }
+    node.eqs = eqs;
+    check_schedule(node)
+}
+
+/// Schedules every node of a program, validating each schedule.
+///
+/// # Errors
+///
+/// See [`schedule_node`].
+pub fn schedule_program<O: Ops>(prog: &mut Program<O>) -> Result<(), SemError> {
+    for node in &mut prog.nodes {
+        schedule_node(node)?;
+    }
+    Ok(())
+}
+
+/// Counts the clock discontinuities of a schedule: the number of adjacent
+/// equation pairs with different clocks. Lower is better for fusion; used
+/// by the schedule-quality experiment (§5).
+pub fn clock_switches<O: Ops>(node: &Node<O>) -> usize {
+    node.eqs
+        .windows(2)
+        .filter(|w| w[0].clock() != w[1].clock())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CExpr, Equation, Expr, VarDecl};
+    use velus_common::Ident;
+    use velus_ops::{CConst, CTy, ClightOps};
+
+    fn id(s: &str) -> Ident {
+        Ident::new(s)
+    }
+
+    fn decl(name: &str, ty: CTy, ck: Clock) -> VarDecl<ClightOps> {
+        VarDecl { name: id(name), ty, ck }
+    }
+
+    fn var(x: &str) -> Expr<ClightOps> {
+        Expr::Var(id(x), CTy::I32)
+    }
+
+    /// A node with interleaved clocks, deliberately badly ordered.
+    fn messy() -> Node<ClightOps> {
+        let on_k = Clock::Base.on(id("k"), true);
+        Node {
+            name: id("messy"),
+            inputs: vec![decl("k", CTy::Bool, Clock::Base), decl("x", CTy::I32, Clock::Base)],
+            outputs: vec![decl("o", CTy::I32, Clock::Base)],
+            locals: vec![
+                decl("a", CTy::I32, on_k.clone()),
+                decl("b", CTy::I32, on_k.clone()),
+                decl("c", CTy::I32, Clock::Base),
+            ],
+            eqs: vec![
+                // o = c + x        (base)   — reads c
+                Equation::Def {
+                    x: id("o"),
+                    ck: Clock::Base,
+                    rhs: CExpr::Expr(Expr::Binop(
+                        velus_ops::CBinOp::Add,
+                        Box::new(var("c")),
+                        Box::new(var("x")),
+                        CTy::I32,
+                    )),
+                },
+                // a = x when k     (on k)
+                Equation::Def {
+                    x: id("a"),
+                    ck: on_k.clone(),
+                    rhs: CExpr::Expr(Expr::When(Box::new(var("x")), id("k"), true)),
+                },
+                // c = 0 fby (c+x)  (base)   — written after all readers
+                Equation::Fby {
+                    x: id("c"),
+                    ck: Clock::Base,
+                    init: CConst::int(0),
+                    rhs: Expr::Binop(
+                        velus_ops::CBinOp::Add,
+                        Box::new(var("c")),
+                        Box::new(var("x")),
+                        CTy::I32,
+                    ),
+                },
+                // b = a            (on k)   — reads a
+                Equation::Def {
+                    x: id("b"),
+                    ck: on_k,
+                    rhs: CExpr::Expr(var("a")),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn schedule_is_valid_and_groups_clocks() {
+        let mut node = messy();
+        schedule_node(&mut node).unwrap();
+        check_schedule(&node).unwrap();
+        // Equal-clock equations end up adjacent: at most 2 switches for
+        // two clock groups, where the original order had 3.
+        assert!(clock_switches(&node) <= 2, "schedule: {node}");
+    }
+
+    #[test]
+    fn cycle_reported_with_witness() {
+        let mut node = messy();
+        // Introduce a = b to close an instantaneous cycle a -> b -> a.
+        node.eqs[1] = Equation::Def {
+            x: id("a"),
+            ck: Clock::Base.on(id("k"), true),
+            rhs: CExpr::Expr(var("b")),
+        };
+        let err = schedule_node(&mut node).unwrap_err();
+        match err {
+            SemError::SchedulingCycle(n, vars) => {
+                assert_eq!(n, id("messy"));
+                assert!(vars.contains(&id("a")) && vars.contains(&id("b")));
+            }
+            other => panic!("expected cycle, got {other}"),
+        }
+    }
+
+    #[test]
+    fn already_scheduled_nodes_are_stable() {
+        let mut node = messy();
+        schedule_node(&mut node).unwrap();
+        let once = node.clone();
+        schedule_node(&mut node).unwrap();
+        assert_eq!(node, once);
+    }
+}

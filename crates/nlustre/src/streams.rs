@@ -1,0 +1,128 @@
+//! Stream values with explicit presence and absence (§3.1).
+//!
+//! The paper models streams as functions from instants to a value domain
+//! that explicitly encodes presence (`⟨v⟩`) and absence (`abs`); the gaps
+//! of sampled streams stay in place rather than being squeezed out as in a
+//! Kahn semantics. [`SVal`] is that domain.
+
+use std::fmt;
+
+use velus_ops::Ops;
+
+/// A synchronous stream value at one instant: present with a value, or
+/// absent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SVal<O: Ops> {
+    /// The stream carries no value at this instant.
+    Abs,
+    /// The stream carries value `v` at this instant (`⟨v⟩`).
+    Pres(O::Val),
+}
+
+impl<O: Ops> SVal<O> {
+    /// Whether the value is present.
+    pub fn is_present(&self) -> bool {
+        matches!(self, SVal::Pres(_))
+    }
+
+    /// The carried value, if present.
+    pub fn value(&self) -> Option<&O::Val> {
+        match self {
+            SVal::Abs => None,
+            SVal::Pres(v) => Some(v),
+        }
+    }
+
+    /// Extracts the value, consuming `self`.
+    pub fn into_value(self) -> Option<O::Val> {
+        match self {
+            SVal::Abs => None,
+            SVal::Pres(v) => Some(v),
+        }
+    }
+}
+
+impl<O: Ops> fmt::Display for SVal<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SVal::Abs => f.write_str("."),
+            SVal::Pres(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A finite prefix of a set of named streams: `streams[i][n]` is the value
+/// of stream `i` at instant `n`.
+///
+/// Used for node inputs and outputs in the semantic APIs.
+pub type StreamSet<O> = Vec<Vec<SVal<O>>>;
+
+/// Builds an always-present stream set from plain values, one inner vector
+/// per stream.
+///
+/// # Examples
+///
+/// ```
+/// use velus_nlustre::streams::{present_streams, SVal};
+/// use velus_ops::{ClightOps, CVal};
+///
+/// let s = present_streams::<ClightOps>(vec![vec![CVal::int(1), CVal::int(2)]]);
+/// assert_eq!(s[0][1], SVal::Pres(CVal::int(2)));
+/// ```
+pub fn present_streams<O: Ops>(values: Vec<Vec<O::Val>>) -> StreamSet<O> {
+    values
+        .into_iter()
+        .map(|vs| vs.into_iter().map(SVal::Pres).collect())
+        .collect()
+}
+
+/// The `clock#` operator of the paper: the boolean base clock derived from
+/// a stream — true exactly when the stream is present.
+pub fn clock_sharp<O: Ops>(stream: &[SVal<O>]) -> Vec<bool> {
+    stream.iter().map(SVal::is_present).collect()
+}
+
+/// Renders a stream set as the kind of semantic table shown in §2.2,
+/// one row per stream.
+pub fn render_table<O: Ops>(names: &[&str], streams: &StreamSet<O>) -> String {
+    let mut out = String::new();
+    for (name, s) in names.iter().zip(streams) {
+        out.push_str(name);
+        for v in s {
+            out.push_str(&format!(" {v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velus_ops::{CVal, ClightOps};
+
+    type V = SVal<ClightOps>;
+
+    #[test]
+    fn presence() {
+        let a: V = SVal::Abs;
+        let p: V = SVal::Pres(CVal::int(3));
+        assert!(!a.is_present());
+        assert!(p.is_present());
+        assert_eq!(p.value(), Some(&CVal::int(3)));
+        assert_eq!(a.clone().into_value(), None);
+    }
+
+    #[test]
+    fn clock_sharp_matches_presence() {
+        let s: Vec<V> = vec![SVal::Pres(CVal::int(1)), SVal::Abs, SVal::Pres(CVal::int(2))];
+        assert_eq!(clock_sharp::<ClightOps>(&s), vec![true, false, true]);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let s = present_streams::<ClightOps>(vec![vec![CVal::int(1)]]);
+        let t = render_table::<ClightOps>(&["x"], &s);
+        assert_eq!(t, "x 1\n");
+    }
+}

@@ -1,0 +1,354 @@
+//! Abstract syntax of Obc (paper Fig. 4).
+//!
+//! Two features are noteworthy (§2.3): expressions and update statements
+//! distinguish local variables `x` from memories `state(x)`; and a program
+//! is a list of classes, each with typed memories, named instances of
+//! previously declared classes, and named methods.
+
+use std::fmt;
+
+use velus_common::pretty::Printer;
+use velus_common::Ident;
+use velus_ops::Ops;
+
+/// Returns the conventional name of the `step` method.
+pub fn step_name() -> Ident {
+    Ident::new("step")
+}
+
+/// Returns the conventional name of the `reset` method.
+pub fn reset_name() -> Ident {
+    Ident::new("reset")
+}
+
+/// An Obc expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObcExpr<O: Ops> {
+    /// A local variable (method input, output or local).
+    Var(Ident, O::Ty),
+    /// A state variable `state(x)` (a memory of the enclosing class).
+    State(Ident, O::Ty),
+    /// A constant.
+    Const(O::Const),
+    /// Unary operator application, annotated with the result type.
+    Unop(O::UnOp, Box<ObcExpr<O>>, O::Ty),
+    /// Binary operator application, annotated with the result type.
+    Binop(O::BinOp, Box<ObcExpr<O>>, Box<ObcExpr<O>>, O::Ty),
+}
+
+impl<O: Ops> ObcExpr<O> {
+    /// The type of the expression.
+    pub fn ty(&self) -> O::Ty {
+        match self {
+            ObcExpr::Var(_, ty) | ObcExpr::State(_, ty) => ty.clone(),
+            ObcExpr::Const(c) => O::type_of_const(c),
+            ObcExpr::Unop(_, _, ty) | ObcExpr::Binop(_, _, _, ty) => ty.clone(),
+        }
+    }
+
+    /// Appends the free *local* variables (not state) to `out`.
+    pub fn free_vars_into(&self, out: &mut Vec<Ident>) {
+        match self {
+            ObcExpr::Var(x, _) => out.push(*x),
+            ObcExpr::State(_, _) | ObcExpr::Const(_) => {}
+            ObcExpr::Unop(_, e, _) => e.free_vars_into(out),
+            ObcExpr::Binop(_, e1, e2, _) => {
+                e1.free_vars_into(out);
+                e2.free_vars_into(out);
+            }
+        }
+    }
+
+    /// Appends the state variables read by the expression to `out`.
+    pub fn state_vars_into(&self, out: &mut Vec<Ident>) {
+        match self {
+            ObcExpr::State(x, _) => out.push(*x),
+            ObcExpr::Var(_, _) | ObcExpr::Const(_) => {}
+            ObcExpr::Unop(_, e, _) => e.state_vars_into(out),
+            ObcExpr::Binop(_, e1, e2, _) => {
+                e1.state_vars_into(out);
+                e2.state_vars_into(out);
+            }
+        }
+    }
+}
+
+impl<O: Ops> fmt::Display for ObcExpr<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObcExpr::Var(x, _) => write!(f, "{x}"),
+            ObcExpr::State(x, _) => write!(f, "state({x})"),
+            ObcExpr::Const(c) => write!(f, "{c}"),
+            ObcExpr::Unop(op, e, _) => write!(f, "({op} {e})"),
+            ObcExpr::Binop(op, e1, e2, _) => write!(f, "({e1} {op} {e2})"),
+        }
+    }
+}
+
+/// An Obc statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt<O: Ops> {
+    /// `x := e` — update of a local variable.
+    Assign(Ident, ObcExpr<O>),
+    /// `state(x) := e` — update of a memory.
+    AssignSt(Ident, ObcExpr<O>),
+    /// `if e then s else s`.
+    If(ObcExpr<O>, Box<Stmt<O>>, Box<Stmt<O>>),
+    /// `xs := c i.m(es)` — a method call on instance `i` of class `c`,
+    /// binding the results to the distinct variables `xs`.
+    Call {
+        /// Variables receiving the results.
+        results: Vec<Ident>,
+        /// Class of the instance.
+        class: Ident,
+        /// Instance name.
+        instance: Ident,
+        /// Method name.
+        method: Ident,
+        /// Argument expressions.
+        args: Vec<ObcExpr<O>>,
+    },
+    /// `s; s` — sequencing.
+    Seq(Box<Stmt<O>>, Box<Stmt<O>>),
+    /// `skip`.
+    Skip,
+}
+
+impl<O: Ops> Stmt<O> {
+    /// Sequencing smart constructor that elides `skip`s.
+    pub fn seq(s1: Stmt<O>, s2: Stmt<O>) -> Stmt<O> {
+        match (s1, s2) {
+            (Stmt::Skip, s) => s,
+            (s, Stmt::Skip) => s,
+            (a, b) => Stmt::Seq(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Sequences a list of statements, nesting to the right:
+    /// `s1; (s2; (s3; …))`. Right nesting is what the paper's `treqss`
+    /// produces (footnote 4) and what lets `fuse` reach every adjacent
+    /// pair of conditionals.
+    pub fn seq_all(stmts: impl IntoIterator<Item = Stmt<O>>) -> Stmt<O> {
+        let items: Vec<Stmt<O>> = stmts.into_iter().collect();
+        items.into_iter().rev().fold(Stmt::Skip, |acc, s| Stmt::seq(s, acc))
+    }
+
+    /// Whether `s` may write the (local or state) variable `x` — the
+    /// paper's `MayWrite` used by the fusion side condition.
+    pub fn may_write(&self, x: Ident) -> bool {
+        match self {
+            Stmt::Assign(y, _) | Stmt::AssignSt(y, _) => *y == x,
+            Stmt::If(_, t, f) => t.may_write(x) || f.may_write(x),
+            Stmt::Call { results, .. } => results.contains(&x),
+            Stmt::Seq(a, b) => a.may_write(x) || b.may_write(x),
+            Stmt::Skip => false,
+        }
+    }
+
+    /// Number of constituent statements (for metrics).
+    pub fn size(&self) -> usize {
+        match self {
+            Stmt::Assign(..) | Stmt::AssignSt(..) | Stmt::Call { .. } | Stmt::Skip => 1,
+            Stmt::If(_, t, f) => 1 + t.size() + f.size(),
+            Stmt::Seq(a, b) => a.size() + b.size(),
+        }
+    }
+
+    fn print(&self, p: &mut Printer) {
+        match self {
+            Stmt::Assign(x, e) => p.line(format!("{x} := {e};")),
+            Stmt::AssignSt(x, e) => p.line(format!("state({x}) := {e};")),
+            Stmt::If(e, t, f) => {
+                p.line(format!("if {e} {{"));
+                p.block(|p| t.print(p));
+                if **f != Stmt::Skip {
+                    p.line("} else {");
+                    p.block(|p| f.print(p));
+                }
+                p.line("}");
+            }
+            Stmt::Call { results, class, instance, method, args } => {
+                let rs: Vec<String> = results.iter().map(|r| r.to_string()).collect();
+                let es: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                let lhs = if rs.is_empty() {
+                    String::new()
+                } else {
+                    format!("{} := ", rs.join(", "))
+                };
+                p.line(format!("{lhs}{class}({instance}).{method}({});", es.join(", ")));
+            }
+            Stmt::Seq(a, b) => {
+                a.print(p);
+                b.print(p);
+            }
+            Stmt::Skip => p.line("skip;"),
+        }
+    }
+}
+
+impl<O: Ops> fmt::Display for Stmt<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut p = Printer::new();
+        self.print(&mut p);
+        f.write_str(p.finish().trim_end())
+    }
+}
+
+/// A typed variable declaration inside a method or class.
+pub type TypedVar<O> = (Ident, <O as Ops>::Ty);
+
+/// A method: output, input and local declarations, and a body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Method<O: Ops> {
+    /// Method name (`step` or `reset` for translated code).
+    pub name: Ident,
+    /// Input parameters.
+    pub inputs: Vec<TypedVar<O>>,
+    /// Output (result) variables.
+    pub outputs: Vec<TypedVar<O>>,
+    /// Local variables.
+    pub locals: Vec<TypedVar<O>>,
+    /// The body statement.
+    pub body: Stmt<O>,
+}
+
+/// A class: memories, instances of previously declared classes, methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Class<O: Ops> {
+    /// Class name (the originating node's name for translated code).
+    pub name: Ident,
+    /// Typed memory cells (one per `fby`).
+    pub memories: Vec<TypedVar<O>>,
+    /// `(instance name, class name)` pairs (one per node call).
+    pub instances: Vec<(Ident, Ident)>,
+    /// The methods.
+    pub methods: Vec<Method<O>>,
+}
+
+impl<O: Ops> Class<O> {
+    /// Looks up a method by name.
+    pub fn method(&self, name: Ident) -> Option<&Method<O>> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// The class of a declared instance.
+    pub fn instance_class(&self, instance: Ident) -> Option<Ident> {
+        self.instances
+            .iter()
+            .find(|(i, _)| *i == instance)
+            .map(|(_, c)| *c)
+    }
+}
+
+/// An Obc program: a list of classes, callees first.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObcProgram<O: Ops> {
+    /// The classes in dependency order.
+    pub classes: Vec<Class<O>>,
+}
+
+impl<O: Ops> ObcProgram<O> {
+    /// Looks up a class by name.
+    pub fn class(&self, name: Ident) -> Option<&Class<O>> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+impl<O: Ops> fmt::Display for ObcProgram<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut p = Printer::new();
+        for class in &self.classes {
+            p.line(format!("class {} {{", class.name));
+            p.block(|p| {
+                for (x, ty) in &class.memories {
+                    p.line(format!("memory {x}: {ty};"));
+                }
+                for (i, c) in &class.instances {
+                    p.line(format!("instance {i}: {c};"));
+                }
+                for m in &class.methods {
+                    let fmt_vars = |vs: &[TypedVar<O>]| {
+                        vs.iter()
+                            .map(|(x, t)| format!("{x}: {t}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    };
+                    p.line(format!(
+                        "({}) {}({}) {{ var {} in",
+                        fmt_vars(&m.outputs),
+                        m.name,
+                        fmt_vars(&m.inputs),
+                        fmt_vars(&m.locals),
+                    ));
+                    p.block(|p| m.body.print(p));
+                    p.line("}");
+                }
+            });
+            p.line("}");
+        }
+        f.write_str(p.finish().trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velus_ops::{CConst, CTy, ClightOps};
+
+    type S = Stmt<ClightOps>;
+
+    fn id(s: &str) -> Ident {
+        Ident::new(s)
+    }
+
+    #[test]
+    fn seq_elides_skip() {
+        let a: S = Stmt::Assign(id("x"), ObcExpr::Const(CConst::int(1)));
+        assert_eq!(S::seq(Stmt::Skip, a.clone()), a);
+        assert_eq!(S::seq(a.clone(), Stmt::Skip), a);
+        let s = S::seq_all(vec![Stmt::Skip, a.clone(), Stmt::Skip]);
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    fn may_write_sees_through_structure() {
+        let w: S = Stmt::AssignSt(id("pt"), ObcExpr::Const(CConst::int(0)));
+        let s = S::seq(
+            Stmt::Skip,
+            Stmt::If(
+                ObcExpr::Var(id("c"), CTy::Bool),
+                Box::new(w),
+                Box::new(Stmt::Skip),
+            ),
+        );
+        assert!(s.may_write(id("pt")));
+        assert!(!s.may_write(id("c")));
+        let call: S = Stmt::Call {
+            results: vec![id("a"), id("b")],
+            class: id("k"),
+            instance: id("i"),
+            method: step_name(),
+            args: vec![],
+        };
+        assert!(call.may_write(id("b")));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s: S = Stmt::If(
+            ObcExpr::Var(id("x"), CTy::Bool),
+            Box::new(Stmt::Assign(id("t"), ObcExpr::Var(id("c"), CTy::I32))),
+            Box::new(Stmt::Assign(id("t"), ObcExpr::State(id("pt"), CTy::I32))),
+        );
+        let text = s.to_string();
+        assert!(text.contains("if x {"));
+        assert!(text.contains("t := state(pt);"));
+    }
+
+    #[test]
+    fn size_counts_atoms() {
+        let a: S = Stmt::Assign(id("x"), ObcExpr::Const(CConst::int(1)));
+        let s = S::seq(a.clone(), Stmt::If(ObcExpr::Var(id("c"), CTy::Bool), Box::new(a.clone()), Box::new(Stmt::Skip)));
+        assert_eq!(s.size(), 4);
+    }
+}

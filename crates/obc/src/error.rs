@@ -1,0 +1,46 @@
+//! Errors of the Obc layer.
+
+use std::fmt;
+
+use velus_common::Ident;
+
+/// Errors raised by the Obc semantics, translation and checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObcError {
+    /// A local variable was read before being assigned.
+    UnboundVariable(Ident),
+    /// A state variable was read but has no memory cell.
+    UnboundState(Ident),
+    /// A class name could not be resolved.
+    UnknownClass(Ident),
+    /// A method name could not be resolved in a class.
+    UnknownMethod(Ident, Ident),
+    /// An operator was applied outside its domain.
+    UndefinedOperation(String),
+    /// Arity mismatch in a method call.
+    ArityMismatch(String),
+    /// A typing violation.
+    TypeError(String),
+    /// A structural violation (duplicate names, fby-defined outputs, …).
+    Malformed(String),
+    /// `MemCorres` failed between the semantic memory and the run-time one.
+    MemCorres(String),
+}
+
+impl fmt::Display for ObcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObcError::UnboundVariable(x) => write!(f, "unbound variable {x}"),
+            ObcError::UnboundState(x) => write!(f, "unbound state variable {x}"),
+            ObcError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            ObcError::UnknownMethod(c, m) => write!(f, "unknown method {c}.{m}"),
+            ObcError::UndefinedOperation(m) => write!(f, "undefined operation: {m}"),
+            ObcError::ArityMismatch(m) => write!(f, "arity mismatch: {m}"),
+            ObcError::TypeError(m) => write!(f, "type error: {m}"),
+            ObcError::Malformed(m) => write!(f, "malformed program: {m}"),
+            ObcError::MemCorres(m) => write!(f, "memory correspondence violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ObcError {}

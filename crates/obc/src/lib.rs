@@ -1,0 +1,32 @@
+//! The Obc intermediate language (PLDI'17 §2.3, §3) — a conventional
+//! imperative language with encapsulated state, modeled on the SOL
+//! language of the SCADE Suite compiler.
+//!
+//! * [`ast`] — the abstract syntax of Fig. 4: expressions distinguish
+//!   local variables from `state(x)` memories; programs are lists of
+//!   classes with typed memories, named instances, and methods.
+//! * [`sem`] — the big-step semantics of §3.1: statements relate pairs of
+//!   a tree-shaped global memory ([`velus_nlustre::memory::Memory`]) and a
+//!   local environment.
+//! * [`translate`] — the SN-Lustre → Obc translation of Fig. 5: one class
+//!   per node, a `step` and a `reset` method, clocks compiled to nested
+//!   conditionals (`ctrl`).
+//! * [`fusion`] — the fusion optimization of §3.3 (Fig. 8): `fuse`/`zip`
+//!   merge adjacent conditionals; soundness is conditional on the
+//!   [`fusion::fusible`] predicate, which holds of translated code.
+//! * [`memcorres`] — the `MemCorres` relation of Fig. 7 between the
+//!   exposed-memory semantics' tree `M` and an Obc run-time memory, made
+//!   executable as a per-instant check.
+//! * [`typecheck`] — well-typedness of Obc programs (the paper proves the
+//!   translation preserves typing; we check it).
+
+pub mod ast;
+pub mod fusion;
+pub mod memcorres;
+pub mod sem;
+pub mod translate;
+pub mod typecheck;
+
+mod error;
+
+pub use error::ObcError;

@@ -1,0 +1,311 @@
+//! Well-typedness of Obc programs.
+//!
+//! The paper proves that translation maps well-typed SN-Lustre programs to
+//! well-typed Obc programs; we check the result instead. The judgment is
+//! standard: expressions elaborate against the method's variables and the
+//! class's memories, assignments require exact type equality (no implicit
+//! casts — §4.1), guards are boolean, and call sites match the callee's
+//! signature.
+
+use std::collections::HashMap;
+
+use velus_common::Ident;
+use velus_ops::Ops;
+
+use crate::ast::{Class, Method, ObcExpr, ObcProgram, Stmt};
+use crate::ObcError;
+
+struct Scope<'a, O: Ops> {
+    vars: HashMap<Ident, O::Ty>,
+    mems: HashMap<Ident, O::Ty>,
+    class: &'a Class<O>,
+    prog: &'a ObcProgram<O>,
+}
+
+fn expr_ty<O: Ops>(sc: &Scope<'_, O>, e: &ObcExpr<O>) -> Result<O::Ty, ObcError> {
+    match e {
+        ObcExpr::Var(x, ty) => match sc.vars.get(x) {
+            None => Err(ObcError::UnboundVariable(*x)),
+            Some(t) if t == ty => Ok(ty.clone()),
+            Some(t) => Err(ObcError::TypeError(format!(
+                "variable {x} annotated {ty}, declared {t}"
+            ))),
+        },
+        ObcExpr::State(x, ty) => match sc.mems.get(x) {
+            None => Err(ObcError::UnboundState(*x)),
+            Some(t) if t == ty => Ok(ty.clone()),
+            Some(t) => Err(ObcError::TypeError(format!(
+                "state {x} annotated {ty}, declared {t}"
+            ))),
+        },
+        ObcExpr::Const(c) => Ok(O::type_of_const(c)),
+        ObcExpr::Unop(op, e1, ty) => {
+            let t1 = expr_ty(sc, e1)?;
+            match O::type_unop(*op, &t1) {
+                Some(t) if t == *ty => Ok(t),
+                Some(t) => Err(ObcError::TypeError(format!(
+                    "unop {op} annotated {ty}, inferred {t}"
+                ))),
+                None => Err(ObcError::TypeError(format!("unop {op} inapplicable to {t1}"))),
+            }
+        }
+        ObcExpr::Binop(op, e1, e2, ty) => {
+            let t1 = expr_ty(sc, e1)?;
+            let t2 = expr_ty(sc, e2)?;
+            match O::type_binop(*op, &t1, &t2) {
+                Some(t) if t == *ty => Ok(t),
+                Some(t) => Err(ObcError::TypeError(format!(
+                    "binop {op} annotated {ty}, inferred {t}"
+                ))),
+                None => Err(ObcError::TypeError(format!(
+                    "binop {op} inapplicable to {t1}, {t2}"
+                ))),
+            }
+        }
+    }
+}
+
+fn check_stmt<O: Ops>(sc: &Scope<'_, O>, s: &Stmt<O>) -> Result<(), ObcError> {
+    match s {
+        Stmt::Skip => Ok(()),
+        Stmt::Seq(a, b) => {
+            check_stmt(sc, a)?;
+            check_stmt(sc, b)
+        }
+        Stmt::Assign(x, e) => {
+            let te = expr_ty(sc, e)?;
+            match sc.vars.get(x) {
+                None => Err(ObcError::UnboundVariable(*x)),
+                Some(t) if *t == te => Ok(()),
+                Some(t) => Err(ObcError::TypeError(format!(
+                    "assignment {x} := … : variable has type {t}, expression {te}"
+                ))),
+            }
+        }
+        Stmt::AssignSt(x, e) => {
+            let te = expr_ty(sc, e)?;
+            match sc.mems.get(x) {
+                None => Err(ObcError::UnboundState(*x)),
+                Some(t) if *t == te => Ok(()),
+                Some(t) => Err(ObcError::TypeError(format!(
+                    "state update {x} := … : memory has type {t}, expression {te}"
+                ))),
+            }
+        }
+        Stmt::If(c, t, f) => {
+            let tc = expr_ty(sc, c)?;
+            if tc != O::bool_type() {
+                return Err(ObcError::TypeError(format!("guard has type {tc}")));
+            }
+            check_stmt(sc, t)?;
+            check_stmt(sc, f)
+        }
+        Stmt::Call { results, class, instance, method, args } => {
+            match sc.class.instance_class(*instance) {
+                Some(c) if c == *class => {}
+                Some(c) => {
+                    return Err(ObcError::TypeError(format!(
+                        "instance {instance} has class {c}, call names {class}"
+                    )))
+                }
+                None => {
+                    return Err(ObcError::Malformed(format!(
+                        "undeclared instance {instance} in class {}",
+                        sc.class.name
+                    )))
+                }
+            }
+            let callee = sc.prog.class(*class).ok_or(ObcError::UnknownClass(*class))?;
+            let m = callee
+                .method(*method)
+                .ok_or(ObcError::UnknownMethod(*class, *method))?;
+            if m.inputs.len() != args.len() || m.outputs.len() != results.len() {
+                return Err(ObcError::ArityMismatch(format!(
+                    "call to {class}.{method}"
+                )));
+            }
+            for (a, (px, pt)) in args.iter().zip(&m.inputs) {
+                let ta = expr_ty(sc, a)?;
+                if ta != *pt {
+                    return Err(ObcError::TypeError(format!(
+                        "argument for {px} has type {ta}, expected {pt}"
+                    )));
+                }
+            }
+            for (r, (ox, ot)) in results.iter().zip(&m.outputs) {
+                match sc.vars.get(r) {
+                    None => return Err(ObcError::UnboundVariable(*r)),
+                    Some(t) if t == ot => {}
+                    Some(t) => {
+                        return Err(ObcError::TypeError(format!(
+                            "result {r} has type {t}, output {ox} has type {ot}"
+                        )))
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_method<O: Ops>(
+    prog: &ObcProgram<O>,
+    class: &Class<O>,
+    m: &Method<O>,
+) -> Result<(), ObcError> {
+    let mut vars: HashMap<Ident, O::Ty> = HashMap::new();
+    for (x, t) in m.inputs.iter().chain(&m.outputs).chain(&m.locals) {
+        if vars.insert(*x, t.clone()).is_some() {
+            return Err(ObcError::Malformed(format!(
+                "duplicate variable {x} in method {}.{}",
+                class.name, m.name
+            )));
+        }
+    }
+    let mems: HashMap<Ident, O::Ty> = class.memories.iter().cloned().collect();
+    let sc = Scope { vars, mems, class, prog };
+    check_stmt(&sc, &m.body)
+}
+
+/// Checks well-typedness of a whole Obc program. Classes may only
+/// instantiate previously declared classes (ruling out recursion).
+///
+/// # Errors
+///
+/// The first typing or structural violation, in declaration order.
+pub fn check_program<O: Ops>(prog: &ObcProgram<O>) -> Result<(), ObcError> {
+    let mut seen: Vec<Ident> = Vec::new();
+    for class in &prog.classes {
+        if seen.contains(&class.name) {
+            return Err(ObcError::Malformed(format!("duplicate class {}", class.name)));
+        }
+        for (i, c) in &class.instances {
+            if !seen.contains(c) {
+                return Err(ObcError::Malformed(format!(
+                    "class {}: instance {i} of undeclared class {c}",
+                    class.name
+                )));
+            }
+        }
+        for m in &class.methods {
+            check_method(prog, class, m)?;
+        }
+        seen.push(class.name);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{reset_name, step_name};
+    use velus_ops::{CBinOp, CConst, CTy, ClightOps};
+
+    fn id(s: &str) -> Ident {
+        Ident::new(s)
+    }
+
+    fn counter() -> ObcProgram<ClightOps> {
+        ObcProgram {
+            classes: vec![Class {
+                name: id("k"),
+                memories: vec![(id("c"), CTy::I32)],
+                instances: vec![],
+                methods: vec![
+                    Method {
+                        name: step_name(),
+                        inputs: vec![(id("i"), CTy::I32)],
+                        outputs: vec![(id("o"), CTy::I32)],
+                        locals: vec![],
+                        body: Stmt::seq(
+                            Stmt::Assign(
+                                id("o"),
+                                ObcExpr::Binop(
+                                    CBinOp::Add,
+                                    Box::new(ObcExpr::State(id("c"), CTy::I32)),
+                                    Box::new(ObcExpr::Var(id("i"), CTy::I32)),
+                                    CTy::I32,
+                                ),
+                            ),
+                            Stmt::AssignSt(id("c"), ObcExpr::Var(id("o"), CTy::I32)),
+                        ),
+                    },
+                    Method {
+                        name: reset_name(),
+                        inputs: vec![],
+                        outputs: vec![],
+                        locals: vec![],
+                        body: Stmt::AssignSt(id("c"), ObcExpr::Const(CConst::int(0))),
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn accepts_well_typed() {
+        assert_eq!(check_program(&counter()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_implicit_casts() {
+        let mut p = counter();
+        // state(c) : int := true
+        p.classes[0].methods[1].body = Stmt::AssignSt(id("c"), ObcExpr::Const(CConst::bool(true)));
+        assert!(matches!(check_program(&p), Err(ObcError::TypeError(_))));
+    }
+
+    #[test]
+    fn rejects_non_boolean_guards() {
+        let mut p = counter();
+        p.classes[0].methods[0].body = Stmt::If(
+            ObcExpr::Var(id("i"), CTy::I32),
+            Box::new(Stmt::Skip),
+            Box::new(Stmt::Skip),
+        );
+        assert!(matches!(check_program(&p), Err(ObcError::TypeError(_))));
+    }
+
+    #[test]
+    fn rejects_forward_instances() {
+        let mut p = counter();
+        p.classes[0].instances.push((id("sub"), id("later")));
+        assert!(matches!(check_program(&p), Err(ObcError::Malformed(_))));
+    }
+
+    #[test]
+    fn translated_programs_are_well_typed() {
+        // End-to-end: translate the counter node and check.
+        use velus_nlustre::ast::{CExpr, Equation, Expr, Node, Program, VarDecl};
+        use velus_nlustre::clock::Clock;
+        let decl = |n: &str, t: CTy| VarDecl::<ClightOps> { name: id(n), ty: t, ck: Clock::Base };
+        let node = Node {
+            name: id("acc"),
+            inputs: vec![decl("x", CTy::I32)],
+            outputs: vec![decl("y", CTy::I32)],
+            locals: vec![decl("cum", CTy::I32)],
+            eqs: vec![
+                Equation::Def {
+                    x: id("y"),
+                    ck: Clock::Base,
+                    rhs: CExpr::Expr(Expr::Binop(
+                        CBinOp::Add,
+                        Box::new(Expr::Var(id("cum"), CTy::I32)),
+                        Box::new(Expr::Var(id("x"), CTy::I32)),
+                        CTy::I32,
+                    )),
+                },
+                Equation::Fby {
+                    x: id("cum"),
+                    ck: Clock::Base,
+                    init: CConst::int(0),
+                    rhs: Expr::Var(id("y"), CTy::I32),
+                },
+            ],
+        };
+        let obc = crate::translate::translate_program(&Program::new(vec![node])).unwrap();
+        assert_eq!(check_program(&obc), Ok(()));
+        let fused = crate::fusion::fuse_program(&obc);
+        assert_eq!(check_program(&fused), Ok(()));
+    }
+}

@@ -1,0 +1,562 @@
+//! The Clight instantiation of the operator interface.
+
+use crate::cvals::{normalize_int, read_signed, CBinOp, CConst, CTy, CUnOp, CVal};
+use crate::interface::{Literal, Ops, SurfaceBinOp, SurfaceUnOp};
+
+/// The CompCert/Clight-style instantiation of the [`Ops`] interface.
+///
+/// This is the instantiation the compiler pipeline uses to produce C code:
+/// machine integers with wrap-around, IEEE floats, booleans as 0/1, and
+/// partial semantics for the undefined corners of C arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use velus_ops::{ClightOps, Ops, CBinOp, CTy, CVal};
+///
+/// // INT_MIN / -1 is undefined, as in CompCert.
+/// let min = CVal::int(i32::MIN);
+/// let minus1 = CVal::int(-1);
+/// assert_eq!(ClightOps::sem_binop(CBinOp::Div, &min, &CTy::I32, &minus1, &CTy::I32), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClightOps;
+
+/// The typing judgment `⊢wt v : ty` for machine values.
+pub(crate) fn wt(v: &CVal, ty: &CTy) -> bool {
+    match (*ty, *v) {
+        (CTy::Bool, CVal::Int(n)) => n == 0 || n == 1,
+        (CTy::I8, CVal::Int(n)) => n == (n as i8 as i32),
+        (CTy::U8, CVal::Int(n)) => n == (n as u8 as i32),
+        (CTy::I16, CVal::Int(n)) => n == (n as i16 as i32),
+        (CTy::U16, CVal::Int(n)) => n == (n as u16 as i32),
+        (CTy::I32 | CTy::U32, CVal::Int(_)) => true,
+        (CTy::I64 | CTy::U64, CVal::Long(_)) => true,
+        (CTy::F32, CVal::Single(_)) => true,
+        (CTy::F64, CVal::Float(_)) => true,
+        _ => false,
+    }
+}
+
+fn float_binop(op: CBinOp, a: f64, b: f64) -> Option<f64> {
+    Some(match op {
+        CBinOp::Add => a + b,
+        CBinOp::Sub => a - b,
+        CBinOp::Mul => a * b,
+        CBinOp::Div => a / b,
+        _ => return None,
+    })
+}
+
+fn float_cmp(op: CBinOp, a: f64, b: f64) -> Option<bool> {
+    Some(match op {
+        CBinOp::Eq => a == b,
+        CBinOp::Ne => a != b,
+        CBinOp::Lt => a < b,
+        CBinOp::Le => a <= b,
+        CBinOp::Gt => a > b,
+        CBinOp::Ge => a >= b,
+        _ => return None,
+    })
+}
+
+fn int_arith(op: CBinOp, ty: CTy, a: i64, b: i64) -> Option<CVal> {
+    let width = ty.bit_width().expect("integer type");
+    let signed = ty.is_signed();
+    let raw = match op {
+        CBinOp::Add => a.wrapping_add(b),
+        CBinOp::Sub => a.wrapping_sub(b),
+        CBinOp::Mul => a.wrapping_mul(b),
+        CBinOp::Div | CBinOp::Mod => {
+            if signed {
+                if b == 0 {
+                    return None;
+                }
+                // Signed overflow (MIN / -1) is undefined at every width.
+                let min = if width == 64 { i64::MIN } else { -(1i64 << (width - 1)) };
+                if a == min && b == -1 {
+                    return None;
+                }
+                if op == CBinOp::Div {
+                    a / b
+                } else {
+                    a % b
+                }
+            } else {
+                let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+                let ua = (a as u64) & mask;
+                let ub = (b as u64) & mask;
+                if ub == 0 {
+                    return None;
+                }
+                (if op == CBinOp::Div { ua / ub } else { ua % ub }) as i64
+            }
+        }
+        CBinOp::And => a & b,
+        CBinOp::Or => a | b,
+        CBinOp::Xor => a ^ b,
+        _ => return None,
+    };
+    Some(normalize_int(ty, raw))
+}
+
+fn int_cmp(op: CBinOp, ty: CTy, a: i64, b: i64) -> Option<bool> {
+    let width = ty.bit_width().expect("integer type");
+    if ty.is_signed() || ty == CTy::Bool {
+        Some(match op {
+            CBinOp::Eq => a == b,
+            CBinOp::Ne => a != b,
+            CBinOp::Lt => a < b,
+            CBinOp::Le => a <= b,
+            CBinOp::Gt => a > b,
+            CBinOp::Ge => a >= b,
+            _ => return None,
+        })
+    } else {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let ua = (a as u64) & mask;
+        let ub = (b as u64) & mask;
+        Some(match op {
+            CBinOp::Eq => ua == ub,
+            CBinOp::Ne => ua != ub,
+            CBinOp::Lt => ua < ub,
+            CBinOp::Le => ua <= ub,
+            CBinOp::Gt => ua > ub,
+            CBinOp::Ge => ua >= ub,
+            _ => return None,
+        })
+    }
+}
+
+/// Casts a well-typed value of type `from` to type `to`.
+///
+/// Float-to-integer casts are undefined (`None`) when the truncated value
+/// does not fit the target, as in CompCert.
+fn cast(v: &CVal, from: CTy, to: CTy) -> Option<CVal> {
+    // Read the source as a wide number.
+    if from.is_float() {
+        let x = match (from, v) {
+            (CTy::F32, CVal::Single(s)) => *s as f64,
+            (CTy::F64, CVal::Float(d)) => *d,
+            _ => return None,
+        };
+        return match to {
+            CTy::F32 => Some(CVal::Single(x as f32)),
+            CTy::F64 => Some(CVal::Float(x)),
+            CTy::Bool => Some(CVal::bool(x != 0.0)),
+            _ => {
+                let t = x.trunc();
+                if !t.is_finite() {
+                    return None;
+                }
+                if to.is_signed() {
+                    let width = to.bit_width()?;
+                    let (lo, hi) = if width == 64 {
+                        (i64::MIN as f64, i64::MAX as f64)
+                    } else {
+                        (-((1i64 << (width - 1)) as f64), ((1i64 << (width - 1)) as f64) - 1.0)
+                    };
+                    if t < lo || t > hi {
+                        return None;
+                    }
+                    Some(normalize_int(to, t as i64))
+                } else {
+                    let width = to.bit_width()?;
+                    let hi = if width == 64 { u64::MAX as f64 } else { ((1u64 << width) as f64) - 1.0 };
+                    if t < 0.0 || t > hi {
+                        return None;
+                    }
+                    Some(normalize_int(to, t as u64 as i64))
+                }
+            }
+        };
+    }
+    // Integer (or boolean) source.
+    let raw = read_signed(from, *v)?;
+    match to {
+        CTy::F32 => {
+            let x = if from.is_signed() || from == CTy::Bool {
+                raw as f32
+            } else if from == CTy::U64 {
+                (raw as u64) as f32
+            } else {
+                raw as f32 // u8/u16/u32 read_signed already yields the nonneg value
+            };
+            Some(CVal::Single(x))
+        }
+        CTy::F64 => {
+            let x = if from.is_signed() || from == CTy::Bool {
+                raw as f64
+            } else if from == CTy::U64 {
+                (raw as u64) as f64
+            } else {
+                raw as f64
+            };
+            Some(CVal::Float(x))
+        }
+        CTy::Bool => Some(CVal::bool(raw != 0)),
+        _ => Some(normalize_int(to, raw)),
+    }
+}
+
+impl Ops for ClightOps {
+    type Val = CVal;
+    type Ty = CTy;
+    type Const = CConst;
+    type UnOp = CUnOp;
+    type BinOp = CBinOp;
+
+    fn bool_type() -> CTy {
+        CTy::Bool
+    }
+
+    fn true_val() -> CVal {
+        CVal::TRUE
+    }
+
+    fn false_val() -> CVal {
+        CVal::FALSE
+    }
+
+    fn well_typed(v: &CVal, ty: &CTy) -> bool {
+        wt(v, ty)
+    }
+
+    fn type_of_const(c: &CConst) -> CTy {
+        c.ty()
+    }
+
+    fn sem_const(c: &CConst) -> CVal {
+        c.val()
+    }
+
+    fn type_unop(op: CUnOp, ty: &CTy) -> Option<CTy> {
+        match op {
+            CUnOp::Not => (*ty == CTy::Bool).then_some(CTy::Bool),
+            CUnOp::Neg => ty.is_numeric().then_some(*ty),
+            CUnOp::Cast(to) => Some(to),
+        }
+    }
+
+    fn sem_unop(op: CUnOp, v: &CVal, ty: &CTy) -> Option<CVal> {
+        if !wt(v, ty) {
+            return None;
+        }
+        match op {
+            CUnOp::Not => match v {
+                CVal::Int(0) => Some(CVal::TRUE),
+                CVal::Int(1) => Some(CVal::FALSE),
+                _ => None,
+            },
+            CUnOp::Neg => match (*ty, *v) {
+                (CTy::F32, CVal::Single(x)) => Some(CVal::Single(-x)),
+                (CTy::F64, CVal::Float(x)) => Some(CVal::Float(-x)),
+                _ if ty.is_integer() => {
+                    let raw = read_signed(*ty, *v)?;
+                    Some(normalize_int(*ty, raw.wrapping_neg()))
+                }
+                _ => None,
+            },
+            CUnOp::Cast(to) => cast(v, *ty, to),
+        }
+    }
+
+    fn type_binop(op: CBinOp, ty1: &CTy, ty2: &CTy) -> Option<CTy> {
+        if ty1 != ty2 {
+            return None;
+        }
+        let ty = *ty1;
+        match op {
+            CBinOp::Add | CBinOp::Sub | CBinOp::Mul | CBinOp::Div => ty.is_numeric().then_some(ty),
+            CBinOp::Mod => ty.is_integer().then_some(ty),
+            CBinOp::And | CBinOp::Or | CBinOp::Xor => {
+                (ty == CTy::Bool || ty.is_integer()).then_some(ty)
+            }
+            CBinOp::Eq | CBinOp::Ne => Some(CTy::Bool),
+            CBinOp::Lt | CBinOp::Le | CBinOp::Gt | CBinOp::Ge => {
+                (ty.is_numeric() || ty == CTy::Bool).then_some(CTy::Bool)
+            }
+        }
+    }
+
+    fn sem_binop(op: CBinOp, v1: &CVal, ty1: &CTy, v2: &CVal, ty2: &CTy) -> Option<CVal> {
+        if ty1 != ty2 || !wt(v1, ty1) || !wt(v2, ty2) {
+            return None;
+        }
+        let ty = *ty1;
+        match ty {
+            CTy::F64 => {
+                let (a, b) = match (v1, v2) {
+                    (CVal::Float(a), CVal::Float(b)) => (*a, *b),
+                    _ => return None,
+                };
+                if op.is_comparison() {
+                    float_cmp(op, a, b).map(CVal::bool)
+                } else {
+                    float_binop(op, a, b).map(CVal::Float)
+                }
+            }
+            CTy::F32 => {
+                let (a, b) = match (v1, v2) {
+                    (CVal::Single(a), CVal::Single(b)) => (*a, *b),
+                    _ => return None,
+                };
+                if op.is_comparison() {
+                    float_cmp(op, a as f64, b as f64).map(CVal::bool)
+                } else {
+                    // Single-precision arithmetic rounds at every step.
+                    Some(CVal::Single(match op {
+                        CBinOp::Add => a + b,
+                        CBinOp::Sub => a - b,
+                        CBinOp::Mul => a * b,
+                        CBinOp::Div => a / b,
+                        _ => return None,
+                    }))
+                }
+            }
+            CTy::Bool => {
+                let a = read_signed(ty, *v1)?;
+                let b = read_signed(ty, *v2)?;
+                match op {
+                    CBinOp::And => Some(CVal::bool(a != 0 && b != 0)),
+                    CBinOp::Or => Some(CVal::bool(a != 0 || b != 0)),
+                    CBinOp::Xor => Some(CVal::bool((a != 0) ^ (b != 0))),
+                    _ if op.is_comparison() => int_cmp(op, ty, a, b).map(CVal::bool),
+                    _ => None,
+                }
+            }
+            _ => {
+                let a = read_signed(ty, *v1)?;
+                let b = read_signed(ty, *v2)?;
+                if op.is_comparison() {
+                    int_cmp(op, ty, a, b).map(CVal::bool)
+                } else {
+                    int_arith(op, ty, a, b)
+                }
+            }
+        }
+    }
+
+    fn as_bool(v: &CVal) -> Option<bool> {
+        match v {
+            CVal::Int(0) => Some(false),
+            CVal::Int(1) => Some(true),
+            _ => None,
+        }
+    }
+
+    fn default_const(ty: &CTy) -> CConst {
+        let val = match ty {
+            CTy::F32 => CVal::Single(0.0),
+            CTy::F64 => CVal::Float(0.0),
+            CTy::I64 | CTy::U64 => CVal::Long(0),
+            _ => CVal::Int(0),
+        };
+        CConst::new(val, *ty).expect("zero is well typed at every scalar type")
+    }
+
+    fn type_of_name(name: &str) -> Option<CTy> {
+        Some(match name {
+            "bool" => CTy::Bool,
+            "int" | "int32" => CTy::I32,
+            "real" | "double" | "float64" => CTy::F64,
+            "float" | "float32" => CTy::F32,
+            "int8" => CTy::I8,
+            "uint8" => CTy::U8,
+            "int16" => CTy::I16,
+            "uint16" => CTy::U16,
+            "uint32" | "uint" => CTy::U32,
+            "int64" => CTy::I64,
+            "uint64" => CTy::U64,
+            _ => return None,
+        })
+    }
+
+    fn const_of_literal(lit: &Literal, ty: &CTy) -> Option<CConst> {
+        match (lit, *ty) {
+            (Literal::Bool(b), CTy::Bool) => Some(CConst::bool(*b)),
+            (Literal::Int(i), t) if t.is_integer() => {
+                let width = t.bit_width()?;
+                let fits = if t.is_signed() {
+                    let (lo, hi) = if width == 64 {
+                        (i64::MIN as i128, i64::MAX as i128)
+                    } else {
+                        (-(1i128 << (width - 1)), (1i128 << (width - 1)) - 1)
+                    };
+                    *i >= lo && *i <= hi
+                } else {
+                    let hi = if width == 64 {
+                        u64::MAX as i128
+                    } else {
+                        (1i128 << width) - 1
+                    };
+                    *i >= 0 && *i <= hi
+                };
+                if !fits {
+                    return None;
+                }
+                CConst::new(normalize_int(t, *i as i64), t)
+            }
+            (Literal::Int(i), CTy::F64) => CConst::new(CVal::Float(*i as f64), CTy::F64),
+            (Literal::Int(i), CTy::F32) => CConst::new(CVal::Single(*i as f32), CTy::F32),
+            (Literal::Float(x), CTy::F64) => CConst::new(CVal::Float(*x), CTy::F64),
+            (Literal::Float(x), CTy::F32) => CConst::new(CVal::Single(*x as f32), CTy::F32),
+            _ => None,
+        }
+    }
+
+    fn elab_unop(op: SurfaceUnOp, ty: &CTy) -> Option<(CUnOp, CTy)> {
+        match op {
+            SurfaceUnOp::Not => (*ty == CTy::Bool).then_some((CUnOp::Not, CTy::Bool)),
+            SurfaceUnOp::Neg => ty.is_numeric().then_some((CUnOp::Neg, *ty)),
+        }
+    }
+
+    fn elab_binop(op: SurfaceBinOp, ty1: &CTy, ty2: &CTy) -> Option<(CBinOp, CTy)> {
+        if ty1 != ty2 {
+            return None;
+        }
+        let ty = *ty1;
+        let cop = match op {
+            SurfaceBinOp::Add => CBinOp::Add,
+            SurfaceBinOp::Sub => CBinOp::Sub,
+            SurfaceBinOp::Mul => CBinOp::Mul,
+            SurfaceBinOp::Div => CBinOp::Div,
+            SurfaceBinOp::Mod => CBinOp::Mod,
+            // The surface boolean connectives are boolean-only.
+            SurfaceBinOp::And => {
+                return (ty == CTy::Bool).then_some((CBinOp::And, CTy::Bool));
+            }
+            SurfaceBinOp::Or => {
+                return (ty == CTy::Bool).then_some((CBinOp::Or, CTy::Bool));
+            }
+            SurfaceBinOp::Xor => {
+                return (ty == CTy::Bool).then_some((CBinOp::Xor, CTy::Bool));
+            }
+            SurfaceBinOp::Eq => CBinOp::Eq,
+            SurfaceBinOp::Ne => CBinOp::Ne,
+            SurfaceBinOp::Lt => CBinOp::Lt,
+            SurfaceBinOp::Le => CBinOp::Le,
+            SurfaceBinOp::Gt => CBinOp::Gt,
+            SurfaceBinOp::Ge => CBinOp::Ge,
+        };
+        let rty = <ClightOps as Ops>::type_binop(cop, ty1, ty2)?;
+        Some((cop, rty))
+    }
+
+    fn elab_cast(from: &CTy, to: &CTy) -> Option<CUnOp> {
+        // All scalar-to-scalar casts are expressible.
+        let _ = from;
+        Some(CUnOp::Cast(*to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn booleans_are_zero_and_one() {
+        assert_ne!(ClightOps::true_val(), ClightOps::false_val());
+        assert!(wt(&ClightOps::true_val(), &CTy::Bool));
+        assert!(wt(&ClightOps::false_val(), &CTy::Bool));
+        assert!(!wt(&CVal::Int(2), &CTy::Bool));
+    }
+
+    #[test]
+    fn integer_arithmetic_wraps() {
+        let max = CVal::int(i32::MAX);
+        let one = CVal::int(1);
+        let r = ClightOps::sem_binop(CBinOp::Add, &max, &CTy::I32, &one, &CTy::I32).unwrap();
+        assert_eq!(r, CVal::int(i32::MIN));
+    }
+
+    #[test]
+    fn division_partiality() {
+        let z = CVal::int(0);
+        let x = CVal::int(7);
+        assert_eq!(ClightOps::sem_binop(CBinOp::Div, &x, &CTy::I32, &z, &CTy::I32), None);
+        assert_eq!(ClightOps::sem_binop(CBinOp::Mod, &x, &CTy::I32, &z, &CTy::I32), None);
+        let min = CVal::int(i32::MIN);
+        let m1 = CVal::int(-1);
+        assert_eq!(ClightOps::sem_binop(CBinOp::Div, &min, &CTy::I32, &m1, &CTy::I32), None);
+    }
+
+    #[test]
+    fn unsigned_comparison_differs_from_signed() {
+        let a = CVal::int(-1); // 0xFFFFFFFF as u32
+        let b = CVal::int(1);
+        let signed = ClightOps::sem_binop(CBinOp::Lt, &a, &CTy::I32, &b, &CTy::I32).unwrap();
+        let unsigned = ClightOps::sem_binop(CBinOp::Lt, &a, &CTy::U32, &b, &CTy::U32).unwrap();
+        assert_eq!(signed, CVal::TRUE);
+        assert_eq!(unsigned, CVal::FALSE);
+    }
+
+    #[test]
+    fn mixed_types_are_rejected() {
+        assert_eq!(ClightOps::type_binop(CBinOp::Add, &CTy::I32, &CTy::I64), None);
+        let a = CVal::int(1);
+        let b = CVal::long(1);
+        assert_eq!(ClightOps::sem_binop(CBinOp::Add, &a, &CTy::I32, &b, &CTy::I64), None);
+    }
+
+    #[test]
+    fn casts() {
+        // int -> int8 truncates with sign extension.
+        let v = ClightOps::sem_unop(CUnOp::Cast(CTy::I8), &CVal::int(200), &CTy::I32).unwrap();
+        assert_eq!(v, CVal::Int(-56));
+        // float -> int truncates toward zero.
+        let v = ClightOps::sem_unop(CUnOp::Cast(CTy::I32), &CVal::float(-2.9), &CTy::F64).unwrap();
+        assert_eq!(v, CVal::Int(-2));
+        // out-of-range float -> int is undefined.
+        assert_eq!(
+            ClightOps::sem_unop(CUnOp::Cast(CTy::I32), &CVal::float(1e20), &CTy::F64),
+            None
+        );
+        // anything -> bool tests against zero.
+        let v = ClightOps::sem_unop(CUnOp::Cast(CTy::Bool), &CVal::int(7), &CTy::I32).unwrap();
+        assert_eq!(v, CVal::TRUE);
+    }
+
+    #[test]
+    fn boolean_connectives_are_strict_on_booleans() {
+        let t = CVal::TRUE;
+        let f = CVal::FALSE;
+        let and = ClightOps::sem_binop(CBinOp::And, &t, &CTy::Bool, &f, &CTy::Bool).unwrap();
+        assert_eq!(and, CVal::FALSE);
+        let xor = ClightOps::sem_binop(CBinOp::Xor, &t, &CTy::Bool, &f, &CTy::Bool).unwrap();
+        assert_eq!(xor, CVal::TRUE);
+    }
+
+    #[test]
+    fn literal_elaboration_checks_ranges() {
+        assert!(ClightOps::const_of_literal(&Literal::Int(255), &CTy::U8).is_some());
+        assert!(ClightOps::const_of_literal(&Literal::Int(256), &CTy::U8).is_none());
+        assert!(ClightOps::const_of_literal(&Literal::Int(-1), &CTy::U32).is_none());
+        assert!(ClightOps::const_of_literal(&Literal::Float(1.5), &CTy::I32).is_none());
+        assert!(ClightOps::const_of_literal(&Literal::Int(3), &CTy::F64).is_some());
+    }
+
+    #[test]
+    fn surface_elaboration_dispatches_on_type() {
+        assert_eq!(
+            ClightOps::elab_binop(SurfaceBinOp::Add, &CTy::I32, &CTy::I32),
+            Some((CBinOp::Add, CTy::I32))
+        );
+        assert_eq!(ClightOps::elab_binop(SurfaceBinOp::And, &CTy::I32, &CTy::I32), None);
+        assert_eq!(
+            ClightOps::elab_binop(SurfaceBinOp::Lt, &CTy::F64, &CTy::F64),
+            Some((CBinOp::Lt, CTy::Bool))
+        );
+        assert_eq!(ClightOps::elab_unop(SurfaceUnOp::Not, &CTy::I32), None);
+    }
+
+    #[test]
+    fn defaults_are_well_typed() {
+        for ty in CTy::ALL {
+            let c = ClightOps::default_const(&ty);
+            assert_eq!(ClightOps::type_of_const(&c), ty);
+            assert!(wt(&ClightOps::sem_const(&c), &ty));
+        }
+    }
+}

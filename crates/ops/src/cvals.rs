@@ -1,0 +1,476 @@
+//! CompCert-style machine values, types and operators.
+//!
+//! This module mirrors the fragment of CompCert's value and type language
+//! that the paper's generation pass instantiates the operator interface
+//! with (§4.1): integer, boolean and floating-point types — but not
+//! pointers, arrays or structs — with the stricter typing rules the paper
+//! imposes (booleans are exactly the integers 0 and 1; assignments never
+//! cast implicitly).
+//!
+//! Operator semantics are *partial*, `None` standing for CompCert's
+//! undefined results (division by zero, `INT_MIN / -1`, a float-to-int
+//! cast out of range, shift-free by construction).
+
+use std::fmt;
+
+/// The scalar types of the Clight instantiation.
+///
+/// `I8`/`U8`/`I16`/`U16`/`I32`/`U32` are represented at run time by a
+/// 32-bit machine integer (CompCert's `Vint`), `I64`/`U64` by a 64-bit one
+/// (`Vlong`), and the two float types by `Vsingle`/`Vfloat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CTy {
+    /// Booleans; well-typed values are exactly `0` and `1`.
+    Bool,
+    /// Signed 8-bit integers.
+    I8,
+    /// Unsigned 8-bit integers.
+    U8,
+    /// Signed 16-bit integers.
+    I16,
+    /// Unsigned 16-bit integers.
+    U16,
+    /// Signed 32-bit integers (Lustre's `int`).
+    I32,
+    /// Unsigned 32-bit integers.
+    U32,
+    /// Signed 64-bit integers.
+    I64,
+    /// Unsigned 64-bit integers.
+    U64,
+    /// IEEE-754 single-precision floats.
+    F32,
+    /// IEEE-754 double-precision floats (Lustre's `real`).
+    F64,
+}
+
+impl CTy {
+    /// All scalar types, for exhaustive testing.
+    pub const ALL: [CTy; 11] = [
+        CTy::Bool,
+        CTy::I8,
+        CTy::U8,
+        CTy::I16,
+        CTy::U16,
+        CTy::I32,
+        CTy::U32,
+        CTy::I64,
+        CTy::U64,
+        CTy::F32,
+        CTy::F64,
+    ];
+
+    /// Whether this is an integer type (booleans excluded).
+    pub fn is_integer(self) -> bool {
+        matches!(
+            self,
+            CTy::I8 | CTy::U8 | CTy::I16 | CTy::U16 | CTy::I32 | CTy::U32 | CTy::I64 | CTy::U64
+        )
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, CTy::F32 | CTy::F64)
+    }
+
+    /// Whether this is a numeric (integer or float) type.
+    pub fn is_numeric(self) -> bool {
+        self.is_integer() || self.is_float()
+    }
+
+    /// Whether integer values of this type are interpreted as signed.
+    pub fn is_signed(self) -> bool {
+        matches!(self, CTy::I8 | CTy::I16 | CTy::I32 | CTy::I64)
+    }
+
+    /// Size of the type in bytes, as laid out by the C back end (armv7
+    /// ABI: no scalar is larger than 8 bytes).
+    pub fn size(self) -> u32 {
+        match self {
+            CTy::Bool | CTy::I8 | CTy::U8 => 1,
+            CTy::I16 | CTy::U16 => 2,
+            CTy::I32 | CTy::U32 | CTy::F32 => 4,
+            CTy::I64 | CTy::U64 | CTy::F64 => 8,
+        }
+    }
+
+    /// Alignment of the type in bytes (equal to its size on armv7).
+    pub fn align(self) -> u32 {
+        self.size()
+    }
+
+    /// Width in bits for integer types, `None` for floats.
+    pub fn bit_width(self) -> Option<u32> {
+        match self {
+            CTy::Bool => Some(1),
+            CTy::I8 | CTy::U8 => Some(8),
+            CTy::I16 | CTy::U16 => Some(16),
+            CTy::I32 | CTy::U32 => Some(32),
+            CTy::I64 | CTy::U64 => Some(64),
+            CTy::F32 | CTy::F64 => None,
+        }
+    }
+
+    /// The C99 type name used by the pretty printer.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            CTy::Bool => "_Bool",
+            CTy::I8 => "int8_t",
+            CTy::U8 => "uint8_t",
+            CTy::I16 => "int16_t",
+            CTy::U16 => "uint16_t",
+            CTy::I32 => "int32_t",
+            CTy::U32 => "uint32_t",
+            CTy::I64 => "int64_t",
+            CTy::U64 => "uint64_t",
+            CTy::F32 => "float",
+            CTy::F64 => "double",
+        }
+    }
+}
+
+impl fmt::Display for CTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CTy::Bool => "bool",
+            CTy::I8 => "int8",
+            CTy::U8 => "uint8",
+            CTy::I16 => "int16",
+            CTy::U16 => "uint16",
+            CTy::I32 => "int",
+            CTy::U32 => "uint32",
+            CTy::I64 => "int64",
+            CTy::U64 => "uint64",
+            CTy::F32 => "float32",
+            CTy::F64 => "real",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Machine values (CompCert's `Vint`/`Vlong`/`Vsingle`/`Vfloat`).
+///
+/// Equality is structural, with floats compared *bitwise* so that traces
+/// containing NaNs still compare reliably; this matches CompCert's use of
+/// binary float representations.
+#[derive(Debug, Clone, Copy)]
+pub enum CVal {
+    /// A 32-bit machine integer, carrier for all integer types of width
+    /// ≤ 32 and for booleans.
+    Int(i32),
+    /// A 64-bit machine integer.
+    Long(i64),
+    /// A single-precision float.
+    Single(f32),
+    /// A double-precision float.
+    Float(f64),
+}
+
+impl PartialEq for CVal {
+    fn eq(&self, other: &CVal) -> bool {
+        match (self, other) {
+            (CVal::Int(a), CVal::Int(b)) => a == b,
+            (CVal::Long(a), CVal::Long(b)) => a == b,
+            (CVal::Single(a), CVal::Single(b)) => a.to_bits() == b.to_bits(),
+            (CVal::Float(a), CVal::Float(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for CVal {}
+
+impl CVal {
+    /// The boolean `true` (the integer 1).
+    pub const TRUE: CVal = CVal::Int(1);
+    /// The boolean `false` (the integer 0).
+    pub const FALSE: CVal = CVal::Int(0);
+
+    /// A 32-bit integer value.
+    pub fn int(v: i32) -> CVal {
+        CVal::Int(v)
+    }
+
+    /// A 64-bit integer value.
+    pub fn long(v: i64) -> CVal {
+        CVal::Long(v)
+    }
+
+    /// A boolean value.
+    pub fn bool(b: bool) -> CVal {
+        if b {
+            CVal::TRUE
+        } else {
+            CVal::FALSE
+        }
+    }
+
+    /// A double-precision value.
+    pub fn float(v: f64) -> CVal {
+        CVal::Float(v)
+    }
+
+    /// A single-precision value.
+    pub fn single(v: f32) -> CVal {
+        CVal::Single(v)
+    }
+
+    /// Reads the value as a signed 64-bit integer when it is an integer
+    /// carrier (`Int` or `Long`).
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            CVal::Int(v) => Some(v as i64),
+            CVal::Long(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CVal::Int(v) => write!(f, "{v}"),
+            CVal::Long(v) => write!(f, "{v}"),
+            CVal::Single(v) => write!(f, "{v:?}f"),
+            CVal::Float(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// Truncates/extends a raw 64-bit pattern into a well-typed value of the
+/// integer (or boolean) type `ty`.
+///
+/// This is where two's-complement wrap-around happens: arithmetic is done
+/// wide and the result is normalized to the type's width.
+///
+/// # Panics
+///
+/// Panics if `ty` is a float type.
+pub(crate) fn normalize_int(ty: CTy, raw: i64) -> CVal {
+    match ty {
+        CTy::Bool => CVal::Int((raw != 0) as i32),
+        CTy::I8 => CVal::Int(raw as i8 as i32),
+        CTy::U8 => CVal::Int(raw as u8 as i32),
+        CTy::I16 => CVal::Int(raw as i16 as i32),
+        CTy::U16 => CVal::Int(raw as u16 as i32),
+        CTy::I32 => CVal::Int(raw as i32),
+        // U32 keeps the 32-bit pattern; the signed carrier is a detail.
+        CTy::U32 => CVal::Int(raw as u32 as i32),
+        CTy::I64 | CTy::U64 => CVal::Long(raw),
+        CTy::F32 | CTy::F64 => panic!("normalize_int on float type {ty}"),
+    }
+}
+
+/// Reads a well-typed integer value of type `ty` as a signed 64-bit
+/// integer respecting the type's signedness.
+pub(crate) fn read_signed(ty: CTy, v: CVal) -> Option<i64> {
+    match (ty, v) {
+        (CTy::Bool, CVal::Int(n)) => Some(n as i64),
+        (CTy::I8 | CTy::I16 | CTy::I32, CVal::Int(n)) => Some(n as i64),
+        (CTy::U8 | CTy::U16, CVal::Int(n)) => Some(n as i64), // stored zero-extended
+        (CTy::U32, CVal::Int(n)) => Some(n as u32 as i64),
+        (CTy::I64, CVal::Long(n)) => Some(n),
+        (CTy::U64, CVal::Long(n)) => Some(n), // raw pattern; caller reinterprets
+        _ => None,
+    }
+}
+
+/// Unary operators of the Clight instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CUnOp {
+    /// Boolean negation (`!` restricted to booleans).
+    Not,
+    /// Arithmetic negation.
+    Neg,
+    /// Explicit scalar cast to the given type.
+    Cast(CTy),
+}
+
+impl fmt::Display for CUnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CUnOp::Not => f.write_str("not"),
+            CUnOp::Neg => f.write_str("-"),
+            CUnOp::Cast(ty) => write!(f, "(: {ty})"),
+        }
+    }
+}
+
+/// Binary operators of the Clight instantiation.
+///
+/// Both operands must have the *same* type (the paper requires explicit
+/// casts; elaboration never inserts implicit conversions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CBinOp {
+    /// Addition (wrap-around on integers).
+    Add,
+    /// Subtraction (wrap-around on integers).
+    Sub,
+    /// Multiplication (wrap-around on integers).
+    Mul,
+    /// Division; undefined on zero divisors and on signed overflow.
+    Div,
+    /// Remainder; integers only, same undefinedness as division.
+    Mod,
+    /// Conjunction on booleans, bitwise-and on integers.
+    And,
+    /// Disjunction on booleans, bitwise-or on integers.
+    Or,
+    /// Exclusive or on booleans, bitwise-xor on integers.
+    Xor,
+    /// Equality, any scalar type; result is boolean.
+    Eq,
+    /// Disequality.
+    Ne,
+    /// Strictly less, numeric types; result is boolean.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CBinOp {
+    /// Whether the operator yields a boolean regardless of operand type.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            CBinOp::Eq | CBinOp::Ne | CBinOp::Lt | CBinOp::Le | CBinOp::Gt | CBinOp::Ge
+        )
+    }
+}
+
+impl fmt::Display for CBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CBinOp::Add => "+",
+            CBinOp::Sub => "-",
+            CBinOp::Mul => "*",
+            CBinOp::Div => "/",
+            CBinOp::Mod => "%",
+            CBinOp::And => "&",
+            CBinOp::Or => "|",
+            CBinOp::Xor => "^",
+            CBinOp::Eq => "==",
+            CBinOp::Ne => "!=",
+            CBinOp::Lt => "<",
+            CBinOp::Le => "<=",
+            CBinOp::Gt => ">",
+            CBinOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed compile-time constant.
+///
+/// The constructor enforces the typing invariant, so a `CConst` is always
+/// well typed by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CConst {
+    ty: CTy,
+    val: CVal,
+}
+
+impl CConst {
+    /// Creates a constant, checking `⊢wt val : ty`.
+    pub fn new(val: CVal, ty: CTy) -> Option<CConst> {
+        if crate::cops::wt(&val, &ty) {
+            Some(CConst { ty, val })
+        } else {
+            None
+        }
+    }
+
+    /// The constant's type.
+    pub fn ty(&self) -> CTy {
+        self.ty
+    }
+
+    /// The constant's value.
+    pub fn val(&self) -> CVal {
+        self.val
+    }
+
+    /// Shorthand for a 32-bit integer constant.
+    pub fn int(v: i32) -> CConst {
+        CConst {
+            ty: CTy::I32,
+            val: CVal::Int(v),
+        }
+    }
+
+    /// Shorthand for a boolean constant.
+    pub fn bool(b: bool) -> CConst {
+        CConst {
+            ty: CTy::Bool,
+            val: CVal::bool(b),
+        }
+    }
+
+    /// Shorthand for a double-precision constant.
+    pub fn float(v: f64) -> CConst {
+        CConst {
+            ty: CTy::F64,
+            val: CVal::Float(v),
+        }
+    }
+}
+
+impl fmt::Display for CConst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ty == CTy::Bool {
+            f.write_str(if self.val == CVal::TRUE { "true" } else { "false" })
+        } else {
+            write!(f, "{}", self.val)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_alignments() {
+        assert_eq!(CTy::Bool.size(), 1);
+        assert_eq!(CTy::I32.size(), 4);
+        assert_eq!(CTy::F64.size(), 8);
+        for ty in CTy::ALL {
+            assert_eq!(ty.size(), ty.align());
+            assert!(ty.size().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn normalization_wraps() {
+        assert_eq!(normalize_int(CTy::I8, 130), CVal::Int(-126));
+        assert_eq!(normalize_int(CTy::U8, 260), CVal::Int(4));
+        assert_eq!(normalize_int(CTy::I32, i64::from(i32::MAX) + 1), CVal::Int(i32::MIN));
+        assert_eq!(normalize_int(CTy::Bool, 42), CVal::Int(1));
+    }
+
+    #[test]
+    fn float_equality_is_bitwise() {
+        let nan1 = CVal::Float(f64::NAN);
+        let nan2 = CVal::Float(f64::NAN);
+        assert_eq!(nan1, nan2);
+        assert_ne!(CVal::Float(0.0), CVal::Float(-0.0));
+    }
+
+    #[test]
+    fn const_constructor_checks_typing() {
+        assert!(CConst::new(CVal::Int(2), CTy::Bool).is_none());
+        assert!(CConst::new(CVal::Int(1), CTy::Bool).is_some());
+        assert!(CConst::new(CVal::Int(300), CTy::U8).is_none());
+        assert!(CConst::new(CVal::Long(1), CTy::I32).is_none());
+    }
+
+    #[test]
+    fn const_display() {
+        assert_eq!(CConst::bool(true).to_string(), "true");
+        assert_eq!(CConst::int(-3).to_string(), "-3");
+    }
+}

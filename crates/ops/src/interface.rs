@@ -1,0 +1,219 @@
+//! The operator interface (paper Fig. 10) and the surface-syntax operators
+//! that the front end maps onto it.
+
+use std::fmt;
+use std::hash::Hash;
+
+/// A literal as it appears in Lustre source text, before elaboration
+/// assigns it a machine type.
+///
+/// The front end is parametric in the operator interface, so it cannot
+/// construct `O::Const` values directly; it hands literals to
+/// [`Ops::const_of_literal`] together with the expected type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A boolean literal: `true` or `false`.
+    Bool(bool),
+    /// An integer literal. The value is kept wide; the operator interface
+    /// decides whether it fits the expected type.
+    Int(i128),
+    /// A floating-point literal.
+    Float(f64),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// Unary operators of the Lustre surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SurfaceUnOp {
+    /// Boolean negation `not`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+impl fmt::Display for SurfaceUnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SurfaceUnOp::Not => f.write_str("not"),
+            SurfaceUnOp::Neg => f.write_str("-"),
+        }
+    }
+}
+
+/// Binary operators of the Lustre surface syntax.
+///
+/// Both operands of the boolean connectives are always evaluated in a
+/// dataflow language, so there is no short-circuit distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SurfaceBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` on reals, `div` on integers (elaboration dispatches on type).
+    Div,
+    /// `mod`
+    Mod,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `xor`
+    Xor,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for SurfaceBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SurfaceBinOp::Add => "+",
+            SurfaceBinOp::Sub => "-",
+            SurfaceBinOp::Mul => "*",
+            SurfaceBinOp::Div => "/",
+            SurfaceBinOp::Mod => "mod",
+            SurfaceBinOp::And => "and",
+            SurfaceBinOp::Or => "or",
+            SurfaceBinOp::Xor => "xor",
+            SurfaceBinOp::Eq => "=",
+            SurfaceBinOp::Ne => "<>",
+            SurfaceBinOp::Lt => "<",
+            SurfaceBinOp::Le => "<=",
+            SurfaceBinOp::Gt => ">",
+            SurfaceBinOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The abstract operator interface (paper Fig. 10).
+///
+/// An implementation supplies the value domain, the type system fragment,
+/// constants and operators together with their (partial) typing and
+/// semantic functions. All IRs and passes up to (and excluding) Clight
+/// generation are parametric in this trait, exactly like the Coq functors
+/// of the paper.
+///
+/// # Required properties
+///
+/// Implementations must satisfy the interface laws stated in the paper
+/// (checked by property tests for the instantiations shipped here):
+///
+/// * `true_val() != false_val()`;
+/// * `well_typed(true_val(), bool_type())` and likewise for `false`;
+/// * `well_typed(sem_const(c), type_of_const(c))` for every constant `c`;
+/// * *type preservation*: if `type_unop(op, ty) = Some(ty')` and
+///   `well_typed(v, ty)` and `sem_unop(op, v, ty) = Some(v')` then
+///   `well_typed(v', ty')`, and the analogous property for binary
+///   operators.
+///
+/// Semantic functions are partial: `None` models an undefined result (the
+/// compiled program would exhibit undefined behaviour). The compiler's
+/// correctness argument requires source programs to apply operators only
+/// within their domain; the dataflow interpreter reports such applications
+/// as runtime errors.
+///
+/// Implementors are zero-sized marker types (the interface is a bundle of
+/// associated items), hence the blanket `Copy + Default` supertraits.
+pub trait Ops: Copy + Default + PartialEq + fmt::Debug + Sized + 'static {
+    /// Machine values.
+    type Val: Clone + PartialEq + fmt::Debug + fmt::Display;
+    /// Value types.
+    type Ty: Clone + Eq + Hash + fmt::Debug + fmt::Display;
+    /// Compile-time constants.
+    type Const: Clone + PartialEq + fmt::Debug + fmt::Display;
+    /// Unary operators.
+    type UnOp: Copy + PartialEq + fmt::Debug + fmt::Display;
+    /// Binary operators.
+    type BinOp: Copy + PartialEq + fmt::Debug + fmt::Display;
+
+    /// The distinguished boolean type, required to define the semantics of
+    /// sampling, merges, muxes and clocks.
+    fn bool_type() -> Self::Ty;
+    /// The value of `true`.
+    fn true_val() -> Self::Val;
+    /// The value of `false`.
+    fn false_val() -> Self::Val;
+
+    /// The typing judgment `⊢wt v : ty`.
+    fn well_typed(v: &Self::Val, ty: &Self::Ty) -> bool;
+    /// The type of a constant.
+    fn type_of_const(c: &Self::Const) -> Self::Ty;
+    /// The value of a constant.
+    fn sem_const(c: &Self::Const) -> Self::Val;
+
+    /// Result type of a unary operator, if the application is well typed.
+    fn type_unop(op: Self::UnOp, ty: &Self::Ty) -> Option<Self::Ty>;
+    /// Value of a unary operator application, `None` when undefined.
+    fn sem_unop(op: Self::UnOp, v: &Self::Val, ty: &Self::Ty) -> Option<Self::Val>;
+    /// Result type of a binary operator, if the application is well typed.
+    fn type_binop(op: Self::BinOp, ty1: &Self::Ty, ty2: &Self::Ty) -> Option<Self::Ty>;
+    /// Value of a binary operator application, `None` when undefined.
+    fn sem_binop(
+        op: Self::BinOp,
+        v1: &Self::Val,
+        ty1: &Self::Ty,
+        v2: &Self::Val,
+        ty2: &Self::Ty,
+    ) -> Option<Self::Val>;
+
+    /// Interprets a value of the boolean type as a Rust `bool`.
+    ///
+    /// Returns `None` if `v` is not a well-typed boolean. Used by the
+    /// semantics of clocks, merges and conditionals.
+    fn as_bool(v: &Self::Val) -> Option<bool>;
+
+    /// A default (zero-like) constant of type `ty`, used to desugar
+    /// uninitialized delays (`pre e` becomes `default fby e`).
+    fn default_const(ty: &Self::Ty) -> Self::Const;
+
+    /// Resolves a source-level type name (`int`, `bool`, `real`, …).
+    fn type_of_name(name: &str) -> Option<Self::Ty>;
+
+    /// Elaborates a literal at the given expected type.
+    ///
+    /// Returns `None` when the literal does not fit the type (e.g. an
+    /// out-of-range integer or a float literal at integer type).
+    fn const_of_literal(lit: &Literal, ty: &Self::Ty) -> Option<Self::Const>;
+
+    /// Maps a surface unary operator onto the interface at argument type
+    /// `ty`. Returns the interface operator and its result type.
+    fn elab_unop(op: SurfaceUnOp, ty: &Self::Ty) -> Option<(Self::UnOp, Self::Ty)>;
+
+    /// Maps a surface binary operator onto the interface at the given
+    /// argument types. Returns the interface operator and its result type.
+    fn elab_binop(
+        op: SurfaceBinOp,
+        ty1: &Self::Ty,
+        ty2: &Self::Ty,
+    ) -> Option<(Self::BinOp, Self::Ty)>;
+
+    /// Produces the unary operator implementing an explicit cast from
+    /// `from` to `to`, if the instantiation supports one. The default
+    /// supports no casts (suitable for minimal instantiations).
+    fn elab_cast(from: &Self::Ty, to: &Self::Ty) -> Option<Self::UnOp> {
+        let _ = (from, to);
+        None
+    }
+}

@@ -1,0 +1,48 @@
+//! The abstract operator interface of the Vélus compiler (PLDI'17 §4.1,
+//! Fig. 10) and its machine-level instantiation.
+//!
+//! The paper defines the front and middle end of the compiler — SN-Lustre,
+//! Obc, the translation between them, and the fusion optimization — as Coq
+//! functors over a *module type* of operators: abstract types for values,
+//! value types, constants and operators, together with a typing judgment and
+//! partial semantic functions. The interface is instantiated with CompCert's
+//! values and Clight's operator semantics only in the final generation pass.
+//!
+//! This crate is the Rust rendition of that design:
+//!
+//! * [`Ops`] — the operator interface as a trait with associated types.
+//!   Every IR, every interpreter, and the SN-Lustre → Obc translation in the
+//!   sibling crates is generic over `O: Ops`.
+//! * [`ClightOps`] — the canonical instantiation mirroring CompCert:
+//!   32/64-bit machine integers with two's-complement wrap-around, IEEE-754
+//!   floats, booleans that are exactly the integers 0 and 1, explicit casts,
+//!   and *partial* semantics (`None` models CompCert's undefined behaviours:
+//!   division by zero, `INT_MIN / -1`, …).
+//! * [`toy::I64Ops`] — a deliberately small second instantiation used by
+//!   tests to demonstrate that the pipeline really is parametric.
+//!
+//! The interface properties stated in the paper (e.g. `true ≠ false`, type
+//! preservation of the operator semantics) are checked for both
+//! instantiations by this crate's property-based tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use velus_ops::{ClightOps, Ops, CBinOp, CTy, CVal};
+//!
+//! let two = CVal::int(2);
+//! let three = CVal::int(3);
+//! let ty = CTy::I32;
+//! let sum = ClightOps::sem_binop(CBinOp::Add, &two, &ty, &three, &ty).unwrap();
+//! assert_eq!(sum, CVal::int(5));
+//! assert!(ClightOps::well_typed(&sum, &ty));
+//! ```
+
+mod cops;
+mod cvals;
+mod interface;
+pub mod toy;
+
+pub use cops::ClightOps;
+pub use cvals::{CBinOp, CConst, CTy, CUnOp, CVal};
+pub use interface::{Literal, Ops, SurfaceBinOp, SurfaceUnOp};

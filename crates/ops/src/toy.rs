@@ -1,0 +1,277 @@
+//! A deliberately small second instantiation of the operator interface.
+//!
+//! The paper emphasizes that the front end "can be instantiated to any
+//! suitable language or for different variations of a given language"
+//! (§4.1). `I64Ops` — two types (`bool`, `int`), `i64` arithmetic without
+//! partiality except division by zero — exists to keep that claim honest:
+//! the test suites run the N-Lustre and Obc interpreters over it.
+
+use std::fmt;
+
+use crate::interface::{Literal, Ops, SurfaceBinOp, SurfaceUnOp};
+
+/// Types of the toy instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ToyTy {
+    /// Booleans.
+    Bool,
+    /// 64-bit signed integers.
+    Int,
+}
+
+impl fmt::Display for ToyTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToyTy::Bool => f.write_str("bool"),
+            ToyTy::Int => f.write_str("int"),
+        }
+    }
+}
+
+/// Values of the toy instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ToyVal {
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+}
+
+impl fmt::Display for ToyVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToyVal::Bool(b) => write!(f, "{b}"),
+            ToyVal::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Constants of the toy instantiation (identical to values).
+pub type ToyConst = ToyVal;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ToyUnOp {
+    /// Boolean negation.
+    Not,
+    /// Integer negation.
+    Neg,
+}
+
+impl fmt::Display for ToyUnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToyUnOp::Not => f.write_str("not"),
+            ToyUnOp::Neg => f.write_str("-"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ToyBinOp {
+    /// Integer addition (wrapping).
+    Add,
+    /// Integer subtraction (wrapping).
+    Sub,
+    /// Integer multiplication (wrapping).
+    Mul,
+    /// Integer division (undefined on zero).
+    Div,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Equality at either type.
+    Eq,
+    /// Integer strict comparison.
+    Lt,
+}
+
+impl fmt::Display for ToyBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ToyBinOp::Add => "+",
+            ToyBinOp::Sub => "-",
+            ToyBinOp::Mul => "*",
+            ToyBinOp::Div => "/",
+            ToyBinOp::And => "and",
+            ToyBinOp::Or => "or",
+            ToyBinOp::Eq => "=",
+            ToyBinOp::Lt => "<",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The toy instantiation of [`Ops`]; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct I64Ops;
+
+impl Ops for I64Ops {
+    type Val = ToyVal;
+    type Ty = ToyTy;
+    type Const = ToyConst;
+    type UnOp = ToyUnOp;
+    type BinOp = ToyBinOp;
+
+    fn bool_type() -> ToyTy {
+        ToyTy::Bool
+    }
+
+    fn true_val() -> ToyVal {
+        ToyVal::Bool(true)
+    }
+
+    fn false_val() -> ToyVal {
+        ToyVal::Bool(false)
+    }
+
+    fn well_typed(v: &ToyVal, ty: &ToyTy) -> bool {
+        matches!(
+            (v, ty),
+            (ToyVal::Bool(_), ToyTy::Bool) | (ToyVal::Int(_), ToyTy::Int)
+        )
+    }
+
+    fn type_of_const(c: &ToyConst) -> ToyTy {
+        match c {
+            ToyVal::Bool(_) => ToyTy::Bool,
+            ToyVal::Int(_) => ToyTy::Int,
+        }
+    }
+
+    fn sem_const(c: &ToyConst) -> ToyVal {
+        *c
+    }
+
+    fn type_unop(op: ToyUnOp, ty: &ToyTy) -> Option<ToyTy> {
+        match (op, ty) {
+            (ToyUnOp::Not, ToyTy::Bool) => Some(ToyTy::Bool),
+            (ToyUnOp::Neg, ToyTy::Int) => Some(ToyTy::Int),
+            _ => None,
+        }
+    }
+
+    fn sem_unop(op: ToyUnOp, v: &ToyVal, _ty: &ToyTy) -> Option<ToyVal> {
+        match (op, v) {
+            (ToyUnOp::Not, ToyVal::Bool(b)) => Some(ToyVal::Bool(!b)),
+            (ToyUnOp::Neg, ToyVal::Int(i)) => Some(ToyVal::Int(i.wrapping_neg())),
+            _ => None,
+        }
+    }
+
+    fn type_binop(op: ToyBinOp, ty1: &ToyTy, ty2: &ToyTy) -> Option<ToyTy> {
+        if ty1 != ty2 {
+            return None;
+        }
+        match (op, ty1) {
+            (ToyBinOp::Add | ToyBinOp::Sub | ToyBinOp::Mul | ToyBinOp::Div, ToyTy::Int) => {
+                Some(ToyTy::Int)
+            }
+            (ToyBinOp::And | ToyBinOp::Or, ToyTy::Bool) => Some(ToyTy::Bool),
+            (ToyBinOp::Eq, _) => Some(ToyTy::Bool),
+            (ToyBinOp::Lt, ToyTy::Int) => Some(ToyTy::Bool),
+            _ => None,
+        }
+    }
+
+    fn sem_binop(
+        op: ToyBinOp,
+        v1: &ToyVal,
+        _ty1: &ToyTy,
+        v2: &ToyVal,
+        _ty2: &ToyTy,
+    ) -> Option<ToyVal> {
+        match (op, v1, v2) {
+            (ToyBinOp::Add, ToyVal::Int(a), ToyVal::Int(b)) => Some(ToyVal::Int(a.wrapping_add(*b))),
+            (ToyBinOp::Sub, ToyVal::Int(a), ToyVal::Int(b)) => Some(ToyVal::Int(a.wrapping_sub(*b))),
+            (ToyBinOp::Mul, ToyVal::Int(a), ToyVal::Int(b)) => Some(ToyVal::Int(a.wrapping_mul(*b))),
+            (ToyBinOp::Div, ToyVal::Int(a), ToyVal::Int(b)) => {
+                if *b == 0 || (*a == i64::MIN && *b == -1) {
+                    None
+                } else {
+                    Some(ToyVal::Int(a / b))
+                }
+            }
+            (ToyBinOp::And, ToyVal::Bool(a), ToyVal::Bool(b)) => Some(ToyVal::Bool(*a && *b)),
+            (ToyBinOp::Or, ToyVal::Bool(a), ToyVal::Bool(b)) => Some(ToyVal::Bool(*a || *b)),
+            (ToyBinOp::Eq, a, b) => Some(ToyVal::Bool(a == b)),
+            (ToyBinOp::Lt, ToyVal::Int(a), ToyVal::Int(b)) => Some(ToyVal::Bool(a < b)),
+            _ => None,
+        }
+    }
+
+    fn as_bool(v: &ToyVal) -> Option<bool> {
+        match v {
+            ToyVal::Bool(b) => Some(*b),
+            ToyVal::Int(_) => None,
+        }
+    }
+
+    fn default_const(ty: &ToyTy) -> ToyConst {
+        match ty {
+            ToyTy::Bool => ToyVal::Bool(false),
+            ToyTy::Int => ToyVal::Int(0),
+        }
+    }
+
+    fn type_of_name(name: &str) -> Option<ToyTy> {
+        match name {
+            "bool" => Some(ToyTy::Bool),
+            "int" => Some(ToyTy::Int),
+            _ => None,
+        }
+    }
+
+    fn const_of_literal(lit: &Literal, ty: &ToyTy) -> Option<ToyConst> {
+        match (lit, ty) {
+            (Literal::Bool(b), ToyTy::Bool) => Some(ToyVal::Bool(*b)),
+            (Literal::Int(i), ToyTy::Int) => i64::try_from(*i).ok().map(ToyVal::Int),
+            _ => None,
+        }
+    }
+
+    fn elab_unop(op: SurfaceUnOp, ty: &ToyTy) -> Option<(ToyUnOp, ToyTy)> {
+        let o = match op {
+            SurfaceUnOp::Not => ToyUnOp::Not,
+            SurfaceUnOp::Neg => ToyUnOp::Neg,
+        };
+        Self::type_unop(o, ty).map(|t| (o, t))
+    }
+
+    fn elab_binop(op: SurfaceBinOp, ty1: &ToyTy, ty2: &ToyTy) -> Option<(ToyBinOp, ToyTy)> {
+        let o = match op {
+            SurfaceBinOp::Add => ToyBinOp::Add,
+            SurfaceBinOp::Sub => ToyBinOp::Sub,
+            SurfaceBinOp::Mul => ToyBinOp::Mul,
+            SurfaceBinOp::Div => ToyBinOp::Div,
+            SurfaceBinOp::And => ToyBinOp::And,
+            SurfaceBinOp::Or => ToyBinOp::Or,
+            SurfaceBinOp::Eq => ToyBinOp::Eq,
+            SurfaceBinOp::Lt => ToyBinOp::Lt,
+            _ => return None,
+        };
+        Self::type_binop(o, ty1, ty2).map(|t| (o, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_laws_hold() {
+        assert_ne!(I64Ops::true_val(), I64Ops::false_val());
+        assert!(I64Ops::well_typed(&I64Ops::true_val(), &I64Ops::bool_type()));
+        let c = ToyVal::Int(42);
+        assert!(I64Ops::well_typed(&I64Ops::sem_const(&c), &I64Ops::type_of_const(&c)));
+    }
+
+    #[test]
+    fn division_by_zero_is_undefined() {
+        let a = ToyVal::Int(1);
+        let z = ToyVal::Int(0);
+        assert_eq!(I64Ops::sem_binop(ToyBinOp::Div, &a, &ToyTy::Int, &z, &ToyTy::Int), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based checks of the operator-interface laws (paper §4.1).
+//!
+//! The paper requires, of every instantiation: `true ≠ false`, well-typed
+//! booleans, well-typed constants, and type preservation for the unary and
+//! binary operator semantics. We verify these for `ClightOps` over random
+//! values, types and operators.
+
+use proptest::prelude::*;
+use velus_ops::{CBinOp, CTy, CUnOp, CVal, ClightOps, Literal, Ops};
+
+fn arb_ty() -> impl Strategy<Value = CTy> {
+    prop::sample::select(CTy::ALL.to_vec())
+}
+
+/// A well-typed value of the given type.
+fn arb_val(ty: CTy) -> BoxedStrategy<CVal> {
+    match ty {
+        CTy::Bool => prop::bool::ANY.prop_map(CVal::bool).boxed(),
+        CTy::I8 => any::<i8>().prop_map(|v| CVal::int(v as i32)).boxed(),
+        CTy::U8 => any::<u8>().prop_map(|v| CVal::int(v as i32)).boxed(),
+        CTy::I16 => any::<i16>().prop_map(|v| CVal::int(v as i32)).boxed(),
+        CTy::U16 => any::<u16>().prop_map(|v| CVal::int(v as i32)).boxed(),
+        CTy::I32 | CTy::U32 => any::<i32>().prop_map(CVal::int).boxed(),
+        CTy::I64 | CTy::U64 => any::<i64>().prop_map(CVal::long).boxed(),
+        CTy::F32 => any::<f32>().prop_map(CVal::single).boxed(),
+        CTy::F64 => any::<f64>().prop_map(CVal::float).boxed(),
+    }
+}
+
+fn arb_unop() -> impl Strategy<Value = CUnOp> {
+    prop_oneof![
+        Just(CUnOp::Not),
+        Just(CUnOp::Neg),
+        arb_ty().prop_map(CUnOp::Cast),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = CBinOp> {
+    prop::sample::select(vec![
+        CBinOp::Add,
+        CBinOp::Sub,
+        CBinOp::Mul,
+        CBinOp::Div,
+        CBinOp::Mod,
+        CBinOp::And,
+        CBinOp::Or,
+        CBinOp::Xor,
+        CBinOp::Eq,
+        CBinOp::Ne,
+        CBinOp::Lt,
+        CBinOp::Le,
+        CBinOp::Gt,
+        CBinOp::Ge,
+    ])
+}
+
+proptest! {
+    /// Generated values really are well typed (sanity of the generator).
+    #[test]
+    fn generator_produces_well_typed_values(ty in arb_ty(), seed in any::<u64>()) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let _ = seed;
+        let v = arb_val(ty).new_tree(&mut runner).unwrap().current();
+        prop_assert!(ClightOps::well_typed(&v, &ty));
+    }
+
+    /// Type preservation for unary operators.
+    #[test]
+    fn unop_type_preservation(ty in arb_ty(), op in arb_unop(), seed in any::<u64>()) {
+        let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
+            rng_algorithm: proptest::test_runner::RngAlgorithm::ChaCha,
+            ..Default::default()
+        });
+        let _ = seed;
+        let v = arb_val(ty).new_tree(&mut runner).unwrap().current();
+        if let Some(rty) = ClightOps::type_unop(op, &ty) {
+            if let Some(rv) = ClightOps::sem_unop(op, &v, &ty) {
+                prop_assert!(
+                    ClightOps::well_typed(&rv, &rty),
+                    "({op} {v} : {ty}) = {rv} not well typed at {rty}"
+                );
+            }
+        }
+    }
+
+    /// Type preservation for binary operators.
+    #[test]
+    fn binop_type_preservation(ty in arb_ty(), op in arb_binop(), seed in any::<u64>()) {
+        let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
+            rng_algorithm: proptest::test_runner::RngAlgorithm::ChaCha,
+            ..Default::default()
+        });
+        let _ = seed;
+        let v1 = arb_val(ty).new_tree(&mut runner).unwrap().current();
+        let v2 = arb_val(ty).new_tree(&mut runner).unwrap().current();
+        if let Some(rty) = ClightOps::type_binop(op, &ty, &ty) {
+            if let Some(rv) = ClightOps::sem_binop(op, &v1, &ty, &v2, &ty) {
+                prop_assert!(
+                    ClightOps::well_typed(&rv, &rty),
+                    "({v1} {op} {v2} : {ty}) = {rv} not well typed at {rty}"
+                );
+            }
+        }
+    }
+
+    /// Casting a value to its own type is the identity on integers.
+    #[test]
+    fn cast_to_same_integer_type_is_identity(ty in arb_ty().prop_filter("int", |t| t.is_integer()), seed in any::<u64>()) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let _ = seed;
+        let v = arb_val(ty).new_tree(&mut runner).unwrap().current();
+        let r = ClightOps::sem_unop(CUnOp::Cast(ty), &v, &ty).unwrap();
+        prop_assert_eq!(r, v);
+    }
+
+    /// Literal elaboration always yields constants of the requested type.
+    #[test]
+    fn literal_constants_are_well_typed(i in any::<i64>(), ty in arb_ty()) {
+        if let Some(c) = ClightOps::const_of_literal(&Literal::Int(i as i128), &ty) {
+            prop_assert_eq!(ClightOps::type_of_const(&c), ty);
+            prop_assert!(ClightOps::well_typed(&ClightOps::sem_const(&c), &ty));
+        }
+    }
+
+    /// Comparisons always produce booleans.
+    #[test]
+    fn comparisons_produce_booleans(ty in arb_ty(), seed in any::<u64>()) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let _ = seed;
+        let v1 = arb_val(ty).new_tree(&mut runner).unwrap().current();
+        let v2 = arb_val(ty).new_tree(&mut runner).unwrap().current();
+        for op in [CBinOp::Eq, CBinOp::Ne, CBinOp::Lt, CBinOp::Le, CBinOp::Gt, CBinOp::Ge] {
+            if ClightOps::type_binop(op, &ty, &ty).is_some() {
+                if let Some(r) = ClightOps::sem_binop(op, &v1, &ty, &v2, &ty) {
+                    prop_assert!(ClightOps::as_bool(&r).is_some());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn true_and_false_are_distinct_booleans() {
+    assert_ne!(ClightOps::true_val(), ClightOps::false_val());
+    assert_eq!(ClightOps::as_bool(&ClightOps::true_val()), Some(true));
+    assert_eq!(ClightOps::as_bool(&ClightOps::false_val()), Some(false));
+}

@@ -1,0 +1,86 @@
+//! Stream-set comparison with readable divergence reports.
+
+use velus_nlustre::streams::StreamSet;
+use velus_ops::Ops;
+
+/// The first point where two stream sets disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index of the disagreeing stream.
+    pub stream: usize,
+    /// First disagreeing instant.
+    pub instant: usize,
+    /// Rendered left value.
+    pub left: String,
+    /// Rendered right value.
+    pub right: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stream {} diverges at instant {}: {} vs {}",
+            self.stream, self.instant, self.left, self.right
+        )
+    }
+}
+
+/// Compares two stream sets and reports the first divergence, if any.
+/// Differing stream counts or lengths count as divergences.
+pub fn first_divergence<O: Ops>(a: &StreamSet<O>, b: &StreamSet<O>) -> Option<Divergence> {
+    if a.len() != b.len() {
+        return Some(Divergence {
+            stream: a.len().min(b.len()),
+            instant: 0,
+            left: format!("{} streams", a.len()),
+            right: format!("{} streams", b.len()),
+        });
+    }
+    for (k, (sa, sb)) in a.iter().zip(b).enumerate() {
+        let n = sa.len().max(sb.len());
+        for i in 0..n {
+            match (sa.get(i), sb.get(i)) {
+                (Some(x), Some(y)) if x == y => {}
+                (x, y) => {
+                    return Some(Divergence {
+                        stream: k,
+                        instant: i,
+                        left: x.map_or("<missing>".to_owned(), |v| v.to_string()),
+                        right: y.map_or("<missing>".to_owned(), |v| v.to_string()),
+                    })
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velus_nlustre::streams::SVal;
+    use velus_ops::{CVal, ClightOps};
+
+    #[test]
+    fn equal_sets_have_no_divergence() {
+        let a: StreamSet<ClightOps> = vec![vec![SVal::Pres(CVal::int(1)), SVal::Abs]];
+        assert_eq!(first_divergence::<ClightOps>(&a, &a.clone()), None);
+    }
+
+    #[test]
+    fn first_divergence_is_located() {
+        let a: StreamSet<ClightOps> = vec![vec![SVal::Pres(CVal::int(1)), SVal::Pres(CVal::int(2))]];
+        let b: StreamSet<ClightOps> = vec![vec![SVal::Pres(CVal::int(1)), SVal::Pres(CVal::int(3))]];
+        let d = first_divergence::<ClightOps>(&a, &b).unwrap();
+        assert_eq!((d.stream, d.instant), (0, 1));
+        assert_eq!(d.to_string(), "stream 0 diverges at instant 1: 2 vs 3");
+    }
+
+    #[test]
+    fn length_mismatch_is_a_divergence() {
+        let a: StreamSet<ClightOps> = vec![vec![SVal::Pres(CVal::int(1))]];
+        let b: StreamSet<ClightOps> = vec![vec![]];
+        assert!(first_divergence::<ClightOps>(&a, &b).is_some());
+    }
+}

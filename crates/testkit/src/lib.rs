@@ -1,0 +1,16 @@
+//! Test and benchmark workload generators for the Velus-rs workspace.
+//!
+//! * [`gen`] — random well-typed, well-clocked N-Lustre programs and
+//!   matching input streams, constructed so that the equation order is
+//!   already a valid schedule (causality by construction). These power
+//!   the differential property tests: dataflow semantics ≡ memory
+//!   semantics ≡ Obc ≡ Clight on arbitrary programs.
+//! * [`industrial`] — the deterministic generator for the §5 industrial
+//!   compile-time experiment: configurable node count, equations per
+//!   node, and call fan-in, approximating a ≈6000-node / ≈162000-equation
+//!   application.
+//! * [`diff`] — stream-set diffing with readable reports.
+
+pub mod diff;
+pub mod gen;
+pub mod industrial;

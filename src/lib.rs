@@ -1,0 +1,28 @@
+//! Umbrella crate for the Velus-rs reproduction workspace.
+//!
+//! This package exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library
+//! surface lives in the `velus` crate and its substrates; see the
+//! workspace `README.md` for an architectural overview.
+//!
+//! Re-exports the top-level compiler API for convenience so examples can
+//! simply `use velus_repro as velus;` if they wish.
+
+pub use velus::*;
+
+/// Returns the absolute path of the repository root (the workspace root).
+///
+/// Used by examples and integration tests to locate `benchmarks/*.lus`.
+pub fn repo_root() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Returns the path of a named benchmark program under `benchmarks/`.
+///
+/// ```
+/// let p = velus_repro::benchmark_path("tracker");
+/// assert!(p.ends_with("benchmarks/tracker.lus"));
+/// ```
+pub fn benchmark_path(name: &str) -> std::path::PathBuf {
+    repo_root().join("benchmarks").join(format!("{name}.lus"))
+}

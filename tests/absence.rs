@@ -1,0 +1,132 @@
+//! Absence at the root: the paper's node semantics derives the base
+//! clock from input presence (`clock#`), and requires inputs and outputs
+//! to be synchronized — "the streams of an instantiated node are only
+//! activated when the inputs are present". On the imperative side, an
+//! absent instant simply means the step function is not called.
+//!
+//! These tests drive compiled programs with absent instants interleaved
+//! and check that the dataflow semantics and the Obc execution agree:
+//! outputs are absent exactly when inputs are, and state freezes across
+//! absent instants.
+
+use velus_nlustre::streams::{StreamSet, SVal};
+use velus_obc::sem::run_class;
+use velus_ops::{CVal, ClightOps};
+
+const SRC: &str = "
+    node counter(ini, inc: int; res: bool) returns (n: int)
+    let
+      n = if (true fby false) or res then ini else (0 fby n) + inc;
+    tel
+";
+
+/// presence[i] says whether instant i is active.
+fn gapped_inputs(presence: &[bool]) -> StreamSet<ClightOps> {
+    let ini: Vec<SVal<ClightOps>> = presence
+        .iter()
+        .map(|&p| if p { SVal::Pres(CVal::int(10)) } else { SVal::Abs })
+        .collect();
+    let inc: Vec<SVal<ClightOps>> = presence
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| if p { SVal::Pres(CVal::int(i as i32)) } else { SVal::Abs })
+        .collect();
+    let res: Vec<SVal<ClightOps>> = presence
+        .iter()
+        .map(|&p| if p { SVal::Pres(CVal::bool(false)) } else { SVal::Abs })
+        .collect();
+    vec![ini, inc, res]
+}
+
+#[test]
+fn outputs_are_absent_exactly_when_inputs_are() {
+    let presence = [true, false, true, true, false, false, true, true];
+    let compiled = velus::compile(SRC, None).unwrap();
+    let inputs = gapped_inputs(&presence);
+    let outs = velus_nlustre::dataflow::run_node(
+        &compiled.snlustre,
+        compiled.root,
+        &inputs,
+        presence.len(),
+    )
+    .unwrap();
+    for (i, &p) in presence.iter().enumerate() {
+        assert_eq!(outs[0][i].is_present(), p, "instant {i}");
+    }
+}
+
+#[test]
+fn obc_with_skipped_steps_matches_gapped_dataflow() {
+    let presence = [true, true, false, true, false, true, true];
+    let compiled = velus::compile(SRC, None).unwrap();
+    let inputs = gapped_inputs(&presence);
+    let df = velus_nlustre::dataflow::run_node(
+        &compiled.snlustre,
+        compiled.root,
+        &inputs,
+        presence.len(),
+    )
+    .unwrap();
+
+    let obc_inputs: Vec<Option<Vec<CVal>>> = (0..presence.len())
+        .map(|i| {
+            presence[i].then(|| {
+                inputs
+                    .iter()
+                    .map(|s| s[i].value().expect("present").clone())
+                    .collect()
+            })
+        })
+        .collect();
+    let outs = run_class(&compiled.obc_fused, compiled.root, &obc_inputs).unwrap();
+    for i in 0..presence.len() {
+        match (&df[0][i], &outs[i]) {
+            (SVal::Abs, None) => {}
+            (SVal::Pres(a), Some(vs)) => assert_eq!(a, &vs[0], "instant {i}"),
+            (a, b) => panic!("presence mismatch at {i}: {a:?} vs {b:?}"),
+        }
+    }
+    // State freezes across gaps: the counter resumes, not restarts.
+    let present_values: Vec<i32> = outs
+        .iter()
+        .flatten()
+        .map(|vs| match vs[0] {
+            CVal::Int(v) => v,
+            _ => unreachable!(),
+        })
+        .collect();
+    // inc values at present instants: 0, 1, 3, 5, 6 (cumulative from 10).
+    assert_eq!(present_values, vec![10, 11, 14, 19, 25]);
+}
+
+#[test]
+fn mismatched_input_presence_is_rejected() {
+    let compiled = velus::compile(SRC, None).unwrap();
+    // ini present, inc absent at instant 0: not a synchronizable input.
+    let inputs: StreamSet<ClightOps> = vec![
+        vec![SVal::Pres(CVal::int(1))],
+        vec![SVal::Abs],
+        vec![SVal::Pres(CVal::bool(false))],
+    ];
+    let err =
+        velus_nlustre::dataflow::run_node(&compiled.snlustre, compiled.root, &inputs, 1)
+            .unwrap_err();
+    assert!(matches!(err, velus_nlustre::SemError::ClockError(_)));
+}
+
+#[test]
+fn memory_semantics_handles_gaps_identically() {
+    let presence = [true, false, true, false, false, true];
+    let compiled = velus::compile(SRC, None).unwrap();
+    let inputs = gapped_inputs(&presence);
+    let df = velus_nlustre::dataflow::run_node(
+        &compiled.snlustre,
+        compiled.root,
+        &inputs,
+        presence.len(),
+    )
+    .unwrap();
+    let mut msem = velus_nlustre::msem::MSem::new(&compiled.snlustre, compiled.root).unwrap();
+    let ms = msem.run(&inputs, presence.len()).unwrap();
+    assert_eq!(df, ms);
+}

@@ -1,0 +1,95 @@
+//! Property tests for the fusion optimization (§3.3) at the Obc level:
+//! on translated (hence `Fusible`) code, `fuse` preserves the big-step
+//! semantics and the `Fusible` predicate, and never increases statement
+//! count.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use velus_common::Diagnostics;
+use velus_obc::ast::ObcProgram;
+use velus_obc::fusion::{fuse_program, fusible};
+use velus_obc::sem::run_class;
+use velus_ops::{CVal, ClightOps};
+use velus_testkit::gen::{gen_inputs, gen_program, GenConfig};
+
+fn translated(seed: u64) -> (ObcProgram<ClightOps>, velus::Compiled) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prog = gen_program(&mut rng, &GenConfig::default());
+    let root = prog.nodes.last().expect("non-empty").name;
+    let compiled =
+        velus::compile_program(prog, root, Diagnostics::new()).expect("generated programs compile");
+    (compiled.obc.clone(), compiled)
+}
+
+fn obc_inputs(seed: u64, c: &velus::Compiled, n: usize) -> Vec<Option<Vec<CVal>>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+    let node = c.snlustre.node(c.root).expect("root").clone();
+    let streams = gen_inputs(&mut rng, &node, n);
+    (0..n)
+        .map(|i| {
+            Some(
+                streams
+                    .iter()
+                    .map(|s| s[i].value().expect("all-present").clone())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn translate_output_is_fusible(seed in any::<u64>()) {
+        let (obc, _) = translated(seed);
+        for class in &obc.classes {
+            for m in &class.methods {
+                prop_assert!(fusible(&m.body), "{}.{} not fusible", class.name, m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fuse_preserves_semantics_and_fusible(seed in any::<u64>()) {
+        let (obc, compiled) = translated(seed);
+        let fused = fuse_program(&obc);
+        for class in &fused.classes {
+            for m in &class.methods {
+                prop_assert!(fusible(&m.body));
+            }
+        }
+        let inputs = obc_inputs(seed, &compiled, 8);
+        let a = run_class(&obc, compiled.root, &inputs).map_err(|e| {
+            TestCaseError::fail(format!("unfused: {e}"))
+        })?;
+        let b = run_class(&fused, compiled.root, &inputs).map_err(|e| {
+            TestCaseError::fail(format!("fused: {e}"))
+        })?;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fuse_never_grows_code(seed in any::<u64>()) {
+        let (obc, _) = translated(seed);
+        let fused = fuse_program(&obc);
+        let size = |p: &ObcProgram<ClightOps>| {
+            p.classes
+                .iter()
+                .flat_map(|c| &c.methods)
+                .map(|m| m.body.size())
+                .sum::<usize>()
+        };
+        prop_assert!(size(&fused) <= size(&obc));
+    }
+
+    #[test]
+    fn fuse_is_idempotent_on_translated_code(seed in any::<u64>()) {
+        let (obc, _) = translated(seed);
+        let once = fuse_program(&obc);
+        let twice = fuse_program(&once);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,53 @@
+//! Smoke tests for the industrial-scale generator (§5): a reduced
+//! configuration must compile through the full pipeline and validate.
+
+use velus_common::{Diagnostics, Ident};
+use velus_testkit::industrial::{industrial_program, industrial_source, IndustrialConfig};
+
+#[test]
+fn small_industrial_program_compiles_and_validates() {
+    // The fan-in-2 netlist produces an instance tree of depth ~12, which
+    // the demand-driven interpreter traverses recursively: use a big
+    // stack, as the CLI does.
+    velus_common::with_stack(256, || {
+        let cfg = IndustrialConfig { nodes: 12, eqs_per_node: 10, fan_in: 2 };
+        let prog = industrial_program(&cfg);
+        let root = Ident::new("blk11");
+        let compiled = velus::compile_program(prog, root, Diagnostics::new()).unwrap();
+        let inputs = velus::validate::default_inputs(&compiled, 10);
+        velus::validate(&compiled, &inputs, 10).unwrap();
+    });
+}
+
+#[test]
+fn industrial_source_compiles_through_the_frontend() {
+    let cfg = IndustrialConfig { nodes: 20, eqs_per_node: 12, fan_in: 2 };
+    let src = industrial_source(&cfg);
+    let compiled = velus::compile(&src, Some("blk19")).unwrap();
+    assert_eq!(compiled.snlustre.nodes.len(), 20);
+    // The generated step function exists in the Clight output.
+    assert!(compiled
+        .clight
+        .function(velus_clight::generate::method_fn_name(
+            Ident::new("blk19"),
+            velus_obc::ast::step_name()
+        ))
+        .is_some());
+}
+
+#[test]
+fn medium_industrial_compile_time_is_sane() {
+    // Not a benchmark — just a guard that complexity is near-linear
+    // enough for the full experiment to be runnable.
+    let cfg = IndustrialConfig { nodes: 150, eqs_per_node: 24, fan_in: 2 };
+    let prog = industrial_program(&cfg);
+    let root = Ident::new("blk149");
+    let start = std::time::Instant::now();
+    let compiled = velus::compile_program(prog, root, Diagnostics::new()).unwrap();
+    assert!(compiled.snlustre.equation_count() > 3000);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(60),
+        "compilation took {:?}",
+        start.elapsed()
+    );
+}
