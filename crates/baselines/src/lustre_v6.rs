@@ -114,9 +114,7 @@ impl<O: Ops> Ctx<O> {
             Expr::Const(c) => ObcExpr::Const(c.clone()),
             Expr::Var(x, _) => self.var(*x)?,
             Expr::When(e1, _, _) => self.trexp(e1)?,
-            Expr::Unop(op, e1, ty) => {
-                ObcExpr::Unop(*op, Box::new(self.trexp(e1)?), ty.clone())
-            }
+            Expr::Unop(op, e1, ty) => ObcExpr::Unop(*op, Box::new(self.trexp(e1)?), ty.clone()),
             Expr::Binop(op, l, r, ty) => ObcExpr::Binop(
                 *op,
                 Box::new(self.trexp(l)?),
@@ -229,7 +227,12 @@ fn translate_node_v6<O: Ops>(node: &Node<O>) -> Result<Class<O>, BaselineError> 
                     },
                 )?
             }
-            Equation::Call { xs, ck, node: f, args } => {
+            Equation::Call {
+                xs,
+                ck,
+                node: f,
+                args,
+            } => {
                 let args = args
                     .iter()
                     .map(|a| ctx.trexp(a))
@@ -252,7 +255,11 @@ fn translate_node_v6<O: Ops>(node: &Node<O>) -> Result<Class<O>, BaselineError> 
     let step = Method {
         name: step_name(),
         inputs: node.inputs.iter().map(|d| (d.name, d.ty.clone())).collect(),
-        outputs: node.outputs.iter().map(|d| (d.name, d.ty.clone())).collect(),
+        outputs: node
+            .outputs
+            .iter()
+            .map(|d| (d.name, d.ty.clone()))
+            .collect(),
         locals: node.locals.iter().map(|d| (d.name, d.ty.clone())).collect(),
         body: Stmt::seq_all(gets.into_iter().chain(body)),
     };
@@ -316,7 +323,9 @@ mod tests {
     }
 
     fn compile_v6(src: &str) -> ObcProgram<ClightOps> {
-        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src).unwrap().0;
+        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src)
+            .unwrap()
+            .0;
         crate::lustre_v6_obc(&prog).unwrap()
     }
 
@@ -327,7 +336,10 @@ mod tests {
              let y = 0 fby (y + x); tel",
         );
         // lv6$fby$int helper class + node class.
-        assert!(obc.classes.iter().any(|c| c.name.as_str().starts_with("lv6$fby$")));
+        assert!(obc
+            .classes
+            .iter()
+            .any(|c| c.name.as_str().starts_with("lv6$fby$")));
         let f = obc.class(id("f")).unwrap();
         assert!(f.memories.is_empty());
         assert!(!f.instances.is_empty());
@@ -340,7 +352,9 @@ mod tests {
                    let
                      n = if (true fby false) or res then ini else (0 fby n) + inc;
                    tel";
-        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src).unwrap().0;
+        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src)
+            .unwrap()
+            .0;
         let mut scheduled = prog.clone();
         velus_nlustre::schedule::schedule_program(&mut scheduled).unwrap();
         let standard = velus_obc::translate::translate_program(&scheduled).unwrap();
@@ -358,7 +372,9 @@ mod tests {
     fn heptagon_semantics_matches_standard_translation() {
         let src = "node f(c: bool; a, b: int) returns (y: int)
                    let y = (0 fby y) + (if c then a * 2 else b - 1); tel";
-        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src).unwrap().0;
+        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src)
+            .unwrap()
+            .0;
         let mut scheduled = prog.clone();
         velus_nlustre::schedule::schedule_program(&mut scheduled).unwrap();
         let standard = velus_obc::translate::translate_program(&scheduled).unwrap();
@@ -377,7 +393,9 @@ mod tests {
     fn v6_code_is_larger() {
         let src = "node f(x: int) returns (y: int)
                    let y = (0 fby y) + x; tel";
-        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src).unwrap().0;
+        let prog = velus_lustre::compile_to_nlustre::<ClightOps>(src)
+            .unwrap()
+            .0;
         let mut scheduled = prog.clone();
         velus_nlustre::schedule::schedule_program(&mut scheduled).unwrap();
         let standard = velus_obc::translate::translate_program(&scheduled).unwrap();

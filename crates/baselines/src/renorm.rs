@@ -30,8 +30,16 @@ struct R<O: Ops> {
 impl<O: Ops> R<O> {
     fn define(&mut self, prefix: &str, ty: O::Ty, ck: &Clock, rhs: CExpr<O>) -> Expr<O> {
         let x = self.fresh.fresh(prefix);
-        self.locals.push(VarDecl { name: x, ty: ty.clone(), ck: ck.clone() });
-        self.eqs.push(Equation::Def { x, ck: ck.clone(), rhs });
+        self.locals.push(VarDecl {
+            name: x,
+            ty: ty.clone(),
+            ck: ck.clone(),
+        });
+        self.eqs.push(Equation::Def {
+            x,
+            ck: ck.clone(),
+            rhs,
+        });
         Expr::Var(x, ty)
     }
 
@@ -58,9 +66,7 @@ impl<O: Ops> R<O> {
     /// Reduces `e` to at most one operator over atoms.
     fn flatten(&mut self, e: &Expr<O>, ck: &Clock) -> Expr<O> {
         match e {
-            Expr::Unop(op, e1, ty) => {
-                Expr::Unop(*op, Box::new(self.atomize(e1, ck)), ty.clone())
-            }
+            Expr::Unop(op, e1, ty) => Expr::Unop(*op, Box::new(self.atomize(e1, ck)), ty.clone()),
             Expr::Binop(op, l, r, ty) => Expr::Binop(
                 *op,
                 Box::new(self.atomize(l, ck)),
@@ -115,15 +121,34 @@ fn renorm_node<O: Ops>(node: &Node<O>) -> Node<O> {
         match eq {
             Equation::Def { x, ck, rhs } => {
                 let rhs = r.cexpr(rhs, ck);
-                eqs.push(Equation::Def { x: *x, ck: ck.clone(), rhs });
+                eqs.push(Equation::Def {
+                    x: *x,
+                    ck: ck.clone(),
+                    rhs,
+                });
             }
             Equation::Fby { x, ck, init, rhs } => {
                 let rhs = r.atomize(rhs, ck);
-                eqs.push(Equation::Fby { x: *x, ck: ck.clone(), init: init.clone(), rhs });
+                eqs.push(Equation::Fby {
+                    x: *x,
+                    ck: ck.clone(),
+                    init: init.clone(),
+                    rhs,
+                });
             }
-            Equation::Call { xs, ck, node: f, args } => {
+            Equation::Call {
+                xs,
+                ck,
+                node: f,
+                args,
+            } => {
                 let args = args.iter().map(|a| r.atomize(a, ck)).collect();
-                eqs.push(Equation::Call { xs: xs.clone(), ck: ck.clone(), node: *f, args });
+                eqs.push(Equation::Call {
+                    xs: xs.clone(),
+                    ck: ck.clone(),
+                    node: *f,
+                    args,
+                });
             }
         }
     }
@@ -155,7 +180,9 @@ mod tests {
     use velus_ops::{CVal, ClightOps};
 
     fn compile(src: &str) -> Program<ClightOps> {
-        velus_lustre::compile_to_nlustre::<ClightOps>(src).unwrap().0
+        velus_lustre::compile_to_nlustre::<ClightOps>(src)
+            .unwrap()
+            .0
     }
 
     #[test]
@@ -226,7 +253,10 @@ mod tests {
         let node = &renormed.nodes[0];
         assert!(node.eqs.iter().any(|e| matches!(
             e,
-            Equation::Def { rhs: CExpr::Merge(..), .. }
+            Equation::Def {
+                rhs: CExpr::Merge(..),
+                ..
+            }
         )));
     }
 }

@@ -9,17 +9,17 @@ fn bench_industrial(c: &mut Criterion) {
     let mut group = c.benchmark_group("industrial");
     group.sample_size(10);
     for nodes in [50usize, 150, 400] {
-        let cfg = IndustrialConfig { nodes, eqs_per_node: 24, fan_in: 2 };
+        let cfg = IndustrialConfig {
+            nodes,
+            eqs_per_node: 24,
+            fan_in: 2,
+        };
         let prog = industrial_program(&cfg);
         let root = velus_common::Ident::new(&format!("blk{}", nodes - 1));
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &prog, |b, prog| {
             b.iter(|| {
-                velus::compile_program(
-                    prog.clone(),
-                    root,
-                    velus_common::Diagnostics::new(),
-                )
-                .expect("compiles")
+                velus::compile_program(prog.clone(), root, velus_common::Diagnostics::new())
+                    .expect("compiles")
             })
         });
     }

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use velus_bench::suite::load;
 use velus_common::Ident;
-use velus_nlustre::streams::{StreamSet, SVal};
+use velus_nlustre::streams::{SVal, StreamSet};
 use velus_ops::{CVal, ClightOps};
 
 fn bench_passes(c: &mut Criterion) {
@@ -52,19 +52,16 @@ fn bench_semantics(c: &mut Criterion) {
     let compiled = velus::compile(&source, Some("tracker")).unwrap();
     let n = 64usize;
     let inputs: StreamSet<ClightOps> = vec![
-        (0..n).map(|i| SVal::Pres(CVal::int((i as i32 * 7) % 11 - 5))).collect(),
+        (0..n)
+            .map(|i| SVal::Pres(CVal::int((i as i32 * 7) % 11 - 5)))
+            .collect(),
         (0..n).map(|_| SVal::Pres(CVal::int(5))).collect(),
     ];
     let mut group = c.benchmark_group("semantics/tracker");
     group.bench_function("dataflow_64", |b| {
         b.iter(|| {
-            velus_nlustre::dataflow::run_node(
-                &compiled.snlustre,
-                Ident::new("tracker"),
-                &inputs,
-                n,
-            )
-            .expect("runs")
+            velus_nlustre::dataflow::run_node(&compiled.snlustre, Ident::new("tracker"), &inputs, n)
+                .expect("runs")
         })
     });
     group.bench_function("validate_64", |b| {

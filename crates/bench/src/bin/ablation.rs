@@ -23,8 +23,7 @@ fn main() {
     for name in BENCHMARKS {
         let source = load(name);
         let compiled = velus::compile(&source, Some(name)).expect("benchmarks compile");
-        let unfused_clight =
-            generate(&compiled.obc, compiled.root).expect("generation succeeds");
+        let unfused_clight = generate(&compiled.obc, compiled.root).expect("generation succeeds");
         let fused = wcet_step(&compiled.clight, compiled.root, CostModel::CompCert)
             .expect("wcet of fused code");
         let unfused = wcet_step(&unfused_clight, compiled.root, CostModel::CompCert)

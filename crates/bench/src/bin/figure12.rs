@@ -27,7 +27,11 @@ fn main() {
         println!();
         println!("Paper (Vélus column, OTAWA cycles on armv7) for comparison of shape:");
         for (name, cycles) in PAPER_VELUS_CYCLES {
-            let ours = rows.iter().find(|r| r.name == *name).map(|r| r.velus).unwrap_or(0);
+            let ours = rows
+                .iter()
+                .find(|r| r.name == *name)
+                .map(|r| r.velus)
+                .unwrap_or(0);
             println!("  {name:<22} paper {cycles:>6}   reproduced {ours:>6}");
         }
     }

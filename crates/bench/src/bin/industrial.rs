@@ -52,17 +52,45 @@ fn main() {
     println!("Industrial-scale compile-time experiment (paper: ~6000 nodes, ~162000 equations, ~1 min 40 s).");
     let scales: Vec<IndustrialConfig> = if full {
         vec![
-            IndustrialConfig { nodes: 100, eqs_per_node: 24, fan_in: 2 },
-            IndustrialConfig { nodes: 500, eqs_per_node: 24, fan_in: 2 },
-            IndustrialConfig { nodes: 1500, eqs_per_node: 24, fan_in: 2 },
-            IndustrialConfig { nodes: 3000, eqs_per_node: 24, fan_in: 2 },
+            IndustrialConfig {
+                nodes: 100,
+                eqs_per_node: 24,
+                fan_in: 2,
+            },
+            IndustrialConfig {
+                nodes: 500,
+                eqs_per_node: 24,
+                fan_in: 2,
+            },
+            IndustrialConfig {
+                nodes: 1500,
+                eqs_per_node: 24,
+                fan_in: 2,
+            },
+            IndustrialConfig {
+                nodes: 3000,
+                eqs_per_node: 24,
+                fan_in: 2,
+            },
             IndustrialConfig::paper_scale(),
         ]
     } else {
         vec![
-            IndustrialConfig { nodes: 50, eqs_per_node: 24, fan_in: 2 },
-            IndustrialConfig { nodes: 200, eqs_per_node: 24, fan_in: 2 },
-            IndustrialConfig { nodes: 600, eqs_per_node: 24, fan_in: 2 },
+            IndustrialConfig {
+                nodes: 50,
+                eqs_per_node: 24,
+                fan_in: 2,
+            },
+            IndustrialConfig {
+                nodes: 200,
+                eqs_per_node: 24,
+                fan_in: 2,
+            },
+            IndustrialConfig {
+                nodes: 600,
+                eqs_per_node: 24,
+                fan_in: 2,
+            },
         ]
     };
     for cfg in &scales {

@@ -1,0 +1,110 @@
+//! Throughput scaling of the batch compilation service.
+//!
+//! Compiles a deterministic corpus of generated programs (the
+//! `velus-testkit` industrial generator at several shapes) through
+//! `velus::service` with 1, 2, 4, … workers, and reports cold-batch
+//! throughput, warm-batch (cache-served) throughput, and the service's
+//! per-stage latency statistics.
+//!
+//! ```text
+//! cargo run --release -p velus-bench --bin service [--programs N] [--max-workers N]
+//! ```
+
+use velus::service::{service, ServiceConfig};
+use velus::CompileRequest;
+use velus_testkit::industrial::{industrial_source, IndustrialConfig};
+
+fn parse_flag(name: &str, default: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// A deterministic corpus: distinct shapes so requests differ in cost,
+/// as real batches do.
+fn corpus(programs: usize) -> Vec<CompileRequest> {
+    (0..programs)
+        .map(|k| {
+            let cfg = IndustrialConfig {
+                nodes: 8 + (k % 7) * 3,
+                eqs_per_node: 6 + (k % 5) * 2,
+                fan_in: 1 + k % 2,
+            };
+            let source = industrial_source(&cfg);
+            let root = format!("blk{}", cfg.nodes - 1);
+            CompileRequest::new(format!("gen{k:02}"), source).with_root(root)
+        })
+        .collect()
+}
+
+fn main() {
+    let programs = parse_flag("--programs", 24);
+    let max_workers = parse_flag("--max-workers", 8);
+    let requests = corpus(programs);
+    println!("service bench: {programs} generated programs, scaling 1..={max_workers} workers\n");
+    println!(
+        "{:<8} {:>12} {:>14} {:>12} {:>14}",
+        "workers", "cold", "cold prog/s", "warm", "warm prog/s"
+    );
+
+    // Powers of two up to the cap, always ending exactly at the cap so
+    // the requested maximum is measured even when it is not a power of
+    // two (e.g. --max-workers 6 -> 1, 2, 4, 6).
+    let mut worker_counts = vec![1usize];
+    while worker_counts.last().copied().unwrap_or(1) * 2 <= max_workers {
+        worker_counts.push(worker_counts.last().unwrap() * 2);
+    }
+    if worker_counts.last().copied() != Some(max_workers.max(1)) {
+        worker_counts.push(max_workers.max(1));
+    }
+
+    let mut baseline = None;
+    let mut last_stats = None;
+    for &workers in &worker_counts {
+        let svc = service(ServiceConfig {
+            workers,
+            caching: true,
+        });
+        let cold = svc.compile_batch(requests.clone());
+        assert_eq!(
+            cold.err_count(),
+            0,
+            "generated programs must compile; first error: {:?}",
+            cold.items.iter().find_map(|i| i
+                .result
+                .as_ref()
+                .err()
+                .map(|e| (i.name.clone(), e.to_string())))
+        );
+        let warm = svc.compile_batch(requests.clone());
+        assert_eq!(warm.hit_count(), programs, "warm pass must be fully cached");
+        let speedup = match baseline {
+            None => {
+                baseline = Some(cold.wall);
+                "1.00x".to_owned()
+            }
+            Some(base) => format!(
+                "{:.2}x",
+                base.as_secs_f64() / cold.wall.as_secs_f64().max(f64::EPSILON)
+            ),
+        };
+        println!(
+            "{:<8} {:>12} {:>14.1} {:>12} {:>14.1}   speedup {speedup}",
+            workers,
+            format!("{:.2?}", cold.wall),
+            cold.throughput(),
+            format!("{:.2?}", warm.wall),
+            warm.throughput()
+        );
+        last_stats = Some((workers, svc.stats()));
+    }
+    if let Some((workers, stats)) = last_stats {
+        println!("\nservice statistics ({workers} workers):\n{stats}");
+    }
+}

@@ -65,8 +65,7 @@ pub fn benchmarks_dir() -> PathBuf {
 /// repository).
 pub fn load(name: &str) -> String {
     let path = benchmarks_dir().join(format!("{name}.lus"));
-    std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
 }
 
 /// One row of the reproduced Fig. 12 (step-function WCET in cycles).
@@ -105,8 +104,8 @@ pub fn figure12_row(name: &str, source: &str) -> Result<Row, VelusError> {
     let measure = |prog: &velus_clight::ast::Program| -> Result<[u64; 3], VelusError> {
         let mut out = [0u64; 3];
         for (k, m) in MODELS.iter().enumerate() {
-            out[k] = wcet_step(prog, root, *m)
-                .map_err(|e| VelusError::Validation(e.to_string()))?;
+            out[k] =
+                wcet_step(prog, root, *m).map_err(|e| VelusError::Validation(e.to_string()))?;
         }
         Ok(out)
     };

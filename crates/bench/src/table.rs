@@ -16,7 +16,14 @@ pub fn render_text(rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<22} {:>9} {:>16} {:>16} {:>16} {:>16} {:>16} {:>16}\n",
-        "benchmark", "Velus", "Hept+CC", "Hept+gcc", "Hept+gcci", "Lus6+CC", "Lus6+gcc", "Lus6+gcci"
+        "benchmark",
+        "Velus",
+        "Hept+CC",
+        "Hept+gcc",
+        "Hept+gcci",
+        "Lus6+CC",
+        "Lus6+gcc",
+        "Lus6+gcci"
     ));
     for r in rows {
         let cell = |v: u64| format!("{v} {}", pct(v, r.velus));
@@ -38,7 +45,9 @@ pub fn render_text(rows: &[Row]) -> String {
 /// Renders the table as a Markdown table (for EXPERIMENTS.md).
 pub fn render_markdown(rows: &[Row]) -> String {
     let mut out = String::new();
-    out.push_str("| benchmark | Vélus | Hept+CC | Hept+gcc | Hept+gcci | Lus6+CC | Lus6+gcc | Lus6+gcci |\n");
+    out.push_str(
+        "| benchmark | Vélus | Hept+CC | Hept+gcc | Hept+gcci | Lus6+CC | Lus6+gcc | Lus6+gcci |\n",
+    );
     out.push_str("|---|---|---|---|---|---|---|---|\n");
     for r in rows {
         let cell = |v: u64| format!("{v} {}", pct(v, r.velus));

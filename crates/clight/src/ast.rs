@@ -94,7 +94,10 @@ impl Stmt {
     /// Sequences a list of statements (right-nested).
     pub fn seq_all(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
         let items: Vec<Stmt> = stmts.into_iter().collect();
-        items.into_iter().rev().fold(Stmt::Skip, |acc, s| Stmt::seq(s, acc))
+        items
+            .into_iter()
+            .rev()
+            .fold(Stmt::Skip, |acc, s| Stmt::seq(s, acc))
     }
 }
 
@@ -146,7 +149,10 @@ mod tests {
         let v = Expr::Var(Ident::new("o"), CType::Struct(Ident::new("s")));
         assert!(v.is_lvalue());
         let a = Expr::AddrOf(Box::new(v));
-        assert_eq!(a.ty(), CType::Pointer(Box::new(CType::Struct(Ident::new("s")))));
+        assert_eq!(
+            a.ty(),
+            CType::Pointer(Box::new(CType::Struct(Ident::new("s"))))
+        );
         assert!(!a.is_lvalue());
     }
 

@@ -174,7 +174,10 @@ impl LayoutEnv {
     ///
     /// Unknown struct or field.
     pub fn field_type(&self, s: Ident, f: Ident) -> Result<CType, ClightError> {
-        let c = self.composites.get(&s).ok_or(ClightError::UnknownStruct(s))?;
+        let c = self
+            .composites
+            .get(&s)
+            .ok_or(ClightError::UnknownStruct(s))?;
         c.fields
             .iter()
             .find(|(x, _)| *x == f)
@@ -269,7 +272,11 @@ mod tests {
 
     #[test]
     fn empty_struct_has_zero_size() {
-        let env = LayoutEnv::new(vec![Composite { name: id("e"), fields: vec![] }]).unwrap();
+        let env = LayoutEnv::new(vec![Composite {
+            name: id("e"),
+            fields: vec![],
+        }])
+        .unwrap();
         assert_eq!(env.layout(id("e")).unwrap().size, 0);
     }
 

@@ -22,7 +22,7 @@ use std::collections::HashSet;
 
 use velus_common::Ident;
 use velus_obc::ast::{reset_name, step_name, Class, Method, ObcExpr, ObcProgram, Stmt as OStmt};
-use velus_ops::{ClightOps, CTy};
+use velus_ops::{CTy, ClightOps};
 
 use crate::ast::{Expr, Function, Program, Stmt};
 use crate::ctypes::{CType, Composite};
@@ -150,13 +150,19 @@ impl MCtx<'_> {
                 Box::new(self.gen_stmt(prog, t)?),
                 Box::new(self.gen_stmt(prog, f)?),
             ),
-            OStmt::Call { results, class: k, instance: i, method: m, args } => {
-                let callee = prog.class(*k).ok_or_else(|| {
-                    ClightError::Malformed(format!("call to unknown class {k}"))
-                })?;
-                let cm: &Method<ClightOps> = callee.method(*m).ok_or_else(|| {
-                    ClightError::Malformed(format!("unknown method {k}.{m}"))
-                })?;
+            OStmt::Call {
+                results,
+                class: k,
+                instance: i,
+                method: m,
+                args,
+            } => {
+                let callee = prog
+                    .class(*k)
+                    .ok_or_else(|| ClightError::Malformed(format!("call to unknown class {k}")))?;
+                let cm: &Method<ClightOps> = callee
+                    .method(*m)
+                    .ok_or_else(|| ClightError::Malformed(format!("unknown method {k}.{m}")))?;
                 let fname = method_fn_name(*k, *m);
                 let self_arg = Expr::AddrOf(Box::new(Expr::DerefField(
                     Box::new(self.self_expr()),
@@ -249,7 +255,10 @@ fn gen_method(
     let ret = if m.outputs.len() == 1 {
         let (o, oty) = &m.outputs[0];
         temps.push((*o, CType::Scalar(*oty)));
-        body = Stmt::seq(body, Stmt::Return(Some(Expr::Temp(*o, CType::Scalar(*oty)))));
+        body = Stmt::seq(
+            body,
+            Stmt::Return(Some(Expr::Temp(*o, CType::Scalar(*oty)))),
+        );
         CType::Scalar(*oty)
     } else {
         CType::Void
@@ -285,21 +294,19 @@ fn gen_composites(class: &Class<ClightOps>) -> Vec<Composite> {
             .memories
             .iter()
             .map(|(x, t)| (*x, CType::Scalar(*t)))
-            .chain(
-                class
-                    .instances
-                    .iter()
-                    .map(|(i, k)| (*i, CType::Struct(*k))),
-            )
+            .chain(class.instances.iter().map(|(i, k)| (*i, CType::Struct(*k))))
             .collect(),
     });
     out
 }
 
+/// The generated `main` plus its volatile input and output declarations.
+type GeneratedMain = (Function, Vec<(Ident, CTy)>, Vec<(Ident, CTy)>);
+
 /// Generates the simulation `main` for the root class: `reset` once, then
 /// an infinite loop of volatile input loads, one `step`, and volatile
 /// output stores.
-fn gen_main(root: &Class<ClightOps>) -> Result<(Function, Vec<(Ident, CTy)>, Vec<(Ident, CTy)>), ClightError> {
+fn gen_main(root: &Class<ClightOps>) -> Result<GeneratedMain, ClightError> {
     let step = root
         .method(step_name())
         .ok_or_else(|| ClightError::Malformed(format!("class {} has no step", root.name)))?;
@@ -330,24 +337,42 @@ fn gen_main(root: &Class<ClightOps>) -> Result<(Function, Vec<(Ident, CTy)>, Vec
     let mut args = vec![Expr::AddrOf(Box::new(self_expr.clone()))];
     match step.outputs.len() {
         0 => {
-            args.extend(step.inputs.iter().map(|(x, t)| Expr::Temp(*x, CType::Scalar(*t))));
+            args.extend(
+                step.inputs
+                    .iter()
+                    .map(|(x, t)| Expr::Temp(*x, CType::Scalar(*t))),
+            );
             loop_body.push(Stmt::Call(None, fname, args));
         }
         1 => {
-            args.extend(step.inputs.iter().map(|(x, t)| Expr::Temp(*x, CType::Scalar(*t))));
+            args.extend(
+                step.inputs
+                    .iter()
+                    .map(|(x, t)| Expr::Temp(*x, CType::Scalar(*t))),
+            );
             let (o, oty) = &step.outputs[0];
             let res = Ident::new("res");
             temps.push((res, CType::Scalar(*oty)));
             loop_body.push(Stmt::Call(Some(res), fname, args));
             vols_out.push((vol_out_name(*o), *oty));
-            loop_body.push(Stmt::VolStore(vol_out_name(*o), Expr::Temp(res, CType::Scalar(*oty))));
+            loop_body.push(Stmt::VolStore(
+                vol_out_name(*o),
+                Expr::Temp(res, CType::Scalar(*oty)),
+            ));
         }
         _ => {
             let ostruct = out_struct_name(root.name, step_name());
             let ovar = Ident::new("out");
             vars.push((ovar, CType::Struct(ostruct)));
-            args.push(Expr::AddrOf(Box::new(Expr::Var(ovar, CType::Struct(ostruct)))));
-            args.extend(step.inputs.iter().map(|(x, t)| Expr::Temp(*x, CType::Scalar(*t))));
+            args.push(Expr::AddrOf(Box::new(Expr::Var(
+                ovar,
+                CType::Struct(ostruct),
+            ))));
+            args.extend(
+                step.inputs
+                    .iter()
+                    .map(|(x, t)| Expr::Temp(*x, CType::Scalar(*t))),
+            );
             loop_body.push(Stmt::Call(None, fname, args));
             for (o, oty) in &step.outputs {
                 vols_out.push((vol_out_name(*o), *oty));
@@ -365,9 +390,11 @@ fn gen_main(root: &Class<ClightOps>) -> Result<(Function, Vec<(Ident, CTy)>, Vec
     }
 
     let body = Stmt::seq(
-        Stmt::Call(None, method_fn_name(root.name, reset_name()), vec![Expr::AddrOf(
-            Box::new(self_expr),
-        )]),
+        Stmt::Call(
+            None,
+            method_fn_name(root.name, reset_name()),
+            vec![Expr::AddrOf(Box::new(self_expr))],
+        ),
         Stmt::Loop(Box::new(Stmt::seq_all(loop_body))),
     );
     Ok((
@@ -391,10 +418,7 @@ fn gen_main(root: &Class<ClightOps>) -> Result<(Function, Vec<(Ident, CTy)>, Vec
 ///
 /// [`ClightError::Malformed`] on dangling class/method references (which
 /// the Obc type checker rules out).
-pub fn generate(
-    obc: &ObcProgram<ClightOps>,
-    root: Ident,
-) -> Result<Program, ClightError> {
+pub fn generate(obc: &ObcProgram<ClightOps>, root: Ident) -> Result<Program, ClightError> {
     let mut composites = Vec::new();
     let mut functions = Vec::new();
     for class in &obc.classes {
@@ -472,7 +496,10 @@ mod tests {
         let obc = acc_class();
         let prog = generate(&obc, id("acc")).unwrap();
         let mut m = Machine::new(&prog).unwrap();
-        m.push_inputs(vol_in_name(id("x")), [CVal::int(1), CVal::int(2), CVal::int(3)]);
+        m.push_inputs(
+            vol_in_name(id("x")),
+            [CVal::int(1), CVal::int(2), CVal::int(3)],
+        );
         let trace = m.run_main(main_fn_name()).unwrap();
         let outs: Vec<CVal> = trace
             .iter()
@@ -488,7 +515,9 @@ mod tests {
     fn single_output_step_returns_by_value() {
         let obc = acc_class();
         let prog = generate(&obc, id("acc")).unwrap();
-        let f = prog.function(method_fn_name(id("acc"), step_name())).unwrap();
+        let f = prog
+            .function(method_fn_name(id("acc"), step_name()))
+            .unwrap();
         assert_eq!(f.ret, CType::Scalar(CTy::I32));
         assert_eq!(f.params.len(), 2); // self + x, no out pointer
     }

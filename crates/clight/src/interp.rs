@@ -15,7 +15,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use velus_common::Ident;
-use velus_ops::{ClightOps, CVal, Ops};
+use velus_ops::{CVal, ClightOps, Ops};
 
 use crate::ast::{Expr, Function, Program, Stmt};
 use crate::ctypes::{CType, LayoutEnv};
@@ -191,9 +191,7 @@ impl<'p> Machine<'p> {
                     (RVal::Scalar(a), RVal::Scalar(b), Some(ta), Some(tb)) => {
                         ClightOps::sem_binop(*op, &a, &ta, &b, &tb)
                             .map(RVal::Scalar)
-                            .ok_or_else(|| {
-                                ClightError::UndefinedOperation(format!("{a} {op} {b}"))
-                            })
+                            .ok_or_else(|| ClightError::UndefinedOperation(format!("{a} {op} {b}")))
                     }
                     _ => Err(ClightError::ValueError(
                         "binary operator on non-scalars".to_owned(),

@@ -59,7 +59,9 @@ impl Mem {
             .get_mut(b)
             .ok_or_else(|| ClightError::MemoryError(format!("free of unknown block {b}")))?;
         if !blk.alive {
-            return Err(ClightError::MemoryError(format!("double free of block {b}")));
+            return Err(ClightError::MemoryError(format!(
+                "double free of block {b}"
+            )));
         }
         blk.alive = false;
         Ok(())
@@ -85,7 +87,9 @@ impl Mem {
             .get(b)
             .ok_or_else(|| ClightError::MemoryError(format!("unknown block {b}")))?;
         if !blk.alive {
-            return Err(ClightError::MemoryError(format!("access to freed block {b}")));
+            return Err(ClightError::MemoryError(format!(
+                "access to freed block {b}"
+            )));
         }
         if (ofs as usize) + (size as usize) > blk.bytes.len() {
             return Err(ClightError::MemoryError(format!(
@@ -93,7 +97,7 @@ impl Mem {
                 blk.bytes.len()
             )));
         }
-        if ofs % align != 0 {
+        if !ofs.is_multiple_of(align) {
             return Err(ClightError::MemoryError(format!(
                 "misaligned access at block {b}, offset {ofs}, alignment {align}"
             )));
@@ -174,9 +178,9 @@ fn decode(ty: CTy, bytes: &[u8]) -> Result<CVal, ClightError> {
         CTy::U8 => CVal::Int(bytes[0] as i32),
         CTy::I16 => CVal::Int(i16::from_le_bytes([bytes[0], bytes[1]]) as i32),
         CTy::U16 => CVal::Int(u16::from_le_bytes([bytes[0], bytes[1]]) as i32),
-        CTy::I32 | CTy::U32 => CVal::Int(i32::from_le_bytes([
-            bytes[0], bytes[1], bytes[2], bytes[3],
-        ])),
+        CTy::I32 | CTy::U32 => {
+            CVal::Int(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+        }
         CTy::I64 | CTy::U64 => {
             let mut a = [0u8; 8];
             a.copy_from_slice(bytes);
@@ -220,11 +224,17 @@ mod tests {
     fn uninitialized_reads_fail() {
         let mut m = Mem::new();
         let b = m.alloc(8);
-        assert!(matches!(m.load(CTy::I32, b, 0), Err(ClightError::Uninitialized(_))));
+        assert!(matches!(
+            m.load(CTy::I32, b, 0),
+            Err(ClightError::Uninitialized(_))
+        ));
         m.store(CTy::I32, b, 0, &CVal::int(1)).unwrap();
         assert!(m.load(CTy::I32, b, 0).is_ok());
         // Bytes 4..8 still uninitialized.
-        assert!(matches!(m.load(CTy::I32, b, 4), Err(ClightError::Uninitialized(_))));
+        assert!(matches!(
+            m.load(CTy::I32, b, 4),
+            Err(ClightError::Uninitialized(_))
+        ));
     }
 
     #[test]

@@ -337,10 +337,13 @@ mod tests {
     }
 
     #[test]
-    fn emits_sanitized_c(){
+    fn emits_sanitized_c() {
         let c = print_program(&tiny_program(), TestIo::Volatile);
         assert!(c.contains("struct st {"), "{c}");
-        assert!(c.contains("static int32_t st__step(struct st* self, int32_t x)"), "{c}");
+        assert!(
+            c.contains("static int32_t st__step(struct st* self, int32_t x)"),
+            "{c}"
+        );
         assert!(c.contains("(*self).c"), "{c}");
         assert!(c.contains("volatile int32_t in__x;"), "{c}");
         assert!(!c.contains('$'), "no dollar signs in C output:\n{c}");

@@ -73,7 +73,12 @@ impl Assertion {
         match self {
             Assertion::Emp => Ok(()),
             Assertion::False => Err(ClightError::Separation("sepfalse".to_owned())),
-            Assertion::Contains { ty, block, ofs, value } => {
+            Assertion::Contains {
+                ty,
+                block,
+                ofs,
+                value,
+            } => {
                 if !mem.range_valid(*block, *ofs, ty.size()) {
                     return Err(ClightError::Separation(format!(
                         "contains {ty} at ({block}, {ofs}): range invalid"
@@ -86,9 +91,7 @@ impl Assertion {
                 }
                 if let Some(expected) = value {
                     let actual = mem.load(*ty, *block, *ofs).map_err(|e| {
-                        ClightError::Separation(format!(
-                            "contains {ty} at ({block}, {ofs}): {e}"
-                        ))
+                        ClightError::Separation(format!("contains {ty} at ({block}, {ofs}): {e}"))
                     })?;
                     if actual != *expected {
                         return Err(ClightError::Separation(format!(
@@ -165,7 +168,14 @@ pub fn staterep(
         let sub_mem = mem
             .instance(*inst)
             .unwrap_or_else(|| EMPTY.get_or_init(Memory::new));
-        parts.push(staterep(layouts, prog, *sub_class, sub_mem, block, ofs + off)?);
+        parts.push(staterep(
+            layouts,
+            prog,
+            *sub_class,
+            sub_mem,
+            block,
+            ofs + off,
+        )?);
     }
     Ok(Assertion::Star(parts))
 }
@@ -179,9 +189,19 @@ mod tests {
         let mut mem = Mem::new();
         let b = mem.alloc(8);
         mem.store(CTy::I32, b, 0, &CVal::int(5)).unwrap();
-        let a = Assertion::Contains { ty: CTy::I32, block: b, ofs: 0, value: Some(CVal::int(5)) };
+        let a = Assertion::Contains {
+            ty: CTy::I32,
+            block: b,
+            ofs: 0,
+            value: Some(CVal::int(5)),
+        };
         a.check(&mem).unwrap();
-        let bad = Assertion::Contains { ty: CTy::I32, block: b, ofs: 0, value: Some(CVal::int(6)) };
+        let bad = Assertion::Contains {
+            ty: CTy::I32,
+            block: b,
+            ofs: 0,
+            value: Some(CVal::int(6)),
+        };
         assert!(bad.check(&mem).is_err());
     }
 
@@ -189,7 +209,12 @@ mod tests {
     fn unconstrained_contains_allows_uninitialized() {
         let mut mem = Mem::new();
         let b = mem.alloc(4);
-        let a = Assertion::Contains { ty: CTy::I32, block: b, ofs: 0, value: None };
+        let a = Assertion::Contains {
+            ty: CTy::I32,
+            block: b,
+            ofs: 0,
+            value: None,
+        };
         a.check(&mem).unwrap();
     }
 
@@ -200,15 +225,38 @@ mod tests {
         mem.store(CTy::I32, b, 0, &CVal::int(1)).unwrap();
         mem.store(CTy::I32, b, 4, &CVal::int(2)).unwrap();
         let ok = Assertion::Star(vec![
-            Assertion::Contains { ty: CTy::I32, block: b, ofs: 0, value: None },
-            Assertion::Contains { ty: CTy::I32, block: b, ofs: 4, value: None },
+            Assertion::Contains {
+                ty: CTy::I32,
+                block: b,
+                ofs: 0,
+                value: None,
+            },
+            Assertion::Contains {
+                ty: CTy::I32,
+                block: b,
+                ofs: 4,
+                value: None,
+            },
         ]);
         ok.check(&mem).unwrap();
         let overlap = Assertion::Star(vec![
-            Assertion::Contains { ty: CTy::I64, block: b, ofs: 0, value: None },
-            Assertion::Contains { ty: CTy::I32, block: b, ofs: 4, value: None },
+            Assertion::Contains {
+                ty: CTy::I64,
+                block: b,
+                ofs: 0,
+                value: None,
+            },
+            Assertion::Contains {
+                ty: CTy::I32,
+                block: b,
+                ofs: 4,
+                value: None,
+            },
         ]);
-        assert!(matches!(overlap.check(&mem), Err(ClightError::Separation(_))));
+        assert!(matches!(
+            overlap.check(&mem),
+            Err(ClightError::Separation(_))
+        ));
     }
 
     #[test]
@@ -226,7 +274,12 @@ mod tests {
                 ofs: 0,
                 value: None,
             }]),
-            Assertion::Contains { ty: CTy::I32, block: b, ofs: 2, value: None },
+            Assertion::Contains {
+                ty: CTy::I32,
+                block: b,
+                ofs: 2,
+                value: None,
+            },
         ]);
         // Offset 2 is misaligned for I32 anyway; use I16 to isolate the
         // disjointness failure.
@@ -237,10 +290,18 @@ mod tests {
                 ofs: 0,
                 value: None,
             }]),
-            Assertion::Contains { ty: CTy::I16, block: b, ofs: 2, value: None },
+            Assertion::Contains {
+                ty: CTy::I16,
+                block: b,
+                ofs: 2,
+                value: None,
+            },
         ]);
         assert!(overlap.check(&mem).is_err());
-        assert!(matches!(overlap2.check(&mem), Err(ClightError::Separation(_))));
+        assert!(matches!(
+            overlap2.check(&mem),
+            Err(ClightError::Separation(_))
+        ));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! establishes once and for all, checked here over random inputs.
 
 use proptest::prelude::*;
-use velus_clight::ctypes::{align_up, Composite, CType, LayoutEnv};
+use velus_clight::ctypes::{align_up, CType, Composite, LayoutEnv};
 use velus_clight::memory::Mem;
 use velus_common::Ident;
 use velus_ops::{CTy, CVal};
@@ -79,7 +79,7 @@ proptest! {
 
         let value_for = |t: CTy, k: u64| -> CVal {
             match t {
-                CTy::Bool => CVal::bool(k % 2 == 0),
+                CTy::Bool => CVal::bool(k.is_multiple_of(2)),
                 CTy::I8 => CVal::Int((k as i8) as i32),
                 CTy::U8 => CVal::Int((k as u8) as i32),
                 CTy::I16 => CVal::Int((k as i16) as i32),

@@ -7,16 +7,23 @@
 //! velus validate FILE [--node NAME] --steps N             full translation validation
 //! velus wcet    FILE [--node NAME] [--model cc|gcc|gcci]  WCET estimate of step
 //! velus dump    FILE [--node NAME] [--ir nlustre|snlustre|obc|obc-fused]
+//! velus batch   DIR [--workers N] [--passes N] [--stdio]  batch-compile a directory
 //! ```
 //!
 //! `run` reads one instant of whitespace-separated input values per line
 //! from stdin (`true`/`false` for booleans) and prints the outputs.
+//!
+//! `batch` sweeps `DIR` for `.lus` files (the root node of each file is
+//! its stem), compiles them on the compilation service's worker pool,
+//! and prints a per-file table plus service statistics. With two or more
+//! passes (the default), later passes exercise the artifact cache and
+//! the emitted C is checked byte-for-byte against the cold pass.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use velus::{compile, emit_c, validate::default_inputs, TestIo, VelusError};
-use velus_nlustre::streams::{StreamSet, SVal};
+use velus_nlustre::streams::{SVal, StreamSet};
 use velus_ops::{ClightOps, Literal, Ops};
 
 struct Args {
@@ -28,6 +35,8 @@ struct Args {
     stdio: bool,
     model: String,
     ir: String,
+    workers: usize,
+    passes: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
         stdio: false,
         model: "cc".to_owned(),
         ir: "snlustre".to_owned(),
+        workers: 0,
+        passes: 2,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -57,6 +68,21 @@ fn parse_args() -> Result<Args, String> {
             "--stdio" => parsed.stdio = true,
             "--model" => parsed.model = args.next().ok_or("missing value for --model")?,
             "--ir" => parsed.ir = args.next().ok_or("missing value for --ir")?,
+            "--workers" => {
+                parsed.workers = args
+                    .next()
+                    .ok_or("missing value for --workers")?
+                    .parse()
+                    .map_err(|_| "invalid --workers value")?
+            }
+            "--passes" => {
+                parsed.passes = args
+                    .next()
+                    .ok_or("missing value for --passes")?
+                    .parse::<usize>()
+                    .map_err(|_| "invalid --passes value")?
+                    .max(1)
+            }
             other if parsed.file.is_none() && !other.starts_with('-') => {
                 parsed.file = Some(other.to_owned())
             }
@@ -68,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: velus <compile|check|run|validate|wcet|dump> FILE [options]
+       velus batch DIR [--workers N] [--passes N] [--stdio]
 options: --node NAME, -o OUT.c, --steps N, --stdio, --model cc|gcc|gcci, --ir nlustre|snlustre|obc|obc-fused"
         .to_owned()
 }
@@ -110,8 +137,123 @@ fn parse_instant(
         .collect()
 }
 
+fn run_batch(args: &Args) -> Result<(), String> {
+    use velus::service::{service, ServiceConfig, ServiceError};
+    use velus::{CompileOptions, CompileRequest, IoMode};
+
+    let dir = args.file.as_deref().ok_or_else(usage)?;
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "lus"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .lus files in {dir}"));
+    }
+
+    let options = CompileOptions {
+        io: if args.stdio {
+            IoMode::Stdio
+        } else {
+            IoMode::Volatile
+        },
+    };
+    let requests: Vec<CompileRequest> = files
+        .iter()
+        .map(|path| {
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Ok(CompileRequest::new(&stem, source)
+                .with_root(&stem)
+                .with_options(options))
+        })
+        .collect::<Result<_, String>>()?;
+
+    let config = if args.workers == 0 {
+        ServiceConfig::default()
+    } else {
+        ServiceConfig {
+            workers: args.workers,
+            ..Default::default()
+        }
+    };
+    let svc = service(config);
+    println!(
+        "batch: {} programs from {dir}, {} workers, {} pass(es)",
+        requests.len(),
+        svc.worker_count(),
+        args.passes
+    );
+
+    let mut failed = 0usize;
+    let mut cold_c: Vec<Option<String>> = vec![None; requests.len()];
+    for pass in 0..args.passes {
+        let report = svc.compile_batch(requests.clone());
+        println!(
+            "\npass {}: {} ok, {} failed, {} cache hits, {:.1} programs/s",
+            pass + 1,
+            report.ok_count(),
+            report.err_count(),
+            report.hit_count(),
+            report.throughput()
+        );
+        println!(
+            "{:<22} {:>8} {:>6} {:>12} {:>10}",
+            "program", "status", "cache", "latency", "C bytes"
+        );
+        for (k, item) in report.items.iter().enumerate() {
+            let (status, bytes) = match &item.result {
+                Ok(artifact) => ("ok", artifact.c_code.len().to_string()),
+                Err(_) => ("error", "-".to_owned()),
+            };
+            println!(
+                "{:<22} {:>8} {:>6} {:>12} {:>10}",
+                item.name,
+                status,
+                if item.cache_hit { "hit" } else { "miss" },
+                format!("{:.2?}", item.latency),
+                bytes
+            );
+            match &item.result {
+                Ok(artifact) => match &cold_c[k] {
+                    None => cold_c[k] = Some(artifact.c_code.clone()),
+                    Some(cold) if *cold == artifact.c_code => {}
+                    Some(_) => {
+                        return Err(format!(
+                            "{}: warm pass emitted different C than the cold pass",
+                            item.name
+                        ))
+                    }
+                },
+                Err(ServiceError::Compile(e)) => eprintln!("{}: {e}", item.name),
+                Err(other) => eprintln!("{}: {other}", item.name),
+            }
+            if item.result.is_err() && pass == 0 {
+                failed += 1;
+            }
+        }
+        if pass > 0 && report.hit_count() == report.items.len() {
+            println!("warm pass: every artifact served from cache, byte-identical C");
+        }
+    }
+
+    println!("\nservice statistics:\n{}", svc.stats());
+    if failed > 0 {
+        return Err(format!("{failed} program(s) failed to compile"));
+    }
+    Ok(())
+}
+
 fn main_inner() -> Result<(), String> {
     let args = parse_args()?;
+    if args.cmd == "batch" {
+        return run_batch(&args);
+    }
     let file = args.file.as_deref().ok_or_else(usage)?;
     let source = read_file(file)?;
     let node = args.node.as_deref();
@@ -142,11 +284,16 @@ fn main_inner() -> Result<(), String> {
             for w in c.warnings.iter() {
                 eprintln!("{}", w.render(&source));
             }
-            let io = if args.stdio { TestIo::Stdio } else { TestIo::Volatile };
+            let io = if args.stdio {
+                TestIo::Stdio
+            } else {
+                TestIo::Volatile
+            };
             let code = emit_c(&c, io);
             match &args.out {
-                Some(path) => std::fs::write(path, code)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?,
+                Some(path) => {
+                    std::fs::write(path, code).map_err(|e| format!("cannot write {path}: {e}"))?
+                }
                 None => print!("{code}"),
             }
             Ok(())
@@ -193,8 +340,8 @@ fn main_inner() -> Result<(), String> {
         "validate" => {
             let c = compile(&source, node).map_err(render_err)?;
             let inputs = default_inputs(&c, args.steps);
-            let report = velus::validate_with_report(&c, &inputs, args.steps)
-                .map_err(render_err)?;
+            let report =
+                velus::validate_with_report(&c, &inputs, args.steps).map_err(render_err)?;
             println!(
                 "validated {} instants: {} MemCorres checks, {} staterep checks, {} trace events",
                 report.instants,
@@ -212,8 +359,8 @@ fn main_inner() -> Result<(), String> {
                 "gcci" => velus_wcet::CostModel::GccInline,
                 other => return Err(format!("unknown model `{other}` (cc|gcc|gcci)")),
             };
-            let cycles = velus_wcet::wcet_step(&c.clight, c.root, model)
-                .map_err(|e| e.to_string())?;
+            let cycles =
+                velus_wcet::wcet_step(&c.clight, c.root, model).map_err(|e| e.to_string())?;
             println!("{} step: {cycles} cycles ({})", c.root, args.model);
             Ok(())
         }

@@ -10,6 +10,9 @@
 //!
 //! * [`compile`] runs the whole pipeline and returns every intermediate
 //!   representation ([`Compiled`]).
+//! * [`service`] serves batches of compilations in parallel from a
+//!   content-addressed artifact cache (the `velus-server` substrate
+//!   instantiated with this pipeline).
 //! * [`validate`] checks the paper's end-to-end correctness statement on
 //!   a finite input prefix: the dataflow semantics, the exposed-memory
 //!   semantics, the Obc big-step execution (fused and unfused, with
@@ -35,9 +38,14 @@
 
 mod error;
 pub mod pipeline;
+pub mod service;
 pub mod validate;
 
 pub use error::VelusError;
-pub use pipeline::{compile, compile_program, emit_c, Compiled};
+pub use pipeline::{
+    compile, compile_program, compile_program_timed, compile_timed, emit_c, Compiled,
+};
+pub use service::{PipelineCompiler, ServiceArtifact, VelusService};
 pub use validate::{validate, validate_with_report, ValidationReport};
 pub use velus_clight::printer::TestIo;
+pub use velus_server::{CompileOptions, CompileRequest, IoMode, ServiceConfig, Stage};

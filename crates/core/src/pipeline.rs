@@ -1,6 +1,8 @@
 //! The compiler driver: composition of all passes, with the paper's
 //! checked invariants re-validated between stages.
 
+use std::time::Instant;
+
 use velus_clight::printer::TestIo;
 use velus_common::{Diagnostics, Ident};
 use velus_nlustre::ast::Program;
@@ -8,8 +10,13 @@ use velus_nlustre::{clockcheck, typecheck};
 use velus_obc::ast::ObcProgram;
 use velus_obc::fusion::{fuse_program, fusible};
 use velus_ops::ClightOps;
+use velus_server::Stage;
 
 use crate::VelusError;
+
+/// A per-stage timing observer (see [`compile_timed`]). Stages are
+/// reported in pipeline order with their wall-clock duration.
+pub type StageObserver<'a> = &'a mut dyn FnMut(Stage, std::time::Duration);
 
 /// The result of a full compilation: every intermediate representation.
 #[derive(Debug, Clone)]
@@ -33,20 +40,37 @@ pub struct Compiled {
 /// Picks the default root node: a node never instantiated by another
 /// (the program's sink); ties broken towards the last one declared.
 fn default_root(prog: &Program<ClightOps>) -> Option<Ident> {
-    let mut called: Vec<Ident> = Vec::new();
-    for node in &prog.nodes {
-        for eq in &node.eqs {
-            if let velus_nlustre::ast::Equation::Call { node: f, .. } = eq {
-                called.push(*f);
-            }
-        }
-    }
+    let called: std::collections::HashSet<Ident> = prog
+        .nodes
+        .iter()
+        .flat_map(|node| &node.eqs)
+        .filter_map(|eq| match eq {
+            velus_nlustre::ast::Equation::Call { node: f, .. } => Some(*f),
+            _ => None,
+        })
+        .collect();
     prog.nodes
         .iter()
         .rev()
         .map(|n| n.name)
         .find(|n| !called.contains(n))
         .or_else(|| prog.nodes.last().map(|n| n.name))
+}
+
+/// Checks that every method of every class is `Fusible` — the paper's
+/// invariant that translation establishes and fusion preserves.
+fn check_fusible(prog: &ObcProgram<ClightOps>, stage: &str) -> Result<(), VelusError> {
+    for class in &prog.classes {
+        for m in &class.methods {
+            if !fusible(&m.body) {
+                return Err(VelusError::Validation(format!(
+                    "{stage} method {}.{} is not Fusible",
+                    class.name, m.name
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Compiles Lustre source text down to Clight.
@@ -59,13 +83,30 @@ fn default_root(prog: &Program<ClightOps>) -> Option<Ident> {
 /// Any front-end diagnostic, scheduling failure, or internal invariant
 /// violation (each stage's output is re-checked).
 pub fn compile(source: &str, root: Option<&str>) -> Result<Compiled, VelusError> {
+    compile_timed(source, root, &mut |_, _| {})
+}
+
+/// [`compile`], reporting the wall-clock time of every pipeline stage to
+/// `observe` — the instrumentation the compilation service's statistics
+/// are built from.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_timed(
+    source: &str,
+    root: Option<&str>,
+    observe: StageObserver<'_>,
+) -> Result<Compiled, VelusError> {
+    let start = Instant::now();
     let (nlustre, warnings) = velus_lustre::compile_to_nlustre::<ClightOps>(source)?;
     let root = match root {
         Some(r) => Ident::new(r),
         None => default_root(&nlustre)
             .ok_or_else(|| VelusError::Usage("program has no nodes".to_owned()))?,
     };
-    compile_program(nlustre, root, warnings)
+    observe(Stage::Frontend, start.elapsed());
+    compile_program_timed(nlustre, root, warnings, observe)
 }
 
 /// Compiles an already-elaborated N-Lustre program (used by the
@@ -79,15 +120,34 @@ pub fn compile_program(
     root: Ident,
     warnings: Diagnostics,
 ) -> Result<Compiled, VelusError> {
+    compile_program_timed(nlustre, root, warnings, &mut |_, _| {})
+}
+
+/// [`compile_program`], reporting per-stage wall-clock times to
+/// `observe` (the front end is not involved here, so [`Stage::Frontend`]
+/// is never reported).
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_program_timed(
+    nlustre: Program<ClightOps>,
+    root: Ident,
+    warnings: Diagnostics,
+    observe: StageObserver<'_>,
+) -> Result<Compiled, VelusError> {
     if nlustre.node(root).is_none() {
         return Err(VelusError::Usage(format!("no node named {root}")));
     }
 
     // The elaborator's postconditions, re-checked (the paper proves them).
+    let t = Instant::now();
     typecheck::check_program(&nlustre)?;
     clockcheck::check_program_clocks(&nlustre)?;
+    observe(Stage::Check, t.elapsed());
 
     // Scheduling: untrusted heuristic + validated checker.
+    let t = Instant::now();
     let mut snlustre = nlustre.clone();
     velus_nlustre::schedule::schedule_program(&mut snlustre)?;
     for node in &snlustre.nodes {
@@ -95,37 +155,26 @@ pub fn compile_program(
     }
     typecheck::check_program(&snlustre)?;
     clockcheck::check_program_clocks(&snlustre)?;
+    observe(Stage::Schedule, t.elapsed());
 
     // Translation to Obc; the result is well typed and Fusible.
+    let t = Instant::now();
     let obc = velus_obc::translate::translate_program(&snlustre)?;
     velus_obc::typecheck::check_program(&obc)?;
-    for class in &obc.classes {
-        for m in &class.methods {
-            if !fusible(&m.body) {
-                return Err(VelusError::Validation(format!(
-                    "translated method {}.{} is not Fusible",
-                    class.name, m.name
-                )));
-            }
-        }
-    }
+    check_fusible(&obc, "translated")?;
+    observe(Stage::Translate, t.elapsed());
 
     // Fusion preserves typing and Fusible.
+    let t = Instant::now();
     let obc_fused = fuse_program(&obc);
     velus_obc::typecheck::check_program(&obc_fused)?;
-    for class in &obc_fused.classes {
-        for m in &class.methods {
-            if !fusible(&m.body) {
-                return Err(VelusError::Validation(format!(
-                    "fused method {}.{} lost Fusible",
-                    class.name, m.name
-                )));
-            }
-        }
-    }
+    check_fusible(&obc_fused, "fused")?;
+    observe(Stage::Fuse, t.elapsed());
 
     // Generation to Clight.
+    let t = Instant::now();
     let clight = velus_clight::generate::generate(&obc_fused, root)?;
+    observe(Stage::Generate, t.elapsed());
 
     Ok(Compiled {
         nlustre,

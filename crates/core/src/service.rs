@@ -1,0 +1,148 @@
+//! The Vélus instantiation of the batch compilation service
+//! (`velus-server`): the full validated pipeline behind a worker pool
+//! and a content-addressed artifact cache.
+//!
+//! ```
+//! use velus::service::{self, ServiceConfig};
+//! use velus::CompileRequest;
+//!
+//! let svc = service::service(ServiceConfig { workers: 2, ..Default::default() });
+//! let src = "node main(x: int) returns (y: int) let y = x + (0 fby y); tel";
+//! let batch = svc.compile_batch(vec![CompileRequest::new("main", src)]);
+//! let artifact = batch.items[0].result.as_ref().expect("compiles");
+//! assert!(artifact.c_code.contains("main__step"));
+//!
+//! // A warm request is a cache hit with byte-identical emitted C.
+//! let warm = svc.compile_batch(vec![CompileRequest::new("main", src)]);
+//! assert!(warm.items[0].cache_hit);
+//! assert_eq!(warm.items[0].result.as_ref().unwrap().c_code, artifact.c_code);
+//! ```
+
+use std::time::Instant;
+
+use velus_clight::printer::TestIo;
+use velus_server::{CompileRequest, CompileService, Compiler, IoMode, Stage, StageSample};
+
+use crate::pipeline::{compile_timed, emit_c, Compiled};
+use crate::VelusError;
+
+/// What the service caches per request: every intermediate
+/// representation plus the printed C. Cached artifacts are shared
+/// (`Arc`), so a warm hit re-serves the *same* bytes.
+#[derive(Debug, Clone)]
+pub struct ServiceArtifact {
+    /// The full compilation result (all IRs).
+    pub compiled: Compiled,
+    /// The printed C translation unit (per the request's `IoMode`).
+    pub c_code: String,
+}
+
+/// The [`Compiler`] implementation backed by the paper's pipeline with
+/// per-stage instrumentation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PipelineCompiler;
+
+impl Compiler for PipelineCompiler {
+    type Artifact = ServiceArtifact;
+    type Error = VelusError;
+
+    fn compile(
+        &self,
+        req: &CompileRequest,
+    ) -> Result<(ServiceArtifact, Vec<StageSample>), VelusError> {
+        let mut samples: Vec<StageSample> = Vec::with_capacity(Stage::ALL.len());
+        let compiled = compile_timed(&req.source, req.root.as_deref(), &mut |stage, dur| {
+            samples.push(StageSample {
+                stage,
+                nanos: dur.as_nanos() as u64,
+            });
+        })?;
+        let io = match req.options.io {
+            IoMode::Volatile => TestIo::Volatile,
+            IoMode::Stdio => TestIo::Stdio,
+        };
+        let t = Instant::now();
+        let c_code = emit_c(&compiled, io);
+        samples.push(StageSample {
+            stage: Stage::Emit,
+            nanos: t.elapsed().as_nanos() as u64,
+        });
+        Ok((ServiceArtifact { compiled, c_code }, samples))
+    }
+}
+
+/// The concrete service type for the Vélus pipeline.
+pub type VelusService = CompileService<PipelineCompiler>;
+
+/// Builds a [`VelusService`] with the given configuration.
+pub fn service(config: ServiceConfig) -> VelusService {
+    CompileService::new(PipelineCompiler, config)
+}
+
+// Re-exported so `velus::service::{ServiceConfig, …}` is self-contained.
+pub use velus_server::{
+    BatchReport, CompileOptions, CompileRequest as Request, RequestReport, ServiceConfig,
+    ServiceError, StageLatency, StatsSnapshot,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velus_server::ServiceConfig;
+
+    const COUNTER: &str = "
+        node counter(ini, inc: int; res: bool) returns (n: int)
+        let
+          n = if (true fby false) or res then ini else (0 fby n) + inc;
+        tel
+    ";
+
+    #[test]
+    fn pipeline_compiler_reports_every_stage() {
+        let (artifact, samples) = PipelineCompiler
+            .compile(&CompileRequest::new("counter", COUNTER))
+            .unwrap();
+        let reported: Vec<Stage> = samples.iter().map(|s| s.stage).collect();
+        assert_eq!(reported, Stage::ALL.to_vec());
+        assert!(
+            artifact.c_code.contains("counter__step"),
+            "{}",
+            artifact.c_code
+        );
+    }
+
+    #[test]
+    fn io_mode_is_part_of_the_artifact() {
+        let svc = service(ServiceConfig {
+            workers: 1,
+            caching: true,
+        });
+        let volatile = svc.compile_one(CompileRequest::new("c", COUNTER));
+        let stdio = svc.compile_one(CompileRequest::new("c", COUNTER).with_options(
+            CompileOptions {
+                io: velus_server::IoMode::Stdio,
+            },
+        ));
+        // Different options → different cache entries and different code.
+        assert!(!stdio.cache_hit);
+        assert_ne!(
+            volatile.result.unwrap().c_code,
+            stdio.result.unwrap().c_code
+        );
+        assert_eq!(svc.cache_len(), 2);
+    }
+
+    #[test]
+    fn compile_errors_surface_per_request() {
+        let svc = service(ServiceConfig {
+            workers: 2,
+            caching: true,
+        });
+        let batch = svc.compile_batch(vec![
+            CompileRequest::new("ok", COUNTER),
+            CompileRequest::new("bad", "node f() returns (y: int) let y = ; tel"),
+        ]);
+        assert_eq!(batch.ok_count(), 1);
+        assert!(batch.items[1].result.is_err());
+    }
+}

@@ -30,11 +30,11 @@ use velus_clight::sep::staterep;
 use velus_common::Ident;
 use velus_nlustre::memory::Memory;
 use velus_nlustre::msem::MSem;
-use velus_nlustre::streams::{StreamSet, SVal};
+use velus_nlustre::streams::{SVal, StreamSet};
 use velus_obc::ast::{reset_name, step_name};
 use velus_obc::memcorres::check_memcorres;
 use velus_obc::sem::call_method;
-use velus_ops::{ClightOps, CVal, Ops};
+use velus_ops::{CVal, ClightOps, Ops};
 
 use crate::pipeline::Compiled;
 use crate::VelusError;
@@ -59,14 +59,11 @@ fn mismatch<T>(stage: &str, instant: usize, detail: String) -> Result<T, VelusEr
 }
 
 /// Extracts the (present) values of instant `i` from a stream set.
-fn values_at(
-    inputs: &StreamSet<ClightOps>,
-    i: usize,
-) -> Result<Vec<CVal>, VelusError> {
+fn values_at(inputs: &StreamSet<ClightOps>, i: usize) -> Result<Vec<CVal>, VelusError> {
     inputs
         .iter()
         .map(|s| match s.get(i) {
-            Some(SVal::Pres(v)) => Ok(v.clone()),
+            Some(SVal::Pres(v)) => Ok(*v),
             Some(SVal::Abs) => Err(VelusError::Validation(format!(
                 "validation requires all-present inputs (absent at instant {i})"
             ))),
@@ -122,6 +119,9 @@ pub fn validate_with_report(
         let record = label == "obc (fused)";
         let mut mem = Memory::new();
         call_method(obc, root, &mut mem, reset_name(), &[])?;
+        // `i` is an instant, used against several indexed structures at
+        // once — a range loop reads better than nested enumerates.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             check_memcorres(&c.snlustre, node, mtrace, i, &mem)?;
             memcorres_checks += 1;
@@ -237,7 +237,7 @@ pub fn validate_with_report(
     let trace_events;
     {
         let mut machine = Machine::new(&c.clight)?;
-        let decls: Vec<(Ident, _)> = node.inputs.iter().map(|d| (d.name, d.ty.clone())).collect();
+        let decls: Vec<(Ident, _)> = node.inputs.iter().map(|d| (d.name, d.ty)).collect();
         if decls.is_empty() {
             machine.push_inputs(
                 vol_in_name(Ident::new("tick")),
@@ -254,9 +254,13 @@ pub fn validate_with_report(
 
         // Build the expected trace.
         let mut expected: Vec<Event> = Vec::new();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             if decls.is_empty() {
-                expected.push(Event::Load(vol_in_name(Ident::new("tick")), CVal::bool(true)));
+                expected.push(Event::Load(
+                    vol_in_name(Ident::new("tick")),
+                    CVal::bool(true),
+                ));
             }
             let vals = values_at(inputs, i)?;
             for ((name, _), v) in decls.iter().zip(&vals) {
@@ -268,9 +272,7 @@ pub fn validate_with_report(
                         velus_clight::generate::vol_out_name(d.name),
                         *v,
                     )),
-                    SVal::Abs => {
-                        return mismatch("trace", i, "absent output at root".to_owned())
-                    }
+                    SVal::Abs => return mismatch("trace", i, "absent output at root".to_owned()),
                 }
             }
         }
@@ -299,11 +301,7 @@ pub fn validate_with_report(
 /// # Errors
 ///
 /// See [`validate_with_report`].
-pub fn validate(
-    c: &Compiled,
-    inputs: &StreamSet<ClightOps>,
-    n: usize,
-) -> Result<(), VelusError> {
+pub fn validate(c: &Compiled, inputs: &StreamSet<ClightOps>, n: usize) -> Result<(), VelusError> {
     validate_with_report(c, inputs, n).map(|_| ())
 }
 

@@ -23,7 +23,11 @@ fn check_reports_program_statistics() {
         .args(["check", &tracker_path()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("root tracker"), "{stdout}");
 }
@@ -51,9 +55,18 @@ fn run_interprets_stdin_instants() {
         .unwrap();
     // The §2.2 inputs: acc and limit.
     let input = "0 5\n2 5\n4 5\n-2 5\n0 5\n3 5\n-3 5\n2 5\n";
-    child.stdin.as_mut().unwrap().write_all(input.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines.len(), 8);
@@ -67,7 +80,11 @@ fn validate_reports_checks() {
         .args(["validate", &tracker_path(), "--steps", "12"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("validated 12 instants"), "{stdout}");
 }
@@ -117,4 +134,77 @@ fn syntax_errors_exit_nonzero_with_position() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("error"), "{stderr}");
     assert!(stderr.contains("1:"), "position missing: {stderr}");
+}
+
+#[test]
+fn batch_compiles_a_directory_with_full_warm_hits() {
+    let benchmarks = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root")
+        .join("benchmarks");
+    let out = Command::new(velus_bin())
+        .args([
+            "batch",
+            benchmarks.to_str().unwrap(),
+            "--workers",
+            "4",
+            "--passes",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The suite has 14 programs; the cold pass compiles them all...
+    assert!(
+        stdout.contains("pass 1: 14 ok, 0 failed, 0 cache hits"),
+        "{stdout}"
+    );
+    // ...and the warm pass is answered from the cache, byte-identically.
+    assert!(
+        stdout.contains("pass 2: 14 ok, 0 failed, 14 cache hits"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("warm pass: every artifact served from cache, byte-identical C"),
+        "{stdout}"
+    );
+    // The statistics table reports every pipeline stage.
+    for stage in [
+        "frontend",
+        "schedule",
+        "translate",
+        "fuse",
+        "generate",
+        "emit",
+    ] {
+        assert!(stdout.contains(stage), "missing stage {stage}: {stdout}");
+    }
+}
+
+#[test]
+fn batch_reports_failures_without_aborting_the_sweep() {
+    let dir = std::env::temp_dir().join(format!("velus-batch-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("good.lus"),
+        "node good(x: int) returns (y: int) let y = x + (0 fby y); tel",
+    )
+    .unwrap();
+    std::fs::write(dir.join("bad.lus"), "node bad( returns").unwrap();
+    let out = Command::new(velus_bin())
+        .args(["batch", dir.to_str().unwrap(), "--passes", "1"])
+        .output()
+        .unwrap();
+    // The sweep fails overall (nonzero exit) but still reports both rows.
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pass 1: 1 ok, 1 failed"), "{stdout}");
+    assert!(stdout.contains("good"), "{stdout}");
+    assert!(stdout.contains("bad"), "{stdout}");
 }

@@ -107,10 +107,7 @@ fn corrupted_step_output_is_caught() {
 fn corrupted_clight_constant_is_caught() {
     let mut c = compiled();
     // Corrupt the generated Clight reset: flip the stored constants.
-    let reset_name = velus_clight::generate::method_fn_name(
-        c.root,
-        velus_obc::ast::reset_name(),
-    );
+    let reset_name = velus_clight::generate::method_fn_name(c.root, velus_obc::ast::reset_name());
     let f = c
         .clight
         .functions

@@ -107,13 +107,23 @@ enum PTy<O: Ops> {
     FloatLit,
 }
 
+/// Callee signatures: name → (input types, named output types).
+type SigMap<O> = HashMap<Ident, (Vec<<O as Ops>::Ty>, Vec<(Ident, <O as Ops>::Ty)>)>;
+
+/// Declared variables: name → (type, clock).
+type VarMap<O> = HashMap<Ident, (<O as Ops>::Ty, Clock)>;
+
+/// Elaborated declaration groups (inputs, outputs, locals), plus the
+/// combined variable environment.
+type ElabDecls<O> = (VarMap<O>, [Vec<velus_nlustre::ast::VarDecl<O>>; 3]);
+
 struct NodeEnv<O: Ops> {
     /// Variable name → (type, clock).
-    vars: HashMap<Ident, (O::Ty, Clock)>,
+    vars: VarMap<O>,
     /// Global constants.
     consts: HashMap<Ident, O::Const>,
     /// Callee signatures: name → (input types, outputs).
-    sigs: HashMap<Ident, (Vec<O::Ty>, Vec<(Ident, O::Ty)>)>,
+    sigs: SigMap<O>,
 }
 
 struct Elab<'a, O: Ops> {
@@ -216,7 +226,10 @@ impl<O: Ops> Elab<'_, O> {
                 match self.env.sigs.get(f) {
                     Some((_, outs)) if outs.len() == 1 => Ok(PTy::Known(outs[0].1.clone())),
                     Some((_, outs)) => err(
-                        format!("node {f} has {} outputs; tuple calls only at equation level", outs.len()),
+                        format!(
+                            "node {f} has {} outputs; tuple calls only at equation level",
+                            outs.len()
+                        ),
                         *s,
                     ),
                     None => {
@@ -243,7 +256,10 @@ impl<O: Ops> Elab<'_, O> {
                     if t == expected {
                         Ok(TExpr::Var(*x, t.clone()))
                     } else {
-                        err(format!("variable {x} has type {t}, expected {expected}"), *s)
+                        err(
+                            format!("variable {x} has type {t}, expected {expected}"),
+                            *s,
+                        )
                     }
                 } else if let Some(c) = self.env.consts.get(x) {
                     if O::type_of_const(c) == *expected {
@@ -268,13 +284,15 @@ impl<O: Ops> Elab<'_, O> {
                 };
                 let te = self.build(e1, &operand_ty, initialized)?;
                 match O::elab_unop(*sop, &operand_ty) {
-                    Some((op, rty)) if rty == *expected => {
-                        Ok(TExpr::Unop(op, Box::new(te), rty))
-                    }
-                    Some((_, rty)) => {
-                        err(format!("operator {sop} yields {rty}, expected {expected}"), *s)
-                    }
-                    None => err(format!("operator {sop} inapplicable at type {operand_ty}"), *s),
+                    Some((op, rty)) if rty == *expected => Ok(TExpr::Unop(op, Box::new(te), rty)),
+                    Some((_, rty)) => err(
+                        format!("operator {sop} yields {rty}, expected {expected}"),
+                        *s,
+                    ),
+                    None => err(
+                        format!("operator {sop} inapplicable at type {operand_ty}"),
+                        *s,
+                    ),
                 }
             }
             UExpr::Binop(sop, l, r, s) => {
@@ -295,10 +313,14 @@ impl<O: Ops> Elab<'_, O> {
                     Some((op, rty)) if rty == *expected => {
                         Ok(TExpr::Binop(op, Box::new(tl), Box::new(tr), rty))
                     }
-                    Some((_, rty)) => {
-                        err(format!("operator {sop} yields {rty}, expected {expected}"), *s)
-                    }
-                    None => err(format!("operator {sop} inapplicable at type {operand_ty}"), *s),
+                    Some((_, rty)) => err(
+                        format!("operator {sop} yields {rty}, expected {expected}"),
+                        *s,
+                    ),
+                    None => err(
+                        format!("operator {sop} inapplicable at type {operand_ty}"),
+                        *s,
+                    ),
                 }
             }
             UExpr::When(e1, x, k, s) => {
@@ -362,7 +384,10 @@ impl<O: Ops> Elab<'_, O> {
                 };
                 if outs.len() != 1 {
                     return err(
-                        format!("node {f} has {} outputs; tuple calls only at equation level", outs.len()),
+                        format!(
+                            "node {f} has {} outputs; tuple calls only at equation level",
+                            outs.len()
+                        ),
                         *s,
                     );
                 }
@@ -388,7 +413,11 @@ impl<O: Ops> Elab<'_, O> {
     ) -> EResult<Vec<TExpr<O>>> {
         if ins.len() != args.len() {
             return err(
-                format!("node {f} takes {} arguments, {} given", ins.len(), args.len()),
+                format!(
+                    "node {f} takes {} arguments, {} given",
+                    ins.len(),
+                    args.len()
+                ),
                 span,
             );
         }
@@ -416,7 +445,10 @@ impl<O: Ops> Elab<'_, O> {
             UExpr::Var(x, s) => match self.env.consts.get(x) {
                 Some(c) if O::type_of_const(c) == *expected => Ok(c.clone()),
                 Some(c) => err(
-                    format!("constant {x} has type {}, expected {expected}", O::type_of_const(c)),
+                    format!(
+                        "constant {x} has type {}, expected {expected}",
+                        O::type_of_const(c)
+                    ),
                     *s,
                 ),
                 None => err(
@@ -444,7 +476,10 @@ impl<O: Ops> Elab<'_, O> {
                 if cx == ck {
                     Ok(())
                 } else {
-                    err(format!("variable {x} on clock `{cx}`, expected `{ck}`"), span)
+                    err(
+                        format!("variable {x} on clock `{cx}`, expected `{ck}`"),
+                        span,
+                    )
                 }
             }
             TExpr::Unop(_, e1, _) => self.check_clock(e1, ck, span),
@@ -486,7 +521,10 @@ impl<O: Ops> Elab<'_, O> {
     fn check_var_clock(&self, x: Ident, ck: &Clock, span: Span) -> EResult<()> {
         match self.env.vars.get(&x) {
             Some((_, cx)) if cx == ck => Ok(()),
-            Some((_, cx)) => err(format!("variable {x} on clock `{cx}`, expected `{ck}`"), span),
+            Some((_, cx)) => err(
+                format!("variable {x} on clock `{cx}`, expected `{ck}`"),
+                span,
+            ),
             None => err(format!("unknown variable {x}"), span),
         }
     }
@@ -504,7 +542,10 @@ fn elab_clock<O: Ops>(
             match vars.get(x) {
                 Some((t, cx)) => {
                     if *t != O::bool_type() {
-                        return err(format!("clock variable {x} has type {t}, expected bool"), span);
+                        return err(
+                            format!("clock variable {x} has type {t}, expected bool"),
+                            span,
+                        );
                     }
                     if *cx != p {
                         return err(
@@ -584,7 +625,10 @@ fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
             Mark::Black => return Ok(()),
             Mark::Grey => {
                 return err(
-                    format!("recursive node instantiation through {}", prog.nodes[i].name),
+                    format!(
+                        "recursive node instantiation through {}",
+                        prog.nodes[i].name
+                    ),
                     prog.nodes[i].span,
                 )
             }
@@ -614,9 +658,7 @@ fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
     Ok(order)
 }
 
-fn elab_decls<O: Ops>(
-    groups: [&[UDecl]; 3],
-) -> EResult<(HashMap<Ident, (O::Ty, Clock)>, [Vec<velus_nlustre::ast::VarDecl<O>>; 3])> {
+fn elab_decls<O: Ops>(groups: [&[UDecl]; 3]) -> EResult<ElabDecls<O>> {
     // First pass: resolve types (clocks may reference any declared var).
     let mut tys: HashMap<Ident, O::Ty> = HashMap::new();
     for d in groups.iter().flat_map(|g| g.iter()) {
@@ -669,7 +711,7 @@ fn elab_decls<O: Ops>(
 fn elab_node<O: Ops>(
     unode: &UNode,
     consts: &HashMap<Ident, O::Const>,
-    sigs: &HashMap<Ident, (Vec<O::Ty>, Vec<(Ident, O::Ty)>)>,
+    sigs: &SigMap<O>,
     warnings: &mut Diagnostics,
 ) -> EResult<TNode<O>> {
     let (vars, [inputs, outputs, locals]) =
@@ -688,7 +730,11 @@ fn elab_node<O: Ops>(
     }
 
     let mut elab = Elab::<O> {
-        env: NodeEnv { vars, consts: consts.clone(), sigs: sigs.clone() },
+        env: NodeEnv {
+            vars,
+            consts: consts.clone(),
+            sigs: sigs.clone(),
+        },
         warnings,
     };
 
@@ -757,7 +803,10 @@ fn elab_node<O: Ops>(
                     TExpr::Call(*f, targs, outs)
                 }
                 other => {
-                    return err("tuple patterns require a node call on the right", other.span())
+                    return err(
+                        "tuple patterns require a node call on the right",
+                        other.span(),
+                    )
                 }
             }
         } else {
@@ -766,7 +815,11 @@ fn elab_node<O: Ops>(
             elab.build(&ueq.rhs, &tx, false)?
         };
         elab.check_clock(&rhs, &ck, ueq.span)?;
-        eqs.push(TEquation { lhs: ueq.lhs.clone(), ck, rhs });
+        eqs.push(TEquation {
+            lhs: ueq.lhs.clone(),
+            ck,
+            rhs,
+        });
     }
 
     // Every output and local must be defined.
@@ -776,7 +829,13 @@ fn elab_node<O: Ops>(
         }
     }
 
-    Ok(TNode { name: unode.name, inputs, outputs, locals, eqs })
+    Ok(TNode {
+        name: unode.name,
+        inputs,
+        outputs,
+        locals,
+        eqs,
+    })
 }
 
 /// Elaborates a surface program: resolves constants, orders nodes,
@@ -812,7 +871,7 @@ pub fn elaborate<O: Ops>(prog: &UProgram) -> Result<(TProgram<O>, Diagnostics), 
     }
 
     let order = order_nodes::<O>(prog)?;
-    let mut sigs: HashMap<Ident, (Vec<O::Ty>, Vec<(Ident, O::Ty)>)> = HashMap::new();
+    let mut sigs: SigMap<O> = HashMap::new();
     let mut nodes = Vec::with_capacity(prog.nodes.len());
     for i in order {
         let tnode = elab_node::<O>(&prog.nodes[i], &consts, &sigs, &mut warnings)?;
@@ -820,7 +879,11 @@ pub fn elaborate<O: Ops>(prog: &UProgram) -> Result<(TProgram<O>, Diagnostics), 
             tnode.name,
             (
                 tnode.inputs.iter().map(|d| d.ty.clone()).collect(),
-                tnode.outputs.iter().map(|d| (d.name, d.ty.clone())).collect(),
+                tnode
+                    .outputs
+                    .iter()
+                    .map(|d| (d.name, d.ty.clone()))
+                    .collect(),
             ),
         );
         nodes.push(tnode);

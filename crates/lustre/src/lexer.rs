@@ -245,7 +245,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
             }
             let text = &source[i..j];
             let tok = keyword(text).unwrap_or_else(|| Tok::Ident(text.to_owned()));
-            out.push(Token { tok, span: Span::new(start, j as u32) });
+            out.push(Token {
+                tok,
+                span: Span::new(start, j as u32),
+            });
             i = j;
             continue;
         }
@@ -280,12 +283,18 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
             let span = Span::new(start, j as u32);
             if is_float {
                 match text.parse::<f64>() {
-                    Ok(x) => out.push(Token { tok: Tok::Float(x), span }),
+                    Ok(x) => out.push(Token {
+                        tok: Tok::Float(x),
+                        span,
+                    }),
                     Err(_) => errs.error(format!("malformed float literal `{text}`"), span),
                 }
             } else {
                 match text.parse::<i128>() {
-                    Ok(x) => out.push(Token { tok: Tok::Int(x), span }),
+                    Ok(x) => out.push(Token {
+                        tok: Tok::Int(x),
+                        span,
+                    }),
                     Err(_) => errs.error(format!("malformed integer literal `{text}`"), span),
                 }
             }
@@ -322,10 +331,16 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
                 }
             },
         };
-        out.push(Token { tok, span: Span::new(start, start + len as u32) });
+        out.push(Token {
+            tok,
+            span: Span::new(start, start + len as u32),
+        });
         i += len;
     }
-    out.push(Token { tok: Tok::Eof, span: Span::new(n as u32, n as u32) });
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(n as u32, n as u32),
+    });
     errs.into_result(out)
 }
 
@@ -387,7 +402,13 @@ mod tests {
         // `a - -1` is subtraction of a negated literal, not a comment.
         assert_eq!(
             toks("a - - 1"),
-            vec![Tok::Ident("a".into()), Tok::Minus, Tok::Minus, Tok::Int(1), Tok::Eof]
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Minus,
+                Tok::Int(1),
+                Tok::Eof
+            ]
         );
     }
 

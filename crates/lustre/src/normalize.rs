@@ -142,7 +142,11 @@ impl<O: Ops> Norm<O> {
             ctrl @ (TExpr::If(..) | TExpr::Merge(..) | TExpr::Arrow(..)) => {
                 let rhs = self.norm_cexpr(ctrl, ck)?;
                 let x = self.fresh_var("v", ctrl.ty(), ck.clone());
-                self.new_eqs.push(Equation::Def { x, ck: ck.clone(), rhs });
+                self.new_eqs.push(Equation::Def {
+                    x,
+                    ck: ck.clone(),
+                    rhs,
+                });
                 Ok(Expr::Var(x, ctrl.ty()))
             }
         }
@@ -175,7 +179,12 @@ fn normalize_node<O: Ops>(tnode: TNode<O>) -> Result<Node<O>, SemError> {
                         .iter()
                         .map(|a| norm.norm_expr(a, ck))
                         .collect::<Result<Vec<_>, _>>()?;
-                    eqs.push(Equation::Call { xs: lhs.clone(), ck: ck.clone(), node: *f, args });
+                    eqs.push(Equation::Call {
+                        xs: lhs.clone(),
+                        ck: ck.clone(),
+                        node: *f,
+                        args,
+                    });
                 }
                 _ => {
                     return Err(SemError::Malformed(
@@ -193,14 +202,24 @@ fn normalize_node<O: Ops>(tnode: TNode<O>) -> Result<Node<O>, SemError> {
                 let rhs = norm.norm_expr(e1, ck)?;
                 if output_names.contains(&x) {
                     let m = norm.fresh_var("mem", e1.ty(), ck.clone());
-                    eqs.push(Equation::Fby { x: m, ck: ck.clone(), init: init.clone(), rhs });
+                    eqs.push(Equation::Fby {
+                        x: m,
+                        ck: ck.clone(),
+                        init: init.clone(),
+                        rhs,
+                    });
                     eqs.push(Equation::Def {
                         x,
                         ck: ck.clone(),
                         rhs: CExpr::Expr(Expr::Var(m, e1.ty())),
                     });
                 } else {
-                    eqs.push(Equation::Fby { x, ck: ck.clone(), init: init.clone(), rhs });
+                    eqs.push(Equation::Fby {
+                        x,
+                        ck: ck.clone(),
+                        init: init.clone(),
+                        rhs,
+                    });
                 }
             }
             // Keep top-level single-output calls as call equations.
@@ -209,11 +228,20 @@ fn normalize_node<O: Ops>(tnode: TNode<O>) -> Result<Node<O>, SemError> {
                     .iter()
                     .map(|a| norm.norm_expr(a, ck))
                     .collect::<Result<Vec<_>, _>>()?;
-                eqs.push(Equation::Call { xs: vec![x], ck: ck.clone(), node: *f, args });
+                eqs.push(Equation::Call {
+                    xs: vec![x],
+                    ck: ck.clone(),
+                    node: *f,
+                    args,
+                });
             }
             other => {
                 let rhs = norm.norm_cexpr(other, ck)?;
-                eqs.push(Equation::Def { x, ck: ck.clone(), rhs });
+                eqs.push(Equation::Def {
+                    x,
+                    ck: ck.clone(),
+                    rhs,
+                });
             }
         }
     }
@@ -268,10 +296,7 @@ mod tests {
         );
         let node = &prog.nodes[0];
         assert_eq!(node.eqs.len(), 2);
-        assert!(node
-            .eqs
-            .iter()
-            .any(|e| matches!(e, Equation::Fby { .. })));
+        assert!(node.eqs.iter().any(|e| matches!(e, Equation::Fby { .. })));
         typecheck::check_program(&prog).unwrap();
         clockcheck::check_program_clocks(&prog).unwrap();
     }

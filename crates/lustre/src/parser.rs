@@ -115,7 +115,12 @@ impl<'t> Parser<'t> {
         let span = start.merge(self.prev_span());
         Ok(names
             .into_iter()
-            .map(|name| UDecl { name, ty_name, clock: clock.clone(), span })
+            .map(|name| UDecl {
+                name,
+                ty_name,
+                clock: clock.clone(),
+                span,
+            })
             .collect())
     }
 
@@ -436,7 +441,14 @@ impl<'t> Parser<'t> {
         self.expect(Tok::Tel)?;
         self.eat(Tok::Semi);
         let span = start.merge(self.prev_span());
-        Ok(UNode { name, inputs, outputs, locals, eqs, span })
+        Ok(UNode {
+            name,
+            inputs,
+            outputs,
+            locals,
+            eqs,
+            span,
+        })
     }
 
     fn const_decl(&mut self) -> PResult<UConst> {
@@ -449,7 +461,12 @@ impl<'t> Parser<'t> {
         let value = self.expr()?;
         self.expect(Tok::Semi)?;
         let span = start.merge(self.prev_span());
-        Ok(UConst { name, ty_name, value, span })
+        Ok(UConst {
+            name,
+            ty_name,
+            value,
+            span,
+        })
     }
 
     fn program(&mut self) -> PResult<UProgram> {
@@ -479,7 +496,10 @@ impl<'t> Parser<'t> {
 /// Syntax errors with positions.
 pub fn parse(tokens: &[Token], source: &str) -> Result<UProgram, Diagnostics> {
     let _ = source;
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     p.program()
 }
 
@@ -550,9 +570,8 @@ mod tests {
 
     #[test]
     fn when_samples_whole_comparisons() {
-        let p =
-            parse_source("node f(s: int; c: bool) returns (y: bool) let y = s > 5 when c; tel")
-                .unwrap();
+        let p = parse_source("node f(s: int; c: bool) returns (y: bool) let y = s > 5 when c; tel")
+            .unwrap();
         match &p.nodes[0].eqs[0].rhs {
             UExpr::When(inner, _, true, _) => assert!(matches!(**inner, UExpr::Binop(..))),
             other => panic!("expected when at top, got {other:?}"),
@@ -566,7 +585,10 @@ mod tests {
             "node f(x: int; c: bool) returns (y: int) let y = x whenot c; tel",
         ] {
             let p = parse_source(src).unwrap();
-            assert!(matches!(&p.nodes[0].eqs[0].rhs, UExpr::When(_, _, false, _)));
+            assert!(matches!(
+                &p.nodes[0].eqs[0].rhs,
+                UExpr::When(_, _, false, _)
+            ));
         }
     }
 
@@ -579,7 +601,10 @@ mod tests {
         ";
         let p = parse_source(src).unwrap();
         let d = &p.nodes[0].locals[0];
-        assert_eq!(d.clock, UClock::On(Box::new(UClock::Base), Ident::new("x"), true));
+        assert_eq!(
+            d.clock,
+            UClock::On(Box::new(UClock::Base), Ident::new("x"), true)
+        );
     }
 
     #[test]

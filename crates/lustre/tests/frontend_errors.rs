@@ -27,7 +27,10 @@ fn unknown_type() {
 #[test]
 fn type_mismatch_across_equation() {
     let e = err_of("node f(x: int) returns (y: bool) let y = x + 1; tel");
-    assert!(e.contains("expected bool") || e.contains("yields int"), "{e}");
+    assert!(
+        e.contains("expected bool") || e.contains("yields int"),
+        "{e}"
+    );
 }
 
 #[test]

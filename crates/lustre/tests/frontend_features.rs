@@ -4,7 +4,7 @@
 use velus_common::Ident;
 use velus_lustre::compile_to_nlustre;
 use velus_nlustre::dataflow::run_node;
-use velus_nlustre::streams::{StreamSet, SVal};
+use velus_nlustre::streams::{SVal, StreamSet};
 use velus_ops::{CVal, ClightOps};
 
 fn run_ints(src: &str, node: &str, inputs: Vec<Vec<i32>>, n: usize) -> Vec<Vec<i32>> {
@@ -84,8 +84,10 @@ fn real_arithmetic_round_trips() {
     ";
     let (mut prog, _) = compile_to_nlustre::<ClightOps>(src).unwrap();
     velus_nlustre::schedule::schedule_program(&mut prog).unwrap();
-    let streams: StreamSet<ClightOps> =
-        vec![vec![SVal::Pres(CVal::float(1.0)), SVal::Pres(CVal::float(3.0))]];
+    let streams: StreamSet<ClightOps> = vec![vec![
+        SVal::Pres(CVal::float(1.0)),
+        SVal::Pres(CVal::float(3.0)),
+    ]];
     let outs = run_node(&prog, Ident::new("f"), &streams, 2).unwrap();
     assert_eq!(outs[0][1], SVal::Pres(CVal::float(2.0)));
 }

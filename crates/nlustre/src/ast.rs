@@ -296,7 +296,10 @@ impl<O: Ops> Node<O> {
 impl<O: Ops> fmt::Display for Node<O> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let fmt_decls = |ds: &[VarDecl<O>]| -> String {
-            ds.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("; ")
+            ds.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
         };
         writeln!(
             f,

@@ -10,9 +10,10 @@ use std::fmt;
 use velus_common::Ident;
 
 /// A clock expression.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Clock {
     /// The base clock of the enclosing node.
+    #[default]
     Base,
     /// A sub-clock: `on(ck, x, true)` is `ck on x`, `on(ck, x, false)` is
     /// `ck onot x`.
@@ -65,12 +66,6 @@ impl Clock {
                 None => return false,
             }
         }
-    }
-}
-
-impl Default for Clock {
-    fn default() -> Clock {
-        Clock::Base
     }
 }
 

@@ -50,9 +50,9 @@ pub fn check_expr_clock<O: Ops>(env: &CkEnv, e: &Expr<O>, ck: &Clock) -> Result<
                 match env.get(x) {
                     None => Err(SemError::UndefinedVariable(*x)),
                     Some(cx) if cx == parent.as_ref() => check_expr_clock::<O>(env, e1, parent),
-                    Some(cx) => clock_error(format!(
-                        "sampler {x} on clock {cx}, expected {parent}"
-                    )),
+                    Some(cx) => {
+                        clock_error(format!("sampler {x} on clock {cx}, expected {parent}"))
+                    }
                 }
             }
             _ => clock_error(format!("sampled expression `… when {x}` at clock {ck}")),
@@ -150,7 +150,10 @@ pub fn check_node_clocks<O: Ops>(
             Equation::Def { rhs, .. } => check_cexpr_clock::<O>(&env, rhs, ck)?,
             Equation::Fby { rhs, .. } => check_expr_clock::<O>(&env, rhs, ck)?,
             Equation::Call { node: f, args, .. } => {
-                let _callee = nodes_before.get(f).copied().ok_or(SemError::UnknownNode(*f))?;
+                let _callee = nodes_before
+                    .get(f)
+                    .copied()
+                    .ok_or(SemError::UnknownNode(*f))?;
                 for a in args {
                     check_expr_clock::<O>(&env, a, ck)?;
                 }
@@ -185,7 +188,11 @@ mod tests {
     }
 
     fn decl(name: &str, ty: CTy, ck: Clock) -> VarDecl<ClightOps> {
-        VarDecl { name: id(name), ty, ck }
+        VarDecl {
+            name: id(name),
+            ty,
+            ck,
+        }
     }
 
     /// node sampler(x: bool; v: int) returns (o: int)
@@ -238,7 +245,10 @@ mod tests {
     #[test]
     fn rejects_misdeclared_sampled_variable() {
         let p = Program::new(vec![sampler_node(false)]);
-        assert!(matches!(check_program_clocks(&p), Err(SemError::ClockError(_))));
+        assert!(matches!(
+            check_program_clocks(&p),
+            Err(SemError::ClockError(_))
+        ));
     }
 
     #[test]
@@ -258,13 +268,20 @@ mod tests {
                 rhs: CExpr::Expr(Expr::Binop(
                     velus_ops::CBinOp::Add,
                     Box::new(Expr::Var(id("v"), CTy::I32)),
-                    Box::new(Expr::When(Box::new(Expr::Var(id("v"), CTy::I32)), id("x"), true)),
+                    Box::new(Expr::When(
+                        Box::new(Expr::Var(id("v"), CTy::I32)),
+                        id("x"),
+                        true,
+                    )),
                     CTy::I32,
                 )),
             }],
         };
         let p = Program::new(vec![n]);
-        assert!(matches!(check_program_clocks(&p), Err(SemError::ClockError(_))));
+        assert!(matches!(
+            check_program_clocks(&p),
+            Err(SemError::ClockError(_))
+        ));
     }
 
     #[test]
@@ -272,6 +289,9 @@ mod tests {
         let mut n = sampler_node(true);
         n.outputs[0].ck = Clock::Base.on(id("x"), true);
         let p = Program::new(vec![n]);
-        assert!(matches!(check_program_clocks(&p), Err(SemError::ClockError(_))));
+        assert!(matches!(
+            check_program_clocks(&p),
+            Err(SemError::ClockError(_))
+        ));
     }
 }

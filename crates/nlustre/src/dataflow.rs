@@ -32,7 +32,7 @@ use velus_ops::Ops;
 
 use crate::ast::{CExpr, Equation, Expr, Node, Program};
 use crate::clock::Clock;
-use crate::streams::{StreamSet, SVal};
+use crate::streams::{SVal, StreamSet};
 use crate::SemError;
 
 /// Where a variable of a node gets its values.
@@ -364,7 +364,11 @@ impl<'p, O: Ops> Dataflow<'p, O> {
             } else {
                 self.insts[inst].holds[&x][m - 1].clone()
             };
-            self.insts[inst].holds.get_mut(&x).expect("initialized above").push(v);
+            self.insts[inst]
+                .holds
+                .get_mut(&x)
+                .expect("initialized above")
+                .push(v);
         }
         Ok(self.insts[inst].holds[&x][n].clone())
     }
@@ -436,7 +440,9 @@ impl<'p, O: Ops> Dataflow<'p, O> {
                             Ok(SVal::Abs)
                         }
                     }
-                    Equation::Call { ck, node: f, xs, .. } => {
+                    Equation::Call {
+                        ck, node: f, xs, ..
+                    } => {
                         if !self.clock_at(inst, &ck.clone(), n)? {
                             return Ok(SVal::Abs);
                         }
@@ -518,7 +524,11 @@ mod tests {
     }
 
     fn decl(name: &str, ty: CTy) -> VarDecl<ClightOps> {
-        VarDecl { name: id(name), ty, ck: Clock::Base }
+        VarDecl {
+            name: id(name),
+            ty,
+            ck: Clock::Base,
+        }
     }
 
     /// The paper's counter node (§2, normalized form of Fig. 3):
@@ -533,7 +543,11 @@ mod tests {
     fn counter() -> Node<ClightOps> {
         Node {
             name: id("counter"),
-            inputs: vec![decl("ini", CTy::I32), decl("inc", CTy::I32), decl("res", CTy::Bool)],
+            inputs: vec![
+                decl("ini", CTy::I32),
+                decl("inc", CTy::I32),
+                decl("res", CTy::Bool),
+            ],
             outputs: vec![decl("n", CTy::I32)],
             locals: vec![decl("c", CTy::I32), decl("f", CTy::Bool)],
             eqs: vec![
@@ -596,7 +610,11 @@ mod tests {
     #[test]
     fn horizon_is_the_shortest_input_prefix() {
         let prog = Program::new(vec![counter()]);
-        let inputs = vec![pres(&[1, 2, 3]), pres(&[1, 2]), presb(&[false, false, false])];
+        let inputs = vec![
+            pres(&[1, 2, 3]),
+            pres(&[1, 2]),
+            presb(&[false, false, false]),
+        ];
         let eval = Dataflow::new(&prog, id("counter"), inputs).unwrap();
         assert_eq!(eval.horizon(), 2);
         // No inputs: unbounded horizon.
@@ -736,7 +754,11 @@ mod tests {
             name: id("sampled"),
             inputs: vec![decl("x", CTy::Bool)],
             outputs: vec![decl("o", CTy::I32)],
-            locals: vec![VarDecl { name: id("c"), ty: CTy::I32, ck: on_x.clone() }],
+            locals: vec![VarDecl {
+                name: id("c"),
+                ty: CTy::I32,
+                ck: on_x.clone(),
+            }],
             eqs: vec![
                 Equation::Call {
                     xs: vec![id("c")],

@@ -134,7 +134,11 @@ mod tests {
     }
 
     fn decl(name: &str, ty: CTy) -> VarDecl<ClightOps> {
-        VarDecl { name: id(name), ty, ck: Clock::Base }
+        VarDecl {
+            name: id(name),
+            ty,
+            ck: Clock::Base,
+        }
     }
 
     fn var(x: &str) -> Expr<ClightOps> {
@@ -143,7 +147,7 @@ mod tests {
 
     /// y = cum + x ; cum = 0 fby y (well scheduled)
     fn two_eq_node(order: [usize; 2]) -> Node<ClightOps> {
-        let eqs = vec![
+        let eqs = [
             Equation::Def {
                 x: id("y"),
                 ck: Clock::Base,
@@ -175,7 +179,10 @@ mod tests {
         let node = two_eq_node([0, 1]);
         assert_eq!(check_schedule(&node), Ok(()));
         let node = two_eq_node([1, 0]);
-        assert!(matches!(check_schedule(&node), Err(SemError::BadSchedule(_))));
+        assert!(matches!(
+            check_schedule(&node),
+            Err(SemError::BadSchedule(_))
+        ));
     }
 
     #[test]

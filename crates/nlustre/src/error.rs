@@ -43,7 +43,11 @@ impl fmt::Display for SemError {
             SemError::InputMismatch(m) => write!(f, "input mismatch: {m}"),
             SemError::SchedulingCycle(node, vars) => {
                 let vars: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
-                write!(f, "dependency cycle in node {node} through {}", vars.join(" -> "))
+                write!(
+                    f,
+                    "dependency cycle in node {node} through {}",
+                    vars.join(" -> ")
+                )
             }
             SemError::BadSchedule(m) => write!(f, "invalid schedule: {m}"),
             SemError::Malformed(m) => write!(f, "malformed program: {m}"),

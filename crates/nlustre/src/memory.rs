@@ -55,7 +55,12 @@ impl<V> Memory<V> {
 
     /// Total number of scalar cells in the whole tree.
     pub fn total_cells(&self) -> usize {
-        self.values.len() + self.instances.values().map(Memory::total_cells).sum::<usize>()
+        self.values.len()
+            + self
+                .instances
+                .values()
+                .map(Memory::total_cells)
+                .sum::<usize>()
     }
 
     /// Maps every value in the tree, preserving the structure.
@@ -97,9 +102,13 @@ mod tests {
     fn tree_structure() {
         let mut m: Memory<i32> = Memory::new();
         m.set_value(Ident::new("pt"), 7);
-        m.instance_mut(Ident::new("s")).set_value(Ident::new("c"), 1);
+        m.instance_mut(Ident::new("s"))
+            .set_value(Ident::new("c"), 1);
         assert_eq!(m.value(Ident::new("pt")), Some(&7));
-        assert_eq!(m.instance(Ident::new("s")).unwrap().value(Ident::new("c")), Some(&1));
+        assert_eq!(
+            m.instance(Ident::new("s")).unwrap().value(Ident::new("c")),
+            Some(&1)
+        );
         assert_eq!(m.total_cells(), 2);
     }
 
@@ -107,11 +116,15 @@ mod tests {
     fn map_preserves_shape() {
         let mut m: Memory<i32> = Memory::new();
         m.set_value(Ident::new("a"), 2);
-        m.instance_mut(Ident::new("i")).set_value(Ident::new("b"), 3);
+        m.instance_mut(Ident::new("i"))
+            .set_value(Ident::new("b"), 3);
         let doubled = m.map(&mut |v| v * 2);
         assert_eq!(doubled.value(Ident::new("a")), Some(&4));
         assert_eq!(
-            doubled.instance(Ident::new("i")).unwrap().value(Ident::new("b")),
+            doubled
+                .instance(Ident::new("i"))
+                .unwrap()
+                .value(Ident::new("b")),
             Some(&6)
         );
     }

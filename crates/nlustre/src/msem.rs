@@ -24,7 +24,7 @@ use velus_ops::Ops;
 use crate::ast::{CExpr, Equation, Expr, Node, Program};
 use crate::clock::Clock;
 use crate::memory::Memory;
-use crate::streams::{StreamSet, SVal};
+use crate::streams::{SVal, StreamSet};
 use crate::SemError;
 
 /// The exposed memory `M`: for every `fby` variable, the stream of values
@@ -80,7 +80,9 @@ impl<O: Ops> Ctx<'_, O> {
         if let Some(v) = self.mem.value(x) {
             return Ok(SVal::Pres(v.clone()));
         }
-        Err(SemError::BadSchedule(format!("variable {x} read before written")))
+        Err(SemError::BadSchedule(format!(
+            "variable {x} read before written"
+        )))
     }
 }
 
@@ -94,7 +96,9 @@ fn clock_true<O: Ops>(ctx: &Ctx<'_, O>, ck: &Clock) -> Result<bool, SemError> {
             match ctx.read(*x)? {
                 SVal::Pres(v) => match O::as_bool(&v) {
                     Some(b) => Ok(b == *k),
-                    None => Err(SemError::TypeError(format!("clock variable {x} non-boolean"))),
+                    None => Err(SemError::TypeError(format!(
+                        "clock variable {x} non-boolean"
+                    ))),
                 },
                 SVal::Abs => Err(SemError::ClockError(format!(
                     "clock variable {x} absent under active parent clock"
@@ -138,7 +142,9 @@ fn eval_cexpr<O: Ops>(ctx: &Ctx<'_, O>, ce: &CExpr<O>) -> Result<O::Val, SemErro
                 Some(false) => eval_cexpr::<O>(ctx, f),
                 None => Err(SemError::TypeError("merge on non-boolean".to_owned())),
             },
-            SVal::Abs => Err(SemError::ClockError(format!("merge variable {x} unavailable"))),
+            SVal::Abs => Err(SemError::ClockError(format!(
+                "merge variable {x} unavailable"
+            ))),
         },
         CExpr::If(c, t, f) => {
             let cv = eval_expr::<O>(ctx, c)?;
@@ -319,7 +325,9 @@ fn step_equations<O: Ops>(
                     env.insert(*x, SVal::Abs);
                 }
             }
-            Equation::Call { xs, node: f, args, .. } => {
+            Equation::Call {
+                xs, node: f, args, ..
+            } => {
                 let callee = prog.node(*f).ok_or(SemError::UnknownNode(*f))?;
                 if active {
                     let vals: Vec<SVal<O>> = args
@@ -336,7 +344,7 @@ fn step_equations<O: Ops>(
                         let v = sub_env
                             .get(&d.name)
                             .cloned()
-                            .ok_or_else(|| SemError::UndefinedVariable(d.name))?;
+                            .ok_or(SemError::UndefinedVariable(d.name))?;
                         env.insert(*x, v);
                     }
                 } else {
@@ -381,7 +389,11 @@ mod tests {
     }
 
     fn decl(name: &str, ty: CTy) -> VarDecl<ClightOps> {
-        VarDecl { name: id(name), ty, ck: Clock::Base }
+        VarDecl {
+            name: id(name),
+            ty,
+            ck: Clock::Base,
+        }
     }
 
     fn pres(vs: &[i32]) -> Vec<SVal<ClightOps>> {

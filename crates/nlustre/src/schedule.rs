@@ -114,7 +114,11 @@ mod tests {
     }
 
     fn decl(name: &str, ty: CTy, ck: Clock) -> VarDecl<ClightOps> {
-        VarDecl { name: id(name), ty, ck }
+        VarDecl {
+            name: id(name),
+            ty,
+            ck,
+        }
     }
 
     fn var(x: &str) -> Expr<ClightOps> {
@@ -126,7 +130,10 @@ mod tests {
         let on_k = Clock::Base.on(id("k"), true);
         Node {
             name: id("messy"),
-            inputs: vec![decl("k", CTy::Bool, Clock::Base), decl("x", CTy::I32, Clock::Base)],
+            inputs: vec![
+                decl("k", CTy::Bool, Clock::Base),
+                decl("x", CTy::I32, Clock::Base),
+            ],
             outputs: vec![decl("o", CTy::I32, Clock::Base)],
             locals: vec![
                 decl("a", CTy::I32, on_k.clone()),

@@ -115,7 +115,11 @@ mod tests {
 
     #[test]
     fn clock_sharp_matches_presence() {
-        let s: Vec<V> = vec![SVal::Pres(CVal::int(1)), SVal::Abs, SVal::Pres(CVal::int(2))];
+        let s: Vec<V> = vec![
+            SVal::Pres(CVal::int(1)),
+            SVal::Abs,
+            SVal::Pres(CVal::int(2)),
+        ];
         assert_eq!(clock_sharp::<ClightOps>(&s), vec![true, false, true]);
     }
 

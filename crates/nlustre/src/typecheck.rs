@@ -65,7 +65,9 @@ pub fn check_expr<O: Ops>(env: &Env<O>, e: &Expr<O>) -> Result<O::Ty, SemError> 
             match env.get(x) {
                 None => Err(SemError::UndefinedVariable(*x)),
                 Some(tx) if *tx == O::bool_type() => Ok(t),
-                Some(tx) => type_error(format!("sampling variable {x} has type {tx}, expected bool")),
+                Some(tx) => type_error(format!(
+                    "sampling variable {x} has type {tx}, expected bool"
+                )),
             }
         }
     }
@@ -160,7 +162,9 @@ fn check_equation<O: Ops>(
             }
             Ok(())
         }
-        Equation::Call { xs, node: f, args, .. } => {
+        Equation::Call {
+            xs, node: f, args, ..
+        } => {
             let callee = declared_before
                 .get(f)
                 .copied()
@@ -215,7 +219,10 @@ pub fn check_node<O: Ops>(
 ) -> Result<(), SemError> {
     let env = build_env::<O>(node)?;
     if node.outputs.is_empty() {
-        return Err(SemError::Malformed(format!("node {} has no outputs", node.name)));
+        return Err(SemError::Malformed(format!(
+            "node {} has no outputs",
+            node.name
+        )));
     }
 
     // Every output and local is defined exactly once; inputs never.
@@ -261,7 +268,10 @@ pub fn check_program<O: Ops>(prog: &Program<O>) -> Result<(), SemError> {
     let mut declared: HashMap<Ident, &Node<O>> = HashMap::new();
     for node in &prog.nodes {
         if declared.contains_key(&node.name) {
-            return Err(SemError::Malformed(format!("duplicate node name {}", node.name)));
+            return Err(SemError::Malformed(format!(
+                "duplicate node name {}",
+                node.name
+            )));
         }
         check_node::<O>(&declared, node)?;
         declared.insert(node.name, node);
@@ -319,7 +329,11 @@ mod tests {
     #[test]
     fn rejects_bad_annotation() {
         let mut n = double();
-        if let Equation::Def { rhs: CExpr::Expr(Expr::Binop(_, _, _, ty)), .. } = &mut n.eqs[0] {
+        if let Equation::Def {
+            rhs: CExpr::Expr(Expr::Binop(_, _, _, ty)),
+            ..
+        } = &mut n.eqs[0]
+        {
             *ty = CTy::Bool;
         }
         let p = P::new(vec![n]);

@@ -130,7 +130,10 @@ impl<O: Ops> Stmt<O> {
     /// pair of conditionals.
     pub fn seq_all(stmts: impl IntoIterator<Item = Stmt<O>>) -> Stmt<O> {
         let items: Vec<Stmt<O>> = stmts.into_iter().collect();
-        items.into_iter().rev().fold(Stmt::Skip, |acc, s| Stmt::seq(s, acc))
+        items
+            .into_iter()
+            .rev()
+            .fold(Stmt::Skip, |acc, s| Stmt::seq(s, acc))
     }
 
     /// Whether `s` may write the (local or state) variable `x` — the
@@ -167,7 +170,13 @@ impl<O: Ops> Stmt<O> {
                 }
                 p.line("}");
             }
-            Stmt::Call { results, class, instance, method, args } => {
+            Stmt::Call {
+                results,
+                class,
+                instance,
+                method,
+                args,
+            } => {
                 let rs: Vec<String> = results.iter().map(|r| r.to_string()).collect();
                 let es: Vec<String> = args.iter().map(|a| a.to_string()).collect();
                 let lhs = if rs.is_empty() {
@@ -175,7 +184,10 @@ impl<O: Ops> Stmt<O> {
                 } else {
                     format!("{} := ", rs.join(", "))
                 };
-                p.line(format!("{lhs}{class}({instance}).{method}({});", es.join(", ")));
+                p.line(format!(
+                    "{lhs}{class}({instance}).{method}({});",
+                    es.join(", ")
+                ));
             }
             Stmt::Seq(a, b) => {
                 a.print(p);
@@ -348,7 +360,14 @@ mod tests {
     #[test]
     fn size_counts_atoms() {
         let a: S = Stmt::Assign(id("x"), ObcExpr::Const(CConst::int(1)));
-        let s = S::seq(a.clone(), Stmt::If(ObcExpr::Var(id("c"), CTy::Bool), Box::new(a.clone()), Box::new(Stmt::Skip)));
+        let s = S::seq(
+            a.clone(),
+            Stmt::If(
+                ObcExpr::Var(id("c"), CTy::Bool),
+                Box::new(a.clone()),
+                Box::new(Stmt::Skip),
+            ),
+        );
         assert_eq!(s.size(), 4);
     }
 }

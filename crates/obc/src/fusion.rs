@@ -22,11 +22,9 @@ use crate::ast::{Class, Method, ObcExpr, ObcProgram, Stmt};
 /// second argument into the first, merging equal-guard conditionals.
 pub fn zip<O: Ops>(s: Stmt<O>, t: Stmt<O>) -> Stmt<O> {
     match (s, t) {
-        (Stmt::If(e1, t1, f1), Stmt::If(e2, t2, f2)) if e1 == e2 => Stmt::If(
-            e1,
-            Box::new(zip(*t1, *t2)),
-            Box::new(zip(*f1, *f2)),
-        ),
+        (Stmt::If(e1, t1, f1), Stmt::If(e2, t2, f2)) if e1 == e2 => {
+            Stmt::If(e1, Box::new(zip(*t1, *t2)), Box::new(zip(*f1, *f2)))
+        }
         (Stmt::Seq(s1, s2), t) => Stmt::Seq(s1, Box::new(zip(*s2, t))),
         (s, Stmt::Seq(t1, t2)) => zip(zip(s, *t1), *t2),
         (s, Stmt::Skip) => s,
@@ -146,7 +144,11 @@ mod tests {
         // into one if plus the update.
         let s = S::seq_all(vec![
             iff("x", assign("c", 1), Stmt::Skip),
-            iff("x", assign("t", 2), Stmt::Assign(id("t"), ObcExpr::State(id("pt"), CTy::I32))),
+            iff(
+                "x",
+                assign("t", 2),
+                Stmt::Assign(id("t"), ObcExpr::State(id("pt"), CTy::I32)),
+            ),
             Stmt::AssignSt(id("pt"), ObcExpr::Var(id("t"), CTy::I32)),
         ]);
         let fused = fuse(s);
@@ -169,8 +171,11 @@ mod tests {
     #[test]
     fn fusible_rejects_guard_writers() {
         // The paper's footnote 8: (if x then x := false else x := true); if x …
-        let s = iff("x", Stmt::Assign(id("x"), ObcExpr::Const(CConst::bool(false))),
-                     Stmt::Assign(id("x"), ObcExpr::Const(CConst::bool(true))));
+        let s = iff(
+            "x",
+            Stmt::Assign(id("x"), ObcExpr::Const(CConst::bool(false))),
+            Stmt::Assign(id("x"), ObcExpr::Const(CConst::bool(true))),
+        );
         assert!(!fusible(&s));
         let ok = iff("x", assign("a", 1), Stmt::Skip);
         assert!(fusible(&ok));
@@ -192,7 +197,11 @@ mod tests {
     fn fuse_preserves_semantics_on_fusible_code() {
         let s = S::seq_all(vec![
             iff("x", assign("c", 1), Stmt::Skip),
-            iff("x", assign("t", 2), Stmt::Assign(id("t"), ObcExpr::State(id("pt"), CTy::I32))),
+            iff(
+                "x",
+                assign("t", 2),
+                Stmt::Assign(id("t"), ObcExpr::State(id("pt"), CTy::I32)),
+            ),
             Stmt::AssignSt(id("pt"), ObcExpr::Var(id("t"), CTy::I32)),
         ]);
         assert!(fusible(&s));
@@ -209,8 +218,11 @@ mod tests {
     #[test]
     fn footnote8_shows_zip_unsound_without_fusible() {
         // (if x { x := false } else { x := true }); if x { a := 1 } else { a := 2 }
-        let s1 = iff("x", Stmt::Assign(id("x"), ObcExpr::Const(CConst::bool(false))),
-                      Stmt::Assign(id("x"), ObcExpr::Const(CConst::bool(true))));
+        let s1 = iff(
+            "x",
+            Stmt::Assign(id("x"), ObcExpr::Const(CConst::bool(false))),
+            Stmt::Assign(id("x"), ObcExpr::Const(CConst::bool(true))),
+        );
         let s2 = iff("x", assign("a", 1), assign("a", 2));
         let whole = S::seq(s1, s2);
         assert!(!fusible(&whole));
@@ -235,6 +247,9 @@ mod tests {
         let mem: Memory<CVal> = Memory::new();
         let mut env: VEnv<ClightOps> = HashMap::new();
         env.insert(id("x"), CVal::bool(true));
-        assert_eq!(eval_expr::<ClightOps>(&mem, &env, &guard("x")).unwrap(), CVal::TRUE);
+        assert_eq!(
+            eval_expr::<ClightOps>(&mem, &env, &guard("x")).unwrap(),
+            CVal::TRUE
+        );
     }
 }

@@ -72,9 +72,7 @@ fn check_rec<O: Ops>(
                 }
             }
             Equation::Call { xs, node: f, .. } => {
-                let callee = prog
-                    .node(*f)
-                    .ok_or_else(|| ObcError::UnknownClass(*f))?;
+                let callee = prog.node(*f).ok_or(ObcError::UnknownClass(*f))?;
                 let sub_trace = mtrace.instance(xs[0]).ok_or_else(|| {
                     ObcError::MemCorres(format!("no recorded sub-memory {}{}", render(path), xs[0]))
                 })?;
@@ -111,7 +109,11 @@ mod tests {
     }
 
     fn decl(name: &str, ty: CTy) -> VarDecl<ClightOps> {
-        VarDecl { name: id(name), ty, ck: Clock::Base }
+        VarDecl {
+            name: id(name),
+            ty,
+            ck: Clock::Base,
+        }
     }
 
     /// y = cum + x; cum = 0 fby y (scheduled).
@@ -162,7 +164,7 @@ mod tests {
             // After semantic instant n, the trace holds M(0..=n); compare
             // M(n) with the Obc memory *before* its step n.
             check_memcorres(&prog, node, msem.trace(), n, &mem).unwrap();
-            let vals: Vec<CVal> = at.iter().map(|v| v.value().unwrap().clone()).collect();
+            let vals: Vec<CVal> = at.iter().map(|v| *v.value().unwrap()).collect();
             call_method(&obc, id("acc"), &mut mem, crate::ast::step_name(), &vals).unwrap();
         }
     }

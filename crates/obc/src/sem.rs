@@ -90,7 +90,13 @@ pub fn exec_stmt<O: Ops>(
                 None => Err(ObcError::TypeError(format!("guard evaluated to {v}"))),
             }
         }
-        Stmt::Call { results, class, instance, method, args } => {
+        Stmt::Call {
+            results,
+            class,
+            instance,
+            method,
+            args,
+        } => {
             let vals: Vec<O::Val> = args
                 .iter()
                 .map(|a| eval_expr::<O>(mem, env, a))
@@ -239,8 +245,11 @@ mod tests {
     #[test]
     fn reset_then_steps() {
         let prog = counter_class();
-        let inputs: Vec<Option<Vec<CVal>>> =
-            vec![Some(vec![CVal::int(1)]), Some(vec![CVal::int(2)]), Some(vec![CVal::int(3)])];
+        let inputs: Vec<Option<Vec<CVal>>> = vec![
+            Some(vec![CVal::int(1)]),
+            Some(vec![CVal::int(2)]),
+            Some(vec![CVal::int(3)]),
+        ];
         let outs = run_class(&prog, id("counter"), &inputs).unwrap();
         let vals: Vec<i32> = outs
             .iter()
@@ -267,8 +276,8 @@ mod tests {
         let prog = counter_class();
         let mut mem = Memory::new();
         // step before reset: state(c) is unbound.
-        let err = call_method(&prog, id("counter"), &mut mem, step_name(), &[CVal::int(1)])
-            .unwrap_err();
+        let err =
+            call_method(&prog, id("counter"), &mut mem, step_name(), &[CVal::int(1)]).unwrap_err();
         assert_eq!(err, ObcError::UnboundState(id("c")));
     }
 
@@ -344,8 +353,14 @@ mod tests {
         let prog = counter_class();
         let mut mem = Memory::new();
         call_method(&prog, id("counter"), &mut mem, reset_name(), &[]).unwrap();
-        let err = call_method(&prog, id("counter"), &mut mem, step_name(), &[CVal::float(1.0)])
-            .unwrap_err();
+        let err = call_method(
+            &prog,
+            id("counter"),
+            &mut mem,
+            step_name(),
+            &[CVal::float(1.0)],
+        )
+        .unwrap_err();
         assert!(matches!(err, ObcError::TypeError(_)));
     }
 }

@@ -160,7 +160,10 @@ pub fn translate_node<O: Ops>(node: &Node<O>) -> Result<Class<O>, ObcError> {
     for d in node.inputs.iter().chain(&node.outputs).chain(&node.locals) {
         types.insert(d.name, d.ty.clone());
     }
-    let ctx = Ctx::<O> { mems: mems.clone(), types };
+    let ctx = Ctx::<O> {
+        mems: mems.clone(),
+        types,
+    };
 
     let step_body = Stmt::seq_all(
         node.eqs
@@ -190,7 +193,11 @@ pub fn translate_node<O: Ops>(node: &Node<O>) -> Result<Class<O>, ObcError> {
     let step = Method {
         name: step_name(),
         inputs: node.inputs.iter().map(|d| (d.name, d.ty.clone())).collect(),
-        outputs: node.outputs.iter().map(|d| (d.name, d.ty.clone())).collect(),
+        outputs: node
+            .outputs
+            .iter()
+            .map(|d| (d.name, d.ty.clone()))
+            .collect(),
         locals: node
             .locals
             .iter()
@@ -247,7 +254,11 @@ mod tests {
     }
 
     fn decl(name: &str, ty: CTy) -> VarDecl<ClightOps> {
-        VarDecl { name: id(name), ty, ck: Clock::Base }
+        VarDecl {
+            name: id(name),
+            ty,
+            ck: Clock::Base,
+        }
     }
 
     fn ivar(x: &str) -> Expr<ClightOps> {
@@ -258,7 +269,11 @@ mod tests {
     fn counter() -> Node<ClightOps> {
         Node {
             name: id("counter"),
-            inputs: vec![decl("ini", CTy::I32), decl("inc", CTy::I32), decl("res", CTy::Bool)],
+            inputs: vec![
+                decl("ini", CTy::I32),
+                decl("inc", CTy::I32),
+                decl("res", CTy::Bool),
+            ],
             outputs: vec![decl("n", CTy::I32)],
             locals: vec![decl("c", CTy::I32), decl("f", CTy::Bool)],
             eqs: vec![
@@ -317,21 +332,12 @@ mod tests {
         let n = 6;
         let ini: Vec<SVal<ClightOps>> = (0..n).map(|_| SVal::Pres(CVal::int(7))).collect();
         let inc: Vec<SVal<ClightOps>> = (0..n).map(|i| SVal::Pres(CVal::int(i as i32))).collect();
-        let res: Vec<SVal<ClightOps>> = (0..n)
-            .map(|i| SVal::Pres(CVal::bool(i == 3)))
-            .collect();
+        let res: Vec<SVal<ClightOps>> = (0..n).map(|i| SVal::Pres(CVal::bool(i == 3))).collect();
         let inputs = vec![ini, inc, res];
         let df = dataflow::run_node(&prog, id("counter"), &inputs, n).unwrap();
 
         let obc_inputs: Vec<Option<Vec<CVal>>> = (0..n)
-            .map(|i| {
-                Some(
-                    inputs
-                        .iter()
-                        .map(|s| s[i].value().unwrap().clone())
-                        .collect(),
-                )
-            })
+            .map(|i| Some(inputs.iter().map(|s| *s[i].value().unwrap()).collect()))
             .collect();
         let outs = run_class(&obc, id("counter"), &obc_inputs).unwrap();
         for i in 0..n {
@@ -379,7 +385,11 @@ mod tests {
             name: id("guarded"),
             inputs: vec![decl("k", CTy::Bool), decl("x", CTy::I32)],
             outputs: vec![decl("o", CTy::I32)],
-            locals: vec![VarDecl { name: id("s"), ty: CTy::I32, ck: on_k.clone() }],
+            locals: vec![VarDecl {
+                name: id("s"),
+                ty: CTy::I32,
+                ck: on_k.clone(),
+            }],
             eqs: vec![
                 Equation::Def {
                     x: id("s"),

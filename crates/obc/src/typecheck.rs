@@ -46,7 +46,9 @@ fn expr_ty<O: Ops>(sc: &Scope<'_, O>, e: &ObcExpr<O>) -> Result<O::Ty, ObcError>
                 Some(t) => Err(ObcError::TypeError(format!(
                     "unop {op} annotated {ty}, inferred {t}"
                 ))),
-                None => Err(ObcError::TypeError(format!("unop {op} inapplicable to {t1}"))),
+                None => Err(ObcError::TypeError(format!(
+                    "unop {op} inapplicable to {t1}"
+                ))),
             }
         }
         ObcExpr::Binop(op, e1, e2, ty) => {
@@ -100,7 +102,13 @@ fn check_stmt<O: Ops>(sc: &Scope<'_, O>, s: &Stmt<O>) -> Result<(), ObcError> {
             check_stmt(sc, t)?;
             check_stmt(sc, f)
         }
-        Stmt::Call { results, class, instance, method, args } => {
+        Stmt::Call {
+            results,
+            class,
+            instance,
+            method,
+            args,
+        } => {
             match sc.class.instance_class(*instance) {
                 Some(c) if c == *class => {}
                 Some(c) => {
@@ -115,14 +123,15 @@ fn check_stmt<O: Ops>(sc: &Scope<'_, O>, s: &Stmt<O>) -> Result<(), ObcError> {
                     )))
                 }
             }
-            let callee = sc.prog.class(*class).ok_or(ObcError::UnknownClass(*class))?;
+            let callee = sc
+                .prog
+                .class(*class)
+                .ok_or(ObcError::UnknownClass(*class))?;
             let m = callee
                 .method(*method)
                 .ok_or(ObcError::UnknownMethod(*class, *method))?;
             if m.inputs.len() != args.len() || m.outputs.len() != results.len() {
-                return Err(ObcError::ArityMismatch(format!(
-                    "call to {class}.{method}"
-                )));
+                return Err(ObcError::ArityMismatch(format!("call to {class}.{method}")));
             }
             for (a, (px, pt)) in args.iter().zip(&m.inputs) {
                 let ta = expr_ty(sc, a)?;
@@ -163,7 +172,12 @@ fn check_method<O: Ops>(
         }
     }
     let mems: HashMap<Ident, O::Ty> = class.memories.iter().cloned().collect();
-    let sc = Scope { vars, mems, class, prog };
+    let sc = Scope {
+        vars,
+        mems,
+        class,
+        prog,
+    };
     check_stmt(&sc, &m.body)
 }
 
@@ -177,7 +191,10 @@ pub fn check_program<O: Ops>(prog: &ObcProgram<O>) -> Result<(), ObcError> {
     let mut seen: Vec<Ident> = Vec::new();
     for class in &prog.classes {
         if seen.contains(&class.name) {
-            return Err(ObcError::Malformed(format!("duplicate class {}", class.name)));
+            return Err(ObcError::Malformed(format!(
+                "duplicate class {}",
+                class.name
+            )));
         }
         for (i, c) in &class.instances {
             if !seen.contains(c) {
@@ -278,7 +295,11 @@ mod tests {
         // End-to-end: translate the counter node and check.
         use velus_nlustre::ast::{CExpr, Equation, Expr, Node, Program, VarDecl};
         use velus_nlustre::clock::Clock;
-        let decl = |n: &str, t: CTy| VarDecl::<ClightOps> { name: id(n), ty: t, ck: Clock::Base };
+        let decl = |n: &str, t: CTy| VarDecl::<ClightOps> {
+            name: id(n),
+            ty: t,
+            ck: Clock::Base,
+        };
         let node = Node {
             name: id("acc"),
             inputs: vec![decl("x", CTy::I32)],

@@ -73,7 +73,11 @@ fn int_arith(op: CBinOp, ty: CTy, a: i64, b: i64) -> Option<CVal> {
                     return None;
                 }
                 // Signed overflow (MIN / -1) is undefined at every width.
-                let min = if width == 64 { i64::MIN } else { -(1i64 << (width - 1)) };
+                let min = if width == 64 {
+                    i64::MIN
+                } else {
+                    -(1i64 << (width - 1))
+                };
                 if a == min && b == -1 {
                     return None;
                 }
@@ -83,7 +87,11 @@ fn int_arith(op: CBinOp, ty: CTy, a: i64, b: i64) -> Option<CVal> {
                     a % b
                 }
             } else {
-                let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+                let mask = if width == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << width) - 1
+                };
                 let ua = (a as u64) & mask;
                 let ub = (b as u64) & mask;
                 if ub == 0 {
@@ -113,7 +121,11 @@ fn int_cmp(op: CBinOp, ty: CTy, a: i64, b: i64) -> Option<bool> {
             _ => return None,
         })
     } else {
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let ua = (a as u64) & mask;
         let ub = (b as u64) & mask;
         Some(match op {
@@ -154,7 +166,10 @@ fn cast(v: &CVal, from: CTy, to: CTy) -> Option<CVal> {
                     let (lo, hi) = if width == 64 {
                         (i64::MIN as f64, i64::MAX as f64)
                     } else {
-                        (-((1i64 << (width - 1)) as f64), ((1i64 << (width - 1)) as f64) - 1.0)
+                        (
+                            -((1i64 << (width - 1)) as f64),
+                            ((1i64 << (width - 1)) as f64) - 1.0,
+                        )
                     };
                     if t < lo || t > hi {
                         return None;
@@ -162,7 +177,11 @@ fn cast(v: &CVal, from: CTy, to: CTy) -> Option<CVal> {
                     Some(normalize_int(to, t as i64))
                 } else {
                     let width = to.bit_width()?;
-                    let hi = if width == 64 { u64::MAX as f64 } else { ((1u64 << width) as f64) - 1.0 };
+                    let hi = if width == 64 {
+                        u64::MAX as f64
+                    } else {
+                        ((1u64 << width) as f64) - 1.0
+                    };
                     if t < 0.0 || t > hi {
                         return None;
                     }
@@ -475,11 +494,20 @@ mod tests {
     fn division_partiality() {
         let z = CVal::int(0);
         let x = CVal::int(7);
-        assert_eq!(ClightOps::sem_binop(CBinOp::Div, &x, &CTy::I32, &z, &CTy::I32), None);
-        assert_eq!(ClightOps::sem_binop(CBinOp::Mod, &x, &CTy::I32, &z, &CTy::I32), None);
+        assert_eq!(
+            ClightOps::sem_binop(CBinOp::Div, &x, &CTy::I32, &z, &CTy::I32),
+            None
+        );
+        assert_eq!(
+            ClightOps::sem_binop(CBinOp::Mod, &x, &CTy::I32, &z, &CTy::I32),
+            None
+        );
         let min = CVal::int(i32::MIN);
         let m1 = CVal::int(-1);
-        assert_eq!(ClightOps::sem_binop(CBinOp::Div, &min, &CTy::I32, &m1, &CTy::I32), None);
+        assert_eq!(
+            ClightOps::sem_binop(CBinOp::Div, &min, &CTy::I32, &m1, &CTy::I32),
+            None
+        );
     }
 
     #[test]
@@ -494,10 +522,16 @@ mod tests {
 
     #[test]
     fn mixed_types_are_rejected() {
-        assert_eq!(ClightOps::type_binop(CBinOp::Add, &CTy::I32, &CTy::I64), None);
+        assert_eq!(
+            ClightOps::type_binop(CBinOp::Add, &CTy::I32, &CTy::I64),
+            None
+        );
         let a = CVal::int(1);
         let b = CVal::long(1);
-        assert_eq!(ClightOps::sem_binop(CBinOp::Add, &a, &CTy::I32, &b, &CTy::I64), None);
+        assert_eq!(
+            ClightOps::sem_binop(CBinOp::Add, &a, &CTy::I32, &b, &CTy::I64),
+            None
+        );
     }
 
     #[test]
@@ -543,7 +577,10 @@ mod tests {
             ClightOps::elab_binop(SurfaceBinOp::Add, &CTy::I32, &CTy::I32),
             Some((CBinOp::Add, CTy::I32))
         );
-        assert_eq!(ClightOps::elab_binop(SurfaceBinOp::And, &CTy::I32, &CTy::I32), None);
+        assert_eq!(
+            ClightOps::elab_binop(SurfaceBinOp::And, &CTy::I32, &CTy::I32),
+            None
+        );
         assert_eq!(
             ClightOps::elab_binop(SurfaceBinOp::Lt, &CTy::F64, &CTy::F64),
             Some((CBinOp::Lt, CTy::Bool))

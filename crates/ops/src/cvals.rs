@@ -422,7 +422,11 @@ impl CConst {
 impl fmt::Display for CConst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.ty == CTy::Bool {
-            f.write_str(if self.val == CVal::TRUE { "true" } else { "false" })
+            f.write_str(if self.val == CVal::TRUE {
+                "true"
+            } else {
+                "false"
+            })
         } else {
             write!(f, "{}", self.val)
         }
@@ -448,7 +452,10 @@ mod tests {
     fn normalization_wraps() {
         assert_eq!(normalize_int(CTy::I8, 130), CVal::Int(-126));
         assert_eq!(normalize_int(CTy::U8, 260), CVal::Int(4));
-        assert_eq!(normalize_int(CTy::I32, i64::from(i32::MAX) + 1), CVal::Int(i32::MIN));
+        assert_eq!(
+            normalize_int(CTy::I32, i64::from(i32::MAX) + 1),
+            CVal::Int(i32::MIN)
+        );
         assert_eq!(normalize_int(CTy::Bool, 42), CVal::Int(1));
     }
 

@@ -184,9 +184,15 @@ impl Ops for I64Ops {
         _ty2: &ToyTy,
     ) -> Option<ToyVal> {
         match (op, v1, v2) {
-            (ToyBinOp::Add, ToyVal::Int(a), ToyVal::Int(b)) => Some(ToyVal::Int(a.wrapping_add(*b))),
-            (ToyBinOp::Sub, ToyVal::Int(a), ToyVal::Int(b)) => Some(ToyVal::Int(a.wrapping_sub(*b))),
-            (ToyBinOp::Mul, ToyVal::Int(a), ToyVal::Int(b)) => Some(ToyVal::Int(a.wrapping_mul(*b))),
+            (ToyBinOp::Add, ToyVal::Int(a), ToyVal::Int(b)) => {
+                Some(ToyVal::Int(a.wrapping_add(*b)))
+            }
+            (ToyBinOp::Sub, ToyVal::Int(a), ToyVal::Int(b)) => {
+                Some(ToyVal::Int(a.wrapping_sub(*b)))
+            }
+            (ToyBinOp::Mul, ToyVal::Int(a), ToyVal::Int(b)) => {
+                Some(ToyVal::Int(a.wrapping_mul(*b)))
+            }
             (ToyBinOp::Div, ToyVal::Int(a), ToyVal::Int(b)) => {
                 if *b == 0 || (*a == i64::MIN && *b == -1) {
                     None
@@ -263,15 +269,24 @@ mod tests {
     #[test]
     fn interface_laws_hold() {
         assert_ne!(I64Ops::true_val(), I64Ops::false_val());
-        assert!(I64Ops::well_typed(&I64Ops::true_val(), &I64Ops::bool_type()));
+        assert!(I64Ops::well_typed(
+            &I64Ops::true_val(),
+            &I64Ops::bool_type()
+        ));
         let c = ToyVal::Int(42);
-        assert!(I64Ops::well_typed(&I64Ops::sem_const(&c), &I64Ops::type_of_const(&c)));
+        assert!(I64Ops::well_typed(
+            &I64Ops::sem_const(&c),
+            &I64Ops::type_of_const(&c)
+        ));
     }
 
     #[test]
     fn division_by_zero_is_undefined() {
         let a = ToyVal::Int(1);
         let z = ToyVal::Int(0);
-        assert_eq!(I64Ops::sem_binop(ToyBinOp::Div, &a, &ToyTy::Int, &z, &ToyTy::Int), None);
+        assert_eq!(
+            I64Ops::sem_binop(ToyBinOp::Div, &a, &ToyTy::Int, &z, &ToyTy::Int),
+            None
+        );
     }
 }

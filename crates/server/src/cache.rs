@@ -1,0 +1,221 @@
+//! The content-addressed artifact cache.
+//!
+//! Keys are a 128-bit FNV-1a digest of the request's *content* — source
+//! text, root selection, and artifact options. Equal content therefore
+//! maps to the same artifact regardless of the request's label, and a
+//! warm hit returns the identical `Arc` so emitted code is bit-for-bit
+//! the artifact produced by the cold compilation.
+//!
+//! FNV-1a is fast but not collision-resistant, so every entry keeps the
+//! content it was stored under and a lookup **verifies the content on
+//! hit**: a digest collision degrades to a miss (and a recompile), never
+//! to serving another program's artifact.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::{CompileOptions, CompileRequest};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new(offset: u64) -> Fnv {
+        Fnv(offset)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// A 128-bit content digest identifying a compilation input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CacheKey {
+    /// Digests a request's content (source, root, options). The `name`
+    /// label is deliberately excluded: two files with equal content share
+    /// one cache entry.
+    pub fn of_request(req: &CompileRequest) -> CacheKey {
+        // Two independent FNV streams (different offset bases, one with a
+        // domain tag) give a 128-bit key; fields are length-prefixed so
+        // concatenations cannot collide.
+        let mut a = Fnv::new(FNV_OFFSET);
+        let mut b = Fnv::new(FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15);
+        b.write(b"velus-cache-v1");
+        for fnv in [&mut a, &mut b] {
+            let mut field = |bytes: &[u8]| {
+                fnv.write(&(bytes.len() as u64).to_le_bytes());
+                fnv.write(bytes);
+            };
+            field(req.source.as_bytes());
+            field(req.root.as_deref().unwrap_or("").as_bytes());
+            field(&[req.root.is_some() as u8, (req.options.io as u8)]);
+        }
+        CacheKey { hi: a.0, lo: b.0 }
+    }
+
+    /// A short hex rendering for logs.
+    pub fn short(&self) -> String {
+        format!("{:08x}", self.hi >> 32)
+    }
+}
+
+/// The content an entry was stored under, kept for hit verification.
+struct StoredContent {
+    source: String,
+    root: Option<String>,
+    options: CompileOptions,
+}
+
+impl StoredContent {
+    fn of_request(req: &CompileRequest) -> StoredContent {
+        StoredContent {
+            source: req.source.clone(),
+            root: req.root.clone(),
+            options: req.options,
+        }
+    }
+
+    fn matches(&self, req: &CompileRequest) -> bool {
+        self.source == req.source && self.root == req.root && self.options == req.options
+    }
+}
+
+/// A thread-safe memo table from request content to shared artifacts.
+/// (Hit/miss accounting lives in the service's `StatsCollector`, not
+/// here — one set of counters, one source of truth.)
+pub struct ArtifactCache<A> {
+    map: Mutex<HashMap<CacheKey, (StoredContent, Arc<A>)>>,
+}
+
+impl<A> Default for ArtifactCache<A> {
+    fn default() -> ArtifactCache<A> {
+        ArtifactCache::new()
+    }
+}
+
+impl<A> ArtifactCache<A> {
+    /// An empty cache.
+    pub fn new() -> ArtifactCache<A> {
+        ArtifactCache {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Looks up the artifact for a request's content. The stored content
+    /// is compared on digest match, so a hash collision is a miss, never
+    /// a wrong artifact.
+    pub fn get(&self, key: &CacheKey, req: &CompileRequest) -> Option<Arc<A>> {
+        let map = self.map.lock().expect("cache lock");
+        match map.get(key) {
+            Some((stored, artifact)) if stored.matches(req) => Some(Arc::clone(artifact)),
+            _ => None,
+        }
+    }
+
+    /// Inserts an artifact and returns the shared handle. If another
+    /// worker raced the same content, the *first* insertion wins and is
+    /// returned — artifacts are deterministic functions of the content,
+    /// so either copy is equivalent; keeping the first maximizes sharing.
+    pub fn insert(&self, key: CacheKey, req: &CompileRequest, artifact: A) -> Arc<A> {
+        let mut map = self.map.lock().expect("cache lock");
+        match map.get(&key) {
+            Some((stored, shared)) if stored.matches(req) => Arc::clone(shared),
+            // Digest collision with different content: keep the incumbent
+            // (its requests still verify) and serve this artifact uncached.
+            Some(_) => Arc::new(artifact),
+            None => {
+                let shared = Arc::new(artifact);
+                map.insert(key, (StoredContent::of_request(req), Arc::clone(&shared)));
+                shared
+            }
+        }
+    }
+
+    /// Number of distinct artifacts held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IoMode;
+
+    fn req(source: &str) -> CompileRequest {
+        CompileRequest::new("r", source)
+    }
+
+    #[test]
+    fn key_depends_on_content_not_name() {
+        let a = CacheKey::of_request(&CompileRequest::new("a", "node f() ..."));
+        let b = CacheKey::of_request(&CompileRequest::new("b", "node f() ..."));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn key_distinguishes_source_root_and_options() {
+        let base = req("src");
+        let k = CacheKey::of_request(&base);
+        assert_ne!(k, CacheKey::of_request(&req("src2")));
+        assert_ne!(k, CacheKey::of_request(&base.clone().with_root("main")));
+        assert_ne!(
+            k,
+            CacheKey::of_request(
+                &base
+                    .clone()
+                    .with_options(CompileOptions { io: IoMode::Stdio })
+            )
+        );
+        // Explicit empty root differs from no root (length prefixing).
+        assert_ne!(k, CacheKey::of_request(&base.clone().with_root("")));
+    }
+
+    #[test]
+    fn get_round_trips_and_verifies_content() {
+        let cache: ArtifactCache<String> = ArtifactCache::new();
+        let r = req("x");
+        let k = CacheKey::of_request(&r);
+        assert!(cache.get(&k, &r).is_none());
+        cache.insert(k, &r, "artifact".to_owned());
+        assert_eq!(cache.get(&k, &r).as_deref(), Some(&"artifact".to_owned()));
+        assert_eq!(cache.len(), 1);
+        // A *forged* lookup with the right digest but different content
+        // is a miss, not a wrong artifact.
+        let other = req("y");
+        assert!(cache.get(&k, &other).is_none());
+    }
+
+    #[test]
+    fn racing_insert_keeps_the_first_artifact() {
+        let cache: ArtifactCache<String> = ArtifactCache::new();
+        let r = req("x");
+        let k = CacheKey::of_request(&r);
+        let first = cache.insert(k, &r, "one".to_owned());
+        let second = cache.insert(k, &r, "two".to_owned());
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*second, "one");
+    }
+}

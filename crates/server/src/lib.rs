@@ -1,0 +1,200 @@
+//! The batch compilation service: a worker pool with a content-addressed
+//! artifact cache in front of a (pluggable) compiler.
+//!
+//! The PLDI'17 pipeline is validated at every stage, which makes a single
+//! compilation expensive; serving many compilation requests means
+//! amortizing that cost. This crate provides the serving substrate:
+//!
+//! * [`CompileService`] — accepts batches of [`CompileRequest`]s and runs
+//!   them on a [`pool::WorkerPool`], in parallel, with panic isolation
+//!   per request;
+//! * [`cache::ArtifactCache`] — a content-addressed memo table keyed by
+//!   `(source hash, root, options)`: a warm hit skips the whole pipeline
+//!   and returns the identical artifact;
+//! * [`stats::StatsSnapshot`] — requests, hit/miss counts, and p50/p95
+//!   latency per pipeline stage, for capacity planning.
+//!
+//! The crate is deliberately generic over the [`Compiler`]: it knows
+//! nothing about Lustre. The `velus` crate instantiates it with the real
+//! pipeline (`velus::service`), keeping the dependency arrow pointing
+//! from the driver to the substrate so later scaling work (sharding,
+//! async, multi-backend) can build on this layer without cycles.
+//!
+//! ```
+//! use velus_server::{Compiler, CompileRequest, CompileService, ServiceConfig, StageSample};
+//!
+//! struct Upper;
+//! impl Compiler for Upper {
+//!     type Artifact = String;
+//!     type Error = String;
+//!     fn compile(&self, req: &CompileRequest)
+//!         -> Result<(String, Vec<StageSample>), String>
+//!     {
+//!         Ok((req.source.to_uppercase(), Vec::new()))
+//!     }
+//! }
+//!
+//! let service = CompileService::new(Upper, ServiceConfig { workers: 2, ..Default::default() });
+//! let batch = service.compile_batch(vec![CompileRequest::new("a", "x"), CompileRequest::new("b", "y")]);
+//! assert_eq!(batch.ok_count(), 2);
+//! let again = service.compile_batch(vec![CompileRequest::new("a", "x")]);
+//! assert!(again.items[0].cache_hit);
+//! ```
+
+pub mod cache;
+pub mod pool;
+pub mod service;
+pub mod stats;
+
+pub use cache::{ArtifactCache, CacheKey};
+pub use pool::WorkerPool;
+pub use service::{BatchReport, CompileService, RequestReport, ServiceConfig, ServiceError};
+pub use stats::{StageLatency, StatsSnapshot};
+
+/// How the artifact's I/O boundary is rendered (the Vélus instantiation
+/// maps this to the volatile-I/O vs. stdio test-mode `main`). Part of the
+/// cache key: different modes emit different code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IoMode {
+    /// The correctness statement's view: volatile loads and stores.
+    #[default]
+    Volatile,
+    /// The paper's scanf/printf test harness.
+    Stdio,
+}
+
+/// Options that affect the produced artifact (and therefore the cache
+/// key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CompileOptions {
+    /// I/O rendering of the emitted code.
+    pub io: IoMode,
+}
+
+/// One compilation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileRequest {
+    /// A label for reporting (e.g. the file stem); not part of the cache
+    /// key.
+    pub name: String,
+    /// The full source text.
+    pub source: String,
+    /// The root node to compile for; `None` selects the program's sink.
+    pub root: Option<String>,
+    /// Artifact options.
+    pub options: CompileOptions,
+}
+
+impl CompileRequest {
+    /// A request with default options and no explicit root.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> CompileRequest {
+        CompileRequest {
+            name: name.into(),
+            source: source.into(),
+            root: None,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// Sets the root node.
+    #[must_use]
+    pub fn with_root(mut self, root: impl Into<String>) -> CompileRequest {
+        self.root = Some(root.into());
+        self
+    }
+
+    /// Sets the artifact options.
+    #[must_use]
+    pub fn with_options(mut self, options: CompileOptions) -> CompileRequest {
+        self.options = options;
+        self
+    }
+}
+
+/// The pipeline stages the service accounts for. The Vélus instantiation
+/// reports one sample per stage per (uncached) compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Parsing, elaboration, normalization to N-Lustre.
+    Frontend,
+    /// Re-checking the elaborator's postconditions (types, clocks).
+    Check,
+    /// Scheduling plus the validated schedule check.
+    Schedule,
+    /// Translation to Obc plus its typing/Fusible checks.
+    Translate,
+    /// The fusion optimization plus its preservation checks.
+    Fuse,
+    /// Clight generation.
+    Generate,
+    /// Printing the C translation unit.
+    Emit,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Frontend,
+        Stage::Check,
+        Stage::Schedule,
+        Stage::Translate,
+        Stage::Fuse,
+        Stage::Generate,
+        Stage::Emit,
+    ];
+
+    /// A short stable name for tables and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Frontend => "frontend",
+            Stage::Check => "check",
+            Stage::Schedule => "schedule",
+            Stage::Translate => "translate",
+            Stage::Fuse => "fuse",
+            Stage::Generate => "generate",
+            Stage::Emit => "emit",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        Stage::ALL
+            .iter()
+            .position(|s| *s == self)
+            .expect("stage in ALL")
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One timed stage of one compilation.
+#[derive(Debug, Clone, Copy)]
+pub struct StageSample {
+    /// Which stage.
+    pub stage: Stage,
+    /// Wall-clock nanoseconds spent.
+    pub nanos: u64,
+}
+
+/// The compiler the service drives. Implementations must be callable
+/// from many worker threads at once.
+pub trait Compiler: Send + Sync + 'static {
+    /// What a successful compilation produces (cached and shared).
+    type Artifact: Send + Sync + 'static;
+    /// The error type of a failed compilation.
+    type Error: Send + std::fmt::Display + 'static;
+
+    /// Compiles one request, reporting per-stage timings.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation failure; the service maps it to
+    /// [`ServiceError::Compile`] without disturbing other requests.
+    fn compile(
+        &self,
+        req: &CompileRequest,
+    ) -> Result<(Self::Artifact, Vec<StageSample>), Self::Error>;
+}

@@ -1,0 +1,454 @@
+//! The compilation service proper: cache lookup, worker-pool dispatch,
+//! panic containment, and statistics.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use crate::cache::{ArtifactCache, CacheKey};
+use crate::pool::WorkerPool;
+use crate::stats::{StatsCollector, StatsSnapshot};
+use crate::{CompileRequest, Compiler};
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Whether the artifact cache is consulted and filled.
+    pub caching: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            caching: true,
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ServiceError<E> {
+    /// The compiler reported an error (the usual case: bad input).
+    Compile(E),
+    /// The compiler panicked; the panic was contained to this request.
+    Panic(String),
+    /// The worker executing the request disappeared before reporting
+    /// (should not happen; a defensive placeholder, never silent).
+    Lost,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ServiceError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Compile(e) => write!(f, "{e}"),
+            ServiceError::Panic(msg) => write!(f, "compiler panicked: {msg}"),
+            ServiceError::Lost => f.write_str("request lost by the worker pool"),
+        }
+    }
+}
+
+/// The outcome of one request within a batch.
+pub struct RequestReport<C: Compiler> {
+    /// The request's label.
+    pub name: String,
+    /// The shared artifact, or the failure.
+    pub result: Result<Arc<C::Artifact>, ServiceError<C::Error>>,
+    /// Whether the artifact came from the cache.
+    pub cache_hit: bool,
+    /// End-to-end latency of this request (queueing excluded; measured
+    /// from when a worker picks it up).
+    pub latency: Duration,
+}
+
+/// The outcome of a whole batch, in request order.
+pub struct BatchReport<C: Compiler> {
+    /// Per-request reports, positionally matching the submitted batch.
+    pub items: Vec<RequestReport<C>>,
+    /// Wall-clock time for the batch.
+    pub wall: Duration,
+}
+
+impl<C: Compiler> BatchReport<C> {
+    /// Number of successful requests.
+    pub fn ok_count(&self) -> usize {
+        self.items.iter().filter(|r| r.result.is_ok()).count()
+    }
+
+    /// Number of failed requests.
+    pub fn err_count(&self) -> usize {
+        self.items.len() - self.ok_count()
+    }
+
+    /// Number of requests served from the cache.
+    pub fn hit_count(&self) -> usize {
+        self.items.iter().filter(|r| r.cache_hit).count()
+    }
+
+    /// Requests per second over the batch wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.items.len() as f64 / secs
+        }
+    }
+}
+
+/// A parallel, cache-backed batch compilation service over any
+/// [`Compiler`]. See the crate docs for the architecture.
+pub struct CompileService<C: Compiler> {
+    compiler: Arc<C>,
+    cache: Arc<ArtifactCache<C::Artifact>>,
+    caching: bool,
+    pool: WorkerPool,
+    stats: Arc<StatsCollector>,
+    in_flight: Arc<AtomicU64>,
+}
+
+impl<C: Compiler> CompileService<C> {
+    /// Builds a service with its own worker pool and empty cache.
+    pub fn new(compiler: C, config: ServiceConfig) -> CompileService<C> {
+        CompileService {
+            compiler: Arc::new(compiler),
+            cache: Arc::new(ArtifactCache::new()),
+            caching: config.caching,
+            pool: WorkerPool::new(config.workers),
+            stats: Arc::new(StatsCollector::new()),
+            in_flight: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.pool.worker_count()
+    }
+
+    /// Number of distinct artifacts cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Requests currently being compiled (approximate, for monitoring).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Drops every cached artifact (for benchmarking cold paths).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Compiles one request on the calling thread (same cache and
+    /// accounting as a batch).
+    pub fn compile_one(&self, req: CompileRequest) -> RequestReport<C> {
+        run_request(
+            self.compiler.as_ref(),
+            &self.cache,
+            self.caching,
+            &self.stats,
+            &self.in_flight,
+            req,
+        )
+    }
+
+    /// Compiles a batch on the worker pool and reports per-request
+    /// outcomes **in request order** (output order does not depend on
+    /// worker count or scheduling).
+    pub fn compile_batch(&self, reqs: Vec<CompileRequest>) -> BatchReport<C> {
+        let start = Instant::now();
+        let n = reqs.len();
+        let (tx, rx) = mpsc::channel::<(usize, RequestReport<C>)>();
+        for (index, req) in reqs.into_iter().enumerate() {
+            let tx = tx.clone();
+            let compiler = Arc::clone(&self.compiler);
+            let cache = Arc::clone(&self.cache);
+            let stats = Arc::clone(&self.stats);
+            let in_flight = Arc::clone(&self.in_flight);
+            let caching = self.caching;
+            self.pool.execute(move || {
+                let report =
+                    run_request(compiler.as_ref(), &cache, caching, &stats, &in_flight, req);
+                // The receiver outlives the batch; a send failure means
+                // the batch was abandoned, which compile_batch never does.
+                let _ = tx.send((index, report));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<RequestReport<C>>> = (0..n).map(|_| None).collect();
+        for (index, report) in rx {
+            slots[index] = Some(report);
+        }
+        let items = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| RequestReport {
+                    name: format!("request-{i}"),
+                    result: Err(ServiceError::Lost),
+                    cache_hit: false,
+                    latency: Duration::ZERO,
+                })
+            })
+            .collect();
+        BatchReport {
+            items,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+/// The per-request path: cache probe, guarded compile, cache fill,
+/// accounting. Runs on a worker (batch) or the caller (`compile_one`).
+fn run_request<C: Compiler>(
+    compiler: &C,
+    cache: &ArtifactCache<C::Artifact>,
+    caching: bool,
+    stats: &StatsCollector,
+    in_flight: &AtomicU64,
+    req: CompileRequest,
+) -> RequestReport<C> {
+    let start = Instant::now();
+    stats.record_request();
+    in_flight.fetch_add(1, Ordering::Relaxed);
+    let key = CacheKey::of_request(&req);
+
+    let (result, cache_hit) = if caching {
+        match cache.get(&key, &req) {
+            Some(artifact) => {
+                stats.record_hit();
+                (Ok(artifact), true)
+            }
+            None => {
+                stats.record_miss();
+                (
+                    compile_guarded(compiler, cache, caching, stats, &req, key),
+                    false,
+                )
+            }
+        }
+    } else {
+        stats.record_miss();
+        (
+            compile_guarded(compiler, cache, caching, stats, &req, key),
+            false,
+        )
+    };
+
+    // Compile errors and panics are disjoint counters (a panicking
+    // request counts only under `panics`, recorded in compile_guarded).
+    if matches!(result, Err(ServiceError::Compile(_))) {
+        stats.record_error();
+    }
+    let latency = start.elapsed();
+    stats.record_latency(latency.as_nanos() as u64);
+    in_flight.fetch_sub(1, Ordering::Relaxed);
+    RequestReport {
+        name: req.name,
+        result,
+        cache_hit,
+        latency,
+    }
+}
+
+fn compile_guarded<C: Compiler>(
+    compiler: &C,
+    cache: &ArtifactCache<C::Artifact>,
+    caching: bool,
+    stats: &StatsCollector,
+    req: &CompileRequest,
+    key: CacheKey,
+) -> Result<Arc<C::Artifact>, ServiceError<C::Error>> {
+    match catch_unwind(AssertUnwindSafe(|| compiler.compile(req))) {
+        Ok(Ok((artifact, samples))) => {
+            stats.record_stages(&samples);
+            let shared = if caching {
+                cache.insert(key, req, artifact)
+            } else {
+                Arc::new(artifact)
+            };
+            Ok(shared)
+        }
+        Ok(Err(e)) => Err(ServiceError::Compile(e)),
+        Err(panic) => {
+            stats.record_panic();
+            Err(ServiceError::Panic(panic_message(panic.as_ref())))
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StageSample;
+
+    /// A toy compiler: uppercases the source; `source == "BOOM"` panics,
+    /// `source == "ERR"` errors, and each compile counts its invocations
+    /// so cache hits are observable as *absent* invocations.
+    struct Toy {
+        calls: AtomicU64,
+    }
+
+    impl Toy {
+        fn new() -> Toy {
+            Toy {
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Compiler for Toy {
+        type Artifact = String;
+        type Error = String;
+
+        fn compile(&self, req: &CompileRequest) -> Result<(String, Vec<StageSample>), String> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            match req.source.as_str() {
+                "BOOM" => panic!("toy compiler exploded"),
+                "ERR" => Err("toy compile error".to_owned()),
+                src => Ok((
+                    src.to_uppercase(),
+                    vec![StageSample {
+                        stage: crate::Stage::Frontend,
+                        nanos: 5,
+                    }],
+                )),
+            }
+        }
+    }
+
+    fn service(workers: usize) -> CompileService<Toy> {
+        CompileService::new(
+            Toy::new(),
+            ServiceConfig {
+                workers,
+                caching: true,
+            },
+        )
+    }
+
+    #[test]
+    fn batch_results_are_in_request_order() {
+        let svc = service(4);
+        let reqs: Vec<CompileRequest> = (0..32)
+            .map(|i| CompileRequest::new(format!("r{i}"), format!("src{i}")))
+            .collect();
+        let batch = svc.compile_batch(reqs);
+        assert_eq!(batch.ok_count(), 32);
+        for (i, item) in batch.items.iter().enumerate() {
+            assert_eq!(item.name, format!("r{i}"));
+            assert_eq!(**item.result.as_ref().unwrap(), format!("SRC{i}"));
+        }
+    }
+
+    #[test]
+    fn warm_requests_hit_the_cache_and_skip_the_compiler() {
+        let svc = service(2);
+        let reqs: Vec<CompileRequest> = (0..8)
+            .map(|i| CompileRequest::new(format!("r{i}"), format!("s{i}")))
+            .collect();
+        let cold = svc.compile_batch(reqs.clone());
+        assert_eq!(cold.hit_count(), 0);
+        let calls_after_cold = svc.compiler.calls.load(Ordering::SeqCst);
+        let warm = svc.compile_batch(reqs);
+        assert_eq!(warm.hit_count(), 8);
+        // The compiler ran zero additional times: the pipeline was skipped.
+        assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), calls_after_cold);
+        // And the artifacts are the identical allocations.
+        for (a, b) in cold.items.iter().zip(&warm.items) {
+            assert!(Arc::ptr_eq(
+                a.result.as_ref().unwrap(),
+                b.result.as_ref().unwrap()
+            ));
+        }
+        let stats = svc.stats();
+        assert_eq!(
+            (stats.requests, stats.cache_hits, stats.cache_misses),
+            (16, 8, 8)
+        );
+    }
+
+    #[test]
+    fn equal_content_under_different_names_shares_one_artifact() {
+        let svc = service(2);
+        let batch = svc.compile_batch(vec![
+            CompileRequest::new("a", "same"),
+            CompileRequest::new("b", "same"),
+        ]);
+        assert_eq!(batch.ok_count(), 2);
+        assert_eq!(svc.cache_len(), 1);
+    }
+
+    #[test]
+    fn errors_and_panics_are_contained_per_request() {
+        let svc = service(2);
+        let batch = svc.compile_batch(vec![
+            CompileRequest::new("good1", "alpha"),
+            CompileRequest::new("bad", "ERR"),
+            CompileRequest::new("ugly", "BOOM"),
+            CompileRequest::new("good2", "beta"),
+        ]);
+        assert_eq!(batch.ok_count(), 2);
+        assert!(matches!(
+            batch.items[1].result,
+            Err(ServiceError::Compile(_))
+        ));
+        match &batch.items[2].result {
+            Err(ServiceError::Panic(msg)) => assert!(msg.contains("exploded"), "{msg}"),
+            other => panic!("expected a contained panic, got {:?}", other.is_ok()),
+        }
+        // The pool survives and serves subsequent batches.
+        let after = svc.compile_batch(vec![CompileRequest::new("again", "gamma")]);
+        assert_eq!(after.ok_count(), 1);
+        // Errors and panics are disjoint counters: 1 compile error, 1
+        // contained panic.
+        let stats = svc.stats();
+        assert_eq!((stats.errors, stats.panics), (1, 1));
+    }
+
+    #[test]
+    fn caching_can_be_disabled() {
+        let svc = CompileService::new(
+            Toy::new(),
+            ServiceConfig {
+                workers: 1,
+                caching: false,
+            },
+        );
+        let req = CompileRequest::new("r", "x");
+        svc.compile_one(req.clone());
+        let report = svc.compile_one(req);
+        assert!(!report.cache_hit);
+        assert_eq!(svc.cache_len(), 0);
+        assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_stage_samples() {
+        let svc = service(1);
+        svc.compile_one(CompileRequest::new("r", "x"));
+        let stats = svc.stats();
+        let frontend = &stats.stages[crate::Stage::Frontend.index()];
+        assert_eq!(frontend.count, 1);
+        assert_eq!(frontend.p50_nanos, 5);
+    }
+}

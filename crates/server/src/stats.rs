@@ -1,0 +1,285 @@
+//! Service statistics: request/hit/miss/error counters and latency
+//! distributions, per pipeline stage and per request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{Stage, StageSample};
+
+/// Cap on retained latency samples per distribution. Past the cap the
+/// recorder degrades to a sliding window (oldest samples overwritten),
+/// so memory stays bounded and `snapshot` stays cheap under sustained
+/// traffic; counts and totals keep accumulating exactly.
+const SAMPLE_CAP: usize = 4096;
+
+/// A bounded latency recorder: exact count/total, plus a ring of the
+/// most recent [`SAMPLE_CAP`] samples for percentile estimation.
+#[derive(Default)]
+struct Reservoir {
+    samples: Vec<u64>,
+    next: usize,
+    count: u64,
+    total: u64,
+}
+
+impl Reservoir {
+    fn record(&mut self, nanos: u64) {
+        self.count += 1;
+        self.total += nanos;
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(nanos);
+        } else {
+            self.samples[self.next] = nanos;
+            self.next = (self.next + 1) % SAMPLE_CAP;
+        }
+    }
+
+    fn percentiles(&self) -> (u64, u64) {
+        let mut ns = self.samples.clone();
+        ns.sort_unstable();
+        (percentile(&ns, 50), percentile(&ns, 95))
+    }
+}
+
+/// Nearest-rank percentile of a **sorted** sample set; 0 on empty input.
+pub fn percentile(sorted: &[u64], pct: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let pct = pct.min(100) as usize;
+    // Nearest-rank: the smallest value with at least pct% of samples at
+    // or below it.
+    let rank = (pct * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// Internal collector shared by service handles and worker closures.
+#[derive(Default)]
+pub(crate) struct StatsCollector {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+    stage_ns: Mutex<[Reservoir; Stage::ALL.len()]>,
+    request_ns: Mutex<Reservoir>,
+}
+
+impl StatsCollector {
+    pub(crate) fn new() -> StatsCollector {
+        StatsCollector::default()
+    }
+
+    pub(crate) fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stages(&self, samples: &[StageSample]) {
+        let mut per_stage = self.stage_ns.lock().expect("stats lock");
+        for s in samples {
+            per_stage[s.stage.index()].record(s.nanos);
+        }
+    }
+
+    pub(crate) fn record_latency(&self, nanos: u64) {
+        self.request_ns.lock().expect("stats lock").record(nanos);
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let stages = {
+            let per_stage = self.stage_ns.lock().expect("stats lock");
+            Stage::ALL
+                .iter()
+                .map(|stage| {
+                    let r = &per_stage[stage.index()];
+                    let (p50_nanos, p95_nanos) = r.percentiles();
+                    StageLatency {
+                        stage: *stage,
+                        count: r.count,
+                        p50_nanos,
+                        p95_nanos,
+                        total_nanos: r.total,
+                    }
+                })
+                .collect()
+        };
+        let (request_p50_nanos, request_p95_nanos) =
+            self.request_ns.lock().expect("stats lock").percentiles();
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            stages,
+            request_p50_nanos,
+            request_p95_nanos,
+        }
+    }
+}
+
+/// Latency distribution of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Which stage.
+    pub stage: Stage,
+    /// Number of (uncached) compilations sampled.
+    pub count: u64,
+    /// Median stage latency in nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th-percentile stage latency in nanoseconds.
+    pub p95_nanos: u64,
+    /// Total nanoseconds spent in the stage.
+    pub total_nanos: u64,
+}
+
+/// A point-in-time view of the service counters and latencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests accepted (hits + misses).
+    pub requests: u64,
+    /// Requests answered from the artifact cache.
+    pub cache_hits: u64,
+    /// Requests that ran the pipeline.
+    pub cache_misses: u64,
+    /// Requests that failed with a compile error (panics are counted
+    /// separately in `panics`, never here).
+    pub errors: u64,
+    /// Requests whose compilation panicked (contained).
+    pub panics: u64,
+    /// Per-stage latency distributions (pipeline order). Percentiles are
+    /// computed over a sliding window of recent samples (memory-bounded);
+    /// `count` and `total_nanos` are exact.
+    pub stages: Vec<StageLatency>,
+    /// Median end-to-end request latency in nanoseconds.
+    pub request_p50_nanos: u64,
+    /// 95th-percentile end-to-end request latency in nanoseconds.
+    pub request_p95_nanos: u64,
+}
+
+impl StatsSnapshot {
+    /// Cache hit ratio in `[0, 1]`; 0 when no requests were served.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+fn fmt_nanos(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    /// Renders an aligned plain-text table (the `velus batch` CLI and
+    /// the service bench print this verbatim).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests {}  hits {}  misses {}  errors {}  panics {}  hit-ratio {:.0}%",
+            self.requests,
+            self.cache_hits,
+            self.cache_misses,
+            self.errors,
+            self.panics,
+            self.hit_ratio() * 100.0
+        )?;
+        writeln!(
+            f,
+            "request latency: p50 {}  p95 {}",
+            fmt_nanos(self.request_p50_nanos),
+            fmt_nanos(self.request_p95_nanos)
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>8} {:>12} {:>12} {:>12}",
+            "stage", "count", "p50", "p95", "total"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "{:<12} {:>8} {:>12} {:>12} {:>12}",
+                s.stage.name(),
+                s.count,
+                fmt_nanos(s.p50_nanos),
+                fmt_nanos(s.p95_nanos),
+                fmt_nanos(s.total_nanos)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 50), 50);
+        assert_eq!(percentile(&xs, 95), 95);
+        assert_eq!(percentile(&xs, 100), 100);
+        assert_eq!(percentile(&xs, 0), 1);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 95), 7);
+        assert_eq!(percentile(&[1, 2], 50), 1);
+        assert_eq!(percentile(&[1, 2], 95), 2);
+    }
+
+    #[test]
+    fn snapshot_collects_stage_samples() {
+        let c = StatsCollector::new();
+        c.record_request();
+        c.record_miss();
+        c.record_stages(&[
+            StageSample {
+                stage: Stage::Frontend,
+                nanos: 100,
+            },
+            StageSample {
+                stage: Stage::Emit,
+                nanos: 10,
+            },
+        ]);
+        c.record_latency(110);
+        let snap = c.snapshot();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.cache_misses, 1);
+        let frontend = &snap.stages[Stage::Frontend.index()];
+        assert_eq!((frontend.count, frontend.p50_nanos), (1, 100));
+        assert_eq!(snap.request_p50_nanos, 110);
+        // The table renders every stage row.
+        let rendered = snap.to_string();
+        for stage in Stage::ALL {
+            assert!(rendered.contains(stage.name()), "{rendered}");
+        }
+    }
+}

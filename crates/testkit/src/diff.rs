@@ -70,8 +70,10 @@ mod tests {
 
     #[test]
     fn first_divergence_is_located() {
-        let a: StreamSet<ClightOps> = vec![vec![SVal::Pres(CVal::int(1)), SVal::Pres(CVal::int(2))]];
-        let b: StreamSet<ClightOps> = vec![vec![SVal::Pres(CVal::int(1)), SVal::Pres(CVal::int(3))]];
+        let a: StreamSet<ClightOps> =
+            vec![vec![SVal::Pres(CVal::int(1)), SVal::Pres(CVal::int(2))]];
+        let b: StreamSet<ClightOps> =
+            vec![vec![SVal::Pres(CVal::int(1)), SVal::Pres(CVal::int(3))]];
         let d = first_divergence::<ClightOps>(&a, &b).unwrap();
         assert_eq!((d.stream, d.instant), (0, 1));
         assert_eq!(d.to_string(), "stream 0 diverges at instant 1: 2 vs 3");

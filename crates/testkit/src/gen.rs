@@ -21,7 +21,7 @@ use rand::prelude::*;
 use velus_common::Ident;
 use velus_nlustre::ast::{CExpr, Equation, Expr, Node, Program, VarDecl};
 use velus_nlustre::clock::Clock;
-use velus_nlustre::streams::{StreamSet, SVal};
+use velus_nlustre::streams::{SVal, StreamSet};
 use velus_ops::{CBinOp, CConst, CTy, CUnOp, CVal, ClightOps};
 
 /// Tunables for program generation.
@@ -141,9 +141,16 @@ impl<R: Rng> NodeGen<'_, R> {
                     } else {
                         CTy::I32
                     };
-                    let op = *[CBinOp::Eq, CBinOp::Ne, CBinOp::Lt, CBinOp::Le, CBinOp::Gt, CBinOp::Ge]
-                        .choose(self.rng)
-                        .expect("non-empty");
+                    let op = *[
+                        CBinOp::Eq,
+                        CBinOp::Ne,
+                        CBinOp::Lt,
+                        CBinOp::Le,
+                        CBinOp::Gt,
+                        CBinOp::Ge,
+                    ]
+                    .choose(self.rng)
+                    .expect("non-empty");
                     Expr::Binop(
                         op,
                         Box::new(self.expr(operand_ty, ck, depth - 1)),
@@ -176,7 +183,11 @@ impl<R: Rng> NodeGen<'_, R> {
                     if self.rng.gen() {
                         d = -d;
                     }
-                    let op = if self.rng.gen() { CBinOp::Div } else { CBinOp::Mod };
+                    let op = if self.rng.gen() {
+                        CBinOp::Div
+                    } else {
+                        CBinOp::Mod
+                    };
                     Expr::Binop(
                         op,
                         Box::new(self.expr(CTy::I32, ck, depth - 1)),
@@ -244,15 +255,28 @@ fn gen_node<R: Rng>(
     earlier: &[Node<ClightOps>],
 ) -> Node<ClightOps> {
     let name = Ident::new(&format!("n{index}"));
-    let mut g = NodeGen { rng, cfg: cfg.clone(), vars: Vec::new(), fresh: 0 };
+    let mut g = NodeGen {
+        rng,
+        cfg: cfg.clone(),
+        vars: Vec::new(),
+        fresh: 0,
+    };
 
     // Inputs: one guaranteed boolean (a clock candidate) plus 1–2 others.
     let mut inputs: Vec<VarDecl<ClightOps>> = Vec::new();
     let b_in = Ident::new(&format!("c{index}"));
-    inputs.push(VarDecl { name: b_in, ty: CTy::Bool, ck: Clock::Base });
+    inputs.push(VarDecl {
+        name: b_in,
+        ty: CTy::Bool,
+        ck: Clock::Base,
+    });
     let extra = g.rng.gen_range(1..=2);
     for i in 0..extra {
-        let ty = if g.cfg.floats && g.rng.gen_ratio(1, 5) { CTy::F64 } else { CTy::I32 };
+        let ty = if g.cfg.floats && g.rng.gen_ratio(1, 5) {
+            CTy::F64
+        } else {
+            CTy::I32
+        };
         inputs.push(VarDecl {
             name: Ident::new(&format!("i{index}_{i}")),
             ty,
@@ -260,7 +284,12 @@ fn gen_node<R: Rng>(
         });
     }
     for d in &inputs {
-        g.vars.push(VarInfo { name: d.name, ty: d.ty, ck: d.ck.clone(), readable: true });
+        g.vars.push(VarInfo {
+            name: d.name,
+            ty: d.ty,
+            ck: d.ck.clone(),
+            readable: true,
+        });
     }
 
     let mut locals: Vec<VarDecl<ClightOps>> = Vec::new();
@@ -273,8 +302,17 @@ fn gen_node<R: Rng>(
         let ty = g.pick_ty();
         let x = g.fresh("m");
         let ck = Clock::Base;
-        locals.push(VarDecl { name: x, ty, ck: ck.clone() });
-        g.vars.push(VarInfo { name: x, ty, ck: ck.clone(), readable: true });
+        locals.push(VarDecl {
+            name: x,
+            ty,
+            ck: ck.clone(),
+        });
+        g.vars.push(VarInfo {
+            name: x,
+            ty,
+            ck: ck.clone(),
+            readable: true,
+        });
         fby_vars.push((x, ty, ck));
     }
 
@@ -294,30 +332,54 @@ fn gen_node<R: Rng>(
         // A call to an earlier node?
         if !earlier.is_empty() && g.rng.gen_ratio(1, 4) {
             let callee = earlier.choose(g.rng).expect("non-empty").clone();
-            let args: Vec<Expr<ClightOps>> = callee
-                .inputs
-                .iter()
-                .map(|d| g.expr(d.ty, &ck, 1))
-                .collect();
+            let args: Vec<Expr<ClightOps>> =
+                callee.inputs.iter().map(|d| g.expr(d.ty, &ck, 1)).collect();
             let xs: Vec<Ident> = callee
                 .outputs
                 .iter()
                 .map(|d| {
                     let x = g.fresh("r");
-                    locals.push(VarDecl { name: x, ty: d.ty, ck: ck.clone() });
-                    g.vars.push(VarInfo { name: x, ty: d.ty, ck: ck.clone(), readable: true });
+                    locals.push(VarDecl {
+                        name: x,
+                        ty: d.ty,
+                        ck: ck.clone(),
+                    });
+                    g.vars.push(VarInfo {
+                        name: x,
+                        ty: d.ty,
+                        ck: ck.clone(),
+                        readable: true,
+                    });
                     x
                 })
                 .collect();
-            eqs.push(Equation::Call { xs, ck, node: callee.name, args });
+            eqs.push(Equation::Call {
+                xs,
+                ck,
+                node: callee.name,
+                args,
+            });
             continue;
         }
         let ty = g.pick_ty();
         let x = g.fresh("v");
         let rhs = g.cexpr(ty, &ck, cfg.expr_depth);
-        locals.push(VarDecl { name: x, ty, ck: ck.clone() });
-        eqs.push(Equation::Def { x, ck: ck.clone(), rhs });
-        g.vars.push(VarInfo { name: x, ty, ck, readable: true });
+        locals.push(VarDecl {
+            name: x,
+            ty,
+            ck: ck.clone(),
+        });
+        eqs.push(Equation::Def {
+            x,
+            ck: ck.clone(),
+            rhs,
+        });
+        g.vars.push(VarInfo {
+            name: x,
+            ty,
+            ck,
+            readable: true,
+        });
     }
 
     // Phase 3: close the fby definitions. Their right-hand sides may read
@@ -337,7 +399,12 @@ fn gen_node<R: Rng>(
         }
         let init = g.const_of(*ty);
         let rhs = g.expr(*ty, ck, cfg.expr_depth.min(2));
-        eqs.push(Equation::Fby { x: *x, ck: ck.clone(), init, rhs });
+        eqs.push(Equation::Fby {
+            x: *x,
+            ck: ck.clone(),
+            init,
+            rhs,
+        });
     }
     // Restore readability for the output phase (outputs are Defs, which
     // always precede the fby writes in a valid schedule).
@@ -354,11 +421,25 @@ fn gen_node<R: Rng>(
         let ty = g.pick_ty();
         let y = Ident::new(&format!("o{index}_{o}"));
         let rhs = g.cexpr(ty, &Clock::Base, cfg.expr_depth);
-        outputs.push(VarDecl { name: y, ty, ck: Clock::Base });
-        eqs.push(Equation::Def { x: y, ck: Clock::Base, rhs });
+        outputs.push(VarDecl {
+            name: y,
+            ty,
+            ck: Clock::Base,
+        });
+        eqs.push(Equation::Def {
+            x: y,
+            ck: Clock::Base,
+            rhs,
+        });
     }
 
-    Node { name, inputs, outputs, locals, eqs }
+    Node {
+        name,
+        inputs,
+        outputs,
+        locals,
+        eqs,
+    }
 }
 
 /// Generates `n` instants of all-present random inputs for `node`.
@@ -391,8 +472,7 @@ mod tests {
         for seed in 0..30 {
             let mut rng = StdRng::seed_from_u64(seed);
             let prog = gen_program(&mut rng, &GenConfig::default());
-            typecheck::check_program(&prog)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
+            typecheck::check_program(&prog).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
             clockcheck::check_program_clocks(&prog)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
         }
@@ -415,7 +495,10 @@ mod tests {
 
     #[test]
     fn float_generation_is_well_formed_too() {
-        let cfg = GenConfig { floats: true, ..GenConfig::default() };
+        let cfg = GenConfig {
+            floats: true,
+            ..GenConfig::default()
+        };
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(2000 + seed);
             let prog = gen_program(&mut rng, &cfg);

@@ -34,12 +34,20 @@ impl IndustrialConfig {
     /// The full-size configuration of the paper's experiment:
     /// ≈6000 nodes, ≈162000 equations.
     pub fn paper_scale() -> IndustrialConfig {
-        IndustrialConfig { nodes: 6000, eqs_per_node: 24, fan_in: 2 }
+        IndustrialConfig {
+            nodes: 6000,
+            eqs_per_node: 24,
+            fan_in: 2,
+        }
     }
 
     /// A laptop-friendly scale for smoke tests.
     pub fn small() -> IndustrialConfig {
-        IndustrialConfig { nodes: 60, eqs_per_node: 24, fan_in: 2 }
+        IndustrialConfig {
+            nodes: 60,
+            eqs_per_node: 24,
+            fan_in: 2,
+        }
     }
 
     /// Approximate number of equations the configuration yields.
@@ -81,11 +89,27 @@ fn make_node(index: usize, cfg: &IndustrialConfig, det: &mut Det) -> Node<Clight
     let out = Ident::new("y");
 
     let inputs = vec![
-        VarDecl { name: x0, ty: CTy::I32, ck: Clock::Base },
-        VarDecl { name: x1, ty: CTy::I32, ck: Clock::Base },
-        VarDecl { name: mode, ty: CTy::Bool, ck: Clock::Base },
+        VarDecl {
+            name: x0,
+            ty: CTy::I32,
+            ck: Clock::Base,
+        },
+        VarDecl {
+            name: x1,
+            ty: CTy::I32,
+            ck: Clock::Base,
+        },
+        VarDecl {
+            name: mode,
+            ty: CTy::Bool,
+            ck: Clock::Base,
+        },
     ];
-    let outputs = vec![VarDecl { name: out, ty: CTy::I32, ck: Clock::Base }];
+    let outputs = vec![VarDecl {
+        name: out,
+        ty: CTy::I32,
+        ck: Clock::Base,
+    }];
 
     let mut locals = Vec::new();
     let mut eqs = Vec::new();
@@ -95,14 +119,22 @@ fn make_node(index: usize, cfg: &IndustrialConfig, det: &mut Det) -> Node<Clight
     let m0 = Ident::new("m0");
     let m1 = Ident::new("m1");
     for m in [m0, m1] {
-        locals.push(VarDecl { name: m, ty: CTy::I32, ck: Clock::Base });
+        locals.push(VarDecl {
+            name: m,
+            ty: CTy::I32,
+            ck: Clock::Base,
+        });
     }
 
     // Calls to earlier nodes.
     for k in 0..cfg.fan_in.min(index) {
         let callee = Ident::new(&format!("blk{}", det.below(index)));
         let r = Ident::new(&format!("r{k}"));
-        locals.push(VarDecl { name: r, ty: CTy::I32, ck: Clock::Base });
+        locals.push(VarDecl {
+            name: r,
+            ty: CTy::I32,
+            ck: Clock::Base,
+        });
         eqs.push(Equation::Call {
             xs: vec![r],
             ck: Clock::Base,
@@ -115,7 +147,11 @@ fn make_node(index: usize, cfg: &IndustrialConfig, det: &mut Det) -> Node<Clight
     // A chain of arithmetic/conditional equations.
     for k in 0..cfg.eqs_per_node {
         let v = Ident::new(&format!("v{k}"));
-        locals.push(VarDecl { name: v, ty: CTy::I32, ck: Clock::Base });
+        locals.push(VarDecl {
+            name: v,
+            ty: CTy::I32,
+            ck: Clock::Base,
+        });
         let rhs = match det.below(4) {
             0 => CExpr::Expr(Expr::Binop(
                 CBinOp::Add,
@@ -146,7 +182,11 @@ fn make_node(index: usize, cfg: &IndustrialConfig, det: &mut Det) -> Node<Clight
                 CTy::I32,
             )),
         };
-        eqs.push(Equation::Def { x: v, ck: Clock::Base, rhs });
+        eqs.push(Equation::Def {
+            x: v,
+            ck: Clock::Base,
+            rhs,
+        });
         last = v;
     }
 
@@ -169,7 +209,13 @@ fn make_node(index: usize, cfg: &IndustrialConfig, det: &mut Det) -> Node<Clight
         rhs: ivar(m0),
     });
 
-    Node { name, inputs, outputs, locals, eqs }
+    Node {
+        name,
+        inputs,
+        outputs,
+        locals,
+        eqs,
+    }
 }
 
 /// Generates the synthetic application as N-Lustre (already normalized,
@@ -214,7 +260,9 @@ pub fn industrial_source(cfg: &IndustrialConfig) -> String {
                 Equation::Fby { x, init, rhs, .. } => {
                     out.push_str(&format!("  {x} = {init} fby {rhs};\n"))
                 }
-                Equation::Call { xs, node: f, args, .. } => {
+                Equation::Call {
+                    xs, node: f, args, ..
+                } => {
                     let xs: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
                     let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
                     out.push_str(&format!(
@@ -258,7 +306,11 @@ mod tests {
 
     #[test]
     fn source_text_round_trips_through_the_frontend() {
-        let cfg = IndustrialConfig { nodes: 5, eqs_per_node: 6, fan_in: 2 };
+        let cfg = IndustrialConfig {
+            nodes: 5,
+            eqs_per_node: 6,
+            fan_in: 2,
+        };
         let src = industrial_source(&cfg);
         let (prog, _) = velus_lustre::compile_to_nlustre::<velus_ops::ClightOps>(&src)
             .unwrap_or_else(|e| panic!("{}", e.render(&src)));

@@ -243,8 +243,7 @@ impl Analyzer<'_> {
                 }
             }
             Stmt::Call(dest, g, args) => {
-                let args_cost: u64 =
-                    args.iter().map(|a| self.expr(a) + self.c.arg).sum();
+                let args_cost: u64 = args.iter().map(|a| self.expr(a) + self.c.arg).sum();
                 let callee = if self.c.inline {
                     self.function_body_cost(*g)?
                 } else {
@@ -438,11 +437,21 @@ mod tests {
     fn integer_division_is_expensive() {
         let div = Stmt::Set(
             id("t0"),
-            Expr::Binop(CBinOp::Div, Box::new(iconst(10)), Box::new(iconst(3)), CTy::I32),
+            Expr::Binop(
+                CBinOp::Div,
+                Box::new(iconst(10)),
+                Box::new(iconst(3)),
+                CTy::I32,
+            ),
         );
         let add = Stmt::Set(
             id("t0"),
-            Expr::Binop(CBinOp::Add, Box::new(iconst(10)), Box::new(iconst(3)), CTy::I32),
+            Expr::Binop(
+                CBinOp::Add,
+                Box::new(iconst(10)),
+                Box::new(iconst(3)),
+                CTy::I32,
+            ),
         );
         let pd = prog_with(div, 1);
         let pa = prog_with(add, 1);

@@ -7,7 +7,9 @@
 //! ```
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "tracker".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tracker".to_owned());
     let path = velus_repro::benchmark_path(&name);
     let source = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;

@@ -33,16 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Run the reference dataflow semantics on some inputs.
     let n = 8;
     let inputs: StreamSet<ClightOps> = present_streams::<ClightOps>(vec![
-        (0..n).map(|_| CVal::int(100)).collect(),       // ini
-        (0..n).map(CVal::int).collect(),                // inc
-        (0..n).map(|i| CVal::bool(i == 5)).collect(),   // res
+        (0..n).map(|_| CVal::int(100)).collect(),     // ini
+        (0..n).map(CVal::int).collect(),              // inc
+        (0..n).map(|i| CVal::bool(i == 5)).collect(), // res
     ]);
-    let outputs = velus_nlustre::dataflow::run_node(
-        &compiled.snlustre,
-        compiled.root,
-        &inputs,
-        n as usize,
-    )?;
+    let outputs =
+        velus_nlustre::dataflow::run_node(&compiled.snlustre, compiled.root, &inputs, n as usize)?;
     print!("counter outputs:");
     for v in &outputs[0] {
         print!(" {v}");

@@ -20,7 +20,9 @@ fn obc_size(p: &ObcProgram<ClightOps>) -> usize {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "tracker".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tracker".to_owned());
     let source = std::fs::read_to_string(velus_repro::benchmark_path(&name))?;
     let compiled = velus::compile(&source, Some(&name))?;
     let root = compiled.root;

@@ -9,7 +9,7 @@
 //! outputs are absent exactly when inputs are, and state freezes across
 //! absent instants.
 
-use velus_nlustre::streams::{StreamSet, SVal};
+use velus_nlustre::streams::{SVal, StreamSet};
 use velus_obc::sem::run_class;
 use velus_ops::{CVal, ClightOps};
 
@@ -24,16 +24,34 @@ const SRC: &str = "
 fn gapped_inputs(presence: &[bool]) -> StreamSet<ClightOps> {
     let ini: Vec<SVal<ClightOps>> = presence
         .iter()
-        .map(|&p| if p { SVal::Pres(CVal::int(10)) } else { SVal::Abs })
+        .map(|&p| {
+            if p {
+                SVal::Pres(CVal::int(10))
+            } else {
+                SVal::Abs
+            }
+        })
         .collect();
     let inc: Vec<SVal<ClightOps>> = presence
         .iter()
         .enumerate()
-        .map(|(i, &p)| if p { SVal::Pres(CVal::int(i as i32)) } else { SVal::Abs })
+        .map(|(i, &p)| {
+            if p {
+                SVal::Pres(CVal::int(i as i32))
+            } else {
+                SVal::Abs
+            }
+        })
         .collect();
     let res: Vec<SVal<ClightOps>> = presence
         .iter()
-        .map(|&p| if p { SVal::Pres(CVal::bool(false)) } else { SVal::Abs })
+        .map(|&p| {
+            if p {
+                SVal::Pres(CVal::bool(false))
+            } else {
+                SVal::Abs
+            }
+        })
         .collect();
     vec![ini, inc, res]
 }
@@ -73,7 +91,7 @@ fn obc_with_skipped_steps_matches_gapped_dataflow() {
             presence[i].then(|| {
                 inputs
                     .iter()
-                    .map(|s| s[i].value().expect("present").clone())
+                    .map(|s| *s[i].value().expect("present"))
                     .collect()
             })
         })
@@ -108,9 +126,8 @@ fn mismatched_input_presence_is_rejected() {
         vec![SVal::Abs],
         vec![SVal::Pres(CVal::bool(false))],
     ];
-    let err =
-        velus_nlustre::dataflow::run_node(&compiled.snlustre, compiled.root, &inputs, 1)
-            .unwrap_err();
+    let err = velus_nlustre::dataflow::run_node(&compiled.snlustre, compiled.root, &inputs, 1)
+        .unwrap_err();
     assert!(matches!(err, velus_nlustre::SemError::ClockError(_)));
 }
 

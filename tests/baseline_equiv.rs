@@ -10,7 +10,7 @@ use rand::SeedableRng;
 use velus_baselines::{heptagon_obc, lustre_v6_obc};
 use velus_common::Diagnostics;
 use velus_obc::sem::run_class;
-use velus_ops::{ClightOps, CVal};
+use velus_ops::{CVal, ClightOps};
 use velus_testkit::gen::{gen_inputs, gen_program, GenConfig};
 
 fn check_seed(seed: u64) -> Result<(), String> {
@@ -29,7 +29,7 @@ fn check_seed(seed: u64) -> Result<(), String> {
     let n = 10;
     let streams = gen_inputs(&mut rng, &node, n);
     let inputs: Vec<Option<Vec<CVal>>> = (0..n)
-        .map(|i| Some(streams.iter().map(|s| s[i].value().unwrap().clone()).collect()))
+        .map(|i| Some(streams.iter().map(|s| *s[i].value().unwrap()).collect()))
         .collect();
 
     let reference = run_class(&compiled.obc_fused, root, &inputs)
@@ -64,11 +64,19 @@ fn baselines_agree_on_the_benchmark_suite() {
         let inputs: Vec<Option<Vec<CVal>>> = {
             let streams = velus::validate::default_inputs(&compiled, 16);
             (0..16)
-                .map(|i| Some(streams.iter().map(|s| s[i].value().unwrap().clone()).collect()))
+                .map(|i| Some(streams.iter().map(|s| *s[i].value().unwrap()).collect()))
                 .collect()
         };
         let reference = run_class(&compiled.obc_fused, compiled.root, &inputs).unwrap();
-        assert_eq!(run_class(&hept, compiled.root, &inputs).unwrap(), reference, "{name}");
-        assert_eq!(run_class(&lus6, compiled.root, &inputs).unwrap(), reference, "{name}");
+        assert_eq!(
+            run_class(&hept, compiled.root, &inputs).unwrap(),
+            reference,
+            "{name}"
+        );
+        assert_eq!(
+            run_class(&lus6, compiled.root, &inputs).unwrap(),
+            reference,
+            "{name}"
+        );
     }
 }

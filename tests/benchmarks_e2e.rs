@@ -28,8 +28,8 @@ fn load(name: &str) -> String {
 fn every_benchmark_compiles_and_validates() {
     for name in BENCHMARKS {
         let source = load(name);
-        let compiled = velus::compile(&source, Some(name))
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let compiled =
+            velus::compile(&source, Some(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
         let n = 20;
         let inputs = default_inputs(&compiled, n);
         velus::validate(&compiled, &inputs, n).unwrap_or_else(|e| panic!("{name}: {e}"));

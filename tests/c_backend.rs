@@ -58,12 +58,7 @@ fn run_through_cc(name: &str, stdin_text: &str) -> Vec<Vec<i64>> {
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
 
-    let n_outputs = compiled
-        .snlustre
-        .node(compiled.root)
-        .unwrap()
-        .outputs
-        .len();
+    let n_outputs = compiled.snlustre.node(compiled.root).unwrap().outputs.len();
     let values: Vec<i64> = String::from_utf8_lossy(&out.stdout)
         .lines()
         .filter_map(|l| l.split('=').nth(1))

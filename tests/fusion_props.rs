@@ -32,7 +32,7 @@ fn obc_inputs(seed: u64, c: &velus::Compiled, n: usize) -> Vec<Option<Vec<CVal>>
             Some(
                 streams
                     .iter()
-                    .map(|s| s[i].value().expect("all-present").clone())
+                    .map(|s| *s[i].value().expect("all-present"))
                     .collect(),
             )
         })

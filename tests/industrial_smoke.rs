@@ -10,7 +10,11 @@ fn small_industrial_program_compiles_and_validates() {
     // the demand-driven interpreter traverses recursively: use a big
     // stack, as the CLI does.
     velus_common::with_stack(256, || {
-        let cfg = IndustrialConfig { nodes: 12, eqs_per_node: 10, fan_in: 2 };
+        let cfg = IndustrialConfig {
+            nodes: 12,
+            eqs_per_node: 10,
+            fan_in: 2,
+        };
         let prog = industrial_program(&cfg);
         let root = Ident::new("blk11");
         let compiled = velus::compile_program(prog, root, Diagnostics::new()).unwrap();
@@ -21,7 +25,11 @@ fn small_industrial_program_compiles_and_validates() {
 
 #[test]
 fn industrial_source_compiles_through_the_frontend() {
-    let cfg = IndustrialConfig { nodes: 20, eqs_per_node: 12, fan_in: 2 };
+    let cfg = IndustrialConfig {
+        nodes: 20,
+        eqs_per_node: 12,
+        fan_in: 2,
+    };
     let src = industrial_source(&cfg);
     let compiled = velus::compile(&src, Some("blk19")).unwrap();
     assert_eq!(compiled.snlustre.nodes.len(), 20);
@@ -39,7 +47,11 @@ fn industrial_source_compiles_through_the_frontend() {
 fn medium_industrial_compile_time_is_sane() {
     // Not a benchmark — just a guard that complexity is near-linear
     // enough for the full experiment to be runnable.
-    let cfg = IndustrialConfig { nodes: 150, eqs_per_node: 24, fan_in: 2 };
+    let cfg = IndustrialConfig {
+        nodes: 150,
+        eqs_per_node: 24,
+        fan_in: 2,
+    };
     let prog = industrial_program(&cfg);
     let root = Ident::new("blk149");
     let start = std::time::Instant::now();

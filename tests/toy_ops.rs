@@ -23,9 +23,21 @@ fn id(s: &str) -> Ident {
 fn toy_accumulator() -> Program<I64Ops> {
     Program::new(vec![Node {
         name: id("acc"),
-        inputs: vec![VarDecl { name: id("x"), ty: ToyTy::Int, ck: Clock::Base }],
-        outputs: vec![VarDecl { name: id("y"), ty: ToyTy::Int, ck: Clock::Base }],
-        locals: vec![VarDecl { name: id("cum"), ty: ToyTy::Int, ck: Clock::Base }],
+        inputs: vec![VarDecl {
+            name: id("x"),
+            ty: ToyTy::Int,
+            ck: Clock::Base,
+        }],
+        outputs: vec![VarDecl {
+            name: id("y"),
+            ty: ToyTy::Int,
+            ck: Clock::Base,
+        }],
+        locals: vec![VarDecl {
+            name: id("cum"),
+            ty: ToyTy::Int,
+            ck: Clock::Base,
+        }],
         eqs: vec![
             Equation::Def {
                 x: id("y"),
@@ -72,8 +84,7 @@ fn translation_and_obc_are_parametric() {
     velus_obc::typecheck::check_program(&obc).unwrap();
     let fused = velus_obc::fusion::fuse_program(&obc);
 
-    let inputs: Vec<Option<Vec<ToyVal>>> =
-        (1..=4).map(|v| Some(vec![ToyVal::Int(v)])).collect();
+    let inputs: Vec<Option<Vec<ToyVal>>> = (1..=4).map(|v| Some(vec![ToyVal::Int(v)])).collect();
     let outs = velus_obc::sem::run_class(&fused, id("acc"), &inputs).unwrap();
     let vals: Vec<i64> = outs
         .iter()
@@ -96,7 +107,12 @@ fn the_memory_semantics_is_parametric() {
     // M.values(cum) = 0, 1, 3, 6 (the pre-instant states).
     assert_eq!(
         mem.values[&id("cum")],
-        vec![ToyVal::Int(0), ToyVal::Int(1), ToyVal::Int(3), ToyVal::Int(6)]
+        vec![
+            ToyVal::Int(0),
+            ToyVal::Int(1),
+            ToyVal::Int(3),
+            ToyVal::Int(6)
+        ]
     );
 }
 
@@ -104,6 +120,9 @@ fn the_memory_semantics_is_parametric() {
 fn the_toy_interface_satisfies_the_laws() {
     assert_ne!(I64Ops::true_val(), I64Ops::false_val());
     for c in [ToyVal::Int(3), ToyVal::Bool(true)] {
-        assert!(I64Ops::well_typed(&I64Ops::sem_const(&c), &I64Ops::type_of_const(&c)));
+        assert!(I64Ops::well_typed(
+            &I64Ops::sem_const(&c),
+            &I64Ops::type_of_const(&c)
+        ));
     }
 }

@@ -9,7 +9,10 @@ use velus_ops::{CVal, ClightOps};
 fn table_inputs(n: usize) -> StreamSet<ClightOps> {
     let acc = [0, 2, 4, -2, 0, 3, -3, 2];
     vec![
-        acc.iter().take(n).map(|&v| SVal::Pres(CVal::int(v))).collect(),
+        acc.iter()
+            .take(n)
+            .map(|&v| SVal::Pres(CVal::int(v)))
+            .collect(),
         (0..n).map(|_| SVal::Pres(CVal::int(5))).collect(),
     ]
 }
@@ -45,7 +48,10 @@ fn the_semantic_table_of_section_2_2() {
 
     // The rows exactly as printed in the paper.
     assert_eq!(int_row(&mut eval, "s", n), some(&[0, 2, 6, 4, 4, 7, 4, 6]));
-    assert_eq!(int_row(&mut eval, "p", n), some(&[0, 2, 8, 12, 16, 23, 27, 33]));
+    assert_eq!(
+        int_row(&mut eval, "p", n),
+        some(&[0, 2, 8, 12, 16, 23, 27, 33])
+    );
     assert_eq!(
         bool_row(&mut eval, "x", n),
         vec![false, false, true, false, false, true, false, true]
@@ -131,7 +137,10 @@ fn generated_c_matches_figure_9_structure() {
     assert!(c.contains("struct tracker {"), "{c}");
     assert!(c.contains("struct tracker__step {"), "{c}");
     assert!(c.contains("struct d_integrator"), "{c}");
-    assert!(c.contains("void tracker__step(struct tracker* self, struct tracker__step* out"), "{c}");
+    assert!(
+        c.contains("void tracker__step(struct tracker* self, struct tracker__step* out"),
+        "{c}"
+    );
     assert!(c.contains("d_integrator__step(&(*self)."), "{c}");
     assert!(c.contains("(*self).pt = (*out).t;"), "{c}");
 }

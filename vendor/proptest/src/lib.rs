@@ -1,0 +1,256 @@
+//! Offline stand-in for the parts of `proptest` used by this workspace.
+//!
+//! Provides the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_oneof!` macros, the [`strategy::Strategy`] trait with the
+//! combinators the workspace calls (`prop_map`, `prop_filter`, `boxed`),
+//! the standard strategies (`any`, `Just`, `sample::select`,
+//! `collection::vec`, `bool::ANY`), and a [`test_runner::TestRunner`]
+//! with a configurable case budget.
+//!
+//! **No shrinking**: a failing case panics immediately with the failure
+//! message. Deterministic per test (fixed RNG seed), so failures
+//! reproduce across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// `prop::…` — the namespace conventionally used through
+/// `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+
+    pub mod bool {
+        pub use crate::strategy::BoolAny;
+
+        /// A uniformly random boolean.
+        pub const ANY: BoolAny = BoolAny;
+    }
+
+    pub mod num {
+        // Reserved for parity with the real crate's module tree.
+    }
+}
+
+/// An arbitrary value of a primitive type: `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Primitive types `any::<T>()` can generate.
+pub trait Arbitrary: Clone + std::fmt::Debug + 'static {
+    /// Samples one value from 64 raw bits (plus more draws if needed).
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    /// Mostly finite values with occasional special ones, so properties
+    /// see NaN and infinities as the real crate's `any::<f32>()` does.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> f32 {
+        match rng.next_u64() % 8 {
+            0 => f32::from_bits(rng.next_u64() as u32),
+            1 => 0.0,
+            _ => {
+                let magnitude = (rng.next_u64() >> 40) as f32 / 256.0;
+                if rng.next_u64() & 1 == 0 {
+                    magnitude
+                } else {
+                    -magnitude
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> f64 {
+        match rng.next_u64() % 8 {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => 0.0,
+            _ => {
+                let magnitude = (rng.next_u64() >> 11) as f64 / 65536.0;
+                if rng.next_u64() & 1 == 0 {
+                    magnitude
+                } else {
+                    -magnitude
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual glob-import surface.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{
+        Config as ProptestConfig, TestCaseError, TestCaseResult, TestRunner,
+    };
+    pub use crate::{any, prop, Arbitrary};
+    // Macros exported at the crate root re-exported by name, as the real
+    // prelude does.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the test case
+/// (not panicking) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            a,
+            b,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert!(a != b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            a
+        );
+    }};
+}
+
+/// Chooses uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in any::<u64>(), y in 0..10i32) { … }
+/// }
+/// ```
+///
+/// Each test body runs `cases` times with freshly generated inputs; a
+/// `prop_assert*!` failure or `Err(TestCaseError)` (via `?`) panics with
+/// the failing values rendered.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_one! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_one! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let cases = config.cases.max(1);
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            for case in 0..cases {
+                let mut rendered = ::std::string::String::new();
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let tree = $crate::strategy::Strategy::new_tree(&$strategy, &mut runner)
+                                .map_err($crate::test_runner::TestCaseError::reject)?;
+                            let $arg = tree.current();
+                            rendered.push_str(&format!(
+                                "  {} = {:?}\n",
+                                stringify!($arg),
+                                tree.current()
+                            ));
+                        )+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(r)) => {
+                        panic!(
+                            "proptest: too many rejected inputs in case {case}: {r}\ninputs:\n{rendered}"
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest: property `{}` failed at case {case}/{cases}:\n{msg}\ninputs:\n{rendered}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_one! { ($config) $($rest)* }
+    };
+}

@@ -1,0 +1,274 @@
+//! Strategies: composable random-value generators.
+
+use crate::test_runner::{Reason, TestRunner};
+use crate::Arbitrary;
+
+/// A generated value. The real crate's trees support shrinking; this
+/// stand-in only carries the current value.
+#[derive(Debug, Clone)]
+pub struct ValueTree<T> {
+    value: T,
+}
+
+impl<T: Clone> ValueTree<T> {
+    /// The generated value.
+    pub fn current(&self) -> T {
+        self.value.clone()
+    }
+}
+
+/// A composable generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + std::fmt::Debug + 'static;
+
+    /// Generates one value using the runner's RNG.
+    ///
+    /// # Errors
+    ///
+    /// A [`Reason`] when generation gives up (e.g. a filter rejects too
+    /// many candidates).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<Self::Value>, Reason>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + std::fmt::Debug + 'static,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (up to a retry budget).
+    fn prop_filter<F>(self, whence: impl Into<Reason>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<T>, Reason>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<S::Value>, Reason> {
+        self.new_tree(runner)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Clone + std::fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<T>, Reason> {
+        self.0.dyn_new_tree(runner)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_tree(&self, _runner: &mut TestRunner) -> Result<ValueTree<T>, Reason> {
+        Ok(ValueTree {
+            value: self.0.clone(),
+        })
+    }
+}
+
+/// See [`crate::any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<T>, Reason> {
+        Ok(ValueTree {
+            value: T::arbitrary(runner.rng()),
+        })
+    }
+}
+
+/// A uniformly random boolean (`prop::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<bool>, Reason> {
+        Ok(ValueTree {
+            value: runner.rng().next_u64() & 1 == 1,
+        })
+    }
+}
+
+/// `prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + std::fmt::Debug + 'static,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<U>, Reason> {
+        let inner = self.inner.new_tree(runner)?;
+        Ok(ValueTree {
+            value: (self.f)(inner.current()),
+        })
+    }
+}
+
+/// `prop_filter` combinator.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: Reason,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<S::Value>, Reason> {
+        for _ in 0..256 {
+            let tree = self.inner.new_tree(runner)?;
+            if (self.pred)(&tree.value) {
+                return Ok(tree);
+            }
+        }
+        Err(Reason::from(format!(
+            "filter rejected 256 candidates: {}",
+            self.whence
+        )))
+    }
+}
+
+/// Uniform choice among several strategies (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T: Clone + std::fmt::Debug + 'static> Union<T> {
+    /// Builds a union; `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<T: Clone + std::fmt::Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<T>, Reason> {
+        let k = (runner.rng().next_u64() % self.0.len() as u64) as usize;
+        self.0[k].new_tree(runner)
+    }
+}
+
+/// Uniform choice from a vector of values (`prop::sample::select`).
+pub fn select<T: Clone + std::fmt::Debug + 'static>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select(options)
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T>(Vec<T>);
+
+impl<T: Clone + std::fmt::Debug + 'static> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<T>, Reason> {
+        let k = (runner.rng().next_u64() % self.0.len() as u64) as usize;
+        Ok(ValueTree {
+            value: self.0[k].clone(),
+        })
+    }
+}
+
+/// A vector of values from `element`, with a length drawn from `size`
+/// (`prop::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<Vec<S::Value>>, Reason> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + (runner.rng().next_u64() % span) as usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.new_tree(runner)?.current());
+        }
+        Ok(ValueTree { value: out })
+    }
+}
+
+/// Ranges are strategies too: `0..10i32`, `0..=9u8`.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<$t>, Reason> {
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                assert!(span > 0, "range strategy: empty range");
+                let off = (runner.rng().next_u64() as u128) % span;
+                Ok(ValueTree { value: (self.start as i128 + off as i128) as $t })
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<$t>, Reason> {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let off = (runner.rng().next_u64() as u128) % span;
+                Ok(ValueTree { value: (lo as i128 + off as i128) as $t })
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

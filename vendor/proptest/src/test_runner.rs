@@ -1,0 +1,163 @@
+//! The test runner: configuration, RNG, and failure types.
+
+/// Why generation gave up (filter exhaustion and the like).
+#[derive(Debug, Clone)]
+pub struct Reason(String);
+
+impl From<&str> for Reason {
+    fn from(s: &str) -> Reason {
+        Reason(s.to_owned())
+    }
+}
+
+impl From<String> for Reason {
+    fn from(s: String) -> Reason {
+        Reason(s)
+    }
+}
+
+impl std::fmt::Display for Reason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// How a test case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The input was rejected (does not count as a failure upstream; this
+    /// stand-in reports it if it happens persistently).
+    Reject(String),
+    /// The property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A property failure with a message.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An input rejection with a message.
+    pub fn reject(reason: impl std::fmt::Display) -> TestCaseError {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "property failed: {r}"),
+        }
+    }
+}
+
+/// The result of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG algorithm knob (accepted for compatibility; this stand-in
+/// always uses its own xoshiro-style generator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RngAlgorithm {
+    /// The real crate's default.
+    #[default]
+    XorShift,
+    /// ChaCha20 in the real crate.
+    ChaCha,
+}
+
+/// Runner configuration. Also exported as `ProptestConfig` from the
+/// prelude, as the real crate does.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases each property runs.
+    pub cases: u32,
+    /// Accepted for compatibility; unused.
+    pub rng_algorithm: RngAlgorithm,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 64,
+            rng_algorithm: RngAlgorithm::default(),
+        }
+    }
+}
+
+/// A deterministic 64-bit generator (xoshiro256++, SplitMix64-seeded).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Drives strategies. Construct with [`TestRunner::new`] or
+/// [`TestRunner::deterministic`]; both are deterministic here, matching
+/// how this workspace uses the API.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration and a fixed seed.
+    pub fn new(config: Config) -> TestRunner {
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(0x7073_7470_726f_7031),
+        }
+    }
+
+    /// A runner with default configuration and a fixed, documented seed.
+    pub fn deterministic() -> TestRunner {
+        TestRunner::new(Config::default())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The case-generation RNG.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> TestRunner {
+        TestRunner::deterministic()
+    }
+}
