@@ -1,0 +1,96 @@
+//! Interner contention under parallel compilation.
+//!
+//! Every worker of the batch service interns identifiers while parsing
+//! and elaborating, so the `Ident` interner's locking is on the hot
+//! path of parallel compilation. Before sharding, one global mutex
+//! serialized *every* operation — including `as_str`, a pure read.
+//! This benchmark sweeps thread counts over the three access patterns
+//! and reports throughput:
+//!
+//! * `intern-fresh` — every thread interns distinct new names
+//!   (allocation + table insert; spread over shards, the patterns
+//!   contend only when two names hash to one shard);
+//! * `intern-hot`   — every thread re-interns one shared name set
+//!   (lookup hits under the shard lock, the parser's common case);
+//! * `as_str`       — every thread resolves pre-interned identifiers
+//!   (lock-free reads; scales with threads up to the core count).
+//!
+//! ```text
+//! cargo run --release -p velus-bench --bin contention [--ops N] [--max-threads N]
+//! ```
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+use velus_bench::parse_flag;
+use velus_common::Ident;
+
+/// Runs `work(thread_index)` on `threads` threads behind a barrier and
+/// returns aggregate operations per second for `ops_per_thread` ops.
+fn sweep(threads: usize, ops_per_thread: usize, work: impl Fn(usize) + Send + Sync) -> f64 {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let work = &work;
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                work(t);
+            });
+        }
+        // Start the clock *before* releasing the workers: on a
+        // single-core machine the released workers can run to
+        // completion before this thread is rescheduled, so a
+        // clock-after-release would undershoot wildly. The barrier
+        // wake-up cost this includes is negligible against the
+        // measured loops; the scope's exit joins the workers.
+        let start = Instant::now();
+        barrier.wait();
+        start
+    })
+    .elapsed()
+    .as_secs_f64()
+    .recip()
+        * (threads * ops_per_thread) as f64
+}
+
+fn main() {
+    let ops = parse_flag("--ops", 200_000);
+    let max_threads = parse_flag("--max-threads", 8);
+    let mut thread_counts = vec![1usize];
+    while thread_counts.last().copied().unwrap_or(1) * 2 <= max_threads {
+        thread_counts.push(thread_counts.last().unwrap() * 2);
+    }
+
+    // Shared fixtures.
+    let hot: Vec<String> = (0..512).map(|k| format!("hot_name_{k}")).collect();
+    let warm: Vec<Ident> = hot.iter().map(|n| Ident::new(n)).collect();
+
+    println!("interner contention: {ops} ops/thread, sweeping 1..={max_threads} threads\n");
+    println!(
+        "{:<10} {:>16} {:>16} {:>16}",
+        "threads", "intern-fresh/s", "intern-hot/s", "as_str/s"
+    );
+    for (round, &threads) in thread_counts.iter().enumerate() {
+        let fresh = sweep(threads, ops, |t| {
+            for k in 0..ops {
+                // Unique per round/thread/iteration: always a table insert.
+                Ident::new(&format!("fresh_{round}_{t}_{k}"));
+            }
+        });
+        let hot_rate = sweep(threads, ops, |_| {
+            for k in 0..ops {
+                Ident::new(&hot[k % hot.len()]);
+            }
+        });
+        let read = sweep(threads, ops, |_| {
+            let mut total = 0usize;
+            for k in 0..ops {
+                total = total.wrapping_add(warm[k % warm.len()].as_str().len());
+            }
+            assert!(total > 0);
+        });
+        println!("{threads:<10} {fresh:>16.0} {hot_rate:>16.0} {read:>16.0}");
+    }
+}

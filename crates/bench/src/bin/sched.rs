@@ -1,0 +1,142 @@
+//! Makespan of FIFO vs cost-predicted batch scheduling on a skewed
+//! corpus.
+//!
+//! Real batches are skewed: most programs are small, a few are
+//! industrial-scale. FIFO submission lets an expensive program land at
+//! the tail of the batch, running alone while every other worker idles;
+//! cost-predicted (LPT) scheduling submits it first. This benchmark
+//! builds an adversarially ordered skewed corpus from the `velus-testkit`
+//! industrial generator (small programs first, the heavyweights last),
+//! compiles it through `velus::service` under both policies, and
+//! reports:
+//!
+//! * the measured batch wall time per policy (noisy on machines with
+//!   fewer physical cores than workers — time-slicing hides ordering
+//!   effects), and
+//! * the **trace-driven makespan**: the measured per-request latencies
+//!   replayed through an idealized W-worker list schedule in each
+//!   policy's submission order, which isolates the scheduling effect
+//!   from the measuring machine's core count.
+//!
+//! ```text
+//! cargo run --release -p velus-bench --bin sched [--workers N] [--small N]
+//! ```
+
+use velus::service::{service, PipelineCompiler, ServiceConfig};
+use velus::CompileRequest;
+use velus_bench::parse_flag;
+use velus_server::sched::{simulate_makespan, submission_order, SchedulePolicy};
+use velus_server::Compiler;
+use velus_testkit::industrial::{industrial_source, IndustrialConfig};
+
+/// A skewed corpus in adversarial FIFO order: `small` cheap programs
+/// first, then a few industrial-scale heavyweights.
+fn skewed_corpus(small: usize) -> Vec<CompileRequest> {
+    let mut reqs: Vec<CompileRequest> = (0..small)
+        .map(|k| {
+            let cfg = IndustrialConfig {
+                nodes: 4 + k % 3,
+                eqs_per_node: 4 + k % 4,
+                fan_in: 1,
+            };
+            let root = format!("blk{}", cfg.nodes - 1);
+            CompileRequest::new(format!("small{k:02}"), industrial_source(&cfg)).with_root(root)
+        })
+        .collect();
+    for (k, nodes) in [56usize, 64].into_iter().enumerate() {
+        let cfg = IndustrialConfig {
+            nodes,
+            eqs_per_node: 18,
+            fan_in: 2,
+        };
+        let root = format!("blk{}", cfg.nodes - 1);
+        reqs.push(CompileRequest::new(format!("big{k}"), industrial_source(&cfg)).with_root(root));
+    }
+    reqs
+}
+
+fn run_policy(
+    reqs: &[CompileRequest],
+    workers: usize,
+    schedule: SchedulePolicy,
+) -> (f64, Vec<u64>) {
+    let svc = service(ServiceConfig {
+        workers,
+        caching: true,
+        schedule,
+        ..Default::default()
+    });
+    // Prime the cost model with one throwaway compile so `cost` predicts
+    // in nanoseconds from its first batch (a served system has history).
+    let warmup = CompileRequest::new(
+        "warmup",
+        industrial_source(&IndustrialConfig {
+            nodes: 6,
+            eqs_per_node: 6,
+            fan_in: 1,
+        }),
+    )
+    .with_root("blk5");
+    svc.compile_one(warmup);
+    svc.clear_cache();
+
+    let batch = svc.compile_batch(reqs.to_vec());
+    assert_eq!(batch.err_count(), 0, "skewed corpus must compile");
+    let latencies = batch
+        .items
+        .iter()
+        .map(|i| i.latency.as_nanos() as u64)
+        .collect();
+    (batch.wall.as_secs_f64(), latencies)
+}
+
+fn main() {
+    let workers = parse_flag("--workers", 4);
+    let small = parse_flag("--small", 14);
+    let reqs = skewed_corpus(small);
+    println!(
+        "sched bench: {} programs ({} small + 2 big, big last), {workers} workers\n",
+        reqs.len(),
+        small
+    );
+
+    let (fifo_wall, fifo_lat) = run_policy(&reqs, workers, SchedulePolicy::Fifo);
+    let (cost_wall, _) = run_policy(&reqs, workers, SchedulePolicy::Cost);
+
+    // Trace-driven comparison over the *same* measured costs: replay the
+    // FIFO run's per-request latencies through an idealized W-worker
+    // list schedule in each policy's submission order. The cost order
+    // uses the compiler's pre-scan hints, exactly as the service does.
+    let hints: Vec<u64> = reqs.iter().map(|r| PipelineCompiler.cost_hint(r)).collect();
+    let fifo_order = submission_order(SchedulePolicy::Fifo, &hints);
+    let cost_order = submission_order(SchedulePolicy::Cost, &hints);
+    let replay = |order: &[usize]| -> u64 {
+        let costs: Vec<u64> = order.iter().map(|&i| fifo_lat[i]).collect();
+        simulate_makespan(&costs, workers)
+    };
+    let (fifo_mk, cost_mk) = (replay(&fifo_order), replay(&cost_order));
+
+    println!("{:<28} {:>12} {:>12}", "", "fifo", "cost");
+    println!(
+        "{:<28} {:>11.1}ms {:>11.1}ms",
+        "measured batch wall",
+        fifo_wall * 1e3,
+        cost_wall * 1e3
+    );
+    println!(
+        "{:<28} {:>11.1}ms {:>11.1}ms",
+        "trace-driven makespan",
+        fifo_mk as f64 / 1e6,
+        cost_mk as f64 / 1e6
+    );
+    println!(
+        "\ncost scheduling cuts the trace-driven makespan by {:.0}% \
+         ({} workers, ideal list schedule over measured latencies)",
+        (1.0 - cost_mk as f64 / fifo_mk as f64) * 100.0,
+        workers
+    );
+    assert!(
+        cost_mk <= fifo_mk,
+        "LPT must not lengthen the simulated makespan"
+    );
+}

@@ -7,24 +7,18 @@
 //! per-stage latency statistics.
 //!
 //! ```text
-//! cargo run --release -p velus-bench --bin service [--programs N] [--max-workers N]
+//! cargo run --release -p velus-bench --bin service \
+//!     [--programs N] [--max-workers N] [--json PATH]
 //! ```
+//!
+//! `--json PATH` additionally writes the sweep as a JSON array (one
+//! object per worker count) so runs can be recorded and diffed across
+//! commits (see `BENCH_service.json` at the repository root).
 
 use velus::service::{service, ServiceConfig};
 use velus::CompileRequest;
+use velus_bench::{parse_flag, parse_string_flag};
 use velus_testkit::industrial::{industrial_source, IndustrialConfig};
-
-fn parse_flag(name: &str, default: usize) -> usize {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == name {
-            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                return v;
-            }
-        }
-    }
-    default
-}
 
 /// A deterministic corpus: distinct shapes so requests differ in cost,
 /// as real batches do.
@@ -66,10 +60,12 @@ fn main() {
 
     let mut baseline = None;
     let mut last_stats = None;
+    let mut json_rows: Vec<String> = Vec::new();
     for &workers in &worker_counts {
         let svc = service(ServiceConfig {
             workers,
             caching: true,
+            ..Default::default()
         });
         let cold = svc.compile_batch(requests.clone());
         assert_eq!(
@@ -102,7 +98,25 @@ fn main() {
             format!("{:.2?}", warm.wall),
             warm.throughput()
         );
+        json_rows.push(format!(
+            concat!(
+                "  {{\"workers\": {}, \"programs\": {}, ",
+                "\"cold_secs\": {:.6}, \"cold_prog_per_s\": {:.1}, ",
+                "\"warm_secs\": {:.6}, \"warm_prog_per_s\": {:.1}}}"
+            ),
+            workers,
+            programs,
+            cold.wall.as_secs_f64(),
+            cold.throughput(),
+            warm.wall.as_secs_f64(),
+            warm.throughput()
+        ));
         last_stats = Some((workers, svc.stats()));
+    }
+    if let Some(path) = parse_string_flag("--json") {
+        let body = format!("[\n{}\n]\n", json_rows.join(",\n"));
+        std::fs::write(&path, body).expect("write --json file");
+        println!("\nwrote sweep to {path}");
     }
     if let Some((workers, stats)) = last_stats {
         println!("\nservice statistics ({workers} workers):\n{stats}");

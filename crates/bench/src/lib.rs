@@ -10,7 +10,36 @@
 //!
 //! * `figure12` — prints the reproduced Fig. 12;
 //! * `industrial` — the §5 compile-time scaling experiment;
-//! * `schedules` — the §5 schedule-quality observation.
+//! * `schedules` — the §5 schedule-quality observation;
+//! * `service` — throughput scaling of the batch compilation service;
+//! * `sched` — FIFO vs cost-predicted scheduling on a skewed corpus;
+//! * `contention` — identifier-interner contention across threads.
 
 pub mod suite;
 pub mod table;
+
+/// Reads the `usize` value following `name` in this process's argv, or
+/// `default` when absent or unparseable. The shared flag convention of
+/// every bench binary (`--programs 24`, `--workers 4`, …).
+pub fn parse_flag(name: &str, default: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// Reads the string value following `name` in this process's argv.
+pub fn parse_string_flag(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}

@@ -2,7 +2,7 @@
 //! alignment).
 //!
 //! The generation pass "changes the representation of program memories
-//! [to] nested records in the target Clight program, and the concomitant
+//! \[to\] nested records in the target Clight program, and the concomitant
 //! details of alignment, padding, and aliasing must be confronted" (§2.3).
 //! This module owns those details: struct layouts with per-field offsets,
 //! sizes and alignments computed once and cached in a [`LayoutEnv`].

@@ -4,7 +4,8 @@
 //! the observable behaviour of generated programs. The judgment
 //! `ge, e ⊢stmt le, m, s ⇒ le', m', oc` of §4 becomes `exec_stmt`
 //! mutating a frame (temporaries + addressable locals) and the block
-//! memory, returning an [`Outcome`].
+//! memory, returning an outcome (normal completion, `break`, or
+//! `return`).
 //!
 //! Volatile loads and stores produce the event trace
 //! `⟨VLoad(xs(n)) · VStore(ys(n))⟩` that the end-to-end theorem compares

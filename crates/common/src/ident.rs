@@ -5,10 +5,45 @@
 //! comparable and hashable in O(1), which keeps the IRs compact and the
 //! interpreters fast. Interned strings are leaked; a compiler's identifier
 //! population is bounded by its input, so this is the standard trade-off.
+//!
+//! # Concurrency
+//!
+//! The interner is shared by every thread of the batch compilation
+//! service, so its locking is on the hot path of parallel compilation.
+//! Two mechanisms keep it off the profile:
+//!
+//! * **Sharding.** The intern table is striped into [`NUM_SHARDS`]
+//!   independent shards selected by a hash of the name; two workers
+//!   interning different names almost never contend on the same lock.
+//!   An [`Ident`] remains a `u32`: the shard number lives in the high
+//!   [`SHARD_BITS`] bits and the within-shard index in the low bits.
+//! * **Lock-free reads.** [`Ident::as_str`] never takes a lock. Each
+//!   shard resolves indices through an append-only symbol table built
+//!   from [`OnceLock`] cells (a fixed spine of geometrically growing
+//!   buckets), so a read is a handful of atomic loads — it cannot block
+//!   behind a writer, and it cannot deadlock against a thread that is
+//!   interning.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
+
+/// Number of bits of an [`Ident`] that encode the shard.
+const SHARD_BITS: u32 = 4;
+/// Number of intern shards (16): enough to make same-shard collisions
+/// between a handful of worker threads rare, small enough that the
+/// static footprint stays trivial.
+const NUM_SHARDS: usize = 1 << SHARD_BITS;
+/// Bits left for the within-shard index.
+const INDEX_BITS: u32 = 32 - SHARD_BITS;
+/// Largest within-shard index (≈268M identifiers per shard).
+const MAX_INDEX: u32 = (1 << INDEX_BITS) - 1;
+
+/// Entries in the first symbol-table bucket; bucket `b` holds
+/// `FIRST_BUCKET << b` entries, so the spine below covers the full
+/// index space with [`NUM_BUCKETS`] buckets.
+const FIRST_BUCKET: usize = 1 << 10;
+const NUM_BUCKETS: usize = (INDEX_BITS - 10 + 1) as usize;
 
 /// An interned identifier.
 ///
@@ -28,39 +63,115 @@ use std::sync::{Mutex, OnceLock};
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ident(u32);
 
-struct Interner {
-    names: Vec<&'static str>,
-    table: HashMap<&'static str, u32>,
+/// The append-only symbol table of one shard: a fixed spine of lazily
+/// allocated buckets whose sizes double, each slot written exactly once.
+///
+/// `OnceLock` gives the required publication for free: `set` is a
+/// release store, `get` an acquire load, so a reader that obtained an
+/// index (by any means — the index only exists because some `intern`
+/// call returned it) observes the fully written string. Reads are
+/// lock-free: two `OnceLock::get`s and a slice index.
+struct SymbolTable {
+    buckets: [OnceLock<Box<[OnceLock<&'static str>]>>; NUM_BUCKETS],
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            names: Vec::new(),
-            table: HashMap::new(),
+/// Splits a flat index into its (bucket, offset) coordinates. Bucket
+/// `b` covers indices `[FIRST_BUCKET·(2^b − 1), FIRST_BUCKET·(2^{b+1} − 1))`.
+fn locate(index: usize) -> (usize, usize) {
+    let n = index / FIRST_BUCKET + 1;
+    let bucket = (usize::BITS - 1 - n.leading_zeros()) as usize;
+    let start = FIRST_BUCKET * ((1 << bucket) - 1);
+    (bucket, index - start)
+}
+
+impl SymbolTable {
+    fn new() -> SymbolTable {
+        SymbolTable {
+            buckets: std::array::from_fn(|_| OnceLock::new()),
+        }
+    }
+
+    /// Reads slot `index`. Lock-free; panics if the slot was never
+    /// published (impossible for an index taken from a real `Ident`).
+    fn get(&self, index: usize) -> &'static str {
+        let (bucket, offset) = locate(index);
+        let slots = self.buckets[bucket].get().expect("symbol bucket exists");
+        slots[offset].get().expect("symbol slot published")
+    }
+
+    /// Publishes `name` at slot `index`. Called with the shard's intern
+    /// lock held, so slots are filled in order and exactly once.
+    fn publish(&self, index: usize, name: &'static str) {
+        let (bucket, offset) = locate(index);
+        let slots = self.buckets[bucket].get_or_init(|| {
+            (0..FIRST_BUCKET << bucket)
+                .map(|_| OnceLock::new())
+                .collect()
+        });
+        slots[offset]
+            .set(name)
+            .expect("symbol slot written exactly once");
+    }
+}
+
+/// One intern shard: the name→index map behind a mutex (writers only)
+/// and the index→name table readable without any lock.
+struct Shard {
+    intern: Mutex<HashMap<&'static str, u32>>,
+    symbols: SymbolTable,
+}
+
+fn shards() -> &'static [Shard; NUM_SHARDS] {
+    static SHARDS: OnceLock<[Shard; NUM_SHARDS]> = OnceLock::new();
+    SHARDS.get_or_init(|| {
+        std::array::from_fn(|_| Shard {
+            intern: Mutex::new(HashMap::new()),
+            symbols: SymbolTable::new(),
         })
     })
+}
+
+/// FNV-1a over the name selects the shard; deterministic, so equal
+/// names always land in the same shard and interning stays idempotent.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // The multiply mixes poorly into the low bits; take high ones.
+    (h >> (64 - SHARD_BITS)) as usize
 }
 
 impl Ident {
     /// Interns `name` and returns its identifier.
     pub fn new(name: &str) -> Ident {
-        let mut i = interner().lock().expect("identifier interner poisoned");
-        if let Some(&sym) = i.table.get(name) {
-            return Ident(sym);
+        let shard_index = shard_of(name);
+        let shard = &shards()[shard_index];
+        let mut intern = shard.intern.lock().expect("identifier interner poisoned");
+        if let Some(&index) = intern.get(name) {
+            return Ident::encode(shard_index, index);
         }
-        let sym = u32::try_from(i.names.len()).expect("interner overflow");
+        let index = u32::try_from(intern.len()).expect("interner overflow");
+        assert!(index <= MAX_INDEX, "interner shard overflow");
         let stored: &'static str = Box::leak(name.to_owned().into_boxed_str());
-        i.names.push(stored);
-        i.table.insert(stored, sym);
-        Ident(sym)
+        shard.symbols.publish(index as usize, stored);
+        intern.insert(stored, index);
+        Ident::encode(shard_index, index)
+    }
+
+    fn encode(shard: usize, index: u32) -> Ident {
+        Ident(((shard as u32) << INDEX_BITS) | index)
     }
 
     /// Returns the identifier's string contents.
+    ///
+    /// Lock-free: resolves through the shard's append-only symbol table
+    /// with atomic loads only, so it never blocks behind (or deadlocks
+    /// against) a thread that is interning.
     pub fn as_str(self) -> &'static str {
-        let i = interner().lock().expect("identifier interner poisoned");
-        i.names[self.0 as usize]
+        let shard = &shards()[(self.0 >> INDEX_BITS) as usize];
+        shard.symbols.get((self.0 & MAX_INDEX) as usize)
     }
 
     /// Builds the derived identifier `self` + `suffix`.
@@ -191,5 +302,34 @@ mod tests {
     #[test]
     fn suffixed_builds_derived_names() {
         assert_eq!(Ident::new("f").suffixed("$step").as_str(), "f$step");
+    }
+
+    #[test]
+    fn locate_covers_the_index_space_contiguously() {
+        let mut expected_start = 0usize;
+        for bucket in 0..NUM_BUCKETS {
+            let size = FIRST_BUCKET << bucket;
+            assert_eq!(locate(expected_start), (bucket, 0));
+            assert_eq!(locate(expected_start + size - 1), (bucket, size - 1));
+            expected_start += size;
+        }
+        // The spine reaches past the densest shard the encoding allows.
+        assert!(expected_start > MAX_INDEX as usize);
+    }
+
+    #[test]
+    fn idents_from_distinct_shards_stay_distinct() {
+        // Enough names that several shards are certainly populated; every
+        // round-trip must still be exact and idempotent.
+        let names: Vec<String> = (0..512).map(|k| format!("shard_probe_{k}")).collect();
+        let idents: Vec<Ident> = names.iter().map(|n| Ident::new(n)).collect();
+        for (name, id) in names.iter().zip(&idents) {
+            assert_eq!(id.as_str(), name.as_str());
+            assert_eq!(Ident::new(name), *id);
+        }
+        let mut dedup = idents.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), idents.len());
     }
 }

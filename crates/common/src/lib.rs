@@ -24,6 +24,8 @@
 //! assert_eq!(a.as_str(), "speed");
 //! ```
 
+#![warn(missing_docs)]
+
 mod diag;
 mod ident;
 pub mod pretty;

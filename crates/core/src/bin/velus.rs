@@ -7,7 +7,8 @@
 //! velus validate FILE [--node NAME] --steps N             full translation validation
 //! velus wcet    FILE [--node NAME] [--model cc|gcc|gcci]  WCET estimate of step
 //! velus dump    FILE [--node NAME] [--ir nlustre|snlustre|obc|obc-fused]
-//! velus batch   DIR [--workers N] [--passes N] [--stdio]  batch-compile a directory
+//! velus batch   DIR [--workers N] [--passes N] [--stdio]
+//!               [--cache-cap N] [--sched fifo|cost]       batch-compile a directory
 //! ```
 //!
 //! `run` reads one instant of whitespace-separated input values per line
@@ -18,6 +19,10 @@
 //! and prints a per-file table plus service statistics. With two or more
 //! passes (the default), later passes exercise the artifact cache and
 //! the emitted C is checked byte-for-byte against the cold pass.
+//! `--cache-cap N` bounds the artifact cache to N entries (LRU
+//! eviction; evicted programs recompile and re-verify on later passes)
+//! and `--sched cost` submits each pass longest-predicted-first instead
+//! of FIFO, shortening the makespan of skewed batches.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -37,6 +42,8 @@ struct Args {
     ir: String,
     workers: usize,
     passes: usize,
+    cache_cap: Option<usize>,
+    sched: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
         ir: "snlustre".to_owned(),
         workers: 0,
         passes: 2,
+        cache_cap: None,
+        sched: "fifo".to_owned(),
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -83,6 +92,15 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "invalid --passes value")?
                     .max(1)
             }
+            "--cache-cap" => {
+                parsed.cache_cap = Some(
+                    args.next()
+                        .ok_or("missing value for --cache-cap")?
+                        .parse()
+                        .map_err(|_| "invalid --cache-cap value")?,
+                )
+            }
+            "--sched" => parsed.sched = args.next().ok_or("missing value for --sched")?,
             other if parsed.file.is_none() && !other.starts_with('-') => {
                 parsed.file = Some(other.to_owned())
             }
@@ -94,7 +112,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: velus <compile|check|run|validate|wcet|dump> FILE [options]
-       velus batch DIR [--workers N] [--passes N] [--stdio]
+       velus batch DIR [--workers N] [--passes N] [--stdio] [--cache-cap N] [--sched fifo|cost]
 options: --node NAME, -o OUT.c, --steps N, --stdio, --model cc|gcc|gcci, --ir nlustre|snlustre|obc|obc-fused"
         .to_owned()
 }
@@ -174,20 +192,25 @@ fn run_batch(args: &Args) -> Result<(), String> {
         })
         .collect::<Result<_, String>>()?;
 
-    let config = if args.workers == 0 {
-        ServiceConfig::default()
-    } else {
-        ServiceConfig {
-            workers: args.workers,
-            ..Default::default()
-        }
-    };
+    let mut config = ServiceConfig::default();
+    if args.workers != 0 {
+        config.workers = args.workers;
+    }
+    // --cache-cap bounds the artifact cache (entries); evictions are
+    // reported in the closing statistics table.
+    config.cache.max_entries = args.cache_cap;
+    config.schedule = args.sched.parse()?;
     let svc = service(config);
     println!(
-        "batch: {} programs from {dir}, {} workers, {} pass(es)",
+        "batch: {} programs from {dir}, {} workers, {} pass(es), {} scheduling{}",
         requests.len(),
         svc.worker_count(),
-        args.passes
+        args.passes,
+        args.sched,
+        match args.cache_cap {
+            Some(cap) => format!(", cache cap {cap}"),
+            None => String::new(),
+        }
     );
 
     let mut failed = 0usize;

@@ -13,7 +13,7 @@
 //! * [`service`] serves batches of compilations in parallel from a
 //!   content-addressed artifact cache (the `velus-server` substrate
 //!   instantiated with this pipeline).
-//! * [`validate`] checks the paper's end-to-end correctness statement on
+//! * [`validate()`] checks the paper's end-to-end correctness statement on
 //!   a finite input prefix: the dataflow semantics, the exposed-memory
 //!   semantics, the Obc big-step execution (fused and unfused, with
 //!   `MemCorres` asserted at every instant), and the Clight execution

@@ -69,6 +69,29 @@ impl Compiler for PipelineCompiler {
         });
         Ok((ServiceArtifact { compiled, c_code }, samples))
     }
+
+    /// Pre-scan cost estimate: source bytes plus a weighted count of
+    /// `node` keywords. Pipeline cost grows superlinearly with the node
+    /// count (each node is scheduled, translated, fused, and checked
+    /// individually), so node-heavy sources must outrank byte-heavy
+    /// ones; the weight is a rough per-node fixed cost in source-byte
+    /// units. A text scan, not a parse — it runs on every request of a
+    /// batch before any compilation starts.
+    fn cost_hint(&self, req: &CompileRequest) -> u64 {
+        let nodes = req
+            .source
+            .split_whitespace()
+            .filter(|w| *w == "node")
+            .count() as u64;
+        req.source.len() as u64 + 512 * nodes
+    }
+
+    /// The byte cap accounts the printed C; the retained IRs are
+    /// roughly proportional to it, so this keeps the cap meaningful
+    /// without a deep size computation on every insert.
+    fn artifact_bytes(artifact: &ServiceArtifact) -> usize {
+        artifact.c_code.len()
+    }
 }
 
 /// The concrete service type for the Vélus pipeline.
@@ -116,6 +139,7 @@ mod tests {
         let svc = service(ServiceConfig {
             workers: 1,
             caching: true,
+            ..Default::default()
         });
         let volatile = svc.compile_one(CompileRequest::new("c", COUNTER));
         let stdio = svc.compile_one(CompileRequest::new("c", COUNTER).with_options(
@@ -137,6 +161,7 @@ mod tests {
         let svc = service(ServiceConfig {
             workers: 2,
             caching: true,
+            ..Default::default()
         });
         let batch = svc.compile_batch(vec![
             CompileRequest::new("ok", COUNTER),

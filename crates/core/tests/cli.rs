@@ -188,6 +188,97 @@ fn batch_compiles_a_directory_with_full_warm_hits() {
 }
 
 #[test]
+fn batch_with_cache_cap_evicts_and_still_verifies_warm_passes() {
+    let benchmarks = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root")
+        .join("benchmarks");
+    let out = Command::new(velus_bin())
+        .args([
+            "batch",
+            benchmarks.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--passes",
+            "2",
+            "--cache-cap",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    // Evicted programs recompile on pass 2; the recompiled C must still
+    // match pass 1 byte for byte, so the run succeeds as a whole.
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache cap 4"), "{stdout}");
+    // 14 programs through a 4-entry cache: evictions are certain and
+    // surface in the statistics table.
+    let evictions: u64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("cache: "))
+        .and_then(|l| l.split(", ").nth(2))
+        .and_then(|f| f.strip_suffix(" evictions"))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no eviction counter in stats: {stdout}"));
+    assert!(evictions > 0, "{stdout}");
+    assert!(
+        stdout.contains("4 entries"),
+        "cache must sit at its cap: {stdout}"
+    );
+}
+
+#[test]
+fn batch_cost_scheduling_produces_the_same_results() {
+    let benchmarks = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root")
+        .join("benchmarks");
+    let out = Command::new(velus_bin())
+        .args([
+            "batch",
+            benchmarks.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--passes",
+            "2",
+            "--sched",
+            "cost",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cost scheduling"), "{stdout}");
+    // Scheduling only reorders submission: every program still compiles
+    // cold then hits warm, byte-identically.
+    assert!(
+        stdout.contains("pass 1: 14 ok, 0 failed, 0 cache hits"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("pass 2: 14 ok, 0 failed, 14 cache hits"),
+        "{stdout}"
+    );
+
+    let bad = Command::new(velus_bin())
+        .args(["batch", benchmarks.to_str().unwrap(), "--sched", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown schedule"));
+}
+
+#[test]
 fn batch_reports_failures_without_aborting_the_sweep() {
     let dir = std::env::temp_dir().join(format!("velus-batch-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

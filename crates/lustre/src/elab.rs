@@ -7,8 +7,8 @@
 //! desugared to `fby` of the type's default value (with an initialization
 //! lint), and casts have been resolved.
 //!
-//! Bidirectional typing: literals are type-polymorphic ([`PTy::IntLit`],
-//! [`PTy::FloatLit`]) and take their type from context (`0 fby n` gives
+//! Bidirectional typing: literals are type-polymorphic (`PTy::IntLit`,
+//! `PTy::FloatLit`) and take their type from context (`0 fby n` gives
 //! `0` the type of `n`); unconstrained integer literals default to `int`,
 //! float literals to `real`. Clocks are checked against declarations;
 //! constants are clock-polymorphic.

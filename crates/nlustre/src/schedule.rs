@@ -3,7 +3,7 @@
 //! The paper implements scheduling as an untrusted OCaml heuristic whose
 //! output is validated by a Coq-verified checker (§2.1). We keep that
 //! architecture: [`schedule_node`] is a heuristic, and every caller
-//! re-validates the result with [`deps::check_schedule`].
+//! re-validates the result with [`crate::deps::check_schedule`].
 //!
 //! The heuristic is a Kahn topological sort that *prefers to keep
 //! equations of equal clocks adjacent*. This is the property that makes

@@ -10,8 +10,24 @@
 //! content it was stored under and a lookup **verifies the content on
 //! hit**: a digest collision degrades to a miss (and a recompile), never
 //! to serving another program's artifact.
+//!
+//! # Sharding and eviction
+//!
+//! The table is striped into [`CacheConfig::shards`] lock-striped shards
+//! selected by the high bits of the digest (uniform, since the digest
+//! is), so concurrent workers only contend when they touch the same
+//! stripe. Capacity is bounded: each entry is weighed (stored source
+//! bytes plus an artifact weigher supplied by the service) and the cache
+//! enforces optional total entry/byte caps with **LRU eviction** —
+//! recency is a global monotone tick per entry, a per-shard `BTreeMap`
+//! orders entries by tick, and eviction pops the globally oldest entry.
+//! Evictions are counted and surfaced through
+//! [`CacheCounters`]/`ServiceStats`. The verification-on-hit invariant
+//! is per entry and unaffected by sharding: an evicted entry simply
+//! recompiles (and re-verifies) on its next request.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::{CompileOptions, CompileRequest};
@@ -71,6 +87,41 @@ impl CacheKey {
     }
 }
 
+/// Shape and capacity of an [`ArtifactCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Number of lock stripes (rounded up to a power of two, at least 1).
+    pub shards: usize,
+    /// Cap on the number of cached artifacts, across all shards.
+    /// `None` means unbounded.
+    pub max_entries: Option<usize>,
+    /// Cap on the total cached bytes (stored source plus the weigher's
+    /// estimate of the artifact), across all shards. `None` is unbounded.
+    pub max_bytes: Option<usize>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            shards: 16,
+            max_entries: None,
+            max_bytes: None,
+        }
+    }
+}
+
+/// Point-in-time occupancy and eviction counters of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Artifacts currently held.
+    pub entries: u64,
+    /// Weighed bytes currently held.
+    pub bytes: u64,
+    /// Entries evicted to honor a capacity cap since construction
+    /// (monotone; `clear` does not count).
+    pub evictions: u64,
+}
+
 /// The content an entry was stored under, kept for hit verification.
 struct StoredContent {
     source: String,
@@ -90,13 +141,55 @@ impl StoredContent {
     fn matches(&self, req: &CompileRequest) -> bool {
         self.source == req.source && self.root == req.root && self.options == req.options
     }
+
+    fn bytes(&self) -> usize {
+        self.source.len() + self.root.as_deref().map_or(0, str::len)
+    }
 }
 
-/// A thread-safe memo table from request content to shared artifacts.
-/// (Hit/miss accounting lives in the service's `StatsCollector`, not
-/// here — one set of counters, one source of truth.)
+struct Entry<A> {
+    stored: StoredContent,
+    artifact: Arc<A>,
+    weight: usize,
+    tick: u64,
+}
+
+/// One lock stripe: the key→entry map plus the recency order of its
+/// entries (tick → key; ticks are globally unique, so this is a total
+/// order and the `BTreeMap` front is the stripe's least recent entry).
+struct ShardMap<A> {
+    map: HashMap<CacheKey, Entry<A>>,
+    recency: BTreeMap<u64, CacheKey>,
+}
+
+impl<A> ShardMap<A> {
+    fn new() -> ShardMap<A> {
+        ShardMap {
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+        }
+    }
+}
+
+/// How an artifact's resident size is estimated for the byte cap.
+type Weigher<A> = Box<dyn Fn(&A) -> usize + Send + Sync>;
+
+/// A thread-safe, lock-striped, capacity-bounded memo table from request
+/// content to shared artifacts. (Hit/miss accounting lives in the
+/// service's `StatsCollector`, not here — one set of counters, one
+/// source of truth; the cache only counts what it alone can observe:
+/// occupancy and evictions.)
 pub struct ArtifactCache<A> {
-    map: Mutex<HashMap<CacheKey, (StoredContent, Arc<A>)>>,
+    shards: Vec<Mutex<ShardMap<A>>>,
+    shard_bits: u32,
+    max_entries: Option<usize>,
+    max_bytes: Option<usize>,
+    weigher: Weigher<A>,
+    /// Global recency clock; every get/insert stamps a fresh tick.
+    tick: AtomicU64,
+    entries: AtomicUsize,
+    bytes: AtomicUsize,
+    evictions: AtomicU64,
 }
 
 impl<A> Default for ArtifactCache<A> {
@@ -106,46 +199,166 @@ impl<A> Default for ArtifactCache<A> {
 }
 
 impl<A> ArtifactCache<A> {
-    /// An empty cache.
+    /// An empty, unbounded cache with the default shard count and a
+    /// zero-weight artifact weigher.
     pub fn new() -> ArtifactCache<A> {
+        ArtifactCache::with_config(CacheConfig::default(), Box::new(|_| 0))
+    }
+
+    /// An empty cache with the given shape, caps, and artifact weigher.
+    pub fn with_config(config: CacheConfig, weigher: Weigher<A>) -> ArtifactCache<A> {
+        let shard_count = config.shards.max(1).next_power_of_two();
+        let shard_bits = shard_count.trailing_zeros();
         ArtifactCache {
-            map: Mutex::new(HashMap::new()),
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(ShardMap::new()))
+                .collect(),
+            shard_bits,
+            max_entries: config.max_entries,
+            max_bytes: config.max_bytes,
+            weigher,
+            tick: AtomicU64::new(0),
+            entries: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks up the artifact for a request's content. The stored content
-    /// is compared on digest match, so a hash collision is a miss, never
-    /// a wrong artifact.
+    /// The stripe a key lives in: the digest's high bits (the digest is
+    /// uniform, so stripes fill evenly).
+    fn shard(&self, key: &CacheKey) -> &Mutex<ShardMap<A>> {
+        let index = if self.shard_bits == 0 {
+            0
+        } else {
+            (key.hi >> (64 - self.shard_bits)) as usize
+        };
+        &self.shards[index]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up the artifact for a request's content and refreshes its
+    /// recency. The stored content is compared on digest match, so a
+    /// hash collision is a miss, never a wrong artifact.
     pub fn get(&self, key: &CacheKey, req: &CompileRequest) -> Option<Arc<A>> {
-        let map = self.map.lock().expect("cache lock");
-        match map.get(key) {
-            Some((stored, artifact)) if stored.matches(req) => Some(Arc::clone(artifact)),
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        let tick = self.next_tick();
+        match shard.map.get_mut(key) {
+            Some(entry) if entry.stored.matches(req) => {
+                let artifact = Arc::clone(&entry.artifact);
+                let old = std::mem::replace(&mut entry.tick, tick);
+                shard.recency.remove(&old);
+                shard.recency.insert(tick, *key);
+                Some(artifact)
+            }
             _ => None,
         }
     }
 
-    /// Inserts an artifact and returns the shared handle. If another
-    /// worker raced the same content, the *first* insertion wins and is
-    /// returned — artifacts are deterministic functions of the content,
-    /// so either copy is equivalent; keeping the first maximizes sharing.
+    /// Inserts an artifact, returns the shared handle, and evicts least
+    /// recently used entries until the configured caps hold again. If
+    /// another worker raced the same content, the *first* insertion wins
+    /// and is returned — artifacts are deterministic functions of the
+    /// content, so either copy is equivalent; keeping the first
+    /// maximizes sharing.
     pub fn insert(&self, key: CacheKey, req: &CompileRequest, artifact: A) -> Arc<A> {
-        let mut map = self.map.lock().expect("cache lock");
-        match map.get(&key) {
-            Some((stored, shared)) if stored.matches(req) => Arc::clone(shared),
-            // Digest collision with different content: keep the incumbent
-            // (its requests still verify) and serve this artifact uncached.
-            Some(_) => Arc::new(artifact),
-            None => {
-                let shared = Arc::new(artifact);
-                map.insert(key, (StoredContent::of_request(req), Arc::clone(&shared)));
-                shared
+        let shared = {
+            let mut shard = self.shard(&key).lock().expect("cache shard lock");
+            match shard.map.get(&key) {
+                Some(entry) if entry.stored.matches(req) => Arc::clone(&entry.artifact),
+                // Digest collision with different content: keep the incumbent
+                // (its requests still verify) and serve this artifact uncached.
+                Some(_) => Arc::new(artifact),
+                None => {
+                    let stored = StoredContent::of_request(req);
+                    let weight = stored.bytes() + (self.weigher)(&artifact);
+                    // An entry that alone exceeds the byte cap can never
+                    // be retained; admitting it would purge every other
+                    // (useful) entry on the way to evicting it. Serve it
+                    // uncached instead and leave the cache untouched.
+                    if self.max_bytes.is_some_and(|cap| weight > cap) {
+                        return Arc::new(artifact);
+                    }
+                    let shared = Arc::new(artifact);
+                    let tick = self.next_tick();
+                    shard.map.insert(
+                        key,
+                        Entry {
+                            stored,
+                            artifact: Arc::clone(&shared),
+                            weight,
+                            tick,
+                        },
+                    );
+                    shard.recency.insert(tick, key);
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                    self.bytes.fetch_add(weight, Ordering::Relaxed);
+                    shared
+                }
+            }
+        };
+        self.enforce_caps();
+        shared
+    }
+
+    /// Evicts LRU entries until both caps hold. Shards are locked one at
+    /// a time (never two at once), so eviction cannot deadlock with
+    /// concurrent gets/inserts; under concurrency the victim is the
+    /// *approximately* oldest entry, exactly the oldest when quiescent.
+    ///
+    /// Each eviction scans every stripe for the oldest front — O(shards)
+    /// lock acquisitions — but only runs when an insert pushed past a
+    /// cap, i.e. at most once per *compiled* (millisecond-scale) request,
+    /// never on hits. If profiling ever shows this scan, the ROADMAP
+    /// names the successor (per-shard caps / CLOCK).
+    fn enforce_caps(&self) {
+        loop {
+            let over_entries = self
+                .max_entries
+                .is_some_and(|cap| self.entries.load(Ordering::Relaxed) > cap);
+            let over_bytes = self
+                .max_bytes
+                .is_some_and(|cap| self.bytes.load(Ordering::Relaxed) > cap);
+            if !(over_entries || over_bytes) || !self.evict_oldest() {
+                return;
             }
         }
     }
 
+    /// Removes the entry with the globally smallest recency tick.
+    /// Returns `false` when the cache is empty.
+    fn evict_oldest(&self) -> bool {
+        // Pass 1: find the stripe whose front is oldest.
+        let mut victim: Option<(usize, u64)> = None;
+        for (index, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().expect("cache shard lock");
+            if let Some((&tick, _)) = shard.recency.first_key_value() {
+                if victim.is_none_or(|(_, best)| tick < best) {
+                    victim = Some((index, tick));
+                }
+            }
+        }
+        // Pass 2: pop that stripe's current front (it may have advanced
+        // since pass 1; popping the new front is still an LRU choice).
+        let Some((index, _)) = victim else {
+            return false;
+        };
+        let mut shard = self.shards[index].lock().expect("cache shard lock");
+        let Some((_, key)) = shard.recency.pop_first() else {
+            return false;
+        };
+        let entry = shard.map.remove(&key).expect("recency and map agree");
+        self.entries.fetch_sub(1, Ordering::Relaxed);
+        self.bytes.fetch_sub(entry.weight, Ordering::Relaxed);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
     /// Number of distinct artifacts held.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// Whether the cache holds nothing.
@@ -153,9 +366,26 @@ impl<A> ArtifactCache<A> {
         self.len() == 0
     }
 
-    /// Drops every entry.
+    /// Occupancy and eviction counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            entries: self.entries.load(Ordering::Relaxed) as u64,
+            bytes: self.bytes.load(Ordering::Relaxed) as u64,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry (not counted as evictions).
     pub fn clear(&self) {
-        self.map.lock().expect("cache lock").clear();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard lock");
+            let removed_bytes: usize = shard.map.values().map(|e| e.weight).sum();
+            let removed = shard.map.len();
+            shard.map.clear();
+            shard.recency.clear();
+            self.entries.fetch_sub(removed, Ordering::Relaxed);
+            self.bytes.fetch_sub(removed_bytes, Ordering::Relaxed);
+        }
     }
 }
 
@@ -166,6 +396,16 @@ mod tests {
 
     fn req(source: &str) -> CompileRequest {
         CompileRequest::new("r", source)
+    }
+
+    fn bounded(max_entries: usize) -> ArtifactCache<String> {
+        ArtifactCache::with_config(
+            CacheConfig {
+                max_entries: Some(max_entries),
+                ..CacheConfig::default()
+            },
+            Box::new(String::len),
+        )
     }
 
     #[test]
@@ -217,5 +457,110 @@ mod tests {
         let second = cache.insert(k, &r, "two".to_owned());
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(*second, "one");
+    }
+
+    #[test]
+    fn entry_cap_evicts_the_least_recently_used() {
+        let cache = bounded(2);
+        let (ra, rb, rc) = (req("aa"), req("bb"), req("cc"));
+        let (ka, kb, kc) = (
+            CacheKey::of_request(&ra),
+            CacheKey::of_request(&rb),
+            CacheKey::of_request(&rc),
+        );
+        cache.insert(ka, &ra, "A".into());
+        cache.insert(kb, &rb, "B".into());
+        // Touch A so B becomes the LRU, then overflow with C.
+        assert!(cache.get(&ka, &ra).is_some());
+        cache.insert(kc, &rc, "C".into());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().evictions, 1);
+        assert!(cache.get(&kb, &rb).is_none(), "the LRU entry was evicted");
+        assert!(cache.get(&ka, &ra).is_some());
+        assert!(cache.get(&kc, &rc).is_some());
+    }
+
+    #[test]
+    fn byte_cap_counts_source_and_artifact_weight() {
+        let cache: ArtifactCache<String> = ArtifactCache::with_config(
+            CacheConfig {
+                max_bytes: Some(16),
+                ..CacheConfig::default()
+            },
+            Box::new(String::len),
+        );
+        let ra = req("aaaa"); // 4 source bytes + 4 artifact bytes
+        cache.insert(CacheKey::of_request(&ra), &ra, "AAAA".into());
+        assert_eq!(cache.counters().bytes, 8);
+        let rb = req("bbbb");
+        cache.insert(CacheKey::of_request(&rb), &rb, "BBBB".into());
+        assert_eq!((cache.len(), cache.counters().bytes), (2, 16));
+        // A third entry pushes past 16 weighed bytes: the oldest goes.
+        let rc = req("cccc");
+        cache.insert(CacheKey::of_request(&rc), &rc, "CCCC".into());
+        assert!(cache.counters().bytes <= 16);
+        assert_eq!(cache.counters().evictions, 1);
+        assert!(cache.get(&CacheKey::of_request(&ra), &ra).is_none());
+    }
+
+    #[test]
+    fn an_oversized_entry_is_served_uncached_without_purging_others() {
+        let cache: ArtifactCache<String> = ArtifactCache::with_config(
+            CacheConfig {
+                max_bytes: Some(10),
+                ..CacheConfig::default()
+            },
+            Box::new(String::len),
+        );
+        // A resident entry that fits (2 source + 1 artifact = 3 bytes).
+        let small = req("ok");
+        cache.insert(CacheKey::of_request(&small), &small, "K".into());
+        assert_eq!(cache.len(), 1);
+        // An entry that could never fit is served but not admitted — and
+        // the resident entry survives (no purge on the way to nothing).
+        let r = req("way too large to ever fit");
+        let shared = cache.insert(CacheKey::of_request(&r), &r, "artifact".into());
+        assert_eq!(*shared, "artifact");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.counters().evictions, 0);
+        assert!(cache.get(&CacheKey::of_request(&small), &small).is_some());
+    }
+
+    #[test]
+    fn clear_resets_occupancy_but_not_eviction_counters() {
+        let cache = bounded(1);
+        for s in ["p", "q", "r"] {
+            let r = req(s);
+            cache.insert(CacheKey::of_request(&r), &r, s.to_uppercase());
+        }
+        let evicted = cache.counters().evictions;
+        assert_eq!(evicted, 2);
+        cache.clear();
+        let counters = cache.counters();
+        assert_eq!((counters.entries, counters.bytes), (0, 0));
+        assert_eq!(counters.evictions, evicted);
+    }
+
+    #[test]
+    fn single_shard_configuration_still_works() {
+        let cache: ArtifactCache<String> = ArtifactCache::with_config(
+            CacheConfig {
+                shards: 1,
+                max_entries: Some(8),
+                max_bytes: None,
+            },
+            Box::new(|_| 0),
+        );
+        for k in 0..32 {
+            let r = req(&format!("src{k}"));
+            cache.insert(CacheKey::of_request(&r), &r, format!("A{k}"));
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.counters().evictions, 24);
+        // The 8 most recent survive.
+        for k in 24..32 {
+            let r = req(&format!("src{k}"));
+            assert!(cache.get(&CacheKey::of_request(&r), &r).is_some(), "{k}");
+        }
     }
 }

@@ -17,8 +17,19 @@
 //! The crate is deliberately generic over the [`Compiler`]: it knows
 //! nothing about Lustre. The `velus` crate instantiates it with the real
 //! pipeline (`velus::service`), keeping the dependency arrow pointing
-//! from the driver to the substrate so later scaling work (sharding,
-//! async, multi-backend) can build on this layer without cycles.
+//! from the driver to the substrate so later scaling work (async,
+//! multi-backend) can build on this layer without cycles.
+//!
+//! Scaling features (see `docs/ARCHITECTURE.md` at the repository root
+//! for the full design):
+//!
+//! * the cache is **lock-striped** into shards selected by the digest's
+//!   high bits and bounded by entry/byte caps with LRU eviction
+//!   ([`cache::CacheConfig`]); eviction counters surface in the stats;
+//! * batches can be submitted **longest-predicted-first** instead of
+//!   FIFO ([`sched::SchedulePolicy::Cost`]): an online [`sched::CostModel`]
+//!   learns nanoseconds-per-hint from the service's own stage timings
+//!   and [`Compiler::cost_hint`] supplies the per-request hint.
 //!
 //! ```
 //! use velus_server::{Compiler, CompileRequest, CompileService, ServiceConfig, StageSample};
@@ -41,13 +52,17 @@
 //! assert!(again.items[0].cache_hit);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod pool;
+pub mod sched;
 pub mod service;
 pub mod stats;
 
-pub use cache::{ArtifactCache, CacheKey};
+pub use cache::{ArtifactCache, CacheConfig, CacheCounters, CacheKey};
 pub use pool::WorkerPool;
+pub use sched::{CostModel, SchedulePolicy};
 pub use service::{BatchReport, CompileService, RequestReport, ServiceConfig, ServiceError};
 pub use stats::{StageLatency, StatsSnapshot};
 
@@ -197,4 +212,22 @@ pub trait Compiler: Send + Sync + 'static {
         &self,
         req: &CompileRequest,
     ) -> Result<(Self::Artifact, Vec<StageSample>), Self::Error>;
+
+    /// A cheap syntactic estimate of how expensive `req` is to compile,
+    /// in arbitrary but consistent units (only relative magnitudes
+    /// matter). Drives cost-predicted batch scheduling
+    /// ([`SchedulePolicy::Cost`]); the default is the source length.
+    /// Must be far cheaper than compiling — it runs on every request
+    /// of a batch before any is submitted.
+    fn cost_hint(&self, req: &CompileRequest) -> u64 {
+        req.source.len() as u64
+    }
+
+    /// The resident size the cache should account for an artifact, in
+    /// bytes, for [`CacheConfig::max_bytes`] enforcement. The default
+    /// (0) makes the byte cap count only the stored source text.
+    fn artifact_bytes(artifact: &Self::Artifact) -> usize {
+        let _ = artifact;
+        0
+    }
 }

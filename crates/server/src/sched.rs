@@ -1,0 +1,217 @@
+//! Cost-predicted batch scheduling.
+//!
+//! A batch of compilation requests is embarrassingly parallel, but its
+//! *makespan* (time until the last request finishes) depends on the
+//! submission order: FIFO can leave one expensive program running alone
+//! at the tail of the batch while every other worker sits idle. The
+//! classic remedy is **longest-processing-time-first** (LPT) list
+//! scheduling — submit the predicted-expensive requests first so the
+//! tail is made of cheap ones — which is a 4/3-approximation of the
+//! optimal makespan versus FIFO's unbounded adversarial ratio.
+//!
+//! Costs are predicted, not known: [`CostModel`] combines a cheap
+//! syntactic hint from the request ([`crate::Compiler::cost_hint`] —
+//! source bytes plus a node-count pre-scan in the Vélus instantiation)
+//! with a sliding window of observed `(hint, latency)` pairs from the
+//! service's own uncached compilations, so predictions are in
+//! nanoseconds once the service has seen a few requests and degrade
+//! gracefully to hint-proportional ordering cold.
+//!
+//! [`simulate_makespan`] is the trace-driven evaluation companion: it
+//! replays measured per-request costs through an idealized W-worker list
+//! schedule, which makes scheduling wins measurable even on machines
+//! whose physical core count hides them (threads time-slicing one core
+//! finish at the same time regardless of order).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// How [`crate::CompileService::compile_batch`] orders submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Submit in request order.
+    #[default]
+    Fifo,
+    /// Submit in decreasing predicted cost (LPT list scheduling).
+    Cost,
+}
+
+impl std::str::FromStr for SchedulePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SchedulePolicy, String> {
+        match s {
+            "fifo" => Ok(SchedulePolicy::Fifo),
+            "cost" => Ok(SchedulePolicy::Cost),
+            other => Err(format!("unknown schedule `{other}` (fifo|cost)")),
+        }
+    }
+}
+
+/// Retained `(hint, nanos)` observations. Small: predictions only need
+/// a stable central tendency, and a bounded window adapts to drift
+/// (e.g. a corpus switching from small to industrial-scale programs).
+const WINDOW: usize = 256;
+
+/// An online predictor of compilation cost from a syntactic hint.
+///
+/// Records `(hint, observed nanoseconds)` pairs for uncached
+/// compilations in a sliding window; predicts `hint × median(ns/hint)`.
+/// The ratio's median (rather than mean) shrugs off the occasional
+/// wildly slow sample a busy machine produces. With an empty window the
+/// prediction is the hint itself — dimensionally wrong but order-exact,
+/// which is all LPT needs.
+#[derive(Default)]
+pub struct CostModel {
+    window: Mutex<VecDeque<(u64, u64)>>,
+}
+
+impl CostModel {
+    /// An empty model.
+    pub fn new() -> CostModel {
+        CostModel::default()
+    }
+
+    /// Records one observed compilation: its hint and its latency.
+    pub fn record(&self, hint: u64, nanos: u64) {
+        let mut window = self.window.lock().expect("cost model lock");
+        if window.len() == WINDOW {
+            window.pop_front();
+        }
+        window.push_back((hint.max(1), nanos));
+    }
+
+    /// The window's median nanoseconds-per-hint-unit ratio, or `None`
+    /// while the model is cold. Computing it locks and sorts the window
+    /// once — callers pricing a whole batch should call this once and
+    /// multiply, not [`CostModel::predict`] per request.
+    pub fn ns_per_hint(&self) -> Option<f64> {
+        let window = self.window.lock().expect("cost model lock");
+        if window.is_empty() {
+            return None;
+        }
+        let mut ratios: Vec<f64> = window.iter().map(|&(h, ns)| ns as f64 / h as f64).collect();
+        ratios.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        Some(ratios[ratios.len() / 2])
+    }
+
+    /// Predicts the cost of a request with the given hint, in
+    /// nanoseconds once the window has samples (hint units before).
+    pub fn predict(&self, hint: u64) -> u64 {
+        match self.ns_per_hint() {
+            Some(ratio) => (hint as f64 * ratio) as u64,
+            None => hint,
+        }
+    }
+
+    /// Number of observations currently in the window.
+    pub fn samples(&self) -> usize {
+        self.window.lock().expect("cost model lock").len()
+    }
+}
+
+/// The submission order for the given predicted costs under a policy:
+/// a permutation of `0..costs.len()`.
+///
+/// `Cost` sorts by decreasing cost, ties broken by request order so the
+/// schedule is deterministic.
+pub fn submission_order(policy: SchedulePolicy, costs: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    if policy == SchedulePolicy::Cost {
+        order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    }
+    order
+}
+
+/// Replays per-request `costs`, taken in submission order, through an
+/// idealized list schedule on `workers` identical workers (each next
+/// request goes to the earliest-free worker) and returns the makespan.
+///
+/// This is the standard trace-driven way to compare schedules: feed it
+/// the *measured* latencies of a real batch in two different orders and
+/// the difference is the scheduling effect alone, independent of how
+/// many physical cores the measuring machine had.
+pub fn simulate_makespan(costs: &[u64], workers: usize) -> u64 {
+    let workers = workers.max(1);
+    let mut free_at = vec![0u64; workers];
+    for &cost in costs {
+        let earliest = free_at.iter_mut().min().expect("at least one worker");
+        *earliest += cost;
+    }
+    free_at.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_request_order() {
+        assert_eq!(
+            submission_order(SchedulePolicy::Fifo, &[1, 9, 3]),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn cost_orders_longest_first_with_stable_ties() {
+        assert_eq!(
+            submission_order(SchedulePolicy::Cost, &[1, 9, 3, 9]),
+            vec![1, 3, 2, 0]
+        );
+    }
+
+    #[test]
+    fn simulated_list_schedule_matches_hand_computation() {
+        // Two workers, costs 3,3,4 in order: w1={3,4}=7, w2={3}=3.
+        assert_eq!(simulate_makespan(&[3, 3, 4], 2), 7);
+        // LPT order 4,3,3: w1={4}=4, w2={3,3}=6.
+        assert_eq!(simulate_makespan(&[4, 3, 3], 2), 6);
+        assert_eq!(simulate_makespan(&[], 4), 0);
+        assert_eq!(simulate_makespan(&[5, 5], 1), 10);
+    }
+
+    #[test]
+    fn lpt_beats_fifo_on_a_skewed_tail_heavy_batch() {
+        // Adversarial FIFO: the expensive request arrives last.
+        let costs: Vec<u64> = std::iter::repeat_n(10u64, 15).chain([100]).collect();
+        for workers in [2, 4, 8] {
+            let fifo: Vec<u64> = submission_order(SchedulePolicy::Fifo, &costs)
+                .into_iter()
+                .map(|i| costs[i])
+                .collect();
+            let lpt: Vec<u64> = submission_order(SchedulePolicy::Cost, &costs)
+                .into_iter()
+                .map(|i| costs[i])
+                .collect();
+            let (mf, ml) = (
+                simulate_makespan(&fifo, workers),
+                simulate_makespan(&lpt, workers),
+            );
+            assert!(ml < mf, "workers={workers}: LPT {ml} !< FIFO {mf}");
+        }
+    }
+
+    #[test]
+    fn cost_model_predictions_scale_with_observations() {
+        let model = CostModel::new();
+        assert_eq!(model.predict(500), 500, "cold model falls back to the hint");
+        // 100 ns per hint unit, with one outlier the median ignores.
+        for _ in 0..9 {
+            model.record(10, 1_000);
+        }
+        model.record(10, 1_000_000);
+        assert_eq!(model.samples(), 10);
+        let p = model.predict(50);
+        assert!((4_000..=6_000).contains(&p), "predicted {p}");
+    }
+
+    #[test]
+    fn cost_model_window_is_bounded() {
+        let model = CostModel::new();
+        for k in 0..(WINDOW as u64 + 100) {
+            model.record(1, k);
+        }
+        assert_eq!(model.samples(), WINDOW);
+    }
+}

@@ -6,8 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use crate::cache::{ArtifactCache, CacheKey};
+use crate::cache::{ArtifactCache, CacheConfig, CacheKey};
 use crate::pool::WorkerPool;
+use crate::sched::{submission_order, CostModel, SchedulePolicy};
 use crate::stats::{StatsCollector, StatsSnapshot};
 use crate::{CompileRequest, Compiler};
 
@@ -18,6 +19,10 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Whether the artifact cache is consulted and filled.
     pub caching: bool,
+    /// Cache shape and capacity (shard count, entry/byte caps).
+    pub cache: CacheConfig,
+    /// Batch submission order (FIFO or cost-predicted LPT).
+    pub schedule: SchedulePolicy,
 }
 
 impl Default for ServiceConfig {
@@ -25,6 +30,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             caching: true,
+            cache: CacheConfig::default(),
+            schedule: SchedulePolicy::default(),
         }
     }
 }
@@ -105,8 +112,10 @@ pub struct CompileService<C: Compiler> {
     compiler: Arc<C>,
     cache: Arc<ArtifactCache<C::Artifact>>,
     caching: bool,
+    schedule: SchedulePolicy,
     pool: WorkerPool,
     stats: Arc<StatsCollector>,
+    cost_model: Arc<CostModel>,
     in_flight: Arc<AtomicU64>,
 }
 
@@ -115,10 +124,15 @@ impl<C: Compiler> CompileService<C> {
     pub fn new(compiler: C, config: ServiceConfig) -> CompileService<C> {
         CompileService {
             compiler: Arc::new(compiler),
-            cache: Arc::new(ArtifactCache::new()),
+            cache: Arc::new(ArtifactCache::with_config(
+                config.cache,
+                Box::new(C::artifact_bytes),
+            )),
             caching: config.caching,
+            schedule: config.schedule,
             pool: WorkerPool::new(config.workers),
             stats: Arc::new(StatsCollector::new()),
+            cost_model: Arc::new(CostModel::new()),
             in_flight: Arc::new(AtomicU64::new(0)),
         }
     }
@@ -138,9 +152,15 @@ impl<C: Compiler> CompileService<C> {
         self.in_flight.load(Ordering::Relaxed)
     }
 
-    /// A point-in-time statistics snapshot.
+    /// A point-in-time statistics snapshot (including the cache's
+    /// occupancy and eviction counters).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.stats.snapshot(self.cache.counters())
+    }
+
+    /// The online cost model driving [`SchedulePolicy::Cost`].
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
     }
 
     /// Drops every cached artifact (for benchmarking cold paths).
@@ -156,6 +176,7 @@ impl<C: Compiler> CompileService<C> {
             &self.cache,
             self.caching,
             &self.stats,
+            &self.cost_model,
             &self.in_flight,
             req,
         )
@@ -164,20 +185,47 @@ impl<C: Compiler> CompileService<C> {
     /// Compiles a batch on the worker pool and reports per-request
     /// outcomes **in request order** (output order does not depend on
     /// worker count or scheduling).
+    ///
+    /// Submission order follows the configured [`SchedulePolicy`]:
+    /// FIFO submits in request order; cost-predicted scheduling submits
+    /// longest-predicted-first (LPT), which shortens the makespan of
+    /// skewed batches by keeping the expensive requests off the tail.
     pub fn compile_batch(&self, reqs: Vec<CompileRequest>) -> BatchReport<C> {
         let start = Instant::now();
         let n = reqs.len();
+        let order = match self.schedule {
+            SchedulePolicy::Fifo => (0..n).collect(),
+            SchedulePolicy::Cost => {
+                // One lock + sort for the whole batch, not per request.
+                let ratio = self.cost_model.ns_per_hint().unwrap_or(1.0);
+                let costs: Vec<u64> = reqs
+                    .iter()
+                    .map(|r| (self.compiler.cost_hint(r) as f64 * ratio) as u64)
+                    .collect();
+                submission_order(SchedulePolicy::Cost, &costs)
+            }
+        };
+        let mut slots_in: Vec<Option<CompileRequest>> = reqs.into_iter().map(Some).collect();
         let (tx, rx) = mpsc::channel::<(usize, RequestReport<C>)>();
-        for (index, req) in reqs.into_iter().enumerate() {
+        for index in order {
+            let req = slots_in[index].take().expect("each request submits once");
             let tx = tx.clone();
             let compiler = Arc::clone(&self.compiler);
             let cache = Arc::clone(&self.cache);
             let stats = Arc::clone(&self.stats);
+            let cost_model = Arc::clone(&self.cost_model);
             let in_flight = Arc::clone(&self.in_flight);
             let caching = self.caching;
             self.pool.execute(move || {
-                let report =
-                    run_request(compiler.as_ref(), &cache, caching, &stats, &in_flight, req);
+                let report = run_request(
+                    compiler.as_ref(),
+                    &cache,
+                    caching,
+                    &stats,
+                    &cost_model,
+                    &in_flight,
+                    req,
+                );
                 // The receiver outlives the batch; a send failure means
                 // the batch was abandoned, which compile_batch never does.
                 let _ = tx.send((index, report));
@@ -214,6 +262,7 @@ fn run_request<C: Compiler>(
     cache: &ArtifactCache<C::Artifact>,
     caching: bool,
     stats: &StatsCollector,
+    cost_model: &CostModel,
     in_flight: &AtomicU64,
     req: CompileRequest,
 ) -> RequestReport<C> {
@@ -231,7 +280,7 @@ fn run_request<C: Compiler>(
             None => {
                 stats.record_miss();
                 (
-                    compile_guarded(compiler, cache, caching, stats, &req, key),
+                    compile_guarded(compiler, cache, caching, stats, cost_model, &req, key),
                     false,
                 )
             }
@@ -239,7 +288,7 @@ fn run_request<C: Compiler>(
     } else {
         stats.record_miss();
         (
-            compile_guarded(compiler, cache, caching, stats, &req, key),
+            compile_guarded(compiler, cache, caching, stats, cost_model, &req, key),
             false,
         )
     };
@@ -265,12 +314,21 @@ fn compile_guarded<C: Compiler>(
     cache: &ArtifactCache<C::Artifact>,
     caching: bool,
     stats: &StatsCollector,
+    cost_model: &CostModel,
     req: &CompileRequest,
     key: CacheKey,
 ) -> Result<Arc<C::Artifact>, ServiceError<C::Error>> {
+    let compile_start = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| compiler.compile(req))) {
         Ok(Ok((artifact, samples))) => {
             stats.record_stages(&samples);
+            // Teach the cost model what this request actually cost
+            // (successes only: failures abort early and would skew the
+            // nanoseconds-per-hint ratio down).
+            cost_model.record(
+                compiler.cost_hint(req),
+                compile_start.elapsed().as_nanos() as u64,
+            );
             let shared = if caching {
                 cache.insert(key, req, artifact)
             } else {
@@ -342,6 +400,7 @@ mod tests {
             ServiceConfig {
                 workers,
                 caching: true,
+                ..Default::default()
             },
         )
     }
@@ -432,6 +491,7 @@ mod tests {
             ServiceConfig {
                 workers: 1,
                 caching: false,
+                ..Default::default()
             },
         );
         let req = CompileRequest::new("r", "x");
@@ -450,5 +510,67 @@ mod tests {
         let frontend = &stats.stages[crate::Stage::Frontend.index()];
         assert_eq!(frontend.count, 1);
         assert_eq!(frontend.p50_nanos, 5);
+    }
+
+    #[test]
+    fn a_capped_cache_evicts_and_the_evictee_recompiles() {
+        let svc = CompileService::new(
+            Toy::new(),
+            ServiceConfig {
+                workers: 1,
+                caching: true,
+                cache: crate::CacheConfig {
+                    max_entries: Some(1),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let (ra, rb) = (
+            CompileRequest::new("a", "one"),
+            CompileRequest::new("b", "two"),
+        );
+        svc.compile_one(ra.clone());
+        svc.compile_one(rb.clone()); // evicts `a` (cap 1)
+        let stats = svc.stats();
+        assert_eq!((stats.cache_entries, stats.cache_evictions), (1, 1));
+        // `a` was evicted: its next request misses, recompiles, and the
+        // fresh artifact verifies against the request content again.
+        let again = svc.compile_one(ra);
+        assert!(!again.cache_hit);
+        assert_eq!(*again.result.unwrap(), "ONE");
+        assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), 3);
+        assert!(svc.stats().cache_evictions >= 1);
+        let _ = rb;
+    }
+
+    #[test]
+    fn cost_scheduling_reorders_submission_but_not_results() {
+        let svc = CompileService::new(
+            Toy::new(),
+            ServiceConfig {
+                workers: 1,
+                caching: true,
+                schedule: crate::SchedulePolicy::Cost,
+                ..Default::default()
+            },
+        );
+        // Toy's default cost hint is the source length: the longest
+        // source is submitted (and with one worker, compiled) first.
+        let reqs = vec![
+            CompileRequest::new("short", "s"),
+            CompileRequest::new("long", "the longest source of them all"),
+            CompileRequest::new("mid", "a medium one"),
+        ];
+        let batch = svc.compile_batch(reqs.clone());
+        assert_eq!(batch.ok_count(), 3);
+        // Reports stay in request order regardless of submission order.
+        let names: Vec<&str> = batch.items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["short", "long", "mid"]);
+        // The model learned from the uncached compilations.
+        assert_eq!(svc.cost_model().samples(), 3);
+        // A warm batch is unaffected by scheduling: all hits.
+        let warm = svc.compile_batch(reqs);
+        assert_eq!(warm.hit_count(), 3);
     }
 }

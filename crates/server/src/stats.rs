@@ -4,6 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::cache::CacheCounters;
 use crate::{Stage, StageSample};
 
 /// Cap on retained latency samples per distribution. Past the cap the
@@ -101,7 +102,7 @@ impl StatsCollector {
         self.request_ns.lock().expect("stats lock").record(nanos);
     }
 
-    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+    pub(crate) fn snapshot(&self, cache: CacheCounters) -> StatsSnapshot {
         let stages = {
             let per_stage = self.stage_ns.lock().expect("stats lock");
             Stage::ALL
@@ -127,6 +128,9 @@ impl StatsCollector {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            cache_entries: cache.entries,
+            cache_bytes: cache.bytes,
+            cache_evictions: cache.evictions,
             stages,
             request_p50_nanos,
             request_p95_nanos,
@@ -163,6 +167,13 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Requests whose compilation panicked (contained).
     pub panics: u64,
+    /// Artifacts currently held by the cache.
+    pub cache_entries: u64,
+    /// Weighed bytes currently held by the cache (stored source plus
+    /// the compiler's artifact-size estimate).
+    pub cache_bytes: u64,
+    /// Entries evicted to honor a capacity cap (monotone).
+    pub cache_evictions: u64,
     /// Per-stage latency distributions (pipeline order). Percentiles are
     /// computed over a sliding window of recent samples (memory-bounded);
     /// `count` and `total_nanos` are exact.
@@ -209,6 +220,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.errors,
             self.panics,
             self.hit_ratio() * 100.0
+        )?;
+        writeln!(
+            f,
+            "cache: {} entries, {} bytes, {} evictions",
+            self.cache_entries, self.cache_bytes, self.cache_evictions
         )?;
         writeln!(
             f,
@@ -270,7 +286,7 @@ mod tests {
             },
         ]);
         c.record_latency(110);
-        let snap = c.snapshot();
+        let snap = c.snapshot(CacheCounters::default());
         assert_eq!(snap.requests, 1);
         assert_eq!(snap.cache_misses, 1);
         let frontend = &snap.stages[Stage::Frontend.index()];

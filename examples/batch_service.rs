@@ -22,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let svc = service(ServiceConfig {
         workers: 4,
         caching: true,
+        ..Default::default()
     });
 
     let cold = svc.compile_batch(requests.clone());

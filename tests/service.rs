@@ -30,6 +30,7 @@ fn warm_hit_skips_the_pipeline_and_reemits_identical_c() {
     let svc = service(ServiceConfig {
         workers: 2,
         caching: true,
+        ..Default::default()
     });
     let names = ["tracker", "count", "cruise", "watchdog3"];
     let reqs: Vec<CompileRequest> = names.iter().map(|n| benchmark_request(n)).collect();
@@ -82,6 +83,7 @@ fn batch_output_is_deterministic_for_any_worker_count() {
         let svc = service(ServiceConfig {
             workers,
             caching: true,
+            ..Default::default()
         });
         let report = svc.compile_batch(reqs.clone());
         assert_eq!(report.ok_count(), reqs.len(), "workers={workers}");
@@ -108,6 +110,7 @@ fn failing_requests_do_not_poison_the_batch_or_the_pool() {
     let svc = service(ServiceConfig {
         workers: 2,
         caching: true,
+        ..Default::default()
     });
     let batch = svc.compile_batch(vec![
         benchmark_request("tracker"),
@@ -143,6 +146,7 @@ fn io_mode_caches_separately_and_changes_the_artifact() {
     let svc = service(ServiceConfig {
         workers: 2,
         caching: true,
+        ..Default::default()
     });
     let volatile = svc.compile_one(benchmark_request("tracker"));
     let stdio = svc.compile_one(
@@ -168,6 +172,7 @@ fn generated_corpus_scales_across_workers_without_result_change() {
     let svc = service(ServiceConfig {
         workers: 8,
         caching: true,
+        ..Default::default()
     });
     let report = svc.compile_batch(reqs);
     assert_eq!(report.err_count(), 0);

@@ -182,7 +182,7 @@ macro_rules! prop_oneof {
 
 /// Defines property tests:
 ///
-/// ```ignore
+/// ```text
 /// proptest! {
 ///     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 ///     #[test]

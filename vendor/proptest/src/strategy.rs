@@ -225,7 +225,7 @@ pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: std::ops::Range<usize>,
