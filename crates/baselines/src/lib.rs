@@ -30,6 +30,43 @@ use velus_obc::fusion::fuse_program;
 use velus_obc::translate::translate_program;
 use velus_ops::Ops;
 
+/// The baseline compilation schemes, as first-class values — callers
+/// (the Fig. 12 harness, the service's baseline-diff artifact) iterate
+/// [`BaselineScheme::ALL`] instead of hard-coding the pair of functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineScheme {
+    /// Heptagon 1.03-style: re-normalize, translate, fuse.
+    Heptagon,
+    /// Lustre v6-style: re-normalize, delays as auxiliary-class calls,
+    /// no fusion.
+    LustreV6,
+}
+
+impl BaselineScheme {
+    /// Both schemes, in the paper's column order.
+    pub const ALL: [BaselineScheme; 2] = [BaselineScheme::Heptagon, BaselineScheme::LustreV6];
+
+    /// A short stable name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineScheme::Heptagon => "heptagon",
+            BaselineScheme::LustreV6 => "lustre-v6",
+        }
+    }
+
+    /// Compiles `prog` to Obc under this scheme.
+    ///
+    /// # Errors
+    ///
+    /// Scheduling cycles or translation failures.
+    pub fn compile<O: Ops>(self, prog: &Program<O>) -> Result<ObcProgram<O>, BaselineError> {
+        match self {
+            BaselineScheme::Heptagon => heptagon_obc(prog),
+            BaselineScheme::LustreV6 => lustre_v6_obc(prog),
+        }
+    }
+}
+
 /// Compiles `prog` to Obc the way Heptagon would: re-normalized to one
 /// operator per equation (muxes as value selections), then the standard
 /// clock-directed translation with fusion.

@@ -13,6 +13,7 @@ fn bench_industrial(c: &mut Criterion) {
             nodes,
             eqs_per_node: 24,
             fan_in: 2,
+            subclock_depth: 0,
         };
         let prog = industrial_program(&cfg);
         let root = velus_common::Ident::new(&format!("blk{}", nodes - 1));

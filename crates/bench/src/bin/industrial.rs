@@ -56,21 +56,25 @@ fn main() {
                 nodes: 100,
                 eqs_per_node: 24,
                 fan_in: 2,
+                subclock_depth: 0,
             },
             IndustrialConfig {
                 nodes: 500,
                 eqs_per_node: 24,
                 fan_in: 2,
+                subclock_depth: 0,
             },
             IndustrialConfig {
                 nodes: 1500,
                 eqs_per_node: 24,
                 fan_in: 2,
+                subclock_depth: 0,
             },
             IndustrialConfig {
                 nodes: 3000,
                 eqs_per_node: 24,
                 fan_in: 2,
+                subclock_depth: 0,
             },
             IndustrialConfig::paper_scale(),
         ]
@@ -80,16 +84,19 @@ fn main() {
                 nodes: 50,
                 eqs_per_node: 24,
                 fan_in: 2,
+                subclock_depth: 0,
             },
             IndustrialConfig {
                 nodes: 200,
                 eqs_per_node: 24,
                 fan_in: 2,
+                subclock_depth: 0,
             },
             IndustrialConfig {
                 nodes: 600,
                 eqs_per_node: 24,
                 fan_in: 2,
+                subclock_depth: 0,
             },
         ]
     };

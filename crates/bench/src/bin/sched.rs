@@ -38,6 +38,7 @@ fn skewed_corpus(small: usize) -> Vec<CompileRequest> {
                 nodes: 4 + k % 3,
                 eqs_per_node: 4 + k % 4,
                 fan_in: 1,
+                subclock_depth: 0,
             };
             let root = format!("blk{}", cfg.nodes - 1);
             CompileRequest::new(format!("small{k:02}"), industrial_source(&cfg)).with_root(root)
@@ -48,6 +49,7 @@ fn skewed_corpus(small: usize) -> Vec<CompileRequest> {
             nodes,
             eqs_per_node: 18,
             fan_in: 2,
+            subclock_depth: 0,
         };
         let root = format!("blk{}", cfg.nodes - 1);
         reqs.push(CompileRequest::new(format!("big{k}"), industrial_source(&cfg)).with_root(root));
@@ -74,6 +76,7 @@ fn run_policy(
             nodes: 6,
             eqs_per_node: 6,
             fan_in: 1,
+            subclock_depth: 0,
         }),
     )
     .with_root("blk5");

@@ -1,22 +1,26 @@
 //! Throughput scaling of the batch compilation service.
 //!
 //! Compiles a deterministic corpus of generated programs (the
-//! `velus-testkit` industrial generator at several shapes) through
-//! `velus::service` with 1, 2, 4, … workers, and reports cold-batch
-//! throughput, warm-batch (cache-served) throughput, and the service's
-//! per-stage latency statistics.
+//! `velus-testkit` industrial generator at several shapes, a third of
+//! them sub-clocked/fusion-heavy) through `velus::service` with
+//! 1, 2, 4, … workers, and reports cold-batch throughput, warm-batch
+//! (cache-served) throughput, and the service's per-stage latency
+//! statistics. A second dimension compares **artifact sets**: the same
+//! corpus requested as C only, WCET only, and C+WCET in one request —
+//! the mixed batch shares the pipeline prefix, so it costs roughly one
+//! compilation, not two.
 //!
 //! ```text
 //! cargo run --release -p velus-bench --bin service \
 //!     [--programs N] [--max-workers N] [--json PATH]
 //! ```
 //!
-//! `--json PATH` additionally writes the sweep as a JSON array (one
-//! object per worker count) so runs can be recorded and diffed across
-//! commits (see `BENCH_service.json` at the repository root).
+//! `--json PATH` additionally writes the worker sweep as a JSON array
+//! (one object per worker count) so runs can be recorded and diffed
+//! across commits (see `BENCH_service.json` at the repository root).
 
 use velus::service::{service, ServiceConfig};
-use velus::CompileRequest;
+use velus::{ArtifactKind, CompileOptions, CompileRequest, WcetModelKind};
 use velus_bench::{parse_flag, parse_string_flag};
 use velus_testkit::industrial::{industrial_source, IndustrialConfig};
 
@@ -29,6 +33,8 @@ fn corpus(programs: usize) -> Vec<CompileRequest> {
                 nodes: 8 + (k % 7) * 3,
                 eqs_per_node: 6 + (k % 5) * 2,
                 fan_in: 1 + k % 2,
+                // A third of the corpus is sub-clocked (fusion-heavy).
+                subclock_depth: k % 3,
             };
             let source = industrial_source(&cfg);
             let root = format!("blk{}", cfg.nodes - 1);
@@ -120,5 +126,55 @@ fn main() {
     }
     if let Some((workers, stats)) = last_stats {
         println!("\nservice statistics ({workers} workers):\n{stats}");
+    }
+
+    artifact_dimension(&requests, max_workers.max(1));
+}
+
+/// The artifact-set dimension: the same corpus requested as single-kind
+/// and multi-kind batches, at a fixed worker count. Each batch runs on
+/// a fresh service (cold cache), then once warm. The interesting
+/// comparison is `c,wcet` against `c` — the mixed batch runs the
+/// shared pipeline prefix once per program, so its cold cost is close
+/// to a single-artifact batch, nowhere near the sum of two.
+fn artifact_dimension(base: &[CompileRequest], workers: usize) {
+    const WCET: ArtifactKind = ArtifactKind::Wcet {
+        model: WcetModelKind::CompCert,
+    };
+    let sets: [(&str, Vec<ArtifactKind>); 3] = [
+        ("c", vec![ArtifactKind::CCode]),
+        ("wcet", vec![WCET]),
+        ("c,wcet", vec![ArtifactKind::CCode, WCET]),
+    ];
+    println!("\nartifact-set dimension ({workers} workers, fresh cache per set):");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>14}",
+        "emit", "cold", "cold prog/s", "warm", "warm prog/s"
+    );
+    for (label, kinds) in sets {
+        let requests: Vec<CompileRequest> = base
+            .iter()
+            .map(|r| {
+                r.clone()
+                    .with_options(CompileOptions::for_kinds(kinds.clone()))
+            })
+            .collect();
+        let svc = service(ServiceConfig {
+            workers,
+            caching: true,
+            ..Default::default()
+        });
+        let cold = svc.compile_batch(requests.clone());
+        assert_eq!(cold.err_count(), 0, "artifact-set batch must compile");
+        let warm = svc.compile_batch(requests);
+        assert_eq!(warm.hit_count(), warm.items.len());
+        println!(
+            "{:<10} {:>12} {:>14.1} {:>12} {:>14.1}",
+            label,
+            format!("{:.2?}", cold.wall),
+            cold.throughput(),
+            format!("{:.2?}", warm.wall),
+            warm.throughput()
+        );
     }
 }

@@ -1,0 +1,476 @@
+//! Multi-backend artifacts over the staged pipeline.
+//!
+//! One compilation can serve several backends: the printed C, a WCET
+//! report (per back-end cost model, as in Fig. 12), a comparison
+//! against the paper's baseline compilation schemes, and pretty-printed
+//! IR dumps. [`produce`] maps a requested [`ArtifactKind`] set onto a
+//! [`StagedPipeline`], forcing **only the stages the set needs**: a
+//! WCET-only request stops after Clight generation (emission never
+//! runs), an N-Lustre dump stops after the front-end checks.
+//!
+//! Each artifact records its own resident footprint
+//! ([`ServiceArtifact::estimated_bytes`]) so the service's cache byte
+//! cap weighs dump-heavy artifacts honestly — an IR dump retains the
+//! typed IR, not just a string, and is weighed as such.
+
+use velus_baselines::BaselineScheme;
+use velus_clight::printer::TestIo;
+use velus_nlustre::ast::{CExpr, Equation, Expr, Program};
+use velus_obc::ast::ObcProgram;
+use velus_ops::ClightOps;
+use velus_server::{ArtifactKind, IrStageKind, WcetModelKind};
+use velus_wcet::CostModel;
+
+use crate::passes::StagedPipeline;
+use crate::VelusError;
+
+/// Maps the serving layer's opaque model tag to the analyzer's model.
+pub fn cost_model(kind: WcetModelKind) -> CostModel {
+    match kind {
+        WcetModelKind::CompCert => CostModel::CompCert,
+        WcetModelKind::Gcc => CostModel::Gcc,
+        WcetModelKind::GccInline => CostModel::GccInline,
+    }
+}
+
+/// A WCET report for the root's `step` function under one cost model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WcetArtifact {
+    /// The model the estimate was computed under.
+    pub model: WcetModelKind,
+    /// The root node whose `step` was analyzed.
+    pub root: String,
+    /// The estimated worst-case cycles.
+    pub cycles: u64,
+}
+
+impl WcetArtifact {
+    /// Renders the report in the `velus wcet` CLI format.
+    pub fn render(&self) -> String {
+        format!(
+            "{} step: {} cycles ({})\n",
+            self.root,
+            self.cycles,
+            self.model.name()
+        )
+    }
+}
+
+/// One row of a baseline comparison: a compilation scheme's Obc size
+/// and step-WCET under the three back-end models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineRow {
+    /// Scheme name (`velus`, `heptagon`, `lustre-v6`).
+    pub scheme: &'static str,
+    /// Total Obc statement count across all class methods.
+    pub obc_size: usize,
+    /// Step WCET cycles under `[cc, gcc, gcci]`.
+    pub wcet: [u64; 3],
+}
+
+/// A comparison of the validated pipeline against the paper's baseline
+/// schemes (Fig. 12's mechanism, served as an artifact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineDiffArtifact {
+    /// The root node compared.
+    pub root: String,
+    /// Rows: Vélus first, then each [`BaselineScheme`].
+    pub rows: Vec<BaselineRow>,
+}
+
+impl BaselineDiffArtifact {
+    /// Renders the comparison as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "baseline comparison for root `{}` (step WCET in cycles):\n{:<12} {:>9} {:>8} {:>8} {:>8}\n",
+            self.root, "scheme", "obc-size", "cc", "gcc", "gcci"
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:>9} {:>8} {:>8} {:>8}\n",
+                row.scheme, row.obc_size, row.wcet[0], row.wcet[1], row.wcet[2]
+            ));
+        }
+        out
+    }
+}
+
+/// A retained intermediate representation (the typed AST, not its
+/// rendering — rendering is cheap and deterministic, retention is what
+/// the cache must weigh).
+#[derive(Debug, Clone)]
+pub enum IrSnapshot {
+    /// Elaborated, unscheduled N-Lustre.
+    NLustre(Program<ClightOps>),
+    /// Scheduled SN-Lustre.
+    SnLustre(Program<ClightOps>),
+    /// Translated Obc, before fusion.
+    Obc(ObcProgram<ClightOps>),
+    /// Obc after fusion.
+    ObcFused(ObcProgram<ClightOps>),
+}
+
+impl IrSnapshot {
+    /// Which pipeline stage the snapshot is of.
+    pub fn stage(&self) -> IrStageKind {
+        match self {
+            IrSnapshot::NLustre(_) => IrStageKind::NLustre,
+            IrSnapshot::SnLustre(_) => IrStageKind::SnLustre,
+            IrSnapshot::Obc(_) => IrStageKind::Obc,
+            IrSnapshot::ObcFused(_) => IrStageKind::ObcFused,
+        }
+    }
+
+    /// Pretty-prints the retained IR (the `velus dump` format).
+    pub fn render(&self) -> String {
+        match self {
+            IrSnapshot::NLustre(p) | IrSnapshot::SnLustre(p) => format!("{p}"),
+            IrSnapshot::Obc(p) | IrSnapshot::ObcFused(p) => format!("{p}"),
+        }
+    }
+
+    /// An estimate of the retained IR's resident size in bytes, used to
+    /// weigh the artifact against the cache byte cap. A structural
+    /// count (AST nodes × per-node footprint), not a deep `size_of`
+    /// traversal — cheap, deterministic, and within a small factor of
+    /// the truth, which is all eviction accounting needs.
+    pub fn estimated_bytes(&self) -> usize {
+        match self {
+            IrSnapshot::NLustre(p) | IrSnapshot::SnLustre(p) => nlustre_bytes(p),
+            IrSnapshot::Obc(p) | IrSnapshot::ObcFused(p) => obc_bytes(p),
+        }
+    }
+}
+
+/// Approximate heap footprint of one N-Lustre expression node
+/// (discriminant, boxes, type annotation).
+const EXPR_NODE_BYTES: usize = 48;
+/// Approximate footprint of a declaration (name, type, clock chain).
+const DECL_BYTES: usize = 40;
+/// Fixed per-equation footprint (clock, defined variables).
+const EQ_BYTES: usize = 56;
+/// Fixed per-node / per-class / per-method footprint.
+const CONTAINER_BYTES: usize = 96;
+/// Approximate footprint of one Obc statement or expression node.
+const OBC_NODE_BYTES: usize = 56;
+
+fn expr_nodes(e: &Expr<ClightOps>) -> usize {
+    match e {
+        Expr::Var(..) | Expr::Const(..) => 1,
+        Expr::Unop(_, e1, _) => 1 + expr_nodes(e1),
+        Expr::Binop(_, e1, e2, _) => 1 + expr_nodes(e1) + expr_nodes(e2),
+        Expr::When(e1, _, _) => 1 + expr_nodes(e1),
+    }
+}
+
+fn cexpr_nodes(ce: &CExpr<ClightOps>) -> usize {
+    match ce {
+        CExpr::Merge(_, t, f) => 1 + cexpr_nodes(t) + cexpr_nodes(f),
+        CExpr::If(c, t, f) => 1 + expr_nodes(c) + cexpr_nodes(t) + cexpr_nodes(f),
+        CExpr::Expr(e) => expr_nodes(e),
+    }
+}
+
+/// Structural size estimate of an N-Lustre program.
+fn nlustre_bytes(prog: &Program<ClightOps>) -> usize {
+    prog.nodes
+        .iter()
+        .map(|node| {
+            let decls = (node.inputs.len() + node.outputs.len() + node.locals.len()) * DECL_BYTES;
+            let eqs: usize = node
+                .eqs
+                .iter()
+                .map(|eq| {
+                    EQ_BYTES
+                        + EXPR_NODE_BYTES
+                            * match eq {
+                                Equation::Def { rhs, .. } => cexpr_nodes(rhs),
+                                Equation::Fby { rhs, .. } => 1 + expr_nodes(rhs),
+                                Equation::Call { args, xs, .. } => {
+                                    xs.len() + args.iter().map(expr_nodes).sum::<usize>()
+                                }
+                            }
+                })
+                .sum();
+            CONTAINER_BYTES + decls + eqs
+        })
+        .sum()
+}
+
+/// Structural size estimate of an Obc program (statement counts via
+/// [`velus_obc::ast::Stmt::size`]).
+fn obc_bytes(prog: &ObcProgram<ClightOps>) -> usize {
+    prog.classes
+        .iter()
+        .map(|class| {
+            let header =
+                CONTAINER_BYTES + (class.memories.len() + class.instances.len()) * DECL_BYTES;
+            let methods: usize = class
+                .methods
+                .iter()
+                .map(|m| {
+                    CONTAINER_BYTES
+                        + (m.inputs.len() + m.outputs.len() + m.locals.len()) * DECL_BYTES
+                        + m.body.size() * OBC_NODE_BYTES
+                })
+                .sum();
+            header + methods
+        })
+        .sum()
+}
+
+/// One cached, served artifact — exactly what its kind needs, nothing
+/// more. A `Wcet` entry holds a few words; only `IrDump` retains an IR
+/// and only `CCode` retains the printed C.
+#[derive(Debug, Clone)]
+pub enum ServiceArtifact {
+    /// The printed C translation unit.
+    CCode {
+        /// The C source text (per the request's `IoMode`).
+        c_code: String,
+    },
+    /// A WCET report.
+    Wcet(WcetArtifact),
+    /// A baseline-scheme comparison.
+    BaselineDiff(BaselineDiffArtifact),
+    /// A retained intermediate representation.
+    IrDump(IrSnapshot),
+}
+
+impl ServiceArtifact {
+    /// The kind this artifact serves.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            ServiceArtifact::CCode { .. } => ArtifactKind::CCode,
+            ServiceArtifact::Wcet(w) => ArtifactKind::Wcet { model: w.model },
+            ServiceArtifact::BaselineDiff(_) => ArtifactKind::BaselineDiff,
+            ServiceArtifact::IrDump(ir) => ArtifactKind::IrDump { stage: ir.stage() },
+        }
+    }
+
+    /// The C text, if this is a C artifact.
+    pub fn c_code(&self) -> Option<&str> {
+        match self {
+            ServiceArtifact::CCode { c_code } => Some(c_code),
+            _ => None,
+        }
+    }
+
+    /// Renders the artifact as text (the C itself, a report, a table,
+    /// or a pretty-printed IR). Deterministic: equal artifacts render
+    /// byte-identically, which is what `velus batch` warm-pass
+    /// verification compares.
+    pub fn render(&self) -> String {
+        match self {
+            ServiceArtifact::CCode { c_code } => c_code.clone(),
+            ServiceArtifact::Wcet(w) => w.render(),
+            ServiceArtifact::BaselineDiff(d) => d.render(),
+            ServiceArtifact::IrDump(ir) => ir.render(),
+        }
+    }
+
+    /// The artifact's resident footprint in bytes, for cache byte-cap
+    /// accounting: the C text's length, a small constant for reports,
+    /// and the structural IR estimate for dumps.
+    pub fn estimated_bytes(&self) -> usize {
+        match self {
+            ServiceArtifact::CCode { c_code } => c_code.len(),
+            ServiceArtifact::Wcet(w) => std::mem::size_of::<WcetArtifact>() + w.root.len(),
+            ServiceArtifact::BaselineDiff(d) => {
+                std::mem::size_of::<BaselineDiffArtifact>()
+                    + d.root.len()
+                    + d.rows.len() * std::mem::size_of::<BaselineRow>()
+            }
+            ServiceArtifact::IrDump(ir) => ir.estimated_bytes(),
+        }
+    }
+}
+
+fn wcet_of(
+    clight: &velus_clight::ast::Program,
+    root: velus_common::Ident,
+    model: CostModel,
+) -> Result<u64, VelusError> {
+    velus_wcet::wcet_step(clight, root, model).map_err(|e| VelusError::Validation(e.to_string()))
+}
+
+fn baseline_diff(staged: &mut StagedPipeline<'_>) -> Result<BaselineDiffArtifact, VelusError> {
+    let root = staged.root();
+    // The Vélus row measures the validated pipeline's own output.
+    let velus_obc_size: usize = staged
+        .obc_fused()?
+        .classes
+        .iter()
+        .flat_map(|c| &c.methods)
+        .map(|m| m.body.size())
+        .sum();
+    let clight = staged.clight()?;
+    let mut velus_wcet = [0u64; 3];
+    for (k, model) in CostModel::ALL.into_iter().enumerate() {
+        velus_wcet[k] = wcet_of(clight, root, model)?;
+    }
+    let mut rows = vec![BaselineRow {
+        scheme: "velus",
+        obc_size: velus_obc_size,
+        wcet: velus_wcet,
+    }];
+    for scheme in BaselineScheme::ALL {
+        let obc = scheme
+            .compile::<ClightOps>(staged.nlustre())
+            .map_err(|e| VelusError::Validation(e.to_string()))?;
+        let obc_size = obc
+            .classes
+            .iter()
+            .flat_map(|c| &c.methods)
+            .map(|m| m.body.size())
+            .sum();
+        let clight = velus_clight::generate::generate(&obc, root)?;
+        let mut wcet = [0u64; 3];
+        for (k, model) in CostModel::ALL.into_iter().enumerate() {
+            wcet[k] = wcet_of(&clight, root, model)?;
+        }
+        rows.push(BaselineRow {
+            scheme: scheme.name(),
+            obc_size,
+            wcet,
+        });
+    }
+    Ok(BaselineDiffArtifact {
+        root: root.to_string(),
+        rows,
+    })
+}
+
+/// Produces one artifact per requested kind from a staged pipeline,
+/// forcing only the stages the kind set needs. Kinds are produced in
+/// the given order; duplicates yield duplicate artifacts (the service
+/// deduplicates the kind set before calling).
+///
+/// # Errors
+///
+/// Any forced-stage failure, WCET analysis error, or baseline scheme
+/// failure.
+pub fn produce(
+    staged: &mut StagedPipeline<'_>,
+    kinds: &[ArtifactKind],
+    io: TestIo,
+) -> Result<Vec<(ArtifactKind, ServiceArtifact)>, VelusError> {
+    let mut artifacts = Vec::with_capacity(kinds.len());
+    for kind in kinds {
+        let artifact = match kind {
+            ArtifactKind::CCode => ServiceArtifact::CCode {
+                c_code: staged.emit(io)?,
+            },
+            ArtifactKind::Wcet { model } => {
+                let root = staged.root();
+                let cycles = wcet_of(staged.clight()?, root, cost_model(*model))?;
+                ServiceArtifact::Wcet(WcetArtifact {
+                    model: *model,
+                    root: root.to_string(),
+                    cycles,
+                })
+            }
+            ArtifactKind::BaselineDiff => ServiceArtifact::BaselineDiff(baseline_diff(staged)?),
+            ArtifactKind::IrDump { stage } => ServiceArtifact::IrDump(match stage {
+                IrStageKind::NLustre => IrSnapshot::NLustre(staged.nlustre().clone()),
+                IrStageKind::SnLustre => IrSnapshot::SnLustre(staged.snlustre()?.clone()),
+                IrStageKind::Obc => IrSnapshot::Obc(staged.obc()?.clone()),
+                IrStageKind::ObcFused => IrSnapshot::ObcFused(staged.obc_fused()?.clone()),
+            }),
+        };
+        artifacts.push((*kind, artifact));
+    }
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = "
+        node counter(ini, inc: int; res: bool) returns (n: int)
+        let
+          n = if (true fby false) or res then ini else (0 fby n) + inc;
+        tel
+    ";
+
+    fn staged_for(observe: crate::passes::StageObserver<'_>) -> StagedPipeline<'_> {
+        StagedPipeline::from_source(COUNTER, None, observe).unwrap()
+    }
+
+    #[test]
+    fn wcet_only_requests_never_run_emission_or_retain_c() {
+        let mut stages = Vec::new();
+        let mut observe = |stage: velus_server::Stage, _: std::time::Duration| stages.push(stage);
+        let mut staged = staged_for(&mut observe);
+        let kinds = [ArtifactKind::Wcet {
+            model: WcetModelKind::CompCert,
+        }];
+        let artifacts = produce(&mut staged, &kinds, TestIo::Volatile).unwrap();
+        drop(staged);
+        assert_eq!(artifacts.len(), 1);
+        let artifact = &artifacts[0].1;
+        assert!(artifact.c_code().is_none(), "no C was materialized");
+        assert!(matches!(artifact, ServiceArtifact::Wcet(w) if w.cycles > 0));
+        assert!(
+            !stages.contains(&velus_server::Stage::Emit),
+            "emission must not run for a WCET-only request: {stages:?}"
+        );
+        // The report renders like the `velus wcet` CLI line.
+        assert!(artifact.render().contains("cycles (cc)"));
+    }
+
+    #[test]
+    fn nlustre_dump_stops_after_the_front_half() {
+        let mut stages = Vec::new();
+        let mut observe = |stage: velus_server::Stage, _: std::time::Duration| stages.push(stage);
+        let mut staged = staged_for(&mut observe);
+        let kinds = [ArtifactKind::IrDump {
+            stage: IrStageKind::NLustre,
+        }];
+        let artifacts = produce(&mut staged, &kinds, TestIo::Volatile).unwrap();
+        drop(staged);
+        assert_eq!(
+            stages,
+            vec![velus_server::Stage::Frontend, velus_server::Stage::Check]
+        );
+        let rendered = artifacts[0].1.render();
+        assert!(rendered.contains("node counter"), "{rendered}");
+        // The retained IR is weighed structurally, not as its rendering.
+        assert!(artifacts[0].1.estimated_bytes() > 100);
+    }
+
+    #[test]
+    fn baseline_diff_reproduces_the_figure12_relationships() {
+        let mut observe = |_: velus_server::Stage, _: std::time::Duration| {};
+        let mut staged = staged_for(&mut observe);
+        let diff = baseline_diff(&mut staged).unwrap();
+        assert_eq!(diff.rows.len(), 3);
+        assert_eq!(diff.rows[0].scheme, "velus");
+        let velus_cc = diff.rows[0].wcet[0];
+        let lus6 = diff.rows.iter().find(|r| r.scheme == "lustre-v6").unwrap();
+        // Lustre v6 without inlining is slower than Vélus; inlining
+        // narrows the gap (the paper's headline mechanism).
+        assert!(lus6.wcet[0] > velus_cc, "{diff:?}");
+        assert!(lus6.wcet[2] < lus6.wcet[0], "{diff:?}");
+        let rendered = diff.render();
+        assert!(rendered.contains("heptagon"), "{rendered}");
+    }
+
+    #[test]
+    fn ir_estimates_scale_with_program_size() {
+        let small = velus_lustre::compile_to_nlustre::<ClightOps>(COUNTER)
+            .unwrap()
+            .0;
+        let big_src = format!(
+            "{COUNTER}
+             node second(a: int) returns (b: int)
+             var t: int;
+             let t = a * 2; b = t + (0 fby b); tel"
+        );
+        let big = velus_lustre::compile_to_nlustre::<ClightOps>(&big_src)
+            .unwrap()
+            .0;
+        assert!(nlustre_bytes(&big) > nlustre_bytes(&small));
+    }
+}

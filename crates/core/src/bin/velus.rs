@@ -1,33 +1,42 @@
 //! The `velus` command-line compiler.
 //!
 //! ```text
-//! velus compile FILE [--node NAME] [-o OUT.c] [--stdio]   emit C
+//! velus compile FILE [--node NAME] [-o OUT.c] [--stdio]
+//!               [--emit KINDS]                            emit artifacts (default: C)
 //! velus check   FILE                                      elaborate + schedule only
 //! velus run     FILE [--node NAME] --steps N              interpret (dataflow semantics)
 //! velus validate FILE [--node NAME] --steps N             full translation validation
 //! velus wcet    FILE [--node NAME] [--model cc|gcc|gcci]  WCET estimate of step
 //! velus dump    FILE [--node NAME] [--ir nlustre|snlustre|obc|obc-fused]
 //! velus batch   DIR [--workers N] [--passes N] [--stdio]
-//!               [--cache-cap N] [--sched fifo|cost]       batch-compile a directory
+//!               [--cache-cap N] [--sched fifo|cost]
+//!               [--emit KINDS]                            batch-compile a directory
 //! ```
+//!
+//! `--emit KINDS` is a comma-separated artifact set: `c`,
+//! `wcet[:cc|gcc|gcci]`, `baseline`, `nlustre`, `snlustre`, `obc`,
+//! `obc-fused`. A plain `wcet` uses `--model`. Only the pipeline stages
+//! the set needs are run: `--emit wcet` never prints C, `--emit nlustre`
+//! stops after the front-end checks.
 //!
 //! `run` reads one instant of whitespace-separated input values per line
 //! from stdin (`true`/`false` for booleans) and prints the outputs.
 //!
 //! `batch` sweeps `DIR` for `.lus` files (the root node of each file is
 //! its stem), compiles them on the compilation service's worker pool,
-//! and prints a per-file table plus service statistics. With two or more
-//! passes (the default), later passes exercise the artifact cache and
-//! the emitted C is checked byte-for-byte against the cold pass.
-//! `--cache-cap N` bounds the artifact cache to N entries (LRU
-//! eviction; evicted programs recompile and re-verify on later passes)
-//! and `--sched cost` submits each pass longest-predicted-first instead
-//! of FIFO, shortening the makespan of skewed batches.
+//! and prints a per-file table plus service statistics (including
+//! per-artifact-kind rows). With two or more passes (the default), later
+//! passes exercise the per-kind artifact cache and every artifact is
+//! checked byte-for-byte against the cold pass. `--cache-cap N` bounds
+//! the artifact cache to N entries (LRU eviction; evicted programs
+//! recompile and re-verify on later passes) and `--sched cost` submits
+//! each pass longest-predicted-first instead of FIFO, shortening the
+//! makespan of skewed batches.
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use velus::{compile, emit_c, validate::default_inputs, TestIo, VelusError};
+use velus::{compile, validate::default_inputs, ArtifactKind, TestIo, VelusError, WcetModelKind};
 use velus_nlustre::streams::{SVal, StreamSet};
 use velus_ops::{ClightOps, Literal, Ops};
 
@@ -40,6 +49,7 @@ struct Args {
     stdio: bool,
     model: String,
     ir: String,
+    emit: Option<String>,
     workers: usize,
     passes: usize,
     cache_cap: Option<usize>,
@@ -58,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         stdio: false,
         model: "cc".to_owned(),
         ir: "snlustre".to_owned(),
+        emit: None,
         workers: 0,
         passes: 2,
         cache_cap: None,
@@ -77,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
             "--stdio" => parsed.stdio = true,
             "--model" => parsed.model = args.next().ok_or("missing value for --model")?,
             "--ir" => parsed.ir = args.next().ok_or("missing value for --ir")?,
+            "--emit" => parsed.emit = Some(args.next().ok_or("missing value for --emit")?),
             "--workers" => {
                 parsed.workers = args
                     .next()
@@ -112,9 +124,30 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: velus <compile|check|run|validate|wcet|dump> FILE [options]
-       velus batch DIR [--workers N] [--passes N] [--stdio] [--cache-cap N] [--sched fifo|cost]
-options: --node NAME, -o OUT.c, --steps N, --stdio, --model cc|gcc|gcci, --ir nlustre|snlustre|obc|obc-fused"
+       velus batch DIR [--workers N] [--passes N] [--stdio] [--cache-cap N] [--sched fifo|cost] [--emit KINDS]
+options: --node NAME, -o OUT.c, --steps N, --stdio, --model cc|gcc|gcci,
+         --ir nlustre|snlustre|obc|obc-fused,
+         --emit c,wcet[:cc|gcc|gcci],baseline,nlustre,snlustre,obc,obc-fused"
         .to_owned()
+}
+
+/// Parses the `--emit` list; a plain `wcet` token takes its model from
+/// `--model`. Token parsing and deduplication are the library's
+/// (`velus_server::parse_artifact_kinds`) — the CLI only substitutes
+/// the `--model` default in first.
+fn parse_emit(list: &str, default_model: WcetModelKind) -> Result<Vec<ArtifactKind>, String> {
+    let with_model: Vec<String> = list
+        .split(',')
+        .map(|token| {
+            let token = token.trim();
+            if token == "wcet" {
+                format!("wcet:{}", default_model.name())
+            } else {
+                token.to_owned()
+            }
+        })
+        .collect();
+    velus_server::parse_artifact_kinds(&with_model.join(","))
 }
 
 fn read_file(path: &str) -> Result<String, String> {
@@ -170,13 +203,16 @@ fn run_batch(args: &Args) -> Result<(), String> {
         return Err(format!("no .lus files in {dir}"));
     }
 
-    let options = CompileOptions {
-        io: if args.stdio {
-            IoMode::Stdio
-        } else {
-            IoMode::Volatile
-        },
+    let default_model: WcetModelKind = args.model.parse()?;
+    let kinds = match args.emit.as_deref() {
+        Some(list) => parse_emit(list, default_model)?,
+        None => vec![ArtifactKind::CCode],
     };
+    let options = CompileOptions::for_kinds(kinds.clone()).with_io(if args.stdio {
+        IoMode::Stdio
+    } else {
+        IoMode::Volatile
+    });
     let requests: Vec<CompileRequest> = files
         .iter()
         .map(|path| {
@@ -188,7 +224,7 @@ fn run_batch(args: &Args) -> Result<(), String> {
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
             Ok(CompileRequest::new(&stem, source)
                 .with_root(&stem)
-                .with_options(options))
+                .with_options(options.clone()))
         })
         .collect::<Result<_, String>>()?;
 
@@ -201,12 +237,14 @@ fn run_batch(args: &Args) -> Result<(), String> {
     config.cache.max_entries = args.cache_cap;
     config.schedule = args.sched.parse()?;
     let svc = service(config);
+    let emit_list: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
     println!(
-        "batch: {} programs from {dir}, {} workers, {} pass(es), {} scheduling{}",
+        "batch: {} programs from {dir}, {} workers, {} pass(es), {} scheduling, emit {}{}",
         requests.len(),
         svc.worker_count(),
         args.passes,
         args.sched,
+        emit_list.join(","),
         match args.cache_cap {
             Some(cap) => format!(", cache cap {cap}"),
             None => String::new(),
@@ -214,7 +252,9 @@ fn run_batch(args: &Args) -> Result<(), String> {
     );
 
     let mut failed = 0usize;
-    let mut cold_c: Vec<Option<String>> = vec![None; requests.len()];
+    // Per (program, kind): the cold pass's rendered artifact, checked
+    // byte-for-byte against every later pass.
+    let mut cold: Vec<Option<Vec<String>>> = vec![None; requests.len()];
     for pass in 0..args.passes {
         let report = svc.compile_batch(requests.clone());
         println!(
@@ -227,32 +267,51 @@ fn run_batch(args: &Args) -> Result<(), String> {
         );
         println!(
             "{:<22} {:>8} {:>6} {:>12} {:>10}",
-            "program", "status", "cache", "latency", "C bytes"
+            "program", "status", "cache", "latency", "bytes"
         );
         for (k, item) in report.items.iter().enumerate() {
-            let (status, bytes) = match &item.result {
-                Ok(artifact) => ("ok", artifact.c_code.len().to_string()),
-                Err(_) => ("error", "-".to_owned()),
+            let (status, cache, bytes) = match &item.result {
+                Ok(artifacts) => {
+                    let hits = artifacts.iter().filter(|a| a.cache_hit).count();
+                    let cache = if hits == artifacts.len() {
+                        "hit".to_owned()
+                    } else if hits == 0 {
+                        "miss".to_owned()
+                    } else {
+                        format!("{hits}/{}", artifacts.len())
+                    };
+                    let total: usize = artifacts.iter().map(|a| a.artifact.estimated_bytes()).sum();
+                    ("ok", cache, total.to_string())
+                }
+                Err(_) => ("error", "-".to_owned(), "-".to_owned()),
             };
             println!(
                 "{:<22} {:>8} {:>6} {:>12} {:>10}",
                 item.name,
                 status,
-                if item.cache_hit { "hit" } else { "miss" },
+                cache,
                 format!("{:.2?}", item.latency),
                 bytes
             );
             match &item.result {
-                Ok(artifact) => match &cold_c[k] {
-                    None => cold_c[k] = Some(artifact.c_code.clone()),
-                    Some(cold) if *cold == artifact.c_code => {}
-                    Some(_) => {
-                        return Err(format!(
-                            "{}: warm pass emitted different C than the cold pass",
-                            item.name
-                        ))
+                Ok(artifacts) => {
+                    let rendered: Vec<String> =
+                        artifacts.iter().map(|a| a.artifact.render()).collect();
+                    match &cold[k] {
+                        None => cold[k] = Some(rendered),
+                        Some(cold_rendered) => {
+                            for (i, (was, now)) in cold_rendered.iter().zip(&rendered).enumerate() {
+                                if was != now {
+                                    return Err(format!(
+                                        "{}: warm pass produced a different `{}` artifact \
+                                         than the cold pass",
+                                        item.name, artifacts[i].kind
+                                    ));
+                                }
+                            }
+                        }
                     }
-                },
+                }
                 Err(ServiceError::Compile(e)) => eprintln!("{}: {e}", item.name),
                 Err(other) => eprintln!("{}: {other}", item.name),
             }
@@ -261,7 +320,7 @@ fn run_batch(args: &Args) -> Result<(), String> {
             }
         }
         if pass > 0 && report.hit_count() == report.items.len() {
-            println!("warm pass: every artifact served from cache, byte-identical C");
+            println!("warm pass: every artifact served from cache, byte-identical output");
         }
     }
 
@@ -303,22 +362,46 @@ fn main_inner() -> Result<(), String> {
             Ok(())
         }
         "compile" => {
-            let c = compile(&source, node).map_err(render_err)?;
-            for w in c.warnings.iter() {
-                eprintln!("{}", w.render(&source));
-            }
             let io = if args.stdio {
                 TestIo::Stdio
             } else {
                 TestIo::Volatile
             };
-            let code = emit_c(&c, io);
-            match &args.out {
-                Some(path) => {
-                    std::fs::write(path, code).map_err(|e| format!("cannot write {path}: {e}"))?
-                }
-                None => print!("{code}"),
+            let kinds = match args.emit.as_deref() {
+                Some(list) => parse_emit(list, args.model.parse()?)?,
+                None => vec![ArtifactKind::CCode],
+            };
+            if args.out.is_some() && !kinds.contains(&ArtifactKind::CCode) {
+                return Err("-o needs the `c` artifact kind in --emit".to_owned());
             }
+            // The staged pipeline runs (and re-validates) only the
+            // stages the requested artifact set needs.
+            let mut observe = |_, _| {};
+            let mut staged = velus::StagedPipeline::from_source(&source, node, &mut observe)
+                .map_err(render_err)?;
+            for w in staged.warnings().iter() {
+                eprintln!("{}", w.render(&source));
+            }
+            let artifacts =
+                velus::artifacts::produce(&mut staged, &kinds, io).map_err(render_err)?;
+            let mut to_stdout = String::new();
+            for (kind, artifact) in &artifacts {
+                // The C artifact honors `-o`; everything else (and C
+                // without `-o`) goes to stdout, with headers once more
+                // than one artifact is printed.
+                if *kind == ArtifactKind::CCode {
+                    if let Some(path) = &args.out {
+                        std::fs::write(path, artifact.render())
+                            .map_err(|e| format!("cannot write {path}: {e}"))?;
+                        continue;
+                    }
+                }
+                if artifacts.len() > 1 {
+                    to_stdout.push_str(&format!("== {kind} ==\n"));
+                }
+                to_stdout.push_str(&artifact.render());
+            }
+            print!("{to_stdout}");
             Ok(())
         }
         "dump" => {
@@ -375,16 +458,16 @@ fn main_inner() -> Result<(), String> {
             Ok(())
         }
         "wcet" => {
-            let c = compile(&source, node).map_err(render_err)?;
-            let model = match args.model.as_str() {
-                "cc" => velus_wcet::CostModel::CompCert,
-                "gcc" => velus_wcet::CostModel::Gcc,
-                "gcci" => velus_wcet::CostModel::GccInline,
-                other => return Err(format!("unknown model `{other}` (cc|gcc|gcci)")),
-            };
-            let cycles =
-                velus_wcet::wcet_step(&c.clight, c.root, model).map_err(|e| e.to_string())?;
-            println!("{} step: {cycles} cycles ({})", c.root, args.model);
+            let model: velus_wcet::CostModel = args.model.parse()?;
+            // The staged pipeline stops after Clight generation — WCET
+            // analysis never prints C.
+            let mut observe = |_, _| {};
+            let mut staged = velus::StagedPipeline::from_source(&source, node, &mut observe)
+                .map_err(render_err)?;
+            let root = staged.root();
+            let cycles = velus_wcet::wcet_step(staged.clight().map_err(render_err)?, root, model)
+                .map_err(|e| e.to_string())?;
+            println!("{root} step: {cycles} cycles ({})", args.model);
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),

@@ -36,16 +36,23 @@
 //! # Ok::<(), velus::VelusError>(())
 //! ```
 
+pub mod artifacts;
 mod error;
+pub mod passes;
 pub mod pipeline;
 pub mod service;
 pub mod validate;
 
+pub use artifacts::ServiceArtifact;
 pub use error::VelusError;
+pub use passes::{PassManager, StagedPipeline};
 pub use pipeline::{
     compile, compile_program, compile_program_timed, compile_timed, emit_c, Compiled,
 };
-pub use service::{PipelineCompiler, ServiceArtifact, VelusService};
+pub use service::{PipelineCompiler, VelusService};
 pub use validate::{validate, validate_with_report, ValidationReport};
 pub use velus_clight::printer::TestIo;
-pub use velus_server::{CompileOptions, CompileRequest, IoMode, ServiceConfig, Stage};
+pub use velus_server::{
+    ArtifactKind, CompileOptions, CompileRequest, IoMode, IrStageKind, ServiceConfig, Stage,
+    WcetModelKind,
+};

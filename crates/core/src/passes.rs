@@ -1,0 +1,627 @@
+//! The staged pass framework: the paper's compiler as a composition of
+//! named, typed passes.
+//!
+//! The paper presents the compiler as a chain of proved passes
+//! (elaborate → schedule → translate → fuse → generate); this module
+//! makes that composition first-class instead of a hand-rolled driver
+//! body. Each pass is a [`Pass`] implementation with
+//!
+//! * a **typed input and output** (the IRs flow through the type system,
+//!   so passes cannot be composed out of order),
+//! * a **re-validation hook** ([`Pass::revalidate`]) — the paper proves
+//!   each pass's postcondition once; this reproduction re-checks it
+//!   after every run, and the hook is where that check lives,
+//! * **timing built in**: the [`PassManager`] wraps every run and
+//!   reports the stage's wall-clock duration to a
+//!   [`StageObserver`], which is what the compilation service's
+//!   per-stage statistics are built from.
+//!
+//! [`StagedPipeline`] composes the passes **on demand**: each IR is
+//! computed (and re-validated) the first time something asks for it and
+//! memoized afterwards, so a request that only needs the front half of
+//! the pipeline — a WCET report, an N-Lustre dump — never pays for the
+//! back half. `compile`/`compile_timed` in [`crate::pipeline`] are thin
+//! wrappers that force every stage.
+
+use std::time::Instant;
+
+use velus_clight::printer::TestIo;
+use velus_common::{Diagnostics, Ident};
+use velus_nlustre::ast::Program;
+use velus_nlustre::{clockcheck, typecheck};
+use velus_obc::ast::ObcProgram;
+use velus_obc::fusion::{fuse_program, fusible};
+use velus_ops::ClightOps;
+use velus_server::Stage;
+
+use crate::VelusError;
+
+/// A per-stage timing observer. Stages are reported in pipeline order
+/// with their wall-clock duration (the duration covers the pass body
+/// *and* its re-validation hook — validation is part of the pass, not
+/// an optional extra).
+pub type StageObserver<'a> = &'a mut dyn FnMut(Stage, std::time::Duration);
+
+/// One named, typed compiler pass.
+///
+/// The lifetime parameter lets a pass borrow its input (e.g.
+/// translation reads the scheduled program without consuming it).
+pub trait Pass<'a> {
+    /// What the pass consumes.
+    type Input: 'a;
+    /// What the pass produces.
+    type Output;
+
+    /// The statistics stage this pass reports under.
+    const STAGE: Stage;
+    /// A short stable name (used in diagnostics and docs).
+    const NAME: &'static str;
+
+    /// Runs the transformation.
+    ///
+    /// # Errors
+    ///
+    /// Any failure of the pass itself (the untrusted half).
+    fn run(&self, input: Self::Input) -> Result<Self::Output, VelusError>;
+
+    /// Re-checks the pass's postcondition on its output (the validated
+    /// half — the paper's proof obligation, executed). The default is a
+    /// no-op for passes whose output needs no separate check.
+    ///
+    /// # Errors
+    ///
+    /// A violated postcondition, reported as a validation failure.
+    fn revalidate(&self, output: &Self::Output) -> Result<(), VelusError> {
+        let _ = output;
+        Ok(())
+    }
+}
+
+/// Runs passes, re-validating and timing each one.
+pub struct PassManager<'o> {
+    observe: StageObserver<'o>,
+}
+
+impl<'o> PassManager<'o> {
+    /// A manager reporting stage durations to `observe`.
+    pub fn new(observe: StageObserver<'o>) -> PassManager<'o> {
+        PassManager { observe }
+    }
+
+    /// Runs one pass: transformation, then re-validation, timing both.
+    ///
+    /// # Errors
+    ///
+    /// The pass's own failure or its postcondition check.
+    pub fn run<'a, P: Pass<'a>>(
+        &mut self,
+        pass: &P,
+        input: P::Input,
+    ) -> Result<P::Output, VelusError> {
+        let start = Instant::now();
+        let output = pass.run(input)?;
+        pass.revalidate(&output)?;
+        (self.observe)(P::STAGE, start.elapsed());
+        Ok(output)
+    }
+}
+
+/// The pass names in pipeline order (documentation and test aid).
+pub const PASS_ORDER: [&str; 7] = [
+    ElaboratePass::NAME,
+    CheckPass::NAME,
+    SchedulePass::NAME,
+    TranslatePass::NAME,
+    FusePass::NAME,
+    GeneratePass::NAME,
+    EmitPass::NAME,
+];
+
+/// Input of the front end: source text plus the optional root override.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontendInput<'a> {
+    /// The Lustre source text.
+    pub source: &'a str,
+    /// The requested root node name, if any.
+    pub root: Option<&'a str>,
+}
+
+/// Output of the front end: the elaborated program, the resolved root,
+/// and the front-end warnings.
+#[derive(Debug, Clone)]
+pub struct Elaborated {
+    /// Elaborated, normalized, unscheduled N-Lustre.
+    pub nlustre: Program<ClightOps>,
+    /// The resolved root node.
+    pub root: Ident,
+    /// Front-end warnings (e.g. the initialization lint).
+    pub warnings: Diagnostics,
+}
+
+/// Picks the default root node: a node never instantiated by another
+/// (the program's sink); ties broken towards the last one declared.
+fn default_root(prog: &Program<ClightOps>) -> Option<Ident> {
+    let called: std::collections::HashSet<Ident> = prog
+        .nodes
+        .iter()
+        .flat_map(|node| &node.eqs)
+        .filter_map(|eq| match eq {
+            velus_nlustre::ast::Equation::Call { node: f, .. } => Some(*f),
+            _ => None,
+        })
+        .collect();
+    prog.nodes
+        .iter()
+        .rev()
+        .map(|n| n.name)
+        .find(|n| !called.contains(n))
+        .or_else(|| prog.nodes.last().map(|n| n.name))
+}
+
+/// Parse, elaborate, and normalize to N-Lustre; resolve the root.
+pub struct ElaboratePass;
+
+impl<'a> Pass<'a> for ElaboratePass {
+    type Input = FrontendInput<'a>;
+    type Output = Elaborated;
+
+    const STAGE: Stage = Stage::Frontend;
+    const NAME: &'static str = "elaborate";
+
+    fn run(&self, input: FrontendInput<'a>) -> Result<Elaborated, VelusError> {
+        let (nlustre, warnings) = velus_lustre::compile_to_nlustre::<ClightOps>(input.source)?;
+        let root = match input.root {
+            Some(r) => {
+                let root = Ident::new(r);
+                if nlustre.node(root).is_none() {
+                    return Err(VelusError::Usage(format!("no node named {root}")));
+                }
+                root
+            }
+            None => default_root(&nlustre)
+                .ok_or_else(|| VelusError::Usage("program has no nodes".to_owned()))?,
+        };
+        Ok(Elaborated {
+            nlustre,
+            root,
+            warnings,
+        })
+    }
+}
+
+/// Re-check the elaborator's postconditions (typing and clocking) on an
+/// already-elaborated program. The transformation is the identity; the
+/// checks *are* the pass.
+pub struct CheckPass;
+
+impl Pass<'_> for CheckPass {
+    type Input = Program<ClightOps>;
+    type Output = Program<ClightOps>;
+
+    const STAGE: Stage = Stage::Check;
+    const NAME: &'static str = "check";
+
+    fn run(&self, input: Program<ClightOps>) -> Result<Program<ClightOps>, VelusError> {
+        Ok(input)
+    }
+
+    fn revalidate(&self, output: &Program<ClightOps>) -> Result<(), VelusError> {
+        typecheck::check_program(output)?;
+        clockcheck::check_program_clocks(output)?;
+        Ok(())
+    }
+}
+
+/// Schedule the equations (untrusted heuristic); re-validation runs the
+/// paper's schedule checker plus the typing/clocking preservation
+/// checks.
+pub struct SchedulePass;
+
+impl Pass<'_> for SchedulePass {
+    type Input = Program<ClightOps>;
+    type Output = Program<ClightOps>;
+
+    const STAGE: Stage = Stage::Schedule;
+    const NAME: &'static str = "schedule";
+
+    fn run(&self, mut input: Program<ClightOps>) -> Result<Program<ClightOps>, VelusError> {
+        velus_nlustre::schedule::schedule_program(&mut input)?;
+        Ok(input)
+    }
+
+    fn revalidate(&self, output: &Program<ClightOps>) -> Result<(), VelusError> {
+        for node in &output.nodes {
+            velus_nlustre::deps::check_schedule(node)?;
+        }
+        typecheck::check_program(output)?;
+        clockcheck::check_program_clocks(output)?;
+        Ok(())
+    }
+}
+
+/// Checks that every method of every class is `Fusible` — the paper's
+/// invariant that translation establishes and fusion preserves.
+fn check_fusible(prog: &ObcProgram<ClightOps>, stage: &str) -> Result<(), VelusError> {
+    for class in &prog.classes {
+        for m in &class.methods {
+            if !fusible(&m.body) {
+                return Err(VelusError::Validation(format!(
+                    "{stage} method {}.{} is not Fusible",
+                    class.name, m.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Translate scheduled SN-Lustre to Obc; re-validation re-checks Obc
+/// typing and the `Fusible` postcondition.
+pub struct TranslatePass;
+
+impl<'a> Pass<'a> for TranslatePass {
+    type Input = &'a Program<ClightOps>;
+    type Output = ObcProgram<ClightOps>;
+
+    const STAGE: Stage = Stage::Translate;
+    const NAME: &'static str = "translate";
+
+    fn run(&self, input: &'a Program<ClightOps>) -> Result<ObcProgram<ClightOps>, VelusError> {
+        Ok(velus_obc::translate::translate_program(input)?)
+    }
+
+    fn revalidate(&self, output: &ObcProgram<ClightOps>) -> Result<(), VelusError> {
+        velus_obc::typecheck::check_program(output)?;
+        check_fusible(output, "translated")
+    }
+}
+
+/// The fusion optimization; re-validation checks preservation of typing
+/// and `Fusible`.
+pub struct FusePass;
+
+impl<'a> Pass<'a> for FusePass {
+    type Input = &'a ObcProgram<ClightOps>;
+    type Output = ObcProgram<ClightOps>;
+
+    const STAGE: Stage = Stage::Fuse;
+    const NAME: &'static str = "fuse";
+
+    fn run(&self, input: &'a ObcProgram<ClightOps>) -> Result<ObcProgram<ClightOps>, VelusError> {
+        Ok(fuse_program(input))
+    }
+
+    fn revalidate(&self, output: &ObcProgram<ClightOps>) -> Result<(), VelusError> {
+        velus_obc::typecheck::check_program(output)?;
+        check_fusible(output, "fused")
+    }
+}
+
+/// Input of Clight generation: the fused Obc plus the root class.
+#[derive(Debug, Clone, Copy)]
+pub struct GenerateInput<'a> {
+    /// The fused Obc program.
+    pub obc_fused: &'a ObcProgram<ClightOps>,
+    /// The root class to build the simulation `main` for.
+    pub root: Ident,
+}
+
+/// Generate Clight (with the simulation `main` for the root).
+pub struct GeneratePass;
+
+impl<'a> Pass<'a> for GeneratePass {
+    type Input = GenerateInput<'a>;
+    type Output = velus_clight::ast::Program;
+
+    const STAGE: Stage = Stage::Generate;
+    const NAME: &'static str = "generate";
+
+    fn run(&self, input: GenerateInput<'a>) -> Result<velus_clight::ast::Program, VelusError> {
+        Ok(velus_clight::generate::generate(
+            input.obc_fused,
+            input.root,
+        )?)
+    }
+}
+
+/// Input of emission: the Clight program plus the I/O rendering mode.
+#[derive(Debug, Clone, Copy)]
+pub struct EmitInput<'a> {
+    /// The generated Clight.
+    pub clight: &'a velus_clight::ast::Program,
+    /// How the I/O boundary is rendered.
+    pub io: TestIo,
+}
+
+/// Print the Clight as a compilable C translation unit.
+pub struct EmitPass;
+
+impl<'a> Pass<'a> for EmitPass {
+    type Input = EmitInput<'a>;
+    type Output = String;
+
+    const STAGE: Stage = Stage::Emit;
+    const NAME: &'static str = "emit";
+
+    fn run(&self, input: EmitInput<'a>) -> Result<String, VelusError> {
+        Ok(velus_clight::printer::print_program(input.clight, input.io))
+    }
+}
+
+/// The pipeline composed on demand: each stage runs (and re-validates)
+/// the first time it is requested and is memoized afterwards.
+///
+/// This is the engine behind both the classic whole-pipeline API
+/// ([`crate::compile`] forces every stage) and the multi-artifact
+/// service (a WCET-only request forces stages up to Clight generation
+/// and never runs emission; an N-Lustre dump stops after the checks).
+pub struct StagedPipeline<'o> {
+    pm: PassManager<'o>,
+    nlustre: Program<ClightOps>,
+    root: Ident,
+    warnings: Diagnostics,
+    snlustre: Option<Program<ClightOps>>,
+    obc: Option<ObcProgram<ClightOps>>,
+    obc_fused: Option<ObcProgram<ClightOps>>,
+    clight: Option<velus_clight::ast::Program>,
+}
+
+impl<'o> StagedPipeline<'o> {
+    /// Elaborates `source` and prepares the staged pipeline (the
+    /// `Frontend` and `Check` stages run here).
+    ///
+    /// # Errors
+    ///
+    /// Front-end diagnostics, an unknown root, or a failed postcondition
+    /// re-check.
+    pub fn from_source(
+        source: &str,
+        root: Option<&str>,
+        observe: StageObserver<'o>,
+    ) -> Result<StagedPipeline<'o>, VelusError> {
+        let mut pm = PassManager::new(observe);
+        let elaborated = pm.run(&ElaboratePass, FrontendInput { source, root })?;
+        Self::from_elaborated(elaborated, pm)
+    }
+
+    /// Starts from an already-elaborated program (used by benchmarks and
+    /// generated workloads that skip the parser). The `Check` stage runs
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// An unknown root or failed elaborator postconditions.
+    pub fn from_program(
+        nlustre: Program<ClightOps>,
+        root: Ident,
+        warnings: Diagnostics,
+        observe: StageObserver<'o>,
+    ) -> Result<StagedPipeline<'o>, VelusError> {
+        if nlustre.node(root).is_none() {
+            return Err(VelusError::Usage(format!("no node named {root}")));
+        }
+        Self::from_elaborated(
+            Elaborated {
+                nlustre,
+                root,
+                warnings,
+            },
+            PassManager::new(observe),
+        )
+    }
+
+    fn from_elaborated(
+        elaborated: Elaborated,
+        mut pm: PassManager<'o>,
+    ) -> Result<StagedPipeline<'o>, VelusError> {
+        let nlustre = pm.run(&CheckPass, elaborated.nlustre)?;
+        Ok(StagedPipeline {
+            pm,
+            nlustre,
+            root: elaborated.root,
+            warnings: elaborated.warnings,
+            snlustre: None,
+            obc: None,
+            obc_fused: None,
+            clight: None,
+        })
+    }
+
+    /// The resolved root node.
+    pub fn root(&self) -> Ident {
+        self.root
+    }
+
+    /// The front-end warnings.
+    pub fn warnings(&self) -> &Diagnostics {
+        &self.warnings
+    }
+
+    /// The elaborated, unscheduled N-Lustre (always available).
+    pub fn nlustre(&self) -> &Program<ClightOps> {
+        &self.nlustre
+    }
+
+    /// The scheduled SN-Lustre, scheduling on first demand.
+    ///
+    /// # Errors
+    ///
+    /// Scheduling failures or a failed schedule re-check.
+    pub fn snlustre(&mut self) -> Result<&Program<ClightOps>, VelusError> {
+        if self.snlustre.is_none() {
+            let scheduled = self.pm.run(&SchedulePass, self.nlustre.clone())?;
+            self.snlustre = Some(scheduled);
+        }
+        Ok(self.snlustre.as_ref().expect("just scheduled"))
+    }
+
+    /// The translated (unfused) Obc, translating on first demand.
+    ///
+    /// # Errors
+    ///
+    /// Translation failures or failed typing/`Fusible` re-checks.
+    pub fn obc(&mut self) -> Result<&ObcProgram<ClightOps>, VelusError> {
+        if self.obc.is_none() {
+            self.snlustre()?;
+            let obc = self
+                .pm
+                .run(&TranslatePass, self.snlustre.as_ref().expect("scheduled"))?;
+            self.obc = Some(obc);
+        }
+        Ok(self.obc.as_ref().expect("just translated"))
+    }
+
+    /// The fused Obc, fusing on first demand.
+    ///
+    /// # Errors
+    ///
+    /// Failed preservation re-checks.
+    pub fn obc_fused(&mut self) -> Result<&ObcProgram<ClightOps>, VelusError> {
+        if self.obc_fused.is_none() {
+            self.obc()?;
+            let fused = self
+                .pm
+                .run(&FusePass, self.obc.as_ref().expect("translated"))?;
+            self.obc_fused = Some(fused);
+        }
+        Ok(self.obc_fused.as_ref().expect("just fused"))
+    }
+
+    /// The generated Clight, generating on first demand.
+    ///
+    /// # Errors
+    ///
+    /// Generation failures.
+    pub fn clight(&mut self) -> Result<&velus_clight::ast::Program, VelusError> {
+        if self.clight.is_none() {
+            self.obc_fused()?;
+            let clight = self.pm.run(
+                &GeneratePass,
+                GenerateInput {
+                    obc_fused: self.obc_fused.as_ref().expect("fused"),
+                    root: self.root,
+                },
+            )?;
+            self.clight = Some(clight);
+        }
+        Ok(self.clight.as_ref().expect("just generated"))
+    }
+
+    /// Prints the C translation unit (forcing generation first). The
+    /// `Emit` stage is timed per call — only requests that actually need
+    /// C pay for (and report) it.
+    ///
+    /// # Errors
+    ///
+    /// Any failure of the forced stages.
+    pub fn emit(&mut self, io: TestIo) -> Result<String, VelusError> {
+        self.clight()?;
+        self.pm.run(
+            &EmitPass,
+            EmitInput {
+                clight: self.clight.as_ref().expect("generated"),
+                io,
+            },
+        )
+    }
+
+    /// Forces every stage and returns the classic whole-pipeline result.
+    ///
+    /// # Errors
+    ///
+    /// Any stage failure.
+    pub fn into_compiled(mut self) -> Result<crate::pipeline::Compiled, VelusError> {
+        self.clight()?;
+        Ok(crate::pipeline::Compiled {
+            nlustre: self.nlustre,
+            snlustre: self.snlustre.expect("forced"),
+            obc: self.obc.expect("forced"),
+            obc_fused: self.obc_fused.expect("forced"),
+            clight: self.clight.expect("forced"),
+            root: self.root,
+            warnings: self.warnings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = "
+        node counter(ini, inc: int; res: bool) returns (n: int)
+        let
+          n = if (true fby false) or res then ini else (0 fby n) + inc;
+        tel
+    ";
+
+    #[test]
+    fn staged_pipeline_is_lazy_and_memoizing() {
+        let mut stages: Vec<Stage> = Vec::new();
+        let mut observe = |stage: Stage, _dur: std::time::Duration| stages.push(stage);
+        let mut staged = StagedPipeline::from_source(COUNTER, None, &mut observe).unwrap();
+        let _ = staged.snlustre().unwrap();
+        let _ = staged.snlustre().unwrap(); // memoized: no second report
+        let _ = staged.obc_fused().unwrap(); // forces translate then fuse
+        drop(staged);
+        assert_eq!(
+            stages,
+            vec![
+                Stage::Frontend,
+                Stage::Check,
+                Stage::Schedule,
+                Stage::Translate,
+                Stage::Fuse,
+            ]
+        );
+    }
+
+    #[test]
+    fn pass_names_are_stable() {
+        assert_eq!(
+            PASS_ORDER,
+            [
+                "elaborate",
+                "check",
+                "schedule",
+                "translate",
+                "fuse",
+                "generate",
+                "emit"
+            ]
+        );
+    }
+
+    #[test]
+    fn revalidation_rejects_a_corrupted_schedule() {
+        // A program whose equations are deliberately mis-ordered fails
+        // the schedule *checker* even though each pass alone succeeds:
+        // run the checker directly on an unscheduled two-equation node
+        // with a forward dependency.
+        let src = "
+            node f(x: int) returns (y: int)
+            var a: int;
+            let
+              y = a + 1;
+              a = x + 1;
+            tel
+        ";
+        let (prog, _) = velus_lustre::compile_to_nlustre::<ClightOps>(src).unwrap();
+        // The schedule checker on the *unscheduled* program must reject
+        // the order above (y reads a before a is defined).
+        let ok = prog
+            .nodes
+            .iter()
+            .try_for_each(velus_nlustre::deps::check_schedule);
+        assert!(ok.is_err(), "mis-ordered equations must fail the checker");
+        // And the SchedulePass both fixes and re-validates it.
+        let mut observe = |_: Stage, _: std::time::Duration| {};
+        let mut pm = PassManager::new(&mut observe);
+        let scheduled = pm.run(&SchedulePass, prog).unwrap();
+        scheduled
+            .nodes
+            .iter()
+            .try_for_each(velus_nlustre::deps::check_schedule)
+            .unwrap();
+    }
+}

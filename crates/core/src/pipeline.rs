@@ -1,22 +1,23 @@
-//! The compiler driver: composition of all passes, with the paper's
-//! checked invariants re-validated between stages.
-
-use std::time::Instant;
+//! The classic whole-pipeline driver API, as thin wrappers over the
+//! staged pass framework ([`crate::passes`]).
+//!
+//! [`compile`] forces every pass of the [`StagedPipeline`] — elaborate,
+//! check, schedule, translate, fuse, generate — and returns every
+//! intermediate representation, exactly as the original hand-rolled
+//! driver did. Callers that need only part of the pipeline (WCET
+//! reports, IR dumps, the multi-artifact service) drive the
+//! [`StagedPipeline`] directly and stop early.
 
 use velus_clight::printer::TestIo;
 use velus_common::{Diagnostics, Ident};
 use velus_nlustre::ast::Program;
-use velus_nlustre::{clockcheck, typecheck};
 use velus_obc::ast::ObcProgram;
-use velus_obc::fusion::{fuse_program, fusible};
 use velus_ops::ClightOps;
-use velus_server::Stage;
 
+use crate::passes::StagedPipeline;
 use crate::VelusError;
 
-/// A per-stage timing observer (see [`compile_timed`]). Stages are
-/// reported in pipeline order with their wall-clock duration.
-pub type StageObserver<'a> = &'a mut dyn FnMut(Stage, std::time::Duration);
+pub use crate::passes::StageObserver;
 
 /// The result of a full compilation: every intermediate representation.
 #[derive(Debug, Clone)]
@@ -35,42 +36,6 @@ pub struct Compiled {
     pub root: Ident,
     /// Front-end warnings (e.g. the initialization lint).
     pub warnings: Diagnostics,
-}
-
-/// Picks the default root node: a node never instantiated by another
-/// (the program's sink); ties broken towards the last one declared.
-fn default_root(prog: &Program<ClightOps>) -> Option<Ident> {
-    let called: std::collections::HashSet<Ident> = prog
-        .nodes
-        .iter()
-        .flat_map(|node| &node.eqs)
-        .filter_map(|eq| match eq {
-            velus_nlustre::ast::Equation::Call { node: f, .. } => Some(*f),
-            _ => None,
-        })
-        .collect();
-    prog.nodes
-        .iter()
-        .rev()
-        .map(|n| n.name)
-        .find(|n| !called.contains(n))
-        .or_else(|| prog.nodes.last().map(|n| n.name))
-}
-
-/// Checks that every method of every class is `Fusible` — the paper's
-/// invariant that translation establishes and fusion preserves.
-fn check_fusible(prog: &ObcProgram<ClightOps>, stage: &str) -> Result<(), VelusError> {
-    for class in &prog.classes {
-        for m in &class.methods {
-            if !fusible(&m.body) {
-                return Err(VelusError::Validation(format!(
-                    "{stage} method {}.{} is not Fusible",
-                    class.name, m.name
-                )));
-            }
-        }
-    }
-    Ok(())
 }
 
 /// Compiles Lustre source text down to Clight.
@@ -98,15 +63,7 @@ pub fn compile_timed(
     root: Option<&str>,
     observe: StageObserver<'_>,
 ) -> Result<Compiled, VelusError> {
-    let start = Instant::now();
-    let (nlustre, warnings) = velus_lustre::compile_to_nlustre::<ClightOps>(source)?;
-    let root = match root {
-        Some(r) => Ident::new(r),
-        None => default_root(&nlustre)
-            .ok_or_else(|| VelusError::Usage("program has no nodes".to_owned()))?,
-    };
-    observe(Stage::Frontend, start.elapsed());
-    compile_program_timed(nlustre, root, warnings, observe)
+    StagedPipeline::from_source(source, root, observe)?.into_compiled()
 }
 
 /// Compiles an already-elaborated N-Lustre program (used by the
@@ -127,6 +84,8 @@ pub fn compile_program(
 /// `observe` (the front end is not involved here, so [`Stage::Frontend`]
 /// is never reported).
 ///
+/// [`Stage::Frontend`]: velus_server::Stage::Frontend
+///
 /// # Errors
 ///
 /// See [`compile`].
@@ -136,55 +95,7 @@ pub fn compile_program_timed(
     warnings: Diagnostics,
     observe: StageObserver<'_>,
 ) -> Result<Compiled, VelusError> {
-    if nlustre.node(root).is_none() {
-        return Err(VelusError::Usage(format!("no node named {root}")));
-    }
-
-    // The elaborator's postconditions, re-checked (the paper proves them).
-    let t = Instant::now();
-    typecheck::check_program(&nlustre)?;
-    clockcheck::check_program_clocks(&nlustre)?;
-    observe(Stage::Check, t.elapsed());
-
-    // Scheduling: untrusted heuristic + validated checker.
-    let t = Instant::now();
-    let mut snlustre = nlustre.clone();
-    velus_nlustre::schedule::schedule_program(&mut snlustre)?;
-    for node in &snlustre.nodes {
-        velus_nlustre::deps::check_schedule(node)?;
-    }
-    typecheck::check_program(&snlustre)?;
-    clockcheck::check_program_clocks(&snlustre)?;
-    observe(Stage::Schedule, t.elapsed());
-
-    // Translation to Obc; the result is well typed and Fusible.
-    let t = Instant::now();
-    let obc = velus_obc::translate::translate_program(&snlustre)?;
-    velus_obc::typecheck::check_program(&obc)?;
-    check_fusible(&obc, "translated")?;
-    observe(Stage::Translate, t.elapsed());
-
-    // Fusion preserves typing and Fusible.
-    let t = Instant::now();
-    let obc_fused = fuse_program(&obc);
-    velus_obc::typecheck::check_program(&obc_fused)?;
-    check_fusible(&obc_fused, "fused")?;
-    observe(Stage::Fuse, t.elapsed());
-
-    // Generation to Clight.
-    let t = Instant::now();
-    let clight = velus_clight::generate::generate(&obc_fused, root)?;
-    observe(Stage::Generate, t.elapsed());
-
-    Ok(Compiled {
-        nlustre,
-        snlustre,
-        obc,
-        obc_fused,
-        clight,
-        root,
-        warnings,
-    })
+    StagedPipeline::from_program(nlustre, root, warnings, observe)?.into_compiled()
 }
 
 /// Prints the generated Clight as a compilable C translation unit.
@@ -256,5 +167,24 @@ mod tests {
         let c = compile(&src, Some("counter")).unwrap();
         assert_eq!(c.root, Ident::new("counter"));
         assert!(compile(&src, Some("missing")).is_err());
+    }
+
+    #[test]
+    fn timed_compilation_reports_stages_in_pipeline_order() {
+        use velus_server::Stage;
+        let mut stages: Vec<Stage> = Vec::new();
+        let mut observe = |stage: Stage, _: std::time::Duration| stages.push(stage);
+        compile_timed(COUNTER, None, &mut observe).unwrap();
+        assert_eq!(
+            stages,
+            vec![
+                Stage::Frontend,
+                Stage::Check,
+                Stage::Schedule,
+                Stage::Translate,
+                Stage::Fuse,
+                Stage::Generate,
+            ]
+        );
     }
 }

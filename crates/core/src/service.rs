@@ -1,6 +1,6 @@
 //! The Vélus instantiation of the batch compilation service
-//! (`velus-server`): the full validated pipeline behind a worker pool
-//! and a content-addressed artifact cache.
+//! (`velus-server`): the staged pass framework behind a worker pool
+//! and a content-addressed, per-artifact-kind cache.
 //!
 //! ```
 //! use velus::service::{self, ServiceConfig};
@@ -9,36 +9,34 @@
 //! let svc = service::service(ServiceConfig { workers: 2, ..Default::default() });
 //! let src = "node main(x: int) returns (y: int) let y = x + (0 fby y); tel";
 //! let batch = svc.compile_batch(vec![CompileRequest::new("main", src)]);
-//! let artifact = batch.items[0].result.as_ref().expect("compiles");
-//! assert!(artifact.c_code.contains("main__step"));
+//! let artifact = batch.items[0].primary().expect("compiles");
+//! assert!(artifact.c_code().unwrap().contains("main__step"));
 //!
 //! // A warm request is a cache hit with byte-identical emitted C.
 //! let warm = svc.compile_batch(vec![CompileRequest::new("main", src)]);
 //! assert!(warm.items[0].cache_hit);
-//! assert_eq!(warm.items[0].result.as_ref().unwrap().c_code, artifact.c_code);
+//! assert_eq!(
+//!     warm.items[0].primary().unwrap().c_code(),
+//!     artifact.c_code()
+//! );
 //! ```
-
-use std::time::Instant;
+//!
+//! A request's [`CompileOptions::kinds`] selects which artifacts it
+//! wants — C, WCET reports, baseline comparisons, IR dumps — and each
+//! kind is cached independently: a `wcet`-only request never emits (or
+//! re-caches) C, a mixed request runs the shared pipeline prefix once.
 
 use velus_clight::printer::TestIo;
-use velus_server::{CompileRequest, CompileService, Compiler, IoMode, Stage, StageSample};
+use velus_server::{ArtifactKind, CompileRequest, Compiler, IoMode, StageSample};
 
-use crate::pipeline::{compile_timed, emit_c, Compiled};
+use crate::artifacts::{produce, ServiceArtifact};
+use crate::passes::StagedPipeline;
 use crate::VelusError;
 
-/// What the service caches per request: every intermediate
-/// representation plus the printed C. Cached artifacts are shared
-/// (`Arc`), so a warm hit re-serves the *same* bytes.
-#[derive(Debug, Clone)]
-pub struct ServiceArtifact {
-    /// The full compilation result (all IRs).
-    pub compiled: Compiled,
-    /// The printed C translation unit (per the request's `IoMode`).
-    pub c_code: String,
-}
-
-/// The [`Compiler`] implementation backed by the paper's pipeline with
-/// per-stage instrumentation.
+/// The [`Compiler`] implementation backed by the paper's staged pass
+/// pipeline with per-stage instrumentation. Only the stages a request's
+/// artifact-kind set needs are run, and only the data each kind needs
+/// is retained ([`ServiceArtifact`]).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PipelineCompiler;
 
@@ -49,25 +47,24 @@ impl Compiler for PipelineCompiler {
     fn compile(
         &self,
         req: &CompileRequest,
-    ) -> Result<(ServiceArtifact, Vec<StageSample>), VelusError> {
-        let mut samples: Vec<StageSample> = Vec::with_capacity(Stage::ALL.len());
-        let compiled = compile_timed(&req.source, req.root.as_deref(), &mut |stage, dur| {
+        kinds: &[ArtifactKind],
+    ) -> Result<(Vec<(ArtifactKind, ServiceArtifact)>, Vec<StageSample>), VelusError> {
+        let mut samples: Vec<StageSample> = Vec::new();
+        let mut observe = |stage, dur: std::time::Duration| {
             samples.push(StageSample {
                 stage,
                 nanos: dur.as_nanos() as u64,
             });
-        })?;
+        };
         let io = match req.options.io {
             IoMode::Volatile => TestIo::Volatile,
             IoMode::Stdio => TestIo::Stdio,
         };
-        let t = Instant::now();
-        let c_code = emit_c(&compiled, io);
-        samples.push(StageSample {
-            stage: Stage::Emit,
-            nanos: t.elapsed().as_nanos() as u64,
-        });
-        Ok((ServiceArtifact { compiled, c_code }, samples))
+        let mut staged =
+            StagedPipeline::from_source(&req.source, req.root.as_deref(), &mut observe)?;
+        let artifacts = produce(&mut staged, kinds, io)?;
+        drop(staged);
+        Ok((artifacts, samples))
     }
 
     /// Pre-scan cost estimate: source bytes plus a weighted count of
@@ -76,26 +73,78 @@ impl Compiler for PipelineCompiler {
     /// individually), so node-heavy sources must outrank byte-heavy
     /// ones; the weight is a rough per-node fixed cost in source-byte
     /// units. A text scan, not a parse — it runs on every request of a
-    /// batch before any compilation starts.
+    /// batch before any compilation starts — but it does honor the
+    /// lexer's comment rules: `node` inside `(* … *)` or `--` comments
+    /// is not a node, and `node(` (no trailing whitespace) is.
     fn cost_hint(&self, req: &CompileRequest) -> u64 {
-        let nodes = req
-            .source
-            .split_whitespace()
-            .filter(|w| *w == "node")
-            .count() as u64;
-        req.source.len() as u64 + 512 * nodes
+        req.source.len() as u64 + 512 * count_node_keywords(&req.source)
     }
 
-    /// The byte cap accounts the printed C; the retained IRs are
-    /// roughly proportional to it, so this keeps the cap meaningful
-    /// without a deep size computation on every insert.
+    /// The byte cap weighs each kind by what it actually retains: the C
+    /// text's length, a structural estimate of a retained IR, a small
+    /// constant for reports. A dump-heavy artifact is no longer
+    /// under-weighted relative to the printed C.
     fn artifact_bytes(artifact: &ServiceArtifact) -> usize {
-        artifact.c_code.len()
+        artifact.estimated_bytes()
     }
+}
+
+/// Counts `node` keywords outside comments. Mirrors the lexer's comment
+/// rules (nestable `(* … *)`, `--` to end of line) and its identifier
+/// boundaries, without building tokens.
+fn count_node_keywords(source: &str) -> u64 {
+    let bytes = source.as_bytes();
+    let n = bytes.len();
+    let mut i = 0;
+    let mut count = 0u64;
+    while i < n {
+        let c = bytes[i];
+        // Line comment: skip to end of line.
+        if c == b'-' && i + 1 < n && bytes[i + 1] == b'-' {
+            while i < n && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nestable. An unterminated comment swallows the
+        // rest of the source — same as the lexer (which then errors).
+        if c == b'(' && i + 1 < n && bytes[i + 1] == b'*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == b'(' && i + 1 < n && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b')' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // An identifier-or-keyword word; count exact `node` matches.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            i += 1;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            if &bytes[start..i] == b"node" {
+                count += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    count
 }
 
 /// The concrete service type for the Vélus pipeline.
 pub type VelusService = CompileService<PipelineCompiler>;
+
+use velus_server::CompileService;
 
 /// Builds a [`VelusService`] with the given configuration.
 pub fn service(config: ServiceConfig) -> VelusService {
@@ -103,15 +152,16 @@ pub fn service(config: ServiceConfig) -> VelusService {
 }
 
 // Re-exported so `velus::service::{ServiceConfig, …}` is self-contained.
+pub use crate::artifacts::{BaselineDiffArtifact, BaselineRow, IrSnapshot, WcetArtifact};
 pub use velus_server::{
-    BatchReport, CompileOptions, CompileRequest as Request, RequestReport, ServiceConfig,
-    ServiceError, StageLatency, StatsSnapshot,
+    ArtifactReport, BatchReport, CompileOptions, CompileRequest as Request, RequestReport,
+    ServiceConfig, ServiceError, StageLatency, StatsSnapshot,
 };
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use velus_server::ServiceConfig;
+    use velus_server::{IrStageKind, ServiceConfig, Stage, WcetModelKind};
 
     const COUNTER: &str = "
         node counter(ini, inc: int; res: bool) returns (n: int)
@@ -121,17 +171,31 @@ mod tests {
     ";
 
     #[test]
-    fn pipeline_compiler_reports_every_stage() {
-        let (artifact, samples) = PipelineCompiler
-            .compile(&CompileRequest::new("counter", COUNTER))
+    fn pipeline_compiler_reports_every_stage_for_c() {
+        let (artifacts, samples) = PipelineCompiler
+            .compile(
+                &CompileRequest::new("counter", COUNTER),
+                &[ArtifactKind::CCode],
+            )
             .unwrap();
         let reported: Vec<Stage> = samples.iter().map(|s| s.stage).collect();
         assert_eq!(reported, Stage::ALL.to_vec());
-        assert!(
-            artifact.c_code.contains("counter__step"),
-            "{}",
-            artifact.c_code
-        );
+        let c_code = artifacts[0].1.c_code().unwrap();
+        assert!(c_code.contains("counter__step"), "{c_code}");
+    }
+
+    #[test]
+    fn wcet_only_compilation_skips_emission() {
+        let (artifacts, samples) = PipelineCompiler
+            .compile(
+                &CompileRequest::new("counter", COUNTER),
+                &[ArtifactKind::Wcet {
+                    model: WcetModelKind::CompCert,
+                }],
+            )
+            .unwrap();
+        assert!(samples.iter().all(|s| s.stage != Stage::Emit));
+        assert!(artifacts[0].1.c_code().is_none());
     }
 
     #[test]
@@ -142,16 +206,15 @@ mod tests {
             ..Default::default()
         });
         let volatile = svc.compile_one(CompileRequest::new("c", COUNTER));
-        let stdio = svc.compile_one(CompileRequest::new("c", COUNTER).with_options(
-            CompileOptions {
-                io: velus_server::IoMode::Stdio,
-            },
-        ));
+        let stdio = svc.compile_one(
+            CompileRequest::new("c", COUNTER)
+                .with_options(CompileOptions::default().with_io(velus_server::IoMode::Stdio)),
+        );
         // Different options → different cache entries and different code.
         assert!(!stdio.cache_hit);
         assert_ne!(
-            volatile.result.unwrap().c_code,
-            stdio.result.unwrap().c_code
+            volatile.primary().unwrap().c_code().unwrap(),
+            stdio.primary().unwrap().c_code().unwrap()
         );
         assert_eq!(svc.cache_len(), 2);
     }
@@ -169,5 +232,69 @@ mod tests {
         ]);
         assert_eq!(batch.ok_count(), 1);
         assert!(batch.items[1].result.is_err());
+    }
+
+    #[test]
+    fn cost_hint_ignores_comments_and_finds_adjacent_keywords() {
+        let real = CompileRequest::new("r", "node f(x: int) returns (y: int) let y = x; tel");
+        let commented = CompileRequest::new(
+            "r",
+            "(* node node node (* node *) node *)\n-- node node\n\
+             node f(x: int) returns (y: int) let y = x; tel",
+        );
+        let hint = |req: &CompileRequest| PipelineCompiler.cost_hint(req) - req.source.len() as u64;
+        // Exactly one real `node` in both sources: equal node weight.
+        assert_eq!(hint(&real), 512);
+        assert_eq!(
+            hint(&commented),
+            512,
+            "commented-out keywords must not count"
+        );
+        // `node` is recognized by identifier boundary, not whitespace…
+        let tight = CompileRequest::new("r", "node(x)");
+        assert_eq!(hint(&tight), 512);
+        // …and `nodes`/`mynode` are different identifiers.
+        let lookalike = CompileRequest::new("r", "nodes mynode node_2");
+        assert_eq!(hint(&lookalike), 0);
+    }
+
+    #[test]
+    fn artifact_bytes_weighs_retained_irs() {
+        let req = CompileRequest::new("counter", COUNTER);
+        let kinds = [
+            ArtifactKind::CCode,
+            ArtifactKind::Wcet {
+                model: WcetModelKind::CompCert,
+            },
+            ArtifactKind::IrDump {
+                stage: IrStageKind::ObcFused,
+            },
+        ];
+        let (artifacts, _) = PipelineCompiler.compile(&req, &kinds).unwrap();
+        let bytes_of = |kind: &ArtifactKind| {
+            artifacts
+                .iter()
+                .find(|(k, _)| k == kind)
+                .map(|(_, a)| PipelineCompiler::artifact_bytes(a))
+                .unwrap()
+        };
+        // The dump retains a whole IR: it must weigh much more than the
+        // few-words WCET report, even for this tiny program.
+        assert!(
+            bytes_of(&kinds[2]) > 5 * bytes_of(&kinds[1]),
+            "{artifacts:?}"
+        );
+        // And the C artifact weighs its text.
+        assert_eq!(
+            bytes_of(&kinds[0]),
+            artifacts
+                .iter()
+                .find(|(k, _)| *k == ArtifactKind::CCode)
+                .unwrap()
+                .1
+                .c_code()
+                .unwrap()
+                .len()
+        );
     }
 }

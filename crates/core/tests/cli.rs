@@ -171,7 +171,7 @@ fn batch_compiles_a_directory_with_full_warm_hits() {
         "{stdout}"
     );
     assert!(
-        stdout.contains("warm pass: every artifact served from cache, byte-identical C"),
+        stdout.contains("warm pass: every artifact served from cache, byte-identical output"),
         "{stdout}"
     );
     // The statistics table reports every pipeline stage.
@@ -276,6 +276,95 @@ fn batch_cost_scheduling_produces_the_same_results() {
         .unwrap();
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown schedule"));
+}
+
+#[test]
+fn compile_emit_selects_artifacts_and_skips_c() {
+    // A multi-kind emit prints headed sections.
+    let out = Command::new(velus_bin())
+        .args([
+            "compile",
+            &tracker_path(),
+            "--node",
+            "tracker",
+            "--emit",
+            "wcet,obc-fused",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== wcet:cc =="), "{stdout}");
+    assert!(stdout.contains("tracker step:"), "{stdout}");
+    assert!(stdout.contains("== obc-fused =="), "{stdout}");
+    assert!(stdout.contains("class tracker"), "{stdout}");
+    // No C was printed: the emission stage never ran.
+    assert!(!stdout.contains("int main(void)"), "{stdout}");
+
+    // An unknown kind is a usage error.
+    let bad = Command::new(velus_bin())
+        .args(["compile", &tracker_path(), "--emit", "c,bogus"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown artifact kind"));
+}
+
+#[test]
+fn batch_emit_wcet_serves_reports_through_the_cache() {
+    let benchmarks = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root")
+        .join("benchmarks");
+    let out = Command::new(velus_bin())
+        .args([
+            "batch",
+            benchmarks.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--passes",
+            "2",
+            "--emit",
+            "c,wcet",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The warm pass serves every request — both kinds — from the cache.
+    assert!(
+        stdout.contains("pass 2: 14 ok, 0 failed, 14 cache hits"),
+        "{stdout}"
+    );
+    // Per-kind statistics rows: 14 programs x 2 passes per kind.
+    let kind_row = |name: &str| {
+        stdout
+            .lines()
+            .find(|l| l.starts_with(name) && l.split_whitespace().count() == 4)
+            .unwrap_or_else(|| panic!("no `{name}` kind row in:\n{stdout}"))
+            .to_owned()
+    };
+    for name in ["c", "wcet"] {
+        let row = kind_row(name);
+        let fields: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(fields[1..], ["28", "14", "14"], "{row}");
+    }
+    // The mixed batch compiled each source's front half exactly once:
+    // the frontend stage ran 14 times for 28 kind-requests.
+    let frontend = stdout
+        .lines()
+        .find(|l| l.starts_with("frontend"))
+        .expect("frontend stage row");
+    assert_eq!(frontend.split_whitespace().nth(1), Some("14"), "{frontend}");
 }
 
 #[test]

@@ -1,10 +1,13 @@
 //! The content-addressed artifact cache.
 //!
 //! Keys are a 128-bit FNV-1a digest of the request's *content* — source
-//! text, root selection, and artifact options. Equal content therefore
-//! maps to the same artifact regardless of the request's label, and a
-//! warm hit returns the identical `Arc` so emitted code is bit-for-bit
-//! the artifact produced by the cold compilation.
+//! text, root selection, I/O mode, and the **artifact kind** being
+//! cached. Equal content therefore maps to the same artifact regardless
+//! of the request's label, and a warm hit returns the identical `Arc`
+//! so emitted code is bit-for-bit the artifact produced by the cold
+//! compilation. Each kind of a multi-kind request is a separate entry:
+//! a WCET request neither recomputes nor re-caches the C artifact, and
+//! each entry is weighed by its own kind's resident size.
 //!
 //! FNV-1a is fast but not collision-resistant, so every entry keeps the
 //! content it was stored under and a lookup **verifies the content on
@@ -30,7 +33,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::{CompileOptions, CompileRequest};
+use crate::{ArtifactKind, CompileRequest, IoMode};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -59,16 +62,19 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Digests a request's content (source, root, options). The `name`
-    /// label is deliberately excluded: two files with equal content share
-    /// one cache entry.
-    pub fn of_request(req: &CompileRequest) -> CacheKey {
+    /// Digests a request's content (source, root, I/O mode) together
+    /// with the artifact `kind` being cached. The `name` label is
+    /// deliberately excluded: two files with equal content share one
+    /// cache entry per kind. The kind *set* of the request is likewise
+    /// excluded — each kind keys its own entry, so a later request that
+    /// shares only some kinds still hits those.
+    pub fn of_request(req: &CompileRequest, kind: &ArtifactKind) -> CacheKey {
         // Two independent FNV streams (different offset bases, one with a
         // domain tag) give a 128-bit key; fields are length-prefixed so
         // concatenations cannot collide.
         let mut a = Fnv::new(FNV_OFFSET);
         let mut b = Fnv::new(FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15);
-        b.write(b"velus-cache-v1");
+        b.write(b"velus-cache-v2");
         for fnv in [&mut a, &mut b] {
             let mut field = |bytes: &[u8]| {
                 fnv.write(&(bytes.len() as u64).to_le_bytes());
@@ -76,7 +82,13 @@ impl CacheKey {
             };
             field(req.source.as_bytes());
             field(req.root.as_deref().unwrap_or("").as_bytes());
-            field(&[req.root.is_some() as u8, (req.options.io as u8)]);
+            let tag = kind.key_tag();
+            field(&[
+                req.root.is_some() as u8,
+                (req.options.io as u8),
+                tag[0],
+                tag[1],
+            ]);
         }
         CacheKey { hi: a.0, lo: b.0 }
     }
@@ -123,23 +135,31 @@ pub struct CacheCounters {
 }
 
 /// The content an entry was stored under, kept for hit verification.
+/// Only the key-relevant request fields are retained: source, root, I/O
+/// mode, and the artifact kind (the request's full kind set is *not*
+/// part of a per-kind entry's identity).
 struct StoredContent {
     source: String,
     root: Option<String>,
-    options: CompileOptions,
+    io: IoMode,
+    kind: ArtifactKind,
 }
 
 impl StoredContent {
-    fn of_request(req: &CompileRequest) -> StoredContent {
+    fn of_request(req: &CompileRequest, kind: ArtifactKind) -> StoredContent {
         StoredContent {
             source: req.source.clone(),
             root: req.root.clone(),
-            options: req.options,
+            io: req.options.io,
+            kind,
         }
     }
 
-    fn matches(&self, req: &CompileRequest) -> bool {
-        self.source == req.source && self.root == req.root && self.options == req.options
+    fn matches(&self, req: &CompileRequest, kind: &ArtifactKind) -> bool {
+        self.source == req.source
+            && self.root == req.root
+            && self.io == req.options.io
+            && self.kind == *kind
     }
 
     fn bytes(&self) -> usize {
@@ -239,14 +259,14 @@ impl<A> ArtifactCache<A> {
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Looks up the artifact for a request's content and refreshes its
-    /// recency. The stored content is compared on digest match, so a
-    /// hash collision is a miss, never a wrong artifact.
-    pub fn get(&self, key: &CacheKey, req: &CompileRequest) -> Option<Arc<A>> {
+    /// Looks up the artifact of one `kind` for a request's content and
+    /// refreshes its recency. The stored content is compared on digest
+    /// match, so a hash collision is a miss, never a wrong artifact.
+    pub fn get(&self, key: &CacheKey, req: &CompileRequest, kind: &ArtifactKind) -> Option<Arc<A>> {
         let mut shard = self.shard(key).lock().expect("cache shard lock");
         let tick = self.next_tick();
         match shard.map.get_mut(key) {
-            Some(entry) if entry.stored.matches(req) => {
+            Some(entry) if entry.stored.matches(req, kind) => {
                 let artifact = Arc::clone(&entry.artifact);
                 let old = std::mem::replace(&mut entry.tick, tick);
                 shard.recency.remove(&old);
@@ -263,16 +283,22 @@ impl<A> ArtifactCache<A> {
     /// and is returned — artifacts are deterministic functions of the
     /// content, so either copy is equivalent; keeping the first
     /// maximizes sharing.
-    pub fn insert(&self, key: CacheKey, req: &CompileRequest, artifact: A) -> Arc<A> {
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        req: &CompileRequest,
+        kind: ArtifactKind,
+        artifact: A,
+    ) -> Arc<A> {
         let shared = {
             let mut shard = self.shard(&key).lock().expect("cache shard lock");
             match shard.map.get(&key) {
-                Some(entry) if entry.stored.matches(req) => Arc::clone(&entry.artifact),
+                Some(entry) if entry.stored.matches(req, &kind) => Arc::clone(&entry.artifact),
                 // Digest collision with different content: keep the incumbent
                 // (its requests still verify) and serve this artifact uncached.
                 Some(_) => Arc::new(artifact),
                 None => {
-                    let stored = StoredContent::of_request(req);
+                    let stored = StoredContent::of_request(req, kind);
                     let weight = stored.bytes() + (self.weigher)(&artifact);
                     // An entry that alone exceeds the byte cap can never
                     // be retained; admitting it would purge every other
@@ -392,10 +418,16 @@ impl<A> ArtifactCache<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::IoMode;
+    use crate::{CompileOptions, IoMode, IrStageKind, WcetModelKind};
+
+    const C: ArtifactKind = ArtifactKind::CCode;
 
     fn req(source: &str) -> CompileRequest {
         CompileRequest::new("r", source)
+    }
+
+    fn key(r: &CompileRequest) -> CacheKey {
+        CacheKey::of_request(r, &C)
     }
 
     fn bounded(max_entries: usize) -> ArtifactCache<String> {
@@ -410,51 +442,87 @@ mod tests {
 
     #[test]
     fn key_depends_on_content_not_name() {
-        let a = CacheKey::of_request(&CompileRequest::new("a", "node f() ..."));
-        let b = CacheKey::of_request(&CompileRequest::new("b", "node f() ..."));
+        let a = key(&CompileRequest::new("a", "node f() ..."));
+        let b = key(&CompileRequest::new("b", "node f() ..."));
         assert_eq!(a, b);
     }
 
     #[test]
-    fn key_distinguishes_source_root_and_options() {
+    fn key_distinguishes_source_root_options_and_kind() {
         let base = req("src");
-        let k = CacheKey::of_request(&base);
-        assert_ne!(k, CacheKey::of_request(&req("src2")));
-        assert_ne!(k, CacheKey::of_request(&base.clone().with_root("main")));
+        let k = key(&base);
+        assert_ne!(k, key(&req("src2")));
+        assert_ne!(k, key(&base.clone().with_root("main")));
         assert_ne!(
             k,
-            CacheKey::of_request(
-                &base
-                    .clone()
-                    .with_options(CompileOptions { io: IoMode::Stdio })
-            )
+            key(&base
+                .clone()
+                .with_options(CompileOptions::default().with_io(IoMode::Stdio)))
         );
         // Explicit empty root differs from no root (length prefixing).
-        assert_ne!(k, CacheKey::of_request(&base.clone().with_root("")));
+        assert_ne!(k, key(&base.clone().with_root("")));
+        // Every other kind keys a distinct entry for the same content.
+        for kind in [
+            ArtifactKind::Wcet {
+                model: WcetModelKind::CompCert,
+            },
+            ArtifactKind::Wcet {
+                model: WcetModelKind::GccInline,
+            },
+            ArtifactKind::BaselineDiff,
+            ArtifactKind::IrDump {
+                stage: IrStageKind::ObcFused,
+            },
+        ] {
+            assert_ne!(k, CacheKey::of_request(&base, &kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn kind_set_of_the_request_does_not_change_the_key() {
+        // Two requests for the same content with different kind *sets*
+        // share the per-kind entries of the kinds they have in common.
+        let one = req("src");
+        let many = req("src").with_options(CompileOptions::for_kinds(vec![
+            ArtifactKind::CCode,
+            ArtifactKind::BaselineDiff,
+        ]));
+        assert_eq!(key(&one), key(&many));
+        let cache: ArtifactCache<String> = ArtifactCache::new();
+        cache.insert(key(&one), &one, C, "shared".to_owned());
+        assert_eq!(
+            cache.get(&key(&many), &many, &C).as_deref(),
+            Some(&"shared".to_owned())
+        );
     }
 
     #[test]
     fn get_round_trips_and_verifies_content() {
         let cache: ArtifactCache<String> = ArtifactCache::new();
         let r = req("x");
-        let k = CacheKey::of_request(&r);
-        assert!(cache.get(&k, &r).is_none());
-        cache.insert(k, &r, "artifact".to_owned());
-        assert_eq!(cache.get(&k, &r).as_deref(), Some(&"artifact".to_owned()));
+        let k = key(&r);
+        assert!(cache.get(&k, &r, &C).is_none());
+        cache.insert(k, &r, C, "artifact".to_owned());
+        assert_eq!(
+            cache.get(&k, &r, &C).as_deref(),
+            Some(&"artifact".to_owned())
+        );
         assert_eq!(cache.len(), 1);
         // A *forged* lookup with the right digest but different content
         // is a miss, not a wrong artifact.
         let other = req("y");
-        assert!(cache.get(&k, &other).is_none());
+        assert!(cache.get(&k, &other, &C).is_none());
+        // So is a forged lookup for a different kind.
+        assert!(cache.get(&k, &r, &ArtifactKind::BaselineDiff).is_none());
     }
 
     #[test]
     fn racing_insert_keeps_the_first_artifact() {
         let cache: ArtifactCache<String> = ArtifactCache::new();
         let r = req("x");
-        let k = CacheKey::of_request(&r);
-        let first = cache.insert(k, &r, "one".to_owned());
-        let second = cache.insert(k, &r, "two".to_owned());
+        let k = key(&r);
+        let first = cache.insert(k, &r, C, "one".to_owned());
+        let second = cache.insert(k, &r, C, "two".to_owned());
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(*second, "one");
     }
@@ -463,21 +531,20 @@ mod tests {
     fn entry_cap_evicts_the_least_recently_used() {
         let cache = bounded(2);
         let (ra, rb, rc) = (req("aa"), req("bb"), req("cc"));
-        let (ka, kb, kc) = (
-            CacheKey::of_request(&ra),
-            CacheKey::of_request(&rb),
-            CacheKey::of_request(&rc),
-        );
-        cache.insert(ka, &ra, "A".into());
-        cache.insert(kb, &rb, "B".into());
+        let (ka, kb, kc) = (key(&ra), key(&rb), key(&rc));
+        cache.insert(ka, &ra, C, "A".into());
+        cache.insert(kb, &rb, C, "B".into());
         // Touch A so B becomes the LRU, then overflow with C.
-        assert!(cache.get(&ka, &ra).is_some());
-        cache.insert(kc, &rc, "C".into());
+        assert!(cache.get(&ka, &ra, &C).is_some());
+        cache.insert(kc, &rc, C, "C".into());
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.counters().evictions, 1);
-        assert!(cache.get(&kb, &rb).is_none(), "the LRU entry was evicted");
-        assert!(cache.get(&ka, &ra).is_some());
-        assert!(cache.get(&kc, &rc).is_some());
+        assert!(
+            cache.get(&kb, &rb, &C).is_none(),
+            "the LRU entry was evicted"
+        );
+        assert!(cache.get(&ka, &ra, &C).is_some());
+        assert!(cache.get(&kc, &rc, &C).is_some());
     }
 
     #[test]
@@ -490,17 +557,17 @@ mod tests {
             Box::new(String::len),
         );
         let ra = req("aaaa"); // 4 source bytes + 4 artifact bytes
-        cache.insert(CacheKey::of_request(&ra), &ra, "AAAA".into());
+        cache.insert(key(&ra), &ra, C, "AAAA".into());
         assert_eq!(cache.counters().bytes, 8);
         let rb = req("bbbb");
-        cache.insert(CacheKey::of_request(&rb), &rb, "BBBB".into());
+        cache.insert(key(&rb), &rb, C, "BBBB".into());
         assert_eq!((cache.len(), cache.counters().bytes), (2, 16));
         // A third entry pushes past 16 weighed bytes: the oldest goes.
         let rc = req("cccc");
-        cache.insert(CacheKey::of_request(&rc), &rc, "CCCC".into());
+        cache.insert(key(&rc), &rc, C, "CCCC".into());
         assert!(cache.counters().bytes <= 16);
         assert_eq!(cache.counters().evictions, 1);
-        assert!(cache.get(&CacheKey::of_request(&ra), &ra).is_none());
+        assert!(cache.get(&key(&ra), &ra, &C).is_none());
     }
 
     #[test]
@@ -514,16 +581,16 @@ mod tests {
         );
         // A resident entry that fits (2 source + 1 artifact = 3 bytes).
         let small = req("ok");
-        cache.insert(CacheKey::of_request(&small), &small, "K".into());
+        cache.insert(key(&small), &small, C, "K".into());
         assert_eq!(cache.len(), 1);
         // An entry that could never fit is served but not admitted — and
         // the resident entry survives (no purge on the way to nothing).
         let r = req("way too large to ever fit");
-        let shared = cache.insert(CacheKey::of_request(&r), &r, "artifact".into());
+        let shared = cache.insert(key(&r), &r, C, "artifact".into());
         assert_eq!(*shared, "artifact");
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.counters().evictions, 0);
-        assert!(cache.get(&CacheKey::of_request(&small), &small).is_some());
+        assert!(cache.get(&key(&small), &small, &C).is_some());
     }
 
     #[test]
@@ -531,7 +598,7 @@ mod tests {
         let cache = bounded(1);
         for s in ["p", "q", "r"] {
             let r = req(s);
-            cache.insert(CacheKey::of_request(&r), &r, s.to_uppercase());
+            cache.insert(key(&r), &r, C, s.to_uppercase());
         }
         let evicted = cache.counters().evictions;
         assert_eq!(evicted, 2);
@@ -553,14 +620,14 @@ mod tests {
         );
         for k in 0..32 {
             let r = req(&format!("src{k}"));
-            cache.insert(CacheKey::of_request(&r), &r, format!("A{k}"));
+            cache.insert(key(&r), &r, C, format!("A{k}"));
         }
         assert_eq!(cache.len(), 8);
         assert_eq!(cache.counters().evictions, 24);
         // The 8 most recent survive.
         for k in 24..32 {
             let r = req(&format!("src{k}"));
-            assert!(cache.get(&CacheKey::of_request(&r), &r).is_some(), "{k}");
+            assert!(cache.get(&key(&r), &r, &C).is_some(), "{k}");
         }
     }
 }

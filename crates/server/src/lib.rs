@@ -32,16 +32,21 @@
 //!   and [`Compiler::cost_hint`] supplies the per-request hint.
 //!
 //! ```
-//! use velus_server::{Compiler, CompileRequest, CompileService, ServiceConfig, StageSample};
+//! use velus_server::{ArtifactKind, Compiler, CompileRequest, CompileService, ServiceConfig,
+//!                    StageSample};
 //!
 //! struct Upper;
 //! impl Compiler for Upper {
 //!     type Artifact = String;
 //!     type Error = String;
-//!     fn compile(&self, req: &CompileRequest)
-//!         -> Result<(String, Vec<StageSample>), String>
+//!     fn compile(&self, req: &CompileRequest, kinds: &[ArtifactKind])
+//!         -> Result<(Vec<(ArtifactKind, String)>, Vec<StageSample>), String>
 //!     {
-//!         Ok((req.source.to_uppercase(), Vec::new()))
+//!         let artifacts = kinds
+//!             .iter()
+//!             .map(|kind| (*kind, req.source.to_uppercase()))
+//!             .collect();
+//!         Ok((artifacts, Vec::new()))
 //!     }
 //! }
 //!
@@ -63,8 +68,10 @@ pub mod stats;
 pub use cache::{ArtifactCache, CacheConfig, CacheCounters, CacheKey};
 pub use pool::WorkerPool;
 pub use sched::{CostModel, SchedulePolicy};
-pub use service::{BatchReport, CompileService, RequestReport, ServiceConfig, ServiceError};
-pub use stats::{StageLatency, StatsSnapshot};
+pub use service::{
+    ArtifactReport, BatchReport, CompileService, RequestReport, ServiceConfig, ServiceError,
+};
+pub use stats::{KindStats, StageLatency, StatsSnapshot};
 
 /// How the artifact's I/O boundary is rendered (the Vélus instantiation
 /// maps this to the volatile-I/O vs. stdio test-mode `main`). Part of the
@@ -78,12 +85,248 @@ pub enum IoMode {
     Stdio,
 }
 
-/// Options that affect the produced artifact (and therefore the cache
-/// key).
+/// Which back-end cost model a WCET artifact is computed under. The
+/// substrate treats this as opaque cache-key data; the instantiation
+/// gives it meaning (the three Fig. 12 columns in Vélus).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WcetModelKind {
+    /// CompCert-like code shape.
+    #[default]
+    CompCert,
+    /// GCC `-O1`-like code shape.
+    Gcc,
+    /// GCC with transitive inlining.
+    GccInline,
+}
+
+impl WcetModelKind {
+    /// The CLI spelling (`cc`, `gcc`, `gcci`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WcetModelKind::CompCert => "cc",
+            WcetModelKind::Gcc => "gcc",
+            WcetModelKind::GccInline => "gcci",
+        }
+    }
+}
+
+impl std::str::FromStr for WcetModelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<WcetModelKind, String> {
+        match s {
+            "cc" => Ok(WcetModelKind::CompCert),
+            "gcc" => Ok(WcetModelKind::Gcc),
+            "gcci" => Ok(WcetModelKind::GccInline),
+            other => Err(format!("unknown WCET model `{other}` (cc|gcc|gcci)")),
+        }
+    }
+}
+
+/// Which intermediate representation an IR-dump artifact renders. Opaque
+/// cache-key data to the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrStageKind {
+    /// Elaborated, unscheduled N-Lustre.
+    NLustre,
+    /// Scheduled SN-Lustre.
+    SnLustre,
+    /// Translated Obc, before fusion.
+    Obc,
+    /// Obc after fusion.
+    ObcFused,
+}
+
+impl IrStageKind {
+    /// The CLI spelling (also the `--emit` token).
+    pub fn name(self) -> &'static str {
+        match self {
+            IrStageKind::NLustre => "nlustre",
+            IrStageKind::SnLustre => "snlustre",
+            IrStageKind::Obc => "obc",
+            IrStageKind::ObcFused => "obc-fused",
+        }
+    }
+}
+
+/// What a request asks the compiler to produce. Each kind is cached
+/// **independently** under its own `(source, root, io, kind)` key, so a
+/// WCET request never recomputes or re-caches the C artifact, and a
+/// request for several kinds fills several entries from one compilation.
+///
+/// The substrate does not interpret kinds — they are cache-key
+/// components and statistics labels; the [`Compiler`] instantiation
+/// decides what each kind means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArtifactKind {
+    /// The printed C translation unit.
+    #[default]
+    CCode,
+    /// A worst-case-execution-time report under a back-end model.
+    Wcet {
+        /// The back-end cost model.
+        model: WcetModelKind,
+    },
+    /// A comparison against the paper's baseline compilation schemes.
+    BaselineDiff,
+    /// A pretty-printed intermediate representation.
+    IrDump {
+        /// Which pipeline stage's IR.
+        stage: IrStageKind,
+    },
+}
+
+impl ArtifactKind {
+    /// The statistics groups, in display order. Kinds with payloads
+    /// (model, stage) share one group each.
+    pub const GROUPS: [&'static str; 4] = ["c", "wcet", "baseline-diff", "ir-dump"];
+
+    /// Index of this kind's statistics group in [`ArtifactKind::GROUPS`].
+    pub fn group_index(&self) -> usize {
+        match self {
+            ArtifactKind::CCode => 0,
+            ArtifactKind::Wcet { .. } => 1,
+            ArtifactKind::BaselineDiff => 2,
+            ArtifactKind::IrDump { .. } => 3,
+        }
+    }
+
+    /// A short stable tag fed into the cache digest (discriminant plus
+    /// payload; distinct kinds never collide).
+    pub(crate) fn key_tag(&self) -> [u8; 2] {
+        match self {
+            ArtifactKind::CCode => [0, 0],
+            ArtifactKind::Wcet { model } => [1, *model as u8 + 1],
+            ArtifactKind::BaselineDiff => [2, 0],
+            ArtifactKind::IrDump { stage } => [3, *stage as u8 + 1],
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactKind::CCode => f.write_str("c"),
+            ArtifactKind::Wcet { model } => write!(f, "wcet:{}", model.name()),
+            ArtifactKind::BaselineDiff => f.write_str("baseline-diff"),
+            ArtifactKind::IrDump { stage } => f.write_str(stage.name()),
+        }
+    }
+}
+
+impl std::str::FromStr for ArtifactKind {
+    type Err = String;
+
+    /// Parses one `--emit` token: `c`, `wcet`, `wcet:cc|gcc|gcci`,
+    /// `baseline` / `baseline-diff`, or an IR name
+    /// (`nlustre|snlustre|obc|obc-fused`).
+    fn from_str(s: &str) -> Result<ArtifactKind, String> {
+        match s {
+            "c" => Ok(ArtifactKind::CCode),
+            "wcet" => Ok(ArtifactKind::Wcet {
+                model: WcetModelKind::default(),
+            }),
+            "baseline" | "baseline-diff" => Ok(ArtifactKind::BaselineDiff),
+            "nlustre" => Ok(ArtifactKind::IrDump {
+                stage: IrStageKind::NLustre,
+            }),
+            "snlustre" => Ok(ArtifactKind::IrDump {
+                stage: IrStageKind::SnLustre,
+            }),
+            "obc" => Ok(ArtifactKind::IrDump {
+                stage: IrStageKind::Obc,
+            }),
+            "obc-fused" => Ok(ArtifactKind::IrDump {
+                stage: IrStageKind::ObcFused,
+            }),
+            other => match other.strip_prefix("wcet:") {
+                Some(model) => Ok(ArtifactKind::Wcet {
+                    model: model.parse()?,
+                }),
+                None => Err(format!(
+                    "unknown artifact kind `{other}` \
+                     (c|wcet[:cc|gcc|gcci]|baseline|nlustre|snlustre|obc|obc-fused)"
+                )),
+            },
+        }
+    }
+}
+
+/// Parses a comma-separated `--emit` list into a deduplicated,
+/// order-preserving kind set. Empty input is an error.
+///
+/// # Errors
+///
+/// Any unknown token (see the [`ArtifactKind`] `FromStr` impl).
+pub fn parse_artifact_kinds(s: &str) -> Result<Vec<ArtifactKind>, String> {
+    let mut kinds: Vec<ArtifactKind> = Vec::new();
+    for token in s.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let kind: ArtifactKind = token.parse()?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    if kinds.is_empty() {
+        return Err("empty artifact kind list".to_owned());
+    }
+    Ok(kinds)
+}
+
+/// Options that affect the produced artifacts (the I/O mode and each
+/// artifact kind are part of the per-kind cache key; the kind *set* as a
+/// whole is not — two requests that share a kind share its entry).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CompileOptions {
     /// I/O rendering of the emitted code.
     pub io: IoMode,
+    /// The artifact kinds the request asks for, in report order
+    /// (deduplicated; an empty set is treated as `[CCode]`).
+    pub kinds: Vec<ArtifactKind>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            io: IoMode::default(),
+            kinds: vec![ArtifactKind::CCode],
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Options asking for the given kinds with default I/O.
+    pub fn for_kinds(kinds: Vec<ArtifactKind>) -> CompileOptions {
+        CompileOptions {
+            io: IoMode::default(),
+            kinds,
+        }
+    }
+
+    /// Sets the I/O mode.
+    #[must_use]
+    pub fn with_io(mut self, io: IoMode) -> CompileOptions {
+        self.io = io;
+        self
+    }
+
+    /// The effective kind set: deduplicated, order preserved, defaulting
+    /// to `[CCode]` when empty.
+    pub fn effective_kinds(&self) -> Vec<ArtifactKind> {
+        let mut kinds: Vec<ArtifactKind> = Vec::with_capacity(self.kinds.len().max(1));
+        for kind in &self.kinds {
+            if !kinds.contains(kind) {
+                kinds.push(*kind);
+            }
+        }
+        if kinds.is_empty() {
+            kinds.push(ArtifactKind::CCode);
+        }
+        kinds
+    }
 }
 
 /// One compilation request.
@@ -194,6 +437,10 @@ pub struct StageSample {
     pub nanos: u64,
 }
 
+/// Everything one successful [`Compiler::compile`] call returns: one
+/// artifact per produced kind, plus the per-stage timing samples.
+pub type CompileOutput<A> = (Vec<(ArtifactKind, A)>, Vec<StageSample>);
+
 /// The compiler the service drives. Implementations must be callable
 /// from many worker threads at once.
 pub trait Compiler: Send + Sync + 'static {
@@ -202,7 +449,12 @@ pub trait Compiler: Send + Sync + 'static {
     /// The error type of a failed compilation.
     type Error: Send + std::fmt::Display + 'static;
 
-    /// Compiles one request, reporting per-stage timings.
+    /// Compiles one request, producing one artifact per requested kind,
+    /// and reports per-stage timings. `kinds` is non-empty and
+    /// deduplicated; the service asks only for the kinds it could not
+    /// serve from the cache, so implementations should compute exactly
+    /// what the set needs (and no more — e.g. skip emission when
+    /// [`ArtifactKind::CCode`] is absent).
     ///
     /// # Errors
     ///
@@ -211,7 +463,8 @@ pub trait Compiler: Send + Sync + 'static {
     fn compile(
         &self,
         req: &CompileRequest,
-    ) -> Result<(Self::Artifact, Vec<StageSample>), Self::Error>;
+        kinds: &[ArtifactKind],
+    ) -> Result<CompileOutput<Self::Artifact>, Self::Error>;
 
     /// A cheap syntactic estimate of how expensive `req` is to compile,
     /// in arbitrary but consistent units (only relative magnitudes
@@ -229,5 +482,100 @@ pub trait Compiler: Send + Sync + 'static {
     fn artifact_bytes(artifact: &Self::Artifact) -> usize {
         let _ = artifact;
         0
+    }
+}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::*;
+
+    #[test]
+    fn emit_tokens_round_trip() {
+        for token in [
+            "c",
+            "wcet:cc",
+            "wcet:gcc",
+            "wcet:gcci",
+            "baseline-diff",
+            "nlustre",
+            "snlustre",
+            "obc",
+            "obc-fused",
+        ] {
+            let kind: ArtifactKind = token.parse().unwrap();
+            assert_eq!(kind.to_string(), token);
+        }
+        assert_eq!(
+            "wcet".parse::<ArtifactKind>().unwrap(),
+            ArtifactKind::Wcet {
+                model: WcetModelKind::CompCert
+            }
+        );
+        assert!("bogus".parse::<ArtifactKind>().is_err());
+        assert!("wcet:bogus".parse::<ArtifactKind>().is_err());
+    }
+
+    #[test]
+    fn kind_lists_dedupe_and_preserve_order() {
+        let kinds = parse_artifact_kinds("wcet, c,wcet,obc").unwrap();
+        assert_eq!(
+            kinds,
+            vec![
+                ArtifactKind::Wcet {
+                    model: WcetModelKind::CompCert
+                },
+                ArtifactKind::CCode,
+                ArtifactKind::IrDump {
+                    stage: IrStageKind::Obc
+                },
+            ]
+        );
+        assert!(parse_artifact_kinds("").is_err());
+        assert!(parse_artifact_kinds("c,nope").is_err());
+    }
+
+    #[test]
+    fn key_tags_are_distinct_across_kinds() {
+        let kinds = [
+            ArtifactKind::CCode,
+            ArtifactKind::Wcet {
+                model: WcetModelKind::CompCert,
+            },
+            ArtifactKind::Wcet {
+                model: WcetModelKind::Gcc,
+            },
+            ArtifactKind::Wcet {
+                model: WcetModelKind::GccInline,
+            },
+            ArtifactKind::BaselineDiff,
+            ArtifactKind::IrDump {
+                stage: IrStageKind::NLustre,
+            },
+            ArtifactKind::IrDump {
+                stage: IrStageKind::SnLustre,
+            },
+            ArtifactKind::IrDump {
+                stage: IrStageKind::Obc,
+            },
+            ArtifactKind::IrDump {
+                stage: IrStageKind::ObcFused,
+            },
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.key_tag(), b.key_tag(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_kinds_defaults_to_c() {
+        let empty = CompileOptions {
+            io: IoMode::Volatile,
+            kinds: Vec::new(),
+        };
+        assert_eq!(empty.effective_kinds(), vec![ArtifactKind::CCode]);
+        let dup = CompileOptions::for_kinds(vec![ArtifactKind::CCode, ArtifactKind::CCode]);
+        assert_eq!(dup.effective_kinds(), vec![ArtifactKind::CCode]);
     }
 }

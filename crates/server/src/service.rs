@@ -10,7 +10,7 @@ use crate::cache::{ArtifactCache, CacheConfig, CacheKey};
 use crate::pool::WorkerPool;
 use crate::sched::{submission_order, CostModel, SchedulePolicy};
 use crate::stats::{StatsCollector, StatsSnapshot};
-use crate::{CompileRequest, Compiler};
+use crate::{ArtifactKind, CompileRequest, Compiler};
 
 /// Service construction knobs.
 #[derive(Debug, Clone)]
@@ -43,6 +43,10 @@ pub enum ServiceError<E> {
     Compile(E),
     /// The compiler panicked; the panic was contained to this request.
     Panic(String),
+    /// The compiler returned no artifact for a requested kind — a bug in
+    /// the [`Compiler`] implementation, surfaced loudly rather than
+    /// served as a partial result.
+    MissingArtifact(ArtifactKind),
     /// The worker executing the request disappeared before reporting
     /// (should not happen; a defensive placeholder, never silent).
     Lost,
@@ -53,22 +57,58 @@ impl<E: std::fmt::Display> std::fmt::Display for ServiceError<E> {
         match self {
             ServiceError::Compile(e) => write!(f, "{e}"),
             ServiceError::Panic(msg) => write!(f, "compiler panicked: {msg}"),
+            ServiceError::MissingArtifact(kind) => {
+                write!(f, "compiler produced no `{kind}` artifact")
+            }
             ServiceError::Lost => f.write_str("request lost by the worker pool"),
         }
     }
+}
+
+/// One served artifact of one request (a request yields one per
+/// requested kind, in the request's kind order).
+pub struct ArtifactReport<C: Compiler> {
+    /// Which kind this artifact is.
+    pub kind: ArtifactKind,
+    /// The shared artifact.
+    pub artifact: Arc<C::Artifact>,
+    /// Whether *this kind* came from the cache (a mixed request can hit
+    /// some kinds and compile others).
+    pub cache_hit: bool,
 }
 
 /// The outcome of one request within a batch.
 pub struct RequestReport<C: Compiler> {
     /// The request's label.
     pub name: String,
-    /// The shared artifact, or the failure.
-    pub result: Result<Arc<C::Artifact>, ServiceError<C::Error>>,
-    /// Whether the artifact came from the cache.
+    /// The served artifacts (one per requested kind, in kind order), or
+    /// the failure.
+    pub result: Result<Vec<ArtifactReport<C>>, ServiceError<C::Error>>,
+    /// Whether **every** requested kind was served from the cache (the
+    /// pipeline did not run at all).
     pub cache_hit: bool,
     /// End-to-end latency of this request (queueing excluded; measured
     /// from when a worker picks it up).
     pub latency: Duration,
+}
+
+impl<C: Compiler> RequestReport<C> {
+    /// The served artifact of the given kind, if the request succeeded
+    /// and asked for it.
+    pub fn artifact(&self, kind: &ArtifactKind) -> Option<&Arc<C::Artifact>> {
+        self.result
+            .as_ref()
+            .ok()?
+            .iter()
+            .find(|a| a.kind == *kind)
+            .map(|a| &a.artifact)
+    }
+
+    /// The first served artifact (the request's primary kind), if any.
+    /// For a default request this is the C artifact.
+    pub fn primary(&self) -> Option<&Arc<C::Artifact>> {
+        self.result.as_ref().ok()?.first().map(|a| &a.artifact)
+    }
 }
 
 /// The outcome of a whole batch, in request order.
@@ -255,8 +295,9 @@ impl<C: Compiler> CompileService<C> {
     }
 }
 
-/// The per-request path: cache probe, guarded compile, cache fill,
-/// accounting. Runs on a worker (batch) or the caller (`compile_one`).
+/// The per-request path: per-kind cache probe, one guarded compile for
+/// the missing kinds, per-kind cache fill, accounting. Runs on a worker
+/// (batch) or the caller (`compile_one`).
 fn run_request<C: Compiler>(
     compiler: &C,
     cache: &ArtifactCache<C::Artifact>,
@@ -269,29 +310,70 @@ fn run_request<C: Compiler>(
     let start = Instant::now();
     stats.record_request();
     in_flight.fetch_add(1, Ordering::Relaxed);
-    let key = CacheKey::of_request(&req);
+    let kinds = req.options.effective_kinds();
+    let keys: Vec<CacheKey> = kinds
+        .iter()
+        .map(|kind| CacheKey::of_request(&req, kind))
+        .collect();
 
-    let (result, cache_hit) = if caching {
-        match cache.get(&key, &req) {
-            Some(artifact) => {
-                stats.record_hit();
-                (Ok(artifact), true)
-            }
-            None => {
-                stats.record_miss();
-                (
-                    compile_guarded(compiler, cache, caching, stats, cost_model, &req, key),
-                    false,
-                )
-            }
-        }
+    // Probe every kind first: a request recompiles only for the kinds
+    // the cache cannot serve, and a fully warm request never touches
+    // the compiler at all.
+    let mut slots: Vec<Option<Arc<C::Artifact>>> = Vec::with_capacity(kinds.len());
+    for (kind, key) in kinds.iter().zip(&keys) {
+        let found = if caching {
+            cache.get(key, &req, kind)
+        } else {
+            None
+        };
+        stats.record_kind(kind, found.is_some());
+        slots.push(found);
+    }
+    let missing: Vec<usize> = (0..kinds.len()).filter(|&i| slots[i].is_none()).collect();
+    let all_hit = missing.is_empty();
+    if all_hit {
+        stats.record_hit();
     } else {
         stats.record_miss();
-        (
-            compile_guarded(compiler, cache, caching, stats, cost_model, &req, key),
-            false,
-        )
+    }
+
+    let result = if all_hit {
+        Ok(())
+    } else {
+        let missing_kinds: Vec<ArtifactKind> = missing.iter().map(|&i| kinds[i]).collect();
+        compile_guarded(compiler, stats, cost_model, &req, &missing_kinds).map(|produced| {
+            for (kind, artifact) in produced {
+                // Only requested-and-missing kinds are admitted; a
+                // compiler returning extras (or duplicates) does not
+                // grow the cache beyond what was asked for.
+                let Some(slot) = (0..kinds.len()).find(|&i| kinds[i] == kind && slots[i].is_none())
+                else {
+                    continue;
+                };
+                let shared = if caching {
+                    cache.insert(keys[slot], &req, kind, artifact)
+                } else {
+                    Arc::new(artifact)
+                };
+                slots[slot] = Some(shared);
+            }
+        })
     };
+
+    let result = result.and_then(|()| {
+        let mut artifacts: Vec<ArtifactReport<C>> = Vec::with_capacity(kinds.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(artifact) => artifacts.push(ArtifactReport {
+                    kind: kinds[i],
+                    artifact,
+                    cache_hit: !missing.contains(&i),
+                }),
+                None => return Err(ServiceError::MissingArtifact(kinds[i])),
+            }
+        }
+        Ok(artifacts)
+    });
 
     // Compile errors and panics are disjoint counters (a panicking
     // request counts only under `panics`, recorded in compile_guarded).
@@ -304,23 +386,24 @@ fn run_request<C: Compiler>(
     RequestReport {
         name: req.name,
         result,
-        cache_hit,
+        cache_hit: all_hit,
         latency,
     }
 }
 
+/// The artifacts one guarded compile produced, per kind.
+type Produced<C> = Vec<(ArtifactKind, <C as Compiler>::Artifact)>;
+
 fn compile_guarded<C: Compiler>(
     compiler: &C,
-    cache: &ArtifactCache<C::Artifact>,
-    caching: bool,
     stats: &StatsCollector,
     cost_model: &CostModel,
     req: &CompileRequest,
-    key: CacheKey,
-) -> Result<Arc<C::Artifact>, ServiceError<C::Error>> {
+    kinds: &[ArtifactKind],
+) -> Result<Produced<C>, ServiceError<C::Error>> {
     let compile_start = Instant::now();
-    match catch_unwind(AssertUnwindSafe(|| compiler.compile(req))) {
-        Ok(Ok((artifact, samples))) => {
+    match catch_unwind(AssertUnwindSafe(|| compiler.compile(req, kinds))) {
+        Ok(Ok((artifacts, samples))) => {
             stats.record_stages(&samples);
             // Teach the cost model what this request actually cost
             // (successes only: failures abort early and would skew the
@@ -329,12 +412,7 @@ fn compile_guarded<C: Compiler>(
                 compiler.cost_hint(req),
                 compile_start.elapsed().as_nanos() as u64,
             );
-            let shared = if caching {
-                cache.insert(key, req, artifact)
-            } else {
-                Arc::new(artifact)
-            };
-            Ok(shared)
+            Ok(artifacts)
         }
         Ok(Err(e)) => Err(ServiceError::Compile(e)),
         Err(panic) => {
@@ -357,7 +435,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::StageSample;
+    use crate::{CompileOptions, StageSample};
 
     /// A toy compiler: uppercases the source; `source == "BOOM"` panics,
     /// `source == "ERR"` errors, and each compile counts its invocations
@@ -378,13 +456,27 @@ mod tests {
         type Artifact = String;
         type Error = String;
 
-        fn compile(&self, req: &CompileRequest) -> Result<(String, Vec<StageSample>), String> {
+        fn compile(
+            &self,
+            req: &CompileRequest,
+            kinds: &[ArtifactKind],
+        ) -> Result<(Vec<(ArtifactKind, String)>, Vec<StageSample>), String> {
             self.calls.fetch_add(1, Ordering::SeqCst);
             match req.source.as_str() {
                 "BOOM" => panic!("toy compiler exploded"),
                 "ERR" => Err("toy compile error".to_owned()),
+                "FORGETFUL" => Ok((Vec::new(), Vec::new())),
                 src => Ok((
-                    src.to_uppercase(),
+                    kinds
+                        .iter()
+                        .map(|kind| {
+                            let body = match kind {
+                                ArtifactKind::CCode => src.to_uppercase(),
+                                other => format!("{other}:{}", src.to_uppercase()),
+                            };
+                            (*kind, body)
+                        })
+                        .collect(),
                     vec![StageSample {
                         stage: crate::Stage::Frontend,
                         nanos: 5,
@@ -415,7 +507,7 @@ mod tests {
         assert_eq!(batch.ok_count(), 32);
         for (i, item) in batch.items.iter().enumerate() {
             assert_eq!(item.name, format!("r{i}"));
-            assert_eq!(**item.result.as_ref().unwrap(), format!("SRC{i}"));
+            assert_eq!(**item.primary().unwrap(), format!("SRC{i}"));
         }
     }
 
@@ -434,10 +526,7 @@ mod tests {
         assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), calls_after_cold);
         // And the artifacts are the identical allocations.
         for (a, b) in cold.items.iter().zip(&warm.items) {
-            assert!(Arc::ptr_eq(
-                a.result.as_ref().unwrap(),
-                b.result.as_ref().unwrap()
-            ));
+            assert!(Arc::ptr_eq(a.primary().unwrap(), b.primary().unwrap()));
         }
         let stats = svc.stats();
         assert_eq!(
@@ -538,10 +627,77 @@ mod tests {
         // fresh artifact verifies against the request content again.
         let again = svc.compile_one(ra);
         assert!(!again.cache_hit);
-        assert_eq!(*again.result.unwrap(), "ONE");
+        assert_eq!(**again.primary().unwrap(), "ONE");
         assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), 3);
         assert!(svc.stats().cache_evictions >= 1);
         let _ = rb;
+    }
+
+    #[test]
+    fn multi_kind_requests_compile_once_and_cache_per_kind() {
+        let svc = service(2);
+        let kinds = vec![ArtifactKind::CCode, ArtifactKind::BaselineDiff];
+        let req =
+            CompileRequest::new("r", "x").with_options(CompileOptions::for_kinds(kinds.clone()));
+        let cold = svc.compile_one(req.clone());
+        let artifacts = cold.result.as_ref().unwrap();
+        assert_eq!(artifacts.len(), 2);
+        assert_eq!(*artifacts[0].artifact, "X");
+        assert_eq!(*artifacts[1].artifact, "baseline-diff:X");
+        // One compiler invocation produced both kinds; both were cached
+        // under separate keys.
+        assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(svc.cache_len(), 2);
+
+        // A request for just one of the kinds hits that kind's entry.
+        let one = svc.compile_one(
+            CompileRequest::new("r", "x")
+                .with_options(CompileOptions::for_kinds(vec![ArtifactKind::BaselineDiff])),
+        );
+        assert!(one.cache_hit);
+        assert!(Arc::ptr_eq(
+            one.artifact(&ArtifactKind::BaselineDiff).unwrap(),
+            &artifacts[1].artifact
+        ));
+        assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), 1);
+
+        // A request widening the kind set compiles only the missing kind.
+        let wider = svc.compile_one(req.with_options(CompileOptions::for_kinds(vec![
+            ArtifactKind::CCode,
+            ArtifactKind::BaselineDiff,
+            ArtifactKind::IrDump {
+                stage: crate::IrStageKind::Obc,
+            },
+        ])));
+        assert!(!wider.cache_hit, "a new kind forces a compile");
+        let wider_artifacts = wider.result.as_ref().unwrap();
+        assert_eq!(wider_artifacts.len(), 3);
+        assert!(wider_artifacts[0].cache_hit, "the C entry was reused");
+        assert!(wider_artifacts[1].cache_hit);
+        assert!(!wider_artifacts[2].cache_hit);
+        assert_eq!(svc.cache_len(), 3);
+
+        // Per-kind stats rows saw every kind request.
+        let stats = svc.stats();
+        let row = |name: &str| *stats.kinds.iter().find(|k| k.kind == name).unwrap();
+        assert_eq!((row("c").requests, row("c").hits), (2, 1));
+        assert_eq!(
+            (row("baseline-diff").requests, row("baseline-diff").hits),
+            (3, 2)
+        );
+        assert_eq!((row("ir-dump").requests, row("ir-dump").hits), (1, 0));
+    }
+
+    #[test]
+    fn a_compiler_omitting_a_kind_is_a_loud_error() {
+        let svc = service(1);
+        let report = svc.compile_one(CompileRequest::new("r", "FORGETFUL"));
+        assert!(matches!(
+            report.result,
+            Err(ServiceError::MissingArtifact(ArtifactKind::CCode))
+        ));
+        // Nothing was cached for the failed request.
+        assert_eq!(svc.cache_len(), 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::cache::CacheCounters;
-use crate::{Stage, StageSample};
+use crate::{ArtifactKind, Stage, StageSample};
 
 /// Cap on retained latency samples per distribution. Past the cap the
 /// recorder degrades to a sliding window (oldest samples overwritten),
@@ -54,6 +54,15 @@ pub fn percentile(sorted: &[u64], pct: u32) -> u64 {
     sorted[rank - 1]
 }
 
+/// Per-kind request/hit/miss counters (one slot per
+/// [`ArtifactKind::GROUPS`] entry).
+#[derive(Default)]
+struct KindCounters {
+    requests: [AtomicU64; ArtifactKind::GROUPS.len()],
+    hits: [AtomicU64; ArtifactKind::GROUPS.len()],
+    misses: [AtomicU64; ArtifactKind::GROUPS.len()],
+}
+
 /// Internal collector shared by service handles and worker closures.
 #[derive(Default)]
 pub(crate) struct StatsCollector {
@@ -62,6 +71,7 @@ pub(crate) struct StatsCollector {
     cache_misses: AtomicU64,
     errors: AtomicU64,
     panics: AtomicU64,
+    kinds: KindCounters,
     stage_ns: Mutex<[Reservoir; Stage::ALL.len()]>,
     request_ns: Mutex<Reservoir>,
 }
@@ -89,6 +99,19 @@ impl StatsCollector {
 
     pub(crate) fn record_panic(&self) {
         self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one artifact kind served: requested, and hit or missed
+    /// the cache. (Request-level hit/miss counters stay the coarse "all
+    /// kinds hit?" view; these are the per-kind rows.)
+    pub(crate) fn record_kind(&self, kind: &ArtifactKind, hit: bool) {
+        let g = kind.group_index();
+        self.kinds.requests[g].fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.kinds.hits[g].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.kinds.misses[g].fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn record_stages(&self, samples: &[StageSample]) {
@@ -122,6 +145,16 @@ impl StatsCollector {
         };
         let (request_p50_nanos, request_p95_nanos) =
             self.request_ns.lock().expect("stats lock").percentiles();
+        let kinds = ArtifactKind::GROUPS
+            .iter()
+            .enumerate()
+            .map(|(g, name)| KindStats {
+                kind: name,
+                requests: self.kinds.requests[g].load(Ordering::Relaxed),
+                hits: self.kinds.hits[g].load(Ordering::Relaxed),
+                misses: self.kinds.misses[g].load(Ordering::Relaxed),
+            })
+            .collect();
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -131,11 +164,27 @@ impl StatsCollector {
             cache_entries: cache.entries,
             cache_bytes: cache.bytes,
             cache_evictions: cache.evictions,
+            kinds,
             stages,
             request_p50_nanos,
             request_p95_nanos,
         }
     }
+}
+
+/// Per-artifact-kind serving counters (one row per
+/// [`ArtifactKind::GROUPS`] group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindStats {
+    /// The kind group's stable name (`c`, `wcet`, `baseline-diff`,
+    /// `ir-dump`).
+    pub kind: &'static str,
+    /// Artifacts of this kind requested (hits + misses).
+    pub requests: u64,
+    /// Artifacts of this kind served from the cache.
+    pub hits: u64,
+    /// Artifacts of this kind that required compilation.
+    pub misses: u64,
 }
 
 /// Latency distribution of one pipeline stage.
@@ -174,6 +223,9 @@ pub struct StatsSnapshot {
     pub cache_bytes: u64,
     /// Entries evicted to honor a capacity cap (monotone).
     pub cache_evictions: u64,
+    /// Per-artifact-kind serving counters ([`ArtifactKind::GROUPS`]
+    /// order; a kind never requested has all-zero counters).
+    pub kinds: Vec<KindStats>,
     /// Per-stage latency distributions (pipeline order). Percentiles are
     /// computed over a sliding window of recent samples (memory-bounded);
     /// `count` and `total_nanos` are exact.
@@ -232,6 +284,20 @@ impl std::fmt::Display for StatsSnapshot {
             fmt_nanos(self.request_p50_nanos),
             fmt_nanos(self.request_p95_nanos)
         )?;
+        if self.kinds.iter().any(|k| k.requests > 0) {
+            writeln!(
+                f,
+                "{:<14} {:>10} {:>8} {:>8}",
+                "kind", "requests", "hits", "misses"
+            )?;
+            for k in self.kinds.iter().filter(|k| k.requests > 0) {
+                writeln!(
+                    f,
+                    "{:<14} {:>10} {:>8} {:>8}",
+                    k.kind, k.requests, k.hits, k.misses
+                )?;
+            }
+        }
         writeln!(
             f,
             "{:<12} {:>8} {:>12} {:>12} {:>12}",
@@ -297,5 +363,29 @@ mod tests {
         for stage in Stage::ALL {
             assert!(rendered.contains(stage.name()), "{rendered}");
         }
+    }
+
+    #[test]
+    fn kind_counters_surface_as_rows() {
+        let c = StatsCollector::new();
+        c.record_kind(&ArtifactKind::CCode, false);
+        c.record_kind(&ArtifactKind::CCode, true);
+        c.record_kind(
+            &ArtifactKind::Wcet {
+                model: crate::WcetModelKind::Gcc,
+            },
+            false,
+        );
+        let snap = c.snapshot(CacheCounters::default());
+        let row = |name: &str| *snap.kinds.iter().find(|k| k.kind == name).unwrap();
+        assert_eq!(
+            (row("c").requests, row("c").hits, row("c").misses),
+            (2, 1, 1)
+        );
+        assert_eq!((row("wcet").requests, row("wcet").misses), (1, 1));
+        // Only requested kinds render; the others stay off the table.
+        let rendered = snap.to_string();
+        assert!(rendered.contains("wcet"), "{rendered}");
+        assert!(!rendered.contains("baseline-diff"), "{rendered}");
     }
 }

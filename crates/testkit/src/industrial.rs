@@ -28,16 +28,24 @@ pub struct IndustrialConfig {
     pub eqs_per_node: usize,
     /// Calls per node to earlier nodes (0 for the first layer).
     pub fan_in: usize,
+    /// Clock nesting depth of the per-node sub-clocked cluster: 0 keeps
+    /// every equation on the base clock (the original generator); `d ≥ 1`
+    /// adds a `when`/`merge` cluster sampled `d` levels deep (several
+    /// equations per sub-clock, so fusion has guards to merge — the
+    /// fusion-heavy shape real clocked applications have).
+    pub subclock_depth: usize,
 }
 
 impl IndustrialConfig {
     /// The full-size configuration of the paper's experiment:
-    /// ≈6000 nodes, ≈162000 equations.
+    /// ≈6000 nodes, ≈162000 equations (base-clocked, as the paper's
+    /// graphical-front-end input was).
     pub fn paper_scale() -> IndustrialConfig {
         IndustrialConfig {
             nodes: 6000,
             eqs_per_node: 24,
             fan_in: 2,
+            subclock_depth: 0,
         }
     }
 
@@ -47,17 +55,53 @@ impl IndustrialConfig {
             nodes: 60,
             eqs_per_node: 24,
             fan_in: 2,
+            subclock_depth: 0,
+        }
+    }
+
+    /// A fusion-heavy shape: sub-clocked clusters nested two levels deep
+    /// (`when`/`merge` at depth ≥ 2), for service benchmarks that should
+    /// stress the fusion optimization and its guards.
+    pub fn fusion_heavy() -> IndustrialConfig {
+        IndustrialConfig {
+            nodes: 40,
+            eqs_per_node: 16,
+            fan_in: 2,
+            subclock_depth: 2,
         }
     }
 
     /// Approximate number of equations the configuration yields.
     pub fn approx_equations(&self) -> usize {
-        self.nodes * (self.eqs_per_node + 3 + self.fan_in)
+        let subclock = if self.subclock_depth == 0 {
+            0
+        } else {
+            // (depth−1) sampler definitions + 3 deep equations + one
+            // merge per level.
+            self.subclock_depth - 1 + 3 + self.subclock_depth
+        };
+        self.nodes * (self.eqs_per_node + 3 + self.fan_in + subclock)
     }
 }
 
 fn ivar(name: Ident) -> Expr<ClightOps> {
     Expr::Var(name, CTy::I32)
+}
+
+/// The clock `Base on chain[0] on chain[1] … on chain[depth-1]` (all
+/// positive polarities).
+fn clock_at(chain: &[Ident], depth: usize) -> Clock {
+    chain[..depth]
+        .iter()
+        .fold(Clock::Base, |ck, &x| ck.on(x, true))
+}
+
+/// Samples a base-clock expression down the whole chain:
+/// `e when chain[0] when chain[1] …`.
+fn sampled(e: Expr<ClightOps>, chain: &[Ident]) -> Expr<ClightOps> {
+    chain
+        .iter()
+        .fold(e, |e, &x| Expr::When(Box::new(e), x, true))
 }
 
 /// A deterministic pseudo-random sequence (xorshift) so the generated
@@ -142,6 +186,106 @@ fn make_node(index: usize, cfg: &IndustrialConfig, det: &mut Det) -> Node<Clight
             args: vec![ivar(last), ivar(x1), Expr::Var(mode, CTy::Bool)],
         });
         last = r;
+    }
+
+    // The sub-clocked cluster: a chain of boolean samplers nested
+    // `subclock_depth` levels deep, a few equations on the deepest
+    // clock (same clock → fusion merges their guards), and a `merge`
+    // ladder back to the base clock. The merged result feeds the
+    // arithmetic chain below, so the cluster is live code.
+    if cfg.subclock_depth > 0 {
+        let depth = cfg.subclock_depth;
+        // chain[0] is the `mode` input; chain[k] (k ≥ 1) is a local
+        // boolean sampler declared on the clock of the levels before it.
+        let mut chain = vec![mode];
+        for k in 2..=depth {
+            let s = Ident::new(&format!("s{k}"));
+            locals.push(VarDecl {
+                name: s,
+                ty: CTy::Bool,
+                ck: clock_at(&chain, k - 1),
+            });
+            eqs.push(Equation::Def {
+                x: s,
+                ck: clock_at(&chain, k - 1),
+                rhs: CExpr::Expr(sampled(
+                    Expr::Binop(
+                        CBinOp::Lt,
+                        Box::new(ivar(x0)),
+                        Box::new(ivar(x1)),
+                        CTy::Bool,
+                    ),
+                    &chain[..k - 1],
+                )),
+            });
+            chain.push(s);
+        }
+        // Deep equations, all on the deepest clock.
+        let deep = clock_at(&chain, depth);
+        let ws: Vec<Ident> = (0..3).map(|k| Ident::new(&format!("w{k}"))).collect();
+        for &w in &ws {
+            locals.push(VarDecl {
+                name: w,
+                ty: CTy::I32,
+                ck: deep.clone(),
+            });
+        }
+        eqs.push(Equation::Def {
+            x: ws[0],
+            ck: deep.clone(),
+            rhs: CExpr::Expr(Expr::Binop(
+                CBinOp::Add,
+                Box::new(sampled(ivar(x1), &chain)),
+                Box::new(sampled(ivar(m0), &chain)),
+                CTy::I32,
+            )),
+        });
+        eqs.push(Equation::Def {
+            x: ws[1],
+            ck: deep.clone(),
+            rhs: CExpr::Expr(Expr::Binop(
+                CBinOp::Mul,
+                Box::new(ivar(ws[0])),
+                Box::new(Expr::Const(CConst::int((det.below(5) + 2) as i32))),
+                CTy::I32,
+            )),
+        });
+        eqs.push(Equation::Def {
+            x: ws[2],
+            ck: deep,
+            rhs: CExpr::Expr(Expr::Binop(
+                CBinOp::Sub,
+                Box::new(ivar(ws[1])),
+                Box::new(ivar(ws[0])),
+                CTy::I32,
+            )),
+        });
+        // Merge ladder: one merge per level, back down to base.
+        let mut prev = ws[2];
+        for k in (1..=depth).rev() {
+            let u = Ident::new(&format!("u{k}"));
+            let ck = clock_at(&chain, k - 1);
+            locals.push(VarDecl {
+                name: u,
+                ty: CTy::I32,
+                ck: ck.clone(),
+            });
+            let sampler = chain[k - 1];
+            // The absent branch re-samples a delayed base stream with
+            // the opposite polarity.
+            let other = Expr::When(Box::new(sampled(ivar(m1), &chain[..k - 1])), sampler, false);
+            eqs.push(Equation::Def {
+                x: u,
+                ck,
+                rhs: CExpr::Merge(
+                    sampler,
+                    Box::new(CExpr::Expr(ivar(prev))),
+                    Box::new(CExpr::Expr(other)),
+                ),
+            });
+            prev = u;
+        }
+        last = prev;
     }
 
     // A chain of arithmetic/conditional equations.
@@ -234,13 +378,24 @@ pub fn industrial_program(cfg: &IndustrialConfig) -> Program<ClightOps> {
 pub fn industrial_source(cfg: &IndustrialConfig) -> String {
     let prog = industrial_program(cfg);
     // The N-Lustre Display form is already parseable Lustre for this
-    // fragment (base clocks only, explicit `fby` equations), except for
-    // clock syntax, which this generator never emits.
+    // fragment: explicit `fby` equations, `when`/`whenot` sampling, and
+    // `merge` all print in the surface syntax; declaration clocks are
+    // rendered as `when [not] x` annotation chains below.
+    fn clock_annotation(ck: &Clock) -> String {
+        match ck {
+            Clock::Base => String::new(),
+            Clock::On(parent, x, polarity) => format!(
+                "{} when {}{x}",
+                clock_annotation(parent),
+                if *polarity { "" } else { "not " }
+            ),
+        }
+    }
     let mut out = String::new();
     for node in &prog.nodes {
         let decls = |ds: &[VarDecl<ClightOps>]| {
             ds.iter()
-                .map(|d| format!("{}: {}", d.name, d.ty))
+                .map(|d| format!("{}: {}{}", d.name, d.ty, clock_annotation(&d.ck)))
                 .collect::<Vec<_>>()
                 .join("; ")
         };
@@ -310,6 +465,7 @@ mod tests {
             nodes: 5,
             eqs_per_node: 6,
             fan_in: 2,
+            subclock_depth: 0,
         };
         let src = industrial_source(&cfg);
         let (prog, _) = velus_lustre::compile_to_nlustre::<velus_ops::ClightOps>(&src)
@@ -327,5 +483,48 @@ mod tests {
     fn paper_scale_reaches_the_reported_size() {
         let cfg = IndustrialConfig::paper_scale();
         assert!(cfg.approx_equations() >= 160_000);
+    }
+
+    #[test]
+    fn subclocked_programs_are_well_clocked_at_depth_two_and_three() {
+        for depth in [1, 2, 3] {
+            let cfg = IndustrialConfig {
+                nodes: 8,
+                eqs_per_node: 6,
+                fan_in: 2,
+                subclock_depth: depth,
+            };
+            let prog = industrial_program(&cfg);
+            typecheck::check_program(&prog).unwrap_or_else(|e| panic!("depth {depth}: {e}"));
+            clockcheck::check_program_clocks(&prog)
+                .unwrap_or_else(|e| panic!("depth {depth}: {e}"));
+            // The cluster really is sub-clocked: some declaration sits
+            // at the requested nesting depth.
+            let max_depth = prog
+                .nodes
+                .iter()
+                .flat_map(|n| &n.locals)
+                .map(|d| d.ck.depth())
+                .max()
+                .unwrap();
+            assert_eq!(max_depth, depth);
+        }
+    }
+
+    #[test]
+    fn subclocked_source_round_trips_with_clock_annotations() {
+        let cfg = IndustrialConfig {
+            nodes: 6,
+            eqs_per_node: 5,
+            fan_in: 1,
+            subclock_depth: 2,
+        };
+        let src = industrial_source(&cfg);
+        assert!(src.contains("when mode when s2"), "{src}");
+        assert!(src.contains("merge"), "{src}");
+        let (prog, _) = velus_lustre::compile_to_nlustre::<velus_ops::ClightOps>(&src)
+            .unwrap_or_else(|e| panic!("{}", e.render(&src)));
+        assert_eq!(prog.nodes.len(), 6);
+        clockcheck::check_program_clocks(&prog).unwrap();
     }
 }

@@ -44,6 +44,33 @@ pub enum CostModel {
     GccInline,
 }
 
+impl CostModel {
+    /// All models, in the paper's column order.
+    pub const ALL: [CostModel; 3] = [CostModel::CompCert, CostModel::Gcc, CostModel::GccInline];
+
+    /// The CLI spelling (`cc`, `gcc`, `gcci`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CostModel::CompCert => "cc",
+            CostModel::Gcc => "gcc",
+            CostModel::GccInline => "gcci",
+        }
+    }
+}
+
+impl std::str::FromStr for CostModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CostModel, String> {
+        match s {
+            "cc" => Ok(CostModel::CompCert),
+            "gcc" => Ok(CostModel::Gcc),
+            "gcci" => Ok(CostModel::GccInline),
+            other => Err(format!("unknown model `{other}` (cc|gcc|gcci)")),
+        }
+    }
+}
+
 /// Errors of the analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WcetError {

@@ -42,9 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warm.throughput()
     );
     for (a, b) in cold.items.iter().zip(&warm.items) {
-        let (ca, cb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        let (ca, cb) = (a.primary().unwrap(), b.primary().unwrap());
         assert_eq!(
-            ca.c_code, cb.c_code,
+            ca.c_code(),
+            cb.c_code(),
             "{}: warm C must be byte-identical",
             a.name
         );

@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 
-use velus_server::{ArtifactCache, CacheConfig, CacheKey, CompileRequest};
+use velus_server::{
+    ArtifactCache, ArtifactKind, CacheConfig, CacheKey, CompileRequest, WcetModelKind,
+};
 
 /// Replays a random operation sequence against a capped cache and
 /// checks the capacity/monotonicity invariants after every step.
@@ -20,12 +22,21 @@ fn check_random_workload(ops: &[u8], max_entries: usize, max_bytes: usize, shard
     );
     let mut last_evictions = 0u64;
     for &op in ops {
-        // Key space of 32 distinct contents; opcode bit selects get/insert.
+        // Key space of 16 distinct contents x 2 artifact kinds; the
+        // opcode bit selects get/insert. Same content under different
+        // kinds must key (and verify) independently.
         let k = usize::from(op) % 32;
-        let req = CompileRequest::new(format!("r{k}"), format!("source-{k:03}"));
-        let key = CacheKey::of_request(&req);
+        let kind = if k % 2 == 0 {
+            ArtifactKind::CCode
+        } else {
+            ArtifactKind::Wcet {
+                model: WcetModelKind::CompCert,
+            }
+        };
+        let req = CompileRequest::new(format!("r{k}"), format!("source-{:03}", k / 2));
+        let key = CacheKey::of_request(&req, &kind);
         if op >= 128 {
-            if let Some(artifact) = cache.get(&key, &req) {
+            if let Some(artifact) = cache.get(&key, &req, &kind) {
                 assert_eq!(
                     *artifact,
                     format!("ART-{k:03}"),
@@ -33,7 +44,7 @@ fn check_random_workload(ops: &[u8], max_entries: usize, max_bytes: usize, shard
                 );
             }
         } else {
-            cache.insert(key, &req, format!("ART-{k:03}"));
+            cache.insert(key, &req, kind, format!("ART-{k:03}"));
         }
         let counters = cache.counters();
         assert!(
@@ -78,7 +89,8 @@ proptest! {
         for &op in &ops {
             let k = usize::from(op) % 16;
             let req = CompileRequest::new(format!("r{k}"), format!("src-{k}"));
-            cache.insert(CacheKey::of_request(&req), &req, format!("A{k}"));
+            let key = CacheKey::of_request(&req, &ArtifactKind::CCode);
+            cache.insert(key, &req, ArtifactKind::CCode, format!("A{k}"));
         }
         prop_assert_eq!(cache.counters().evictions, 0);
         prop_assert!(cache.len() <= 16);
@@ -116,7 +128,12 @@ fn evicted_program_recompiles_and_reverifies() {
     };
 
     let first = svc.compile_one(req(0));
-    let first_c = first.result.expect("prog0 compiles").c_code.clone();
+    let first_c = first
+        .primary()
+        .expect("prog0 compiles")
+        .c_code()
+        .unwrap()
+        .to_owned();
     svc.compile_one(req(1));
     svc.compile_one(req(2)); // cap 2: evicts prog0, the LRU entry
     let stats = svc.stats();
@@ -125,8 +142,13 @@ fn evicted_program_recompiles_and_reverifies() {
 
     let again = svc.compile_one(req(0));
     assert!(!again.cache_hit, "evicted entry must recompile");
-    let again_c = &again.result.expect("prog0 recompiles").c_code;
-    assert_eq!(*again_c, first_c, "recompilation is deterministic");
+    let again_c = again
+        .primary()
+        .expect("prog0 recompiles")
+        .c_code()
+        .unwrap()
+        .to_owned();
+    assert_eq!(again_c, first_c, "recompilation is deterministic");
     // The recompile re-verified through the full pipeline and matches a
     // fresh single-shot compilation.
     let fresh = velus::compile(&sources[0].1, Some("prog0")).unwrap();

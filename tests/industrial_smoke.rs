@@ -14,6 +14,7 @@ fn small_industrial_program_compiles_and_validates() {
             nodes: 12,
             eqs_per_node: 10,
             fan_in: 2,
+            subclock_depth: 0,
         };
         let prog = industrial_program(&cfg);
         let root = Ident::new("blk11");
@@ -29,6 +30,7 @@ fn industrial_source_compiles_through_the_frontend() {
         nodes: 20,
         eqs_per_node: 12,
         fan_in: 2,
+        subclock_depth: 0,
     };
     let src = industrial_source(&cfg);
     let compiled = velus::compile(&src, Some("blk19")).unwrap();
@@ -44,6 +46,21 @@ fn industrial_source_compiles_through_the_frontend() {
 }
 
 #[test]
+fn fusion_heavy_corpus_compiles_and_validates() {
+    // The fusion-heavy preset (sub-clocked clusters at depth 2) must go
+    // through the full pipeline — including fusion and its preservation
+    // re-checks — and through the executable semantics.
+    velus_common::with_stack(256, || {
+        let cfg = IndustrialConfig::fusion_heavy();
+        let prog = industrial_program(&cfg);
+        let root = Ident::new(&format!("blk{}", cfg.nodes - 1));
+        let compiled = velus::compile_program(prog, root, Diagnostics::new()).unwrap();
+        let inputs = velus::validate::default_inputs(&compiled, 8);
+        velus::validate(&compiled, &inputs, 8).unwrap();
+    });
+}
+
+#[test]
 fn medium_industrial_compile_time_is_sane() {
     // Not a benchmark — just a guard that complexity is near-linear
     // enough for the full experiment to be runnable.
@@ -51,6 +68,7 @@ fn medium_industrial_compile_time_is_sane() {
         nodes: 150,
         eqs_per_node: 24,
         fan_in: 2,
+        subclock_depth: 0,
     };
     let prog = industrial_program(&cfg);
     let root = Ident::new("blk149");

@@ -18,6 +18,8 @@ fn generated_corpus() -> Vec<CompileRequest> {
                 nodes: 6 + k * 2,
                 eqs_per_node: 5 + k,
                 fan_in: 1 + k % 2,
+                // Cover base-clocked and sub-clocked (depth 1 and 2) shapes.
+                subclock_depth: k % 3,
             };
             let root = format!("blk{}", cfg.nodes - 1);
             CompileRequest::new(format!("gen{k}"), industrial_source(&cfg)).with_root(root)
@@ -44,15 +46,15 @@ fn warm_hit_skips_the_pipeline_and_reemits_identical_c() {
     assert_eq!(warm.hit_count(), names.len(), "every warm request must hit");
 
     for (a, b) in cold.items.iter().zip(&warm.items) {
-        let cold_artifact = a.result.as_ref().unwrap();
-        let warm_artifact = b.result.as_ref().unwrap();
+        let cold_artifact = a.primary().unwrap();
+        let warm_artifact = b.primary().unwrap();
         // The identical shared artifact, hence bit-identical emitted C.
         assert!(
             std::sync::Arc::ptr_eq(cold_artifact, warm_artifact),
             "{}",
             a.name
         );
-        assert_eq!(cold_artifact.c_code, warm_artifact.c_code, "{}", a.name);
+        assert_eq!(cold_artifact.c_code(), warm_artifact.c_code(), "{}", a.name);
         // And the cached C matches an independent cold compilation.
         let fresh = velus::compile(
             &std::fs::read_to_string(velus_repro::benchmark_path(&a.name)).unwrap(),
@@ -61,7 +63,7 @@ fn warm_hit_skips_the_pipeline_and_reemits_identical_c() {
         .unwrap();
         assert_eq!(
             velus::emit_c(&fresh, velus::TestIo::Volatile),
-            cold_artifact.c_code
+            cold_artifact.c_code().unwrap()
         );
     }
 
@@ -95,7 +97,7 @@ fn batch_output_is_deterministic_for_any_worker_count() {
             report
                 .items
                 .iter()
-                .map(|i| i.result.as_ref().unwrap().c_code.clone())
+                .map(|i| i.primary().unwrap().c_code().unwrap().to_owned())
                 .collect(),
         );
     }
@@ -150,17 +152,14 @@ fn io_mode_caches_separately_and_changes_the_artifact() {
     });
     let volatile = svc.compile_one(benchmark_request("tracker"));
     let stdio = svc.compile_one(
-        benchmark_request("tracker").with_options(CompileOptions { io: IoMode::Stdio }),
+        benchmark_request("tracker").with_options(CompileOptions::default().with_io(IoMode::Stdio)),
     );
     assert!(!stdio.cache_hit);
-    let v = volatile.result.unwrap();
-    let s = stdio.result.unwrap();
-    assert_ne!(v.c_code, s.c_code);
-    assert!(
-        s.c_code.contains("scanf"),
-        "stdio mode uses the scanf harness"
-    );
-    assert!(!v.c_code.contains("scanf"), "volatile mode must not");
+    let v = volatile.primary().unwrap().c_code().unwrap().to_owned();
+    let s = stdio.primary().unwrap().c_code().unwrap().to_owned();
+    assert_ne!(v, s);
+    assert!(s.contains("scanf"), "stdio mode uses the scanf harness");
+    assert!(!v.contains("scanf"), "volatile mode must not");
     assert_eq!(svc.cache_len(), 2);
 }
 
@@ -179,9 +178,9 @@ fn generated_corpus_scales_across_workers_without_result_change() {
     assert!(report.items.iter().all(|i| !i.cache_hit));
     // Every generated artifact contains its root's step function.
     for item in &report.items {
-        let artifact = item.result.as_ref().unwrap();
+        let artifact = item.primary().unwrap();
         assert!(
-            artifact.c_code.contains("__step"),
+            artifact.c_code().unwrap().contains("__step"),
             "{}: no step function in emitted C",
             item.name
         );
