@@ -23,9 +23,7 @@
 //! to every reader), the `set`s sit where the `fby` equations were
 //! scheduled. No fusion is applied, matching the modular v6 scheme.
 
-use std::collections::HashMap;
-
-use velus_common::Ident;
+use velus_common::{Ident, IdentMap};
 use velus_nlustre::ast::{CExpr, Equation, Expr, Node, Program};
 use velus_nlustre::clock::Clock;
 use velus_obc::ast::{reset_name, step_name, Class, Method, ObcExpr, ObcProgram, Stmt};
@@ -96,7 +94,7 @@ fn make_fby_class<O: Ops>(ty: &O::Ty) -> Class<O> {
 
 /// Per-node context (no memories: every variable is a step local).
 struct Ctx<O: Ops> {
-    types: HashMap<Ident, O::Ty>,
+    types: IdentMap<O::Ty>,
 }
 
 impl<O: Ops> Ctx<O> {
@@ -160,7 +158,7 @@ fn delay_instance(x: Ident) -> Ident {
 }
 
 fn translate_node_v6<O: Ops>(node: &Node<O>) -> Result<Class<O>, BaselineError> {
-    let mut types: HashMap<Ident, O::Ty> = HashMap::new();
+    let mut types: IdentMap<O::Ty> = IdentMap::<O::Ty>::default();
     for d in node.inputs.iter().chain(&node.outputs).chain(&node.locals) {
         types.insert(d.name, d.ty.clone());
     }

@@ -1,0 +1,343 @@
+//! Per-stage time and allocation profile of the cold compile path.
+//!
+//! The service benchmark showed that at one worker the service is bound
+//! by cold single-threaded compile speed, so this harness measures where
+//! a cold `Frontend→Emit` run spends its time *and its allocator*: a
+//! counting global allocator snapshots the allocation counters at every
+//! stage boundary of a [`StagedPipeline`] run, giving per-stage
+//! nanoseconds, allocation counts, and allocated bytes per compile.
+//!
+//! Two corpora are profiled: the 14 paper benchmarks under
+//! `benchmarks/`, and the 24-program `velus-testkit` industrial corpus
+//! the service benchmark uses (a third of it sub-clocked).
+//!
+//! ```text
+//! cargo run --release -p velus-bench --bin pipeline \
+//!     [--passes N] [--programs N] [--json PATH] [--smoke]
+//! ```
+//!
+//! `--json PATH` writes the profile as a JSON object (see
+//! `BENCH_pipeline.json` at the repository root); `--smoke` runs a tiny
+//! corpus, asserts the JSON output is well formed, and exits — the CI
+//! guard that keeps this harness buildable and runnable.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use velus::passes::StagedPipeline;
+use velus_bench::suite::{load, BENCHMARKS};
+use velus_bench::{parse_bool_flag, parse_flag, parse_string_flag};
+use velus_clight::printer::TestIo;
+use velus_server::Stage;
+use velus_testkit::industrial::{industrial_source, IndustrialConfig};
+
+/// A counting wrapper around the system allocator. Every allocation and
+/// reallocation bumps a global counter; the harness reads the counters
+/// at stage boundaries to attribute allocations to pipeline stages.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counters are
+// plain relaxed atomics with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counters() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Accumulated per-stage totals over a corpus sweep.
+#[derive(Default, Clone, Copy)]
+struct StageTotals {
+    ns: u64,
+    allocs: u64,
+    bytes: u64,
+}
+
+#[derive(Default)]
+struct Profile {
+    stages: [StageTotals; Stage::ALL.len()],
+    compiles: u64,
+    total_ns: u64,
+    total_allocs: u64,
+    total_bytes: u64,
+}
+
+fn stage_index(stage: Stage) -> usize {
+    Stage::ALL
+        .iter()
+        .position(|s| *s == stage)
+        .expect("stage in ALL")
+}
+
+/// Compiles one source cold (front end to C emission), attributing time
+/// and allocations to stages via the pipeline's stage observer.
+fn profile_one(profile: &mut Profile, source: &str, root: Option<&str>) {
+    let mut marks: Vec<(Stage, u64, u64, u64)> = Vec::with_capacity(Stage::ALL.len());
+    let run_start = counters();
+    let mut last = run_start;
+    let wall = Instant::now();
+    {
+        let mut observe = |stage: Stage, dur: std::time::Duration| {
+            let now = counters();
+            marks.push((stage, dur.as_nanos() as u64, now.0 - last.0, now.1 - last.1));
+            last = now;
+        };
+        let mut staged =
+            StagedPipeline::from_source(source, root, &mut observe).expect("corpus compiles");
+        let c = staged.emit(TestIo::Volatile).expect("corpus emits");
+        assert!(!c.is_empty());
+    }
+    profile.total_ns += wall.elapsed().as_nanos() as u64;
+    let end = counters();
+    profile.compiles += 1;
+    profile.total_allocs += end.0 - run_start.0;
+    profile.total_bytes += end.1 - run_start.1;
+    for (stage, ns, allocs, bytes) in marks {
+        let t = &mut profile.stages[stage_index(stage)];
+        t.ns += ns;
+        t.allocs += allocs;
+        t.bytes += bytes;
+    }
+}
+
+/// The same deterministic industrial corpus the service benchmark uses.
+fn industrial_corpus(programs: usize) -> Vec<(String, String)> {
+    (0..programs)
+        .map(|k| {
+            let cfg = IndustrialConfig {
+                nodes: 8 + (k % 7) * 3,
+                eqs_per_node: 6 + (k % 5) * 2,
+                fan_in: 1 + k % 2,
+                subclock_depth: k % 3,
+            };
+            (industrial_source(&cfg), format!("blk{}", cfg.nodes - 1))
+        })
+        .collect()
+}
+
+fn profile_corpus(corpus: &[(String, String)], passes: usize) -> Profile {
+    let mut profile = Profile::default();
+    for _ in 0..passes {
+        for (source, root) in corpus {
+            profile_one(&mut profile, source, Some(root));
+        }
+    }
+    profile
+}
+
+fn print_profile(label: &str, p: &Profile) {
+    println!("{label}: {} cold compiles", p.compiles);
+    println!(
+        "  {:<10} {:>14} {:>16} {:>16}",
+        "stage", "ns/compile", "allocs/compile", "bytes/compile"
+    );
+    for stage in Stage::ALL {
+        let t = p.stages[stage_index(stage)];
+        println!(
+            "  {:<10} {:>14.0} {:>16.1} {:>16.0}",
+            stage.name(),
+            t.ns as f64 / p.compiles as f64,
+            t.allocs as f64 / p.compiles as f64,
+            t.bytes as f64 / p.compiles as f64
+        );
+    }
+    println!(
+        "  {:<10} {:>14.0} {:>16.1} {:>16.0}\n",
+        "total",
+        p.total_ns as f64 / p.compiles as f64,
+        p.total_allocs as f64 / p.compiles as f64,
+        p.total_bytes as f64 / p.compiles as f64
+    );
+}
+
+fn json_profile(label: &str, p: &Profile) -> String {
+    let mut out = String::with_capacity(1024);
+    let per = p.compiles as f64;
+    let _ = write!(
+        out,
+        "    \"{label}\": {{\n      \"compiles\": {},",
+        p.compiles
+    );
+    let _ = write!(
+        out,
+        "\n      \"total\": {{\"ns_per_compile\": {:.0}, \"allocs_per_compile\": {:.1}, \"bytes_per_compile\": {:.0}}},",
+        p.total_ns as f64 / per,
+        p.total_allocs as f64 / per,
+        p.total_bytes as f64 / per
+    );
+    out.push_str("\n      \"stages\": {");
+    for (i, stage) in Stage::ALL.iter().enumerate() {
+        let t = p.stages[stage_index(*stage)];
+        let _ = write!(
+            out,
+            "\n        \"{}\": {{\"ns_per_compile\": {:.0}, \"allocs_per_compile\": {:.1}, \"bytes_per_compile\": {:.0}}}{}",
+            stage.name(),
+            t.ns as f64 / per,
+            t.allocs as f64 / per,
+            t.bytes as f64 / per,
+            if i + 1 == Stage::ALL.len() { "" } else { "," }
+        );
+    }
+    out.push_str("\n      }\n    }");
+    out
+}
+
+/// A minimal JSON well-formedness check (objects, arrays, strings,
+/// numbers, literals) — enough for the smoke gate to catch a harness
+/// that starts emitting broken output.
+fn assert_well_formed_json(s: &str) {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Result<usize, String> {
+        let i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b'{') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {i}"));
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let mut i = i + 1;
+                while i < b.len() && matches!(b[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    i += 1;
+                }
+                Ok(i)
+            }
+            _ => {
+                for lit in ["true", "false", "null"] {
+                    if s_slice(b, i).starts_with(lit) {
+                        return Ok(i + lit.len());
+                    }
+                }
+                Err(format!("unexpected value at byte {i}"))
+            }
+        }
+    }
+    fn s_slice(b: &[u8], i: usize) -> &str {
+        std::str::from_utf8(&b[i..]).unwrap_or("")
+    }
+    fn string(b: &[u8], i: usize) -> Result<usize, String> {
+        if b.get(i) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {i}"));
+        }
+        let mut i = i + 1;
+        while let Some(&c) = b.get(i) {
+            match c {
+                b'\\' => i += 2,
+                b'"' => return Ok(i + 1),
+                _ => i += 1,
+            }
+        }
+        Err("unterminated string".to_owned())
+    }
+    let b = s.as_bytes();
+    let end = value(b, 0).unwrap_or_else(|e| panic!("malformed JSON: {e}\n{s}"));
+    assert!(
+        skip_ws(b, end) == b.len(),
+        "trailing garbage after JSON value"
+    );
+}
+
+/// One corpus: `(source, root node)` pairs.
+type Corpus = Vec<(String, String)>;
+
+fn main() {
+    let smoke = parse_bool_flag("--smoke");
+    let passes = parse_flag("--passes", if smoke { 1 } else { 3 });
+    let programs = parse_flag("--programs", if smoke { 2 } else { 24 });
+
+    let mut corpora: Vec<(&str, Corpus)> = Vec::new();
+    if smoke {
+        corpora.push(("smoke", industrial_corpus(programs)));
+    } else {
+        let benchmarks: Corpus = BENCHMARKS
+            .iter()
+            .map(|name| (load(name), (*name).to_owned()))
+            .collect();
+        corpora.push(("benchmarks", benchmarks));
+        corpora.push(("industrial24", industrial_corpus(programs)));
+    }
+
+    println!("pipeline bench: per-stage cold compile profile ({passes} passes)\n");
+    let mut sections: Vec<String> = Vec::new();
+    for (label, corpus) in &corpora {
+        let profile = profile_corpus(corpus, passes);
+        print_profile(label, &profile);
+        sections.push(json_profile(label, &profile));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"velus-bench --bin pipeline --passes {passes} --programs {programs}\",\n  \"corpora\": {{\n{}\n  }}\n}}\n",
+        sections.join(",\n")
+    );
+    assert_well_formed_json(&json);
+    if let Some(path) = parse_string_flag("--json") {
+        std::fs::write(&path, &json).expect("write --json file");
+        println!("wrote profile to {path}");
+    }
+    if smoke {
+        println!("smoke ok: harness ran and emitted well-formed JSON");
+    }
+}

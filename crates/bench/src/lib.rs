@@ -13,7 +13,10 @@
 //! * `schedules` — the §5 schedule-quality observation;
 //! * `service` — throughput scaling of the batch compilation service;
 //! * `sched` — FIFO vs cost-predicted scheduling on a skewed corpus;
-//! * `contention` — identifier-interner contention across threads.
+//! * `contention` — identifier-interner contention across threads;
+//! * `pipeline` — per-stage time and allocation profile of the cold
+//!   compile path (counting global allocator; see
+//!   `BENCH_pipeline.json`).
 
 pub mod suite;
 pub mod table;
@@ -31,6 +34,12 @@ pub fn parse_flag(name: &str, default: usize) -> usize {
         }
     }
     default
+}
+
+/// Whether the bare flag `name` appears in this process's argv
+/// (`--smoke`, `--verbose`, …).
+pub fn parse_bool_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 /// Reads the string value following `name` in this process's argv.

@@ -7,9 +7,7 @@
 //! This module owns those details: struct layouts with per-field offsets,
 //! sizes and alignments computed once and cached in a [`LayoutEnv`].
 
-use std::collections::HashMap;
-
-use velus_common::Ident;
+use velus_common::{Ident, IdentMap};
 use velus_ops::CTy;
 
 use crate::ClightError;
@@ -72,8 +70,8 @@ pub struct Layout {
     pub size: u32,
     /// Alignment in bytes.
     pub align: u32,
-    /// Field name → (offset, size).
-    pub offsets: HashMap<Ident, u32>,
+    /// Field name → offset in bytes.
+    pub offsets: IdentMap<u32>,
 }
 
 /// Rounds `off` up to a multiple of `align`.
@@ -85,8 +83,8 @@ pub fn align_up(off: u32, align: u32) -> u32 {
 /// A set of struct definitions with cached layouts.
 #[derive(Debug, Clone, Default)]
 pub struct LayoutEnv {
-    composites: HashMap<Ident, Composite>,
-    layouts: HashMap<Ident, Layout>,
+    composites: IdentMap<Composite>,
+    layouts: IdentMap<Layout>,
     /// Declaration order, dependencies first (as supplied).
     pub order: Vec<Ident>,
 }
@@ -113,7 +111,7 @@ impl LayoutEnv {
     fn compute_layout(&self, c: &Composite) -> Result<Layout, ClightError> {
         let mut off = 0u32;
         let mut align = 1u32;
-        let mut offsets = HashMap::new();
+        let mut offsets = IdentMap::default();
         for (f, ty) in &c.fields {
             let (fsize, falign) = self.size_align(ty)?;
             off = align_up(off, falign);

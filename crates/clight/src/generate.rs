@@ -18,9 +18,7 @@
 //! class: volatile loads of the inputs, one `step`, volatile stores of
 //! the outputs, in an infinite loop.
 
-use std::collections::HashSet;
-
-use velus_common::Ident;
+use velus_common::{Ident, IdentSet};
 use velus_obc::ast::{reset_name, step_name, Class, Method, ObcExpr, ObcProgram, Stmt as OStmt};
 use velus_ops::{CTy, ClightOps};
 
@@ -50,15 +48,31 @@ pub fn vol_out_name(x: Ident) -> Ident {
 }
 
 /// The name of the generated simulation entry point.
+///
+/// Cached: looked up on every emission and by the validation harness.
 pub fn main_fn_name() -> Ident {
-    Ident::new("main")
+    static MAIN: std::sync::OnceLock<Ident> = std::sync::OnceLock::new();
+    *MAIN.get_or_init(|| Ident::new("main"))
+}
+
+/// The cached `self` parameter name (referenced once per state access
+/// during generation — interning it each time took the interner lock).
+fn self_ident() -> Ident {
+    static SELF: std::sync::OnceLock<Ident> = std::sync::OnceLock::new();
+    *SELF.get_or_init(|| Ident::new("self"))
+}
+
+/// The cached `out` parameter name (see [`self_ident`]).
+fn out_ident() -> Ident {
+    static OUT: std::sync::OnceLock<Ident> = std::sync::OnceLock::new();
+    *OUT.get_or_init(|| Ident::new("out"))
 }
 
 struct MCtx<'a> {
     class: &'a Class<ClightOps>,
     multi_out: bool,
     out_struct: Ident,
-    outputs: HashSet<Ident>,
+    outputs: IdentSet,
     /// Addressable locals added for multi-output callee results.
     extra_vars: Vec<(Ident, CType)>,
     /// Temporaries added for single-output callee results.
@@ -68,11 +82,11 @@ struct MCtx<'a> {
 
 impl MCtx<'_> {
     fn self_expr(&self) -> Expr {
-        Expr::Temp(Ident::new("self"), CType::ptr_to_struct(self.class.name))
+        Expr::Temp(self_ident(), CType::ptr_to_struct(self.class.name))
     }
 
     fn out_expr(&self) -> Expr {
-        Expr::Temp(Ident::new("out"), CType::ptr_to_struct(self.out_struct))
+        Expr::Temp(out_ident(), CType::ptr_to_struct(self.out_struct))
     }
 
     fn gen_expr(&self, e: &ObcExpr<ClightOps>) -> Expr {
@@ -239,9 +253,9 @@ fn gen_method(
     };
     let mut body = ctx.gen_stmt(prog, &m.body)?;
 
-    let mut params = vec![(Ident::new("self"), CType::ptr_to_struct(class.name))];
+    let mut params = vec![(self_ident(), CType::ptr_to_struct(class.name))];
     if multi_out {
-        params.push((Ident::new("out"), CType::ptr_to_struct(out_struct)));
+        params.push((out_ident(), CType::ptr_to_struct(out_struct)));
     }
     params.extend(m.inputs.iter().map(|(x, t)| (*x, CType::Scalar(*t))));
 
@@ -310,7 +324,7 @@ fn gen_main(root: &Class<ClightOps>) -> Result<GeneratedMain, ClightError> {
     let step = root
         .method(step_name())
         .ok_or_else(|| ClightError::Malformed(format!("class {} has no step", root.name)))?;
-    let self_var = Ident::new("self");
+    let self_var = self_ident();
     let self_expr = Expr::Var(self_var, CType::Struct(root.name));
     let mut vols_in: Vec<(Ident, CTy)> = Vec::new();
     let mut vols_out: Vec<(Ident, CTy)> = Vec::new();
@@ -362,7 +376,7 @@ fn gen_main(root: &Class<ClightOps>) -> Result<GeneratedMain, ClightError> {
         }
         _ => {
             let ostruct = out_struct_name(root.name, step_name());
-            let ovar = Ident::new("out");
+            let ovar = out_ident();
             vars.push((ovar, CType::Struct(ostruct)));
             args.push(Expr::AddrOf(Box::new(Expr::Var(
                 ovar,

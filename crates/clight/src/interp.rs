@@ -13,9 +13,9 @@
 //! input prefix terminates the simulation loop (finite-prefix check of
 //! the paper's infinite bisimulation).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use velus_common::Ident;
+use velus_common::{Ident, IdentMap};
 use velus_ops::{CVal, ClightOps, Ops};
 
 use crate::ast::{Expr, Function, Program, Stmt};
@@ -59,8 +59,8 @@ enum Outcome {
 }
 
 struct Frame {
-    temps: HashMap<Ident, RVal>,
-    vars: HashMap<Ident, (BlockId, CType)>,
+    temps: IdentMap<RVal>,
+    vars: IdentMap<(BlockId, CType)>,
 }
 
 /// The interpreter state for one program.
@@ -70,7 +70,7 @@ pub struct Machine<'p> {
     pub layouts: LayoutEnv,
     /// The block memory (public for assertion checking).
     pub mem: Mem,
-    vol_inputs: HashMap<Ident, VecDeque<CVal>>,
+    vol_inputs: IdentMap<VecDeque<CVal>>,
     /// The volatile event trace accumulated so far.
     pub trace: Vec<Event>,
     /// Call depth guard (generated programs are non-recursive; this
@@ -92,7 +92,7 @@ impl<'p> Machine<'p> {
             prog,
             layouts,
             mem: Mem::new(),
-            vol_inputs: HashMap::new(),
+            vol_inputs: IdentMap::default(),
             trace: Vec::new(),
             depth: 0,
         })
@@ -326,8 +326,8 @@ impl<'p> Machine<'p> {
             )));
         }
         let mut fr = Frame {
-            temps: HashMap::new(),
-            vars: HashMap::new(),
+            temps: IdentMap::default(),
+            vars: IdentMap::default(),
         };
         for ((x, _), v) in f.params.iter().zip(args) {
             fr.temps.insert(*x, v.clone());

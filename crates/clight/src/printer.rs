@@ -5,8 +5,16 @@
 //! sanitized to `_` here, since `$` is not a standard C identifier
 //! character. Volatile globals model the paper's test-mode I/O; an
 //! optional stdio `main` is emitted for desktop experimentation.
+//!
+//! The emitter streams into a **single pre-sized `String`**: every
+//! expression, type and statement writes itself into the output buffer
+//! (via `fmt::Write` for numeric formatting), so emission performs O(1)
+//! allocations per translation unit instead of one per AST node. The
+//! buffer is sized from a cheap structural estimate of the program, so
+//! even the growth path is rarely taken.
 
-use velus_common::pretty::Printer;
+use std::fmt::Write as _;
+
 use velus_common::Ident;
 use velus_ops::{CTy, CUnOp, CVal};
 
@@ -23,111 +31,262 @@ pub enum TestIo {
     Stdio,
 }
 
-fn sanitize(x: Ident) -> String {
-    x.as_str().replace('$', "__")
+/// The single-buffer C writer: output text plus the indentation level.
+struct Cw {
+    buf: String,
+    indent: usize,
 }
 
-fn ctype(ty: &CType) -> String {
-    match ty {
-        CType::Scalar(t) => t.c_name().to_owned(),
-        CType::Pointer(t) => format!("{}*", ctype(t)),
-        CType::Struct(s) => format!("struct {}", sanitize(*s)),
-        CType::Void => "void".to_owned(),
+impl Cw {
+    fn indent(&mut self) {
+        for _ in 0..self.indent * 2 {
+            self.buf.push(' ');
+        }
+    }
+
+    fn nl(&mut self) {
+        self.buf.push('\n');
+    }
+
+    /// One fully indented line of fixed text.
+    fn line(&mut self, text: &str) {
+        self.indent();
+        self.buf.push_str(text);
+        self.nl();
+    }
+
+    fn blank(&mut self) {
+        self.buf.push('\n');
     }
 }
 
-fn literal(v: &CVal, ty: CTy) -> String {
+fn sanitize_into(buf: &mut String, x: Ident) {
+    for ch in x.as_str().chars() {
+        if ch == '$' {
+            buf.push_str("__");
+        } else {
+            buf.push(ch);
+        }
+    }
+}
+
+fn ctype_into(buf: &mut String, ty: &CType) {
+    match ty {
+        CType::Scalar(t) => buf.push_str(t.c_name()),
+        CType::Pointer(t) => {
+            ctype_into(buf, t);
+            buf.push('*');
+        }
+        CType::Struct(s) => {
+            buf.push_str("struct ");
+            sanitize_into(buf, *s);
+        }
+        CType::Void => buf.push_str("void"),
+    }
+}
+
+fn literal_into(buf: &mut String, v: &CVal, ty: CTy) {
+    // Writing into a String cannot fail; the let-underscores keep the
+    // fmt::Write plumbing quiet.
     match (v, ty) {
-        (CVal::Int(n), CTy::U32) => format!("{}u", *n as u32),
-        (CVal::Int(n), _) if *n == i32::MIN => format!("({} - 1)", i32::MIN + 1),
-        (CVal::Int(n), _) => format!("{n}"),
-        (CVal::Long(n), CTy::U64) => format!("{}ull", *n as u64),
-        (CVal::Long(n), _) if *n == i64::MIN => format!("({}ll - 1)", i64::MIN + 1),
-        (CVal::Long(n), _) => format!("{n}ll"),
+        (CVal::Int(n), CTy::U32) => {
+            let _ = write!(buf, "{}u", *n as u32);
+        }
+        (CVal::Int(n), _) if *n == i32::MIN => {
+            let _ = write!(buf, "({} - 1)", i32::MIN + 1);
+        }
+        (CVal::Int(n), _) => {
+            let _ = write!(buf, "{n}");
+        }
+        (CVal::Long(n), CTy::U64) => {
+            let _ = write!(buf, "{}ull", *n as u64);
+        }
+        (CVal::Long(n), _) if *n == i64::MIN => {
+            let _ = write!(buf, "({}ll - 1)", i64::MIN + 1);
+        }
+        (CVal::Long(n), _) => {
+            let _ = write!(buf, "{n}ll");
+        }
         (CVal::Single(x), _) => {
             if x.fract() == 0.0 && x.is_finite() {
-                format!("{x:.1}f")
+                let _ = write!(buf, "{x:.1}f");
             } else {
-                format!("{x:?}f")
+                let _ = write!(buf, "{x:?}f");
             }
         }
         (CVal::Float(x), _) => {
             if x.fract() == 0.0 && x.is_finite() {
-                format!("{x:.1}")
+                let _ = write!(buf, "{x:.1}");
             } else {
-                format!("{x:?}")
+                let _ = write!(buf, "{x:?}");
             }
         }
     }
 }
 
-fn expr(e: &Expr) -> String {
+fn expr_into(buf: &mut String, e: &Expr) {
     match e {
-        Expr::Const(v, ty) => literal(v, *ty),
-        Expr::Temp(x, _) | Expr::Var(x, _) => sanitize(*x),
-        Expr::Field(a, _, f, _) => format!("{}.{}", expr(a), sanitize(*f)),
-        Expr::DerefField(p, _, f, _) => format!("(*{}).{}", expr(p), sanitize(*f)),
-        Expr::AddrOf(a) => format!("&{}", expr(a)),
-        Expr::Unop(CUnOp::Not, e1, _) => format!("(!{})", expr(e1)),
-        Expr::Unop(CUnOp::Neg, e1, _) => format!("(-{})", expr(e1)),
-        Expr::Unop(CUnOp::Cast(to), e1, _) => format!("(({}){})", to.c_name(), expr(e1)),
+        Expr::Const(v, ty) => literal_into(buf, v, *ty),
+        Expr::Temp(x, _) | Expr::Var(x, _) => sanitize_into(buf, *x),
+        Expr::Field(a, _, f, _) => {
+            expr_into(buf, a);
+            buf.push('.');
+            sanitize_into(buf, *f);
+        }
+        Expr::DerefField(p, _, f, _) => {
+            buf.push_str("(*");
+            expr_into(buf, p);
+            buf.push_str(").");
+            sanitize_into(buf, *f);
+        }
+        Expr::AddrOf(a) => {
+            buf.push('&');
+            expr_into(buf, a);
+        }
+        Expr::Unop(CUnOp::Not, e1, _) => {
+            buf.push_str("(!");
+            expr_into(buf, e1);
+            buf.push(')');
+        }
+        Expr::Unop(CUnOp::Neg, e1, _) => {
+            buf.push_str("(-");
+            expr_into(buf, e1);
+            buf.push(')');
+        }
+        Expr::Unop(CUnOp::Cast(to), e1, _) => {
+            buf.push_str("((");
+            buf.push_str(to.c_name());
+            buf.push(')');
+            expr_into(buf, e1);
+            buf.push(')');
+        }
         Expr::Binop(op, e1, e2, _) => {
             // The Display instance of CBinOp prints the C spelling.
-            format!("({} {op} {})", expr(e1), expr(e2))
+            buf.push('(');
+            expr_into(buf, e1);
+            let _ = write!(buf, " {op} ");
+            expr_into(buf, e2);
+            buf.push(')');
         }
     }
 }
 
-fn stmt(p: &mut Printer, s: &Stmt) {
+#[cfg(test)]
+fn expr(e: &Expr) -> String {
+    let mut buf = String::new();
+    expr_into(&mut buf, e);
+    buf
+}
+
+fn stmt(w: &mut Cw, s: &Stmt) {
     match s {
         Stmt::Skip => {}
-        Stmt::Assign(lv, e) => p.line(format!("{} = {};", expr(lv), expr(e))),
-        Stmt::Set(x, e) => p.line(format!("{} = {};", sanitize(*x), expr(e))),
+        Stmt::Assign(lv, e) => {
+            w.indent();
+            expr_into(&mut w.buf, lv);
+            w.buf.push_str(" = ");
+            expr_into(&mut w.buf, e);
+            w.buf.push(';');
+            w.nl();
+        }
+        Stmt::Set(x, e) => {
+            w.indent();
+            sanitize_into(&mut w.buf, *x);
+            w.buf.push_str(" = ");
+            expr_into(&mut w.buf, e);
+            w.buf.push(';');
+            w.nl();
+        }
         Stmt::Call(dest, f, args) => {
-            let args: Vec<String> = args.iter().map(expr).collect();
-            let call = format!("{}({})", sanitize(*f), args.join(", "));
-            match dest {
-                Some(x) => p.line(format!("{} = {call};", sanitize(*x))),
-                None => p.line(format!("{call};")),
+            w.indent();
+            if let Some(x) = dest {
+                sanitize_into(&mut w.buf, *x);
+                w.buf.push_str(" = ");
             }
+            sanitize_into(&mut w.buf, *f);
+            w.buf.push('(');
+            for (k, a) in args.iter().enumerate() {
+                if k > 0 {
+                    w.buf.push_str(", ");
+                }
+                expr_into(&mut w.buf, a);
+            }
+            w.buf.push_str(");");
+            w.nl();
         }
         Stmt::Seq(a, b) => {
-            stmt(p, a);
-            stmt(p, b);
+            stmt(w, a);
+            stmt(w, b);
         }
         Stmt::If(c, t, f) => {
-            p.line(format!("if ({}) {{", expr(c)));
-            p.block(|p| stmt(p, t));
+            w.indent();
+            w.buf.push_str("if (");
+            expr_into(&mut w.buf, c);
+            w.buf.push_str(") {");
+            w.nl();
+            w.indent += 1;
+            stmt(w, t);
+            w.indent -= 1;
             if **f != Stmt::Skip {
-                p.line("} else {");
-                p.block(|p| stmt(p, f));
+                w.line("} else {");
+                w.indent += 1;
+                stmt(w, f);
+                w.indent -= 1;
             }
-            p.line("}");
+            w.line("}");
         }
-        Stmt::VolLoad(x, g, _) => p.line(format!("{} = {};", sanitize(*x), sanitize(*g))),
-        Stmt::VolStore(g, e) => p.line(format!("{} = {};", sanitize(*g), expr(e))),
+        Stmt::VolLoad(x, g, _) => {
+            w.indent();
+            sanitize_into(&mut w.buf, *x);
+            w.buf.push_str(" = ");
+            sanitize_into(&mut w.buf, *g);
+            w.buf.push(';');
+            w.nl();
+        }
+        Stmt::VolStore(g, e) => {
+            w.indent();
+            sanitize_into(&mut w.buf, *g);
+            w.buf.push_str(" = ");
+            expr_into(&mut w.buf, e);
+            w.buf.push(';');
+            w.nl();
+        }
         Stmt::Loop(body) => {
-            p.line("for (;;) {");
-            p.block(|p| stmt(p, body));
-            p.line("}");
+            w.line("for (;;) {");
+            w.indent += 1;
+            stmt(w, body);
+            w.indent -= 1;
+            w.line("}");
         }
-        Stmt::Return(None) => p.line("return;"),
-        Stmt::Return(Some(e)) => p.line(format!("return {};", expr(e))),
+        Stmt::Return(None) => w.line("return;"),
+        Stmt::Return(Some(e)) => {
+            w.indent();
+            w.buf.push_str("return ");
+            expr_into(&mut w.buf, e);
+            w.buf.push(';');
+            w.nl();
+        }
     }
 }
 
-fn signature(f: &Function) -> String {
-    let params: Vec<String> = f
-        .params
-        .iter()
-        .map(|(x, t)| format!("{} {}", ctype(t), sanitize(*x)))
-        .collect();
-    let params = if params.is_empty() {
-        "void".to_owned()
+fn signature_into(buf: &mut String, f: &Function) {
+    ctype_into(buf, &f.ret);
+    buf.push(' ');
+    sanitize_into(buf, f.name);
+    buf.push('(');
+    if f.params.is_empty() {
+        buf.push_str("void");
     } else {
-        params.join(", ")
-    };
-    format!("{} {}({})", ctype(&f.ret), sanitize(f.name), params)
+        for (k, (x, t)) in f.params.iter().enumerate() {
+            if k > 0 {
+                buf.push_str(", ");
+            }
+            ctype_into(buf, t);
+            buf.push(' ');
+            sanitize_into(buf, *x);
+        }
+    }
+    buf.push(')');
 }
 
 fn scanf_spec(ty: CTy) -> (&'static str, &'static str) {
@@ -142,39 +301,80 @@ fn scanf_spec(ty: CTy) -> (&'static str, &'static str) {
     }
 }
 
+/// One declaration line `<ctype> <name>;` at the current indentation,
+/// optionally prefixed (`register `, `volatile `).
+fn decl_line(w: &mut Cw, prefix: &str, x: Ident, ty: &CType) {
+    w.indent();
+    w.buf.push_str(prefix);
+    ctype_into(&mut w.buf, ty);
+    w.buf.push(' ');
+    sanitize_into(&mut w.buf, x);
+    w.buf.push(';');
+    w.nl();
+}
+
+/// A cheap structural size estimate so the output buffer is allocated
+/// once up front. Counts are deliberately generous: over-reserving a
+/// few hundred bytes is cheaper than re-growing mid-emission.
+fn estimate_size(prog: &Program) -> usize {
+    fn stmt_atoms(s: &Stmt) -> usize {
+        match s {
+            Stmt::Seq(a, b) => stmt_atoms(a) + stmt_atoms(b),
+            Stmt::If(_, t, f) => 2 + stmt_atoms(t) + stmt_atoms(f),
+            Stmt::Loop(b) => 2 + stmt_atoms(b),
+            _ => 1,
+        }
+    }
+    let fields: usize = prog.composites.iter().map(|c| c.fields.len() + 2).sum();
+    let decls: usize = prog
+        .functions
+        .iter()
+        .map(|f| f.params.len() + f.vars.len() + f.temps.len() + 4)
+        .sum();
+    let atoms: usize = prog.functions.iter().map(|f| stmt_atoms(&f.body)).sum();
+    let vols = prog.volatiles_in.len() + prog.volatiles_out.len();
+    256 + 48 * fields + 64 * decls + 56 * atoms + 48 * vols
+}
+
 /// Prints the program as a single compilable C translation unit.
 pub fn print_program(prog: &Program, io: TestIo) -> String {
-    let mut p = Printer::new();
-    p.line("/* Generated by velus-rs (PLDI'17 Lustre-to-Clight pipeline). */");
-    p.line("#include <stdint.h>");
-    p.line("#include <stdbool.h>");
+    let mut w = Cw {
+        buf: String::with_capacity(estimate_size(prog)),
+        indent: 0,
+    };
+    w.line("/* Generated by velus-rs (PLDI'17 Lustre-to-Clight pipeline). */");
+    w.line("#include <stdint.h>");
+    w.line("#include <stdbool.h>");
     if io == TestIo::Stdio {
-        p.line("#include <stdio.h>");
+        w.line("#include <stdio.h>");
     }
-    p.blank();
+    w.blank();
 
     // Struct definitions, dependencies first.
     for c in &prog.composites {
-        p.line(format!("struct {} {{", sanitize(c.name)));
-        p.block(|p| {
-            if c.fields.is_empty() {
-                // Strict C99 forbids empty structs; pad with a byte.
-                p.line("char velus__unused;");
-            }
-            for (f, ty) in &c.fields {
-                p.line(format!("{} {};", ctype(ty), sanitize(*f)));
-            }
-        });
-        p.line("};");
-        p.blank();
+        w.buf.push_str("struct ");
+        sanitize_into(&mut w.buf, c.name);
+        w.buf.push_str(" {");
+        w.nl();
+        w.indent += 1;
+        if c.fields.is_empty() {
+            // Strict C99 forbids empty structs; pad with a byte.
+            w.line("char velus__unused;");
+        }
+        for (f, ty) in &c.fields {
+            decl_line(&mut w, "", *f, ty);
+        }
+        w.indent -= 1;
+        w.line("};");
+        w.blank();
     }
 
     // Volatile I/O globals.
     for (g, ty) in prog.volatiles_in.iter().chain(&prog.volatiles_out) {
-        p.line(format!("volatile {} {};", ty.c_name(), sanitize(*g)));
+        decl_line(&mut w, "volatile ", *g, &CType::Scalar(*ty));
     }
     if !(prog.volatiles_in.is_empty() && prog.volatiles_out.is_empty()) {
-        p.blank();
+        w.blank();
     }
 
     // Prototypes (main last, and skipped: defined below).
@@ -182,93 +382,100 @@ pub fn print_program(prog: &Program, io: TestIo) -> String {
         if f.name.as_str() == "main" {
             continue;
         }
-        p.line(format!("static {};", signature(f)));
+        w.buf.push_str("static ");
+        signature_into(&mut w.buf, f);
+        w.buf.push(';');
+        w.nl();
     }
-    p.blank();
+    w.blank();
 
     for f in &prog.functions {
         if f.name.as_str() == "main" {
             continue;
         }
-        p.line(format!("static {} {{", signature(f)));
-        p.block(|p| {
-            for (x, t) in &f.vars {
-                p.line(format!("{} {};", ctype(t), sanitize(*x)));
-            }
-            for (x, t) in &f.temps {
-                p.line(format!("register {} {};", ctype(t), sanitize(*x)));
-            }
-            stmt(p, &f.body);
-        });
-        p.line("}");
-        p.blank();
+        w.buf.push_str("static ");
+        signature_into(&mut w.buf, f);
+        w.buf.push_str(" {");
+        w.nl();
+        w.indent += 1;
+        for (x, t) in &f.vars {
+            decl_line(&mut w, "", *x, t);
+        }
+        for (x, t) in &f.temps {
+            decl_line(&mut w, "register ", *x, t);
+        }
+        stmt(&mut w, &f.body);
+        w.indent -= 1;
+        w.line("}");
+        w.blank();
     }
 
     // The entry point.
     if let Some(main) = prog.function(Ident::new("main")) {
+        w.line("int main(void) {");
+        w.indent += 1;
         match io {
             TestIo::Volatile => {
-                p.line("int main(void) {");
-                p.block(|p| {
-                    for (x, t) in &main.vars {
-                        p.line(format!("{} {};", ctype(t), sanitize(*x)));
-                    }
-                    for (x, t) in &main.temps {
-                        p.line(format!("register {} {};", ctype(t), sanitize(*x)));
-                    }
-                    stmt(p, &main.body);
-                    p.line("return 0;");
-                });
-                p.line("}");
+                for (x, t) in &main.vars {
+                    decl_line(&mut w, "", *x, t);
+                }
+                for (x, t) in &main.temps {
+                    decl_line(&mut w, "register ", *x, t);
+                }
+                stmt(&mut w, &main.body);
             }
             TestIo::Stdio => {
                 // The unverified scanf/printf test harness of §5: read one
                 // line of inputs per instant until EOF.
-                p.line("int main(void) {");
-                p.block(|p| {
-                    for (x, t) in &main.vars {
-                        p.line(format!("{} {};", ctype(t), sanitize(*x)));
-                    }
-                    for (x, t) in &main.temps {
-                        p.line(format!("{} {};", ctype(t), sanitize(*x)));
-                    }
-                    // Locate reset call and loop body from the generated
-                    // main: re-emit with stdio I/O substituted.
-                    stmt_stdio(p, &main.body, prog);
-                    p.line("return 0;");
-                });
-                p.line("}");
+                for (x, t) in &main.vars {
+                    decl_line(&mut w, "", *x, t);
+                }
+                for (x, t) in &main.temps {
+                    decl_line(&mut w, "", *x, t);
+                }
+                // Locate reset call and loop body from the generated
+                // main: re-emit with stdio I/O substituted.
+                stmt_stdio(&mut w, &main.body, prog);
             }
         }
+        w.line("return 0;");
+        w.indent -= 1;
+        w.line("}");
     }
-    p.finish()
+    w.buf
 }
 
 /// Re-emits the generated main with `scanf`/`printf` in place of volatile
 /// accesses (the paper's test mode).
-fn stmt_stdio(p: &mut Printer, s: &Stmt, prog: &Program) {
+fn stmt_stdio(w: &mut Cw, s: &Stmt, prog: &Program) {
     match s {
         Stmt::Loop(body) => {
             // Terminate on EOF of the first scanf.
-            p.line("for (;;) {");
-            p.block(|p| stmt_stdio(p, body, prog));
-            p.line("}");
+            w.line("for (;;) {");
+            w.indent += 1;
+            stmt_stdio(w, body, prog);
+            w.indent -= 1;
+            w.line("}");
         }
         Stmt::Seq(a, b) => {
-            stmt_stdio(p, a, prog);
-            stmt_stdio(p, b, prog);
+            stmt_stdio(w, a, prog);
+            stmt_stdio(w, b, prog);
         }
         Stmt::VolLoad(x, g, ty) => {
             let (sf, _) = scanf_spec(*ty);
             let _ = g;
+            w.indent();
             if *ty == CTy::Bool {
-                p.line(format!("{{ int velus__tmp; if (scanf(\"%d\", &velus__tmp) != 1) return 0; {} = velus__tmp != 0; }}", sanitize(*x)));
+                w.buf
+                    .push_str("{ int velus__tmp; if (scanf(\"%d\", &velus__tmp) != 1) return 0; ");
+                sanitize_into(&mut w.buf, *x);
+                w.buf.push_str(" = velus__tmp != 0; }");
             } else {
-                p.line(format!(
-                    "if (scanf(\"{sf}\", &{}) != 1) return 0;",
-                    sanitize(*x)
-                ));
+                let _ = write!(w.buf, "if (scanf(\"{sf}\", &");
+                sanitize_into(&mut w.buf, *x);
+                w.buf.push_str(") != 1) return 0;");
             }
+            w.nl();
         }
         Stmt::VolStore(g, e) => {
             let ty = prog
@@ -278,13 +485,15 @@ fn stmt_stdio(p: &mut Printer, s: &Stmt, prog: &Program) {
                 .map(|(_, t)| *t)
                 .unwrap_or(CTy::I32);
             let (_, pf) = scanf_spec(ty);
-            p.line(format!(
-                "printf(\"{} = {pf}\\n\", {});",
-                sanitize(*g),
-                expr(e)
-            ));
+            w.indent();
+            w.buf.push_str("printf(\"");
+            sanitize_into(&mut w.buf, *g);
+            let _ = write!(w.buf, " = {pf}\\n\", ");
+            expr_into(&mut w.buf, e);
+            w.buf.push_str(");");
+            w.nl();
         }
-        other => stmt(p, other),
+        other => stmt(w, other),
     }
 }
 
@@ -378,5 +587,21 @@ mod tests {
             CTy::I8,
         );
         assert_eq!(expr(&e), "((int8_t)300)");
+    }
+
+    #[test]
+    fn output_fits_the_presized_buffer() {
+        // The estimate must cover the real output: emission should not
+        // re-grow the buffer (the whole point of pre-sizing).
+        let prog = tiny_program();
+        for io in [TestIo::Volatile, TestIo::Stdio] {
+            let c = print_program(&prog, io);
+            assert!(
+                c.len() <= estimate_size(&prog),
+                "estimate {} too small for {} bytes",
+                estimate_size(&prog),
+                c.len()
+            );
+        }
     }
 }

@@ -10,6 +10,10 @@
 //!   line/column positions,
 //! * [`Diagnostic`] / [`Diagnostics`] — structured compiler errors and
 //!   warnings with source rendering,
+//! * [`IdentMap`] / [`IdentSet`] / [`IdentScratch`] / [`DenseBitSet`] —
+//!   the allocation-light identifier collections of the compile hot
+//!   path (an Fx-style mixer over the already-interned `u32` keys and
+//!   the reusable scratch-buffer pattern for `*_into` traversals),
 //! * [`pretty`] — a minimal indentation-aware code writer used by the C
 //!   pretty-printer and the IR dumpers.
 //!
@@ -28,11 +32,16 @@
 
 mod diag;
 mod ident;
+mod identmap;
 pub mod pretty;
 mod span;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use ident::{FreshGen, Ident};
+pub use identmap::{
+    ident_map_with_capacity, ident_set_with_capacity, BuildIdentHasher, DenseBitSet, IdentHasher,
+    IdentMap, IdentScratch, IdentSet,
+};
 pub use span::{Loc, Span, Spanned};
 
 /// Runs `f` on a thread with a `stack_mb`-MiB stack and returns its

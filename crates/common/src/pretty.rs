@@ -53,6 +53,21 @@ impl Printer {
         self.buf.push('\n');
     }
 
+    /// Emits one indented line from preformatted [`std::fmt::Arguments`],
+    /// streaming straight into the accumulator: `p.line_args(
+    /// format_args!("{x} := {e};"))` renders without the intermediate
+    /// `String` that `p.line(format!(…))` would allocate.
+    pub fn line_args(&mut self, args: std::fmt::Arguments<'_>) {
+        use std::fmt::Write as _;
+        for _ in 0..self.indent * self.width {
+            self.buf.push(' ');
+        }
+        self.buf
+            .write_fmt(args)
+            .expect("writing to a String cannot fail");
+        self.buf.push('\n');
+    }
+
     /// Emits a blank line.
     pub fn blank(&mut self) {
         self.buf.push('\n');

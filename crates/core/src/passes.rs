@@ -141,7 +141,7 @@ pub struct Elaborated {
 /// Picks the default root node: a node never instantiated by another
 /// (the program's sink); ties broken towards the last one declared.
 fn default_root(prog: &Program<ClightOps>) -> Option<Ident> {
-    let called: std::collections::HashSet<Ident> = prog
+    let called: velus_common::IdentSet = prog
         .nodes
         .iter()
         .flat_map(|node| &node.eqs)

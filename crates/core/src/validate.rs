@@ -58,20 +58,34 @@ fn mismatch<T>(stage: &str, instant: usize, detail: String) -> Result<T, VelusEr
     )))
 }
 
-/// Extracts the (present) values of instant `i` from a stream set.
-fn values_at(inputs: &StreamSet<ClightOps>, i: usize) -> Result<Vec<CVal>, VelusError> {
-    inputs
-        .iter()
-        .map(|s| match s.get(i) {
-            Some(SVal::Pres(v)) => Ok(*v),
-            Some(SVal::Abs) => Err(VelusError::Validation(format!(
-                "validation requires all-present inputs (absent at instant {i})"
-            ))),
-            None => Err(VelusError::Validation(format!(
-                "input stream shorter than {i} instants"
-            ))),
-        })
-        .collect()
+/// Reads the (present) value of stream `s` at instant `i`.
+fn value_at(s: &[SVal<ClightOps>], i: usize) -> Result<CVal, VelusError> {
+    match s.get(i) {
+        Some(SVal::Pres(v)) => Ok(*v),
+        Some(SVal::Abs) => Err(VelusError::Validation(format!(
+            "validation requires all-present inputs (absent at instant {i})"
+        ))),
+        None => Err(VelusError::Validation(format!(
+            "input stream shorter than {i} instants"
+        ))),
+    }
+}
+
+/// Extracts the (present) values of instant `i` from a stream set into
+/// `out` — the scratch-buffer form: the validation loops run this once
+/// per instant per semantic model, so one hoisted buffer replaces a
+/// fresh `Vec<CVal>` per instant per stream set.
+fn values_at_into(
+    inputs: &StreamSet<ClightOps>,
+    i: usize,
+    out: &mut Vec<CVal>,
+) -> Result<(), VelusError> {
+    out.clear();
+    out.reserve(inputs.len());
+    for s in inputs {
+        out.push(value_at(s, i)?);
+    }
+    Ok(())
 }
 
 /// Validates the full compilation chain on `n` instants of `inputs` and
@@ -115,6 +129,7 @@ pub fn validate_with_report(
     // 3. Obc, unfused and fused, with MemCorres at every boundary.
     let mut memcorres_checks = 0usize;
     let mut obc_mem_boundaries: Vec<Memory<CVal>> = Vec::with_capacity(n + 1);
+    let mut vals: Vec<CVal> = Vec::with_capacity(inputs.len());
     for (label, obc) in [("obc", &c.obc), ("obc (fused)", &c.obc_fused)] {
         let record = label == "obc (fused)";
         let mut mem = Memory::new();
@@ -128,7 +143,7 @@ pub fn validate_with_report(
             if record {
                 obc_mem_boundaries.push(mem.clone());
             }
-            let vals = values_at(inputs, i)?;
+            values_at_into(inputs, i, &mut vals)?;
             let outs = call_method(obc, root, &mut mem, step_name(), &vals)?;
             for (k, v) in outs.iter().enumerate() {
                 match &df[k][i] {
@@ -179,12 +194,12 @@ pub fn validate_with_report(
             assertion.check(&machine.mem)?;
             staterep_checks += 1;
 
-            let vals = values_at(inputs, i)?;
+            values_at_into(inputs, i, &mut vals)?;
             let mut args = vec![RVal::Ptr(selfb, 0)];
             if let Some(b) = outb {
                 args.push(RVal::Ptr(b, 0));
             }
-            args.extend(vals.into_iter().map(RVal::Scalar));
+            args.extend(vals.iter().copied().map(RVal::Scalar));
             let ret = machine.call(method_fn_name(root, step_name()), &args)?;
 
             // Collect the outputs.
@@ -245,10 +260,10 @@ pub fn validate_with_report(
             );
         }
         for (k, (name, _)) in decls.iter().enumerate() {
-            let vals: Vec<CVal> = (0..n)
-                .map(|i| values_at(inputs, i).map(|v| v[k]))
+            let stream: Vec<CVal> = (0..n)
+                .map(|i| value_at(&inputs[k], i))
                 .collect::<Result<_, _>>()?;
-            machine.push_inputs(vol_in_name(*name), vals);
+            machine.push_inputs(vol_in_name(*name), stream);
         }
         machine.run_main(main_fn_name())?;
 
@@ -262,7 +277,7 @@ pub fn validate_with_report(
                     CVal::bool(true),
                 ));
             }
-            let vals = values_at(inputs, i)?;
+            values_at_into(inputs, i, &mut vals)?;
             for ((name, _), v) in decls.iter().zip(&vals) {
                 expected.push(Event::Load(vol_in_name(*name), *v));
             }

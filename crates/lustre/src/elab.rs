@@ -17,9 +17,7 @@
 //! them (callees first) and rejects recursion — the paper's "nodes are not
 //! applied circularly".
 
-use std::collections::HashMap;
-
-use velus_common::{Diagnostic, Diagnostics, Ident, Span};
+use velus_common::{Diagnostic, Diagnostics, Ident, IdentMap, Span};
 use velus_nlustre::clock::Clock;
 use velus_ops::{Literal, Ops, SurfaceBinOp, SurfaceUnOp};
 
@@ -108,26 +106,28 @@ enum PTy<O: Ops> {
 }
 
 /// Callee signatures: name → (input types, named output types).
-type SigMap<O> = HashMap<Ident, (Vec<<O as Ops>::Ty>, Vec<(Ident, <O as Ops>::Ty)>)>;
+type SigMap<O> = IdentMap<(Vec<<O as Ops>::Ty>, Vec<(Ident, <O as Ops>::Ty)>)>;
 
 /// Declared variables: name → (type, clock).
-type VarMap<O> = HashMap<Ident, (<O as Ops>::Ty, Clock)>;
+type VarMap<O> = IdentMap<(<O as Ops>::Ty, Clock)>;
 
 /// Elaborated declaration groups (inputs, outputs, locals), plus the
 /// combined variable environment.
 type ElabDecls<O> = (VarMap<O>, [Vec<velus_nlustre::ast::VarDecl<O>>; 3]);
 
-struct NodeEnv<O: Ops> {
+struct NodeEnv<'e, O: Ops> {
     /// Variable name → (type, clock).
     vars: VarMap<O>,
-    /// Global constants.
-    consts: HashMap<Ident, O::Const>,
-    /// Callee signatures: name → (input types, outputs).
-    sigs: SigMap<O>,
+    /// Global constants (shared across nodes, hence borrowed — cloning
+    /// them per node made elaboration quadratic in program size).
+    consts: &'e IdentMap<O::Const>,
+    /// Callee signatures: name → (input types, outputs); borrowed for
+    /// the same reason.
+    sigs: &'e SigMap<O>,
 }
 
 struct Elab<'a, O: Ops> {
-    env: NodeEnv<O>,
+    env: NodeEnv<'a, O>,
     warnings: &'a mut Diagnostics,
 }
 
@@ -530,11 +530,7 @@ impl<O: Ops> Elab<'_, O> {
     }
 }
 
-fn elab_clock<O: Ops>(
-    uclock: &UClock,
-    vars: &HashMap<Ident, (O::Ty, Clock)>,
-    span: Span,
-) -> EResult<Clock> {
+fn elab_clock<O: Ops>(uclock: &UClock, vars: &VarMap<O>, span: Span) -> EResult<Clock> {
     match uclock {
         UClock::Base => Ok(Clock::Base),
         UClock::On(parent, x, k) => {
@@ -592,7 +588,7 @@ fn call_targets(e: &UExpr, out: &mut Vec<Ident>) {
 
 /// Topologically orders nodes, callees first.
 fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
-    let index: HashMap<Ident, usize> = prog
+    let index: IdentMap<usize> = prog
         .nodes
         .iter()
         .enumerate()
@@ -617,7 +613,7 @@ fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
     fn visit<O: Ops>(
         i: usize,
         prog: &UProgram,
-        index: &HashMap<Ident, usize>,
+        index: &IdentMap<usize>,
         marks: &mut Vec<Mark>,
         order: &mut Vec<usize>,
     ) -> EResult<()> {
@@ -660,7 +656,7 @@ fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
 
 fn elab_decls<O: Ops>(groups: [&[UDecl]; 3]) -> EResult<ElabDecls<O>> {
     // First pass: resolve types (clocks may reference any declared var).
-    let mut tys: HashMap<Ident, O::Ty> = HashMap::new();
+    let mut tys: IdentMap<O::Ty> = IdentMap::default();
     for d in groups.iter().flat_map(|g| g.iter()) {
         let ty = match O::type_of_name(d.ty_name.as_str()) {
             Some(t) => t,
@@ -673,7 +669,7 @@ fn elab_decls<O: Ops>(groups: [&[UDecl]; 3]) -> EResult<ElabDecls<O>> {
     // Second pass: resolve clocks. Clocks may be declared in dependency
     // order (a sampler must be declared with its own clock resolvable);
     // iterate until fixpoint to allow forward references.
-    let mut vars: HashMap<Ident, (O::Ty, Clock)> = HashMap::new();
+    let mut vars: VarMap<O> = VarMap::<O>::default();
     let all: Vec<&UDecl> = groups.iter().flat_map(|g| g.iter()).collect();
     let mut pending: Vec<&UDecl> = all.clone();
     while !pending.is_empty() {
@@ -710,7 +706,7 @@ fn elab_decls<O: Ops>(groups: [&[UDecl]; 3]) -> EResult<ElabDecls<O>> {
 
 fn elab_node<O: Ops>(
     unode: &UNode,
-    consts: &HashMap<Ident, O::Const>,
+    consts: &IdentMap<O::Const>,
     sigs: &SigMap<O>,
     warnings: &mut Diagnostics,
 ) -> EResult<TNode<O>> {
@@ -730,11 +726,7 @@ fn elab_node<O: Ops>(
     }
 
     let mut elab = Elab::<O> {
-        env: NodeEnv {
-            vars,
-            consts: consts.clone(),
-            sigs: sigs.clone(),
-        },
+        env: NodeEnv { vars, consts, sigs },
         warnings,
     };
 
@@ -850,28 +842,31 @@ pub fn elaborate<O: Ops>(prog: &UProgram) -> Result<(TProgram<O>, Diagnostics), 
     let mut warnings = Diagnostics::new();
 
     // Global constants.
-    let mut consts: HashMap<Ident, O::Const> = HashMap::new();
+    let mut consts: IdentMap<O::Const> = IdentMap::<O::Const>::default();
+    let empty_sigs = SigMap::<O>::default();
     for c in &prog.consts {
         let ty = match O::type_of_name(c.ty_name.as_str()) {
             Some(t) => t,
             None => return err(format!("unknown type {}", c.ty_name), c.span),
         };
-        let scratch = Elab::<O> {
-            env: NodeEnv {
-                vars: HashMap::new(),
-                consts: consts.clone(),
-                sigs: HashMap::new(),
-            },
-            warnings: &mut warnings,
+        let value = {
+            let scratch = Elab::<O> {
+                env: NodeEnv {
+                    vars: VarMap::<O>::default(),
+                    consts: &consts,
+                    sigs: &empty_sigs,
+                },
+                warnings: &mut warnings,
+            };
+            scratch.const_value(&c.value, &ty)?
         };
-        let value = scratch.const_value(&c.value, &ty)?;
         if consts.insert(c.name, value).is_some() {
             return err(format!("duplicate constant {}", c.name), c.span);
         }
     }
 
     let order = order_nodes::<O>(prog)?;
-    let mut sigs: SigMap<O> = HashMap::new();
+    let mut sigs: SigMap<O> = SigMap::<O>::default();
     let mut nodes = Vec::with_capacity(prog.nodes.len());
     for i in order {
         let tnode = elab_node::<O>(&prog.nodes[i], &consts, &sigs, &mut warnings)?;

@@ -6,13 +6,17 @@
 
 use std::fmt;
 
-use velus_common::{Diagnostics, Span};
+use velus_common::{Diagnostics, Ident, Span};
 
 /// A lexical token.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Identifiers are interned at lexing time, which makes `Tok` `Copy`:
+/// the parser clones tokens freely (peeks, error paths) and a compile
+/// of an already-seen source interns nothing new.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Tok {
-    /// An identifier.
-    Ident(String),
+    /// An identifier (interned).
+    Ident(Ident),
     /// An integer literal (kept wide; typed during elaboration).
     Int(i128),
     /// A floating-point literal.
@@ -152,7 +156,7 @@ impl fmt::Display for Tok {
 }
 
 /// A token with its source span.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Token {
     /// The token.
     pub tok: Tok,
@@ -244,7 +248,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
                 j += 1;
             }
             let text = &source[i..j];
-            let tok = keyword(text).unwrap_or_else(|| Tok::Ident(text.to_owned()));
+            let tok = keyword(text).unwrap_or_else(|| Tok::Ident(Ident::new(text)));
             out.push(Token {
                 tok,
                 span: Span::new(start, j as u32),
@@ -356,7 +360,12 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             toks("node counter tel"),
-            vec![Tok::Node, Tok::Ident("counter".into()), Tok::Tel, Tok::Eof]
+            vec![
+                Tok::Node,
+                Tok::Ident(Ident::new("counter")),
+                Tok::Tel,
+                Tok::Eof
+            ]
         );
     }
 
@@ -374,13 +383,13 @@ mod tests {
         assert_eq!(
             toks("a -> b <> c <= d"),
             vec![
-                Tok::Ident("a".into()),
+                Tok::Ident(Ident::new("a")),
                 Tok::Arrow,
-                Tok::Ident("b".into()),
+                Tok::Ident(Ident::new("b")),
                 Tok::Neq,
-                Tok::Ident("c".into()),
+                Tok::Ident(Ident::new("c")),
                 Tok::Le,
-                Tok::Ident("d".into()),
+                Tok::Ident(Ident::new("d")),
                 Tok::Eof
             ]
         );
@@ -403,7 +412,7 @@ mod tests {
         assert_eq!(
             toks("a - - 1"),
             vec![
-                Tok::Ident("a".into()),
+                Tok::Ident(Ident::new("a")),
                 Tok::Minus,
                 Tok::Minus,
                 Tok::Int(1),

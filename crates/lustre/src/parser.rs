@@ -45,7 +45,7 @@ impl<'t> Parser<'t> {
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.toks[self.pos].tok.clone();
+        let t = self.toks[self.pos].tok;
         if self.pos + 1 < self.toks.len() {
             self.pos += 1;
         }
@@ -75,10 +75,10 @@ impl<'t> Parser<'t> {
     }
 
     fn ident(&mut self) -> PResult<Ident> {
-        match self.peek().clone() {
-            Tok::Ident(s) => {
+        match *self.peek() {
+            Tok::Ident(id) => {
                 self.bump();
-                Ok(Ident::new(&s))
+                Ok(id)
             }
             other => self.error(format!("expected identifier, found `{other}`")),
         }
@@ -288,10 +288,10 @@ impl<'t> Parser<'t> {
     /// than the call `c(e)`.
     fn merge_branch(&mut self) -> PResult<UExpr> {
         let span = self.span();
-        match self.peek().clone() {
+        match *self.peek() {
             Tok::Ident(name) => {
                 self.bump();
-                Ok(UExpr::Var(Ident::new(&name), span))
+                Ok(UExpr::Var(name, span))
             }
             Tok::Int(i) => {
                 self.bump();
@@ -323,7 +323,7 @@ impl<'t> Parser<'t> {
 
     fn primary_expr(&mut self) -> PResult<UExpr> {
         let span = self.span();
-        match self.peek().clone() {
+        match *self.peek() {
             Tok::Int(i) => {
                 self.bump();
                 Ok(UExpr::Lit(Literal::Int(i), span))
@@ -364,9 +364,8 @@ impl<'t> Parser<'t> {
                 self.expect(Tok::RParen)?;
                 Ok(e)
             }
-            Tok::Ident(name) => {
+            Tok::Ident(id) => {
                 self.bump();
-                let id = Ident::new(&name);
                 if *self.peek() == Tok::LParen {
                     self.bump();
                     let mut args = Vec::new();

@@ -176,12 +176,18 @@ pub enum Equation<O: Ops> {
 }
 
 impl<O: Ops> Equation<O> {
-    /// The variables defined by the equation.
-    pub fn defined(&self) -> Vec<Ident> {
+    /// The variables defined by the equation, borrowed from the AST —
+    /// no allocation (`Def`/`Fby` yield a one-element slice).
+    pub fn defined(&self) -> &[Ident] {
         match self {
-            Equation::Def { x, .. } | Equation::Fby { x, .. } => vec![*x],
-            Equation::Call { xs, .. } => xs.clone(),
+            Equation::Def { x, .. } | Equation::Fby { x, .. } => std::slice::from_ref(x),
+            Equation::Call { xs, .. } => xs,
         }
+    }
+
+    /// Whether the equation defines `x`.
+    pub fn defines(&self, x: Ident) -> bool {
+        self.defined().contains(&x)
     }
 
     /// The clock of the equation.
@@ -194,17 +200,25 @@ impl<O: Ops> Equation<O> {
     /// The free variables read by the equation, *including* the variables
     /// of its clock.
     pub fn reads(&self) -> Vec<Ident> {
-        let mut out = self.clock().vars();
+        let mut out = Vec::new();
+        self.reads_into(&mut out);
+        out
+    }
+
+    /// Appends the variables read by the equation (clock variables
+    /// first) to `out` — the scratch-buffer form of [`Equation::reads`]
+    /// used on the compile hot path.
+    pub fn reads_into(&self, out: &mut Vec<Ident>) {
+        self.clock().vars_into(out);
         match self {
-            Equation::Def { rhs, .. } => rhs.free_vars_into(&mut out),
-            Equation::Fby { rhs, .. } => rhs.free_vars_into(&mut out),
+            Equation::Def { rhs, .. } => rhs.free_vars_into(out),
+            Equation::Fby { rhs, .. } => rhs.free_vars_into(out),
             Equation::Call { args, .. } => {
                 for a in args {
-                    a.free_vars_into(&mut out);
+                    a.free_vars_into(out);
                 }
             }
         }
-        out
     }
 }
 
@@ -278,18 +292,21 @@ impl<O: Ops> Node<O> {
     /// The set of variables defined by `fby` equations (the paper's
     /// `mems`), in equation order.
     pub fn mems(&self) -> Vec<Ident> {
-        self.eqs
-            .iter()
-            .filter_map(|eq| match eq {
-                Equation::Fby { x, .. } => Some(*x),
-                _ => None,
-            })
-            .collect()
+        self.mems_iter().collect()
+    }
+
+    /// The `fby`-defined variables in equation order, without
+    /// allocating (the scratch form of [`Node::mems`]).
+    pub fn mems_iter(&self) -> impl Iterator<Item = Ident> + '_ {
+        self.eqs.iter().filter_map(|eq| match eq {
+            Equation::Fby { x, .. } => Some(*x),
+            _ => None,
+        })
     }
 
     /// The index of the equation defining `x`, if any.
     pub fn defining_eq(&self, x: Ident) -> Option<usize> {
-        self.eqs.iter().position(|eq| eq.defined().contains(&x))
+        self.eqs.iter().position(|eq| eq.defines(x))
     }
 }
 

@@ -37,13 +37,18 @@ impl Clock {
     /// The sampling variables appearing in the clock, outermost last.
     pub fn vars(&self) -> Vec<Ident> {
         let mut out = Vec::new();
-        let mut ck = self;
-        while let Clock::On(parent, x, _) = ck {
-            out.push(*x);
-            ck = parent;
-        }
-        out.reverse();
+        self.vars_into(&mut out);
         out
+    }
+
+    /// Appends the sampling variables (outermost last) to `out` — the
+    /// scratch-buffer form of [`Clock::vars`] used on the compile hot
+    /// path.
+    pub fn vars_into(&self, out: &mut Vec<Ident>) {
+        if let Clock::On(parent, x, _) = self {
+            parent.vars_into(out);
+            out.push(*x);
+        }
     }
 
     /// The immediate parent clock (`None` for `base`).

@@ -8,16 +8,14 @@
 //! As with typing, we re-validate well-clockedness after each pass rather
 //! than proving its preservation.
 
-use std::collections::HashMap;
-
-use velus_common::Ident;
+use velus_common::{Ident, IdentMap};
 use velus_ops::Ops;
 
 use crate::ast::{CExpr, Equation, Expr, Node, Program};
 use crate::clock::Clock;
 use crate::SemError;
 
-type CkEnv = HashMap<Ident, Clock>;
+type CkEnv = IdentMap<Clock>;
 
 fn clock_error<T>(msg: String) -> Result<T, SemError> {
     Err(SemError::ClockError(msg))
@@ -109,10 +107,12 @@ fn check_decl_clock(env: &CkEnv, x: Ident, ck: &Clock) -> Result<(), SemError> {
 ///
 /// Returns the first clocking violation found.
 pub fn check_node_clocks<O: Ops>(
-    nodes_before: &HashMap<Ident, &Node<O>>,
+    nodes_before: &IdentMap<&Node<O>>,
     node: &Node<O>,
 ) -> Result<(), SemError> {
-    let mut env: CkEnv = HashMap::new();
+    let mut env: CkEnv = velus_common::ident_map_with_capacity(
+        node.inputs.len() + node.outputs.len() + node.locals.len(),
+    );
     for d in node.inputs.iter().chain(&node.outputs).chain(&node.locals) {
         env.insert(d.name, d.ck.clone());
     }
@@ -133,7 +133,7 @@ pub fn check_node_clocks<O: Ops>(
     for eq in &node.eqs {
         let ck = eq.clock();
         // The defined variables must be declared on the equation's clock.
-        for x in eq.defined() {
+        for &x in eq.defined() {
             match env.get(&x) {
                 None => return Err(SemError::UndefinedVariable(x)),
                 Some(cx) if cx == ck => {}
@@ -169,7 +169,7 @@ pub fn check_node_clocks<O: Ops>(
 ///
 /// Returns the first violation found, in declaration order.
 pub fn check_program_clocks<O: Ops>(prog: &Program<O>) -> Result<(), SemError> {
-    let mut declared: HashMap<Ident, &Node<O>> = HashMap::new();
+    let mut declared: IdentMap<&Node<O>> = velus_common::ident_map_with_capacity(prog.nodes.len());
     for node in &prog.nodes {
         check_node_clocks::<O>(&declared, node)?;
         declared.insert(node.name, node);

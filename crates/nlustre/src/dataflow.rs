@@ -25,9 +25,9 @@
 //! its inputs (`clock#`), so sampled instantiations run slower than their
 //! context, as in the `tracker` example of §2.2.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use velus_common::Ident;
+use velus_common::{Ident, IdentMap};
 use velus_ops::Ops;
 
 use crate::ast::{CExpr, Equation, Expr, Node, Program};
@@ -47,16 +47,16 @@ enum Binding {
 /// Per-node static information, computed once.
 #[derive(Debug)]
 struct NodeInfo {
-    bindings: HashMap<Ident, Binding>,
+    bindings: IdentMap<Binding>,
 }
 
 fn node_info<O: Ops>(node: &Node<O>) -> Result<NodeInfo, SemError> {
-    let mut bindings = HashMap::new();
+    let mut bindings = IdentMap::default();
     for (i, d) in node.inputs.iter().enumerate() {
         bindings.insert(d.name, Binding::Input(i));
     }
     for (i, eq) in node.eqs.iter().enumerate() {
-        for x in eq.defined() {
+        for &x in eq.defined() {
             bindings.insert(x, Binding::Eq(i));
         }
     }
@@ -76,13 +76,13 @@ struct Inst<O: Ops> {
     /// `None` for the root.
     parent: Option<(usize, usize)>,
     /// Memoized variable values: `memo[x][n]`.
-    memo: HashMap<Ident, Vec<Option<SVal<O>>>>,
+    memo: IdentMap<Vec<Option<SVal<O>>>>,
     /// Memoized `hold#` values per `fby` variable.
-    holds: HashMap<Ident, Vec<O::Val>>,
+    holds: IdentMap<Vec<O::Val>>,
     /// Sub-instances, keyed by call-equation index.
     subs: HashMap<usize, usize>,
     /// Variables currently being evaluated (cycle detection).
-    visiting: HashSet<(Ident, usize)>,
+    visiting: std::collections::HashSet<(Ident, usize), velus_common::BuildIdentHasher>,
 }
 
 /// The demand-driven dataflow evaluator for one root node.
@@ -158,10 +158,10 @@ impl<'p, O: Ops> Dataflow<'p, O> {
         let insts = vec![Inst {
             node: root_node,
             parent: None,
-            memo: HashMap::new(),
-            holds: HashMap::new(),
+            memo: IdentMap::default(),
+            holds: IdentMap::default(),
             subs: HashMap::new(),
-            visiting: HashSet::new(),
+            visiting: Default::default(),
         }];
         Ok(Dataflow {
             prog,
@@ -477,10 +477,10 @@ impl<'p, O: Ops> Dataflow<'p, O> {
         self.insts.push(Inst {
             node,
             parent: Some((inst, eq_idx)),
-            memo: HashMap::new(),
-            holds: HashMap::new(),
+            memo: IdentMap::default(),
+            holds: IdentMap::default(),
             subs: HashMap::new(),
-            visiting: HashSet::new(),
+            visiting: Default::default(),
         });
         self.insts[inst].subs.insert(eq_idx, id);
         Ok(id)

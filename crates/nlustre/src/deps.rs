@@ -13,9 +13,7 @@
 //!
 //! Cycles in this graph are causality errors.
 
-use std::collections::HashMap;
-
-use velus_common::Ident;
+use velus_common::{DenseBitSet, Ident, IdentMap};
 use velus_ops::Ops;
 
 use crate::ast::{Equation, Node};
@@ -48,27 +46,51 @@ impl DepGraph {
 /// Reads of inputs and of variables not defined in the node impose no
 /// constraints (undefined variables are caught by the type checker).
 pub fn dep_graph<O: Ops>(node: &Node<O>) -> DepGraph {
-    let mut def_of: HashMap<Ident, usize> = HashMap::new();
+    let n = node.eqs.len();
+    let mut def_of: IdentMap<usize> = velus_common::ident_map_with_capacity(n);
     for (i, eq) in node.eqs.iter().enumerate() {
-        for x in eq.defined() {
+        for &x in eq.defined() {
             def_of.insert(x, i);
         }
     }
-    let n = node.eqs.len();
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut preds = vec![0usize; n];
-    let add_edge = |succs: &mut Vec<Vec<usize>>, preds: &mut Vec<usize>, a: usize, b: usize| {
-        if a != b && !succs[a].contains(&b) {
-            succs[a].push(b);
-            preds[b] += 1;
-        }
-    };
+    // Duplicate-edge suppression in two layers. A per-reader
+    // seen-bitset over the definer index (O(n) memory, reset per
+    // reader) collapses duplicate reads of the same variable to one
+    // candidate edge — the case that degenerated with the old
+    // O(out-degree) `succs[a].contains(&b)` scan per *read* on dense
+    // graphs. The scan itself remains, but now runs once per distinct
+    // (reader, definer) pair: it still catches the cross-reader
+    // duplicate where a Def equation and the Fby it reads from produce
+    // the same directed edge from both ends (`y = cum + x;
+    // cum = 0 fby y` yields 0→1 twice).
+    let mut seen = DenseBitSet::new();
+    let mut reads: Vec<Ident> = Vec::new();
     for (i, eq) in node.eqs.iter().enumerate() {
-        for x in eq.reads() {
-            if let Some(&d) = def_of.get(&x) {
-                match &node.eqs[d] {
-                    Equation::Fby { .. } => add_edge(&mut succs, &mut preds, i, d),
-                    _ => add_edge(&mut succs, &mut preds, d, i),
+        reads.clear();
+        eq.reads_into(&mut reads);
+        if reads.is_empty() {
+            continue;
+        }
+        seen.reset(n);
+        for x in &reads {
+            if let Some(&d) = def_of.get(x) {
+                if d != i && seen.insert(d) {
+                    match &node.eqs[d] {
+                        Equation::Fby { .. } => {
+                            if !succs[i].contains(&d) {
+                                succs[i].push(d);
+                                preds[d] += 1;
+                            }
+                        }
+                        _ => {
+                            if !succs[d].contains(&i) {
+                                succs[d].push(i);
+                                preds[i] += 1;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -91,7 +113,7 @@ pub fn cycle_witness<O: Ops>(node: &Node<O>, graph: &DepGraph) -> Vec<Ident> {
     }
     (0..graph.len())
         .filter(|&i| preds[i] > 0)
-        .flat_map(|i| node.eqs[i].defined())
+        .flat_map(|i| node.eqs[i].defined().iter().copied())
         .collect()
 }
 
@@ -193,6 +215,72 @@ mod tests {
         // fby reading y, and edge 0 -> 1 from y reading cum (fby).
         assert_eq!(g.succs[0], vec![1]);
         assert!(g.succs[1].is_empty());
+    }
+
+    #[test]
+    fn dense_duplicate_reads_produce_unique_edges() {
+        // The dense-graph regression for the seen-bitset: many equations
+        // each reading the same variable many times. Every (def, reader)
+        // pair must yield exactly one edge, and predecessor counts must
+        // agree with the successor lists.
+        let m = 40usize;
+        let mut eqs: Vec<Equation<ClightOps>> = vec![Equation::Def {
+            x: id("a"),
+            ck: Clock::Base,
+            rhs: CExpr::Expr(var("x")),
+        }];
+        for i in 0..m {
+            // w_i = a + a + … + a  (nine duplicate reads of `a`).
+            let mut rhs = var("a");
+            for _ in 0..8 {
+                rhs = Expr::Binop(
+                    velus_ops::CBinOp::Add,
+                    Box::new(rhs),
+                    Box::new(var("a")),
+                    CTy::I32,
+                );
+            }
+            eqs.push(Equation::Def {
+                x: id(&format!("w{i}")),
+                ck: Clock::Base,
+                rhs: CExpr::Expr(rhs),
+            });
+        }
+        let node: Node<ClightOps> = Node {
+            name: id("dense"),
+            inputs: vec![decl("x", CTy::I32)],
+            outputs: vec![decl("a", CTy::I32)],
+            locals: (0..m).map(|i| decl(&format!("w{i}"), CTy::I32)).collect(),
+            eqs,
+        };
+        let g = dep_graph(&node);
+        // One edge from `a`'s equation to each reader, despite the nine
+        // duplicate reads per equation.
+        let mut succs = g.succs[0].clone();
+        succs.sort_unstable();
+        succs.dedup();
+        assert_eq!(succs.len(), m, "duplicate edges survived deduplication");
+        assert_eq!(g.succs[0].len(), m);
+        assert_eq!(g.preds[0], 0);
+        for i in 1..=m {
+            assert_eq!(g.preds[i], 1, "reader {i} must have exactly one pred");
+        }
+        // The same property through the fby-reversed edge direction:
+        // swap `a`'s definition for a delay, so each reader now precedes
+        // the fby equation — edges i -> 0, again deduplicated.
+        let mut node = node;
+        node.eqs[0] = Equation::Fby {
+            x: id("a"),
+            ck: Clock::Base,
+            init: CConst::int(0),
+            rhs: var("x"),
+        };
+        let g = dep_graph(&node);
+        assert!(g.succs[0].is_empty());
+        assert_eq!(g.preds[0], m, "one edge per reader into the fby");
+        for i in 1..=m {
+            assert_eq!(g.succs[i], vec![0]);
+        }
     }
 
     #[test]

@@ -16,9 +16,7 @@
 //! the translation): within one instant, variables are read after they
 //! are written, except `fby` variables which are read before.
 
-use std::collections::HashMap;
-
-use velus_common::Ident;
+use velus_common::{Ident, IdentMap};
 use velus_ops::Ops;
 
 use crate::ast::{CExpr, Equation, Expr, Node, Program};
@@ -59,7 +57,7 @@ pub fn initial_memory<O: Ops>(
 }
 
 /// Instantaneous environment `R` for one node, one instant.
-type Env<O> = HashMap<Ident, SVal<O>>;
+type Env<O> = IdentMap<SVal<O>>;
 
 /// One node's evaluation context for one instant: the local environment
 /// plus read access to the memory tree. A `fby` variable that has not yet
@@ -244,7 +242,7 @@ impl<'p, O: Ops> MSem<'p, O> {
         }
         let prog = self.prog;
         let node = self.node;
-        let mut env: Env<O> = HashMap::new();
+        let mut env: Env<O> = IdentMap::default();
         for (d, v) in node.inputs.iter().zip(inputs) {
             env.insert(d.name, v.clone());
         }
@@ -335,7 +333,7 @@ fn step_equations<O: Ops>(
                         .map(|a| eval_expr::<O>(&Ctx { env, mem, base }, a).map(SVal::Pres))
                         .collect::<Result<_, _>>()?;
                     let sub = mem.instance_mut(xs[0]);
-                    let mut sub_env: Env<O> = HashMap::new();
+                    let mut sub_env: Env<O> = IdentMap::default();
                     for (d, v) in callee.inputs.iter().zip(&vals) {
                         sub_env.insert(d.name, v.clone());
                     }

@@ -16,8 +16,7 @@ use std::collections::VecDeque;
 
 use velus_ops::Ops;
 
-use crate::ast::{Node, Program};
-use crate::clock::Clock;
+use crate::ast::{Equation, Node, Program};
 use crate::deps::{check_schedule, cycle_witness, dep_graph};
 use crate::SemError;
 
@@ -34,17 +33,21 @@ pub fn schedule_order<O: Ops>(node: &Node<O>) -> Result<Vec<usize>, SemError> {
     // Ready equations, grouped to allow clock-affine picking.
     let mut ready: VecDeque<usize> = (0..n).filter(|&i| preds[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
-    let mut last_clock: Option<Clock> = None;
+    // The previously picked equation (its clock is read through the
+    // node, so no per-step `Clock` clone is needed).
+    let mut last: Option<usize> = None;
 
     while !ready.is_empty() {
         // Prefer an equation on the same clock as the previous one; fall
         // back to the earliest ready equation (stable order).
-        let pick_pos = last_clock
-            .as_ref()
-            .and_then(|ck| ready.iter().position(|&i| node.eqs[i].clock() == ck))
+        let pick_pos = last
+            .and_then(|p| {
+                let ck = node.eqs[p].clock();
+                ready.iter().position(|&i| node.eqs[i].clock() == ck)
+            })
             .unwrap_or(0);
         let i = ready.remove(pick_pos).expect("position is in range");
-        last_clock = Some(node.eqs[i].clock().clone());
+        last = Some(i);
         order.push(i);
         for &j in &graph.succs[i] {
             preds[j] -= 1;
@@ -72,11 +75,16 @@ pub fn schedule_order<O: Ops>(node: &Node<O>) -> Result<Vec<usize>, SemError> {
 /// the untrusted-scheduler/validated-checker split of the paper.
 pub fn schedule_node<O: Ops>(node: &mut Node<O>) -> Result<(), SemError> {
     let order = schedule_order(node)?;
-    let mut eqs = Vec::with_capacity(node.eqs.len());
-    for &i in &order {
-        eqs.push(node.eqs[i].clone());
-    }
-    node.eqs = eqs;
+    // Apply the permutation by moving the equations, not deep-cloning
+    // them (an equation owns its whole expression tree).
+    let mut slots: Vec<Option<Equation<O>>> = std::mem::take(&mut node.eqs)
+        .into_iter()
+        .map(Some)
+        .collect();
+    node.eqs = order
+        .iter()
+        .map(|&i| slots[i].take().expect("order is a permutation"))
+        .collect();
     check_schedule(node)
 }
 
@@ -105,7 +113,8 @@ pub fn clock_switches<O: Ops>(node: &Node<O>) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{CExpr, Equation, Expr, VarDecl};
+    use crate::ast::{CExpr, Expr, VarDecl};
+    use crate::clock::Clock;
     use velus_common::Ident;
     use velus_ops::{CConst, CTy, ClightOps};
 

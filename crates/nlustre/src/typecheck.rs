@@ -15,15 +15,13 @@
 //!   interface's typing functions, equation left- and right-hand sides
 //!   agree, call arguments and results match the callee's signature.
 
-use std::collections::{HashMap, HashSet};
-
-use velus_common::Ident;
+use velus_common::{IdentMap, IdentSet};
 use velus_ops::Ops;
 
 use crate::ast::{CExpr, Equation, Expr, Node, Program};
 use crate::SemError;
 
-type Env<O> = HashMap<Ident, <O as Ops>::Ty>;
+type Env<O> = IdentMap<<O as Ops>::Ty>;
 
 fn type_error<T>(msg: String) -> Result<T, SemError> {
     Err(SemError::TypeError(msg))
@@ -114,7 +112,9 @@ pub fn check_cexpr<O: Ops>(env: &Env<O>, ce: &CExpr<O>) -> Result<O::Ty, SemErro
 }
 
 fn build_env<O: Ops>(node: &Node<O>) -> Result<Env<O>, SemError> {
-    let mut env: Env<O> = HashMap::new();
+    let mut env: Env<O> = velus_common::ident_map_with_capacity(
+        node.inputs.len() + node.outputs.len() + node.locals.len(),
+    );
     for d in node.inputs.iter().chain(&node.outputs).chain(&node.locals) {
         if env.insert(d.name, d.ty.clone()).is_some() {
             return Err(SemError::Malformed(format!(
@@ -128,7 +128,7 @@ fn build_env<O: Ops>(node: &Node<O>) -> Result<Env<O>, SemError> {
 
 fn check_equation<O: Ops>(
     env: &Env<O>,
-    declared_before: &HashMap<Ident, &Node<O>>,
+    declared_before: &IdentMap<&Node<O>>,
     node: &Node<O>,
     eq: &Equation<O>,
 ) -> Result<(), SemError> {
@@ -214,7 +214,7 @@ fn check_equation<O: Ops>(
 ///
 /// Returns the first structural or typing violation found.
 pub fn check_node<O: Ops>(
-    declared_before: &HashMap<Ident, &Node<O>>,
+    declared_before: &IdentMap<&Node<O>>,
     node: &Node<O>,
 ) -> Result<(), SemError> {
     let env = build_env::<O>(node)?;
@@ -226,9 +226,10 @@ pub fn check_node<O: Ops>(
     }
 
     // Every output and local is defined exactly once; inputs never.
-    let mut defined: HashSet<Ident> = HashSet::new();
+    let mut defined: IdentSet =
+        velus_common::ident_set_with_capacity(node.outputs.len() + node.locals.len());
     for eq in &node.eqs {
-        for x in eq.defined() {
+        for &x in eq.defined() {
             if node.is_input(x) {
                 return Err(SemError::Malformed(format!(
                     "node {}: input {x} is defined by an equation",
@@ -265,7 +266,7 @@ pub fn check_node<O: Ops>(
 ///
 /// Returns the first violation found, in declaration order.
 pub fn check_program<O: Ops>(prog: &Program<O>) -> Result<(), SemError> {
-    let mut declared: HashMap<Ident, &Node<O>> = HashMap::new();
+    let mut declared: IdentMap<&Node<O>> = velus_common::ident_map_with_capacity(prog.nodes.len());
     for node in &prog.nodes {
         if declared.contains_key(&node.name) {
             return Err(SemError::Malformed(format!(
@@ -284,6 +285,7 @@ mod tests {
     use super::*;
     use crate::ast::VarDecl;
     use crate::clock::Clock;
+    use velus_common::Ident;
     use velus_ops::{CBinOp, CConst, CTy, ClightOps};
 
     type P = Program<ClightOps>;

@@ -12,13 +12,19 @@ use velus_common::Ident;
 use velus_ops::Ops;
 
 /// Returns the conventional name of the `step` method.
+///
+/// Cached: translation asks for it once per equation, and re-interning
+/// even a known string takes the interner's shard lock.
 pub fn step_name() -> Ident {
-    Ident::new("step")
+    static STEP: std::sync::OnceLock<Ident> = std::sync::OnceLock::new();
+    *STEP.get_or_init(|| Ident::new("step"))
 }
 
-/// Returns the conventional name of the `reset` method.
+/// Returns the conventional name of the `reset` method (cached, see
+/// [`step_name`]).
 pub fn reset_name() -> Ident {
-    Ident::new("reset")
+    static RESET: std::sync::OnceLock<Ident> = std::sync::OnceLock::new();
+    *RESET.get_or_init(|| Ident::new("reset"))
 }
 
 /// An Obc expression.
@@ -159,10 +165,10 @@ impl<O: Ops> Stmt<O> {
 
     fn print(&self, p: &mut Printer) {
         match self {
-            Stmt::Assign(x, e) => p.line(format!("{x} := {e};")),
-            Stmt::AssignSt(x, e) => p.line(format!("state({x}) := {e};")),
+            Stmt::Assign(x, e) => p.line_args(format_args!("{x} := {e};")),
+            Stmt::AssignSt(x, e) => p.line_args(format_args!("state({x}) := {e};")),
             Stmt::If(e, t, f) => {
-                p.line(format!("if {e} {{"));
+                p.line_args(format_args!("if {e} {{"));
                 p.block(|p| t.print(p));
                 if **f != Stmt::Skip {
                     p.line("} else {");
@@ -184,7 +190,7 @@ impl<O: Ops> Stmt<O> {
                 } else {
                     format!("{} := ", rs.join(", "))
                 };
-                p.line(format!(
+                p.line_args(format_args!(
                     "{lhs}{class}({instance}).{method}({});",
                     es.join(", ")
                 ));
@@ -270,13 +276,13 @@ impl<O: Ops> fmt::Display for ObcProgram<O> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut p = Printer::new();
         for class in &self.classes {
-            p.line(format!("class {} {{", class.name));
+            p.line_args(format_args!("class {} {{", class.name));
             p.block(|p| {
                 for (x, ty) in &class.memories {
-                    p.line(format!("memory {x}: {ty};"));
+                    p.line_args(format_args!("memory {x}: {ty};"));
                 }
                 for (i, c) in &class.instances {
-                    p.line(format!("instance {i}: {c};"));
+                    p.line_args(format_args!("instance {i}: {c};"));
                 }
                 for m in &class.methods {
                     let fmt_vars = |vs: &[TypedVar<O>]| {
@@ -285,7 +291,7 @@ impl<O: Ops> fmt::Display for ObcProgram<O> {
                             .collect::<Vec<_>>()
                             .join(", ")
                     };
-                    p.line(format!(
+                    p.line_args(format_args!(
                         "({}) {}({}) {{ var {} in",
                         fmt_vars(&m.outputs),
                         m.name,

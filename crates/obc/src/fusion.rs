@@ -41,27 +41,35 @@ pub fn fuse<O: Ops>(s: Stmt<O>) -> Stmt<O> {
     }
 }
 
-/// The free variables of a guard, locals and state cells alike (the
-/// `MayWrite` check treats `x` and `state(x)` uniformly, as in the paper).
-fn guard_vars<O: Ops>(e: &ObcExpr<O>) -> Vec<velus_common::Ident> {
-    let mut out = Vec::new();
-    e.free_vars_into(&mut out);
-    e.state_vars_into(&mut out);
-    out
+/// Appends the free variables of a guard, locals and state cells alike
+/// (the `MayWrite` check treats `x` and `state(x)` uniformly, as in the
+/// paper), to the scratch buffer.
+fn guard_vars_into<O: Ops>(e: &ObcExpr<O>, out: &mut Vec<velus_common::Ident>) {
+    e.free_vars_into(out);
+    e.state_vars_into(out);
 }
 
 /// The `Fusible` predicate: conditionals never write the free variables of
 /// their own guards.
 pub fn fusible<O: Ops>(s: &Stmt<O>) -> bool {
+    // One scratch buffer serves every guard of the statement tree; the
+    // predicate runs after translation *and* after fusion on every
+    // method, so its allocations used to show up in cold compiles.
+    let mut scratch = Vec::new();
+    fusible_rec(s, &mut scratch)
+}
+
+fn fusible_rec<O: Ops>(s: &Stmt<O>, scratch: &mut Vec<velus_common::Ident>) -> bool {
     match s {
         Stmt::Skip | Stmt::Assign(..) | Stmt::AssignSt(..) | Stmt::Call { .. } => true,
-        Stmt::Seq(a, b) => fusible(a) && fusible(b),
+        Stmt::Seq(a, b) => fusible_rec(a, scratch) && fusible_rec(b, scratch),
         Stmt::If(e, t, f) => {
-            fusible(t)
-                && fusible(f)
-                && guard_vars(e)
-                    .into_iter()
-                    .all(|x| !t.may_write(x) && !f.may_write(x))
+            if !fusible_rec(t, scratch) || !fusible_rec(f, scratch) {
+                return false;
+            }
+            scratch.clear();
+            guard_vars_into(e, scratch);
+            scratch.iter().all(|&x| !t.may_write(x) && !f.may_write(x))
         }
     }
 }
@@ -97,7 +105,6 @@ pub fn fuse_program<O: Ops>(prog: &ObcProgram<O>) -> ObcProgram<O> {
 mod tests {
     use super::*;
     use crate::sem::{eval_expr, exec_stmt, VEnv};
-    use std::collections::HashMap;
     use velus_common::Ident;
     use velus_nlustre::memory::Memory;
     use velus_ops::{CConst, CTy, CVal, ClightOps};
@@ -187,7 +194,7 @@ mod tests {
         let prog = ObcProgram::default();
         let mut mem: Memory<CVal> = Memory::new();
         mem.set_value(id("pt"), CVal::int(9));
-        let mut env: VEnv<ClightOps> = HashMap::new();
+        let mut env: VEnv<ClightOps> = VEnv::<ClightOps>::default();
         env.insert(id("x"), CVal::bool(x));
         exec_stmt(&prog, &mut mem, &mut env, s).unwrap();
         (mem, env)
@@ -245,7 +252,7 @@ mod tests {
     fn eval_guard_sanity() {
         // Keep eval_expr in the public API exercised from this module.
         let mem: Memory<CVal> = Memory::new();
-        let mut env: VEnv<ClightOps> = HashMap::new();
+        let mut env: VEnv<ClightOps> = VEnv::<ClightOps>::default();
         env.insert(id("x"), CVal::bool(true));
         assert_eq!(
             eval_expr::<ClightOps>(&mem, &env, &guard("x")).unwrap(),

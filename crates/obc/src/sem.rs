@@ -12,9 +12,7 @@
 //! the paper rules out via scheduling, `MemCorres`, and the existence of
 //! the dataflow semantics. Here they surface as [`ObcError`]s.
 
-use std::collections::HashMap;
-
-use velus_common::Ident;
+use velus_common::{Ident, IdentMap};
 use velus_nlustre::memory::Memory;
 use velus_ops::Ops;
 
@@ -22,7 +20,7 @@ use crate::ast::{Class, Method, ObcExpr, ObcProgram, Stmt};
 use crate::ObcError;
 
 /// A local environment (stack frame).
-pub type VEnv<O> = HashMap<Ident, <O as Ops>::Val>;
+pub type VEnv<O> = IdentMap<<O as Ops>::Val>;
 
 /// Evaluates an expression against a global memory and a local
 /// environment.
@@ -143,7 +141,7 @@ pub fn call_method<O: Ops>(
             m.inputs.len()
         )));
     }
-    let mut env: VEnv<O> = HashMap::new();
+    let mut env: VEnv<O> = VEnv::<O>::default();
     for ((x, ty), v) in m.inputs.iter().zip(args) {
         if !O::well_typed(v, ty) {
             return Err(ObcError::TypeError(format!(

@@ -13,9 +13,7 @@
 //! A node-call instance is identified by its left-most result variable,
 //! which is unique within the node, exactly as in the paper.
 
-use std::collections::{HashMap, HashSet};
-
-use velus_common::Ident;
+use velus_common::{Ident, IdentMap, IdentSet};
 use velus_nlustre::ast::{CExpr, Equation, Expr, Node, Program};
 use velus_nlustre::clock::Clock;
 use velus_ops::Ops;
@@ -26,8 +24,8 @@ use crate::ObcError;
 /// Per-node translation context: which variables are memories, and the
 /// type of every variable.
 struct Ctx<O: Ops> {
-    mems: HashSet<Ident>,
-    types: HashMap<Ident, O::Ty>,
+    mems: IdentSet,
+    types: IdentMap<O::Ty>,
 }
 
 impl<O: Ops> Ctx<O> {
@@ -147,7 +145,7 @@ fn treq_reset<O: Ops>(eq: &Equation<O>) -> Option<Stmt<O>> {
 /// Rejects nodes where a `fby` defines an output directly (normalization
 /// introduces a copy first) and propagates unbound-variable errors.
 pub fn translate_node<O: Ops>(node: &Node<O>) -> Result<Class<O>, ObcError> {
-    let mems: HashSet<Ident> = node.mems().into_iter().collect();
+    let mems: IdentSet = node.mems_iter().collect();
     for d in &node.outputs {
         if mems.contains(&d.name) {
             return Err(ObcError::Malformed(format!(
@@ -156,14 +154,13 @@ pub fn translate_node<O: Ops>(node: &Node<O>) -> Result<Class<O>, ObcError> {
             )));
         }
     }
-    let mut types: HashMap<Ident, O::Ty> = HashMap::new();
+    let mut types: IdentMap<O::Ty> = velus_common::ident_map_with_capacity(
+        node.inputs.len() + node.outputs.len() + node.locals.len(),
+    );
     for d in node.inputs.iter().chain(&node.outputs).chain(&node.locals) {
         types.insert(d.name, d.ty.clone());
     }
-    let ctx = Ctx::<O> {
-        mems: mems.clone(),
-        types,
-    };
+    let ctx = Ctx::<O> { mems, types };
 
     let step_body = Stmt::seq_all(
         node.eqs
@@ -201,7 +198,7 @@ pub fn translate_node<O: Ops>(node: &Node<O>) -> Result<Class<O>, ObcError> {
         locals: node
             .locals
             .iter()
-            .filter(|d| !mems.contains(&d.name))
+            .filter(|d| !ctx.mems.contains(&d.name))
             .map(|d| (d.name, d.ty.clone()))
             .collect(),
         body: step_body,

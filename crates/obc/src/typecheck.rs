@@ -7,17 +7,15 @@
 //! casts — §4.1), guards are boolean, and call sites match the callee's
 //! signature.
 
-use std::collections::HashMap;
-
-use velus_common::Ident;
+use velus_common::{Ident, IdentMap};
 use velus_ops::Ops;
 
 use crate::ast::{Class, Method, ObcExpr, ObcProgram, Stmt};
 use crate::ObcError;
 
 struct Scope<'a, O: Ops> {
-    vars: HashMap<Ident, O::Ty>,
-    mems: HashMap<Ident, O::Ty>,
+    vars: IdentMap<O::Ty>,
+    mems: IdentMap<O::Ty>,
     class: &'a Class<O>,
     prog: &'a ObcProgram<O>,
 }
@@ -162,7 +160,8 @@ fn check_method<O: Ops>(
     class: &Class<O>,
     m: &Method<O>,
 ) -> Result<(), ObcError> {
-    let mut vars: HashMap<Ident, O::Ty> = HashMap::new();
+    let mut vars: IdentMap<O::Ty> =
+        velus_common::ident_map_with_capacity(m.inputs.len() + m.outputs.len() + m.locals.len());
     for (x, t) in m.inputs.iter().chain(&m.outputs).chain(&m.locals) {
         if vars.insert(*x, t.clone()).is_some() {
             return Err(ObcError::Malformed(format!(
@@ -171,7 +170,7 @@ fn check_method<O: Ops>(
             )));
         }
     }
-    let mems: HashMap<Ident, O::Ty> = class.memories.iter().cloned().collect();
+    let mems: IdentMap<O::Ty> = class.memories.iter().cloned().collect();
     let sc = Scope {
         vars,
         mems,

@@ -25,10 +25,8 @@
 //! Absolute numbers are not comparable to the paper's (different
 //! hardware model); the *relationships* between compilation schemes are.
 
-use std::collections::HashMap;
-
 use velus_clight::ast::{Expr, Function, Program, Stmt};
-use velus_common::Ident;
+use velus_common::{Ident, IdentMap};
 use velus_ops::{CBinOp, CTy, CUnOp};
 
 /// Which back end's code shape to model.
@@ -185,7 +183,7 @@ fn costs(model: CostModel) -> Costs {
 struct Analyzer<'p> {
     prog: &'p Program,
     c: Costs,
-    memo: HashMap<Ident, u64>,
+    memo: IdentMap<u64>,
 }
 
 impl Analyzer<'_> {
@@ -324,7 +322,7 @@ pub fn wcet_function(prog: &Program, fname: Ident, model: CostModel) -> Result<u
     let mut a = Analyzer {
         prog,
         c: costs(model),
-        memo: HashMap::new(),
+        memo: IdentMap::default(),
     };
     a.function_cost(fname)
 }
