@@ -208,98 +208,6 @@ fn json_profile(label: &str, p: &Profile) -> String {
     out
 }
 
-/// A minimal JSON well-formedness check (objects, arrays, strings,
-/// numbers, literals) — enough for the smoke gate to catch a harness
-/// that starts emitting broken output.
-fn assert_well_formed_json(s: &str) {
-    fn skip_ws(b: &[u8], mut i: usize) -> usize {
-        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
-            i += 1;
-        }
-        i
-    }
-    fn value(b: &[u8], i: usize) -> Result<usize, String> {
-        let i = skip_ws(b, i);
-        match b.get(i) {
-            Some(b'{') => {
-                let mut i = skip_ws(b, i + 1);
-                if b.get(i) == Some(&b'}') {
-                    return Ok(i + 1);
-                }
-                loop {
-                    i = string(b, skip_ws(b, i))?;
-                    i = skip_ws(b, i);
-                    if b.get(i) != Some(&b':') {
-                        return Err(format!("expected ':' at byte {i}"));
-                    }
-                    i = value(b, i + 1)?;
-                    i = skip_ws(b, i);
-                    match b.get(i) {
-                        Some(b',') => i += 1,
-                        Some(b'}') => return Ok(i + 1),
-                        _ => return Err(format!("expected ',' or '}}' at byte {i}")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                let mut i = skip_ws(b, i + 1);
-                if b.get(i) == Some(&b']') {
-                    return Ok(i + 1);
-                }
-                loop {
-                    i = value(b, i)?;
-                    i = skip_ws(b, i);
-                    match b.get(i) {
-                        Some(b',') => i += 1,
-                        Some(b']') => return Ok(i + 1),
-                        _ => return Err(format!("expected ',' or ']' at byte {i}")),
-                    }
-                }
-            }
-            Some(b'"') => string(b, i),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => {
-                let mut i = i + 1;
-                while i < b.len() && matches!(b[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-                {
-                    i += 1;
-                }
-                Ok(i)
-            }
-            _ => {
-                for lit in ["true", "false", "null"] {
-                    if s_slice(b, i).starts_with(lit) {
-                        return Ok(i + lit.len());
-                    }
-                }
-                Err(format!("unexpected value at byte {i}"))
-            }
-        }
-    }
-    fn s_slice(b: &[u8], i: usize) -> &str {
-        std::str::from_utf8(&b[i..]).unwrap_or("")
-    }
-    fn string(b: &[u8], i: usize) -> Result<usize, String> {
-        if b.get(i) != Some(&b'"') {
-            return Err(format!("expected '\"' at byte {i}"));
-        }
-        let mut i = i + 1;
-        while let Some(&c) = b.get(i) {
-            match c {
-                b'\\' => i += 2,
-                b'"' => return Ok(i + 1),
-                _ => i += 1,
-            }
-        }
-        Err("unterminated string".to_owned())
-    }
-    let b = s.as_bytes();
-    let end = value(b, 0).unwrap_or_else(|e| panic!("malformed JSON: {e}\n{s}"));
-    assert!(
-        skip_ws(b, end) == b.len(),
-        "trailing garbage after JSON value"
-    );
-}
-
 /// One corpus: `(source, root node)` pairs.
 type Corpus = Vec<(String, String)>;
 
@@ -332,7 +240,7 @@ fn main() {
         "{{\n  \"benchmark\": \"velus-bench --bin pipeline --passes {passes} --programs {programs}\",\n  \"corpora\": {{\n{}\n  }}\n}}\n",
         sections.join(",\n")
     );
-    assert_well_formed_json(&json);
+    velus_bench::json::check(&json).unwrap_or_else(|e| panic!("malformed JSON: {e}\n{json}"));
     if let Some(path) = parse_string_flag("--json") {
         std::fs::write(&path, &json).expect("write --json file");
         println!("wrote profile to {path}");

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use velus_common::Ident;
+use velus_common::{codes, Code, Diagnostic, Diagnostics, Ident, Span, SpanMap, ToDiagnostics};
 
 /// Errors raised by layout computation, the memory model, the interpreter
 /// and the generation pass.
@@ -44,6 +44,37 @@ impl fmt::Display for ClightError {
             ClightError::Separation(m) => write!(f, "separation assertion failed: {m}"),
             ClightError::Malformed(m) => write!(f, "malformed program: {m}"),
         }
+    }
+}
+
+impl ClightError {
+    /// The stable diagnostic code of the error.
+    pub fn code(&self) -> Code {
+        match self {
+            ClightError::UnknownStruct(_) => codes::E0601,
+            ClightError::UnknownField(..) => codes::E0602,
+            ClightError::UnknownFunction(_) => codes::E0603,
+            ClightError::MemoryError(_) => codes::E0604,
+            ClightError::Uninitialized(_) => codes::E0605,
+            ClightError::UndefinedOperation(_) => codes::E0606,
+            ClightError::ValueError(_) => codes::E0607,
+            ClightError::EndOfInput(_) => codes::E0608,
+            ClightError::Separation(_) => codes::E0609,
+            ClightError::Malformed(_) => codes::E0610,
+        }
+    }
+}
+
+impl ToDiagnostics for ClightError {
+    /// Clight structs are generated per node, so struct-carrying errors
+    /// resolve to the node header; everything else in this layer is far
+    /// from the source and keeps a dummy span.
+    fn to_diagnostics(&self, spans: &SpanMap) -> Diagnostics {
+        let span = match self {
+            ClightError::UnknownStruct(s) => spans.node_span(*s),
+            _ => Span::DUMMY,
+        };
+        Diagnostics::from(Diagnostic::error(self.code(), self.to_string(), span))
     }
 }
 

@@ -9,7 +9,12 @@
 //! * [`Span`] / [`Loc`] — byte-offset source spans and their resolution to
 //!   line/column positions,
 //! * [`Diagnostic`] / [`Diagnostics`] — structured compiler errors and
-//!   warnings with source rendering,
+//!   warnings: stable codes ([`codes`]), originating stages
+//!   ([`DiagStage`]), primary spans plus labeled notes, caret and JSON
+//!   renderings; [`SpanMap`] threads source spans past elaboration so
+//!   mid-end failures resolve to real equations, [`ToDiagnostics`]
+//!   converts layer error types, and [`FailureReport`] is the flattened
+//!   machine-readable form the serving layer ships,
 //! * [`IdentMap`] / [`IdentSet`] / [`IdentScratch`] / [`DenseBitSet`] —
 //!   the allocation-light identifier collections of the compile hot
 //!   path (an Fx-style mixer over the already-interned `u32` keys and
@@ -31,18 +36,23 @@
 #![warn(missing_docs)]
 
 mod diag;
+mod flags;
 mod ident;
 mod identmap;
 pub mod pretty;
 mod span;
 
-pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use diag::{
+    codes, json_escape, Code, DiagRecord, DiagStage, Diagnostic, Diagnostics, FailureReport, Note,
+    Severity, ToDiagnostics,
+};
+pub use flags::parse_enum_flag;
 pub use ident::{FreshGen, Ident};
 pub use identmap::{
     ident_map_with_capacity, ident_set_with_capacity, BuildIdentHasher, DenseBitSet, IdentHasher,
     IdentMap, IdentScratch, IdentSet,
 };
-pub use span::{Loc, Span, Spanned};
+pub use span::{Loc, NodeSpans, Span, SpanMap, Spanned};
 
 /// Runs `f` on a thread with a `stack_mb`-MiB stack and returns its
 /// result.

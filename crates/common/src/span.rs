@@ -119,9 +119,114 @@ impl<T> Spanned<T> {
     }
 }
 
+/// Source spans of one elaborated node: the header plus one span per
+/// defined variable (each normalized equation defines at least one
+/// variable, so keying by defined variable survives scheduling's
+/// reordering and normalization's fresh equations alike).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeSpans {
+    /// The node header's span.
+    pub span: Span,
+    /// Defined variable → span of the source equation it came from
+    /// (fresh variables inherit the span of the equation they were
+    /// extracted from).
+    pub eqs: crate::IdentMap<Span>,
+}
+
+/// The elaborator's record of where every node and equation came from.
+///
+/// This is what lets mid-end failures — a scheduling cycle, a typing
+/// violation found by a re-check, a translation-validation mismatch —
+/// point back at real source equations long after the surface AST (and
+/// its spans) are gone. The map rides alongside the N-Lustre program
+/// through scheduling and beyond; lookups are by node and defined
+/// variable, both of which every later IR still knows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanMap {
+    nodes: crate::IdentMap<NodeSpans>,
+}
+
+impl SpanMap {
+    /// An empty map (every lookup yields [`Span::DUMMY`]).
+    pub fn new() -> SpanMap {
+        SpanMap::default()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a node header span.
+    pub fn record_node(&mut self, node: crate::Ident, span: Span) {
+        self.nodes.entry(node).or_default().span = span;
+    }
+
+    /// Inserts a whole node's spans at once (the normalizer builds the
+    /// per-node map with the right capacity and hands it over — cheaper
+    /// than growing through `record_eq` on the compile hot path).
+    pub fn insert_node(&mut self, node: crate::Ident, spans: NodeSpans) {
+        self.nodes.insert(node, spans);
+    }
+
+    /// Records the source span of the equation defining `var` in `node`.
+    pub fn record_eq(&mut self, node: crate::Ident, var: crate::Ident, span: Span) {
+        self.nodes.entry(node).or_default().eqs.insert(var, span);
+    }
+
+    /// The header span of `node`; [`Span::DUMMY`] when unrecorded.
+    pub fn node_span(&self, node: crate::Ident) -> Span {
+        self.nodes.get(&node).map_or(Span::DUMMY, |n| n.span)
+    }
+
+    /// The span of the equation defining `var` in `node`, falling back
+    /// to the node header, then to [`Span::DUMMY`].
+    pub fn eq_span(&self, node: crate::Ident, var: crate::Ident) -> Span {
+        match self.nodes.get(&node) {
+            Some(n) => n.eqs.get(&var).copied().unwrap_or(n.span),
+            None => Span::DUMMY,
+        }
+    }
+
+    /// The span of the equation defining `var`, searched in `node` when
+    /// given, otherwise across every recorded node (first hit wins —
+    /// good enough for diagnostics on errors that lost their node
+    /// context).
+    pub fn var_span(&self, node: Option<crate::Ident>, var: crate::Ident) -> Span {
+        match node {
+            Some(n) => self.eq_span(n, var),
+            None => self
+                .nodes
+                .values()
+                .find_map(|n| n.eqs.get(&var).copied())
+                .unwrap_or(Span::DUMMY),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn span_map_survives_reordering_lookups() {
+        let mut m = SpanMap::new();
+        let (f, x, y) = (
+            crate::Ident::new("f"),
+            crate::Ident::new("x"),
+            crate::Ident::new("y"),
+        );
+        m.record_node(f, Span::new(0, 4));
+        m.record_eq(f, x, Span::new(10, 20));
+        assert_eq!(m.eq_span(f, x), Span::new(10, 20));
+        // Unrecorded variables fall back to the node header…
+        assert_eq!(m.eq_span(f, y), Span::new(0, 4));
+        // …and unrecorded nodes to the dummy span.
+        assert_eq!(m.eq_span(y, x), Span::DUMMY);
+        // Node-less lookup searches every node.
+        assert_eq!(m.var_span(None, x), Span::new(10, 20));
+        assert_eq!(m.var_span(None, y), Span::DUMMY);
+    }
 
     #[test]
     fn merge_covers_both() {

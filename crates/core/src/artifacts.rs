@@ -15,6 +15,7 @@
 
 use velus_baselines::BaselineScheme;
 use velus_clight::printer::TestIo;
+use velus_common::{codes, json_escape, DiagRecord, DiagStage, Diagnostic, Diagnostics, Span};
 use velus_nlustre::ast::{CExpr, Equation, Expr, Program};
 use velus_obc::ast::ObcProgram;
 use velus_ops::ClightOps;
@@ -91,6 +92,53 @@ impl BaselineDiffArtifact {
                 row.scheme, row.obc_size, row.wcet[0], row.wcet[1], row.wcet[2]
             ));
         }
+        out
+    }
+}
+
+/// The per-program validation/diagnostics report (the ROADMAP's
+/// "validation reports" artifact kind): which pipeline stages ran *and
+/// re-validated* for this program, its shape, and the front-end
+/// warnings with their stable codes. Renders as a JSON object — the
+/// machine-readable companion of the compiled artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportArtifact {
+    /// The root node the program was compiled for.
+    pub root: String,
+    /// Number of nodes in the elaborated program.
+    pub nodes: usize,
+    /// Number of normalized equations.
+    pub equations: usize,
+    /// The pass names that ran and re-validated, in pipeline order.
+    pub stages: Vec<&'static str>,
+    /// Front-end warnings, flattened (code, stage, position resolved).
+    pub warnings: Vec<DiagRecord>,
+}
+
+impl ReportArtifact {
+    /// Renders the report as a JSON object (hand-rolled, serde-free;
+    /// same dialect as `Diagnostics::render_json`).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{{\"report\":{{\"root\":\"{}\",\"nodes\":{},\"equations\":{},\"validated_stages\":[",
+            json_escape(&self.root),
+            self.nodes,
+            self.equations
+        );
+        for (i, stage) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{stage}\""));
+        }
+        out.push_str("],\"warnings\":[");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            w.render_json_into(&mut out);
+        }
+        out.push_str("]}}");
         out
     }
 }
@@ -235,6 +283,8 @@ pub enum ServiceArtifact {
     BaselineDiff(BaselineDiffArtifact),
     /// A retained intermediate representation.
     IrDump(IrSnapshot),
+    /// A validation/diagnostics report.
+    Report(ReportArtifact),
 }
 
 impl ServiceArtifact {
@@ -245,6 +295,7 @@ impl ServiceArtifact {
             ServiceArtifact::Wcet(w) => ArtifactKind::Wcet { model: w.model },
             ServiceArtifact::BaselineDiff(_) => ArtifactKind::BaselineDiff,
             ServiceArtifact::IrDump(ir) => ArtifactKind::IrDump { stage: ir.stage() },
+            ServiceArtifact::Report(_) => ArtifactKind::Report,
         }
     }
 
@@ -266,6 +317,7 @@ impl ServiceArtifact {
             ServiceArtifact::Wcet(w) => w.render(),
             ServiceArtifact::BaselineDiff(d) => d.render(),
             ServiceArtifact::IrDump(ir) => ir.render(),
+            ServiceArtifact::Report(r) => r.render(),
         }
     }
 
@@ -282,16 +334,35 @@ impl ServiceArtifact {
                     + d.rows.len() * std::mem::size_of::<BaselineRow>()
             }
             ServiceArtifact::IrDump(ir) => ir.estimated_bytes(),
+            ServiceArtifact::Report(r) => {
+                std::mem::size_of::<ReportArtifact>()
+                    + r.root.len()
+                    + r.warnings
+                        .iter()
+                        .map(|w| std::mem::size_of::<DiagRecord>() + w.message.len())
+                        .sum::<usize>()
+            }
         }
     }
+}
+
+/// A coded analysis failure ([`codes::E0703`]) anchored at the root
+/// node's header span (a copied [`Span`], not the whole map — the
+/// success path must not pay for cloning the `SpanMap`). Shared with
+/// the CLI's `wcet` command so the conversion exists once.
+pub fn analysis_err(root_span: Span, msg: String) -> VelusError {
+    VelusError::Diag(Diagnostics::from(
+        Diagnostic::error(codes::E0703, msg, root_span).at_stage(DiagStage::Analysis),
+    ))
 }
 
 fn wcet_of(
     clight: &velus_clight::ast::Program,
     root: velus_common::Ident,
     model: CostModel,
+    root_span: Span,
 ) -> Result<u64, VelusError> {
-    velus_wcet::wcet_step(clight, root, model).map_err(|e| VelusError::Validation(e.to_string()))
+    velus_wcet::wcet_step(clight, root, model).map_err(|e| analysis_err(root_span, e.to_string()))
 }
 
 fn baseline_diff(staged: &mut StagedPipeline<'_>) -> Result<BaselineDiffArtifact, VelusError> {
@@ -304,10 +375,11 @@ fn baseline_diff(staged: &mut StagedPipeline<'_>) -> Result<BaselineDiffArtifact
         .flat_map(|c| &c.methods)
         .map(|m| m.body.size())
         .sum();
+    let root_span = staged.spans().node_span(root);
     let clight = staged.clight()?;
     let mut velus_wcet = [0u64; 3];
     for (k, model) in CostModel::ALL.into_iter().enumerate() {
-        velus_wcet[k] = wcet_of(clight, root, model)?;
+        velus_wcet[k] = wcet_of(clight, root, model, root_span)?;
     }
     let mut rows = vec![BaselineRow {
         scheme: "velus",
@@ -317,17 +389,21 @@ fn baseline_diff(staged: &mut StagedPipeline<'_>) -> Result<BaselineDiffArtifact
     for scheme in BaselineScheme::ALL {
         let obc = scheme
             .compile::<ClightOps>(staged.nlustre())
-            .map_err(|e| VelusError::Validation(e.to_string()))?;
+            .map_err(|e| analysis_err(root_span, e.to_string()))?;
         let obc_size = obc
             .classes
             .iter()
             .flat_map(|c| &c.methods)
             .map(|m| m.body.size())
             .sum();
-        let clight = velus_clight::generate::generate(&obc, root)?;
+        // A scheme whose Obc fails Clight generation is an analysis
+        // failure like its siblings above — structured, never a bare
+        // stage-less `Clight` variant.
+        let clight = velus_clight::generate::generate(&obc, root)
+            .map_err(|e| analysis_err(root_span, e.to_string()))?;
         let mut wcet = [0u64; 3];
         for (k, model) in CostModel::ALL.into_iter().enumerate() {
-            wcet[k] = wcet_of(&clight, root, model)?;
+            wcet[k] = wcet_of(&clight, root, model, root_span)?;
         }
         rows.push(BaselineRow {
             scheme: scheme.name(),
@@ -344,7 +420,9 @@ fn baseline_diff(staged: &mut StagedPipeline<'_>) -> Result<BaselineDiffArtifact
 /// Produces one artifact per requested kind from a staged pipeline,
 /// forcing only the stages the kind set needs. Kinds are produced in
 /// the given order; duplicates yield duplicate artifacts (the service
-/// deduplicates the kind set before calling).
+/// deduplicates the kind set before calling). `source` is the request's
+/// source text, used to resolve warning positions for
+/// [`ArtifactKind::Report`].
 ///
 /// # Errors
 ///
@@ -354,6 +432,7 @@ pub fn produce(
     staged: &mut StagedPipeline<'_>,
     kinds: &[ArtifactKind],
     io: TestIo,
+    source: &str,
 ) -> Result<Vec<(ArtifactKind, ServiceArtifact)>, VelusError> {
     let mut artifacts = Vec::with_capacity(kinds.len());
     for kind in kinds {
@@ -363,7 +442,8 @@ pub fn produce(
             },
             ArtifactKind::Wcet { model } => {
                 let root = staged.root();
-                let cycles = wcet_of(staged.clight()?, root, cost_model(*model))?;
+                let root_span = staged.spans().node_span(root);
+                let cycles = wcet_of(staged.clight()?, root, cost_model(*model), root_span)?;
                 ServiceArtifact::Wcet(WcetArtifact {
                     model: *model,
                     root: root.to_string(),
@@ -377,10 +457,34 @@ pub fn produce(
                 IrStageKind::Obc => IrSnapshot::Obc(staged.obc()?.clone()),
                 IrStageKind::ObcFused => IrSnapshot::ObcFused(staged.obc_fused()?.clone()),
             }),
+            ArtifactKind::Report => ServiceArtifact::Report(report(staged, source)?),
         };
         artifacts.push((*kind, artifact));
     }
     Ok(artifacts)
+}
+
+/// Builds the validation report: forces the pipeline through Clight
+/// generation — every validated stage runs and re-checks — then records
+/// the program's shape and the coded warnings.
+fn report(staged: &mut StagedPipeline<'_>, source: &str) -> Result<ReportArtifact, VelusError> {
+    staged.clight()?;
+    let snlustre = staged.snlustre()?;
+    let (nodes, equations) = (snlustre.nodes.len(), snlustre.equation_count());
+    // Everything up to (not including) emission ran and re-validated.
+    let stages = crate::passes::PASS_ORDER[..crate::passes::PASS_ORDER.len() - 1].to_vec();
+    let warnings = staged
+        .warnings()
+        .iter()
+        .map(|w| DiagRecord::of(w, source))
+        .collect();
+    Ok(ReportArtifact {
+        root: staged.root().to_string(),
+        nodes,
+        equations,
+        stages,
+        warnings,
+    })
 }
 
 #[cfg(test)]
@@ -406,7 +510,7 @@ mod tests {
         let kinds = [ArtifactKind::Wcet {
             model: WcetModelKind::CompCert,
         }];
-        let artifacts = produce(&mut staged, &kinds, TestIo::Volatile).unwrap();
+        let artifacts = produce(&mut staged, &kinds, TestIo::Volatile, COUNTER).unwrap();
         drop(staged);
         assert_eq!(artifacts.len(), 1);
         let artifact = &artifacts[0].1;
@@ -428,7 +532,7 @@ mod tests {
         let kinds = [ArtifactKind::IrDump {
             stage: IrStageKind::NLustre,
         }];
-        let artifacts = produce(&mut staged, &kinds, TestIo::Volatile).unwrap();
+        let artifacts = produce(&mut staged, &kinds, TestIo::Volatile, COUNTER).unwrap();
         drop(staged);
         assert_eq!(
             stages,
@@ -455,6 +559,44 @@ mod tests {
         assert!(lus6.wcet[2] < lus6.wcet[0], "{diff:?}");
         let rendered = diff.render();
         assert!(rendered.contains("heptagon"), "{rendered}");
+    }
+
+    #[test]
+    fn report_artifact_runs_all_validated_stages_and_renders_json() {
+        let mut stages = Vec::new();
+        let mut observe = |stage: velus_server::Stage, _: std::time::Duration| stages.push(stage);
+        let mut staged = staged_for(&mut observe);
+        let artifacts = produce(
+            &mut staged,
+            &[ArtifactKind::Report],
+            TestIo::Volatile,
+            COUNTER,
+        )
+        .unwrap();
+        drop(staged);
+        // The report forces every validated stage but never emission.
+        assert!(stages.contains(&velus_server::Stage::Generate));
+        assert!(!stages.contains(&velus_server::Stage::Emit), "{stages:?}");
+        let rendered = artifacts[0].1.render();
+        assert!(rendered.contains("\"root\":\"counter\""), "{rendered}");
+        assert!(
+            rendered.contains("\"validated_stages\":[\"elaborate\""),
+            "{rendered}"
+        );
+        assert!(rendered.contains("\"warnings\":[]"), "{rendered}");
+    }
+
+    #[test]
+    fn report_carries_coded_warnings() {
+        let src = "node f(x: int) returns (y: int) let y = pre x; tel";
+        let mut observe = |_: velus_server::Stage, _: std::time::Duration| {};
+        let mut staged = StagedPipeline::from_source(src, None, &mut observe).unwrap();
+        let artifacts =
+            produce(&mut staged, &[ArtifactKind::Report], TestIo::Volatile, src).unwrap();
+        drop(staged);
+        let rendered = artifacts[0].1.render();
+        assert!(rendered.contains("\"code\":\"W0001\""), "{rendered}");
+        assert!(rendered.contains("\"line\":1"), "{rendered}");
     }
 
     #[test]

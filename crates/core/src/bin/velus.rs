@@ -15,9 +15,16 @@
 //!
 //! `--emit KINDS` is a comma-separated artifact set: `c`,
 //! `wcet[:cc|gcc|gcci]`, `baseline`, `nlustre`, `snlustre`, `obc`,
-//! `obc-fused`. A plain `wcet` uses `--model`. Only the pipeline stages
-//! the set needs are run: `--emit wcet` never prints C, `--emit nlustre`
-//! stops after the front-end checks.
+//! `obc-fused`, `report`. A plain `wcet` uses `--model`. Only the
+//! pipeline stages the set needs are run: `--emit wcet` never prints C,
+//! `--emit nlustre` stops after the front-end checks; `--emit report`
+//! serves the per-program validation/diagnostics report as JSON.
+//!
+//! `--error-format human|json` (every command) selects how failures are
+//! rendered: `human` draws carets against the source on stderr, `json`
+//! prints one machine-readable diagnostics object on stdout. Every
+//! diagnostic carries a stable `E…`/`W…` code and its originating
+//! pipeline stage.
 //!
 //! `run` reads one instant of whitespace-separated input values per line
 //! from stdin (`true`/`false` for booleans) and prints the outputs.
@@ -37,6 +44,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use velus::{compile, validate::default_inputs, ArtifactKind, TestIo, VelusError, WcetModelKind};
+use velus_common::{codes, DiagStage, Diagnostic, Diagnostics, SpanMap, ToDiagnostics};
 use velus_nlustre::streams::{SVal, StreamSet};
 use velus_ops::{ClightOps, Literal, Ops};
 
@@ -54,6 +62,16 @@ struct Args {
     passes: usize,
     cache_cap: Option<usize>,
     sched: String,
+    error_format: ErrorFormat,
+}
+
+/// How CLI failures are rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrorFormat {
+    /// Caret rendering against the source, on stderr.
+    Human,
+    /// One machine-readable JSON diagnostics object, on stdout.
+    Json,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         passes: 2,
         cache_cap: None,
         sched: "fifo".to_owned(),
+        error_format: ErrorFormat::Human,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -113,6 +132,14 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--sched" => parsed.sched = args.next().ok_or("missing value for --sched")?,
+            "--error-format" => {
+                let value = args.next().ok_or("missing value for --error-format")?;
+                parsed.error_format = velus_common::parse_enum_flag(
+                    "error format",
+                    &value,
+                    &[("human", ErrorFormat::Human), ("json", ErrorFormat::Json)],
+                )?;
+            }
             other if parsed.file.is_none() && !other.starts_with('-') => {
                 parsed.file = Some(other.to_owned())
             }
@@ -126,8 +153,8 @@ fn usage() -> String {
     "usage: velus <compile|check|run|validate|wcet|dump> FILE [options]
        velus batch DIR [--workers N] [--passes N] [--stdio] [--cache-cap N] [--sched fifo|cost] [--emit KINDS]
 options: --node NAME, -o OUT.c, --steps N, --stdio, --model cc|gcc|gcci,
-         --ir nlustre|snlustre|obc|obc-fused,
-         --emit c,wcet[:cc|gcc|gcci],baseline,nlustre,snlustre,obc,obc-fused"
+         --ir nlustre|snlustre|obc|obc-fused, --error-format human|json,
+         --emit c,wcet[:cc|gcc|gcci],baseline,nlustre,snlustre,obc,obc-fused,report"
         .to_owned()
 }
 
@@ -148,6 +175,31 @@ fn parse_emit(list: &str, default_model: WcetModelKind) -> Result<Vec<ArtifactKi
         })
         .collect();
     velus_server::parse_artifact_kinds(&with_model.join(","))
+}
+
+/// Renders failure diagnostics per `--error-format`. Human mode returns
+/// the caret rendering (for stderr); JSON mode prints the machine-
+/// readable object on stdout and returns an empty message (`main`
+/// prints nothing for empty messages, so stdout stays clean for pipes).
+fn emit_error(diags: &Diagnostics, source: &str, format: ErrorFormat) -> String {
+    match format {
+        ErrorFormat::Human => diags.render_human(source),
+        ErrorFormat::Json => {
+            println!("{}", diags.render_json(source));
+            String::new()
+        }
+    }
+}
+
+/// Prints warnings (stderr in both formats: stdout carries artifacts).
+fn emit_warnings(warnings: &Diagnostics, source: &str, format: ErrorFormat) {
+    if warnings.is_empty() {
+        return;
+    }
+    match format {
+        ErrorFormat::Human => eprint!("{}", warnings.render_human(source)),
+        ErrorFormat::Json => eprintln!("{}", warnings.render_json(source)),
+    }
 }
 
 fn read_file(path: &str) -> Result<String, String> {
@@ -237,8 +289,20 @@ fn run_batch(args: &Args) -> Result<(), String> {
     config.cache.max_entries = args.cache_cap;
     config.schedule = args.sched.parse()?;
     let svc = service(config);
+    // In JSON error mode stdout is reserved for the machine-readable
+    // failure reports; the human table goes to stderr.
+    let json_errors = args.error_format == ErrorFormat::Json;
+    macro_rules! say {
+        ($($arg:tt)*) => {
+            if json_errors {
+                eprintln!($($arg)*);
+            } else {
+                println!($($arg)*);
+            }
+        };
+    }
     let emit_list: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
-    println!(
+    say!(
         "batch: {} programs from {dir}, {} workers, {} pass(es), {} scheduling, emit {}{}",
         requests.len(),
         svc.worker_count(),
@@ -257,7 +321,7 @@ fn run_batch(args: &Args) -> Result<(), String> {
     let mut cold: Vec<Option<Vec<String>>> = vec![None; requests.len()];
     for pass in 0..args.passes {
         let report = svc.compile_batch(requests.clone());
-        println!(
+        say!(
             "\npass {}: {} ok, {} failed, {} cache hits, {:.1} programs/s",
             pass + 1,
             report.ok_count(),
@@ -265,9 +329,13 @@ fn run_batch(args: &Args) -> Result<(), String> {
             report.hit_count(),
             report.throughput()
         );
-        println!(
+        say!(
             "{:<22} {:>8} {:>6} {:>12} {:>10}",
-            "program", "status", "cache", "latency", "bytes"
+            "program",
+            "status",
+            "cache",
+            "latency",
+            "bytes"
         );
         for (k, item) in report.items.iter().enumerate() {
             let (status, cache, bytes) = match &item.result {
@@ -285,7 +353,7 @@ fn run_batch(args: &Args) -> Result<(), String> {
                 }
                 Err(_) => ("error", "-".to_owned(), "-".to_owned()),
             };
-            println!(
+            say!(
                 "{:<22} {:>8} {:>6} {:>12} {:>10}",
                 item.name,
                 status,
@@ -293,6 +361,11 @@ fn run_batch(args: &Args) -> Result<(), String> {
                 format!("{:.2?}", item.latency),
                 bytes
             );
+            // Front-end warnings surface (once, when the pipeline
+            // actually ran) instead of being dropped.
+            for w in &item.warnings {
+                eprintln!("{}: {w}", item.name);
+            }
             match &item.result {
                 Ok(artifacts) => {
                     let rendered: Vec<String> =
@@ -312,7 +385,21 @@ fn run_batch(args: &Args) -> Result<(), String> {
                         }
                     }
                 }
-                Err(ServiceError::Compile(e)) => eprintln!("{}: {e}", item.name),
+                Err(ServiceError::Compile { report, .. }) => match args.error_format {
+                    ErrorFormat::Human => eprintln!("{}: {report}", item.name),
+                    // One attributed object per failing program, on the
+                    // cold pass only (failures are never cached, so
+                    // later passes would just duplicate the stream).
+                    ErrorFormat::Json if pass == 0 => {
+                        let body = report.render_json();
+                        println!(
+                            "{{\"program\":\"{}\",{}",
+                            velus_common::json_escape(&item.name),
+                            &body[1..]
+                        );
+                    }
+                    ErrorFormat::Json => {}
+                },
                 Err(other) => eprintln!("{}: {other}", item.name),
             }
             if item.result.is_err() && pass == 0 {
@@ -320,39 +407,77 @@ fn run_batch(args: &Args) -> Result<(), String> {
             }
         }
         if pass > 0 && report.hit_count() == report.items.len() {
-            println!("warm pass: every artifact served from cache, byte-identical output");
+            say!("warm pass: every artifact served from cache, byte-identical output");
         }
     }
 
-    println!("\nservice statistics:\n{}", svc.stats());
+    say!("\nservice statistics:\n{}", svc.stats());
     if failed > 0 {
-        return Err(format!("{failed} program(s) failed to compile"));
+        // In JSON mode the failures were already printed as attributed
+        // objects on stdout; the empty sentinel keeps the exit code
+        // nonzero without appending a spurious summary object.
+        return Err(if json_errors {
+            String::new()
+        } else {
+            format!("{failed} program(s) failed to compile")
+        });
     }
     Ok(())
 }
 
 fn main_inner() -> Result<(), String> {
     let args = parse_args()?;
+    let result = dispatch(&args);
+    // Usage failures (flag parse errors, unreadable files) reach here
+    // as pre-rendered strings; in JSON mode they must honor the stdout
+    // contract like every other failure. Already-emitted JSON errors
+    // arrive as empty strings and pass through untouched.
+    match (args.error_format, result) {
+        (ErrorFormat::Json, Err(msg)) if !msg.is_empty() => {
+            println!("{}", usage_json(&msg));
+            Err(String::new())
+        }
+        (_, result) => result,
+    }
+}
+
+/// Wraps a pre-rendered usage error as a diagnostics JSON object. The
+/// coded flag parsers prefix their rendering with `error[EXXXX]: `;
+/// that code is recovered, anything else is the generic usage code.
+fn usage_json(msg: &str) -> String {
+    let (code, message) = match msg.strip_prefix("error[").and_then(|rest| {
+        let (id, m) = rest.split_once("]: ")?;
+        velus_common::codes::ALL
+            .iter()
+            .find(|c| c.id == id)
+            .map(|c| (*c, m))
+    }) {
+        Some((code, m)) => (code, m.to_owned()),
+        None => (codes::E0904, msg.to_owned()),
+    };
+    Diagnostics::from(
+        Diagnostic::new(code, message, velus_common::Span::DUMMY).at_stage(DiagStage::Driver),
+    )
+    .render_json("")
+}
+
+fn dispatch(args: &Args) -> Result<(), String> {
     if args.cmd == "batch" {
-        return run_batch(&args);
+        return run_batch(args);
     }
     let file = args.file.as_deref().ok_or_else(usage)?;
     let source = read_file(file)?;
     let node = args.node.as_deref();
 
+    let error_format = args.error_format;
     let render_err = |e: VelusError| -> String {
-        match e {
-            VelusError::Front(d) => d.render(&source),
-            other => other.to_string(),
-        }
+        emit_error(&e.to_diagnostics(&SpanMap::new()), &source, error_format)
     };
 
     match args.cmd.as_str() {
         "check" => {
             let c = compile(&source, node).map_err(render_err)?;
-            for w in c.warnings.iter() {
-                eprintln!("{}", w.render(&source));
-            }
+            emit_warnings(&c.warnings, &source, error_format);
             println!(
                 "ok: {} nodes, {} equations, root {}",
                 c.snlustre.nodes.len(),
@@ -379,11 +504,9 @@ fn main_inner() -> Result<(), String> {
             let mut observe = |_, _| {};
             let mut staged = velus::StagedPipeline::from_source(&source, node, &mut observe)
                 .map_err(render_err)?;
-            for w in staged.warnings().iter() {
-                eprintln!("{}", w.render(&source));
-            }
+            emit_warnings(staged.warnings(), &source, error_format);
             let artifacts =
-                velus::artifacts::produce(&mut staged, &kinds, io).map_err(render_err)?;
+                velus::artifacts::produce(&mut staged, &kinds, io, &source).map_err(render_err)?;
             let mut to_stdout = String::new();
             for (kind, artifact) in &artifacts {
                 // The C artifact honors `-o`; everything else (and C
@@ -405,13 +528,16 @@ fn main_inner() -> Result<(), String> {
             Ok(())
         }
         "dump" => {
+            use velus_server::IrStageKind;
+            // The coded parser (E0901 + did-you-mean), shared with the
+            // `--emit` tokens.
+            let stage: IrStageKind = args.ir.parse()?;
             let c = compile(&source, node).map_err(render_err)?;
-            match args.ir.as_str() {
-                "nlustre" => println!("{}", c.nlustre),
-                "snlustre" => println!("{}", c.snlustre),
-                "obc" => println!("{}", c.obc),
-                "obc-fused" => println!("{}", c.obc_fused),
-                other => return Err(format!("unknown IR `{other}`")),
+            match stage {
+                IrStageKind::NLustre => println!("{}", c.nlustre),
+                IrStageKind::SnLustre => println!("{}", c.snlustre),
+                IrStageKind::Obc => println!("{}", c.obc),
+                IrStageKind::ObcFused => println!("{}", c.obc_fused),
             }
             Ok(())
         }
@@ -436,7 +562,10 @@ fn main_inner() -> Result<(), String> {
                 count += 1;
             }
             let outs = velus_nlustre::dataflow::run_node(&c.snlustre, c.root, &streams, count)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| {
+                    let diags = e.to_diagnostics(&c.spans).tagged(DiagStage::Validate);
+                    emit_error(&diags, &source, error_format)
+                })?;
             for i in 0..count {
                 let row: Vec<String> = outs.iter().map(|s| format!("{}", s[i])).collect();
                 println!("{}", row.join(" "));
@@ -446,8 +575,10 @@ fn main_inner() -> Result<(), String> {
         "validate" => {
             let c = compile(&source, node).map_err(render_err)?;
             let inputs = default_inputs(&c, args.steps);
-            let report =
-                velus::validate_with_report(&c, &inputs, args.steps).map_err(render_err)?;
+            let report = velus::validate_with_report(&c, &inputs, args.steps).map_err(|e| {
+                let diags = e.to_diagnostics(&c.spans).tagged(DiagStage::Validate);
+                emit_error(&diags, &source, error_format)
+            })?;
             println!(
                 "validated {} instants: {} MemCorres checks, {} staterep checks, {} trace events",
                 report.instants,
@@ -465,8 +596,14 @@ fn main_inner() -> Result<(), String> {
             let mut staged = velus::StagedPipeline::from_source(&source, node, &mut observe)
                 .map_err(render_err)?;
             let root = staged.root();
+            let root_span = staged.spans().node_span(root);
             let cycles = velus_wcet::wcet_step(staged.clight().map_err(render_err)?, root, model)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| {
+                // The same E0703/analysis/root-span conversion the
+                // `--emit wcet` artifact path applies — one place.
+                let err = velus::artifacts::analysis_err(root_span, e.to_string());
+                emit_error(&err.to_diagnostics(&SpanMap::new()), &source, error_format)
+            })?;
             println!("{root} step: {cycles} cycles ({})", args.model);
             Ok(())
         }
@@ -480,8 +617,39 @@ fn main() -> ExitCode {
     match velus_common::with_stack(256, main_inner) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("{msg}");
+            // JSON-mode failures were already printed on stdout and
+            // surface here as an empty message: exit nonzero, quietly.
+            if !msg.is_empty() {
+                eprintln!("{msg}");
+            }
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod usage_json_tests {
+    use super::*;
+
+    #[test]
+    fn recovers_the_code_from_coded_flag_errors() {
+        // parse_enum_flag renders through Diagnostic's Display; this
+        // locks the `error[EXXXX]: ` prefix usage_json scrapes — if the
+        // one-line format ever changes, this fails instead of every
+        // coded usage error silently degrading to E0904.
+        let msg =
+            velus_common::parse_enum_flag::<u8>("thing", "bogus", &[("real", 1)]).unwrap_err();
+        let json = usage_json(&msg);
+        assert!(json.contains("\"code\":\"E0901\""), "{json}");
+        assert!(
+            !json.contains("error[E0901]"),
+            "prefix must be stripped: {json}"
+        );
+    }
+
+    #[test]
+    fn uncoded_messages_fall_back_to_the_generic_usage_code() {
+        let json = usage_json("cannot read nope.lus: not found");
+        assert!(json.contains("\"code\":\"E0904\""), "{json}");
     }
 }

@@ -26,7 +26,7 @@
 use std::time::Instant;
 
 use velus_clight::printer::TestIo;
-use velus_common::{Diagnostics, Ident};
+use velus_common::{codes, DiagStage, Diagnostic, Diagnostics, Ident, Span, SpanMap};
 use velus_nlustre::ast::Program;
 use velus_nlustre::{clockcheck, typecheck};
 use velus_obc::ast::ObcProgram;
@@ -41,6 +41,20 @@ use crate::VelusError;
 /// *and* its re-validation hook — validation is part of the pass, not
 /// an optional extra).
 pub type StageObserver<'a> = &'a mut dyn FnMut(Stage, std::time::Duration);
+
+/// The diagnostic stage a statistics [`Stage`] maps to, for the stage
+/// tag the pass manager stamps on every failure.
+pub fn diag_stage(stage: Stage) -> DiagStage {
+    match stage {
+        Stage::Frontend => DiagStage::Elaborate,
+        Stage::Check => DiagStage::Check,
+        Stage::Schedule => DiagStage::Schedule,
+        Stage::Translate => DiagStage::Translate,
+        Stage::Fuse => DiagStage::Fuse,
+        Stage::Generate => DiagStage::Generate,
+        Stage::Emit => DiagStage::Emit,
+    }
+}
 
 /// One named, typed compiler pass.
 ///
@@ -90,6 +104,12 @@ impl<'o> PassManager<'o> {
 
     /// Runs one pass: transformation, then re-validation, timing both.
     ///
+    /// Failures leave this method **structured**: the layer error is
+    /// converted to coded diagnostics ([`VelusError::Diag`]), its
+    /// node/equation context resolved to source spans through `spans`,
+    /// and every diagnostic that does not already know a finer stage is
+    /// tagged with this pass's stage.
+    ///
     /// # Errors
     ///
     /// The pass's own failure or its postcondition check.
@@ -97,12 +117,20 @@ impl<'o> PassManager<'o> {
         &mut self,
         pass: &P,
         input: P::Input,
+        spans: &SpanMap,
     ) -> Result<P::Output, VelusError> {
         let start = Instant::now();
-        let output = pass.run(input)?;
-        pass.revalidate(&output)?;
-        (self.observe)(P::STAGE, start.elapsed());
-        Ok(output)
+        let result = pass.run(input).and_then(|output| {
+            pass.revalidate(&output)?;
+            Ok(output)
+        });
+        match result {
+            Ok(output) => {
+                (self.observe)(P::STAGE, start.elapsed());
+                Ok(output)
+            }
+            Err(e) => Err(e.into_structured(spans, diag_stage(P::STAGE))),
+        }
     }
 }
 
@@ -127,7 +155,8 @@ pub struct FrontendInput<'a> {
 }
 
 /// Output of the front end: the elaborated program, the resolved root,
-/// and the front-end warnings.
+/// the front-end warnings, and the source spans of every node and
+/// equation (what lets later stages report real positions).
 #[derive(Debug, Clone)]
 pub struct Elaborated {
     /// Elaborated, normalized, unscheduled N-Lustre.
@@ -136,6 +165,8 @@ pub struct Elaborated {
     pub root: Ident,
     /// Front-end warnings (e.g. the initialization lint).
     pub warnings: Diagnostics,
+    /// Node/equation source spans recorded by the elaborator.
+    pub spans: SpanMap,
 }
 
 /// Picks the default root node: a node never instantiated by another
@@ -169,24 +200,38 @@ impl<'a> Pass<'a> for ElaboratePass {
     const NAME: &'static str = "elaborate";
 
     fn run(&self, input: FrontendInput<'a>) -> Result<Elaborated, VelusError> {
-        let (nlustre, warnings) = velus_lustre::compile_to_nlustre::<ClightOps>(input.source)?;
+        let front = velus_lustre::frontend::<ClightOps>(input.source)?;
+        let (nlustre, warnings, spans) = (front.program, front.warnings, front.spans);
         let root = match input.root {
             Some(r) => {
                 let root = Ident::new(r);
                 if nlustre.node(root).is_none() {
-                    return Err(VelusError::Usage(format!("no node named {root}")));
+                    return Err(unknown_root(root));
                 }
                 root
             }
-            None => default_root(&nlustre)
-                .ok_or_else(|| VelusError::Usage("program has no nodes".to_owned()))?,
+            None => default_root(&nlustre).ok_or_else(|| {
+                VelusError::Diag(Diagnostics::from(
+                    Diagnostic::error(codes::E0903, "program has no nodes", Span::DUMMY)
+                        .at_stage(DiagStage::Driver),
+                ))
+            })?,
         };
         Ok(Elaborated {
             nlustre,
             root,
             warnings,
+            spans,
         })
     }
+}
+
+/// The coded form of "no node named `root`".
+fn unknown_root(root: Ident) -> VelusError {
+    VelusError::Diag(Diagnostics::from(
+        Diagnostic::error(codes::E0902, format!("no node named {root}"), Span::DUMMY)
+            .at_stage(DiagStage::Driver),
+    ))
 }
 
 /// Re-check the elaborator's postconditions (typing and clocking) on an
@@ -360,6 +405,7 @@ pub struct StagedPipeline<'o> {
     nlustre: Program<ClightOps>,
     root: Ident,
     warnings: Diagnostics,
+    spans: SpanMap,
     snlustre: Option<Program<ClightOps>>,
     obc: Option<ObcProgram<ClightOps>>,
     obc_fused: Option<ObcProgram<ClightOps>>,
@@ -380,7 +426,11 @@ impl<'o> StagedPipeline<'o> {
         observe: StageObserver<'o>,
     ) -> Result<StagedPipeline<'o>, VelusError> {
         let mut pm = PassManager::new(observe);
-        let elaborated = pm.run(&ElaboratePass, FrontendInput { source, root })?;
+        let elaborated = pm.run(
+            &ElaboratePass,
+            FrontendInput { source, root },
+            &SpanMap::new(),
+        )?;
         Self::from_elaborated(elaborated, pm)
     }
 
@@ -398,13 +448,14 @@ impl<'o> StagedPipeline<'o> {
         observe: StageObserver<'o>,
     ) -> Result<StagedPipeline<'o>, VelusError> {
         if nlustre.node(root).is_none() {
-            return Err(VelusError::Usage(format!("no node named {root}")));
+            return Err(unknown_root(root));
         }
         Self::from_elaborated(
             Elaborated {
                 nlustre,
                 root,
                 warnings,
+                spans: SpanMap::new(),
             },
             PassManager::new(observe),
         )
@@ -414,12 +465,13 @@ impl<'o> StagedPipeline<'o> {
         elaborated: Elaborated,
         mut pm: PassManager<'o>,
     ) -> Result<StagedPipeline<'o>, VelusError> {
-        let nlustre = pm.run(&CheckPass, elaborated.nlustre)?;
+        let nlustre = pm.run(&CheckPass, elaborated.nlustre, &elaborated.spans)?;
         Ok(StagedPipeline {
             pm,
             nlustre,
             root: elaborated.root,
             warnings: elaborated.warnings,
+            spans: elaborated.spans,
             snlustre: None,
             obc: None,
             obc_fused: None,
@@ -430,6 +482,12 @@ impl<'o> StagedPipeline<'o> {
     /// The resolved root node.
     pub fn root(&self) -> Ident {
         self.root
+    }
+
+    /// The node/equation source spans recorded by the elaborator (empty
+    /// when the pipeline started from an already-elaborated program).
+    pub fn spans(&self) -> &SpanMap {
+        &self.spans
     }
 
     /// The front-end warnings.
@@ -449,7 +507,9 @@ impl<'o> StagedPipeline<'o> {
     /// Scheduling failures or a failed schedule re-check.
     pub fn snlustre(&mut self) -> Result<&Program<ClightOps>, VelusError> {
         if self.snlustre.is_none() {
-            let scheduled = self.pm.run(&SchedulePass, self.nlustre.clone())?;
+            let scheduled = self
+                .pm
+                .run(&SchedulePass, self.nlustre.clone(), &self.spans)?;
             self.snlustre = Some(scheduled);
         }
         Ok(self.snlustre.as_ref().expect("just scheduled"))
@@ -463,9 +523,11 @@ impl<'o> StagedPipeline<'o> {
     pub fn obc(&mut self) -> Result<&ObcProgram<ClightOps>, VelusError> {
         if self.obc.is_none() {
             self.snlustre()?;
-            let obc = self
-                .pm
-                .run(&TranslatePass, self.snlustre.as_ref().expect("scheduled"))?;
+            let obc = self.pm.run(
+                &TranslatePass,
+                self.snlustre.as_ref().expect("scheduled"),
+                &self.spans,
+            )?;
             self.obc = Some(obc);
         }
         Ok(self.obc.as_ref().expect("just translated"))
@@ -479,9 +541,11 @@ impl<'o> StagedPipeline<'o> {
     pub fn obc_fused(&mut self) -> Result<&ObcProgram<ClightOps>, VelusError> {
         if self.obc_fused.is_none() {
             self.obc()?;
-            let fused = self
-                .pm
-                .run(&FusePass, self.obc.as_ref().expect("translated"))?;
+            let fused = self.pm.run(
+                &FusePass,
+                self.obc.as_ref().expect("translated"),
+                &self.spans,
+            )?;
             self.obc_fused = Some(fused);
         }
         Ok(self.obc_fused.as_ref().expect("just fused"))
@@ -501,6 +565,7 @@ impl<'o> StagedPipeline<'o> {
                     obc_fused: self.obc_fused.as_ref().expect("fused"),
                     root: self.root,
                 },
+                &self.spans,
             )?;
             self.clight = Some(clight);
         }
@@ -522,6 +587,7 @@ impl<'o> StagedPipeline<'o> {
                 clight: self.clight.as_ref().expect("generated"),
                 io,
             },
+            &self.spans,
         )
     }
 
@@ -540,6 +606,7 @@ impl<'o> StagedPipeline<'o> {
             clight: self.clight.expect("forced"),
             root: self.root,
             warnings: self.warnings,
+            spans: self.spans,
         })
     }
 }
@@ -617,7 +684,7 @@ mod tests {
         // And the SchedulePass both fixes and re-validates it.
         let mut observe = |_: Stage, _: std::time::Duration| {};
         let mut pm = PassManager::new(&mut observe);
-        let scheduled = pm.run(&SchedulePass, prog).unwrap();
+        let scheduled = pm.run(&SchedulePass, prog, &SpanMap::new()).unwrap();
         scheduled
             .nodes
             .iter()

@@ -9,7 +9,7 @@
 //! [`StagedPipeline`] directly and stop early.
 
 use velus_clight::printer::TestIo;
-use velus_common::{Diagnostics, Ident};
+use velus_common::{Diagnostics, Ident, SpanMap};
 use velus_nlustre::ast::Program;
 use velus_obc::ast::ObcProgram;
 use velus_ops::ClightOps;
@@ -36,6 +36,9 @@ pub struct Compiled {
     pub root: Ident,
     /// Front-end warnings (e.g. the initialization lint).
     pub warnings: Diagnostics,
+    /// Node/equation source spans (for rendering later failures, e.g.
+    /// validation mismatches, against the source).
+    pub spans: SpanMap,
 }
 
 /// Compiles Lustre source text down to Clight.

@@ -27,7 +27,8 @@
 //! re-caches) C, a mixed request runs the shared pipeline prefix once.
 
 use velus_clight::printer::TestIo;
-use velus_server::{ArtifactKind, CompileRequest, Compiler, IoMode, StageSample};
+use velus_common::{DiagRecord, FailureReport, SpanMap, ToDiagnostics};
+use velus_server::{ArtifactKind, CompileOutput, CompileRequest, Compiler, IoMode};
 
 use crate::artifacts::{produce, ServiceArtifact};
 use crate::passes::StagedPipeline;
@@ -48,10 +49,10 @@ impl Compiler for PipelineCompiler {
         &self,
         req: &CompileRequest,
         kinds: &[ArtifactKind],
-    ) -> Result<(Vec<(ArtifactKind, ServiceArtifact)>, Vec<StageSample>), VelusError> {
-        let mut samples: Vec<StageSample> = Vec::new();
+    ) -> Result<CompileOutput<ServiceArtifact>, VelusError> {
+        let mut samples: Vec<velus_server::StageSample> = Vec::new();
         let mut observe = |stage, dur: std::time::Duration| {
-            samples.push(StageSample {
+            samples.push(velus_server::StageSample {
                 stage,
                 nanos: dur.as_nanos() as u64,
             });
@@ -62,9 +63,24 @@ impl Compiler for PipelineCompiler {
         };
         let mut staged =
             StagedPipeline::from_source(&req.source, req.root.as_deref(), &mut observe)?;
-        let artifacts = produce(&mut staged, kinds, io)?;
+        let artifacts = produce(&mut staged, kinds, io, &req.source)?;
+        // Front-end warnings ride the output instead of being dropped:
+        // the service counts them and the batch CLI prints them.
+        let warnings: Vec<DiagRecord> = staged
+            .warnings()
+            .iter()
+            .map(|w| DiagRecord::of(w, &req.source))
+            .collect();
         drop(staged);
-        Ok((artifacts, samples))
+        Ok(CompileOutput::new(artifacts, samples).with_warnings(warnings))
+    }
+
+    /// Failures leave the staged pipeline already structured
+    /// ([`VelusError::Diag`], coded and stage-tagged with spans
+    /// resolved); flattening against the request source yields the
+    /// service's [`FailureReport`].
+    fn failure_report(&self, req: &CompileRequest, err: &VelusError) -> FailureReport {
+        FailureReport::from_diagnostics(&err.to_diagnostics(&SpanMap::new()), &req.source)
     }
 
     /// Pre-scan cost estimate: source bytes plus a weighted count of
@@ -172,21 +188,21 @@ mod tests {
 
     #[test]
     fn pipeline_compiler_reports_every_stage_for_c() {
-        let (artifacts, samples) = PipelineCompiler
+        let output = PipelineCompiler
             .compile(
                 &CompileRequest::new("counter", COUNTER),
                 &[ArtifactKind::CCode],
             )
             .unwrap();
-        let reported: Vec<Stage> = samples.iter().map(|s| s.stage).collect();
+        let reported: Vec<Stage> = output.samples.iter().map(|s| s.stage).collect();
         assert_eq!(reported, Stage::ALL.to_vec());
-        let c_code = artifacts[0].1.c_code().unwrap();
+        let c_code = output.artifacts[0].1.c_code().unwrap();
         assert!(c_code.contains("counter__step"), "{c_code}");
     }
 
     #[test]
     fn wcet_only_compilation_skips_emission() {
-        let (artifacts, samples) = PipelineCompiler
+        let output = PipelineCompiler
             .compile(
                 &CompileRequest::new("counter", COUNTER),
                 &[ArtifactKind::Wcet {
@@ -194,8 +210,8 @@ mod tests {
                 }],
             )
             .unwrap();
-        assert!(samples.iter().all(|s| s.stage != Stage::Emit));
-        assert!(artifacts[0].1.c_code().is_none());
+        assert!(output.samples.iter().all(|s| s.stage != Stage::Emit));
+        assert!(output.artifacts[0].1.c_code().is_none());
     }
 
     #[test]
@@ -270,7 +286,7 @@ mod tests {
                 stage: IrStageKind::ObcFused,
             },
         ];
-        let (artifacts, _) = PipelineCompiler.compile(&req, &kinds).unwrap();
+        let artifacts = PipelineCompiler.compile(&req, &kinds).unwrap().artifacts;
         let bytes_of = |kind: &ArtifactKind| {
             artifacts
                 .iter()

@@ -388,3 +388,92 @@ fn batch_reports_failures_without_aborting_the_sweep() {
     assert!(stdout.contains("good"), "{stdout}");
     assert!(stdout.contains("bad"), "{stdout}");
 }
+
+/// Writes `source` to a temp `.lus` file and returns its path.
+fn temp_lus(name: &str, source: &str) -> String {
+    let path = std::env::temp_dir().join(format!("velus-cli-{name}.lus"));
+    std::fs::write(&path, source).unwrap();
+    path.display().to_string()
+}
+
+#[test]
+fn error_format_json_emits_machine_readable_diagnostics() {
+    let file = temp_lus(
+        "unknown-var",
+        "node f(x: int) returns (y: int)\nlet y = z + 1; tel\n",
+    );
+    let out = Command::new(velus_bin())
+        .args(["compile", &file, "--error-format", "json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One JSON object on stdout; nothing duplicated on stderr.
+    assert!(stdout.trim_end().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"code\":\"E0201\""), "{stdout}");
+    assert!(stdout.contains("\"stage\":\"elaborate\""), "{stdout}");
+    assert!(stdout.contains("\"line\":2"), "{stdout}");
+    assert!(
+        out.stderr.is_empty(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn scheduling_cycles_point_at_the_offending_equation() {
+    let file = temp_lus(
+        "cycle",
+        "node f(x: int) returns (y: int)\nvar a, b: int;\nlet\n  a = b + x;\n  b = a;\n  y = a;\ntel\n",
+    );
+    let out = Command::new(velus_bin())
+        .args(["compile", &file])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The mid-end failure carries its code, stage, and a *source* span:
+    // the caret points at the first equation on the cycle.
+    assert!(stderr.contains("error[E0408]"), "{stderr}");
+    assert!(stderr.contains("(schedule)"), "{stderr}");
+    assert!(stderr.contains(" --> 4:3"), "{stderr}");
+    assert!(stderr.contains("a = b + x;"), "{stderr}");
+}
+
+#[test]
+fn emit_report_serves_the_validation_report_as_json() {
+    let out = Command::new(velus_bin())
+        .args([
+            "compile",
+            &tracker_path(),
+            "--node",
+            "tracker",
+            "--emit",
+            "report",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"root\":\"tracker\""), "{stdout}");
+    assert!(
+        stdout.contains("\"validated_stages\":[\"elaborate\""),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn misspelled_flag_tokens_get_a_did_you_mean() {
+    let out = Command::new(velus_bin())
+        .args(["compile", &tracker_path(), "--emit", "reprot"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[E0901]"), "{stderr}");
+    assert!(stderr.contains("did you mean `report`"), "{stderr}");
+}

@@ -17,7 +17,7 @@
 //! them (callees first) and rejects recursion — the paper's "nodes are not
 //! applied circularly".
 
-use velus_common::{Diagnostic, Diagnostics, Ident, IdentMap, Span};
+use velus_common::{codes, DiagStage, Diagnostic, Diagnostics, Ident, IdentMap, Span};
 use velus_nlustre::clock::Clock;
 use velus_ops::{Literal, Ops, SurfaceBinOp, SurfaceUnOp};
 
@@ -73,6 +73,10 @@ pub struct TEquation<O: Ops> {
     pub ck: Clock,
     /// Typed right-hand side.
     pub rhs: TExpr<O>,
+    /// The source equation's span (threaded into the
+    /// [`velus_common::SpanMap`] by normalization so mid-end failures
+    /// point back here).
+    pub span: Span,
 }
 
 /// A typed node.
@@ -88,6 +92,8 @@ pub struct TNode<O: Ops> {
     pub locals: Vec<velus_nlustre::ast::VarDecl<O>>,
     /// Typed equations.
     pub eqs: Vec<TEquation<O>>,
+    /// The node header's span.
+    pub span: Span,
 }
 
 /// A typed program, nodes in dependency order (callees first).
@@ -133,8 +139,10 @@ struct Elab<'a, O: Ops> {
 
 type EResult<T> = Result<T, Diagnostics>;
 
-fn err<T>(msg: impl Into<String>, span: Span) -> EResult<T> {
-    Err(Diagnostics::from(Diagnostic::error(msg, span)))
+fn err<T>(code: velus_common::Code, msg: impl Into<String>, span: Span) -> EResult<T> {
+    Err(Diagnostics::from(
+        Diagnostic::error(code, msg, span).at_stage(DiagStage::Elaborate),
+    ))
 }
 
 impl<O: Ops> Elab<'_, O> {
@@ -144,21 +152,29 @@ impl<O: Ops> Elab<'_, O> {
         use PTy::*;
         match (a, b) {
             (Known(x), Known(y)) if x == y => Ok(Known(x)),
-            (Known(x), Known(y)) => err(format!("type mismatch: {x} vs {y}"), span),
+            (Known(x), Known(y)) => err(codes::E0202, format!("type mismatch: {x} vs {y}"), span),
             (IntLit, IntLit) => Ok(IntLit),
             (FloatLit, FloatLit) | (IntLit, FloatLit) | (FloatLit, IntLit) => Ok(FloatLit),
             (IntLit, Known(t)) | (Known(t), IntLit) => {
                 if O::const_of_literal(&Literal::Int(0), &t).is_some() {
                     Ok(Known(t))
                 } else {
-                    err(format!("integer literal used at type {t}"), span)
+                    err(
+                        codes::E0207,
+                        format!("integer literal used at type {t}"),
+                        span,
+                    )
                 }
             }
             (FloatLit, Known(t)) | (Known(t), FloatLit) => {
                 if O::const_of_literal(&Literal::Float(0.0), &t).is_some() {
                     Ok(Known(t))
                 } else {
-                    err(format!("float literal used at type {t}"), span)
+                    err(
+                        codes::E0207,
+                        format!("float literal used at type {t}"),
+                        span,
+                    )
                 }
             }
         }
@@ -167,12 +183,20 @@ impl<O: Ops> Elab<'_, O> {
     fn resolve(&self, p: PTy<O>, span: Span) -> EResult<O::Ty> {
         match p {
             PTy::Known(t) => Ok(t),
-            PTy::IntLit => O::type_of_name("int")
-                .ok_or(())
-                .or_else(|_| err("no default integer type in this operator interface", span)),
-            PTy::FloatLit => O::type_of_name("real")
-                .ok_or(())
-                .or_else(|_| err("no default real type in this operator interface", span)),
+            PTy::IntLit => O::type_of_name("int").ok_or(()).or_else(|_| {
+                err(
+                    codes::E0215,
+                    "no default integer type in this operator interface",
+                    span,
+                )
+            }),
+            PTy::FloatLit => O::type_of_name("real").ok_or(()).or_else(|_| {
+                err(
+                    codes::E0215,
+                    "no default real type in this operator interface",
+                    span,
+                )
+            }),
         }
     }
 
@@ -183,7 +207,7 @@ impl<O: Ops> Elab<'_, O> {
         if let Some(c) = self.env.consts.get(&x) {
             return Ok(PTy::Known(O::type_of_const(c)));
         }
-        err(format!("unknown variable {x}"), span)
+        err(codes::E0201, format!("unknown variable {x}"), span)
     }
 
     /// Infers a partial type bottom-up (used where no expectation exists).
@@ -226,6 +250,7 @@ impl<O: Ops> Elab<'_, O> {
                 match self.env.sigs.get(f) {
                     Some((_, outs)) if outs.len() == 1 => Ok(PTy::Known(outs[0].1.clone())),
                     Some((_, outs)) => err(
+                        codes::E0214,
                         format!(
                             "node {f} has {} outputs; tuple calls only at equation level",
                             outs.len()
@@ -234,7 +259,7 @@ impl<O: Ops> Elab<'_, O> {
                     ),
                     None => {
                         let _ = args;
-                        err(format!("unknown node or type {f}"), *s)
+                        err(codes::E0203, format!("unknown node or type {f}"), *s)
                     }
                 }
             }
@@ -249,7 +274,11 @@ impl<O: Ops> Elab<'_, O> {
         match e {
             UExpr::Lit(lit, s) => match O::const_of_literal(lit, expected) {
                 Some(c) => Ok(TExpr::Const(c)),
-                None => err(format!("literal {lit} does not fit type {expected}"), *s),
+                None => err(
+                    codes::E0207,
+                    format!("literal {lit} does not fit type {expected}"),
+                    *s,
+                ),
             },
             UExpr::Var(x, s) => {
                 if let Some((t, _)) = self.env.vars.get(x) {
@@ -257,6 +286,7 @@ impl<O: Ops> Elab<'_, O> {
                         Ok(TExpr::Var(*x, t.clone()))
                     } else {
                         err(
+                            codes::E0202,
                             format!("variable {x} has type {t}, expected {expected}"),
                             *s,
                         )
@@ -266,6 +296,7 @@ impl<O: Ops> Elab<'_, O> {
                         Ok(TExpr::Const(c.clone()))
                     } else {
                         err(
+                            codes::E0202,
                             format!(
                                 "constant {x} has type {}, expected {expected}",
                                 O::type_of_const(c)
@@ -274,7 +305,7 @@ impl<O: Ops> Elab<'_, O> {
                         )
                     }
                 } else {
-                    err(format!("unknown variable {x}"), *s)
+                    err(codes::E0201, format!("unknown variable {x}"), *s)
                 }
             }
             UExpr::Unop(sop, e1, s) => {
@@ -286,10 +317,12 @@ impl<O: Ops> Elab<'_, O> {
                 match O::elab_unop(*sop, &operand_ty) {
                     Some((op, rty)) if rty == *expected => Ok(TExpr::Unop(op, Box::new(te), rty)),
                     Some((_, rty)) => err(
+                        codes::E0202,
                         format!("operator {sop} yields {rty}, expected {expected}"),
                         *s,
                     ),
                     None => err(
+                        codes::E0208,
                         format!("operator {sop} inapplicable at type {operand_ty}"),
                         *s,
                     ),
@@ -314,10 +347,12 @@ impl<O: Ops> Elab<'_, O> {
                         Ok(TExpr::Binop(op, Box::new(tl), Box::new(tr), rty))
                     }
                     Some((_, rty)) => err(
+                        codes::E0202,
                         format!("operator {sop} yields {rty}, expected {expected}"),
                         *s,
                     ),
                     None => err(
+                        codes::E0208,
                         format!("operator {sop} inapplicable at type {operand_ty}"),
                         *s,
                     ),
@@ -353,10 +388,14 @@ impl<O: Ops> Elab<'_, O> {
             }
             UExpr::Pre(e1, s) => {
                 if !initialized {
-                    self.warnings.push(Diagnostic::warning(
-                        "`pre` may be read before initialization; consider `e -> pre …`",
-                        *s,
-                    ));
+                    self.warnings.push(
+                        Diagnostic::warning(
+                            codes::W0001,
+                            "`pre` may be read before initialization; consider `e -> pre …`",
+                            *s,
+                        )
+                        .at_stage(DiagStage::Elaborate),
+                    );
                 }
                 let te = self.build(e1, expected, initialized)?;
                 Ok(TExpr::Fby(O::default_const(expected), Box::new(te)))
@@ -365,25 +404,34 @@ impl<O: Ops> Elab<'_, O> {
                 // Type cast?
                 if let Some(to) = O::type_of_name(f.as_str()) {
                     if args.len() != 1 {
-                        return err(format!("cast {f}(…) takes exactly one argument"), *s);
+                        return err(
+                            codes::E0204,
+                            format!("cast {f}(…) takes exactly one argument"),
+                            *s,
+                        );
                     }
                     if to != *expected {
-                        return err(format!("cast to {to} used at type {expected}"), *s);
+                        return err(
+                            codes::E0202,
+                            format!("cast to {to} used at type {expected}"),
+                            *s,
+                        );
                     }
                     let from_p = self.infer(&args[0])?;
                     let from = self.resolve(from_p, *s)?;
                     let te = self.build(&args[0], &from, initialized)?;
                     return match O::elab_cast(&from, &to) {
                         Some(op) => Ok(TExpr::Unop(op, Box::new(te), to)),
-                        None => err(format!("no cast from {from} to {to}"), *s),
+                        None => err(codes::E0208, format!("no cast from {from} to {to}"), *s),
                     };
                 }
                 let (ins, outs) = match self.env.sigs.get(f) {
                     Some(sig) => sig.clone(),
-                    None => return err(format!("unknown node or type {f}"), *s),
+                    None => return err(codes::E0203, format!("unknown node or type {f}"), *s),
                 };
                 if outs.len() != 1 {
                     return err(
+                        codes::E0214,
                         format!(
                             "node {f} has {} outputs; tuple calls only at equation level",
                             outs.len()
@@ -393,6 +441,7 @@ impl<O: Ops> Elab<'_, O> {
                 }
                 if outs[0].1 != *expected {
                     return err(
+                        codes::E0202,
                         format!("node {f} returns {}, expected {expected}", outs[0].1),
                         *s,
                     );
@@ -413,6 +462,7 @@ impl<O: Ops> Elab<'_, O> {
     ) -> EResult<Vec<TExpr<O>>> {
         if ins.len() != args.len() {
             return err(
+                codes::E0204,
                 format!(
                     "node {f} takes {} arguments, {} given",
                     ins.len(),
@@ -430,8 +480,12 @@ impl<O: Ops> Elab<'_, O> {
     fn require_bool_var(&self, x: Ident, span: Span) -> EResult<()> {
         match self.env.vars.get(&x) {
             Some((t, _)) if *t == O::bool_type() => Ok(()),
-            Some((t, _)) => err(format!("sampler {x} has type {t}, expected bool"), span),
-            None => err(format!("unknown variable {x}"), span),
+            Some((t, _)) => err(
+                codes::E0302,
+                format!("sampler {x} has type {t}, expected bool"),
+                span,
+            ),
+            None => err(codes::E0201, format!("unknown variable {x}"), span),
         }
     }
 
@@ -439,12 +493,17 @@ impl<O: Ops> Elab<'_, O> {
     /// or global constant) at the expected type.
     fn const_value(&self, e: &UExpr, expected: &O::Ty) -> EResult<O::Const> {
         match e {
-            UExpr::Lit(lit, s) => O::const_of_literal(lit, expected)
-                .ok_or(())
-                .or_else(|_| err(format!("literal {lit} does not fit type {expected}"), *s)),
+            UExpr::Lit(lit, s) => O::const_of_literal(lit, expected).ok_or(()).or_else(|_| {
+                err(
+                    codes::E0207,
+                    format!("literal {lit} does not fit type {expected}"),
+                    *s,
+                )
+            }),
             UExpr::Var(x, s) => match self.env.consts.get(x) {
                 Some(c) if O::type_of_const(c) == *expected => Ok(c.clone()),
                 Some(c) => err(
+                    codes::E0202,
                     format!(
                         "constant {x} has type {}, expected {expected}",
                         O::type_of_const(c)
@@ -452,11 +511,13 @@ impl<O: Ops> Elab<'_, O> {
                     *s,
                 ),
                 None => err(
+                    codes::E0209,
                     format!("`fby` initial value must be a constant, found variable {x}"),
                     *s,
                 ),
             },
             other => err(
+                codes::E0209,
                 "`fby` initial value must be a constant expression",
                 other.span(),
             ),
@@ -477,6 +538,7 @@ impl<O: Ops> Elab<'_, O> {
                     Ok(())
                 } else {
                     err(
+                        codes::E0301,
                         format!("variable {x} on clock `{cx}`, expected `{ck}`"),
                         span,
                     )
@@ -492,7 +554,11 @@ impl<O: Ops> Elab<'_, O> {
                     self.check_var_clock(*x, parent, span)?;
                     self.check_clock(e1, parent, span)
                 }
-                _ => err(format!("`… when {x}` used at clock `{ck}`"), span),
+                _ => err(
+                    codes::E0301,
+                    format!("`… when {x}` used at clock `{ck}`"),
+                    span,
+                ),
             },
             TExpr::Merge(x, t, f) => {
                 self.check_var_clock(*x, ck, span)?;
@@ -522,10 +588,11 @@ impl<O: Ops> Elab<'_, O> {
         match self.env.vars.get(&x) {
             Some((_, cx)) if cx == ck => Ok(()),
             Some((_, cx)) => err(
+                codes::E0301,
                 format!("variable {x} on clock `{cx}`, expected `{ck}`"),
                 span,
             ),
-            None => err(format!("unknown variable {x}"), span),
+            None => err(codes::E0201, format!("unknown variable {x}"), span),
         }
     }
 }
@@ -539,19 +606,21 @@ fn elab_clock<O: Ops>(uclock: &UClock, vars: &VarMap<O>, span: Span) -> EResult<
                 Some((t, cx)) => {
                     if *t != O::bool_type() {
                         return err(
+                            codes::E0302,
                             format!("clock variable {x} has type {t}, expected bool"),
                             span,
                         );
                     }
                     if *cx != p {
                         return err(
+                            codes::E0301,
                             format!("clock variable {x} lives on `{cx}`, expected `{p}`"),
                             span,
                         );
                     }
                     Ok(p.on(*x, *k))
                 }
-                None => err(format!("unknown clock variable {x}"), span),
+                None => err(codes::E0303, format!("unknown clock variable {x}"), span),
             }
         }
     }
@@ -597,7 +666,11 @@ fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
     if index.len() != prog.nodes.len() {
         for (i, n) in prog.nodes.iter().enumerate() {
             if index[&n.name] != i {
-                return err(format!("duplicate node name {}", n.name), n.span);
+                return err(
+                    codes::E0216,
+                    format!("duplicate node name {}", n.name),
+                    n.span,
+                );
             }
         }
     }
@@ -621,6 +694,7 @@ fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
             Mark::Black => return Ok(()),
             Mark::Grey => {
                 return err(
+                    codes::E0211,
                     format!(
                         "recursive node instantiation through {}",
                         prog.nodes[i].name
@@ -660,10 +734,14 @@ fn elab_decls<O: Ops>(groups: [&[UDecl]; 3]) -> EResult<ElabDecls<O>> {
     for d in groups.iter().flat_map(|g| g.iter()) {
         let ty = match O::type_of_name(d.ty_name.as_str()) {
             Some(t) => t,
-            None => return err(format!("unknown type {}", d.ty_name), d.span),
+            None => return err(codes::E0215, format!("unknown type {}", d.ty_name), d.span),
         };
         if tys.insert(d.name, ty).is_some() {
-            return err(format!("duplicate declaration of {}", d.name), d.span);
+            return err(
+                codes::E0210,
+                format!("duplicate declaration of {}", d.name),
+                d.span,
+            );
         }
     }
     // Second pass: resolve clocks. Clocks may be declared in dependency
@@ -716,13 +794,18 @@ fn elab_node<O: Ops>(
     for d in inputs.iter().chain(&outputs) {
         if d.ck != Clock::Base {
             return err(
+                codes::E0304,
                 format!("interface variable {} must be on the base clock", d.name),
                 unode.span,
             );
         }
     }
     if outputs.is_empty() {
-        return err(format!("node {} has no outputs", unode.name), unode.span);
+        return err(
+            codes::E0212,
+            format!("node {} has no outputs", unode.name),
+            unode.span,
+        );
     }
 
     let mut elab = Elab::<O> {
@@ -739,23 +822,32 @@ fn elab_node<O: Ops>(
         for x in &ueq.lhs {
             let (_, cx) = match elab.env.vars.get(x) {
                 Some(v) => v.clone(),
-                None => return err(format!("unknown variable {x}"), ueq.span),
+                None => return err(codes::E0201, format!("unknown variable {x}"), ueq.span),
             };
             match &lhs_ck {
                 None => lhs_ck = Some(cx),
                 Some(c) if *c == cx => {}
                 Some(c) => {
                     return err(
+                        codes::E0305,
                         format!("tuple pattern mixes clocks `{c}` and `{cx}`"),
                         ueq.span,
                     )
                 }
             }
             if defined.contains(x) {
-                return err(format!("variable {x} defined twice"), ueq.span);
+                return err(
+                    codes::E0205,
+                    format!("variable {x} defined twice"),
+                    ueq.span,
+                );
             }
             if inputs.iter().any(|d| d.name == *x) {
-                return err(format!("input {x} cannot be defined"), ueq.span);
+                return err(
+                    codes::E0213,
+                    format!("input {x} cannot be defined"),
+                    ueq.span,
+                );
             }
             defined.push(*x);
         }
@@ -766,14 +858,15 @@ fn elab_node<O: Ops>(
             match &ueq.rhs {
                 UExpr::Call(f, args, s) => {
                     if O::type_of_name(f.as_str()).is_some() {
-                        return err("a cast returns a single value", *s);
+                        return err(codes::E0214, "a cast returns a single value", *s);
                     }
                     let (ins, outs) = match elab.env.sigs.get(f) {
                         Some(sig) => sig.clone(),
-                        None => return err(format!("unknown node {f}"), *s),
+                        None => return err(codes::E0203, format!("unknown node {f}"), *s),
                     };
                     if outs.len() != ueq.lhs.len() {
                         return err(
+                            codes::E0214,
                             format!(
                                 "node {f} has {} outputs, pattern binds {}",
                                 outs.len(),
@@ -786,6 +879,7 @@ fn elab_node<O: Ops>(
                         let (tx, _) = &elab.env.vars[x];
                         if tx != oty {
                             return err(
+                                codes::E0202,
                                 format!("{x} has type {tx}, output {oname} has type {oty}"),
                                 *s,
                             );
@@ -796,6 +890,7 @@ fn elab_node<O: Ops>(
                 }
                 other => {
                     return err(
+                        codes::E0214,
                         "tuple patterns require a node call on the right",
                         other.span(),
                     )
@@ -811,13 +906,18 @@ fn elab_node<O: Ops>(
             lhs: ueq.lhs.clone(),
             ck,
             rhs,
+            span: ueq.span,
         });
     }
 
     // Every output and local must be defined.
     for d in outputs.iter().chain(&locals) {
         if !defined.contains(&d.name) {
-            return err(format!("variable {} is never defined", d.name), unode.span);
+            return err(
+                codes::E0206,
+                format!("variable {} is never defined", d.name),
+                unode.span,
+            );
         }
     }
 
@@ -827,6 +927,7 @@ fn elab_node<O: Ops>(
         outputs,
         locals,
         eqs,
+        span: unode.span,
     })
 }
 
@@ -847,7 +948,7 @@ pub fn elaborate<O: Ops>(prog: &UProgram) -> Result<(TProgram<O>, Diagnostics), 
     for c in &prog.consts {
         let ty = match O::type_of_name(c.ty_name.as_str()) {
             Some(t) => t,
-            None => return err(format!("unknown type {}", c.ty_name), c.span),
+            None => return err(codes::E0215, format!("unknown type {}", c.ty_name), c.span),
         };
         let value = {
             let scratch = Elab::<O> {
@@ -861,7 +962,11 @@ pub fn elaborate<O: Ops>(prog: &UProgram) -> Result<(TProgram<O>, Diagnostics), 
             scratch.const_value(&c.value, &ty)?
         };
         if consts.insert(c.name, value).is_some() {
-            return err(format!("duplicate constant {}", c.name), c.span);
+            return err(
+                codes::E0217,
+                format!("duplicate constant {}", c.name),
+                c.span,
+            );
         }
     }
 

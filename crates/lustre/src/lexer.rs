@@ -6,7 +6,7 @@
 
 use std::fmt;
 
-use velus_common::{Diagnostics, Ident, Span};
+use velus_common::{codes, DiagStage, Diagnostic, Diagnostics, Ident, Span};
 
 /// A lexical token.
 ///
@@ -236,7 +236,14 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
                 }
             }
             if depth > 0 {
-                errs.error("unterminated comment", Span::new(start as u32, n as u32));
+                errs.push(
+                    Diagnostic::error(
+                        codes::E0102,
+                        "unterminated comment",
+                        Span::new(start as u32, n as u32),
+                    )
+                    .at_stage(DiagStage::Lex),
+                );
             }
             continue;
         }
@@ -291,7 +298,14 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
                         tok: Tok::Float(x),
                         span,
                     }),
-                    Err(_) => errs.error(format!("malformed float literal `{text}`"), span),
+                    Err(_) => errs.push(
+                        Diagnostic::error(
+                            codes::E0105,
+                            format!("malformed float literal `{text}`"),
+                            span,
+                        )
+                        .at_stage(DiagStage::Lex),
+                    ),
                 }
             } else {
                 match text.parse::<i128>() {
@@ -299,19 +313,29 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
                         tok: Tok::Int(x),
                         span,
                     }),
-                    Err(_) => errs.error(format!("malformed integer literal `{text}`"), span),
+                    Err(_) => errs.push(
+                        Diagnostic::error(
+                            codes::E0105,
+                            format!("malformed integer literal `{text}`"),
+                            span,
+                        )
+                        .at_stage(DiagStage::Lex),
+                    ),
                 }
             }
             i = j;
             continue;
         }
-        // Operators and punctuation.
-        let two = if i + 1 < n { &source[i..i + 2] } else { "" };
+        // Operators and punctuation. Matched as *bytes*: slicing the
+        // source string two bytes ahead would panic mid-character on
+        // non-ASCII input, which must lex to a diagnostic, not a panic
+        // (found by the fault-injection property test).
+        let two: &[u8] = if i + 1 < n { &bytes[i..i + 2] } else { b"" };
         let (tok, len) = match two {
-            "->" => (Tok::Arrow, 2),
-            "<>" => (Tok::Neq, 2),
-            "<=" => (Tok::Le, 2),
-            ">=" => (Tok::Ge, 2),
+            b"->" => (Tok::Arrow, 2),
+            b"<>" => (Tok::Neq, 2),
+            b"<=" => (Tok::Le, 2),
+            b">=" => (Tok::Ge, 2),
             _ => match c {
                 b'(' => (Tok::LParen, 1),
                 b')' => (Tok::RParen, 1),
@@ -325,12 +349,20 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
                 b'-' => (Tok::Minus, 1),
                 b'*' => (Tok::Star, 1),
                 b'/' => (Tok::Slash, 1),
-                other => {
-                    errs.error(
-                        format!("unexpected character `{}`", other as char),
-                        Span::new(start, start + 1),
+                _ => {
+                    // Step over the whole UTF-8 sequence so both the
+                    // span and the next lexer state sit on character
+                    // boundaries.
+                    let ch = source[i..].chars().next().expect("in bounds");
+                    errs.push(
+                        Diagnostic::error(
+                            codes::E0101,
+                            format!("unexpected character `{ch}`"),
+                            Span::new(start, start + ch.len_utf8() as u32),
+                        )
+                        .at_stage(DiagStage::Lex),
                     );
-                    i += 1;
+                    i += ch.len_utf8();
                     continue;
                 }
             },

@@ -46,28 +46,63 @@ pub mod lexer;
 pub mod normalize;
 pub mod parser;
 
-use velus_common::Diagnostics;
+use velus_common::{codes, DiagStage, Diagnostics, SpanMap};
 use velus_nlustre::ast::Program;
 use velus_ops::Ops;
+
+/// Everything the front end produces: the normalized program, the
+/// non-fatal warnings, and the [`SpanMap`] that lets every later stage
+/// resolve node/equation context back to source positions.
+#[derive(Debug, Clone)]
+pub struct Frontend<O: Ops> {
+    /// The elaborated, normalized N-Lustre program.
+    pub program: Program<O>,
+    /// Non-fatal warnings (e.g. the initialization lint for `pre`),
+    /// coded and stage-tagged.
+    pub warnings: Diagnostics,
+    /// Source spans of every node and (defined-variable-keyed)
+    /// equation, surviving scheduling's reordering.
+    pub spans: SpanMap,
+}
+
+/// Runs the whole front end: lex, parse, elaborate, normalize.
+///
+/// # Errors
+///
+/// All syntax, typing and clocking errors, as [`Diagnostics`] with
+/// stable codes, originating stages and source positions.
+pub fn frontend<O: Ops>(source: &str) -> Result<Frontend<O>, Diagnostics> {
+    let tokens = lexer::lex(source)?;
+    let uprog = parser::parse(&tokens, source)?;
+    let (typed, warnings) = elab::elaborate::<O>(&uprog)?;
+    let (program, spans) = normalize::normalize::<O>(typed).map_err(|e| {
+        Diagnostics::from(
+            velus_common::Diagnostic::error(
+                codes::E0310,
+                format!("normalization: {e}"),
+                velus_common::Span::DUMMY,
+            )
+            .at_stage(DiagStage::Normalize),
+        )
+    })?;
+    Ok(Frontend {
+        program,
+        warnings,
+        spans,
+    })
+}
 
 /// Parses, elaborates and normalizes `source` into an N-Lustre program.
 ///
 /// Returns the program together with non-fatal warnings (e.g. the
-/// initialization lint for `pre`).
+/// initialization lint for `pre`). Callers that also need source spans
+/// for mid-end diagnostics use [`frontend`].
 ///
 /// # Errors
 ///
 /// All syntax, typing and clocking errors, as [`Diagnostics`] with source
 /// positions.
 pub fn compile_to_nlustre<O: Ops>(source: &str) -> Result<(Program<O>, Diagnostics), Diagnostics> {
-    let tokens = lexer::lex(source)?;
-    let uprog = parser::parse(&tokens, source)?;
-    let (typed, warnings) = elab::elaborate::<O>(&uprog)?;
-    let prog = normalize::normalize::<O>(typed).map_err(|e| {
-        Diagnostics::from(velus_common::Diagnostic::error(
-            format!("normalization: {e}"),
-            velus_common::Span::DUMMY,
-        ))
-    })?;
-    Ok((prog, warnings))
+    let f = frontend::<O>(source)?;
+    Ok((f.program, f.warnings))
 }

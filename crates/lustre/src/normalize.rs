@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 
-use velus_common::{FreshGen, Ident};
+use velus_common::{FreshGen, Ident, Span, SpanMap};
 use velus_nlustre::ast::{CExpr, Equation, Expr, Node, Program, VarDecl};
 use velus_nlustre::clock::Clock;
 use velus_nlustre::SemError;
@@ -36,6 +36,11 @@ struct Norm<O: Ops> {
     new_eqs: Vec<Equation<O>>,
     /// Shared `true fby false` initialization flags, per clock.
     init_flags: HashMap<Clock, Ident>,
+    /// Span of the source equation currently being normalized; every
+    /// extracted equation inherits it.
+    current_span: Span,
+    /// Defined variable -> source span, for the node's `SpanMap` entry.
+    eq_spans: Vec<(Ident, Span)>,
 }
 
 impl<O: Ops> Norm<O> {
@@ -51,6 +56,7 @@ impl<O: Ops> Norm<O> {
             return h;
         }
         let h = self.fresh_var("h", O::bool_type(), ck.clone());
+        self.eq_spans.push((h, self.current_span));
         self.new_eqs.push(Equation::Fby {
             x: h,
             ck: ck.clone(),
@@ -117,6 +123,7 @@ impl<O: Ops> Norm<O> {
             TExpr::Fby(init, e1) => {
                 let rhs = self.norm_expr(e1, ck)?;
                 let x = self.fresh_var("fby", e1.ty(), ck.clone());
+                self.eq_spans.push((x, self.current_span));
                 self.new_eqs.push(Equation::Fby {
                     x,
                     ck: ck.clone(),
@@ -131,6 +138,7 @@ impl<O: Ops> Norm<O> {
                     .map(|a| self.norm_expr(a, ck))
                     .collect::<Result<Vec<_>, _>>()?;
                 let x = self.fresh_var("out", outs[0].1.clone(), ck.clone());
+                self.eq_spans.push((x, self.current_span));
                 self.new_eqs.push(Equation::Call {
                     xs: vec![x],
                     ck: ck.clone(),
@@ -142,6 +150,7 @@ impl<O: Ops> Norm<O> {
             ctrl @ (TExpr::If(..) | TExpr::Merge(..) | TExpr::Arrow(..)) => {
                 let rhs = self.norm_cexpr(ctrl, ck)?;
                 let x = self.fresh_var("v", ctrl.ty(), ck.clone());
+                self.eq_spans.push((x, self.current_span));
                 self.new_eqs.push(Equation::Def {
                     x,
                     ck: ck.clone(),
@@ -160,17 +169,24 @@ fn truthy<O: Ops>(b: bool) -> O::Const {
         .expect("every operator interface supplies boolean constants")
 }
 
-fn normalize_node<O: Ops>(tnode: TNode<O>) -> Result<Node<O>, SemError> {
+fn normalize_node<O: Ops>(tnode: TNode<O>, spans: &mut SpanMap) -> Result<Node<O>, SemError> {
     let mut norm = Norm::<O> {
         fresh: FreshGen::new("n"),
         new_locals: Vec::new(),
         new_eqs: Vec::new(),
         init_flags: HashMap::new(),
+        current_span: Span::DUMMY,
+        eq_spans: Vec::new(),
     };
+    norm.eq_spans.reserve(tnode.eqs.len() * 2);
     let output_names: Vec<Ident> = tnode.outputs.iter().map(|d| d.name).collect();
     let mut eqs = Vec::new();
 
-    for TEquation { lhs, ck, rhs } in &tnode.eqs {
+    for TEquation { lhs, ck, rhs, span } in &tnode.eqs {
+        norm.current_span = *span;
+        for &x in lhs {
+            norm.eq_spans.push((x, *span));
+        }
         if lhs.len() > 1 {
             // Tuple call.
             match rhs {
@@ -202,6 +218,7 @@ fn normalize_node<O: Ops>(tnode: TNode<O>) -> Result<Node<O>, SemError> {
                 let rhs = norm.norm_expr(e1, ck)?;
                 if output_names.contains(&x) {
                     let m = norm.fresh_var("mem", e1.ty(), ck.clone());
+                    norm.eq_spans.push((m, *span));
                     eqs.push(Equation::Fby {
                         x: m,
                         ck: ck.clone(),
@@ -246,6 +263,15 @@ fn normalize_node<O: Ops>(tnode: TNode<O>) -> Result<Node<O>, SemError> {
         }
     }
 
+    let mut eq_spans = velus_common::ident_map_with_capacity(norm.eq_spans.len());
+    eq_spans.extend(norm.eq_spans);
+    spans.insert_node(
+        tnode.name,
+        velus_common::NodeSpans {
+            span: tnode.span,
+            eqs: eq_spans,
+        },
+    );
     eqs.extend(norm.new_eqs);
     let mut locals = tnode.locals;
     locals.extend(norm.new_locals);
@@ -264,17 +290,23 @@ fn normalize_node<O: Ops>(tnode: TNode<O>) -> Result<Node<O>, SemError> {
 /// [`velus_nlustre::ast`] by construction and is re-validated by the
 /// pipeline's type and clock checks.
 ///
+/// Also returns the [`SpanMap`] recording where every node and equation
+/// came from (fresh equations inherit the span of the source equation
+/// they were extracted from) — the bridge that lets scheduling,
+/// checking and validation failures point at real source positions.
+///
 /// # Errors
 ///
 /// Internal clock inconsistencies (which indicate an elaboration bug) are
 /// reported as [`SemError`]s rather than panics.
-pub fn normalize<O: Ops>(prog: TProgram<O>) -> Result<Program<O>, SemError> {
+pub fn normalize<O: Ops>(prog: TProgram<O>) -> Result<(Program<O>, SpanMap), SemError> {
+    let mut spans = SpanMap::new();
     let nodes = prog
         .nodes
         .into_iter()
-        .map(normalize_node)
+        .map(|n| normalize_node(n, &mut spans))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(Program::new(nodes))
+    Ok((Program::new(nodes), spans))
 }
 
 #[cfg(test)]

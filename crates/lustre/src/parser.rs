@@ -18,7 +18,7 @@
 //! | 7     | `*`, `/`, `div`, `mod`          | left          |
 //! | 8     | unary `-`, `not`, `pre`         | prefix        |
 
-use velus_common::{Diagnostic, Diagnostics, Ident, Span};
+use velus_common::{codes, Code, DiagStage, Diagnostic, Diagnostics, Ident, Span};
 use velus_ops::{Literal, SurfaceBinOp, SurfaceUnOp};
 
 use crate::ast::{UClock, UConst, UDecl, UEquation, UExpr, UNode, UProgram};
@@ -52,8 +52,10 @@ impl<'t> Parser<'t> {
         t
     }
 
-    fn error<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(Diagnostics::from(Diagnostic::error(msg, self.span())))
+    fn error<T>(&self, code: Code, msg: impl Into<String>) -> PResult<T> {
+        Err(Diagnostics::from(
+            Diagnostic::error(code, msg, self.span()).at_stage(DiagStage::Parse),
+        ))
     }
 
     fn expect(&mut self, tok: Tok) -> PResult<()> {
@@ -61,7 +63,10 @@ impl<'t> Parser<'t> {
             self.bump();
             Ok(())
         } else {
-            self.error(format!("expected `{tok}`, found `{}`", self.peek()))
+            self.error(
+                codes::E0104,
+                format!("expected `{tok}`, found `{}`", self.peek()),
+            )
         }
     }
 
@@ -80,7 +85,10 @@ impl<'t> Parser<'t> {
                 self.bump();
                 Ok(id)
             }
-            other => self.error(format!("expected identifier, found `{other}`")),
+            other => self.error(
+                codes::E0104,
+                format!("expected identifier, found `{other}`"),
+            ),
         }
     }
 
@@ -315,9 +323,13 @@ impl<'t> Parser<'t> {
                 self.expect(Tok::RParen)?;
                 Ok(e)
             }
-            other => self.error(format!(
-                "expected a merge branch (variable, literal or parenthesized expression), found `{other}`"
-            )),
+            other => self.error(
+                codes::E0104,
+                format!(
+                    "expected a merge branch (variable, literal or parenthesized \
+                     expression), found `{other}`"
+                ),
+            ),
         }
     }
 
@@ -382,7 +394,10 @@ impl<'t> Parser<'t> {
                     Ok(UExpr::Var(id, span))
                 }
             }
-            other => self.error(format!("expected expression, found `{other}`")),
+            other => self.error(
+                codes::E0104,
+                format!("expected expression, found `{other}`"),
+            ),
         }
     }
 
@@ -433,7 +448,10 @@ impl<'t> Parser<'t> {
         let mut eqs = Vec::new();
         while *self.peek() != Tok::Tel {
             if *self.peek() == Tok::Eof {
-                return self.error("unexpected end of file inside node body (missing `tel`?)");
+                return self.error(
+                    codes::E0103,
+                    "unexpected end of file inside node body (missing `tel`?)",
+                );
             }
             eqs.push(self.equation()?);
         }
@@ -476,9 +494,10 @@ impl<'t> Parser<'t> {
                 Tok::Const => prog.consts.push(self.const_decl()?),
                 Tok::Node | Tok::Function => prog.nodes.push(self.node()?),
                 other => {
-                    return self.error(format!(
-                        "expected `node`, `function` or `const`, found `{other}`"
-                    ))
+                    return self.error(
+                        codes::E0104,
+                        format!("expected `node`, `function` or `const`, found `{other}`"),
+                    )
                 }
             }
         }

@@ -121,8 +121,8 @@ pub fn check_node_clocks<O: Ops>(
     for d in node.inputs.iter().chain(&node.outputs) {
         if d.ck != Clock::Base {
             return clock_error(format!(
-                "node {}: interface variable {} must be on the base clock",
-                node.name, d.name
+                "interface variable {} must be on the base clock",
+                d.name
             ));
         }
     }
@@ -131,32 +131,40 @@ pub fn check_node_clocks<O: Ops>(
     }
 
     for eq in &node.eqs {
-        let ck = eq.clock();
-        // The defined variables must be declared on the equation's clock.
-        for &x in eq.defined() {
-            match env.get(&x) {
-                None => return Err(SemError::UndefinedVariable(x)),
-                Some(cx) if cx == ck => {}
-                Some(cx) => {
-                    return clock_error(format!(
-                        "node {}: {x} declared on clock {cx} but defined on {ck}",
-                        node.name
-                    ))
-                }
+        check_eq_clocks::<O>(&env, nodes_before, eq)
+            .map_err(|e| e.in_node_at(node.name, eq.defined().first().copied()))?;
+    }
+    Ok(())
+}
+
+/// Checks one equation against the node's clock environment.
+fn check_eq_clocks<O: Ops>(
+    env: &CkEnv,
+    nodes_before: &IdentMap<&Node<O>>,
+    eq: &Equation<O>,
+) -> Result<(), SemError> {
+    let ck = eq.clock();
+    // The defined variables must be declared on the equation's clock.
+    for &x in eq.defined() {
+        match env.get(&x) {
+            None => return Err(SemError::UndefinedVariable(x)),
+            Some(cx) if cx == ck => {}
+            Some(cx) => {
+                return clock_error(format!("{x} declared on clock {cx} but defined on {ck}"))
             }
         }
-        check_decl_clock(&env, eq.defined()[0], ck)?;
-        match eq {
-            Equation::Def { rhs, .. } => check_cexpr_clock::<O>(&env, rhs, ck)?,
-            Equation::Fby { rhs, .. } => check_expr_clock::<O>(&env, rhs, ck)?,
-            Equation::Call { node: f, args, .. } => {
-                let _callee = nodes_before
-                    .get(f)
-                    .copied()
-                    .ok_or(SemError::UnknownNode(*f))?;
-                for a in args {
-                    check_expr_clock::<O>(&env, a, ck)?;
-                }
+    }
+    check_decl_clock(env, eq.defined()[0], ck)?;
+    match eq {
+        Equation::Def { rhs, .. } => check_cexpr_clock::<O>(env, rhs, ck)?,
+        Equation::Fby { rhs, .. } => check_expr_clock::<O>(env, rhs, ck)?,
+        Equation::Call { node: f, args, .. } => {
+            let _callee = nodes_before
+                .get(f)
+                .copied()
+                .ok_or(SemError::UnknownNode(*f))?;
+            for a in args {
+                check_expr_clock::<O>(env, a, ck)?;
             }
         }
     }
@@ -171,7 +179,7 @@ pub fn check_node_clocks<O: Ops>(
 pub fn check_program_clocks<O: Ops>(prog: &Program<O>) -> Result<(), SemError> {
     let mut declared: IdentMap<&Node<O>> = velus_common::ident_map_with_capacity(prog.nodes.len());
     for node in &prog.nodes {
-        check_node_clocks::<O>(&declared, node)?;
+        check_node_clocks::<O>(&declared, node).map_err(|e| e.in_node(node.name))?;
         declared.insert(node.name, node);
     }
     Ok(())
@@ -246,8 +254,8 @@ mod tests {
     fn rejects_misdeclared_sampled_variable() {
         let p = Program::new(vec![sampler_node(false)]);
         assert!(matches!(
-            check_program_clocks(&p),
-            Err(SemError::ClockError(_))
+            check_program_clocks(&p).unwrap_err().innermost(),
+            SemError::ClockError(_)
         ));
     }
 
@@ -279,8 +287,8 @@ mod tests {
         };
         let p = Program::new(vec![n]);
         assert!(matches!(
-            check_program_clocks(&p),
-            Err(SemError::ClockError(_))
+            check_program_clocks(&p).unwrap_err().innermost(),
+            SemError::ClockError(_)
         ));
     }
 
@@ -290,8 +298,8 @@ mod tests {
         n.outputs[0].ck = Clock::Base.on(id("x"), true);
         let p = Program::new(vec![n]);
         assert!(matches!(
-            check_program_clocks(&p),
-            Err(SemError::ClockError(_))
+            check_program_clocks(&p).unwrap_err().innermost(),
+            SemError::ClockError(_)
         ));
     }
 }

@@ -118,8 +118,8 @@ fn build_env<O: Ops>(node: &Node<O>) -> Result<Env<O>, SemError> {
     for d in node.inputs.iter().chain(&node.outputs).chain(&node.locals) {
         if env.insert(d.name, d.ty.clone()).is_some() {
             return Err(SemError::Malformed(format!(
-                "duplicate declaration of {} in node {}",
-                d.name, node.name
+                "duplicate declaration of {}",
+                d.name
             )));
         }
     }
@@ -129,7 +129,6 @@ fn build_env<O: Ops>(node: &Node<O>) -> Result<Env<O>, SemError> {
 fn check_equation<O: Ops>(
     env: &Env<O>,
     declared_before: &IdentMap<&Node<O>>,
-    node: &Node<O>,
     eq: &Equation<O>,
 ) -> Result<(), SemError> {
     match eq {
@@ -137,10 +136,7 @@ fn check_equation<O: Ops>(
             let trhs = check_cexpr::<O>(env, rhs)?;
             let tx = env.get(x).ok_or(SemError::UndefinedVariable(*x))?;
             if *tx != trhs {
-                return type_error(format!(
-                    "in node {}: {x} has type {tx} but is defined with type {trhs}",
-                    node.name
-                ));
+                return type_error(format!("{x} has type {tx} but is defined with type {trhs}"));
             }
             Ok(())
         }
@@ -149,16 +145,10 @@ fn check_equation<O: Ops>(
             let tinit = O::type_of_const(init);
             let tx = env.get(x).ok_or(SemError::UndefinedVariable(*x))?;
             if tinit != trhs {
-                return type_error(format!(
-                    "in node {}: fby initial value has type {tinit}, body {trhs}",
-                    node.name
-                ));
+                return type_error(format!("fby initial value has type {tinit}, body {trhs}"));
             }
             if *tx != trhs {
-                return type_error(format!(
-                    "in node {}: {x} has type {tx} but fby produces {trhs}",
-                    node.name
-                ));
+                return type_error(format!("{x} has type {tx} but fby produces {trhs}"));
             }
             Ok(())
         }
@@ -171,16 +161,14 @@ fn check_equation<O: Ops>(
                 .ok_or(SemError::UnknownNode(*f))?;
             if callee.inputs.len() != args.len() {
                 return Err(SemError::InputMismatch(format!(
-                    "call to {f} in node {}: {} arguments for {} inputs",
-                    node.name,
+                    "call to {f}: {} arguments for {} inputs",
                     args.len(),
                     callee.inputs.len()
                 )));
             }
             if callee.outputs.len() != xs.len() {
                 return Err(SemError::InputMismatch(format!(
-                    "call to {f} in node {}: {} result variables for {} outputs",
-                    node.name,
+                    "call to {f}: {} result variables for {} outputs",
                     xs.len(),
                     callee.outputs.len()
                 )));
@@ -219,10 +207,7 @@ pub fn check_node<O: Ops>(
 ) -> Result<(), SemError> {
     let env = build_env::<O>(node)?;
     if node.outputs.is_empty() {
-        return Err(SemError::Malformed(format!(
-            "node {} has no outputs",
-            node.name
-        )));
+        return Err(SemError::Malformed("node has no outputs".to_owned()));
     }
 
     // Every output and local is defined exactly once; inputs never.
@@ -232,26 +217,23 @@ pub fn check_node<O: Ops>(
         for &x in eq.defined() {
             if node.is_input(x) {
                 return Err(SemError::Malformed(format!(
-                    "node {}: input {x} is defined by an equation",
-                    node.name
+                    "input {x} is defined by an equation"
                 )));
             }
             if !defined.insert(x) {
-                return Err(SemError::Malformed(format!(
-                    "node {}: variable {x} defined twice",
-                    node.name
-                )));
+                return Err(SemError::Malformed(format!("variable {x} defined twice")));
             }
         }
         // Call results must be pairwise distinct (checked above via `defined`),
         // and the instance is identified by the first result variable.
-        check_equation::<O>(&env, declared_before, node, eq)?;
+        check_equation::<O>(&env, declared_before, eq)
+            .map_err(|e| e.in_node_at(node.name, eq.defined().first().copied()))?;
     }
     for d in node.outputs.iter().chain(&node.locals) {
         if !defined.contains(&d.name) {
             return Err(SemError::Malformed(format!(
-                "node {}: variable {} is never defined",
-                node.name, d.name
+                "variable {} is never defined",
+                d.name
             )));
         }
     }
@@ -274,7 +256,7 @@ pub fn check_program<O: Ops>(prog: &Program<O>) -> Result<(), SemError> {
                 node.name
             )));
         }
-        check_node::<O>(&declared, node)?;
+        check_node::<O>(&declared, node).map_err(|e| e.in_node(node.name))?;
         declared.insert(node.name, node);
     }
     Ok(())
@@ -339,7 +321,10 @@ mod tests {
             *ty = CTy::Bool;
         }
         let p = P::new(vec![n]);
-        assert!(matches!(check_program(&p), Err(SemError::TypeError(_))));
+        assert!(matches!(
+            check_program(&p).unwrap_err().innermost(),
+            SemError::TypeError(_)
+        ));
     }
 
     #[test]
@@ -347,7 +332,10 @@ mod tests {
         let mut n = double();
         n.eqs.clear();
         let p = P::new(vec![n]);
-        assert!(matches!(check_program(&p), Err(SemError::Malformed(_))));
+        assert!(matches!(
+            check_program(&p).unwrap_err().innermost(),
+            SemError::Malformed(_)
+        ));
     }
 
     #[test]
@@ -356,7 +344,10 @@ mod tests {
         let eq = n.eqs[0].clone();
         n.eqs.push(eq);
         let p = P::new(vec![n]);
-        assert!(matches!(check_program(&p), Err(SemError::Malformed(_))));
+        assert!(matches!(
+            check_program(&p).unwrap_err().innermost(),
+            SemError::Malformed(_)
+        ));
     }
 
     #[test]
@@ -368,7 +359,10 @@ mod tests {
             rhs: CExpr::Expr(Expr::Const(CConst::int(0))),
         });
         let p = P::new(vec![n]);
-        assert!(matches!(check_program(&p), Err(SemError::Malformed(_))));
+        assert!(matches!(
+            check_program(&p).unwrap_err().innermost(),
+            SemError::Malformed(_)
+        ));
     }
 
     #[test]
@@ -387,7 +381,10 @@ mod tests {
             }],
         };
         let p = P::new(vec![caller, double()]);
-        assert!(matches!(check_program(&p), Err(SemError::UnknownNode(_))));
+        assert!(matches!(
+            check_program(&p).unwrap_err().innermost(),
+            SemError::UnknownNode(_)
+        ));
         let p = P::new(vec![double(), p.nodes[0].clone()]);
         assert_eq!(check_program(&p), Ok(()));
     }
@@ -407,6 +404,9 @@ mod tests {
             }],
         };
         let p = P::new(vec![n]);
-        assert!(matches!(check_program(&p), Err(SemError::TypeError(_))));
+        assert!(matches!(
+            check_program(&p).unwrap_err().innermost(),
+            SemError::TypeError(_)
+        ));
     }
 }

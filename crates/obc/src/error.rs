@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use velus_common::Ident;
+use velus_common::{codes, Code, Diagnostic, Diagnostics, Ident, Span, SpanMap, ToDiagnostics};
 
 /// Errors raised by the Obc semantics, translation and checks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +40,38 @@ impl fmt::Display for ObcError {
             ObcError::Malformed(m) => write!(f, "malformed program: {m}"),
             ObcError::MemCorres(m) => write!(f, "memory correspondence violated: {m}"),
         }
+    }
+}
+
+impl ObcError {
+    /// The stable diagnostic code of the error.
+    pub fn code(&self) -> Code {
+        match self {
+            ObcError::UnboundVariable(_) => codes::E0501,
+            ObcError::UnboundState(_) => codes::E0502,
+            ObcError::UnknownClass(_) => codes::E0503,
+            ObcError::UnknownMethod(..) => codes::E0504,
+            ObcError::UndefinedOperation(_) => codes::E0505,
+            ObcError::ArityMismatch(_) => codes::E0506,
+            ObcError::TypeError(_) => codes::E0507,
+            ObcError::Malformed(_) => codes::E0508,
+            ObcError::MemCorres(_) => codes::E0509,
+        }
+    }
+}
+
+impl ToDiagnostics for ObcError {
+    /// Obc classes are translated nodes and Obc variables keep their
+    /// N-Lustre names, so identifier-carrying errors resolve spans
+    /// through the same `SpanMap` the elaborator recorded.
+    fn to_diagnostics(&self, spans: &SpanMap) -> Diagnostics {
+        let span = match self {
+            ObcError::UnboundVariable(x) | ObcError::UnboundState(x) => spans.var_span(None, *x),
+            ObcError::UnknownClass(c) => spans.node_span(*c),
+            ObcError::UnknownMethod(c, _) => spans.node_span(*c),
+            _ => Span::DUMMY,
+        };
+        Diagnostics::from(Diagnostic::error(self.code(), self.to_string(), span))
     }
 }
 

@@ -32,21 +32,21 @@
 //!   and [`Compiler::cost_hint`] supplies the per-request hint.
 //!
 //! ```
-//! use velus_server::{ArtifactKind, Compiler, CompileRequest, CompileService, ServiceConfig,
-//!                    StageSample};
+//! use velus_server::{ArtifactKind, Compiler, CompileOutput, CompileRequest, CompileService,
+//!                    ServiceConfig};
 //!
 //! struct Upper;
 //! impl Compiler for Upper {
 //!     type Artifact = String;
 //!     type Error = String;
 //!     fn compile(&self, req: &CompileRequest, kinds: &[ArtifactKind])
-//!         -> Result<(Vec<(ArtifactKind, String)>, Vec<StageSample>), String>
+//!         -> Result<CompileOutput<String>, String>
 //!     {
 //!         let artifacts = kinds
 //!             .iter()
 //!             .map(|kind| (*kind, req.source.to_uppercase()))
 //!             .collect();
-//!         Ok((artifacts, Vec::new()))
+//!         Ok(CompileOutput::new(artifacts, Vec::new()))
 //!     }
 //! }
 //!
@@ -58,6 +58,8 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub use velus_common::{DiagRecord, FailureReport};
 
 pub mod cache;
 pub mod pool;
@@ -114,12 +116,15 @@ impl std::str::FromStr for WcetModelKind {
     type Err = String;
 
     fn from_str(s: &str) -> Result<WcetModelKind, String> {
-        match s {
-            "cc" => Ok(WcetModelKind::CompCert),
-            "gcc" => Ok(WcetModelKind::Gcc),
-            "gcci" => Ok(WcetModelKind::GccInline),
-            other => Err(format!("unknown WCET model `{other}` (cc|gcc|gcci)")),
-        }
+        velus_common::parse_enum_flag(
+            "WCET model",
+            s,
+            &[
+                ("cc", WcetModelKind::CompCert),
+                ("gcc", WcetModelKind::Gcc),
+                ("gcci", WcetModelKind::GccInline),
+            ],
+        )
     }
 }
 
@@ -149,6 +154,23 @@ impl IrStageKind {
     }
 }
 
+impl std::str::FromStr for IrStageKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IrStageKind, String> {
+        velus_common::parse_enum_flag(
+            "IR stage",
+            s,
+            &[
+                ("nlustre", IrStageKind::NLustre),
+                ("snlustre", IrStageKind::SnLustre),
+                ("obc", IrStageKind::Obc),
+                ("obc-fused", IrStageKind::ObcFused),
+            ],
+        )
+    }
+}
+
 /// What a request asks the compiler to produce. Each kind is cached
 /// **independently** under its own `(source, root, io, kind)` key, so a
 /// WCET request never recomputes or re-caches the C artifact, and a
@@ -174,12 +196,16 @@ pub enum ArtifactKind {
         /// Which pipeline stage's IR.
         stage: IrStageKind,
     },
+    /// A per-program validation/diagnostics report (machine-readable):
+    /// which stages ran and re-validated, program shape, and the
+    /// front-end warnings with their codes.
+    Report,
 }
 
 impl ArtifactKind {
     /// The statistics groups, in display order. Kinds with payloads
     /// (model, stage) share one group each.
-    pub const GROUPS: [&'static str; 4] = ["c", "wcet", "baseline-diff", "ir-dump"];
+    pub const GROUPS: [&'static str; 5] = ["c", "wcet", "baseline-diff", "ir-dump", "report"];
 
     /// Index of this kind's statistics group in [`ArtifactKind::GROUPS`].
     pub fn group_index(&self) -> usize {
@@ -188,6 +214,7 @@ impl ArtifactKind {
             ArtifactKind::Wcet { .. } => 1,
             ArtifactKind::BaselineDiff => 2,
             ArtifactKind::IrDump { .. } => 3,
+            ArtifactKind::Report => 4,
         }
     }
 
@@ -199,6 +226,7 @@ impl ArtifactKind {
             ArtifactKind::Wcet { model } => [1, *model as u8 + 1],
             ArtifactKind::BaselineDiff => [2, 0],
             ArtifactKind::IrDump { stage } => [3, *stage as u8 + 1],
+            ArtifactKind::Report => [4, 0],
         }
     }
 }
@@ -210,6 +238,7 @@ impl std::fmt::Display for ArtifactKind {
             ArtifactKind::Wcet { model } => write!(f, "wcet:{}", model.name()),
             ArtifactKind::BaselineDiff => f.write_str("baseline-diff"),
             ArtifactKind::IrDump { stage } => f.write_str(stage.name()),
+            ArtifactKind::Report => f.write_str("report"),
         }
     }
 }
@@ -218,37 +247,55 @@ impl std::str::FromStr for ArtifactKind {
     type Err = String;
 
     /// Parses one `--emit` token: `c`, `wcet`, `wcet:cc|gcc|gcci`,
-    /// `baseline` / `baseline-diff`, or an IR name
-    /// (`nlustre|snlustre|obc|obc-fused`).
+    /// `baseline` / `baseline-diff`, `report`, or an IR name
+    /// (`nlustre|snlustre|obc|obc-fused`). Unknown tokens yield a coded
+    /// usage diagnostic with a did-you-mean suggestion.
     fn from_str(s: &str) -> Result<ArtifactKind, String> {
-        match s {
-            "c" => Ok(ArtifactKind::CCode),
-            "wcet" => Ok(ArtifactKind::Wcet {
-                model: WcetModelKind::default(),
-            }),
-            "baseline" | "baseline-diff" => Ok(ArtifactKind::BaselineDiff),
-            "nlustre" => Ok(ArtifactKind::IrDump {
-                stage: IrStageKind::NLustre,
-            }),
-            "snlustre" => Ok(ArtifactKind::IrDump {
-                stage: IrStageKind::SnLustre,
-            }),
-            "obc" => Ok(ArtifactKind::IrDump {
-                stage: IrStageKind::Obc,
-            }),
-            "obc-fused" => Ok(ArtifactKind::IrDump {
-                stage: IrStageKind::ObcFused,
-            }),
-            other => match other.strip_prefix("wcet:") {
-                Some(model) => Ok(ArtifactKind::Wcet {
-                    model: model.parse()?,
-                }),
-                None => Err(format!(
-                    "unknown artifact kind `{other}` \
-                     (c|wcet[:cc|gcc|gcci]|baseline|nlustre|snlustre|obc|obc-fused)"
-                )),
-            },
+        if let Some(model) = s.strip_prefix("wcet:") {
+            return Ok(ArtifactKind::Wcet {
+                model: model.parse()?,
+            });
         }
+        velus_common::parse_enum_flag(
+            "artifact kind",
+            s,
+            &[
+                ("c", ArtifactKind::CCode),
+                (
+                    "wcet",
+                    ArtifactKind::Wcet {
+                        model: WcetModelKind::default(),
+                    },
+                ),
+                ("baseline", ArtifactKind::BaselineDiff),
+                ("baseline-diff", ArtifactKind::BaselineDiff),
+                (
+                    "nlustre",
+                    ArtifactKind::IrDump {
+                        stage: IrStageKind::NLustre,
+                    },
+                ),
+                (
+                    "snlustre",
+                    ArtifactKind::IrDump {
+                        stage: IrStageKind::SnLustre,
+                    },
+                ),
+                (
+                    "obc",
+                    ArtifactKind::IrDump {
+                        stage: IrStageKind::Obc,
+                    },
+                ),
+                (
+                    "obc-fused",
+                    ArtifactKind::IrDump {
+                        stage: IrStageKind::ObcFused,
+                    },
+                ),
+                ("report", ArtifactKind::Report),
+            ],
+        )
     }
 }
 
@@ -438,8 +485,36 @@ pub struct StageSample {
 }
 
 /// Everything one successful [`Compiler::compile`] call returns: one
-/// artifact per produced kind, plus the per-stage timing samples.
-pub type CompileOutput<A> = (Vec<(ArtifactKind, A)>, Vec<StageSample>);
+/// artifact per produced kind, the per-stage timing samples, and the
+/// non-fatal warnings (flattened [`DiagRecord`]s — counted by the
+/// service statistics and surfaced per request instead of dropped).
+#[derive(Debug)]
+pub struct CompileOutput<A> {
+    /// One artifact per produced kind.
+    pub artifacts: Vec<(ArtifactKind, A)>,
+    /// Per-stage wall-clock samples.
+    pub samples: Vec<StageSample>,
+    /// Non-fatal warnings the compilation emitted.
+    pub warnings: Vec<DiagRecord>,
+}
+
+impl<A> CompileOutput<A> {
+    /// An output with no warnings.
+    pub fn new(artifacts: Vec<(ArtifactKind, A)>, samples: Vec<StageSample>) -> CompileOutput<A> {
+        CompileOutput {
+            artifacts,
+            samples,
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Attaches warnings.
+    #[must_use]
+    pub fn with_warnings(mut self, warnings: Vec<DiagRecord>) -> CompileOutput<A> {
+        self.warnings = warnings;
+        self
+    }
+}
 
 /// The compiler the service drives. Implementations must be callable
 /// from many worker threads at once.
@@ -465,6 +540,17 @@ pub trait Compiler: Send + Sync + 'static {
         req: &CompileRequest,
         kinds: &[ArtifactKind],
     ) -> Result<CompileOutput<Self::Artifact>, Self::Error>;
+
+    /// Flattens a compilation failure into the structured, coded
+    /// [`FailureReport`] the service stores in
+    /// [`ServiceError::Compile`] and counts per code in its statistics.
+    /// The default produces one uncoded (`E0000`) record from the
+    /// error's `Display`; real compilers override this with their
+    /// diagnostics.
+    fn failure_report(&self, req: &CompileRequest, err: &Self::Error) -> FailureReport {
+        let _ = req;
+        FailureReport::from_message(err.to_string())
+    }
 
     /// A cheap syntactic estimate of how expensive `req` is to compile,
     /// in arbitrary but consistent units (only relative magnitudes
@@ -501,6 +587,7 @@ mod kind_tests {
             "snlustre",
             "obc",
             "obc-fused",
+            "report",
         ] {
             let kind: ArtifactKind = token.parse().unwrap();
             assert_eq!(kind.to_string(), token);
@@ -513,6 +600,13 @@ mod kind_tests {
         );
         assert!("bogus".parse::<ArtifactKind>().is_err());
         assert!("wcet:bogus".parse::<ArtifactKind>().is_err());
+        // The shared flag parser produces coded messages with
+        // suggestions for near-misses.
+        let err = "reprot".parse::<ArtifactKind>().unwrap_err();
+        assert!(
+            err.contains("[E0901]") && err.contains("did you mean `report`"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -560,6 +654,7 @@ mod kind_tests {
             ArtifactKind::IrDump {
                 stage: IrStageKind::ObcFused,
             },
+            ArtifactKind::Report,
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {

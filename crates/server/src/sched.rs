@@ -40,11 +40,14 @@ impl std::str::FromStr for SchedulePolicy {
     type Err = String;
 
     fn from_str(s: &str) -> Result<SchedulePolicy, String> {
-        match s {
-            "fifo" => Ok(SchedulePolicy::Fifo),
-            "cost" => Ok(SchedulePolicy::Cost),
-            other => Err(format!("unknown schedule `{other}` (fifo|cost)")),
-        }
+        velus_common::parse_enum_flag(
+            "schedule",
+            s,
+            &[
+                ("fifo", SchedulePolicy::Fifo),
+                ("cost", SchedulePolicy::Cost),
+            ],
+        )
     }
 }
 

@@ -10,7 +10,7 @@ use crate::cache::{ArtifactCache, CacheConfig, CacheKey};
 use crate::pool::WorkerPool;
 use crate::sched::{submission_order, CostModel, SchedulePolicy};
 use crate::stats::{StatsCollector, StatsSnapshot};
-use crate::{ArtifactKind, CompileRequest, Compiler};
+use crate::{ArtifactKind, CompileRequest, Compiler, DiagRecord, FailureReport};
 
 /// Service construction knobs.
 #[derive(Debug, Clone)]
@@ -39,8 +39,17 @@ impl Default for ServiceConfig {
 /// Why a request failed.
 #[derive(Debug)]
 pub enum ServiceError<E> {
-    /// The compiler reported an error (the usual case: bad input).
-    Compile(E),
+    /// The compiler reported an error (the usual case: bad input). The
+    /// payload is no longer an opaque `Display` string: the structured
+    /// [`FailureReport`] carries every diagnostic's stable code,
+    /// originating stage, severity and resolved position, and the
+    /// original typed error rides along for programmatic access.
+    Compile {
+        /// The compiler's typed error.
+        error: E,
+        /// The flattened, coded diagnostics of the failure.
+        report: FailureReport,
+    },
     /// The compiler panicked; the panic was contained to this request.
     Panic(String),
     /// The compiler returned no artifact for a requested kind — a bug in
@@ -55,7 +64,7 @@ pub enum ServiceError<E> {
 impl<E: std::fmt::Display> std::fmt::Display for ServiceError<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServiceError::Compile(e) => write!(f, "{e}"),
+            ServiceError::Compile { report, .. } => write!(f, "{report}"),
             ServiceError::Panic(msg) => write!(f, "compiler panicked: {msg}"),
             ServiceError::MissingArtifact(kind) => {
                 write!(f, "compiler produced no `{kind}` artifact")
@@ -87,6 +96,10 @@ pub struct RequestReport<C: Compiler> {
     /// Whether **every** requested kind was served from the cache (the
     /// pipeline did not run at all).
     pub cache_hit: bool,
+    /// Non-fatal warnings the compilation emitted (empty when every
+    /// kind was served from the cache — warnings surface when the
+    /// pipeline actually runs).
+    pub warnings: Vec<DiagRecord>,
     /// End-to-end latency of this request (queueing excluded; measured
     /// from when a worker picks it up).
     pub latency: Duration,
@@ -284,6 +297,7 @@ impl<C: Compiler> CompileService<C> {
                     name: format!("request-{i}"),
                     result: Err(ServiceError::Lost),
                     cache_hit: false,
+                    warnings: Vec::new(),
                     latency: Duration::ZERO,
                 })
             })
@@ -337,12 +351,15 @@ fn run_request<C: Compiler>(
         stats.record_miss();
     }
 
+    let mut warnings: Vec<DiagRecord> = Vec::new();
     let result = if all_hit {
         Ok(())
     } else {
         let missing_kinds: Vec<ArtifactKind> = missing.iter().map(|&i| kinds[i]).collect();
-        compile_guarded(compiler, stats, cost_model, &req, &missing_kinds).map(|produced| {
-            for (kind, artifact) in produced {
+        compile_guarded(compiler, stats, cost_model, &req, &missing_kinds).map(|output| {
+            stats.record_warnings(output.warnings.len() as u64);
+            warnings = output.warnings;
+            for (kind, artifact) in output.artifacts {
                 // Only requested-and-missing kinds are admitted; a
                 // compiler returning extras (or duplicates) does not
                 // grow the cache beyond what was asked for.
@@ -377,8 +394,9 @@ fn run_request<C: Compiler>(
 
     // Compile errors and panics are disjoint counters (a panicking
     // request counts only under `panics`, recorded in compile_guarded).
-    if matches!(result, Err(ServiceError::Compile(_))) {
+    if let Err(ServiceError::Compile { report, .. }) = &result {
         stats.record_error();
+        stats.record_failure_codes(&report.codes());
     }
     let latency = start.elapsed();
     stats.record_latency(latency.as_nanos() as u64);
@@ -387,12 +405,10 @@ fn run_request<C: Compiler>(
         name: req.name,
         result,
         cache_hit: all_hit,
+        warnings,
         latency,
     }
 }
-
-/// The artifacts one guarded compile produced, per kind.
-type Produced<C> = Vec<(ArtifactKind, <C as Compiler>::Artifact)>;
 
 fn compile_guarded<C: Compiler>(
     compiler: &C,
@@ -400,11 +416,11 @@ fn compile_guarded<C: Compiler>(
     cost_model: &CostModel,
     req: &CompileRequest,
     kinds: &[ArtifactKind],
-) -> Result<Produced<C>, ServiceError<C::Error>> {
+) -> Result<crate::CompileOutput<C::Artifact>, ServiceError<C::Error>> {
     let compile_start = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| compiler.compile(req, kinds))) {
-        Ok(Ok((artifacts, samples))) => {
-            stats.record_stages(&samples);
+        Ok(Ok(output)) => {
+            stats.record_stages(&output.samples);
             // Teach the cost model what this request actually cost
             // (successes only: failures abort early and would skew the
             // nanoseconds-per-hint ratio down).
@@ -412,9 +428,12 @@ fn compile_guarded<C: Compiler>(
                 compiler.cost_hint(req),
                 compile_start.elapsed().as_nanos() as u64,
             );
-            Ok(artifacts)
+            Ok(output)
         }
-        Ok(Err(e)) => Err(ServiceError::Compile(e)),
+        Ok(Err(error)) => {
+            let report = compiler.failure_report(req, &error);
+            Err(ServiceError::Compile { error, report })
+        }
         Err(panic) => {
             stats.record_panic();
             Err(ServiceError::Panic(panic_message(panic.as_ref())))
@@ -460,13 +479,13 @@ mod tests {
             &self,
             req: &CompileRequest,
             kinds: &[ArtifactKind],
-        ) -> Result<(Vec<(ArtifactKind, String)>, Vec<StageSample>), String> {
+        ) -> Result<crate::CompileOutput<String>, String> {
             self.calls.fetch_add(1, Ordering::SeqCst);
             match req.source.as_str() {
                 "BOOM" => panic!("toy compiler exploded"),
                 "ERR" => Err("toy compile error".to_owned()),
-                "FORGETFUL" => Ok((Vec::new(), Vec::new())),
-                src => Ok((
+                "FORGETFUL" => Ok(crate::CompileOutput::new(Vec::new(), Vec::new())),
+                src => Ok(crate::CompileOutput::new(
                     kinds
                         .iter()
                         .map(|kind| {
@@ -481,7 +500,19 @@ mod tests {
                         stage: crate::Stage::Frontend,
                         nanos: 5,
                     }],
-                )),
+                )
+                .with_warnings(if src == "warny" {
+                    vec![crate::DiagRecord {
+                        code: "W0001",
+                        severity: velus_common::Severity::Warning,
+                        stage: "elaborate",
+                        message: "toy warning".to_owned(),
+                        line: 1,
+                        col: 1,
+                    }]
+                } else {
+                    Vec::new()
+                })),
             }
         }
     }
@@ -556,10 +587,14 @@ mod tests {
             CompileRequest::new("good2", "beta"),
         ]);
         assert_eq!(batch.ok_count(), 2);
-        assert!(matches!(
-            batch.items[1].result,
-            Err(ServiceError::Compile(_))
-        ));
+        match &batch.items[1].result {
+            Err(ServiceError::Compile { report, .. }) => {
+                // The default failure report is the uncoded E0000 record.
+                assert_eq!(report.primary_code(), Some("E0000"));
+                assert!(report.to_string().contains("toy compile error"), "{report}");
+            }
+            other => panic!("expected a compile error, got ok={}", other.is_ok()),
+        }
         match &batch.items[2].result {
             Err(ServiceError::Panic(msg)) => assert!(msg.contains("exploded"), "{msg}"),
             other => panic!("expected a contained panic, got {:?}", other.is_ok()),
@@ -698,6 +733,27 @@ mod tests {
         ));
         // Nothing was cached for the failed request.
         assert_eq!(svc.cache_len(), 0);
+    }
+
+    #[test]
+    fn warnings_and_failure_codes_reach_the_stats() {
+        let svc = service(1);
+        // A cold compile surfaces its warnings on the report and counts
+        // them in the statistics.
+        let cold = svc.compile_one(CompileRequest::new("w", "warny"));
+        assert_eq!(cold.warnings.len(), 1);
+        assert_eq!(cold.warnings[0].code, "W0001");
+        // A warm request skips the pipeline: no (re-)warnings.
+        let warm = svc.compile_one(CompileRequest::new("w", "warny"));
+        assert!(warm.cache_hit && warm.warnings.is_empty());
+        // Failures count under their codes.
+        let _ = svc.compile_one(CompileRequest::new("bad", "ERR"));
+        let stats = svc.stats();
+        assert_eq!(stats.warnings, 1);
+        assert_eq!(stats.failure_codes, vec![("E0000", 1)]);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("warnings 1"), "{rendered}");
+        assert!(rendered.contains("failures by code: E0000:1"), "{rendered}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Service statistics: request/hit/miss/error counters and latency
 //! distributions, per pipeline stage and per request.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -71,7 +72,11 @@ pub(crate) struct StatsCollector {
     cache_misses: AtomicU64,
     errors: AtomicU64,
     panics: AtomicU64,
+    warnings: AtomicU64,
     kinds: KindCounters,
+    /// Diagnostic code -> failed requests carrying it (a `BTreeMap` so
+    /// snapshots list codes in stable order).
+    failure_codes: Mutex<BTreeMap<&'static str, u64>>,
     stage_ns: Mutex<[Reservoir; Stage::ALL.len()]>,
     request_ns: Mutex<Reservoir>,
 }
@@ -99,6 +104,20 @@ impl StatsCollector {
 
     pub(crate) fn record_panic(&self) {
         self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts non-fatal warnings emitted by one (uncached) compilation.
+    pub(crate) fn record_warnings(&self, n: u64) {
+        self.warnings.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one failed request under each distinct diagnostic code it
+    /// carried — the per-code failure rows of the snapshot.
+    pub(crate) fn record_failure_codes(&self, codes: &[&'static str]) {
+        let mut map = self.failure_codes.lock().expect("stats lock");
+        for code in codes {
+            *map.entry(code).or_insert(0) += 1;
+        }
     }
 
     /// Records one artifact kind served: requested, and hit or missed
@@ -155,12 +174,21 @@ impl StatsCollector {
                 misses: self.kinds.misses[g].load(Ordering::Relaxed),
             })
             .collect();
+        let failure_codes: Vec<(&'static str, u64)> = self
+            .failure_codes
+            .lock()
+            .expect("stats lock")
+            .iter()
+            .map(|(code, n)| (*code, *n))
+            .collect();
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            warnings: self.warnings.load(Ordering::Relaxed),
+            failure_codes,
             cache_entries: cache.entries,
             cache_bytes: cache.bytes,
             cache_evictions: cache.evictions,
@@ -216,6 +244,11 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Requests whose compilation panicked (contained).
     pub panics: u64,
+    /// Non-fatal warnings emitted across all (uncached) compilations.
+    pub warnings: u64,
+    /// Failed requests per diagnostic code, code-ordered. A request
+    /// carrying several distinct codes counts once under each.
+    pub failure_codes: Vec<(&'static str, u64)>,
     /// Artifacts currently held by the cache.
     pub cache_entries: u64,
     /// Weighed bytes currently held by the cache (stored source plus
@@ -265,14 +298,23 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests {}  hits {}  misses {}  errors {}  panics {}  hit-ratio {:.0}%",
+            "requests {}  hits {}  misses {}  errors {}  panics {}  warnings {}  hit-ratio {:.0}%",
             self.requests,
             self.cache_hits,
             self.cache_misses,
             self.errors,
             self.panics,
+            self.warnings,
             self.hit_ratio() * 100.0
         )?;
+        if !self.failure_codes.is_empty() {
+            let rows: Vec<String> = self
+                .failure_codes
+                .iter()
+                .map(|(code, n)| format!("{code}:{n}"))
+                .collect();
+            writeln!(f, "failures by code: {}", rows.join("  "))?;
+        }
         writeln!(
             f,
             "cache: {} entries, {} bytes, {} evictions",

@@ -14,3 +14,4 @@
 pub mod diff;
 pub mod gen;
 pub mod industrial;
+pub mod mutate;

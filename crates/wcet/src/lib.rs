@@ -60,12 +60,15 @@ impl std::str::FromStr for CostModel {
     type Err = String;
 
     fn from_str(s: &str) -> Result<CostModel, String> {
-        match s {
-            "cc" => Ok(CostModel::CompCert),
-            "gcc" => Ok(CostModel::Gcc),
-            "gcci" => Ok(CostModel::GccInline),
-            other => Err(format!("unknown model `{other}` (cc|gcc|gcci)")),
-        }
+        velus_common::parse_enum_flag(
+            "cost model",
+            s,
+            &[
+                ("cc", CostModel::CompCert),
+                ("gcc", CostModel::Gcc),
+                ("gcci", CostModel::GccInline),
+            ],
+        )
     }
 }
 

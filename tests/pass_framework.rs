@@ -11,6 +11,7 @@ use velus::passes::{
     GeneratePass, Pass, PassManager, SchedulePass, TranslatePass,
 };
 use velus::{emit_c, TestIo};
+use velus_common::SpanMap;
 use velus_testkit::industrial::{industrial_source, IndustrialConfig};
 
 /// Compiles by invoking every pass individually through a
@@ -23,23 +24,32 @@ fn stagewise_c(source: &str, root: Option<&str>) -> String {
     let mut pm = PassManager::new(&mut observe);
 
     let elaborated = pm
-        .run(&ElaboratePass, FrontendInput { source, root })
+        .run(
+            &ElaboratePass,
+            FrontendInput { source, root },
+            &SpanMap::new(),
+        )
         .expect("elaborate");
     let root = elaborated.root;
-    let nlustre = pm.run(&CheckPass, elaborated.nlustre).expect("check");
+    let spans = elaborated.spans;
+    let nlustre = pm
+        .run(&CheckPass, elaborated.nlustre, &spans)
+        .expect("check");
     CheckPass.revalidate(&nlustre).expect("re-check");
 
-    let snlustre = pm.run(&SchedulePass, nlustre).expect("schedule");
+    let snlustre = pm.run(&SchedulePass, nlustre, &spans).expect("schedule");
     SchedulePass
         .revalidate(&snlustre)
         .expect("re-check schedule");
 
-    let obc = pm.run(&TranslatePass, &snlustre).expect("translate");
+    let obc = pm
+        .run(&TranslatePass, &snlustre, &spans)
+        .expect("translate");
     TranslatePass
         .revalidate(&obc)
         .expect("re-check translation");
 
-    let obc_fused = pm.run(&FusePass, &obc).expect("fuse");
+    let obc_fused = pm.run(&FusePass, &obc, &spans).expect("fuse");
     FusePass.revalidate(&obc_fused).expect("re-check fusion");
 
     let clight = pm
@@ -49,6 +59,7 @@ fn stagewise_c(source: &str, root: Option<&str>) -> String {
                 obc_fused: &obc_fused,
                 root,
             },
+            &spans,
         )
         .expect("generate");
     let c = pm
@@ -58,6 +69,7 @@ fn stagewise_c(source: &str, root: Option<&str>) -> String {
                 clight: &clight,
                 io: TestIo::Volatile,
             },
+            &spans,
         )
         .expect("emit");
     // Every stage reported, in pipeline order.

@@ -125,14 +125,22 @@ fn failing_requests_do_not_poison_the_batch_or_the_pool() {
         benchmark_request("count"),
     ]);
     assert_eq!(batch.ok_count(), 2);
-    assert!(matches!(
-        batch.items[1].result,
-        Err(ServiceError::Compile(_))
-    ));
-    assert!(matches!(
-        batch.items[2].result,
-        Err(ServiceError::Compile(_))
-    ));
+    // Failures are structured: stable codes, stages, positions.
+    match &batch.items[1].result {
+        Err(ServiceError::Compile { report, .. }) => {
+            let code = report.primary_code().expect("non-empty report");
+            assert!(code.starts_with("E01"), "syntax failure got {code}");
+            assert!(report.diagnostics[0].line > 0, "{report}");
+        }
+        other => panic!("expected a compile error, ok={}", other.is_ok()),
+    }
+    match &batch.items[2].result {
+        Err(ServiceError::Compile { report, .. }) => {
+            assert_eq!(report.primary_code(), Some("E0902"), "{report}");
+            assert_eq!(report.diagnostics[0].stage, "driver");
+        }
+        other => panic!("expected a compile error, ok={}", other.is_ok()),
+    }
 
     // The pool is alive and the failures were not cached.
     let again = svc.compile_batch(vec![benchmark_request("tracker")]);
