@@ -13,23 +13,33 @@
 //!
 //! ```text
 //! cargo run --release -p velus-bench --bin pipeline \
-//!     [--passes N] [--programs N] [--json PATH] [--smoke]
+//!     [--passes N] [--programs N] [--json PATH] [--smoke] \
+//!     [--overhead [--max-overhead-pct N]]
 //! ```
 //!
 //! `--json PATH` writes the profile as a JSON object (see
 //! `BENCH_pipeline.json` at the repository root); `--smoke` runs a tiny
 //! corpus, asserts the JSON output is well formed, and exits — the CI
 //! guard that keeps this harness buildable and runnable.
+//!
+//! `--overhead` instead measures the cost of the observability layer:
+//! the industrial corpus is compiled with tracing disabled and then
+//! with a live [`velus_obs::Recorder`] scope around every compile (each
+//! pipeline pass becoming a recorded span), best-of-three per
+//! configuration, and the run fails if tracing inflates wall time by
+//! more than `--max-overhead-pct` (default 3).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use velus::passes::StagedPipeline;
+use velus::passes::{PassSink, StagedPipeline};
 use velus_bench::suite::{load, BENCHMARKS};
 use velus_bench::{parse_bool_flag, parse_flag, parse_string_flag};
 use velus_clight::printer::TestIo;
+use velus_obs::trace;
+use velus_obs::{Histogram, Recorder, RecorderConfig};
 use velus_server::Stage;
 use velus_testkit::industrial::{industrial_source, IndustrialConfig};
 
@@ -86,6 +96,8 @@ struct Profile {
     total_ns: u64,
     total_allocs: u64,
     total_bytes: u64,
+    /// Whole-compile wall times, for tail latency (p99) reporting.
+    compile_ns: Histogram,
 }
 
 fn stage_index(stage: Stage) -> usize {
@@ -113,7 +125,9 @@ fn profile_one(profile: &mut Profile, source: &str, root: Option<&str>) {
         let c = staged.emit(TestIo::Volatile).expect("corpus emits");
         assert!(!c.is_empty());
     }
-    profile.total_ns += wall.elapsed().as_nanos() as u64;
+    let elapsed_ns = wall.elapsed().as_nanos() as u64;
+    profile.total_ns += elapsed_ns;
+    profile.compile_ns.record(elapsed_ns);
     let end = counters();
     profile.compiles += 1;
     profile.total_allocs += end.0 - run_start.0;
@@ -168,11 +182,16 @@ fn print_profile(label: &str, p: &Profile) {
         );
     }
     println!(
-        "  {:<10} {:>14.0} {:>16.1} {:>16.0}\n",
+        "  {:<10} {:>14.0} {:>16.1} {:>16.0}",
         "total",
         p.total_ns as f64 / p.compiles as f64,
         p.total_allocs as f64 / p.compiles as f64,
         p.total_bytes as f64 / p.compiles as f64
+    );
+    println!(
+        "  compile wall: p50 {:.2?}  p99 {:.2?}\n",
+        std::time::Duration::from_nanos(p.compile_ns.percentile(50.0)),
+        std::time::Duration::from_nanos(p.compile_ns.percentile(99.0))
     );
 }
 
@@ -186,8 +205,10 @@ fn json_profile(label: &str, p: &Profile) -> String {
     );
     let _ = write!(
         out,
-        "\n      \"total\": {{\"ns_per_compile\": {:.0}, \"allocs_per_compile\": {:.1}, \"bytes_per_compile\": {:.0}}},",
+        "\n      \"total\": {{\"ns_per_compile\": {:.0}, \"ns_p50\": {}, \"ns_p99\": {}, \"allocs_per_compile\": {:.1}, \"bytes_per_compile\": {:.0}}},",
         p.total_ns as f64 / per,
+        p.compile_ns.percentile(50.0),
+        p.compile_ns.percentile(99.0),
         p.total_allocs as f64 / per,
         p.total_bytes as f64 / per
     );
@@ -211,10 +232,93 @@ fn json_profile(label: &str, p: &Profile) -> String {
 /// One corpus: `(source, root node)` pairs.
 type Corpus = Vec<(String, String)>;
 
+/// A pass sink that mirrors every pipeline pass into the ambient trace
+/// scope — the same span shape the compile service records. When no
+/// scope is installed (the tracing-off configuration) every call is an
+/// inert no-op, so both overhead configurations run identical code and
+/// only the recorder toggles.
+#[derive(Default)]
+struct TraceSink {
+    open: Option<trace::SpanToken>,
+}
+
+impl PassSink for TraceSink {
+    fn pass_start(&mut self, _stage: Stage, name: &'static str) {
+        self.open = Some(trace::enter(name));
+    }
+
+    fn pass_end(&mut self, _stage: Stage, _dur: std::time::Duration) {
+        if let Some(token) = self.open.take() {
+            trace::exit(token);
+        }
+    }
+
+    fn pass_fail(&mut self, _stage: Stage, _name: &'static str) {
+        if let Some(token) = self.open.take() {
+            trace::exit(token);
+        }
+    }
+}
+
+/// Wall time of one full corpus sweep, compiling every program cold
+/// with the pass sink above; `recorder` decides whether the spans land
+/// in a live ring buffer or vanish in the no-scope fast path.
+fn timed_sweep(corpus: &[(String, String)], passes: usize, recorder: Option<&Recorder>) -> f64 {
+    let wall = Instant::now();
+    for _ in 0..passes {
+        for (source, root) in corpus {
+            let _scope = recorder.map(|rec| rec.scope(root));
+            let mut sink = TraceSink::default();
+            let mut staged = StagedPipeline::from_source(source, Some(root), &mut sink)
+                .expect("corpus compiles");
+            let c = staged.emit(TestIo::Volatile).expect("corpus emits");
+            assert!(!c.is_empty());
+        }
+    }
+    wall.elapsed().as_secs_f64()
+}
+
+/// The `--overhead` mode: best-of-`REPS` corpus sweeps with tracing off
+/// and on, interleaved so drift hits both configurations alike. Fails
+/// the process when tracing inflates wall time beyond the budget.
+fn overhead_gate(corpus: &Corpus, passes: usize, max_pct: f64) {
+    const REPS: usize = 3;
+    let recorder = Recorder::new(RecorderConfig::default());
+    // One throwaway sweep per configuration to warm caches and the
+    // recorder's thread-local ring registration.
+    timed_sweep(corpus, 1, None);
+    timed_sweep(corpus, 1, Some(&recorder));
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    for _ in 0..REPS {
+        off = off.min(timed_sweep(corpus, passes, None));
+        on = on.min(timed_sweep(corpus, passes, Some(&recorder)));
+    }
+    let events = recorder.drain();
+    let pct = (on - off) / off * 100.0;
+    println!(
+        "tracing overhead: off {off:.4}s  on {on:.4}s  overhead {pct:+.2}%  (budget {max_pct:.1}%, {} events recorded)",
+        events.events.len()
+    );
+    assert!(
+        pct <= max_pct,
+        "tracing overhead {pct:.2}% exceeds the {max_pct:.1}% budget"
+    );
+    println!("overhead ok: tracing stays within {max_pct:.1}% of untraced wall time");
+}
+
 fn main() {
     let smoke = parse_bool_flag("--smoke");
-    let passes = parse_flag("--passes", if smoke { 1 } else { 3 });
+    let overhead = parse_bool_flag("--overhead");
+    let passes = parse_flag("--passes", if smoke || overhead { 1 } else { 3 });
     let programs = parse_flag("--programs", if smoke { 2 } else { 24 });
+
+    if overhead {
+        let max_pct = parse_flag("--max-overhead-pct", 3) as f64;
+        println!("pipeline bench: tracing overhead gate ({programs} programs, {passes} passes)\n");
+        overhead_gate(&industrial_corpus(programs), passes, max_pct);
+        return;
+    }
 
     let mut corpora: Vec<(&str, Corpus)> = Vec::new();
     if smoke {

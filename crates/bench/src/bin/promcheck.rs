@@ -1,0 +1,33 @@
+//! `promcheck` — reads stdin, asserts it is a well-formed Prometheus
+//! text-format exposition.
+//!
+//! The CI pipes `velus batch --metrics-out` dumps through this, the
+//! same way `jsoncheck` gates the JSON artifacts: every sample line
+//! must parse (`name{label="value"} number`) and belong to a metric
+//! family declared by a preceding `# TYPE` line.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("promcheck: cannot read stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    match velus_obs::prom::check(&input) {
+        Ok(()) => {
+            let families = input.lines().filter(|l| l.starts_with("# TYPE ")).count();
+            println!(
+                "prometheus ok ({families} metric families, {} bytes)",
+                input.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("promcheck: malformed exposition: {e}");
+            eprintln!("{input}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -22,7 +22,19 @@
 use velus::service::{service, ServiceConfig};
 use velus::{ArtifactKind, CompileOptions, CompileRequest, WcetModelKind};
 use velus_bench::{parse_flag, parse_string_flag};
+use velus_obs::Histogram;
 use velus_testkit::industrial::{industrial_source, IndustrialConfig};
+
+/// Tail latency of a batch: per-request latencies folded through the
+/// service's own mergeable histogram, so the bench reports the same
+/// p99 the service statistics would.
+fn batch_p99(report: &velus::service::BatchReport<velus::PipelineCompiler>) -> std::time::Duration {
+    let mut hist = Histogram::new();
+    for item in &report.items {
+        hist.record(item.latency.as_nanos() as u64);
+    }
+    std::time::Duration::from_nanos(hist.percentile(99.0))
+}
 
 /// A deterministic corpus: distinct shapes so requests differ in cost,
 /// as real batches do.
@@ -49,8 +61,8 @@ fn main() {
     let requests = corpus(programs);
     println!("service bench: {programs} generated programs, scaling 1..={max_workers} workers\n");
     println!(
-        "{:<8} {:>12} {:>14} {:>12} {:>14}",
-        "workers", "cold", "cold prog/s", "warm", "warm prog/s"
+        "{:<8} {:>12} {:>14} {:>12} {:>12} {:>14}",
+        "workers", "cold", "cold prog/s", "cold p99", "warm", "warm prog/s"
     );
 
     // Powers of two up to the cap, always ending exactly at the cap so
@@ -96,11 +108,13 @@ fn main() {
                 base.as_secs_f64() / cold.wall.as_secs_f64().max(f64::EPSILON)
             ),
         };
+        let cold_p99 = batch_p99(&cold);
         println!(
-            "{:<8} {:>12} {:>14.1} {:>12} {:>14.1}   speedup {speedup}",
+            "{:<8} {:>12} {:>14.1} {:>12} {:>12} {:>14.1}   speedup {speedup}",
             workers,
             format!("{:.2?}", cold.wall),
             cold.throughput(),
+            format!("{:.2?}", cold_p99),
             format!("{:.2?}", warm.wall),
             warm.throughput()
         );
@@ -108,12 +122,14 @@ fn main() {
             concat!(
                 "  {{\"workers\": {}, \"programs\": {}, ",
                 "\"cold_secs\": {:.6}, \"cold_prog_per_s\": {:.1}, ",
+                "\"cold_p99_secs\": {:.6}, ",
                 "\"warm_secs\": {:.6}, \"warm_prog_per_s\": {:.1}}}"
             ),
             workers,
             programs,
             cold.wall.as_secs_f64(),
             cold.throughput(),
+            cold_p99.as_secs_f64(),
             warm.wall.as_secs_f64(),
             warm.throughput()
         ));

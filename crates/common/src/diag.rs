@@ -66,6 +66,48 @@ impl Code {
             Severity::Error
         }
     }
+
+    /// Whether a failure under this code is worth retrying. Every
+    /// registered code except [`codes::E0000`] describes a property of
+    /// the *source program* — resubmitting the same input fails the
+    /// same way — while `E0000` marks an uncategorized internal
+    /// failure whose cause may be environmental.
+    pub fn retry_class(self) -> RetryClass {
+        if self.id == "E0000" {
+            RetryClass::Transient
+        } else {
+            RetryClass::Source
+        }
+    }
+}
+
+/// Whether retrying a failed request can possibly succeed. Surfaced as
+/// the `class` label on the service's per-code failure counters so
+/// dashboards can separate "bad input" from "bad day".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetryClass {
+    /// Deterministic: the failure is inherent to the source program.
+    Source,
+    /// Environmental: a retry of the identical request may succeed
+    /// (worker panic, lost result, uncategorized internal error).
+    Transient,
+}
+
+impl RetryClass {
+    /// The lowercase label value used in metrics (`"source"` /
+    /// `"transient"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RetryClass::Source => "source",
+            RetryClass::Transient => "transient",
+        }
+    }
+}
+
+impl fmt::Display for RetryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 impl fmt::Display for Code {
@@ -257,6 +299,17 @@ pub mod codes {
         // -- warnings --------------------------------------------------
         /// A `pre` that may be read before initialization.
         W0001 = ("W0001", "possibly uninitialized pre");
+    }
+
+    /// The retry class of a failure-counter key. Registered codes map
+    /// through [`Code::retry_class`]; keys that are not registered
+    /// codes (the service's pseudo-codes for worker panics and lost
+    /// results) are environmental, hence transient.
+    pub fn retry_class_of(id: &str) -> super::RetryClass {
+        match ALL.iter().find(|c| c.id == id) {
+            Some(code) => code.retry_class(),
+            None => super::RetryClass::Transient,
+        }
     }
 }
 
@@ -932,6 +985,16 @@ mod tests {
         assert_eq!(codes::W0001.severity(), Severity::Warning);
         let d = Diagnostic::new(codes::W0001, "w", Span::DUMMY);
         assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn retry_class_separates_source_from_environment() {
+        assert_eq!(codes::E0201.retry_class(), RetryClass::Source);
+        assert_eq!(codes::E0000.retry_class(), RetryClass::Transient);
+        assert_eq!(codes::retry_class_of("E0202"), RetryClass::Source);
+        assert_eq!(codes::retry_class_of("panic"), RetryClass::Transient);
+        assert_eq!(RetryClass::Source.label(), "source");
+        assert_eq!(RetryClass::Transient.to_string(), "transient");
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod span;
 
 pub use diag::{
     codes, json_escape, Code, DiagRecord, DiagStage, Diagnostic, Diagnostics, FailureReport, Note,
-    Severity, ToDiagnostics,
+    RetryClass, Severity, ToDiagnostics,
 };
 pub use flags::parse_enum_flag;
 pub use ident::{FreshGen, Ident};

@@ -10,7 +10,8 @@
 //! velus dump    FILE [--node NAME] [--ir nlustre|snlustre|obc|obc-fused]
 //! velus batch   DIR [--workers N] [--passes N] [--stdio]
 //!               [--cache-cap N] [--sched fifo|cost]
-//!               [--emit KINDS]                            batch-compile a directory
+//!               [--emit KINDS] [--trace-out FILE]
+//!               [--metrics-out FILE] [--slow-trace-ms N]  batch-compile a directory
 //! ```
 //!
 //! `--emit KINDS` is a comma-separated artifact set: `c`,
@@ -39,6 +40,15 @@
 //! recompile and re-verify on later passes) and `--sched cost` submits
 //! each pass longest-predicted-first instead of FIFO, shortening the
 //! makespan of skewed batches.
+//!
+//! The observability flags thread the batch through `velus-obs`:
+//! `--trace-out FILE` records every request as a span tree (queue wait,
+//! scheduling, cache probe, each pipeline pass, artifact handling) and
+//! writes Chrome trace-event JSON loadable in Perfetto;
+//! `--metrics-out FILE` writes the closing statistics snapshot in the
+//! Prometheus text format; `--slow-trace-ms N` additionally retains the
+//! complete span tree of every request slower than N ms in the flight
+//! recorder (the slowest request's tree is always printed).
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -63,6 +73,9 @@ struct Args {
     cache_cap: Option<usize>,
     sched: String,
     error_format: ErrorFormat,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    slow_trace_ms: Option<u64>,
 }
 
 /// How CLI failures are rendered.
@@ -92,6 +105,9 @@ fn parse_args() -> Result<Args, String> {
         cache_cap: None,
         sched: "fifo".to_owned(),
         error_format: ErrorFormat::Human,
+        trace_out: None,
+        metrics_out: None,
+        slow_trace_ms: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -132,6 +148,20 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--sched" => parsed.sched = args.next().ok_or("missing value for --sched")?,
+            "--trace-out" => {
+                parsed.trace_out = Some(args.next().ok_or("missing value for --trace-out")?)
+            }
+            "--metrics-out" => {
+                parsed.metrics_out = Some(args.next().ok_or("missing value for --metrics-out")?)
+            }
+            "--slow-trace-ms" => {
+                parsed.slow_trace_ms = Some(
+                    args.next()
+                        .ok_or("missing value for --slow-trace-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --slow-trace-ms value")?,
+                )
+            }
             "--error-format" => {
                 let value = args.next().ok_or("missing value for --error-format")?;
                 parsed.error_format = velus_common::parse_enum_flag(
@@ -152,9 +182,12 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: velus <compile|check|run|validate|wcet|dump> FILE [options]
        velus batch DIR [--workers N] [--passes N] [--stdio] [--cache-cap N] [--sched fifo|cost] [--emit KINDS]
+                       [--trace-out FILE] [--metrics-out FILE] [--slow-trace-ms N]
 options: --node NAME, -o OUT.c, --steps N, --stdio, --model cc|gcc|gcci,
          --ir nlustre|snlustre|obc|obc-fused, --error-format human|json,
-         --emit c,wcet[:cc|gcc|gcci],baseline,nlustre,snlustre,obc,obc-fused,report"
+         --emit c,wcet[:cc|gcc|gcci],baseline,nlustre,snlustre,obc,obc-fused,report,
+         --trace-out FILE (Chrome trace JSON), --metrics-out FILE (Prometheus text),
+         --slow-trace-ms N (flight-record requests slower than N ms)"
         .to_owned()
 }
 
@@ -288,6 +321,15 @@ fn run_batch(args: &Args) -> Result<(), String> {
     // reported in the closing statistics table.
     config.cache.max_entries = args.cache_cap;
     config.schedule = args.sched.parse()?;
+    // Any observability flag turns the tracing recorder on; without
+    // them the batch runs entirely trace-free.
+    let tracing = args.trace_out.is_some() || args.slow_trace_ms.is_some();
+    if tracing || args.metrics_out.is_some() {
+        config.recorder = Some(velus::Recorder::new(velus::RecorderConfig {
+            slow_threshold_ns: args.slow_trace_ms.map(|ms| ms * 1_000_000),
+            ..velus::RecorderConfig::default()
+        }));
+    }
     let svc = service(config);
     // In JSON error mode stdout is reserved for the machine-readable
     // failure reports; the human table goes to stderr.
@@ -412,6 +454,47 @@ fn run_batch(args: &Args) -> Result<(), String> {
     }
 
     say!("\nservice statistics:\n{}", svc.stats());
+    if let Some(rec) = svc.recorder() {
+        if let Some(path) = &args.trace_out {
+            let data = rec.drain();
+            if data.dropped > 0 {
+                eprintln!(
+                    "trace: {} events dropped by bounded ring buffers",
+                    data.dropped
+                );
+            }
+            std::fs::write(path, data.chrome_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            say!("trace written to {path} (open in Perfetto / chrome://tracing)");
+        }
+        // The flight recorder explains the tail: the slowest request's
+        // span tree (and any over --slow-trace-ms) as an indented dump.
+        let flight = rec.flight();
+        if let Some(slowest) = flight.first() {
+            say!(
+                "\nslowest request (flight recorder):\n{}",
+                slowest.render_tree()
+            );
+        }
+        if let Some(threshold) = args.slow_trace_ms {
+            let over: Vec<&str> = flight
+                .iter()
+                .filter(|r| r.dur_ns >= threshold * 1_000_000)
+                .map(|r| r.label.as_str())
+                .collect();
+            say!(
+                "flight recorder: {} request(s) over {threshold} ms{}{}",
+                over.len(),
+                if over.is_empty() { "" } else { ": " },
+                over.join(", ")
+            );
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, svc.stats().render_prometheus())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        say!("metrics written to {path} (Prometheus text format)");
+    }
     if failed > 0 {
         // In JSON mode the failures were already printed as attributed
         // objects on stdout; the empty sentinel keeps the exit code

@@ -45,13 +45,14 @@ pub mod validate;
 
 pub use artifacts::ServiceArtifact;
 pub use error::VelusError;
-pub use passes::{PassManager, StagedPipeline};
+pub use passes::{PassManager, PassSink, StagedPipeline};
 pub use pipeline::{
     compile, compile_program, compile_program_timed, compile_timed, emit_c, Compiled,
 };
 pub use service::{PipelineCompiler, VelusService};
 pub use validate::{validate, validate_with_report, ValidationReport};
 pub use velus_clight::printer::TestIo;
+pub use velus_obs::{Recorder, RecorderConfig};
 pub use velus_server::{
     ArtifactKind, CompileOptions, CompileRequest, IoMode, IrStageKind, ServiceConfig, Stage,
     WcetModelKind,

@@ -11,10 +11,11 @@
 //! * a **re-validation hook** ([`Pass::revalidate`]) — the paper proves
 //!   each pass's postcondition once; this reproduction re-checks it
 //!   after every run, and the hook is where that check lives,
-//! * **timing built in**: the [`PassManager`] wraps every run and
-//!   reports the stage's wall-clock duration to a
-//!   [`StageObserver`], which is what the compilation service's
-//!   per-stage statistics are built from.
+//! * **observation built in**: the [`PassManager`] wraps every run and
+//!   reports start/end/fail events to a [`PassSink`] (borrowed as a
+//!   [`StageObserver`]), which is what the compilation service's
+//!   per-stage statistics *and* its per-pass trace spans are built
+//!   from — one hook, two consumers.
 //!
 //! [`StagedPipeline`] composes the passes **on demand**: each IR is
 //! computed (and re-validated) the first time something asks for it and
@@ -36,11 +37,48 @@ use velus_server::Stage;
 
 use crate::VelusError;
 
-/// A per-stage timing observer. Stages are reported in pipeline order
-/// with their wall-clock duration (the duration covers the pass body
-/// *and* its re-validation hook — validation is part of the pass, not
-/// an optional extra).
-pub type StageObserver<'a> = &'a mut dyn FnMut(Stage, std::time::Duration);
+/// The event sink of the pass framework: stage timing *and* tracing
+/// observe pass execution through this one hook.
+///
+/// [`PassManager`] calls [`pass_start`](PassSink::pass_start) before a
+/// pass body runs, then exactly one of [`pass_end`](PassSink::pass_end)
+/// (success, with the wall-clock duration covering the pass body *and*
+/// its re-validation hook — validation is part of the pass, not an
+/// optional extra) or [`pass_fail`](PassSink::pass_fail) (so a tracing
+/// sink can close the pass's span without recording a timing sample;
+/// failed passes have never contributed to the stage statistics).
+///
+/// Every `FnMut(Stage, Duration)` closure is a `PassSink` that only
+/// listens to `pass_end` — the historical timing-observer shape — so
+/// `&mut closure` still coerces to a [`StageObserver`].
+pub trait PassSink {
+    /// The named pass is about to run.
+    fn pass_start(&mut self, stage: Stage, name: &'static str) {
+        let _ = (stage, name);
+    }
+
+    /// The pass and its re-validation succeeded, taking `dur`.
+    fn pass_end(&mut self, stage: Stage, dur: std::time::Duration) {
+        let _ = (stage, dur);
+    }
+
+    /// The pass (or its re-validation) failed.
+    fn pass_fail(&mut self, stage: Stage, name: &'static str) {
+        let _ = (stage, name);
+    }
+}
+
+impl<F: FnMut(Stage, std::time::Duration)> PassSink for F {
+    fn pass_end(&mut self, stage: Stage, dur: std::time::Duration) {
+        self(stage, dur)
+    }
+}
+
+/// A borrowed pass-event sink, threaded through the pipeline
+/// constructors. Plain timing closures coerce here unchanged; richer
+/// sinks (the service's tracing + stats sink) implement [`PassSink`]
+/// directly.
+pub type StageObserver<'a> = &'a mut dyn PassSink;
 
 /// The diagnostic stage a statistics [`Stage`] maps to, for the stage
 /// tag the pass manager stamps on every failure.
@@ -119,6 +157,7 @@ impl<'o> PassManager<'o> {
         input: P::Input,
         spans: &SpanMap,
     ) -> Result<P::Output, VelusError> {
+        self.observe.pass_start(P::STAGE, P::NAME);
         let start = Instant::now();
         let result = pass.run(input).and_then(|output| {
             pass.revalidate(&output)?;
@@ -126,10 +165,13 @@ impl<'o> PassManager<'o> {
         });
         match result {
             Ok(output) => {
-                (self.observe)(P::STAGE, start.elapsed());
+                self.observe.pass_end(P::STAGE, start.elapsed());
                 Ok(output)
             }
-            Err(e) => Err(e.into_structured(spans, diag_stage(P::STAGE))),
+            Err(e) => {
+                self.observe.pass_fail(P::STAGE, P::NAME);
+                Err(e.into_structured(spans, diag_stage(P::STAGE)))
+            }
         }
     }
 }

@@ -17,7 +17,7 @@ use velus_ops::ClightOps;
 use crate::passes::StagedPipeline;
 use crate::VelusError;
 
-pub use crate::passes::StageObserver;
+pub use crate::passes::{PassSink, StageObserver};
 
 /// The result of a full compilation: every intermediate representation.
 #[derive(Debug, Clone)]

@@ -28,11 +28,50 @@
 
 use velus_clight::printer::TestIo;
 use velus_common::{DiagRecord, FailureReport, SpanMap, ToDiagnostics};
+use velus_obs::trace;
 use velus_server::{ArtifactKind, CompileOutput, CompileRequest, Compiler, IoMode};
 
 use crate::artifacts::{produce, ServiceArtifact};
-use crate::passes::StagedPipeline;
+use crate::passes::{PassSink, StagedPipeline};
 use crate::VelusError;
+
+/// The pass-event sink of the service compiler: collects the per-stage
+/// timing samples the service statistics are built from, and mirrors
+/// each pass as a trace span (free when the worker thread has no active
+/// trace scope — the span calls are single thread-local reads).
+#[derive(Default)]
+struct ObsSink {
+    samples: Vec<velus_server::StageSample>,
+    open: Option<trace::SpanToken>,
+}
+
+impl ObsSink {
+    fn close_span(&mut self) {
+        if let Some(token) = self.open.take() {
+            trace::exit(token);
+        }
+    }
+}
+
+impl PassSink for ObsSink {
+    fn pass_start(&mut self, _stage: velus_server::Stage, name: &'static str) {
+        self.open = Some(trace::enter(name));
+    }
+
+    fn pass_end(&mut self, stage: velus_server::Stage, dur: std::time::Duration) {
+        self.close_span();
+        self.samples.push(velus_server::StageSample {
+            stage,
+            nanos: dur.as_nanos() as u64,
+        });
+    }
+
+    // A failed pass closes its span but records no timing sample:
+    // failures have never contributed to the stage statistics.
+    fn pass_fail(&mut self, _stage: velus_server::Stage, _name: &'static str) {
+        self.close_span();
+    }
+}
 
 /// The [`Compiler`] implementation backed by the paper's staged pass
 /// pipeline with per-stage instrumentation. Only the stages a request's
@@ -50,19 +89,12 @@ impl Compiler for PipelineCompiler {
         req: &CompileRequest,
         kinds: &[ArtifactKind],
     ) -> Result<CompileOutput<ServiceArtifact>, VelusError> {
-        let mut samples: Vec<velus_server::StageSample> = Vec::new();
-        let mut observe = |stage, dur: std::time::Duration| {
-            samples.push(velus_server::StageSample {
-                stage,
-                nanos: dur.as_nanos() as u64,
-            });
-        };
+        let mut sink = ObsSink::default();
         let io = match req.options.io {
             IoMode::Volatile => TestIo::Volatile,
             IoMode::Stdio => TestIo::Stdio,
         };
-        let mut staged =
-            StagedPipeline::from_source(&req.source, req.root.as_deref(), &mut observe)?;
+        let mut staged = StagedPipeline::from_source(&req.source, req.root.as_deref(), &mut sink)?;
         let artifacts = produce(&mut staged, kinds, io, &req.source)?;
         // Front-end warnings ride the output instead of being dropped:
         // the service counts them and the batch CLI prints them.
@@ -72,7 +104,7 @@ impl Compiler for PipelineCompiler {
             .map(|w| DiagRecord::of(w, &req.source))
             .collect();
         drop(staged);
-        Ok(CompileOutput::new(artifacts, samples).with_warnings(warnings))
+        Ok(CompileOutput::new(artifacts, sink.samples).with_warnings(warnings))
     }
 
     /// Failures leave the staged pipeline already structured

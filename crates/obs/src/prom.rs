@@ -1,0 +1,276 @@
+//! Prometheus text-format exposition, hand-rolled like the rest of the
+//! workspace's serializers.
+//!
+//! [`PromWriter`] produces the classic text format — `# HELP` / `# TYPE`
+//! headers followed by `name{label="value"} 1234` samples — which is
+//! what a `/stats` endpoint will serve and what `velus batch
+//! --metrics-out` writes today. [`check`] is the matching minimal
+//! validator CI pipes those dumps through: it verifies line shape,
+//! label quoting, numeric sample values, and that every sample's
+//! metric family was declared by a preceding `# TYPE` line.
+
+use std::fmt::Write as _;
+
+/// Incremental writer for the Prometheus text exposition format.
+///
+/// ```
+/// let mut w = velus_obs::PromWriter::new("velus");
+/// w.header("requests_total", "Requests accepted.", "counter");
+/// w.sample("requests_total", &[("kind", "c")], 3.0);
+/// let text = w.finish();
+/// assert!(text.contains("velus_requests_total{kind=\"c\"} 3"));
+/// velus_obs::prom::check(&text).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct PromWriter {
+    prefix: &'static str,
+    out: String,
+}
+
+impl PromWriter {
+    /// A writer whose metric names are all prefixed `"{prefix}_"`.
+    pub fn new(prefix: &'static str) -> PromWriter {
+        PromWriter {
+            prefix,
+            out: String::with_capacity(4096),
+        }
+    }
+
+    /// Writes the `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` is the Prometheus type: `counter`, `gauge`, `summary`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {}_{name} {help}", self.prefix);
+        let _ = writeln!(self.out, "# TYPE {}_{name} {kind}", self.prefix);
+    }
+
+    /// Writes one sample line. Labels are `(name, value)` pairs; values
+    /// are escaped per the format (backslash, quote, newline).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let _ = write!(self.out, "{}_{name}", self.prefix);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            let _ = writeln!(self.out, " {}", value as i64);
+        } else {
+            let _ = writeln!(self.out, " {value}");
+        }
+    }
+
+    /// Finishes and returns the rendered exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Minimal validator for the Prometheus text format, used by CI to
+/// gate `--metrics-out` dumps. Checks that every non-comment line is
+/// `name{label="value",…} number`, that metric names are legal, that
+/// label values close their quotes, and that each sample's family was
+/// declared by a preceding `# TYPE` line.
+pub fn check(text: &str) -> Result<(), String> {
+    let mut declared: Vec<&str> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or(format!("line {n}: TYPE without a name"))?;
+            let kind = parts
+                .next()
+                .ok_or(format!("line {n}: TYPE without a kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {n}: unknown metric type {kind:?}"));
+            }
+            declared.push(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = match line.find(['{', ' ']) {
+            Some(i) if line.as_bytes()[i] == b'{' => {
+                let close = find_label_close(&line[i..])
+                    .ok_or(format!("line {n}: unterminated label set"))?;
+                let after = &line[i + close + 1..];
+                (
+                    &line[..i],
+                    check_labels(&line[i + 1..i + close], n).map(|()| after)?,
+                )
+            }
+            Some(i) => (&line[..i], &line[i..]),
+            None => return Err(format!("line {n}: sample without a value")),
+        };
+        if name_part.is_empty()
+            || !name_part
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name_part.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {n}: bad metric name {name_part:?}"));
+        }
+        let declares = |d: &&str| {
+            name_part == *d
+                || name_part
+                    .strip_prefix(*d)
+                    .is_some_and(|s| matches!(s, "_sum" | "_count" | "_bucket"))
+        };
+        if !declared.iter().any(declares) {
+            return Err(format!(
+                "line {n}: sample {name_part:?} has no preceding # TYPE"
+            ));
+        }
+        let value = value_part.trim();
+        if value.is_empty() || value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: bad sample value {value:?}"));
+        }
+    }
+    if declared.is_empty() {
+        return Err("no metric families declared".to_string());
+    }
+    Ok(())
+}
+
+/// Index of the `}` closing a label set starting at `s[0] == '{'`,
+/// skipping over quoted label values (with backslash escapes).
+fn find_label_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(1) {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn check_labels(body: &str, lineno: usize) -> Result<(), String> {
+    if body.is_empty() {
+        return Ok(());
+    }
+    // Split on commas outside quotes.
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    let mut pairs = Vec::new();
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                pairs.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    pairs.push(&body[start..]);
+    for pair in pairs {
+        let Some((k, v)) = pair.split_once('=') else {
+            return Err(format!("line {lineno}: label without '=': {pair:?}"));
+        };
+        if k.is_empty() || !k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {lineno}: bad label name {k:?}"));
+        }
+        if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
+            return Err(format!("line {lineno}: unquoted label value {v:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_output_passes_the_checker() {
+        let mut w = PromWriter::new("velus");
+        w.header(
+            "requests_total",
+            "Requests accepted by the service.",
+            "counter",
+        );
+        w.sample("requests_total", &[], 42.0);
+        w.sample("requests_total", &[("kind", "c"), ("class", "source")], 7.0);
+        w.header("queue_depth", "Requests waiting for a worker.", "gauge");
+        w.sample("queue_depth", &[], 0.0);
+        w.header("latency_seconds", "Request latency quantiles.", "summary");
+        w.sample("latency_seconds", &[("quantile", "0.99")], 0.001_234);
+        w.sample("latency_seconds_sum", &[], 1.5);
+        w.sample("latency_seconds_count", &[], 12.0);
+        let text = w.finish();
+        check(&text).expect("writer output must validate");
+        assert!(text.contains("velus_requests_total{kind=\"c\",class=\"source\"} 7"));
+        assert!(text.contains("# TYPE velus_queue_depth gauge"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new("t");
+        w.header("m", "h", "counter");
+        w.sample("m", &[("path", "a\"b\\c")], 1.0);
+        let text = w.finish();
+        assert!(text.contains("t_m{path=\"a\\\"b\\\\c\"} 1"));
+        check(&text).expect("escaped labels must validate");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_dumps() {
+        assert!(check("").is_err(), "empty dump declares nothing");
+        assert!(check("velus_x 1\n").is_err(), "sample without TYPE");
+        assert!(
+            check("# TYPE velus_x counter\nvelus_x{a=b} 1\n").is_err(),
+            "unquoted label"
+        );
+        assert!(
+            check("# TYPE velus_x counter\nvelus_x oops\n").is_err(),
+            "non-numeric value"
+        );
+        assert!(
+            check("# TYPE velus_x widget\nvelus_x 1\n").is_err(),
+            "unknown type"
+        );
+        assert!(
+            check("# TYPE velus_x counter\nvelus_x{a=\"b\" 1\n").is_err(),
+            "unterminated labels"
+        );
+        assert!(check("# TYPE velus_x counter\nvelus_x{a=\"b\"} 1\n").is_ok());
+    }
+}

@@ -6,6 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use velus_obs::trace;
+use velus_obs::Recorder;
+
 use crate::cache::{ArtifactCache, CacheConfig, CacheKey};
 use crate::pool::WorkerPool;
 use crate::sched::{submission_order, CostModel, SchedulePolicy};
@@ -23,6 +26,12 @@ pub struct ServiceConfig {
     pub cache: CacheConfig,
     /// Batch submission order (FIFO or cost-predicted LPT).
     pub schedule: SchedulePolicy,
+    /// Structured-tracing recorder. When set, every request runs under
+    /// a trace scope (queue wait, scheduling, cache probe, pipeline
+    /// passes, artifact handling) and the recorder's flight recorder
+    /// retains the slowest requests' span trees. `None` (the default)
+    /// keeps the service entirely trace-free.
+    pub recorder: Option<Recorder>,
 }
 
 impl Default for ServiceConfig {
@@ -32,6 +41,7 @@ impl Default for ServiceConfig {
             caching: true,
             cache: CacheConfig::default(),
             schedule: SchedulePolicy::default(),
+            recorder: None,
         }
     }
 }
@@ -170,6 +180,7 @@ pub struct CompileService<C: Compiler> {
     stats: Arc<StatsCollector>,
     cost_model: Arc<CostModel>,
     in_flight: Arc<AtomicU64>,
+    recorder: Option<Recorder>,
 }
 
 impl<C: Compiler> CompileService<C> {
@@ -187,7 +198,14 @@ impl<C: Compiler> CompileService<C> {
             stats: Arc::new(StatsCollector::new()),
             cost_model: Arc::new(CostModel::new()),
             in_flight: Arc::new(AtomicU64::new(0)),
+            recorder: config.recorder,
         }
+    }
+
+    /// The tracing recorder, when the service was configured with one
+    /// (drain it for Chrome-trace output, query it for flight records).
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
     }
 
     /// Number of worker threads.
@@ -206,9 +224,9 @@ impl<C: Compiler> CompileService<C> {
     }
 
     /// A point-in-time statistics snapshot (including the cache's
-    /// occupancy and eviction counters).
+    /// occupancy and eviction counters and the in-flight queue depth).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot(self.cache.counters())
+        self.stats.snapshot(self.cache.counters(), self.in_flight())
     }
 
     /// The online cost model driving [`SchedulePolicy::Cost`].
@@ -222,8 +240,10 @@ impl<C: Compiler> CompileService<C> {
     }
 
     /// Compiles one request on the calling thread (same cache and
-    /// accounting as a batch).
+    /// accounting as a batch; traced when a recorder is configured —
+    /// without a queue-wait interval, since nothing queued).
     pub fn compile_one(&self, req: CompileRequest) -> RequestReport<C> {
+        let _scope = self.recorder.as_ref().map(|rec| rec.scope(&req.name));
         run_request(
             self.compiler.as_ref(),
             &self.cache,
@@ -260,7 +280,7 @@ impl<C: Compiler> CompileService<C> {
         };
         let mut slots_in: Vec<Option<CompileRequest>> = reqs.into_iter().map(Some).collect();
         let (tx, rx) = mpsc::channel::<(usize, RequestReport<C>)>();
-        for index in order {
+        for (submit_index, index) in order.into_iter().enumerate() {
             let req = slots_in[index].take().expect("each request submits once");
             let tx = tx.clone();
             let compiler = Arc::clone(&self.compiler);
@@ -269,7 +289,27 @@ impl<C: Compiler> CompileService<C> {
             let cost_model = Arc::clone(&self.cost_model);
             let in_flight = Arc::clone(&self.in_flight);
             let caching = self.caching;
+            let schedule = self.schedule;
+            // The trace ID is allocated at submission so the queue-wait
+            // interval (submit → worker pickup) can be keyed to it.
+            let traced = self
+                .recorder
+                .clone()
+                .map(|rec| (rec.new_trace(), rec.now_ns(), rec));
             self.pool.execute(move || {
+                let _scope = traced.as_ref().map(|(trace_id, submit_ns, rec)| {
+                    let scope = rec.scope_with(&req.name, *trace_id);
+                    trace::complete(
+                        "queue-wait",
+                        *submit_ns,
+                        rec.now_ns().saturating_sub(*submit_ns),
+                    );
+                    trace::instant(
+                        "sched",
+                        Some(format!("policy={schedule:?} submit_index={submit_index}")),
+                    );
+                    scope
+                });
                 let report = run_request(
                     compiler.as_ref(),
                     &cache,
@@ -333,6 +373,7 @@ fn run_request<C: Compiler>(
     // Probe every kind first: a request recompiles only for the kinds
     // the cache cannot serve, and a fully warm request never touches
     // the compiler at all.
+    let probe = trace::enter("cache-probe");
     let mut slots: Vec<Option<Arc<C::Artifact>>> = Vec::with_capacity(kinds.len());
     for (kind, key) in kinds.iter().zip(&keys) {
         let found = if caching {
@@ -341,8 +382,13 @@ fn run_request<C: Compiler>(
             None
         };
         stats.record_kind(kind, found.is_some());
+        if trace::active() {
+            let outcome = if found.is_some() { "hit" } else { "miss" };
+            trace::instant("probe", Some(format!("{kind}:{outcome}")));
+        }
         slots.push(found);
     }
+    trace::exit(probe);
     let missing: Vec<usize> = (0..kinds.len()).filter(|&i| slots[i].is_none()).collect();
     let all_hit = missing.is_empty();
     if all_hit {
@@ -357,6 +403,7 @@ fn run_request<C: Compiler>(
     } else {
         let missing_kinds: Vec<ArtifactKind> = missing.iter().map(|&i| kinds[i]).collect();
         compile_guarded(compiler, stats, cost_model, &req, &missing_kinds).map(|output| {
+            let _store = trace::span("cache-fill");
             stats.record_warnings(output.warnings.len() as u64);
             warnings = output.warnings;
             for (kind, artifact) in output.artifacts {
@@ -418,7 +465,10 @@ fn compile_guarded<C: Compiler>(
     kinds: &[ArtifactKind],
 ) -> Result<crate::CompileOutput<C::Artifact>, ServiceError<C::Error>> {
     let compile_start = Instant::now();
-    match catch_unwind(AssertUnwindSafe(|| compiler.compile(req, kinds))) {
+    let guard = trace::enter("compile");
+    let outcome = catch_unwind(AssertUnwindSafe(|| compiler.compile(req, kinds)));
+    trace::exit(guard);
+    match outcome {
         Ok(Ok(output)) => {
             stats.record_stages(&output.samples);
             // Teach the cost model what this request actually cost

@@ -1,49 +1,27 @@
 //! Service statistics: request/hit/miss/error counters and latency
 //! distributions, per pipeline stage and per request.
+//!
+//! Latency distributions are [`velus_obs`] log-linear histograms:
+//! recording is a few relaxed atomic increments on the recording
+//! worker's own shard (no mutex, no allocation), counts are exact over
+//! the **full run** (not a sliding sample window), and shards merge
+//! associatively at snapshot time, which is what makes p99/p999
+//! trustworthy under sustained traffic.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use velus_common::codes;
+use velus_obs::{PromWriter, ShardedHistogram};
+
 use crate::cache::CacheCounters;
 use crate::{ArtifactKind, Stage, StageSample};
 
-/// Cap on retained latency samples per distribution. Past the cap the
-/// recorder degrades to a sliding window (oldest samples overwritten),
-/// so memory stays bounded and `snapshot` stays cheap under sustained
-/// traffic; counts and totals keep accumulating exactly.
-const SAMPLE_CAP: usize = 4096;
-
-/// A bounded latency recorder: exact count/total, plus a ring of the
-/// most recent [`SAMPLE_CAP`] samples for percentile estimation.
-#[derive(Default)]
-struct Reservoir {
-    samples: Vec<u64>,
-    next: usize,
-    count: u64,
-    total: u64,
-}
-
-impl Reservoir {
-    fn record(&mut self, nanos: u64) {
-        self.count += 1;
-        self.total += nanos;
-        if self.samples.len() < SAMPLE_CAP {
-            self.samples.push(nanos);
-        } else {
-            self.samples[self.next] = nanos;
-            self.next = (self.next + 1) % SAMPLE_CAP;
-        }
-    }
-
-    fn percentiles(&self) -> (u64, u64) {
-        let mut ns = self.samples.clone();
-        ns.sort_unstable();
-        (percentile(&ns, 50), percentile(&ns, 95))
-    }
-}
-
 /// Nearest-rank percentile of a **sorted** sample set; 0 on empty input.
+///
+/// The serving statistics themselves use histograms now, but the
+/// benches still rank their (small, exact) sample vectors with this.
 pub fn percentile(sorted: &[u64], pct: u32) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -77,8 +55,8 @@ pub(crate) struct StatsCollector {
     /// Diagnostic code -> failed requests carrying it (a `BTreeMap` so
     /// snapshots list codes in stable order).
     failure_codes: Mutex<BTreeMap<&'static str, u64>>,
-    stage_ns: Mutex<[Reservoir; Stage::ALL.len()]>,
-    request_ns: Mutex<Reservoir>,
+    stage_ns: [ShardedHistogram; Stage::ALL.len()],
+    request_ns: ShardedHistogram,
 }
 
 impl StatsCollector {
@@ -134,36 +112,31 @@ impl StatsCollector {
     }
 
     pub(crate) fn record_stages(&self, samples: &[StageSample]) {
-        let mut per_stage = self.stage_ns.lock().expect("stats lock");
         for s in samples {
-            per_stage[s.stage.index()].record(s.nanos);
+            self.stage_ns[s.stage.index()].record(s.nanos);
         }
     }
 
     pub(crate) fn record_latency(&self, nanos: u64) {
-        self.request_ns.lock().expect("stats lock").record(nanos);
+        self.request_ns.record(nanos);
     }
 
-    pub(crate) fn snapshot(&self, cache: CacheCounters) -> StatsSnapshot {
-        let stages = {
-            let per_stage = self.stage_ns.lock().expect("stats lock");
-            Stage::ALL
-                .iter()
-                .map(|stage| {
-                    let r = &per_stage[stage.index()];
-                    let (p50_nanos, p95_nanos) = r.percentiles();
-                    StageLatency {
-                        stage: *stage,
-                        count: r.count,
-                        p50_nanos,
-                        p95_nanos,
-                        total_nanos: r.total,
-                    }
-                })
-                .collect()
-        };
-        let (request_p50_nanos, request_p95_nanos) =
-            self.request_ns.lock().expect("stats lock").percentiles();
+    pub(crate) fn snapshot(&self, cache: CacheCounters, queue_depth: u64) -> StatsSnapshot {
+        let stages = Stage::ALL
+            .iter()
+            .map(|stage| {
+                let h = self.stage_ns[stage.index()].snapshot();
+                StageLatency {
+                    stage: *stage,
+                    count: h.count(),
+                    p50_nanos: h.percentile(50.0),
+                    p95_nanos: h.percentile(95.0),
+                    p99_nanos: h.percentile(99.0),
+                    total_nanos: h.sum(),
+                }
+            })
+            .collect();
+        let request = self.request_ns.snapshot();
         let kinds = ArtifactKind::GROUPS
             .iter()
             .enumerate()
@@ -192,10 +165,15 @@ impl StatsCollector {
             cache_entries: cache.entries,
             cache_bytes: cache.bytes,
             cache_evictions: cache.evictions,
+            queue_depth,
             kinds,
             stages,
-            request_p50_nanos,
-            request_p95_nanos,
+            request_p50_nanos: request.percentile(50.0),
+            request_p95_nanos: request.percentile(95.0),
+            request_p99_nanos: request.percentile(99.0),
+            request_p999_nanos: request.percentile(99.9),
+            request_count: request.count(),
+            request_total_nanos: request.sum(),
         }
     }
 }
@@ -226,6 +204,8 @@ pub struct StageLatency {
     pub p50_nanos: u64,
     /// 95th-percentile stage latency in nanoseconds.
     pub p95_nanos: u64,
+    /// 99th-percentile stage latency in nanoseconds.
+    pub p99_nanos: u64,
     /// Total nanoseconds spent in the stage.
     pub total_nanos: u64,
 }
@@ -256,17 +236,27 @@ pub struct StatsSnapshot {
     pub cache_bytes: u64,
     /// Entries evicted to honor a capacity cap (monotone).
     pub cache_evictions: u64,
+    /// Requests in flight when the snapshot was taken.
+    pub queue_depth: u64,
     /// Per-artifact-kind serving counters ([`ArtifactKind::GROUPS`]
     /// order; a kind never requested has all-zero counters).
     pub kinds: Vec<KindStats>,
-    /// Per-stage latency distributions (pipeline order). Percentiles are
-    /// computed over a sliding window of recent samples (memory-bounded);
-    /// `count` and `total_nanos` are exact.
+    /// Per-stage latency distributions (pipeline order), from merged
+    /// per-worker histograms: exact counts over the full run,
+    /// bucket-quantized percentile values.
     pub stages: Vec<StageLatency>,
     /// Median end-to-end request latency in nanoseconds.
     pub request_p50_nanos: u64,
     /// 95th-percentile end-to-end request latency in nanoseconds.
     pub request_p95_nanos: u64,
+    /// 99th-percentile end-to-end request latency in nanoseconds.
+    pub request_p99_nanos: u64,
+    /// 99.9th-percentile end-to-end request latency in nanoseconds.
+    pub request_p999_nanos: u64,
+    /// End-to-end latency samples recorded (exact).
+    pub request_count: u64,
+    /// Total end-to-end latency across all requests, in nanoseconds.
+    pub request_total_nanos: u64,
 }
 
 impl StatsSnapshot {
@@ -277,6 +267,162 @@ impl StatsSnapshot {
         } else {
             self.cache_hits as f64 / self.requests as f64
         }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format —
+    /// the body a `/stats` endpoint serves and `velus batch
+    /// --metrics-out` writes.
+    ///
+    /// Name conventions: everything is prefixed `velus_`, monotone
+    /// counters end in `_total`, latencies are `_seconds` summaries
+    /// with `quantile` labels, and per-code failure counters carry a
+    /// `class` label (`source` / `transient`) from
+    /// [`velus_common::codes::retry_class_of`] so dashboards can
+    /// separate deterministic input failures from environmental ones.
+    pub fn render_prometheus(&self) -> String {
+        let secs = |ns: u64| ns as f64 / 1e9;
+        let mut w = PromWriter::new("velus");
+        w.header(
+            "requests_total",
+            "Requests accepted (hits + misses).",
+            "counter",
+        );
+        w.sample("requests_total", &[], self.requests as f64);
+        w.header(
+            "cache_hits_total",
+            "Requests fully served from the cache.",
+            "counter",
+        );
+        w.sample("cache_hits_total", &[], self.cache_hits as f64);
+        w.header(
+            "cache_misses_total",
+            "Requests that ran the pipeline.",
+            "counter",
+        );
+        w.sample("cache_misses_total", &[], self.cache_misses as f64);
+        w.header(
+            "errors_total",
+            "Requests failed with a compile error.",
+            "counter",
+        );
+        w.sample("errors_total", &[], self.errors as f64);
+        w.header(
+            "panics_total",
+            "Requests whose compilation panicked.",
+            "counter",
+        );
+        w.sample("panics_total", &[], self.panics as f64);
+        w.header(
+            "warnings_total",
+            "Non-fatal warnings across compilations.",
+            "counter",
+        );
+        w.sample("warnings_total", &[], self.warnings as f64);
+        if !self.failure_codes.is_empty() {
+            w.header(
+                "failures_total",
+                "Failed requests per diagnostic code, with retry class.",
+                "counter",
+            );
+            for (code, n) in &self.failure_codes {
+                let class = codes::retry_class_of(code).label();
+                w.sample(
+                    "failures_total",
+                    &[("code", code), ("class", class)],
+                    *n as f64,
+                );
+            }
+        }
+        w.header(
+            "kind_requests_total",
+            "Artifacts requested, per kind.",
+            "counter",
+        );
+        w.header(
+            "kind_cache_hits_total",
+            "Artifacts served from cache, per kind.",
+            "counter",
+        );
+        w.header(
+            "kind_cache_misses_total",
+            "Artifacts compiled, per kind.",
+            "counter",
+        );
+        for k in &self.kinds {
+            let labels = [("kind", k.kind)];
+            w.sample("kind_requests_total", &labels, k.requests as f64);
+            w.sample("kind_cache_hits_total", &labels, k.hits as f64);
+            w.sample("kind_cache_misses_total", &labels, k.misses as f64);
+        }
+        w.header("cache_entries", "Artifacts currently cached.", "gauge");
+        w.sample("cache_entries", &[], self.cache_entries as f64);
+        w.header("cache_bytes", "Weighed bytes currently cached.", "gauge");
+        w.sample("cache_bytes", &[], self.cache_bytes as f64);
+        w.header(
+            "cache_evictions_total",
+            "Cache entries evicted for capacity.",
+            "counter",
+        );
+        w.sample("cache_evictions_total", &[], self.cache_evictions as f64);
+        w.header(
+            "queue_depth",
+            "Requests in flight at snapshot time.",
+            "gauge",
+        );
+        w.sample("queue_depth", &[], self.queue_depth as f64);
+        w.header(
+            "request_latency_seconds",
+            "End-to-end request latency (merged-histogram quantiles).",
+            "summary",
+        );
+        for (q, ns) in [
+            ("0.5", self.request_p50_nanos),
+            ("0.95", self.request_p95_nanos),
+            ("0.99", self.request_p99_nanos),
+            ("0.999", self.request_p999_nanos),
+        ] {
+            w.sample("request_latency_seconds", &[("quantile", q)], secs(ns));
+        }
+        w.sample(
+            "request_latency_seconds_sum",
+            &[],
+            secs(self.request_total_nanos),
+        );
+        w.sample(
+            "request_latency_seconds_count",
+            &[],
+            self.request_count as f64,
+        );
+        w.header(
+            "stage_latency_seconds",
+            "Per-pipeline-stage latency (merged-histogram quantiles).",
+            "summary",
+        );
+        for s in &self.stages {
+            let stage = s.stage.name();
+            for (q, ns) in [
+                ("0.5", s.p50_nanos),
+                ("0.95", s.p95_nanos),
+                ("0.99", s.p99_nanos),
+            ] {
+                w.sample(
+                    "stage_latency_seconds",
+                    &[("stage", stage), ("quantile", q)],
+                    secs(ns),
+                );
+            }
+            w.sample(
+                "stage_latency_seconds_sum",
+                &[("stage", stage)],
+                secs(s.total_nanos),
+            );
+            w.sample(
+                "stage_latency_seconds_count",
+                &[("stage", stage)],
+                s.count as f64,
+            );
+        }
+        w.finish()
     }
 }
 
@@ -322,9 +468,11 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "request latency: p50 {}  p95 {}",
+            "request latency: p50 {}  p95 {}  p99 {}  p999 {}",
             fmt_nanos(self.request_p50_nanos),
-            fmt_nanos(self.request_p95_nanos)
+            fmt_nanos(self.request_p95_nanos),
+            fmt_nanos(self.request_p99_nanos),
+            fmt_nanos(self.request_p999_nanos)
         )?;
         if self.kinds.iter().any(|k| k.requests > 0) {
             writeln!(
@@ -342,17 +490,18 @@ impl std::fmt::Display for StatsSnapshot {
         }
         writeln!(
             f,
-            "{:<12} {:>8} {:>12} {:>12} {:>12}",
-            "stage", "count", "p50", "p95", "total"
+            "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "stage", "count", "p50", "p95", "p99", "total"
         )?;
         for s in &self.stages {
             writeln!(
                 f,
-                "{:<12} {:>8} {:>12} {:>12} {:>12}",
+                "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12}",
                 s.stage.name(),
                 s.count,
                 fmt_nanos(s.p50_nanos),
                 fmt_nanos(s.p95_nanos),
+                fmt_nanos(s.p99_nanos),
                 fmt_nanos(s.total_nanos)
             )?;
         }
@@ -379,6 +528,41 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases_hold() {
+        // Empty and single-sample inputs (the degenerate distributions
+        // a cold service reports).
+        assert_eq!(percentile(&[], 0), 0);
+        assert_eq!(percentile(&[], 100), 0);
+        assert_eq!(percentile(&[42], 0), 42);
+        assert_eq!(percentile(&[42], 100), 42);
+        // Percentiles above 100 clamp instead of indexing out of range.
+        assert_eq!(percentile(&[1, 2, 3], 1000), 3);
+    }
+
+    #[test]
+    fn latency_recording_is_insertion_order_independent() {
+        // The old sliding-window reservoir changed percentiles when its
+        // ring wrapped; the histogram counts every sample, so rotating
+        // the insertion order (the wraparound scenario) cannot change
+        // any reported statistic.
+        let samples: Vec<u64> = (0..10_000u64).map(|k| (k * 7919) % 100_000).collect();
+        let forward = StatsCollector::new();
+        let rotated = StatsCollector::new();
+        for &s in &samples {
+            forward.record_latency(s);
+        }
+        for &s in samples[5000..].iter().chain(&samples[..5000]) {
+            rotated.record_latency(s);
+        }
+        let a = forward.snapshot(CacheCounters::default(), 0);
+        let b = rotated.snapshot(CacheCounters::default(), 0);
+        assert_eq!(a.request_p50_nanos, b.request_p50_nanos);
+        assert_eq!(a.request_p999_nanos, b.request_p999_nanos);
+        assert_eq!(a.request_count, 10_000);
+        assert_eq!(a.request_total_nanos, b.request_total_nanos);
+    }
+
+    #[test]
     fn snapshot_collects_stage_samples() {
         let c = StatsCollector::new();
         c.record_request();
@@ -394,7 +578,7 @@ mod tests {
             },
         ]);
         c.record_latency(110);
-        let snap = c.snapshot(CacheCounters::default());
+        let snap = c.snapshot(CacheCounters::default(), 0);
         assert_eq!(snap.requests, 1);
         assert_eq!(snap.cache_misses, 1);
         let frontend = &snap.stages[Stage::Frontend.index()];
@@ -405,6 +589,7 @@ mod tests {
         for stage in Stage::ALL {
             assert!(rendered.contains(stage.name()), "{rendered}");
         }
+        assert!(rendered.contains("p999"), "{rendered}");
     }
 
     #[test]
@@ -418,7 +603,7 @@ mod tests {
             },
             false,
         );
-        let snap = c.snapshot(CacheCounters::default());
+        let snap = c.snapshot(CacheCounters::default(), 0);
         let row = |name: &str| *snap.kinds.iter().find(|k| k.kind == name).unwrap();
         assert_eq!(
             (row("c").requests, row("c").hits, row("c").misses),
@@ -429,5 +614,47 @@ mod tests {
         let rendered = snap.to_string();
         assert!(rendered.contains("wcet"), "{rendered}");
         assert!(!rendered.contains("baseline-diff"), "{rendered}");
+    }
+
+    #[test]
+    fn prometheus_rendering_validates_and_labels_retry_class() {
+        let c = StatsCollector::new();
+        c.record_request();
+        c.record_miss();
+        c.record_error();
+        c.record_failure_codes(&["E0201", "E0000"]);
+        c.record_kind(&ArtifactKind::CCode, false);
+        c.record_latency(1_500_000);
+        let snap = c.snapshot(CacheCounters::default(), 3);
+        let text = snap.render_prometheus();
+        velus_obs::prom::check(&text).expect("exposition must validate");
+        assert!(text.contains("velus_failures_total{code=\"E0201\",class=\"source\"} 1"));
+        assert!(text.contains("velus_failures_total{code=\"E0000\",class=\"transient\"} 1"));
+        assert!(text.contains("velus_queue_depth 3"));
+        assert!(text.contains("velus_kind_requests_total{kind=\"c\"} 1"));
+        assert!(text.contains("request_latency_seconds{quantile=\"0.999\"}"));
+        assert!(text.contains("velus_stage_latency_seconds_count{stage=\"frontend\"} 0"));
+    }
+
+    #[test]
+    fn stage_histograms_merge_across_threads() {
+        let c = std::sync::Arc::new(StatsCollector::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for k in 0..500u64 {
+                        c.record_stages(&[StageSample {
+                            stage: Stage::Check,
+                            nanos: 1000 + k,
+                        }]);
+                    }
+                });
+            }
+        });
+        let snap = c.snapshot(CacheCounters::default(), 0);
+        let check = &snap.stages[Stage::Check.index()];
+        assert_eq!(check.count, 2000);
+        assert!(check.p50_nanos >= 1000 && check.p99_nanos <= 1600);
     }
 }
