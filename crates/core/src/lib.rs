@@ -50,7 +50,10 @@ pub use pipeline::{
     compile, compile_program, compile_program_timed, compile_timed, emit_c, Compiled,
 };
 pub use service::{PipelineCompiler, VelusService};
-pub use validate::{validate, validate_with_report, ValidationReport};
+pub use validate::{
+    run_oracles, validate, validate_with_report, OracleDivergence, OracleId, OracleReport,
+    ValidationReport,
+};
 pub use velus_clight::printer::TestIo;
 pub use velus_obs::{Recorder, RecorderConfig};
 pub use velus_server::{

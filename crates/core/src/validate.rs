@@ -52,10 +52,155 @@ pub struct ValidationReport {
     pub trace_events: usize,
 }
 
-fn mismatch<T>(stage: &str, instant: usize, detail: String) -> Result<T, VelusError> {
-    Err(VelusError::Validation(format!(
-        "{stage} disagrees at instant {instant}: {detail}"
-    )))
+/// One oracle pair of the differential chain: each variant names a
+/// comparison the theorem requires to agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OracleId {
+    /// Unscheduled vs scheduled dataflow semantics.
+    Scheduling,
+    /// Exposed-memory semantics vs dataflow outputs.
+    MemorySemantics,
+    /// The `MemCorres_n(M, mem)` invariant between the memory-semantics
+    /// tree and the Obc memory (Fig. 7).
+    MemCorres,
+    /// Unfused Obc execution vs dataflow outputs.
+    ObcUnfused,
+    /// Fused Obc execution vs dataflow outputs.
+    ObcFused,
+    /// The `staterep` separation assertion between the Obc memory and
+    /// the Clight block memory (Fig. 11).
+    StateRep,
+    /// Step-driven Clight execution vs dataflow outputs.
+    Clight,
+    /// The generated `main`'s volatile event trace vs
+    /// `⟨VLoad(xs(n)) · VStore(ys(n))⟩`.
+    VolatileTrace,
+}
+
+impl OracleId {
+    /// Every oracle, in chain order.
+    pub const ALL: [OracleId; 8] = [
+        OracleId::Scheduling,
+        OracleId::MemorySemantics,
+        OracleId::MemCorres,
+        OracleId::ObcUnfused,
+        OracleId::ObcFused,
+        OracleId::StateRep,
+        OracleId::Clight,
+        OracleId::VolatileTrace,
+    ];
+
+    /// The oracle's stable human-readable name (also the JSON token the
+    /// campaign records use).
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleId::Scheduling => "scheduling",
+            OracleId::MemorySemantics => "memory semantics",
+            OracleId::MemCorres => "memcorres",
+            OracleId::ObcUnfused => "obc",
+            OracleId::ObcFused => "obc (fused)",
+            OracleId::StateRep => "staterep",
+            OracleId::Clight => "clight",
+            OracleId::VolatileTrace => "volatile trace",
+        }
+    }
+}
+
+impl std::fmt::Display for OracleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured divergence: which oracle pair disagreed, where, and what
+/// each side produced — the machine-readable form the campaign runner
+/// shrinks against and serializes, replacing the old flat error string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleDivergence {
+    /// The disagreeing oracle pair.
+    pub oracle: OracleId,
+    /// The first disagreeing instant.
+    pub instant: usize,
+    /// The output stream index, when the disagreement is per-output.
+    pub output: Option<usize>,
+    /// The reference side (the dataflow semantics / expected value).
+    pub left: String,
+    /// The implementation side (the later stage's value).
+    pub right: String,
+}
+
+impl OracleDivergence {
+    fn at(oracle: OracleId, instant: usize, left: String, right: String) -> OracleDivergence {
+        OracleDivergence {
+            oracle,
+            instant,
+            output: None,
+            left,
+            right,
+        }
+    }
+
+    fn output(mut self, k: usize) -> OracleDivergence {
+        self.output = Some(k);
+        self
+    }
+}
+
+impl std::fmt::Display for OracleDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} disagrees at instant {}: ",
+            self.oracle.name(),
+            self.instant
+        )?;
+        if let Some(k) = self.output {
+            write!(f, "output {k}: ")?;
+        }
+        write!(f, "{} vs {}", self.left, self.right)
+    }
+}
+
+/// The structured result of running the full oracle set: the checked
+/// statistics plus the first divergence, if any. Semantic failures (a
+/// generated program applying an operator outside its domain — the
+/// theorem is vacuous there) are *not* divergences and stay errors of
+/// [`run_oracles`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Number of instants checked before stopping.
+    pub instants: usize,
+    /// Number of `MemCorres` assertions checked.
+    pub memcorres_checks: usize,
+    /// Number of `staterep` separation assertions checked.
+    pub staterep_checks: usize,
+    /// Number of volatile events compared.
+    pub trace_events: usize,
+    /// The first disagreement of the chain, if any. `None` means every
+    /// oracle pair agreed on the whole prefix.
+    pub divergence: Option<OracleDivergence>,
+}
+
+impl OracleReport {
+    fn new(instants: usize) -> OracleReport {
+        OracleReport {
+            instants,
+            memcorres_checks: 0,
+            staterep_checks: 0,
+            trace_events: 0,
+            divergence: None,
+        }
+    }
+
+    /// Whether every oracle pair agreed.
+    pub fn agreed(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    fn diverged(mut self, d: OracleDivergence) -> OracleReport {
+        self.divergence = Some(d);
+        self
+    }
 }
 
 /// Reads the (present) value of stream `s` at instant `i`.
@@ -88,58 +233,71 @@ fn values_at_into(
     Ok(())
 }
 
-/// Validates the full compilation chain on `n` instants of `inputs` and
-/// returns the checked statistics.
+/// Runs the full oracle set on `n` instants of `inputs` and reports the
+/// result structurally: statistics plus the first [`OracleDivergence`],
+/// if any. The chain stops at the first divergence (later oracles would
+/// compare against an already-disagreeing reference).
 ///
 /// # Errors
 ///
-/// The first stage disagreement, semantic failure (e.g. the source
-/// program applies an operator outside its domain — then the theorem is
-/// vacuous and validation cannot proceed), or assertion violation.
-pub fn validate_with_report(
+/// Semantic failures only: the source program has no dataflow semantics
+/// on these inputs (e.g. an operator applied outside its domain), the
+/// theorem is vacuous, and no comparison is possible. A *disagreement*
+/// between two stages is not an error — it is the payload of the
+/// returned report.
+pub fn run_oracles(
     c: &Compiled,
     inputs: &StreamSet<ClightOps>,
     n: usize,
-) -> Result<ValidationReport, VelusError> {
+) -> Result<OracleReport, VelusError> {
     let root = c.root;
     let node = c
         .snlustre
         .node(root)
         .ok_or_else(|| VelusError::Usage(format!("no node named {root}")))?;
+    let mut rep = OracleReport::new(n);
 
     // 1. Dataflow semantics, unscheduled and scheduled.
     let df = velus_nlustre::dataflow::run_node(&c.nlustre, root, inputs, n)?;
     let df_sched = velus_nlustre::dataflow::run_node(&c.snlustre, root, inputs, n)?;
-    if df != df_sched {
-        return mismatch("scheduling", 0, "dataflow semantics changed".to_owned());
+    if let Some(d) = velus_first_divergence(&df, &df_sched) {
+        return Ok(
+            rep.diverged(OracleDivergence::at(OracleId::Scheduling, d.1, d.2, d.3).output(d.0))
+        );
     }
 
     // 2. Exposed-memory semantics.
     let mut msem = MSem::new(&c.snlustre, root)?.recording();
     let ms_out = msem.run(inputs, n)?;
-    if ms_out != df {
-        return mismatch(
-            "memory semantics",
-            0,
-            "outputs differ from the dataflow semantics".to_owned(),
-        );
+    if let Some(d) = velus_first_divergence(&df, &ms_out) {
+        return Ok(rep
+            .diverged(OracleDivergence::at(OracleId::MemorySemantics, d.1, d.2, d.3).output(d.0)));
     }
     let mtrace = msem.trace();
 
     // 3. Obc, unfused and fused, with MemCorres at every boundary.
-    let mut memcorres_checks = 0usize;
     let mut obc_mem_boundaries: Vec<Memory<CVal>> = Vec::with_capacity(n + 1);
     let mut vals: Vec<CVal> = Vec::with_capacity(inputs.len());
-    for (label, obc) in [("obc", &c.obc), ("obc (fused)", &c.obc_fused)] {
-        let record = label == "obc (fused)";
+    for (oracle, obc) in [
+        (OracleId::ObcUnfused, &c.obc),
+        (OracleId::ObcFused, &c.obc_fused),
+    ] {
+        let record = oracle == OracleId::ObcFused;
         let mut mem = Memory::new();
         call_method(obc, root, &mut mem, reset_name(), &[])?;
         // `i` is an instant, used against several indexed structures at
         // once — a range loop reads better than nested enumerates.
         #[allow(clippy::needless_range_loop)]
         for i in 0..n {
-            check_memcorres(&c.snlustre, node, mtrace, i, &mem)?;
-            memcorres_checks += 1;
+            if let Err(e) = check_memcorres(&c.snlustre, node, mtrace, i, &mem) {
+                return Ok(rep.diverged(OracleDivergence::at(
+                    OracleId::MemCorres,
+                    i,
+                    "MemCorres(M, mem)".to_owned(),
+                    e.to_string(),
+                )));
+            }
+            rep.memcorres_checks += 1;
             if record {
                 obc_mem_boundaries.push(mem.clone());
             }
@@ -149,11 +307,10 @@ pub fn validate_with_report(
                 match &df[k][i] {
                     SVal::Pres(expected) if expected == v => {}
                     other => {
-                        return mismatch(
-                            label,
-                            i,
-                            format!("output {k} is {v}, dataflow has {other:?}"),
-                        )
+                        return Ok(rep.diverged(
+                            OracleDivergence::at(oracle, i, format!("{other}"), v.to_string())
+                                .output(k),
+                        ))
                     }
                 }
             }
@@ -164,7 +321,6 @@ pub fn validate_with_report(
     }
 
     // 4. Clight, driven step by step, with staterep at every boundary.
-    let mut staterep_checks = 0usize;
     {
         let mut machine = Machine::new(&c.clight)?;
         let selfb = machine.alloc_struct(root)?;
@@ -191,8 +347,15 @@ pub fn validate_with_report(
                 selfb,
                 0,
             )?;
-            assertion.check(&machine.mem)?;
-            staterep_checks += 1;
+            if let Err(e) = assertion.check(&machine.mem) {
+                return Ok(rep.diverged(OracleDivergence::at(
+                    OracleId::StateRep,
+                    i,
+                    "staterep(mem, blocks)".to_owned(),
+                    e.to_string(),
+                )));
+            }
+            rep.staterep_checks += 1;
 
             values_at_into(inputs, i, &mut vals)?;
             let mut args = vec![RVal::Ptr(selfb, 0)];
@@ -218,7 +381,12 @@ pub fn validate_with_report(
                     Some(RVal::Scalar(v)) => vec![v],
                     None => vec![],
                     Some(RVal::Ptr(..)) => {
-                        return mismatch("clight", i, "step returned a pointer".to_owned())
+                        return Ok(rep.diverged(OracleDivergence::at(
+                            OracleId::Clight,
+                            i,
+                            "a scalar step result".to_owned(),
+                            "a pointer".to_owned(),
+                        )))
                     }
                 }
             };
@@ -226,11 +394,15 @@ pub fn validate_with_report(
                 match &df[k][i] {
                     SVal::Pres(expected) if expected == v => {}
                     other => {
-                        return mismatch(
-                            "clight",
-                            i,
-                            format!("output {k} is {v}, dataflow has {other:?}"),
-                        )
+                        return Ok(rep.diverged(
+                            OracleDivergence::at(
+                                OracleId::Clight,
+                                i,
+                                format!("{other}"),
+                                v.to_string(),
+                            )
+                            .output(k),
+                        ))
                     }
                 }
             }
@@ -244,12 +416,18 @@ pub fn validate_with_report(
             selfb,
             0,
         )?;
-        assertion.check(&machine.mem)?;
-        staterep_checks += 1;
+        if let Err(e) = assertion.check(&machine.mem) {
+            return Ok(rep.diverged(OracleDivergence::at(
+                OracleId::StateRep,
+                n,
+                "staterep(mem, blocks)".to_owned(),
+                e.to_string(),
+            )));
+        }
+        rep.staterep_checks += 1;
     }
 
     // 5. The generated main's volatile trace.
-    let trace_events;
     {
         let mut machine = Machine::new(&c.clight)?;
         let decls: Vec<(Ident, _)> = node.inputs.iter().map(|d| (d.name, d.ty)).collect();
@@ -287,28 +465,100 @@ pub fn validate_with_report(
                         velus_clight::generate::vol_out_name(d.name),
                         *v,
                     )),
-                    SVal::Abs => return mismatch("trace", i, "absent output at root".to_owned()),
+                    SVal::Abs => {
+                        return Ok(rep.diverged(
+                            OracleDivergence::at(
+                                OracleId::VolatileTrace,
+                                i,
+                                "a present root output".to_owned(),
+                                "absent".to_owned(),
+                            )
+                            .output(k),
+                        ))
+                    }
                 }
             }
         }
         if machine.trace != expected {
+            let at = machine
+                .trace
+                .iter()
+                .zip(&expected)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| machine.trace.len().min(expected.len()));
             let got = velus_clight::interp::render_trace(&machine.trace);
             let want = velus_clight::interp::render_trace(&expected);
-            return mismatch(
-                "volatile trace",
-                0,
-                format!("trace differs.\nexpected:\n{want}\n\ngot:\n{got}"),
-            );
+            return Ok(rep.diverged(OracleDivergence::at(
+                OracleId::VolatileTrace,
+                at,
+                format!("trace:\n{want}"),
+                format!("trace:\n{got}"),
+            )));
         }
-        trace_events = expected.len();
+        rep.trace_events = expected.len();
     }
 
-    Ok(ValidationReport {
-        instants: n,
-        memcorres_checks,
-        staterep_checks,
-        trace_events,
-    })
+    Ok(rep)
+}
+
+/// Locates the first disagreement between two stream sets (stream index,
+/// instant, left rendering, right rendering) — a local helper so the
+/// dataflow-vs-dataflow oracles report positions, not just booleans.
+fn velus_first_divergence(
+    a: &StreamSet<ClightOps>,
+    b: &StreamSet<ClightOps>,
+) -> Option<(usize, usize, String, String)> {
+    if a.len() != b.len() {
+        return Some((
+            a.len().min(b.len()),
+            0,
+            format!("{} streams", a.len()),
+            format!("{} streams", b.len()),
+        ));
+    }
+    for (k, (sa, sb)) in a.iter().zip(b).enumerate() {
+        for i in 0..sa.len().max(sb.len()) {
+            match (sa.get(i), sb.get(i)) {
+                (Some(x), Some(y)) if x == y => {}
+                (x, y) => {
+                    return Some((
+                        k,
+                        i,
+                        x.map_or("<missing>".to_owned(), |v| v.to_string()),
+                        y.map_or("<missing>".to_owned(), |v| v.to_string()),
+                    ))
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Validates the full compilation chain on `n` instants of `inputs` and
+/// returns the checked statistics.
+///
+/// # Errors
+///
+/// The first stage disagreement (rendered from the structured
+/// [`OracleDivergence`] of [`run_oracles`]), semantic failure (e.g. the
+/// source program applies an operator outside its domain — then the
+/// theorem is vacuous and validation cannot proceed), or assertion
+/// violation.
+pub fn validate_with_report(
+    c: &Compiled,
+    inputs: &StreamSet<ClightOps>,
+    n: usize,
+) -> Result<ValidationReport, VelusError> {
+    let rep = run_oracles(c, inputs, n)?;
+    match rep.divergence {
+        Some(d) => Err(VelusError::Validation(d.to_string())),
+        None => Ok(ValidationReport {
+            instants: rep.instants,
+            memcorres_checks: rep.memcorres_checks,
+            staterep_checks: rep.staterep_checks,
+            trace_events: rep.trace_events,
+        }),
+    }
 }
 
 /// Validates and discards the report.

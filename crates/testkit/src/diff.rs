@@ -85,4 +85,70 @@ mod tests {
         let b: StreamSet<ClightOps> = vec![vec![]];
         assert!(first_divergence::<ClightOps>(&a, &b).is_some());
     }
+
+    #[test]
+    fn unequal_stream_counts_diverge_at_the_first_extra_stream() {
+        let a: StreamSet<ClightOps> = vec![vec![SVal::Pres(CVal::int(1))]];
+        let b: StreamSet<ClightOps> = vec![
+            vec![SVal::Pres(CVal::int(1))],
+            vec![SVal::Pres(CVal::int(2))],
+        ];
+        let d = first_divergence::<ClightOps>(&a, &b).unwrap();
+        // The divergence points at the first stream index only one side
+        // has, at instant 0, and renders the counts.
+        assert_eq!((d.stream, d.instant), (1, 0));
+        assert_eq!(
+            (d.left.as_str(), d.right.as_str()),
+            ("1 streams", "2 streams")
+        );
+        // Symmetric in position, mirrored in the report.
+        let rev = first_divergence::<ClightOps>(&b, &a).unwrap();
+        assert_eq!((rev.stream, rev.instant), (1, 0));
+        assert_eq!(rev.left, "2 streams");
+    }
+
+    #[test]
+    fn unequal_lengths_locate_the_missing_tail() {
+        // Common prefix agrees; the divergence is the first instant only
+        // one side has, reported as <missing> on the short side.
+        let a: StreamSet<ClightOps> = vec![vec![
+            SVal::Pres(CVal::int(7)),
+            SVal::Pres(CVal::int(8)),
+            SVal::Pres(CVal::int(9)),
+        ]];
+        let b: StreamSet<ClightOps> =
+            vec![vec![SVal::Pres(CVal::int(7)), SVal::Pres(CVal::int(8))]];
+        let d = first_divergence::<ClightOps>(&a, &b).unwrap();
+        assert_eq!((d.stream, d.instant), (0, 2));
+        assert_eq!((d.left.as_str(), d.right.as_str()), ("9", "<missing>"));
+    }
+
+    #[test]
+    fn absent_vs_present_is_a_divergence_and_absent_agrees_with_absent() {
+        // Absent ticks are values: Abs == Abs, Abs != Pres.
+        let a: StreamSet<ClightOps> = vec![vec![SVal::Abs, SVal::Abs]];
+        let b: StreamSet<ClightOps> = vec![vec![SVal::Abs, SVal::Pres(CVal::int(0))]];
+        assert_eq!(first_divergence::<ClightOps>(&a, &a.clone()), None);
+        let d = first_divergence::<ClightOps>(&a, &b).unwrap();
+        assert_eq!((d.stream, d.instant), (0, 1));
+        assert_eq!((d.left.as_str(), d.right.as_str()), (".", "0"));
+    }
+
+    #[test]
+    fn floats_compare_bit_exactly() {
+        // NaN equals NaN (same bits), and -0.0 differs from 0.0 — the
+        // campaign's bit-exact float policy at the comparison layer.
+        let nan: StreamSet<ClightOps> = vec![vec![SVal::Pres(CVal::float(f64::NAN))]];
+        assert_eq!(first_divergence::<ClightOps>(&nan, &nan.clone()), None);
+        let pos: StreamSet<ClightOps> = vec![vec![SVal::Pres(CVal::float(0.0))]];
+        let neg: StreamSet<ClightOps> = vec![vec![SVal::Pres(CVal::float(-0.0))]];
+        let d = first_divergence::<ClightOps>(&pos, &neg).unwrap();
+        assert_eq!((d.stream, d.instant), (0, 0));
+    }
+
+    #[test]
+    fn empty_sets_agree() {
+        let empty: StreamSet<ClightOps> = vec![];
+        assert_eq!(first_divergence::<ClightOps>(&empty, &empty.clone()), None);
+    }
 }

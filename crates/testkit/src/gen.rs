@@ -12,9 +12,10 @@
 //!   and the scheduler is exercised by shuffling before compilation.
 //!
 //! Division and modulo are generated only with non-zero constant
-//! divisors, so generated programs always *have* a dataflow semantics
-//! (the theorem being validated is not vacuous). Integer overflow wraps
-//! identically at every level, so it is allowed.
+//! divisors other than -1 (`INT_MIN / -1` overflows and is undefined),
+//! so generated programs always *have* a dataflow semantics (the
+//! theorem being validated is not vacuous). Ordinary integer overflow
+//! wraps identically at every level, so it is allowed.
 
 use rand::prelude::*;
 
@@ -176,11 +177,15 @@ impl<R: Rng> NodeGen<'_, R> {
                     Box::new(self.expr(CTy::I32, ck, depth - 1)),
                     CTy::I32,
                 ),
-                // Division by a non-zero constant only: keeps the
-                // dataflow semantics total.
+                // Division by a non-zero constant only — and never by
+                // -1, because the dividend can reach `i32::MIN` at
+                // runtime and `INT_MIN / -1` (or `% -1`) overflows, an
+                // undefined operation. Both exclusions keep the dataflow
+                // semantics total. (The -1 case is not hypothetical: the
+                // differential campaign found it at seed 306.)
                 1 => {
                     let mut d = self.rng.gen_range(1..7);
-                    if self.rng.gen() {
+                    if self.rng.gen() && d != 1 {
                         d = -d;
                     }
                     let op = if self.rng.gen() {

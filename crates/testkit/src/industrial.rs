@@ -374,63 +374,10 @@ pub fn industrial_program(cfg: &IndustrialConfig) -> Program<ClightOps> {
 }
 
 /// Emits the same application as Lustre source text, to measure parsing
-/// and elaboration as well.
+/// and elaboration as well (rendered by the shared surface-syntax
+/// renderer, [`crate::render`], which the campaign reproducers use too).
 pub fn industrial_source(cfg: &IndustrialConfig) -> String {
-    let prog = industrial_program(cfg);
-    // The N-Lustre Display form is already parseable Lustre for this
-    // fragment: explicit `fby` equations, `when`/`whenot` sampling, and
-    // `merge` all print in the surface syntax; declaration clocks are
-    // rendered as `when [not] x` annotation chains below.
-    fn clock_annotation(ck: &Clock) -> String {
-        match ck {
-            Clock::Base => String::new(),
-            Clock::On(parent, x, polarity) => format!(
-                "{} when {}{x}",
-                clock_annotation(parent),
-                if *polarity { "" } else { "not " }
-            ),
-        }
-    }
-    let mut out = String::new();
-    for node in &prog.nodes {
-        let decls = |ds: &[VarDecl<ClightOps>]| {
-            ds.iter()
-                .map(|d| format!("{}: {}{}", d.name, d.ty, clock_annotation(&d.ck)))
-                .collect::<Vec<_>>()
-                .join("; ")
-        };
-        out.push_str(&format!(
-            "node {}({}) returns ({})\n",
-            node.name,
-            decls(&node.inputs),
-            decls(&node.outputs)
-        ));
-        if !node.locals.is_empty() {
-            out.push_str(&format!("var {};\n", decls(&node.locals)));
-        }
-        out.push_str("let\n");
-        for eq in &node.eqs {
-            match eq {
-                Equation::Def { x, rhs, .. } => out.push_str(&format!("  {x} = {rhs};\n")),
-                Equation::Fby { x, init, rhs, .. } => {
-                    out.push_str(&format!("  {x} = {init} fby {rhs};\n"))
-                }
-                Equation::Call {
-                    xs, node: f, args, ..
-                } => {
-                    let xs: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
-                    let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-                    out.push_str(&format!(
-                        "  ({}) = {f}({});\n",
-                        xs.join(", "),
-                        args.join(", ")
-                    ));
-                }
-            }
-        }
-        out.push_str("tel\n\n");
-    }
-    out
+    crate::render::lustre_source(&industrial_program(cfg))
 }
 
 #[cfg(test)]

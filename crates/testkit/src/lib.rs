@@ -10,8 +10,19 @@
 //!   node, and call fan-in, approximating a ≈6000-node / ≈162000-equation
 //!   application.
 //! * [`diff`] — stream-set diffing with readable reports.
+//! * [`render`] — N-Lustre back to parseable surface Lustre (the
+//!   reproducer format of the campaign runner).
+//! * [`campaign`] — the differential-semantics campaign engine: per-seed
+//!   generate → compile → run the full oracle set, with automatic
+//!   shrinking and `.lus` + JSON reproducer records on divergence. The
+//!   proptest suite, `velus-bench --bin diff`, and CI all drive this one
+//!   implementation.
+//! * [`json`] — a minimal JSON reader for replaying reproducer records.
 
+pub mod campaign;
 pub mod diff;
 pub mod gen;
 pub mod industrial;
+pub mod json;
 pub mod mutate;
+pub mod render;
