@@ -14,13 +14,18 @@
 //! ```text
 //! cargo run --release -p velus-bench --bin pipeline \
 //!     [--passes N] [--programs N] [--json PATH] [--smoke] \
-//!     [--overhead [--max-overhead-pct N]]
+//!     [--stage NAME] [--overhead [--max-overhead-pct N]]
 //! ```
 //!
 //! `--json PATH` writes the profile as a JSON object (see
-//! `BENCH_pipeline.json` at the repository root); `--smoke` runs a tiny
-//! corpus, asserts the JSON output is well formed, and exits — the CI
-//! guard that keeps this harness buildable and runnable.
+//! `BENCH_pipeline.json` at the repository root); `--stage NAME`
+//! restricts the reported stage rows to one stage (e.g. `--stage
+//! frontend` when sweeping front-end changes); `--smoke` runs a tiny
+//! corpus, asserts the JSON output is well formed, *and* acts as the
+//! front-end allocation guard: it profiles the paper-benchmark corpus
+//! and fails if frontend allocs-per-compile exceed
+//! [`FRONTEND_ALLOCS_GUARD`] (checked in ~10% above the post-arena
+//! number, so an accidental allocation regression fails CI).
 //!
 //! `--overhead` instead measures the cost of the observability layer:
 //! the industrial corpus is compiled with tracing disabled and then
@@ -165,13 +170,26 @@ fn profile_corpus(corpus: &[(String, String)], passes: usize) -> Profile {
     profile
 }
 
-fn print_profile(label: &str, p: &Profile) {
+/// Ceiling on frontend allocs/compile over the paper-benchmark corpus,
+/// enforced by `--smoke` (the CI perf guard). Set ~10% above the
+/// post-arena single-pass measurement (284.4; see `BENCH_pipeline.json`,
+/// `after_arena_frontend` — the single-pass smoke number runs a touch
+/// above the three-pass profile because identifier interning is not
+/// amortized): the count is deterministic — it counts allocator calls,
+/// not time — so exceeding it means a real front-end allocation
+/// regression, not machine noise.
+const FRONTEND_ALLOCS_GUARD: f64 = 315.0;
+
+fn print_profile(label: &str, p: &Profile, stage_filter: Option<&str>) {
     println!("{label}: {} cold compiles", p.compiles);
     println!(
         "  {:<10} {:>14} {:>16} {:>16}",
         "stage", "ns/compile", "allocs/compile", "bytes/compile"
     );
     for stage in Stage::ALL {
+        if stage_filter.is_some_and(|f| f != stage.name()) {
+            continue;
+        }
         let t = p.stages[stage_index(stage)];
         println!(
             "  {:<10} {:>14.0} {:>16.1} {:>16.0}",
@@ -195,7 +213,7 @@ fn print_profile(label: &str, p: &Profile) {
     );
 }
 
-fn json_profile(label: &str, p: &Profile) -> String {
+fn json_profile(label: &str, p: &Profile, stage_filter: Option<&str>) -> String {
     let mut out = String::with_capacity(1024);
     let per = p.compiles as f64;
     let _ = write!(
@@ -213,7 +231,12 @@ fn json_profile(label: &str, p: &Profile) -> String {
         p.total_bytes as f64 / per
     );
     out.push_str("\n      \"stages\": {");
-    for (i, stage) in Stage::ALL.iter().enumerate() {
+    let stages: Vec<Stage> = Stage::ALL
+        .iter()
+        .copied()
+        .filter(|s| stage_filter.is_none_or(|f| f == s.name()))
+        .collect();
+    for (i, stage) in stages.iter().enumerate() {
         let t = p.stages[stage_index(*stage)];
         let _ = write!(
             out,
@@ -222,7 +245,7 @@ fn json_profile(label: &str, p: &Profile) -> String {
             t.ns as f64 / per,
             t.allocs as f64 / per,
             t.bytes as f64 / per,
-            if i + 1 == Stage::ALL.len() { "" } else { "," }
+            if i + 1 == stages.len() { "" } else { "," }
         );
     }
     out.push_str("\n      }\n    }");
@@ -312,6 +335,18 @@ fn main() {
     let overhead = parse_bool_flag("--overhead");
     let passes = parse_flag("--passes", if smoke || overhead { 1 } else { 3 });
     let programs = parse_flag("--programs", if smoke { 2 } else { 24 });
+    let stage_filter = parse_string_flag("--stage");
+    if let Some(f) = stage_filter.as_deref() {
+        assert!(
+            Stage::ALL.iter().any(|s| s.name() == f),
+            "--stage {f}: unknown stage (expected one of {})",
+            Stage::ALL
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
 
     if overhead {
         let max_pct = parse_flag("--max-overhead-pct", 3) as f64;
@@ -320,24 +355,32 @@ fn main() {
         return;
     }
 
+    let benchmarks: Corpus = BENCHMARKS
+        .iter()
+        .map(|name| (load(name), (*name).to_owned()))
+        .collect();
     let mut corpora: Vec<(&str, Corpus)> = Vec::new();
     if smoke {
+        // The smoke run doubles as the front-end allocation guard, so
+        // it profiles the (fixed, deterministic) benchmark corpus too.
+        corpora.push(("benchmarks", benchmarks));
         corpora.push(("smoke", industrial_corpus(programs)));
     } else {
-        let benchmarks: Corpus = BENCHMARKS
-            .iter()
-            .map(|name| (load(name), (*name).to_owned()))
-            .collect();
         corpora.push(("benchmarks", benchmarks));
         corpora.push(("industrial24", industrial_corpus(programs)));
     }
 
     println!("pipeline bench: per-stage cold compile profile ({passes} passes)\n");
     let mut sections: Vec<String> = Vec::new();
+    let mut frontend_allocs_on_benchmarks = 0.0f64;
     for (label, corpus) in &corpora {
         let profile = profile_corpus(corpus, passes);
-        print_profile(label, &profile);
-        sections.push(json_profile(label, &profile));
+        print_profile(label, &profile, stage_filter.as_deref());
+        sections.push(json_profile(label, &profile, stage_filter.as_deref()));
+        if *label == "benchmarks" {
+            let t = profile.stages[stage_index(Stage::Frontend)];
+            frontend_allocs_on_benchmarks = t.allocs as f64 / profile.compiles as f64;
+        }
     }
 
     let json = format!(
@@ -350,6 +393,15 @@ fn main() {
         println!("wrote profile to {path}");
     }
     if smoke {
-        println!("smoke ok: harness ran and emitted well-formed JSON");
+        assert!(
+            frontend_allocs_on_benchmarks <= FRONTEND_ALLOCS_GUARD,
+            "frontend allocation regression: {frontend_allocs_on_benchmarks:.1} allocs/compile \
+             on the benchmark corpus exceeds the checked-in guard of {FRONTEND_ALLOCS_GUARD:.0} \
+             (see FRONTEND_ALLOCS_GUARD in crates/bench/src/bin/pipeline.rs)"
+        );
+        println!(
+            "smoke ok: harness emitted well-formed JSON; frontend allocs/compile \
+             {frontend_allocs_on_benchmarks:.1} within guard {FRONTEND_ALLOCS_GUARD:.0}"
+        );
     }
 }

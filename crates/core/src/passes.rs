@@ -234,6 +234,15 @@ fn default_root(prog: &Program<ClightOps>) -> Option<Ident> {
 /// Parse, elaborate, and normalize to N-Lustre; resolve the root.
 pub struct ElaboratePass;
 
+thread_local! {
+    /// Per-thread front-end scratch (token buffer + both expression
+    /// arenas), recycled across compiles so a long-running service or
+    /// bench loop stops allocating front-end working memory once the
+    /// pools fit the largest program seen.
+    static FRONTEND_SCRATCH: std::cell::RefCell<velus_lustre::FrontendScratch<ClightOps>> =
+        std::cell::RefCell::new(velus_lustre::FrontendScratch::new());
+}
+
 impl<'a> Pass<'a> for ElaboratePass {
     type Input = FrontendInput<'a>;
     type Output = Elaborated;
@@ -242,7 +251,12 @@ impl<'a> Pass<'a> for ElaboratePass {
     const NAME: &'static str = "elaborate";
 
     fn run(&self, input: FrontendInput<'a>) -> Result<Elaborated, VelusError> {
-        let front = velus_lustre::frontend::<ClightOps>(input.source)?;
+        // Fall back to one-shot scratch if the thread-local is already
+        // borrowed (a compile re-entered from inside a compile).
+        let front = FRONTEND_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => velus_lustre::frontend_with::<ClightOps>(input.source, &mut scratch),
+            Err(_) => velus_lustre::frontend::<ClightOps>(input.source),
+        })?;
         let (nlustre, warnings, spans) = (front.program, front.warnings, front.spans);
         let root = match input.root {
             Some(r) => {

@@ -3,35 +3,101 @@
 //! This is the full Lustre expression language: operators nest freely,
 //! `fby`, `->` and `pre` appear anywhere, node calls return tuples.
 //! Elaboration types it; normalization flattens it into N-Lustre.
+//!
+//! Expressions and clock annotations live in a [`UArena`]: flat `Vec`
+//! pools addressed by [`ExprId`]/[`ClockId`] indices. Nodes are `Copy`,
+//! children sit densely in cache, and dropping a whole parse is freeing
+//! three `Vec`s. Call arguments are stored as contiguous runs in a side
+//! pool (`ExprRange`), so a call allocates nothing of its own. The
+//! arena is external to the program — callers that compile repeatedly
+//! recycle it via [`UArena::clear`], which keeps the pool capacity.
 
 use velus_common::{Ident, Span};
 use velus_ops::{Literal, SurfaceBinOp, SurfaceUnOp};
 
-/// A surface expression.
-#[derive(Debug, Clone, PartialEq)]
+/// An index into a [`UArena`]'s expression pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// The position in the pool.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An index into a [`UArena`]'s clock pool. `ClockId::BASE` (index 0)
+/// is pre-seeded in every arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockId(u32);
+
+impl ClockId {
+    /// The base clock, present in every arena at index 0.
+    pub const BASE: ClockId = ClockId(0);
+
+    /// The position in the pool.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A contiguous run of [`ExprId`]s in the arena's argument pool
+/// (used for call arguments), or of expressions in the expression pool
+/// (used to record which slice of the arena a node owns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExprRange {
+    /// First index of the run.
+    pub start: u32,
+    /// Number of elements.
+    pub len: u32,
+}
+
+impl ExprRange {
+    /// The empty range.
+    pub const EMPTY: ExprRange = ExprRange { start: 0, len: 0 };
+
+    /// Number of elements in the range.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the range is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A surface expression. Children are [`ExprId`]s into the owning
+/// [`UArena`]; the node itself is `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum UExpr {
     /// A literal.
     Lit(Literal, Span),
     /// A variable (or global constant) reference.
     Var(Ident, Span),
     /// Unary operator application.
-    Unop(SurfaceUnOp, Box<UExpr>, Span),
+    Unop(SurfaceUnOp, ExprId, Span),
     /// Binary operator application.
-    Binop(SurfaceBinOp, Box<UExpr>, Box<UExpr>, Span),
+    Binop(SurfaceBinOp, ExprId, ExprId, Span),
     /// Sampling `e when x` (`true`) or `e when not x` / `e whenot x`.
-    When(Box<UExpr>, Ident, bool, Span),
+    When(ExprId, Ident, bool, Span),
     /// `merge x e1 e2`.
-    Merge(Ident, Box<UExpr>, Box<UExpr>, Span),
+    Merge(Ident, ExprId, ExprId, Span),
     /// `if e then e else e` (a multiplexer).
-    If(Box<UExpr>, Box<UExpr>, Box<UExpr>, Span),
+    If(ExprId, ExprId, ExprId, Span),
     /// `e1 fby e2` — initialized delay; `e1` must be a constant.
-    Fby(Box<UExpr>, Box<UExpr>, Span),
+    Fby(ExprId, ExprId, Span),
     /// `e1 -> e2` — initialization.
-    Arrow(Box<UExpr>, Box<UExpr>, Span),
+    Arrow(ExprId, ExprId, Span),
     /// `pre e` — uninitialized delay.
-    Pre(Box<UExpr>, Span),
-    /// `f(e, …)` — node instantiation or type cast (`int(e)`).
-    Call(Ident, Vec<UExpr>, Span),
+    Pre(ExprId, Span),
+    /// `f(e, …)` — node instantiation or type cast (`int(e)`). The
+    /// arguments are a contiguous run in the arena's argument pool.
+    Call(Ident, ExprRange, Span),
 }
 
 impl UExpr {
@@ -53,24 +119,129 @@ impl UExpr {
     }
 }
 
-/// A clock annotation in a declaration: `base`, or `ck on (not) x`.
-#[derive(Debug, Clone, PartialEq)]
+/// A clock annotation in a declaration: `base`, or `ck on (not) x`,
+/// with the parent clock held in the arena's clock pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UClock {
     /// The node's base clock.
     Base,
     /// Sampled: `when x` (`true`) or `when not x` (`false`).
-    On(Box<UClock>, Ident, bool),
+    On(ClockId, Ident, bool),
+}
+
+/// The expression, argument and clock pools behind a parsed program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UArena {
+    exprs: Vec<UExpr>,
+    args: Vec<ExprId>,
+    clocks: Vec<UClock>,
+}
+
+impl Default for UArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UArena {
+    /// An empty arena with the base clock pre-seeded.
+    pub fn new() -> Self {
+        UArena {
+            exprs: Vec::new(),
+            args: Vec::new(),
+            clocks: vec![UClock::Base],
+        }
+    }
+
+    /// Empties the pools but keeps their capacity, so a recycled arena
+    /// compiles the next program without growing.
+    pub fn clear(&mut self) {
+        self.exprs.clear();
+        self.args.clear();
+        self.clocks.truncate(1);
+    }
+
+    /// Adds an expression, returning its id.
+    #[inline]
+    pub fn push(&mut self, e: UExpr) -> ExprId {
+        let id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(e);
+        id
+    }
+
+    /// Adds a sampled clock over `parent`, returning its id.
+    #[inline]
+    pub fn push_clock(&mut self, parent: ClockId, x: Ident, polarity: bool) -> ClockId {
+        let id = ClockId(self.clocks.len() as u32);
+        self.clocks.push(UClock::On(parent, x, polarity));
+        id
+    }
+
+    /// Moves `stack[base..]` into the argument pool, returning the run.
+    /// The per-call scratch stack pattern keeps argument collection
+    /// allocation-free for nested calls.
+    pub fn push_args(&mut self, stack: &mut Vec<ExprId>, base: usize) -> ExprRange {
+        let start = self.args.len() as u32;
+        self.args.extend(stack.drain(base..));
+        ExprRange {
+            start,
+            len: self.args.len() as u32 - start,
+        }
+    }
+
+    /// The clock node behind `id`.
+    #[inline]
+    pub fn clock(&self, id: ClockId) -> UClock {
+        self.clocks[id.index()]
+    }
+
+    /// The argument run of a call.
+    #[inline]
+    pub fn args(&self, r: ExprRange) -> &[ExprId] {
+        &self.args[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// The expressions in a contiguous pool range (a node's slice).
+    #[inline]
+    pub fn exprs_in(&self, r: ExprRange) -> &[UExpr] {
+        &self.exprs[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Number of expressions in the pool.
+    #[inline]
+    pub fn num_exprs(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Pool capacities `(exprs, args, clocks)` — exposed so reuse
+    /// tests can assert that recycled arenas stop growing.
+    pub fn capacities(&self) -> (usize, usize, usize) {
+        (
+            self.exprs.capacity(),
+            self.args.capacity(),
+            self.clocks.capacity(),
+        )
+    }
+}
+
+impl std::ops::Index<ExprId> for UArena {
+    type Output = UExpr;
+
+    #[inline]
+    fn index(&self, id: ExprId) -> &UExpr {
+        &self.exprs[id.index()]
+    }
 }
 
 /// A variable declaration `x : ty [when …]`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UDecl {
     /// Variable name.
     pub name: Ident,
     /// Type name (resolved through the operator interface).
     pub ty_name: Ident,
-    /// Clock annotation.
-    pub clock: UClock,
+    /// Clock annotation (an id into the arena's clock pool).
+    pub clock: ClockId,
     /// Source position.
     pub span: Span,
 }
@@ -81,7 +252,7 @@ pub struct UEquation {
     /// The defined variables (a tuple pattern for multi-output calls).
     pub lhs: Vec<Ident>,
     /// The right-hand side.
-    pub rhs: UExpr,
+    pub rhs: ExprId,
     /// Source position.
     pub span: Span,
 }
@@ -99,6 +270,10 @@ pub struct UNode {
     pub locals: Vec<UDecl>,
     /// The equations, in source order.
     pub eqs: Vec<UEquation>,
+    /// The contiguous slice of the expression pool this node's
+    /// equations occupy (the parser emits nodes sequentially), used to
+    /// pre-size elaboration from a linear scan.
+    pub exprs: ExprRange,
     /// Source position of the header.
     pub span: Span,
 }
@@ -111,12 +286,12 @@ pub struct UConst {
     /// Type name.
     pub ty_name: Ident,
     /// Value (a literal, possibly negated).
-    pub value: UExpr,
+    pub value: ExprId,
     /// Source position.
     pub span: Span,
 }
 
-/// A parsed source file.
+/// A parsed source file (ids index the [`UArena`] it was parsed into).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct UProgram {
     /// Global constants, in source order.

@@ -7,6 +7,13 @@
 //! desugared to `fby` of the type's default value (with an initialization
 //! lint), and casts have been resolved.
 //!
+//! Typed expressions live in a [`TArena`] pool addressed by [`TExprId`],
+//! mirroring the surface arena: building is a bump push, dropping is
+//! freeing two `Vec`s, and call arguments are contiguous runs. Per-node
+//! tables are pre-sized from the declaration and equation counts, and
+//! the typed pool is reserved from the surface node's expression count,
+//! so elaborating a node does not grow tables mid-way.
+//!
 //! Bidirectional typing: literals are type-polymorphic (`PTy::IntLit`,
 //! `PTy::FloatLit`) and take their type from context (`0 fby n` gives
 //! `0` the type of `n`); unconstrained integer literals default to `int`,
@@ -17,13 +24,53 @@
 //! them (callees first) and rejects recursion — the paper's "nodes are not
 //! applied circularly".
 
-use velus_common::{codes, DiagStage, Diagnostic, Diagnostics, Ident, IdentMap, Span};
+use velus_common::{
+    codes, ident_map_with_capacity, DiagStage, Diagnostic, Diagnostics, Ident, IdentMap, Span,
+};
 use velus_nlustre::clock::Clock;
 use velus_ops::{Literal, Ops, SurfaceBinOp, SurfaceUnOp};
 
-use crate::ast::{UClock, UDecl, UExpr, UNode, UProgram};
+use crate::ast::{ClockId, ExprId, UArena, UClock, UDecl, UExpr, UNode, UProgram};
+
+/// An index into a [`TArena`]'s typed-expression pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TExprId(u32);
+
+impl TExprId {
+    /// The position in the pool.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A contiguous run in a [`TArena`] pool: call-argument runs (in the
+/// argument pool) and per-node expression slices (in the expression
+/// pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TRange {
+    /// First index of the run.
+    pub start: u32,
+    /// Number of elements.
+    pub len: u32,
+}
+
+impl TRange {
+    /// Number of elements.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the run is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
 
 /// A typed expression (surface constructs preserved, annotations added).
+/// Children are [`TExprId`]s into the owning [`TArena`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum TExpr<O: Ops> {
     /// A constant (literal or global constant, resolved).
@@ -31,48 +78,135 @@ pub enum TExpr<O: Ops> {
     /// A variable with its type.
     Var(Ident, O::Ty),
     /// Unary operator (including casts), annotated with the result type.
-    Unop(O::UnOp, Box<TExpr<O>>, O::Ty),
+    Unop(O::UnOp, TExprId, O::Ty),
     /// Binary operator, annotated with the result type.
-    Binop(O::BinOp, Box<TExpr<O>>, Box<TExpr<O>>, O::Ty),
+    Binop(O::BinOp, TExprId, TExprId, O::Ty),
     /// Sampling.
-    When(Box<TExpr<O>>, Ident, bool),
+    When(TExprId, Ident, bool),
     /// Merge of complementary streams.
-    Merge(Ident, Box<TExpr<O>>, Box<TExpr<O>>),
+    Merge(Ident, TExprId, TExprId),
     /// Multiplexer.
-    If(Box<TExpr<O>>, Box<TExpr<O>>, Box<TExpr<O>>),
+    If(TExprId, TExprId, TExprId),
     /// Initialized delay (the `pre` form has already been desugared).
-    Fby(O::Const, Box<TExpr<O>>),
+    Fby(O::Const, TExprId),
     /// Initialization `e1 -> e2`.
-    Arrow(Box<TExpr<O>>, Box<TExpr<O>>),
-    /// Node instantiation with the callee's output signature.
-    Call(Ident, Vec<TExpr<O>>, Vec<(Ident, O::Ty)>),
+    Arrow(TExprId, TExprId),
+    /// Node instantiation; the annotation is the callee's *first*
+    /// output type (the value type in expression position — tuple calls
+    /// only occur at equation level, where the pattern is checked
+    /// against the full signature directly).
+    Call(Ident, TRange, O::Ty),
 }
 
-impl<O: Ops> TExpr<O> {
-    /// The type of the expression (first output for calls).
-    pub fn ty(&self) -> O::Ty {
-        match self {
-            TExpr::Const(c) => O::type_of_const(c),
-            TExpr::Var(_, ty) | TExpr::Unop(_, _, ty) | TExpr::Binop(_, _, _, ty) => ty.clone(),
-            TExpr::When(e, _, _) => e.ty(),
-            TExpr::Merge(_, t, _) => t.ty(),
-            TExpr::If(_, t, _) => t.ty(),
-            TExpr::Fby(_, e) => e.ty(),
-            TExpr::Arrow(l, _) => l.ty(),
-            TExpr::Call(_, _, outs) => outs[0].1.clone(),
+/// The typed-expression and argument pools behind a [`TProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TArena<O: Ops> {
+    exprs: Vec<TExpr<O>>,
+    args: Vec<TExprId>,
+}
+
+impl<O: Ops> Default for TArena<O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O: Ops> TArena<O> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        TArena {
+            exprs: Vec::new(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Empties the pools but keeps their capacity for reuse.
+    pub fn clear(&mut self) {
+        self.exprs.clear();
+        self.args.clear();
+    }
+
+    /// Adds an expression, returning its id.
+    #[inline]
+    pub fn push(&mut self, e: TExpr<O>) -> TExprId {
+        let id = TExprId(self.exprs.len() as u32);
+        self.exprs.push(e);
+        id
+    }
+
+    /// Moves `stack[base..]` into the argument pool, returning the run.
+    fn push_args(&mut self, stack: &mut Vec<TExprId>, base: usize) -> TRange {
+        let start = self.args.len() as u32;
+        self.args.extend(stack.drain(base..));
+        TRange {
+            start,
+            len: self.args.len() as u32 - start,
+        }
+    }
+
+    /// The argument run of a call.
+    #[inline]
+    pub fn args(&self, r: TRange) -> &[TExprId] {
+        &self.args[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// The expressions in a contiguous pool range (a node's slice).
+    #[inline]
+    pub fn exprs_in(&self, r: TRange) -> &[TExpr<O>] {
+        &self.exprs[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Number of expressions in the pool.
+    #[inline]
+    pub fn num_exprs(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Pool capacities `(exprs, args)` — exposed so reuse tests can
+    /// assert that recycled arenas stop growing.
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.exprs.capacity(), self.args.capacity())
+    }
+
+    /// The type of an expression (first output for calls). Iterative:
+    /// the annotation is at most one spine walk away.
+    pub fn ty_of(&self, mut id: TExprId) -> O::Ty {
+        loop {
+            match &self[id] {
+                TExpr::Const(c) => return O::type_of_const(c),
+                TExpr::Var(_, ty)
+                | TExpr::Unop(_, _, ty)
+                | TExpr::Binop(_, _, _, ty)
+                | TExpr::Call(_, _, ty) => return ty.clone(),
+                TExpr::When(e, _, _)
+                | TExpr::Merge(_, e, _)
+                | TExpr::If(_, e, _)
+                | TExpr::Fby(_, e)
+                | TExpr::Arrow(e, _) => id = *e,
+            }
         }
     }
 }
 
-/// A typed equation.
+impl<O: Ops> std::ops::Index<TExprId> for TArena<O> {
+    type Output = TExpr<O>;
+
+    #[inline]
+    fn index(&self, id: TExprId) -> &TExpr<O> {
+        &self.exprs[id.index()]
+    }
+}
+
+/// A typed equation. The right-hand side is an id into the program's
+/// [`TArena`], so the equation itself is interface-independent.
 #[derive(Debug, Clone, PartialEq)]
-pub struct TEquation<O: Ops> {
+pub struct TEquation {
     /// Defined variables.
     pub lhs: Vec<Ident>,
     /// The (common) clock of the defined variables.
     pub ck: Clock,
     /// Typed right-hand side.
-    pub rhs: TExpr<O>,
+    pub rhs: TExprId,
     /// The source equation's span (threaded into the
     /// [`velus_common::SpanMap`] by normalization so mid-end failures
     /// point back here).
@@ -91,12 +225,16 @@ pub struct TNode<O: Ops> {
     /// Typed, clocked locals.
     pub locals: Vec<velus_nlustre::ast::VarDecl<O>>,
     /// Typed equations.
-    pub eqs: Vec<TEquation<O>>,
+    pub eqs: Vec<TEquation>,
+    /// The contiguous slice of the typed pool this node occupies, used
+    /// by normalization to pre-size from a linear scan.
+    pub exprs: TRange,
     /// The node header's span.
     pub span: Span,
 }
 
-/// A typed program, nodes in dependency order (callees first).
+/// A typed program, nodes in dependency order (callees first). Ids
+/// index the [`TArena`] elaboration built it in.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TProgram<O: Ops> {
     /// The nodes.
@@ -128,13 +266,18 @@ struct NodeEnv<'e, O: Ops> {
     /// them per node made elaboration quadratic in program size).
     consts: &'e IdentMap<O::Const>,
     /// Callee signatures: name → (input types, outputs); borrowed for
-    /// the same reason.
+    /// the same reason, and call sites borrow straight from the map
+    /// rather than cloning the signature vectors.
     sigs: &'e SigMap<O>,
 }
 
 struct Elab<'a, O: Ops> {
+    ua: &'a UArena,
+    ta: &'a mut TArena<O>,
     env: NodeEnv<'a, O>,
     warnings: &'a mut Diagnostics,
+    /// Scratch for call arguments (drained into the arena per call).
+    arg_stack: &'a mut Vec<TExprId>,
 }
 
 type EResult<T> = Result<T, Diagnostics>;
@@ -145,7 +288,7 @@ fn err<T>(code: velus_common::Code, msg: impl Into<String>, span: Span) -> EResu
     ))
 }
 
-impl<O: Ops> Elab<'_, O> {
+impl<'a, O: Ops> Elab<'a, O> {
     // ---- types ---------------------------------------------------------
 
     fn unify(&self, a: PTy<O>, b: PTy<O>, span: Span) -> EResult<PTy<O>> {
@@ -211,12 +354,12 @@ impl<O: Ops> Elab<'_, O> {
     }
 
     /// Infers a partial type bottom-up (used where no expectation exists).
-    fn infer(&self, e: &UExpr) -> EResult<PTy<O>> {
-        match e {
+    fn infer(&self, e: ExprId) -> EResult<PTy<O>> {
+        match self.ua[e] {
             UExpr::Lit(Literal::Int(_), _) => Ok(PTy::IntLit),
             UExpr::Lit(Literal::Float(_), _) => Ok(PTy::FloatLit),
             UExpr::Lit(Literal::Bool(_), _) => Ok(PTy::Known(O::bool_type())),
-            UExpr::Var(x, s) => self.var_ty(*x, *s),
+            UExpr::Var(x, s) => self.var_ty(x, s),
             UExpr::Unop(SurfaceUnOp::Not, _, _) => Ok(PTy::Known(O::bool_type())),
             UExpr::Unop(SurfaceUnOp::Neg, e1, _) => self.infer(e1),
             UExpr::Binop(op, l, r, s) => {
@@ -227,7 +370,7 @@ impl<O: Ops> Elab<'_, O> {
                     _ => {
                         let a = self.infer(l)?;
                         let b = self.infer(r)?;
-                        self.unify(a, b, *s)
+                        self.unify(a, b, s)
                     }
                 }
             }
@@ -235,19 +378,19 @@ impl<O: Ops> Elab<'_, O> {
             UExpr::Merge(_, t, f, s) | UExpr::If(_, t, f, s) => {
                 let a = self.infer(t)?;
                 let b = self.infer(f)?;
-                self.unify(a, b, *s)
+                self.unify(a, b, s)
             }
             UExpr::Fby(c, e1, s) | UExpr::Arrow(c, e1, s) => {
                 let a = self.infer(c)?;
                 let b = self.infer(e1)?;
-                self.unify(a, b, *s)
+                self.unify(a, b, s)
             }
             UExpr::Pre(e1, _) => self.infer(e1),
-            UExpr::Call(f, args, s) => {
-                if O::type_of_name(f.as_str()).is_some() {
-                    return Ok(PTy::Known(O::type_of_name(f.as_str()).expect("checked")));
+            UExpr::Call(f, _, s) => {
+                if let Some(t) = O::type_of_name(f.as_str()) {
+                    return Ok(PTy::Known(t));
                 }
-                match self.env.sigs.get(f) {
+                match self.env.sigs.get(&f) {
                     Some((_, outs)) if outs.len() == 1 => Ok(PTy::Known(outs[0].1.clone())),
                     Some((_, outs)) => err(
                         codes::E0214,
@@ -255,45 +398,45 @@ impl<O: Ops> Elab<'_, O> {
                             "node {f} has {} outputs; tuple calls only at equation level",
                             outs.len()
                         ),
-                        *s,
+                        s,
                     ),
-                    None => {
-                        let _ = args;
-                        err(codes::E0203, format!("unknown node or type {f}"), *s)
-                    }
+                    None => err(codes::E0203, format!("unknown node or type {f}"), s),
                 }
             }
         }
     }
 
-    /// Builds a typed expression at the expected type.
+    /// Builds a typed expression at the expected type, returning its id
+    /// in the typed arena.
     ///
     /// `initialized` tracks whether the expression sits under the
     /// right-hand side of an `->` (for the `pre` lint).
-    fn build(&mut self, e: &UExpr, expected: &O::Ty, initialized: bool) -> EResult<TExpr<O>> {
-        match e {
-            UExpr::Lit(lit, s) => match O::const_of_literal(lit, expected) {
-                Some(c) => Ok(TExpr::Const(c)),
+    fn build(&mut self, e: ExprId, expected: &O::Ty, initialized: bool) -> EResult<TExprId> {
+        match self.ua[e] {
+            UExpr::Lit(lit, s) => match O::const_of_literal(&lit, expected) {
+                Some(c) => Ok(self.ta.push(TExpr::Const(c))),
                 None => err(
                     codes::E0207,
                     format!("literal {lit} does not fit type {expected}"),
-                    *s,
+                    s,
                 ),
             },
             UExpr::Var(x, s) => {
-                if let Some((t, _)) = self.env.vars.get(x) {
+                if let Some((t, _)) = self.env.vars.get(&x) {
                     if t == expected {
-                        Ok(TExpr::Var(*x, t.clone()))
+                        let t = t.clone();
+                        Ok(self.ta.push(TExpr::Var(x, t)))
                     } else {
                         err(
                             codes::E0202,
                             format!("variable {x} has type {t}, expected {expected}"),
-                            *s,
+                            s,
                         )
                     }
-                } else if let Some(c) = self.env.consts.get(x) {
+                } else if let Some(c) = self.env.consts.get(&x) {
                     if O::type_of_const(c) == *expected {
-                        Ok(TExpr::Const(c.clone()))
+                        let c = c.clone();
+                        Ok(self.ta.push(TExpr::Const(c)))
                     } else {
                         err(
                             codes::E0202,
@@ -301,11 +444,11 @@ impl<O: Ops> Elab<'_, O> {
                                 "constant {x} has type {}, expected {expected}",
                                 O::type_of_const(c)
                             ),
-                            *s,
+                            s,
                         )
                     }
                 } else {
-                    err(codes::E0201, format!("unknown variable {x}"), *s)
+                    err(codes::E0201, format!("unknown variable {x}"), s)
                 }
             }
             UExpr::Unop(sop, e1, s) => {
@@ -314,17 +457,19 @@ impl<O: Ops> Elab<'_, O> {
                     SurfaceUnOp::Neg => expected.clone(),
                 };
                 let te = self.build(e1, &operand_ty, initialized)?;
-                match O::elab_unop(*sop, &operand_ty) {
-                    Some((op, rty)) if rty == *expected => Ok(TExpr::Unop(op, Box::new(te), rty)),
+                match O::elab_unop(sop, &operand_ty) {
+                    Some((op, rty)) if rty == *expected => {
+                        Ok(self.ta.push(TExpr::Unop(op, te, rty)))
+                    }
                     Some((_, rty)) => err(
                         codes::E0202,
                         format!("operator {sop} yields {rty}, expected {expected}"),
-                        *s,
+                        s,
                     ),
                     None => err(
                         codes::E0208,
                         format!("operator {sop} inapplicable at type {operand_ty}"),
-                        *s,
+                        s,
                     ),
                 }
             }
@@ -334,57 +479,56 @@ impl<O: Ops> Elab<'_, O> {
                     Eq | Ne | Lt | Le | Gt | Ge => {
                         let a = self.infer(l)?;
                         let b = self.infer(r)?;
-                        let u = self.unify(a, b, *s)?;
-                        self.resolve(u, *s)?
+                        let u = self.unify(a, b, s)?;
+                        self.resolve(u, s)?
                     }
                     And | Or | Xor => O::bool_type(),
                     _ => expected.clone(),
                 };
                 let tl = self.build(l, &operand_ty, initialized)?;
                 let tr = self.build(r, &operand_ty, initialized)?;
-                match O::elab_binop(*sop, &operand_ty, &operand_ty) {
+                match O::elab_binop(sop, &operand_ty, &operand_ty) {
                     Some((op, rty)) if rty == *expected => {
-                        Ok(TExpr::Binop(op, Box::new(tl), Box::new(tr), rty))
+                        Ok(self.ta.push(TExpr::Binop(op, tl, tr, rty)))
                     }
                     Some((_, rty)) => err(
                         codes::E0202,
                         format!("operator {sop} yields {rty}, expected {expected}"),
-                        *s,
+                        s,
                     ),
                     None => err(
                         codes::E0208,
                         format!("operator {sop} inapplicable at type {operand_ty}"),
-                        *s,
+                        s,
                     ),
                 }
             }
             UExpr::When(e1, x, k, s) => {
-                self.require_bool_var(*x, *s)?;
+                self.require_bool_var(x, s)?;
                 let te = self.build(e1, expected, initialized)?;
-                Ok(TExpr::When(Box::new(te), *x, *k))
+                Ok(self.ta.push(TExpr::When(te, x, k)))
             }
             UExpr::Merge(x, t, f, s) => {
-                self.require_bool_var(*x, *s)?;
+                self.require_bool_var(x, s)?;
                 let tt = self.build(t, expected, initialized)?;
                 let tf = self.build(f, expected, initialized)?;
-                Ok(TExpr::Merge(*x, Box::new(tt), Box::new(tf)))
+                Ok(self.ta.push(TExpr::Merge(x, tt, tf)))
             }
             UExpr::If(c, t, f, _) => {
                 let tc = self.build(c, &O::bool_type(), initialized)?;
                 let tt = self.build(t, expected, initialized)?;
                 let tf = self.build(f, expected, initialized)?;
-                Ok(TExpr::If(Box::new(tc), Box::new(tt), Box::new(tf)))
+                Ok(self.ta.push(TExpr::If(tc, tt, tf)))
             }
-            UExpr::Fby(c, e1, s) => {
+            UExpr::Fby(c, e1, _) => {
                 let init = self.const_value(c, expected)?;
                 let te = self.build(e1, expected, initialized)?;
-                let _ = s;
-                Ok(TExpr::Fby(init, Box::new(te)))
+                Ok(self.ta.push(TExpr::Fby(init, te)))
             }
             UExpr::Arrow(l, r, _) => {
                 let tl = self.build(l, expected, initialized)?;
                 let tr = self.build(r, expected, true)?;
-                Ok(TExpr::Arrow(Box::new(tl), Box::new(tr)))
+                Ok(self.ta.push(TExpr::Arrow(tl, tr)))
             }
             UExpr::Pre(e1, s) => {
                 if !initialized {
@@ -392,42 +536,47 @@ impl<O: Ops> Elab<'_, O> {
                         Diagnostic::warning(
                             codes::W0001,
                             "`pre` may be read before initialization; consider `e -> pre …`",
-                            *s,
+                            s,
                         )
                         .at_stage(DiagStage::Elaborate),
                     );
                 }
                 let te = self.build(e1, expected, initialized)?;
-                Ok(TExpr::Fby(O::default_const(expected), Box::new(te)))
+                Ok(self.ta.push(TExpr::Fby(O::default_const(expected), te)))
             }
             UExpr::Call(f, args, s) => {
                 // Type cast?
                 if let Some(to) = O::type_of_name(f.as_str()) {
+                    let args = self.ua.args(args);
                     if args.len() != 1 {
                         return err(
                             codes::E0204,
                             format!("cast {f}(…) takes exactly one argument"),
-                            *s,
+                            s,
                         );
                     }
                     if to != *expected {
                         return err(
                             codes::E0202,
                             format!("cast to {to} used at type {expected}"),
-                            *s,
+                            s,
                         );
                     }
-                    let from_p = self.infer(&args[0])?;
-                    let from = self.resolve(from_p, *s)?;
-                    let te = self.build(&args[0], &from, initialized)?;
+                    let arg = args[0];
+                    let from_p = self.infer(arg)?;
+                    let from = self.resolve(from_p, s)?;
+                    let te = self.build(arg, &from, initialized)?;
                     return match O::elab_cast(&from, &to) {
-                        Some(op) => Ok(TExpr::Unop(op, Box::new(te), to)),
-                        None => err(codes::E0208, format!("no cast from {from} to {to}"), *s),
+                        Some(op) => Ok(self.ta.push(TExpr::Unop(op, te, to))),
+                        None => err(codes::E0208, format!("no cast from {from} to {to}"), s),
                     };
                 }
-                let (ins, outs) = match self.env.sigs.get(f) {
-                    Some(sig) => sig.clone(),
-                    None => return err(codes::E0203, format!("unknown node or type {f}"), *s),
+                // Borrow the signature straight out of the (outer-lived)
+                // map — no per-call-site clone of the signature vectors.
+                let sigs: &'a SigMap<O> = self.env.sigs;
+                let (ins, outs) = match sigs.get(&f) {
+                    Some(sig) => sig,
+                    None => return err(codes::E0203, format!("unknown node or type {f}"), s),
                 };
                 if outs.len() != 1 {
                     return err(
@@ -436,30 +585,33 @@ impl<O: Ops> Elab<'_, O> {
                             "node {f} has {} outputs; tuple calls only at equation level",
                             outs.len()
                         ),
-                        *s,
+                        s,
                     );
                 }
                 if outs[0].1 != *expected {
                     return err(
                         codes::E0202,
                         format!("node {f} returns {}, expected {expected}", outs[0].1),
-                        *s,
+                        s,
                     );
                 }
-                let targs = self.build_args(f, &ins, args, *s, initialized)?;
-                Ok(TExpr::Call(*f, targs, outs))
+                let targs = self.build_args(f, ins, args, s, initialized)?;
+                let out_ty = outs[0].1.clone();
+                Ok(self.ta.push(TExpr::Call(f, targs, out_ty)))
             }
         }
     }
 
     fn build_args(
         &mut self,
-        f: &Ident,
+        f: Ident,
         ins: &[O::Ty],
-        args: &[UExpr],
+        args: crate::ast::ExprRange,
         span: Span,
         initialized: bool,
-    ) -> EResult<Vec<TExpr<O>>> {
+    ) -> EResult<TRange> {
+        let ua: &'a UArena = self.ua;
+        let args = ua.args(args);
         if ins.len() != args.len() {
             return err(
                 codes::E0204,
@@ -471,10 +623,17 @@ impl<O: Ops> Elab<'_, O> {
                 span,
             );
         }
-        args.iter()
-            .zip(ins)
-            .map(|(a, t)| self.build(a, t, initialized))
-            .collect()
+        let base = self.arg_stack.len();
+        for (&a, t) in args.iter().zip(ins) {
+            match self.build(a, t, initialized) {
+                Ok(id) => self.arg_stack.push(id),
+                Err(e) => {
+                    self.arg_stack.truncate(base);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(self.ta.push_args(self.arg_stack, base))
     }
 
     fn require_bool_var(&self, x: Ident, span: Span) -> EResult<()> {
@@ -491,16 +650,16 @@ impl<O: Ops> Elab<'_, O> {
 
     /// Evaluates a constant expression (literal, possibly negated literal,
     /// or global constant) at the expected type.
-    fn const_value(&self, e: &UExpr, expected: &O::Ty) -> EResult<O::Const> {
-        match e {
-            UExpr::Lit(lit, s) => O::const_of_literal(lit, expected).ok_or(()).or_else(|_| {
+    fn const_value(&self, e: ExprId, expected: &O::Ty) -> EResult<O::Const> {
+        match self.ua[e] {
+            UExpr::Lit(lit, s) => O::const_of_literal(&lit, expected).ok_or(()).or_else(|_| {
                 err(
                     codes::E0207,
                     format!("literal {lit} does not fit type {expected}"),
-                    *s,
+                    s,
                 )
             }),
-            UExpr::Var(x, s) => match self.env.consts.get(x) {
+            UExpr::Var(x, s) => match self.env.consts.get(&x) {
                 Some(c) if O::type_of_const(c) == *expected => Ok(c.clone()),
                 Some(c) => err(
                     codes::E0202,
@@ -508,15 +667,15 @@ impl<O: Ops> Elab<'_, O> {
                         "constant {x} has type {}, expected {expected}",
                         O::type_of_const(c)
                     ),
-                    *s,
+                    s,
                 ),
                 None => err(
                     codes::E0209,
                     format!("`fby` initial value must be a constant, found variable {x}"),
-                    *s,
+                    s,
                 ),
             },
-            other => err(
+            ref other => err(
                 codes::E0209,
                 "`fby` initial value must be a constant expression",
                 other.span(),
@@ -529,8 +688,8 @@ impl<O: Ops> Elab<'_, O> {
     /// Checks that `e` is well clocked at `ck` (`None` = clock-polymorphic
     /// constant context is not needed: equations always give a concrete
     /// expectation).
-    fn check_clock(&self, e: &TExpr<O>, ck: &Clock, span: Span) -> EResult<()> {
-        match e {
+    fn check_clock(&self, e: TExprId, ck: &Clock, span: Span) -> EResult<()> {
+        match &self.ta[e] {
             TExpr::Const(_) => Ok(()),
             TExpr::Var(x, _) => {
                 let (_, cx) = self.env.vars.get(x).expect("vars checked during typing");
@@ -544,15 +703,15 @@ impl<O: Ops> Elab<'_, O> {
                     )
                 }
             }
-            TExpr::Unop(_, e1, _) => self.check_clock(e1, ck, span),
+            TExpr::Unop(_, e1, _) => self.check_clock(*e1, ck, span),
             TExpr::Binop(_, l, r, _) => {
-                self.check_clock(l, ck, span)?;
-                self.check_clock(r, ck, span)
+                self.check_clock(*l, ck, span)?;
+                self.check_clock(*r, ck, span)
             }
             TExpr::When(e1, x, k) => match ck {
                 Clock::On(parent, y, k2) if y == x && k2 == k => {
                     self.check_var_clock(*x, parent, span)?;
-                    self.check_clock(e1, parent, span)
+                    self.check_clock(*e1, parent, span)
                 }
                 _ => err(
                     codes::E0301,
@@ -562,21 +721,21 @@ impl<O: Ops> Elab<'_, O> {
             },
             TExpr::Merge(x, t, f) => {
                 self.check_var_clock(*x, ck, span)?;
-                self.check_clock(t, &ck.clone().on(*x, true), span)?;
-                self.check_clock(f, &ck.clone().on(*x, false), span)
+                self.check_clock(*t, &ck.clone().on(*x, true), span)?;
+                self.check_clock(*f, &ck.clone().on(*x, false), span)
             }
             TExpr::If(c, t, f) => {
-                self.check_clock(c, ck, span)?;
-                self.check_clock(t, ck, span)?;
-                self.check_clock(f, ck, span)
+                self.check_clock(*c, ck, span)?;
+                self.check_clock(*t, ck, span)?;
+                self.check_clock(*f, ck, span)
             }
-            TExpr::Fby(_, e1) => self.check_clock(e1, ck, span),
+            TExpr::Fby(_, e1) => self.check_clock(*e1, ck, span),
             TExpr::Arrow(l, r) => {
-                self.check_clock(l, ck, span)?;
-                self.check_clock(r, ck, span)
+                self.check_clock(*l, ck, span)?;
+                self.check_clock(*r, ck, span)
             }
             TExpr::Call(_, args, _) => {
-                for a in args {
+                for &a in self.ta.args(*args) {
                     self.check_clock(a, ck, span)?;
                 }
                 Ok(())
@@ -597,12 +756,12 @@ impl<O: Ops> Elab<'_, O> {
     }
 }
 
-fn elab_clock<O: Ops>(uclock: &UClock, vars: &VarMap<O>, span: Span) -> EResult<Clock> {
-    match uclock {
+fn elab_clock<O: Ops>(ua: &UArena, id: ClockId, vars: &VarMap<O>, span: Span) -> EResult<Clock> {
+    match ua.clock(id) {
         UClock::Base => Ok(Clock::Base),
         UClock::On(parent, x, k) => {
-            let p = elab_clock::<O>(parent, vars, span)?;
-            match vars.get(x) {
+            let p = elab_clock::<O>(ua, parent, vars, span)?;
+            match vars.get(&x) {
                 Some((t, cx)) => {
                     if *t != O::bool_type() {
                         return err(
@@ -618,7 +777,7 @@ fn elab_clock<O: Ops>(uclock: &UClock, vars: &VarMap<O>, span: Span) -> EResult<
                             span,
                         );
                     }
-                    Ok(p.on(*x, *k))
+                    Ok(p.on(x, k))
                 }
                 None => err(codes::E0303, format!("unknown clock variable {x}"), span),
             }
@@ -627,42 +786,38 @@ fn elab_clock<O: Ops>(uclock: &UClock, vars: &VarMap<O>, span: Span) -> EResult<
 }
 
 /// Scans an expression for node-call targets (for dependency ordering).
-fn call_targets(e: &UExpr, out: &mut Vec<Ident>) {
-    match e {
+fn call_targets(ua: &UArena, e: ExprId, out: &mut Vec<Ident>) {
+    match ua[e] {
         UExpr::Call(f, args, _) => {
-            out.push(*f);
-            for a in args {
-                call_targets(a, out);
+            out.push(f);
+            for &a in ua.args(args) {
+                call_targets(ua, a, out);
             }
         }
         UExpr::Lit(..) | UExpr::Var(..) => {}
         UExpr::Unop(_, e1, _) | UExpr::When(e1, _, _, _) | UExpr::Pre(e1, _) => {
-            call_targets(e1, out)
+            call_targets(ua, e1, out)
         }
         UExpr::Binop(_, l, r, _) | UExpr::Fby(l, r, _) | UExpr::Arrow(l, r, _) => {
-            call_targets(l, out);
-            call_targets(r, out);
+            call_targets(ua, l, out);
+            call_targets(ua, r, out);
         }
         UExpr::Merge(_, t, f, _) => {
-            call_targets(t, out);
-            call_targets(f, out);
+            call_targets(ua, t, out);
+            call_targets(ua, f, out);
         }
         UExpr::If(c, t, f, _) => {
-            call_targets(c, out);
-            call_targets(t, out);
-            call_targets(f, out);
+            call_targets(ua, c, out);
+            call_targets(ua, t, out);
+            call_targets(ua, f, out);
         }
     }
 }
 
 /// Topologically orders nodes, callees first.
-fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
-    let index: IdentMap<usize> = prog
-        .nodes
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.name, i))
-        .collect();
+fn order_nodes<O: Ops>(prog: &UProgram, ua: &UArena) -> EResult<Vec<usize>> {
+    let mut index: IdentMap<usize> = ident_map_with_capacity(prog.nodes.len());
+    index.extend(prog.nodes.iter().enumerate().map(|(i, n)| (n.name, i)));
     if index.len() != prog.nodes.len() {
         for (i, n) in prog.nodes.iter().enumerate() {
             if index[&n.name] != i {
@@ -682,13 +837,16 @@ fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
         Black,
     }
     let mut marks = vec![Mark::White; prog.nodes.len()];
-    let mut order = Vec::new();
+    let mut order = Vec::with_capacity(prog.nodes.len());
+    let mut calls = Vec::new();
     fn visit<O: Ops>(
         i: usize,
         prog: &UProgram,
+        ua: &UArena,
         index: &IdentMap<usize>,
         marks: &mut Vec<Mark>,
         order: &mut Vec<usize>,
+        calls: &mut Vec<Ident>,
     ) -> EResult<()> {
         match marks[i] {
             Mark::Black => return Ok(()),
@@ -705,32 +863,35 @@ fn order_nodes<O: Ops>(prog: &UProgram) -> EResult<Vec<usize>> {
             Mark::White => {}
         }
         marks[i] = Mark::Grey;
-        let mut calls = Vec::new();
+        let base = calls.len();
         for eq in &prog.nodes[i].eqs {
-            call_targets(&eq.rhs, &mut calls);
+            call_targets(ua, eq.rhs, calls);
         }
-        for f in calls {
+        for k in base..calls.len() {
+            let f = calls[k];
             if O::type_of_name(f.as_str()).is_some() {
                 continue; // a cast, not a node
             }
             if let Some(&j) = index.get(&f) {
-                visit::<O>(j, prog, index, marks, order)?;
+                visit::<O>(j, prog, ua, index, marks, order, calls)?;
             }
             // Unknown callees are reported during typing with a position.
         }
+        calls.truncate(base);
         marks[i] = Mark::Black;
         order.push(i);
         Ok(())
     }
     for i in 0..prog.nodes.len() {
-        visit::<O>(i, prog, &index, &mut marks, &mut order)?;
+        visit::<O>(i, prog, ua, &index, &mut marks, &mut order, &mut calls)?;
     }
     Ok(order)
 }
 
-fn elab_decls<O: Ops>(groups: [&[UDecl]; 3]) -> EResult<ElabDecls<O>> {
+fn elab_decls<O: Ops>(ua: &UArena, groups: [&[UDecl]; 3]) -> EResult<ElabDecls<O>> {
+    let total = groups.iter().map(|g| g.len()).sum::<usize>();
     // First pass: resolve types (clocks may reference any declared var).
-    let mut tys: IdentMap<O::Ty> = IdentMap::default();
+    let mut tys: IdentMap<O::Ty> = ident_map_with_capacity(total);
     for d in groups.iter().flat_map(|g| g.iter()) {
         let ty = match O::type_of_name(d.ty_name.as_str()) {
             Some(t) => t,
@@ -746,15 +907,24 @@ fn elab_decls<O: Ops>(groups: [&[UDecl]; 3]) -> EResult<ElabDecls<O>> {
     }
     // Second pass: resolve clocks. Clocks may be declared in dependency
     // order (a sampler must be declared with its own clock resolvable);
-    // iterate until fixpoint to allow forward references.
-    let mut vars: VarMap<O> = VarMap::<O>::default();
-    let all: Vec<&UDecl> = groups.iter().flat_map(|g| g.iter()).collect();
-    let mut pending: Vec<&UDecl> = all.clone();
+    // the common case — every clock resolvable in declaration order —
+    // completes in one sweep, and only stragglers iterate to fixpoint
+    // to allow forward references.
+    let mut vars: VarMap<O> = ident_map_with_capacity(total);
+    let mut pending: Vec<&UDecl> = Vec::new();
+    for d in groups.iter().flat_map(|g| g.iter()) {
+        match elab_clock::<O>(ua, d.clock, &vars, d.span) {
+            Ok(ck) => {
+                vars.insert(d.name, (tys[&d.name].clone(), ck));
+            }
+            Err(_) => pending.push(d),
+        }
+    }
     while !pending.is_empty() {
         let before = pending.len();
         let mut next = Vec::new();
         for d in pending {
-            match elab_clock::<O>(&d.clock, &vars, d.span) {
+            match elab_clock::<O>(ua, d.clock, &vars, d.span) {
                 Ok(ck) => {
                     vars.insert(d.name, (tys[&d.name].clone(), ck));
                 }
@@ -764,7 +934,7 @@ fn elab_decls<O: Ops>(groups: [&[UDecl]; 3]) -> EResult<ElabDecls<O>> {
         if next.len() == before {
             // No progress: report the first real error.
             let d = next[0];
-            elab_clock::<O>(&d.clock, &vars, d.span)?;
+            elab_clock::<O>(ua, d.clock, &vars, d.span)?;
             unreachable!("elab_clock must fail where it failed before");
         }
         pending = next;
@@ -784,12 +954,15 @@ fn elab_decls<O: Ops>(groups: [&[UDecl]; 3]) -> EResult<ElabDecls<O>> {
 
 fn elab_node<O: Ops>(
     unode: &UNode,
+    ua: &UArena,
+    ta: &mut TArena<O>,
     consts: &IdentMap<O::Const>,
     sigs: &SigMap<O>,
     warnings: &mut Diagnostics,
+    arg_stack: &mut Vec<TExprId>,
 ) -> EResult<TNode<O>> {
     let (vars, [inputs, outputs, locals]) =
-        elab_decls::<O>([&unode.inputs, &unode.outputs, &unode.locals])?;
+        elab_decls::<O>(ua, [&unode.inputs, &unode.outputs, &unode.locals])?;
     // Interface variables live on the base clock (paper's restriction).
     for d in inputs.iter().chain(&outputs) {
         if d.ck != Clock::Base {
@@ -808,13 +981,22 @@ fn elab_node<O: Ops>(
         );
     }
 
+    // Cheap first pass: the typed tree is at most one node per surface
+    // node (casts and folds only shrink it), so reserving the surface
+    // count keeps the pool from growing mid-node.
+    let tstart = ta.num_exprs() as u32;
+    ta.exprs.reserve(unode.exprs.len());
+
     let mut elab = Elab::<O> {
+        ua,
+        ta,
         env: NodeEnv { vars, consts, sigs },
         warnings,
+        arg_stack,
     };
 
-    let mut eqs = Vec::new();
-    let mut defined: Vec<Ident> = Vec::new();
+    let mut eqs = Vec::with_capacity(unode.eqs.len());
+    let mut defined: Vec<Ident> = Vec::with_capacity(outputs.len() + locals.len());
     for ueq in &unode.eqs {
         // The equation clock comes from the (identical) clocks of the
         // defined variables.
@@ -855,14 +1037,14 @@ fn elab_node<O: Ops>(
 
         let rhs = if ueq.lhs.len() > 1 {
             // Tuple call.
-            match &ueq.rhs {
+            match ua[ueq.rhs] {
                 UExpr::Call(f, args, s) => {
                     if O::type_of_name(f.as_str()).is_some() {
-                        return err(codes::E0214, "a cast returns a single value", *s);
+                        return err(codes::E0214, "a cast returns a single value", s);
                     }
-                    let (ins, outs) = match elab.env.sigs.get(f) {
-                        Some(sig) => sig.clone(),
-                        None => return err(codes::E0203, format!("unknown node {f}"), *s),
+                    let (ins, outs) = match sigs.get(&f) {
+                        Some(sig) => sig,
+                        None => return err(codes::E0203, format!("unknown node {f}"), s),
                     };
                     if outs.len() != ueq.lhs.len() {
                         return err(
@@ -872,23 +1054,24 @@ fn elab_node<O: Ops>(
                                 outs.len(),
                                 ueq.lhs.len()
                             ),
-                            *s,
+                            s,
                         );
                     }
-                    for (x, (oname, oty)) in ueq.lhs.iter().zip(&outs) {
+                    for (x, (oname, oty)) in ueq.lhs.iter().zip(outs) {
                         let (tx, _) = &elab.env.vars[x];
                         if tx != oty {
                             return err(
                                 codes::E0202,
                                 format!("{x} has type {tx}, output {oname} has type {oty}"),
-                                *s,
+                                s,
                             );
                         }
                     }
-                    let targs = elab.build_args(f, &ins, args, *s, false)?;
-                    TExpr::Call(*f, targs, outs)
+                    let targs = elab.build_args(f, ins, args, s, false)?;
+                    let out_ty = outs[0].1.clone();
+                    elab.ta.push(TExpr::Call(f, targs, out_ty))
                 }
-                other => {
+                ref other => {
                     return err(
                         codes::E0214,
                         "tuple patterns require a node call on the right",
@@ -898,10 +1081,10 @@ fn elab_node<O: Ops>(
             }
         } else {
             let x = ueq.lhs[0];
-            let (tx, _) = elab.env.vars[&x].clone();
-            elab.build(&ueq.rhs, &tx, false)?
+            let tx = elab.env.vars[&x].0.clone();
+            elab.build(ueq.rhs, &tx, false)?
         };
-        elab.check_clock(&rhs, &ck, ueq.span)?;
+        elab.check_clock(rhs, &ck, ueq.span)?;
         eqs.push(TEquation {
             lhs: ueq.lhs.clone(),
             ck,
@@ -927,6 +1110,10 @@ fn elab_node<O: Ops>(
         outputs,
         locals,
         eqs,
+        exprs: TRange {
+            start: tstart,
+            len: ta.num_exprs() as u32 - tstart,
+        },
         span: unode.span,
     })
 }
@@ -934,16 +1121,27 @@ fn elab_node<O: Ops>(
 /// Elaborates a surface program: resolves constants, orders nodes,
 /// type-checks and clock-checks everything.
 ///
+/// The typed expressions are built into `ta` (cleared first); the
+/// returned program's ids index it. Callers that compile repeatedly
+/// pass the same arena back in to reuse its pools.
+///
 /// Returns the typed program and accumulated warnings.
 ///
 /// # Errors
 ///
 /// All typing, clocking and structural errors as positioned diagnostics.
-pub fn elaborate<O: Ops>(prog: &UProgram) -> Result<(TProgram<O>, Diagnostics), Diagnostics> {
+pub fn elaborate<O: Ops>(
+    prog: &UProgram,
+    ua: &UArena,
+    ta: &mut TArena<O>,
+) -> Result<(TProgram<O>, Diagnostics), Diagnostics> {
+    ta.clear();
+    ta.exprs.reserve(ua.num_exprs());
     let mut warnings = Diagnostics::new();
+    let mut arg_stack: Vec<TExprId> = Vec::new();
 
     // Global constants.
-    let mut consts: IdentMap<O::Const> = IdentMap::<O::Const>::default();
+    let mut consts: IdentMap<O::Const> = ident_map_with_capacity(prog.consts.len());
     let empty_sigs = SigMap::<O>::default();
     for c in &prog.consts {
         let ty = match O::type_of_name(c.ty_name.as_str()) {
@@ -951,15 +1149,19 @@ pub fn elaborate<O: Ops>(prog: &UProgram) -> Result<(TProgram<O>, Diagnostics), 
             None => return err(codes::E0215, format!("unknown type {}", c.ty_name), c.span),
         };
         let value = {
+            let mut scratch_ta = TArena::<O>::new();
             let scratch = Elab::<O> {
+                ua,
+                ta: &mut scratch_ta,
                 env: NodeEnv {
                     vars: VarMap::<O>::default(),
                     consts: &consts,
                     sigs: &empty_sigs,
                 },
                 warnings: &mut warnings,
+                arg_stack: &mut arg_stack,
             };
-            scratch.const_value(&c.value, &ty)?
+            scratch.const_value(c.value, &ty)?
         };
         if consts.insert(c.name, value).is_some() {
             return err(
@@ -970,11 +1172,19 @@ pub fn elaborate<O: Ops>(prog: &UProgram) -> Result<(TProgram<O>, Diagnostics), 
         }
     }
 
-    let order = order_nodes::<O>(prog)?;
-    let mut sigs: SigMap<O> = SigMap::<O>::default();
+    let order = order_nodes::<O>(prog, ua)?;
+    let mut sigs: SigMap<O> = ident_map_with_capacity(prog.nodes.len());
     let mut nodes = Vec::with_capacity(prog.nodes.len());
     for i in order {
-        let tnode = elab_node::<O>(&prog.nodes[i], &consts, &sigs, &mut warnings)?;
+        let tnode = elab_node::<O>(
+            &prog.nodes[i],
+            ua,
+            ta,
+            &consts,
+            &sigs,
+            &mut warnings,
+            &mut arg_stack,
+        )?;
         sigs.insert(
             tnode.name,
             (

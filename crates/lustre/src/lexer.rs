@@ -193,14 +193,56 @@ fn keyword(s: &str) -> Option<Tok> {
     })
 }
 
+/// Whether `c` can begin a token (or whitespace) — used to delimit runs
+/// of unexpected characters so each run costs one diagnostic, not one
+/// per probed character.
+#[inline]
+fn starts_token(c: u8) -> bool {
+    c.is_ascii_whitespace()
+        || c.is_ascii_alphanumeric()
+        || matches!(
+            c,
+            b'_' | b'('
+                | b')'
+                | b','
+                | b';'
+                | b':'
+                | b'='
+                | b'<'
+                | b'>'
+                | b'+'
+                | b'-'
+                | b'*'
+                | b'/'
+        )
+}
+
 /// Tokenizes `source`.
 ///
 /// # Errors
 ///
 /// Unterminated comments, malformed numbers and unexpected characters.
 pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
-    let bytes = source.as_bytes();
     let mut out = Vec::new();
+    lex_into(source, &mut out)?;
+    Ok(out)
+}
+
+/// Tokenizes `source` into a caller-owned buffer (cleared first), so a
+/// caller compiling repeatedly reuses one allocation. The buffer is
+/// pre-sized from the source length on first use.
+///
+/// # Errors
+///
+/// Same as [`lex`]; `out` still holds the tokens lexed before the error
+/// (error recovery continues to the end of the input).
+pub fn lex_into(source: &str, out: &mut Vec<Token>) -> Result<(), Diagnostics> {
+    let bytes = source.as_bytes();
+    out.clear();
+    // Lustre averages roughly one token per four bytes; one up-front
+    // reservation replaces the doubling regrowths of a cold Vec and is
+    // a no-op for a recycled buffer that is already big enough.
+    out.reserve(source.len() / 4 + 8);
     let mut i = 0usize;
     let n = bytes.len();
     let mut errs = Diagnostics::new();
@@ -350,19 +392,29 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
                 b'*' => (Tok::Star, 1),
                 b'/' => (Tok::Slash, 1),
                 _ => {
-                    // Step over the whole UTF-8 sequence so both the
-                    // span and the next lexer state sit on character
-                    // boundaries.
+                    // Coalesce the whole run of unexpected characters
+                    // into one diagnostic, stepping over complete UTF-8
+                    // sequences so both the span and the next lexer
+                    // state sit on character boundaries. The message is
+                    // formatted once per run, not once per probed
+                    // character.
                     let ch = source[i..].chars().next().expect("in bounds");
+                    let mut j = i + ch.len_utf8();
+                    while j < n && !starts_token(bytes[j]) {
+                        let ch2 = source[j..].chars().next().expect("on boundary");
+                        j += ch2.len_utf8();
+                    }
+                    let run = &source[i..j];
+                    let msg = if j == i + ch.len_utf8() {
+                        format!("unexpected character `{ch}`")
+                    } else {
+                        format!("unexpected characters `{run}`")
+                    };
                     errs.push(
-                        Diagnostic::error(
-                            codes::E0101,
-                            format!("unexpected character `{ch}`"),
-                            Span::new(start, start + ch.len_utf8() as u32),
-                        )
-                        .at_stage(DiagStage::Lex),
+                        Diagnostic::error(codes::E0101, msg, Span::new(start, j as u32))
+                            .at_stage(DiagStage::Lex),
                     );
-                    i += ch.len_utf8();
+                    i = j;
                     continue;
                 }
             },
@@ -377,7 +429,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
         tok: Tok::Eof,
         span: Span::new(n as u32, n as u32),
     });
-    errs.into_result(out)
+    errs.into_result(())
 }
 
 #[cfg(test)]
@@ -457,5 +509,27 @@ mod tests {
     fn spans_point_into_the_source() {
         let ts = lex("ab cd").unwrap();
         assert_eq!(ts[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn unexpected_character_runs_coalesce() {
+        // A run of stray characters yields one diagnostic covering the
+        // whole run, not one per character.
+        let errs = lex("a @#$ b").unwrap_err();
+        assert_eq!(errs.iter().count(), 1);
+        assert!(errs.iter().next().unwrap().message.contains("@#$"));
+        // A single stray character keeps the singular message.
+        let errs = lex("a ? b").unwrap_err();
+        let msg = &errs.iter().next().unwrap().message;
+        assert!(msg.contains("unexpected character `?`"), "{msg}");
+    }
+
+    #[test]
+    fn lex_into_reuses_the_buffer() {
+        let mut buf = Vec::new();
+        lex_into("node f(x: int) returns (y: int) let y = x; tel", &mut buf).unwrap();
+        let cap = buf.capacity();
+        lex_into("node g(a: bool) returns (b: bool) let b = a; tel", &mut buf).unwrap();
+        assert_eq!(buf.capacity(), cap, "recycled buffer must not regrow");
     }
 }

@@ -65,6 +65,57 @@ pub struct Frontend<O: Ops> {
     pub spans: SpanMap,
 }
 
+/// Reusable front-end working memory: the token buffer and the surface
+/// and typed expression arenas.
+///
+/// One compile fills the pools; [`FrontendScratch::clear`] (called
+/// automatically by [`frontend_with`]) empties them but keeps their
+/// capacity, so a caller compiling many programs — the service, the
+/// bench harness, the differential campaign — stops allocating once the
+/// pools have grown to the largest program seen.
+#[derive(Debug)]
+pub struct FrontendScratch<O: Ops> {
+    /// Token buffer (see [`lexer::lex_into`]).
+    pub tokens: Vec<lexer::Token>,
+    /// Surface expression/argument/clock pools.
+    pub ua: ast::UArena,
+    /// Typed expression/argument pools.
+    pub ta: elab::TArena<O>,
+}
+
+impl<O: Ops> Default for FrontendScratch<O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O: Ops> FrontendScratch<O> {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        FrontendScratch {
+            tokens: Vec::new(),
+            ua: ast::UArena::new(),
+            ta: elab::TArena::new(),
+        }
+    }
+
+    /// Empties all pools, keeping capacity.
+    pub fn clear(&mut self) {
+        self.tokens.clear();
+        self.ua.clear();
+        self.ta.clear();
+    }
+
+    /// Current pool capacities `(tokens, surface exprs, surface args,
+    /// surface clocks, typed exprs, typed args)` — exposed so tests can
+    /// assert a recycled scratch stops growing.
+    pub fn capacities(&self) -> (usize, usize, usize, usize, usize, usize) {
+        let (ue, ua, uc) = self.ua.capacities();
+        let (te, tg) = self.ta.capacities();
+        (self.tokens.capacity(), ue, ua, uc, te, tg)
+    }
+}
+
 /// Runs the whole front end: lex, parse, elaborate, normalize.
 ///
 /// # Errors
@@ -72,10 +123,24 @@ pub struct Frontend<O: Ops> {
 /// All syntax, typing and clocking errors, as [`Diagnostics`] with
 /// stable codes, originating stages and source positions.
 pub fn frontend<O: Ops>(source: &str) -> Result<Frontend<O>, Diagnostics> {
-    let tokens = lexer::lex(source)?;
-    let uprog = parser::parse(&tokens, source)?;
-    let (typed, warnings) = elab::elaborate::<O>(&uprog)?;
-    let (program, spans) = normalize::normalize::<O>(typed).map_err(|e| {
+    let mut scratch = FrontendScratch::new();
+    frontend_with(source, &mut scratch)
+}
+
+/// [`frontend`], but building through caller-owned scratch pools so
+/// repeated compiles reuse the token buffer and both arenas.
+///
+/// # Errors
+///
+/// Same as [`frontend`].
+pub fn frontend_with<O: Ops>(
+    source: &str,
+    scratch: &mut FrontendScratch<O>,
+) -> Result<Frontend<O>, Diagnostics> {
+    lexer::lex_into(source, &mut scratch.tokens)?;
+    let uprog = parser::parse(&scratch.tokens, source, &mut scratch.ua)?;
+    let (typed, warnings) = elab::elaborate::<O>(&uprog, &scratch.ua, &mut scratch.ta)?;
+    let (program, spans) = normalize::normalize::<O>(typed, &scratch.ta).map_err(|e| {
         Diagnostics::from(
             velus_common::Diagnostic::error(
                 codes::E0310,

@@ -19,8 +19,11 @@
 //!   `step` method's environment);
 //! * assigns every generated equation the clock of the expression it was
 //!   extracted from.
-
-use std::collections::HashMap;
+//!
+//! The traversal is id-based over the elaborator's [`TArena`]: before
+//! normalizing a node, a linear scan over the node's contiguous arena
+//! slice counts how many equations and locals extraction will create, so
+//! every output vector is sized once up front.
 
 use velus_common::{FreshGen, Ident, Span, SpanMap};
 use velus_nlustre::ast::{CExpr, Equation, Expr, Node, Program, VarDecl};
@@ -28,14 +31,17 @@ use velus_nlustre::clock::Clock;
 use velus_nlustre::SemError;
 use velus_ops::Ops;
 
-use crate::elab::{TEquation, TExpr, TNode, TProgram};
+use crate::elab::{TArena, TEquation, TExpr, TExprId, TNode, TProgram};
 
-struct Norm<O: Ops> {
+struct Norm<'a, O: Ops> {
+    ta: &'a TArena<O>,
     fresh: FreshGen,
     new_locals: Vec<VarDecl<O>>,
     new_eqs: Vec<Equation<O>>,
-    /// Shared `true fby false` initialization flags, per clock.
-    init_flags: HashMap<Clock, Ident>,
+    /// Shared `true fby false` initialization flags, per clock. A node
+    /// rarely has more than a handful of distinct clocks, so a linear
+    /// scan over a `Vec` beats hashing `Clock`s.
+    init_flags: Vec<(Clock, Ident)>,
     /// Span of the source equation currently being normalized; every
     /// extracted equation inherits it.
     current_span: Span,
@@ -43,7 +49,7 @@ struct Norm<O: Ops> {
     eq_spans: Vec<(Ident, Span)>,
 }
 
-impl<O: Ops> Norm<O> {
+impl<'a, O: Ops> Norm<'a, O> {
     fn fresh_var(&mut self, prefix: &str, ty: O::Ty, ck: Clock) -> Ident {
         let x = self.fresh.fresh(prefix);
         self.new_locals.push(VarDecl { name: x, ty, ck });
@@ -52,8 +58,8 @@ impl<O: Ops> Norm<O> {
 
     /// The initialization flag `h = true fby false` for clock `ck`.
     fn init_flag(&mut self, ck: &Clock) -> Ident {
-        if let Some(&h) = self.init_flags.get(ck) {
-            return h;
+        if let Some((_, h)) = self.init_flags.iter().find(|(c, _)| c == ck) {
+            return *h;
         }
         let h = self.fresh_var("h", O::bool_type(), ck.clone());
         self.eq_spans.push((h, self.current_span));
@@ -63,50 +69,68 @@ impl<O: Ops> Norm<O> {
             init: truthy::<O>(true),
             rhs: Expr::Const(truthy::<O>(false)),
         });
-        self.init_flags.insert(ck.clone(), h);
+        self.init_flags.push((ck.clone(), h));
         h
     }
 
     /// Normalizes `e` in control-expression position at clock `ck`.
-    fn norm_cexpr(&mut self, e: &TExpr<O>, ck: &Clock) -> Result<CExpr<O>, SemError> {
-        match e {
+    fn norm_cexpr(&mut self, e: TExprId, ck: &Clock) -> Result<CExpr<O>, SemError> {
+        let ta = self.ta;
+        match &ta[e] {
             TExpr::If(c, t, f) => Ok(CExpr::If(
-                self.norm_expr(c, ck)?,
-                Box::new(self.norm_cexpr(t, ck)?),
-                Box::new(self.norm_cexpr(f, ck)?),
+                self.norm_expr(*c, ck)?,
+                Box::new(self.norm_cexpr(*t, ck)?),
+                Box::new(self.norm_cexpr(*f, ck)?),
             )),
             TExpr::Merge(x, t, f) => Ok(CExpr::Merge(
                 *x,
-                Box::new(self.norm_cexpr(t, &ck.clone().on(*x, true))?),
-                Box::new(self.norm_cexpr(f, &ck.clone().on(*x, false))?),
+                Box::new(self.norm_cexpr(*t, &ck.clone().on(*x, true))?),
+                Box::new(self.norm_cexpr(*f, &ck.clone().on(*x, false))?),
             )),
             TExpr::Arrow(l, r) => {
                 let h = self.init_flag(ck);
                 Ok(CExpr::If(
                     Expr::Var(h, O::bool_type()),
-                    Box::new(self.norm_cexpr(l, ck)?),
-                    Box::new(self.norm_cexpr(r, ck)?),
+                    Box::new(self.norm_cexpr(*l, ck)?),
+                    Box::new(self.norm_cexpr(*r, ck)?),
                 ))
             }
-            other => Ok(CExpr::Expr(self.norm_expr(other, ck)?)),
+            _ => Ok(CExpr::Expr(self.norm_expr(e, ck)?)),
         }
+    }
+
+    /// Normalizes the arguments of a call into owned N-Lustre
+    /// expressions.
+    fn norm_args(
+        &mut self,
+        args: crate::elab::TRange,
+        ck: &Clock,
+    ) -> Result<Vec<Expr<O>>, SemError> {
+        let ta = self.ta;
+        let ids = ta.args(args);
+        let mut out = Vec::with_capacity(ids.len());
+        for &a in ids {
+            out.push(self.norm_expr(a, ck)?);
+        }
+        Ok(out)
     }
 
     /// Normalizes `e` in simple-expression position at clock `ck`,
     /// extracting anything that is not a simple expression.
-    fn norm_expr(&mut self, e: &TExpr<O>, ck: &Clock) -> Result<Expr<O>, SemError> {
-        match e {
+    fn norm_expr(&mut self, e: TExprId, ck: &Clock) -> Result<Expr<O>, SemError> {
+        let ta = self.ta;
+        match &ta[e] {
             TExpr::Const(c) => Ok(Expr::Const(c.clone())),
             TExpr::Var(x, ty) => Ok(Expr::Var(*x, ty.clone())),
             TExpr::Unop(op, e1, ty) => Ok(Expr::Unop(
                 *op,
-                Box::new(self.norm_expr(e1, ck)?),
+                Box::new(self.norm_expr(*e1, ck)?),
                 ty.clone(),
             )),
             TExpr::Binop(op, l, r, ty) => Ok(Expr::Binop(
                 *op,
-                Box::new(self.norm_expr(l, ck)?),
-                Box::new(self.norm_expr(r, ck)?),
+                Box::new(self.norm_expr(*l, ck)?),
+                Box::new(self.norm_expr(*r, ck)?),
                 ty.clone(),
             )),
             TExpr::When(e1, x, k) => {
@@ -118,45 +142,47 @@ impl<O: Ops> Norm<O> {
                         )))
                     }
                 };
-                Ok(Expr::When(Box::new(self.norm_expr(e1, &parent)?), *x, *k))
+                Ok(Expr::When(Box::new(self.norm_expr(*e1, &parent)?), *x, *k))
             }
             TExpr::Fby(init, e1) => {
+                let e1 = *e1;
+                let init = init.clone();
                 let rhs = self.norm_expr(e1, ck)?;
-                let x = self.fresh_var("fby", e1.ty(), ck.clone());
+                let ty = ta.ty_of(e1);
+                let x = self.fresh_var("fby", ty.clone(), ck.clone());
                 self.eq_spans.push((x, self.current_span));
                 self.new_eqs.push(Equation::Fby {
                     x,
                     ck: ck.clone(),
-                    init: init.clone(),
+                    init,
                     rhs,
                 });
-                Ok(Expr::Var(x, e1.ty()))
+                Ok(Expr::Var(x, ty))
             }
-            TExpr::Call(f, args, outs) => {
-                let args = args
-                    .iter()
-                    .map(|a| self.norm_expr(a, ck))
-                    .collect::<Result<Vec<_>, _>>()?;
-                let x = self.fresh_var("out", outs[0].1.clone(), ck.clone());
+            TExpr::Call(f, args, out_ty) => {
+                let (f, args, out_ty) = (*f, *args, out_ty.clone());
+                let args = self.norm_args(args, ck)?;
+                let x = self.fresh_var("out", out_ty.clone(), ck.clone());
                 self.eq_spans.push((x, self.current_span));
                 self.new_eqs.push(Equation::Call {
                     xs: vec![x],
                     ck: ck.clone(),
-                    node: *f,
+                    node: f,
                     args,
                 });
-                Ok(Expr::Var(x, outs[0].1.clone()))
+                Ok(Expr::Var(x, out_ty))
             }
-            ctrl @ (TExpr::If(..) | TExpr::Merge(..) | TExpr::Arrow(..)) => {
-                let rhs = self.norm_cexpr(ctrl, ck)?;
-                let x = self.fresh_var("v", ctrl.ty(), ck.clone());
+            TExpr::If(..) | TExpr::Merge(..) | TExpr::Arrow(..) => {
+                let rhs = self.norm_cexpr(e, ck)?;
+                let ty = ta.ty_of(e);
+                let x = self.fresh_var("v", ty.clone(), ck.clone());
                 self.eq_spans.push((x, self.current_span));
                 self.new_eqs.push(Equation::Def {
                     x,
                     ck: ck.clone(),
                     rhs,
                 });
-                Ok(Expr::Var(x, ctrl.ty()))
+                Ok(Expr::Var(x, ty))
             }
         }
     }
@@ -169,18 +195,44 @@ fn truthy<O: Ops>(b: bool) -> O::Const {
         .expect("every operator interface supplies boolean constants")
 }
 
-fn normalize_node<O: Ops>(tnode: TNode<O>, spans: &mut SpanMap) -> Result<Node<O>, SemError> {
+/// Counts, in one scan of the node's arena slice, how many equations
+/// extraction can create: each `fby`, call, and control expression
+/// becomes at most one fresh equation (plus up to one init flag per
+/// arrow). The counts bound the fresh-equation and fresh-local vectors
+/// so normalization never regrows them.
+fn count_extractions<O: Ops>(ta: &TArena<O>, node: &TNode<O>) -> usize {
+    ta.exprs_in(node.exprs)
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TExpr::Fby(..)
+                    | TExpr::Call(..)
+                    | TExpr::If(..)
+                    | TExpr::Merge(..)
+                    | TExpr::Arrow(..)
+            )
+        })
+        .count()
+}
+
+fn normalize_node<O: Ops>(
+    tnode: TNode<O>,
+    ta: &TArena<O>,
+    spans: &mut SpanMap,
+) -> Result<Node<O>, SemError> {
+    let extractions = count_extractions(ta, &tnode);
     let mut norm = Norm::<O> {
+        ta,
         fresh: FreshGen::new("n"),
-        new_locals: Vec::new(),
-        new_eqs: Vec::new(),
-        init_flags: HashMap::new(),
+        new_locals: Vec::with_capacity(extractions),
+        new_eqs: Vec::with_capacity(extractions),
+        init_flags: Vec::new(),
         current_span: Span::DUMMY,
-        eq_spans: Vec::new(),
+        eq_spans: Vec::with_capacity(tnode.eqs.len() + extractions + 1),
     };
-    norm.eq_spans.reserve(tnode.eqs.len() * 2);
     let output_names: Vec<Ident> = tnode.outputs.iter().map(|d| d.name).collect();
-    let mut eqs = Vec::new();
+    let mut eqs = Vec::with_capacity(tnode.eqs.len() + 1);
 
     for TEquation { lhs, ck, rhs, span } in &tnode.eqs {
         norm.current_span = *span;
@@ -189,16 +241,13 @@ fn normalize_node<O: Ops>(tnode: TNode<O>, spans: &mut SpanMap) -> Result<Node<O
         }
         if lhs.len() > 1 {
             // Tuple call.
-            match rhs {
+            match ta[*rhs] {
                 TExpr::Call(f, args, _) => {
-                    let args = args
-                        .iter()
-                        .map(|a| norm.norm_expr(a, ck))
-                        .collect::<Result<Vec<_>, _>>()?;
+                    let args = norm.norm_args(args, ck)?;
                     eqs.push(Equation::Call {
                         xs: lhs.clone(),
                         ck: ck.clone(),
-                        node: *f,
+                        node: f,
                         args,
                     });
                 }
@@ -211,49 +260,49 @@ fn normalize_node<O: Ops>(tnode: TNode<O>, spans: &mut SpanMap) -> Result<Node<O
             continue;
         }
         let x = lhs[0];
-        match rhs {
+        match &ta[*rhs] {
             // Keep top-level fbys as fby equations; copy through a fresh
             // local when the target is an output.
             TExpr::Fby(init, e1) => {
+                let (init, e1) = (init.clone(), *e1);
                 let rhs = norm.norm_expr(e1, ck)?;
+                let ty = ta.ty_of(e1);
                 if output_names.contains(&x) {
-                    let m = norm.fresh_var("mem", e1.ty(), ck.clone());
+                    let m = norm.fresh_var("mem", ty.clone(), ck.clone());
                     norm.eq_spans.push((m, *span));
                     eqs.push(Equation::Fby {
                         x: m,
                         ck: ck.clone(),
-                        init: init.clone(),
+                        init,
                         rhs,
                     });
                     eqs.push(Equation::Def {
                         x,
                         ck: ck.clone(),
-                        rhs: CExpr::Expr(Expr::Var(m, e1.ty())),
+                        rhs: CExpr::Expr(Expr::Var(m, ty)),
                     });
                 } else {
                     eqs.push(Equation::Fby {
                         x,
                         ck: ck.clone(),
-                        init: init.clone(),
+                        init,
                         rhs,
                     });
                 }
             }
             // Keep top-level single-output calls as call equations.
             TExpr::Call(f, args, _) => {
-                let args = args
-                    .iter()
-                    .map(|a| norm.norm_expr(a, ck))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let (f, args) = (*f, *args);
+                let args = norm.norm_args(args, ck)?;
                 eqs.push(Equation::Call {
                     xs: vec![x],
                     ck: ck.clone(),
-                    node: *f,
+                    node: f,
                     args,
                 });
             }
-            other => {
-                let rhs = norm.norm_cexpr(other, ck)?;
+            _ => {
+                let rhs = norm.norm_cexpr(*rhs, ck)?;
                 eqs.push(Equation::Def {
                     x,
                     ck: ck.clone(),
@@ -284,7 +333,8 @@ fn normalize_node<O: Ops>(tnode: TNode<O>, spans: &mut SpanMap) -> Result<Node<O
     })
 }
 
-/// Normalizes a typed program into N-Lustre.
+/// Normalizes a typed program into N-Lustre. `ta` is the arena the
+/// elaborator built the program's expressions into.
 ///
 /// The result satisfies the structural invariants of
 /// [`velus_nlustre::ast`] by construction and is re-validated by the
@@ -299,12 +349,15 @@ fn normalize_node<O: Ops>(tnode: TNode<O>, spans: &mut SpanMap) -> Result<Node<O
 ///
 /// Internal clock inconsistencies (which indicate an elaboration bug) are
 /// reported as [`SemError`]s rather than panics.
-pub fn normalize<O: Ops>(prog: TProgram<O>) -> Result<(Program<O>, SpanMap), SemError> {
+pub fn normalize<O: Ops>(
+    prog: TProgram<O>,
+    ta: &TArena<O>,
+) -> Result<(Program<O>, SpanMap), SemError> {
     let mut spans = SpanMap::new();
     let nodes = prog
         .nodes
         .into_iter()
-        .map(|n| normalize_node(n, &mut spans))
+        .map(|n| normalize_node(n, ta, &mut spans))
         .collect::<Result<Vec<_>, _>>()?;
     Ok((Program::new(nodes), spans))
 }

@@ -5,6 +5,11 @@
 //! hand-written precedence-climbing parser with good error messages is the
 //! idiomatic Rust choice.
 //!
+//! The parser builds directly into a caller-supplied [`UArena`]: every
+//! expression is pushed into the flat pool as it is reduced, and call
+//! arguments are collected on a scratch stack and drained into the
+//! arena's argument pool, so parsing performs no per-node allocation.
+//!
 //! Operator precedence, loosest to tightest:
 //!
 //! | level | operators                       | associativity |
@@ -21,17 +26,22 @@
 use velus_common::{codes, Code, DiagStage, Diagnostic, Diagnostics, Ident, Span};
 use velus_ops::{Literal, SurfaceBinOp, SurfaceUnOp};
 
-use crate::ast::{UClock, UConst, UDecl, UEquation, UExpr, UNode, UProgram};
+use crate::ast::{
+    ClockId, ExprId, ExprRange, UArena, UConst, UDecl, UEquation, UExpr, UNode, UProgram,
+};
 use crate::lexer::{Tok, Token};
 
-struct Parser<'t> {
+struct Parser<'t, 'a> {
     toks: &'t [Token],
     pos: usize,
+    ast: &'a mut UArena,
+    /// Scratch for call arguments (drained into the arena per call).
+    arg_stack: Vec<ExprId>,
 }
 
 type PResult<T> = Result<T, Diagnostics>;
 
-impl<'t> Parser<'t> {
+impl Parser<'_, '_> {
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
     }
@@ -92,44 +102,58 @@ impl<'t> Parser<'t> {
         }
     }
 
+    /// The span of an already-built expression.
+    fn espan(&self, id: ExprId) -> Span {
+        self.ast[id].span()
+    }
+
     // ---- declarations -------------------------------------------------
 
-    fn clock_annotation(&mut self) -> PResult<UClock> {
-        let mut ck = UClock::Base;
+    fn clock_annotation(&mut self) -> PResult<ClockId> {
+        let mut ck = ClockId::BASE;
         loop {
             if self.eat(Tok::When) {
                 let polarity = !self.eat(Tok::Not);
                 let x = self.ident()?;
-                ck = UClock::On(Box::new(ck), x, polarity);
+                ck = self.ast.push_clock(ck, x, polarity);
             } else if self.eat(Tok::Whenot) {
                 let x = self.ident()?;
-                ck = UClock::On(Box::new(ck), x, false);
+                ck = self.ast.push_clock(ck, x, false);
             } else {
                 return Ok(ck);
             }
         }
     }
 
-    /// `x, y : ty [when …]` — one typed group.
-    fn decl_group(&mut self) -> PResult<Vec<UDecl>> {
+    /// `x, y : ty [when …]` — one typed group, appended to `out`.
+    fn decl_group(&mut self, out: &mut Vec<UDecl>) -> PResult<()> {
         let start = self.span();
-        let mut names = vec![self.ident()?];
+        let first = out.len();
+        out.push(UDecl {
+            name: self.ident()?,
+            ty_name: Ident::new(""),
+            clock: ClockId::BASE,
+            span: start,
+        });
         while self.eat(Tok::Comma) {
-            names.push(self.ident()?);
+            let name = self.ident()?;
+            out.push(UDecl {
+                name,
+                ty_name: Ident::new(""),
+                clock: ClockId::BASE,
+                span: start,
+            });
         }
         self.expect(Tok::Colon)?;
         let ty_name = self.ident()?;
         let clock = self.clock_annotation()?;
         let span = start.merge(self.prev_span());
-        Ok(names
-            .into_iter()
-            .map(|name| UDecl {
-                name,
-                ty_name,
-                clock: clock.clone(),
-                span,
-            })
-            .collect())
+        for d in &mut out[first..] {
+            d.ty_name = ty_name;
+            d.clock = clock;
+            d.span = span;
+        }
+        Ok(())
     }
 
     /// `group ; group ; …` until a closing token.
@@ -139,7 +163,7 @@ impl<'t> Parser<'t> {
             return Ok(out);
         }
         loop {
-            out.extend(self.decl_group()?);
+            self.decl_group(&mut out)?;
             if self.eat(Tok::Semi) {
                 if self.peek() == stop {
                     return Ok(out);
@@ -152,27 +176,27 @@ impl<'t> Parser<'t> {
 
     // ---- expressions ---------------------------------------------------
 
-    fn expr(&mut self) -> PResult<UExpr> {
+    fn expr(&mut self) -> PResult<ExprId> {
         self.arrow_expr()
     }
 
     /// Level 1: `->` and `fby`, right associative.
-    fn arrow_expr(&mut self) -> PResult<UExpr> {
+    fn arrow_expr(&mut self) -> PResult<ExprId> {
         let lhs = self.or_expr()?;
         if self.eat(Tok::Arrow) {
             let rhs = self.arrow_expr()?;
-            let span = lhs.span().merge(rhs.span());
-            return Ok(UExpr::Arrow(Box::new(lhs), Box::new(rhs), span));
+            let span = self.espan(lhs).merge(self.espan(rhs));
+            return Ok(self.ast.push(UExpr::Arrow(lhs, rhs, span)));
         }
         if self.eat(Tok::Fby) {
             let rhs = self.arrow_expr()?;
-            let span = lhs.span().merge(rhs.span());
-            return Ok(UExpr::Fby(Box::new(lhs), Box::new(rhs), span));
+            let span = self.espan(lhs).merge(self.espan(rhs));
+            return Ok(self.ast.push(UExpr::Fby(lhs, rhs, span)));
         }
         Ok(lhs)
     }
 
-    fn or_expr(&mut self) -> PResult<UExpr> {
+    fn or_expr(&mut self) -> PResult<ExprId> {
         let mut lhs = self.and_expr()?;
         loop {
             let op = match self.peek() {
@@ -182,41 +206,43 @@ impl<'t> Parser<'t> {
             };
             self.bump();
             let rhs = self.and_expr()?;
-            let span = lhs.span().merge(rhs.span());
-            lhs = UExpr::Binop(op, Box::new(lhs), Box::new(rhs), span);
+            let span = self.espan(lhs).merge(self.espan(rhs));
+            lhs = self.ast.push(UExpr::Binop(op, lhs, rhs, span));
         }
     }
 
-    fn and_expr(&mut self) -> PResult<UExpr> {
+    fn and_expr(&mut self) -> PResult<ExprId> {
         let mut lhs = self.when_expr()?;
         while self.eat(Tok::And) {
             let rhs = self.when_expr()?;
-            let span = lhs.span().merge(rhs.span());
-            lhs = UExpr::Binop(SurfaceBinOp::And, Box::new(lhs), Box::new(rhs), span);
+            let span = self.espan(lhs).merge(self.espan(rhs));
+            lhs = self
+                .ast
+                .push(UExpr::Binop(SurfaceBinOp::And, lhs, rhs, span));
         }
         Ok(lhs)
     }
 
     /// Level 4: postfix sampling chains.
-    fn when_expr(&mut self) -> PResult<UExpr> {
+    fn when_expr(&mut self) -> PResult<ExprId> {
         let mut e = self.cmp_expr()?;
         loop {
             if self.eat(Tok::When) {
                 let polarity = !self.eat(Tok::Not);
                 let x = self.ident()?;
-                let span = e.span().merge(self.prev_span());
-                e = UExpr::When(Box::new(e), x, polarity, span);
+                let span = self.espan(e).merge(self.prev_span());
+                e = self.ast.push(UExpr::When(e, x, polarity, span));
             } else if self.eat(Tok::Whenot) {
                 let x = self.ident()?;
-                let span = e.span().merge(self.prev_span());
-                e = UExpr::When(Box::new(e), x, false, span);
+                let span = self.espan(e).merge(self.prev_span());
+                e = self.ast.push(UExpr::When(e, x, false, span));
             } else {
                 return Ok(e);
             }
         }
     }
 
-    fn cmp_expr(&mut self) -> PResult<UExpr> {
+    fn cmp_expr(&mut self) -> PResult<ExprId> {
         let lhs = self.add_expr()?;
         let op = match self.peek() {
             Tok::Eq => SurfaceBinOp::Eq,
@@ -229,11 +255,11 @@ impl<'t> Parser<'t> {
         };
         self.bump();
         let rhs = self.add_expr()?;
-        let span = lhs.span().merge(rhs.span());
-        Ok(UExpr::Binop(op, Box::new(lhs), Box::new(rhs), span))
+        let span = self.espan(lhs).merge(self.espan(rhs));
+        Ok(self.ast.push(UExpr::Binop(op, lhs, rhs, span)))
     }
 
-    fn add_expr(&mut self) -> PResult<UExpr> {
+    fn add_expr(&mut self) -> PResult<ExprId> {
         let mut lhs = self.mul_expr()?;
         loop {
             let op = match self.peek() {
@@ -243,12 +269,12 @@ impl<'t> Parser<'t> {
             };
             self.bump();
             let rhs = self.mul_expr()?;
-            let span = lhs.span().merge(rhs.span());
-            lhs = UExpr::Binop(op, Box::new(lhs), Box::new(rhs), span);
+            let span = self.espan(lhs).merge(self.espan(rhs));
+            lhs = self.ast.push(UExpr::Binop(op, lhs, rhs, span));
         }
     }
 
-    fn mul_expr(&mut self) -> PResult<UExpr> {
+    fn mul_expr(&mut self) -> PResult<ExprId> {
         let mut lhs = self.unary_expr()?;
         loop {
             let op = match self.peek() {
@@ -259,33 +285,36 @@ impl<'t> Parser<'t> {
             };
             self.bump();
             let rhs = self.unary_expr()?;
-            let span = lhs.span().merge(rhs.span());
-            lhs = UExpr::Binop(op, Box::new(lhs), Box::new(rhs), span);
+            let span = self.espan(lhs).merge(self.espan(rhs));
+            lhs = self.ast.push(UExpr::Binop(op, lhs, rhs, span));
         }
     }
 
-    fn unary_expr(&mut self) -> PResult<UExpr> {
+    fn unary_expr(&mut self) -> PResult<ExprId> {
         let start = self.span();
         if self.eat(Tok::Minus) {
             let e = self.unary_expr()?;
-            let span = start.merge(e.span());
+            let span = start.merge(self.espan(e));
             // Fold negation into literals so that `-1 fby x` has a
-            // constant head.
-            return Ok(match e {
-                UExpr::Lit(Literal::Int(i), _) => UExpr::Lit(Literal::Int(-i), span),
-                UExpr::Lit(Literal::Float(x), _) => UExpr::Lit(Literal::Float(-x), span),
-                e => UExpr::Unop(SurfaceUnOp::Neg, Box::new(e), span),
+            // constant head. The folded node replaces the literal in
+            // place — ids below the watermark are never re-read.
+            return Ok(match self.ast[e] {
+                UExpr::Lit(Literal::Int(i), _) => self.ast.push(UExpr::Lit(Literal::Int(-i), span)),
+                UExpr::Lit(Literal::Float(x), _) => {
+                    self.ast.push(UExpr::Lit(Literal::Float(-x), span))
+                }
+                _ => self.ast.push(UExpr::Unop(SurfaceUnOp::Neg, e, span)),
             });
         }
         if self.eat(Tok::Not) {
             let e = self.unary_expr()?;
-            let span = start.merge(e.span());
-            return Ok(UExpr::Unop(SurfaceUnOp::Not, Box::new(e), span));
+            let span = start.merge(self.espan(e));
+            return Ok(self.ast.push(UExpr::Unop(SurfaceUnOp::Not, e, span)));
         }
         if self.eat(Tok::Pre) {
             let e = self.unary_expr()?;
-            let span = start.merge(e.span());
-            return Ok(UExpr::Pre(Box::new(e), span));
+            let span = start.merge(self.espan(e));
+            return Ok(self.ast.push(UExpr::Pre(e, span)));
         }
         self.primary_expr()
     }
@@ -294,28 +323,28 @@ impl<'t> Parser<'t> {
     /// parenthesized expression. A bare identifier is *never* treated as
     /// a call here, so that `merge x c (e)` parses as two branches rather
     /// than the call `c(e)`.
-    fn merge_branch(&mut self) -> PResult<UExpr> {
+    fn merge_branch(&mut self) -> PResult<ExprId> {
         let span = self.span();
         match *self.peek() {
             Tok::Ident(name) => {
                 self.bump();
-                Ok(UExpr::Var(name, span))
+                Ok(self.ast.push(UExpr::Var(name, span)))
             }
             Tok::Int(i) => {
                 self.bump();
-                Ok(UExpr::Lit(Literal::Int(i), span))
+                Ok(self.ast.push(UExpr::Lit(Literal::Int(i), span)))
             }
             Tok::Float(x) => {
                 self.bump();
-                Ok(UExpr::Lit(Literal::Float(x), span))
+                Ok(self.ast.push(UExpr::Lit(Literal::Float(x), span)))
             }
             Tok::True => {
                 self.bump();
-                Ok(UExpr::Lit(Literal::Bool(true), span))
+                Ok(self.ast.push(UExpr::Lit(Literal::Bool(true), span)))
             }
             Tok::False => {
                 self.bump();
-                Ok(UExpr::Lit(Literal::Bool(false), span))
+                Ok(self.ast.push(UExpr::Lit(Literal::Bool(false), span)))
             }
             Tok::LParen => {
                 self.bump();
@@ -333,24 +362,24 @@ impl<'t> Parser<'t> {
         }
     }
 
-    fn primary_expr(&mut self) -> PResult<UExpr> {
+    fn primary_expr(&mut self) -> PResult<ExprId> {
         let span = self.span();
         match *self.peek() {
             Tok::Int(i) => {
                 self.bump();
-                Ok(UExpr::Lit(Literal::Int(i), span))
+                Ok(self.ast.push(UExpr::Lit(Literal::Int(i), span)))
             }
             Tok::Float(x) => {
                 self.bump();
-                Ok(UExpr::Lit(Literal::Float(x), span))
+                Ok(self.ast.push(UExpr::Lit(Literal::Float(x), span)))
             }
             Tok::True => {
                 self.bump();
-                Ok(UExpr::Lit(Literal::Bool(true), span))
+                Ok(self.ast.push(UExpr::Lit(Literal::Bool(true), span)))
             }
             Tok::False => {
                 self.bump();
-                Ok(UExpr::Lit(Literal::Bool(false), span))
+                Ok(self.ast.push(UExpr::Lit(Literal::Bool(false), span)))
             }
             Tok::If => {
                 self.bump();
@@ -359,16 +388,16 @@ impl<'t> Parser<'t> {
                 let t = self.expr()?;
                 self.expect(Tok::Else)?;
                 let f = self.expr()?;
-                let span = span.merge(f.span());
-                Ok(UExpr::If(Box::new(c), Box::new(t), Box::new(f), span))
+                let span = span.merge(self.espan(f));
+                Ok(self.ast.push(UExpr::If(c, t, f, span)))
             }
             Tok::Merge => {
                 self.bump();
                 let x = self.ident()?;
                 let t = self.merge_branch()?;
                 let f = self.merge_branch()?;
-                let span = span.merge(f.span());
-                Ok(UExpr::Merge(x, Box::new(t), Box::new(f), span))
+                let span = span.merge(self.espan(f));
+                Ok(self.ast.push(UExpr::Merge(x, t, f, span)))
             }
             Tok::LParen => {
                 self.bump();
@@ -380,18 +409,24 @@ impl<'t> Parser<'t> {
                 self.bump();
                 if *self.peek() == Tok::LParen {
                     self.bump();
-                    let mut args = Vec::new();
+                    let base = self.arg_stack.len();
                     if *self.peek() != Tok::RParen {
-                        args.push(self.expr()?);
+                        let a = self.expr()?;
+                        self.arg_stack.push(a);
                         while self.eat(Tok::Comma) {
-                            args.push(self.expr()?);
+                            let a = self.expr()?;
+                            self.arg_stack.push(a);
                         }
                     }
-                    self.expect(Tok::RParen)?;
+                    if let Err(e) = self.expect(Tok::RParen) {
+                        self.arg_stack.truncate(base);
+                        return Err(e);
+                    }
+                    let args: ExprRange = self.ast.push_args(&mut self.arg_stack, base);
                     let span = span.merge(self.prev_span());
-                    Ok(UExpr::Call(id, args, span))
+                    Ok(self.ast.push(UExpr::Call(id, args, span)))
                 } else {
-                    Ok(UExpr::Var(id, span))
+                    Ok(self.ast.push(UExpr::Var(id, span)))
                 }
             }
             other => self.error(
@@ -427,6 +462,7 @@ impl<'t> Parser<'t> {
 
     fn node(&mut self) -> PResult<UNode> {
         let start = self.span();
+        let estart = self.ast.num_exprs() as u32;
         self.bump(); // `node` or `function`
         let name = self.ident()?;
         self.expect(Tok::LParen)?;
@@ -464,6 +500,10 @@ impl<'t> Parser<'t> {
             outputs,
             locals,
             eqs,
+            exprs: ExprRange {
+                start: estart,
+                len: self.ast.num_exprs() as u32 - estart,
+            },
             span,
         })
     }
@@ -504,7 +544,8 @@ impl<'t> Parser<'t> {
     }
 }
 
-/// Parses a token stream into a surface program.
+/// Parses a token stream into a surface program, building expressions
+/// into `arena`. The arena is cleared first; ids in the result index it.
 ///
 /// `source` is only used for error rendering by callers; the parser works
 /// on spans.
@@ -512,28 +553,35 @@ impl<'t> Parser<'t> {
 /// # Errors
 ///
 /// Syntax errors with positions.
-pub fn parse(tokens: &[Token], source: &str) -> Result<UProgram, Diagnostics> {
+pub fn parse(tokens: &[Token], source: &str, arena: &mut UArena) -> Result<UProgram, Diagnostics> {
     let _ = source;
+    arena.clear();
     let mut p = Parser {
         toks: tokens,
         pos: 0,
+        ast: arena,
+        arg_stack: Vec::new(),
     };
     p.program()
 }
 
-/// Convenience: lex and parse in one step.
+/// Convenience: lex and parse in one step, returning the program with
+/// its backing arena.
 ///
 /// # Errors
 ///
 /// Lexical and syntax errors.
-pub fn parse_source(source: &str) -> Result<UProgram, Diagnostics> {
+pub fn parse_source(source: &str) -> Result<(UProgram, UArena), Diagnostics> {
     let toks = crate::lexer::lex(source)?;
-    parse(&toks, source)
+    let mut arena = UArena::new();
+    let prog = parse(&toks, source, &mut arena)?;
+    Ok((prog, arena))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::UClock;
 
     #[test]
     fn parses_the_paper_counter() {
@@ -543,14 +591,16 @@ mod tests {
               n = if (true fby false) or res then ini else (0 fby n) + inc;
             tel
         ";
-        let p = parse_source(src).unwrap();
+        let (p, a) = parse_source(src).unwrap();
         assert_eq!(p.nodes.len(), 1);
         let n = &p.nodes[0];
         assert_eq!(n.name, Ident::new("counter"));
         assert_eq!(n.inputs.len(), 3);
         assert_eq!(n.outputs.len(), 1);
         assert_eq!(n.eqs.len(), 1);
-        assert!(matches!(n.eqs[0].rhs, UExpr::If(..)));
+        assert!(matches!(a[n.eqs[0].rhs], UExpr::If(..)));
+        // The node's expressions sit in one contiguous arena slice.
+        assert_eq!(n.exprs.len(), a.num_exprs());
     }
 
     #[test]
@@ -561,26 +611,28 @@ mod tests {
               (speed, position) = two(gamma);
             tel
         ";
-        let p = parse_source(src).unwrap();
+        let (p, _) = parse_source(src).unwrap();
         assert_eq!(p.nodes[0].eqs[0].lhs.len(), 2);
     }
 
     #[test]
     fn precedence_arrow_is_loosest() {
-        let p = parse_source("node f(x: int) returns (y: int) let y = 0 -> x + 1; tel").unwrap();
-        match &p.nodes[0].eqs[0].rhs {
-            UExpr::Arrow(_, rhs, _) => assert!(matches!(**rhs, UExpr::Binop(..))),
+        let (p, a) =
+            parse_source("node f(x: int) returns (y: int) let y = 0 -> x + 1; tel").unwrap();
+        match a[p.nodes[0].eqs[0].rhs] {
+            UExpr::Arrow(_, rhs, _) => assert!(matches!(a[rhs], UExpr::Binop(..))),
             other => panic!("expected arrow at top, got {other:?}"),
         }
     }
 
     #[test]
     fn precedence_fby_binds_like_arrow() {
-        let p = parse_source("node f(x: int) returns (y: int) let y = 0 fby y + x; tel").unwrap();
-        match &p.nodes[0].eqs[0].rhs {
+        let (p, a) =
+            parse_source("node f(x: int) returns (y: int) let y = 0 fby y + x; tel").unwrap();
+        match a[p.nodes[0].eqs[0].rhs] {
             UExpr::Fby(init, rhs, _) => {
-                assert!(matches!(**init, UExpr::Lit(..)));
-                assert!(matches!(**rhs, UExpr::Binop(..)));
+                assert!(matches!(a[init], UExpr::Lit(..)));
+                assert!(matches!(a[rhs], UExpr::Binop(..)));
             }
             other => panic!("expected fby at top, got {other:?}"),
         }
@@ -588,10 +640,11 @@ mod tests {
 
     #[test]
     fn when_samples_whole_comparisons() {
-        let p = parse_source("node f(s: int; c: bool) returns (y: bool) let y = s > 5 when c; tel")
-            .unwrap();
-        match &p.nodes[0].eqs[0].rhs {
-            UExpr::When(inner, _, true, _) => assert!(matches!(**inner, UExpr::Binop(..))),
+        let (p, a) =
+            parse_source("node f(s: int; c: bool) returns (y: bool) let y = s > 5 when c; tel")
+                .unwrap();
+        match a[p.nodes[0].eqs[0].rhs] {
+            UExpr::When(inner, _, true, _) => assert!(matches!(a[inner], UExpr::Binop(..))),
             other => panic!("expected when at top, got {other:?}"),
         }
     }
@@ -602,9 +655,9 @@ mod tests {
             "node f(x: int; c: bool) returns (y: int) let y = x when not c; tel",
             "node f(x: int; c: bool) returns (y: int) let y = x whenot c; tel",
         ] {
-            let p = parse_source(src).unwrap();
+            let (p, a) = parse_source(src).unwrap();
             assert!(matches!(
-                &p.nodes[0].eqs[0].rhs,
+                a[p.nodes[0].eqs[0].rhs],
                 UExpr::When(_, _, false, _)
             ));
         }
@@ -617,20 +670,23 @@ mod tests {
             var c: int when x;
             let c = 1 when x; o = merge x c (0 when not x); tel
         ";
-        let p = parse_source(src).unwrap();
+        let (p, a) = parse_source(src).unwrap();
         let d = &p.nodes[0].locals[0];
-        assert_eq!(
-            d.clock,
-            UClock::On(Box::new(UClock::Base), Ident::new("x"), true)
-        );
+        match a.clock(d.clock) {
+            UClock::On(parent, x, true) => {
+                assert_eq!(x, Ident::new("x"));
+                assert_eq!(a.clock(parent), UClock::Base);
+            }
+            other => panic!("expected `when x`, got {other:?}"),
+        }
     }
 
     #[test]
     fn negative_literals_fold() {
-        let p = parse_source("node f() returns (y: int) let y = -3 fby y; tel").unwrap();
-        match &p.nodes[0].eqs[0].rhs {
+        let (p, a) = parse_source("node f() returns (y: int) let y = -3 fby y; tel").unwrap();
+        match a[p.nodes[0].eqs[0].rhs] {
             UExpr::Fby(init, _, _) => {
-                assert!(matches!(**init, UExpr::Lit(Literal::Int(-3), _)))
+                assert!(matches!(a[init], UExpr::Lit(Literal::Int(-3), _)))
             }
             other => panic!("{other:?}"),
         }
@@ -638,8 +694,9 @@ mod tests {
 
     #[test]
     fn const_declarations() {
-        let p = parse_source("const limit: int = 5; node f() returns (y: int) let y = limit; tel")
-            .unwrap();
+        let (p, _) =
+            parse_source("const limit: int = 5; node f() returns (y: int) let y = limit; tel")
+                .unwrap();
         assert_eq!(p.consts.len(), 1);
         assert_eq!(p.consts[0].name, Ident::new("limit"));
     }

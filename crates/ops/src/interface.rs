@@ -10,7 +10,7 @@ use std::hash::Hash;
 /// The front end is parametric in the operator interface, so it cannot
 /// construct `O::Const` values directly; it hands literals to
 /// [`Ops::const_of_literal`] together with the expected type.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Literal {
     /// A boolean literal: `true` or `false`.
     Bool(bool),

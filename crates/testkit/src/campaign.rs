@@ -74,9 +74,12 @@ pub struct Profile {
     pub steps: usize,
 }
 
-/// The three stock profiles: the default shape, a clock-heavy shape
-/// (deep sampling, merges), and a float-arithmetic shape (compared
-/// bit-exactly, see the module docs).
+/// The four stock profiles: the default shape, a clock-heavy shape
+/// (deep sampling, merges), a float-arithmetic shape (compared
+/// bit-exactly, see the module docs), and a deep-nesting shape whose
+/// towering `if`/binop/`when` trees stress arena growth and deep
+/// front-end traversals. Seeds rotate over profiles (`seed % len`), so
+/// every profile is exercised by any contiguous seed block.
 pub fn default_profiles() -> Vec<Profile> {
     vec![
         Profile {
@@ -100,6 +103,17 @@ pub fn default_profiles() -> Vec<Profile> {
             gen: GenConfig {
                 floats: true,
                 ..GenConfig::default()
+            },
+            steps: 10,
+        },
+        Profile {
+            name: "deep-nesting",
+            gen: GenConfig {
+                nodes: 3,
+                eqs_per_node: 4,
+                expr_depth: 9,
+                subclock_pct: 25,
+                floats: false,
             },
             steps: 10,
         },
@@ -1475,19 +1489,21 @@ mod tests {
 
     #[test]
     fn a_seed_block_agrees_end_to_end() {
-        let report = run_campaign(&quick_cfg(0), 0, 9, 1);
-        assert_eq!(report.results.len(), 9);
+        let stock = default_profiles().len();
+        let report = run_campaign(&quick_cfg(0), 0, 2 * stock as u64, 1);
+        assert_eq!(report.results.len(), 2 * stock);
         assert!(
             report.clean(),
             "unexpected failures: {:?}",
             report.failures()
         );
         // Unmutated seeds either agree or fail; with a clean report they
-        // all agreed, across all three profiles (incl. floats).
-        assert_eq!(report.agreed(), 9);
+        // all agreed, across every stock profile (incl. floats and
+        // deep-nesting).
+        assert_eq!(report.agreed(), 2 * stock);
         let profiles: std::collections::BTreeSet<&str> =
             report.results.iter().map(|r| r.profile.as_str()).collect();
-        assert_eq!(profiles.len(), 3);
+        assert_eq!(profiles.len(), stock);
     }
 
     #[test]
