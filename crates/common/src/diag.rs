@@ -67,16 +67,22 @@ impl Code {
         }
     }
 
-    /// Whether a failure under this code is worth retrying. Every
-    /// registered code except [`codes::E0000`] describes a property of
-    /// the *source program* — resubmitting the same input fails the
-    /// same way — while `E0000` marks an uncategorized internal
-    /// failure whose cause may be environmental.
+    /// Whether a failure under this code is worth retrying. Most
+    /// registered codes describe a property of the *source program* —
+    /// resubmitting the same input fails the same way. The exceptions
+    /// are environmental: [`codes::E0000`] (an uncategorized internal
+    /// failure) and the `E08xx` serving-layer conditions that clear on
+    /// their own — overload shedding ([`codes::E0801`]), an expired
+    /// deadline ([`codes::E0802`]), a worker that missed its shutdown
+    /// ack ([`codes::E0804`]), and a draining service
+    /// ([`codes::E0805`]). Quarantine ([`codes::E0803`]) is *not*
+    /// transient: the input earned its spot by panicking repeatedly,
+    /// and resubmitting it is rejected the same way until the
+    /// quarantine entry ages out.
     pub fn retry_class(self) -> RetryClass {
-        if self.id == "E0000" {
-            RetryClass::Transient
-        } else {
-            RetryClass::Source
+        match self.id {
+            "E0000" | "E0801" | "E0802" | "E0804" | "E0805" => RetryClass::Transient,
+            _ => RetryClass::Source,
         }
     }
 }
@@ -136,6 +142,7 @@ macro_rules! code_registry {
 /// | `E05xx` | Obc layer (`ObcError`)                        |
 /// | `E06xx` | Clight layer (`ClightError`)                  |
 /// | `E07xx` | translation validation and analyses           |
+/// | `E08xx` | serving layer: admission, deadlines, drain    |
 /// | `E09xx` | usage: CLI flags, roots, service requests     |
 /// | `W00xx` | warnings                                      |
 ///
@@ -285,6 +292,25 @@ pub mod codes {
         E0702 = ("E0702", "fusible invariant violated");
         /// A WCET analysis failure.
         E0703 = ("E0703", "analysis failure");
+
+        // -- serving layer ---------------------------------------------
+        /// The service shed the request: its admission queue (or cost
+        /// budget) was full. Transient — retry after backing off.
+        E0801 = ("E0801", "service overloaded");
+        /// The request's deadline expired before compilation finished
+        /// (in queue or at a pass boundary). Transient — the same input
+        /// can succeed on a less loaded service.
+        E0802 = ("E0802", "deadline exceeded");
+        /// The input's digest is quarantined after repeated panics;
+        /// the request was rejected without compiling. Source-classed:
+        /// resubmitting the same input keeps failing.
+        E0803 = ("E0803", "input quarantined");
+        /// A worker thread failed to acknowledge shutdown within the
+        /// configured timeout (it is likely wedged in a job).
+        E0804 = ("E0804", "worker shutdown timeout");
+        /// The service is draining: admission is closed and in-flight
+        /// work is being finished or cancelled.
+        E0805 = ("E0805", "service draining");
 
         // -- usage -----------------------------------------------------
         /// An invalid flag or enumeration token.
@@ -993,6 +1019,12 @@ mod tests {
         assert_eq!(codes::E0000.retry_class(), RetryClass::Transient);
         assert_eq!(codes::retry_class_of("E0202"), RetryClass::Source);
         assert_eq!(codes::retry_class_of("panic"), RetryClass::Transient);
+        // The serving-layer conditions: environmental except quarantine.
+        assert_eq!(codes::E0801.retry_class(), RetryClass::Transient);
+        assert_eq!(codes::E0802.retry_class(), RetryClass::Transient);
+        assert_eq!(codes::E0803.retry_class(), RetryClass::Source);
+        assert_eq!(codes::E0804.retry_class(), RetryClass::Transient);
+        assert_eq!(codes::E0805.retry_class(), RetryClass::Transient);
         assert_eq!(RetryClass::Source.label(), "source");
         assert_eq!(RetryClass::Transient.to_string(), "transient");
     }

@@ -11,7 +11,9 @@
 //! velus batch   DIR [--workers N] [--passes N] [--stdio]
 //!               [--cache-cap N] [--sched fifo|cost]
 //!               [--emit KINDS] [--trace-out FILE]
-//!               [--metrics-out FILE] [--slow-trace-ms N]  batch-compile a directory
+//!               [--metrics-out FILE] [--slow-trace-ms N]
+//!               [--deadline-ms N] [--queue-cap N]
+//!               [--retries N] [--drain-ms N]              batch-compile a directory
 //! ```
 //!
 //! `--emit KINDS` is a comma-separated artifact set: `c`,
@@ -40,6 +42,16 @@
 //! recompile and re-verify on later passes) and `--sched cost` submits
 //! each pass longest-predicted-first instead of FIFO, shortening the
 //! makespan of skewed batches.
+//!
+//! The robustness flags drive the serving layer's fault tolerance:
+//! `--deadline-ms N` gives every request an N ms deadline (expiry —
+//! while queued or at a pass boundary — fails that request with the
+//! coded `E0802`); `--queue-cap N` bounds admission (excess requests
+//! are shed with `E0801` instead of queueing unboundedly); `--retries
+//! N` re-runs transiently-failed requests up to N times with
+//! decorrelated-jitter backoff; `--drain-ms N` gracefully drains the
+//! service after the batch (admission closes, stragglers are cancelled
+//! cooperatively by the deadline) and prints the drain report.
 //!
 //! The observability flags thread the batch through `velus-obs`:
 //! `--trace-out FILE` records every request as a span tree (queue wait,
@@ -76,6 +88,10 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     slow_trace_ms: Option<u64>,
+    deadline_ms: Option<u64>,
+    queue_cap: Option<usize>,
+    retries: u32,
+    drain_ms: Option<u64>,
 }
 
 /// How CLI failures are rendered.
@@ -108,6 +124,10 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         metrics_out: None,
         slow_trace_ms: None,
+        deadline_ms: None,
+        queue_cap: None,
+        retries: 0,
+        drain_ms: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -162,6 +182,37 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "invalid --slow-trace-ms value")?,
                 )
             }
+            "--deadline-ms" => {
+                parsed.deadline_ms = Some(
+                    args.next()
+                        .ok_or("missing value for --deadline-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --deadline-ms value")?,
+                )
+            }
+            "--queue-cap" => {
+                parsed.queue_cap = Some(
+                    args.next()
+                        .ok_or("missing value for --queue-cap")?
+                        .parse()
+                        .map_err(|_| "invalid --queue-cap value")?,
+                )
+            }
+            "--retries" => {
+                parsed.retries = args
+                    .next()
+                    .ok_or("missing value for --retries")?
+                    .parse()
+                    .map_err(|_| "invalid --retries value")?
+            }
+            "--drain-ms" => {
+                parsed.drain_ms = Some(
+                    args.next()
+                        .ok_or("missing value for --drain-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --drain-ms value")?,
+                )
+            }
             "--error-format" => {
                 let value = args.next().ok_or("missing value for --error-format")?;
                 parsed.error_format = velus_common::parse_enum_flag(
@@ -183,11 +234,16 @@ fn usage() -> String {
     "usage: velus <compile|check|run|validate|wcet|dump> FILE [options]
        velus batch DIR [--workers N] [--passes N] [--stdio] [--cache-cap N] [--sched fifo|cost] [--emit KINDS]
                        [--trace-out FILE] [--metrics-out FILE] [--slow-trace-ms N]
+                       [--deadline-ms N] [--queue-cap N] [--retries N] [--drain-ms N]
 options: --node NAME, -o OUT.c, --steps N, --stdio, --model cc|gcc|gcci,
          --ir nlustre|snlustre|obc|obc-fused, --error-format human|json,
          --emit c,wcet[:cc|gcc|gcci],baseline,nlustre,snlustre,obc,obc-fused,report,
          --trace-out FILE (Chrome trace JSON), --metrics-out FILE (Prometheus text),
-         --slow-trace-ms N (flight-record requests slower than N ms)"
+         --slow-trace-ms N (flight-record requests slower than N ms),
+         --deadline-ms N (per-request deadline, E0802 on expiry),
+         --queue-cap N (admission bound, E0801 when shed),
+         --retries N (transient-failure retry budget),
+         --drain-ms N (graceful drain after the batch)"
         .to_owned()
 }
 
@@ -307,9 +363,13 @@ fn run_batch(args: &Args) -> Result<(), String> {
                 .unwrap_or_default();
             let source = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            Ok(CompileRequest::new(&stem, source)
+            let mut req = CompileRequest::new(&stem, source)
                 .with_root(&stem)
-                .with_options(options.clone()))
+                .with_options(options.clone());
+            if let Some(ms) = args.deadline_ms {
+                req = req.with_deadline_ms(ms);
+            }
+            Ok(req)
         })
         .collect::<Result<_, String>>()?;
 
@@ -321,6 +381,10 @@ fn run_batch(args: &Args) -> Result<(), String> {
     // reported in the closing statistics table.
     config.cache.max_entries = args.cache_cap;
     config.schedule = args.sched.parse()?;
+    // Robustness knobs: a bounded admission queue sheds excess load
+    // with E0801, and transient failures are retried up to the budget.
+    config.admission.queue_cap = args.queue_cap;
+    config.retry = velus_server::RetryPolicy::with_budget(args.retries);
     // Any observability flag turns the tracing recorder on; without
     // them the batch runs entirely trace-free.
     let tracing = args.trace_out.is_some() || args.slow_trace_ms.is_some();
@@ -453,6 +517,13 @@ fn run_batch(args: &Args) -> Result<(), String> {
         }
     }
 
+    // --drain-ms: graceful shutdown rehearsal — admission closes, any
+    // stragglers are cancelled cooperatively by the deadline, and the
+    // drain report lands in the stats below (`drains` counter).
+    if let Some(ms) = args.drain_ms {
+        let report = svc.drain(std::time::Duration::from_millis(ms));
+        say!("\n{report}");
+    }
     say!("\nservice statistics:\n{}", svc.stats());
     if let Some(rec) = svc.recorder() {
         if let Some(path) = &args.trace_out {

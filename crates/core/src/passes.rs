@@ -33,7 +33,7 @@ use velus_nlustre::{clockcheck, typecheck};
 use velus_obc::ast::ObcProgram;
 use velus_obc::fusion::{fuse_program, fusible};
 use velus_ops::ClightOps;
-use velus_server::Stage;
+use velus_server::{CancelReason, CancelToken, Stage};
 
 use crate::VelusError;
 
@@ -129,15 +129,45 @@ pub trait Pass<'a> {
     }
 }
 
-/// Runs passes, re-validating and timing each one.
+/// The coded form of a cancelled compilation: the serving layer's
+/// deadline (`E0802`) or drain (`E0805`) condition, stamped as a driver
+/// diagnostic so it flows through the same structured failure path as
+/// any compile error.
+fn cancelled(reason: CancelReason) -> VelusError {
+    let (code, msg) = match reason {
+        CancelReason::Deadline => (codes::E0802, "request deadline exceeded during compilation"),
+        CancelReason::Shutdown => (codes::E0805, "compilation cancelled: service draining"),
+    };
+    VelusError::Diag(Diagnostics::from(
+        Diagnostic::error(code, msg, Span::DUMMY).at_stage(DiagStage::Driver),
+    ))
+}
+
+/// Runs passes, re-validating and timing each one, and — when built
+/// with [`PassManager::with_cancel`] — honoring cooperative
+/// cancellation at every pass boundary: a request whose deadline
+/// expired (or whose service is draining) stops before the next pass
+/// instead of running the pipeline to completion for nobody.
 pub struct PassManager<'o> {
     observe: StageObserver<'o>,
+    cancel: Option<&'o CancelToken>,
 }
 
 impl<'o> PassManager<'o> {
     /// A manager reporting stage durations to `observe`.
     pub fn new(observe: StageObserver<'o>) -> PassManager<'o> {
-        PassManager { observe }
+        PassManager {
+            observe,
+            cancel: None,
+        }
+    }
+
+    /// A manager that additionally checks `cancel` before each pass.
+    pub fn with_cancel(observe: StageObserver<'o>, cancel: &'o CancelToken) -> PassManager<'o> {
+        PassManager {
+            observe,
+            cancel: Some(cancel),
+        }
     }
 
     /// Runs one pass: transformation, then re-validation, timing both.
@@ -150,13 +180,19 @@ impl<'o> PassManager<'o> {
     ///
     /// # Errors
     ///
-    /// The pass's own failure or its postcondition check.
+    /// The pass's own failure, its postcondition check, or the coded
+    /// cancellation condition (`E0802`/`E0805`) when the manager's
+    /// token fired — checked *before* the pass starts, so no observer
+    /// events are emitted for a pass that never ran.
     pub fn run<'a, P: Pass<'a>>(
         &mut self,
         pass: &P,
         input: P::Input,
         spans: &SpanMap,
     ) -> Result<P::Output, VelusError> {
+        if let Some(reason) = self.cancel.and_then(|t| t.state()) {
+            return Err(cancelled(reason));
+        }
         self.observe.pass_start(P::STAGE, P::NAME);
         let start = Instant::now();
         let result = pass.run(input).and_then(|output| {
@@ -481,7 +517,27 @@ impl<'o> StagedPipeline<'o> {
         root: Option<&str>,
         observe: StageObserver<'o>,
     ) -> Result<StagedPipeline<'o>, VelusError> {
-        let mut pm = PassManager::new(observe);
+        Self::from_source_with(source, root, observe, None)
+    }
+
+    /// [`StagedPipeline::from_source`] with an optional cancellation
+    /// token, checked at every pass boundary for the pipeline's whole
+    /// life (later on-demand stages included).
+    ///
+    /// # Errors
+    ///
+    /// Front-end diagnostics, an unknown root, a failed postcondition
+    /// re-check, or the coded cancellation condition.
+    pub fn from_source_with(
+        source: &str,
+        root: Option<&str>,
+        observe: StageObserver<'o>,
+        cancel: Option<&'o CancelToken>,
+    ) -> Result<StagedPipeline<'o>, VelusError> {
+        let mut pm = match cancel {
+            Some(token) => PassManager::with_cancel(observe, token),
+            None => PassManager::new(observe),
+        };
         let elaborated = pm.run(
             &ElaboratePass,
             FrontendInput { source, root },
@@ -713,6 +769,38 @@ mod tests {
                 "emit"
             ]
         );
+    }
+
+    #[test]
+    fn a_cancelled_token_stops_the_pipeline_at_a_pass_boundary() {
+        // A live token compiles normally…
+        let token = CancelToken::unbounded();
+        let mut observe = |_: Stage, _: std::time::Duration| {};
+        let mut staged =
+            StagedPipeline::from_source_with(COUNTER, None, &mut observe, Some(&token)).unwrap();
+        let _ = staged.snlustre().unwrap();
+        // …until it fires: the next demanded stage refuses to run and
+        // surfaces the drain code, with no observer events for the
+        // never-started pass.
+        token.cancel();
+        let mut events = 0usize;
+        // Rebuild with a counting observer on the already-fired token:
+        // even the first pass refuses.
+        let mut count = |_: Stage, _: std::time::Duration| events += 1;
+        let err = StagedPipeline::from_source_with(COUNTER, None, &mut count, Some(&token))
+            .err()
+            .expect("cancelled before elaboration");
+        let diags = velus_common::ToDiagnostics::to_diagnostics(&err, &SpanMap::new());
+        assert_eq!(diags.iter().next().unwrap().code, codes::E0805);
+        assert_eq!(events, 0, "no stage ran, none was observed");
+        // An expired deadline reports E0802 instead.
+        let expired = CancelToken::with_deadline(std::time::Instant::now());
+        let mut observe = |_: Stage, _: std::time::Duration| {};
+        let err = StagedPipeline::from_source_with(COUNTER, None, &mut observe, Some(&expired))
+            .err()
+            .expect("deadline already expired");
+        let diags = velus_common::ToDiagnostics::to_diagnostics(&err, &SpanMap::new());
+        assert_eq!(diags.iter().next().unwrap().code, codes::E0802);
     }
 
     #[test]

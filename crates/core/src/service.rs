@@ -89,22 +89,20 @@ impl Compiler for PipelineCompiler {
         req: &CompileRequest,
         kinds: &[ArtifactKind],
     ) -> Result<CompileOutput<ServiceArtifact>, VelusError> {
-        let mut sink = ObsSink::default();
-        let io = match req.options.io {
-            IoMode::Volatile => TestIo::Volatile,
-            IoMode::Stdio => TestIo::Stdio,
-        };
-        let mut staged = StagedPipeline::from_source(&req.source, req.root.as_deref(), &mut sink)?;
-        let artifacts = produce(&mut staged, kinds, io, &req.source)?;
-        // Front-end warnings ride the output instead of being dropped:
-        // the service counts them and the batch CLI prints them.
-        let warnings: Vec<DiagRecord> = staged
-            .warnings()
-            .iter()
-            .map(|w| DiagRecord::of(w, &req.source))
-            .collect();
-        drop(staged);
-        Ok(CompileOutput::new(artifacts, sink.samples).with_warnings(warnings))
+        compile_impl(req, kinds, None)
+    }
+
+    /// The cooperative entry point the service uses: the token is
+    /// checked at every pass boundary, so an expired deadline or a
+    /// draining service stops the pipeline between passes and surfaces
+    /// the coded condition (`E0802`/`E0805`) as a structured failure.
+    fn compile_cancellable(
+        &self,
+        req: &CompileRequest,
+        kinds: &[ArtifactKind],
+        cancel: &velus_server::CancelToken,
+    ) -> Result<CompileOutput<ServiceArtifact>, VelusError> {
+        compile_impl(req, kinds, Some(cancel))
     }
 
     /// Failures leave the staged pipeline already structured
@@ -135,6 +133,33 @@ impl Compiler for PipelineCompiler {
     fn artifact_bytes(artifact: &ServiceArtifact) -> usize {
         artifact.estimated_bytes()
     }
+}
+
+/// The shared body of `compile`/`compile_cancellable`: the staged
+/// pipeline with per-stage instrumentation, optionally cancellable at
+/// pass boundaries.
+fn compile_impl(
+    req: &CompileRequest,
+    kinds: &[ArtifactKind],
+    cancel: Option<&velus_server::CancelToken>,
+) -> Result<CompileOutput<ServiceArtifact>, VelusError> {
+    let mut sink = ObsSink::default();
+    let io = match req.options.io {
+        IoMode::Volatile => TestIo::Volatile,
+        IoMode::Stdio => TestIo::Stdio,
+    };
+    let mut staged =
+        StagedPipeline::from_source_with(&req.source, req.root.as_deref(), &mut sink, cancel)?;
+    let artifacts = produce(&mut staged, kinds, io, &req.source)?;
+    // Front-end warnings ride the output instead of being dropped:
+    // the service counts them and the batch CLI prints them.
+    let warnings: Vec<DiagRecord> = staged
+        .warnings()
+        .iter()
+        .map(|w| DiagRecord::of(w, &req.source))
+        .collect();
+    drop(staged);
+    Ok(CompileOutput::new(artifacts, sink.samples).with_warnings(warnings))
 }
 
 /// Counts `node` keywords outside comments. Mirrors the lexer's comment

@@ -97,6 +97,13 @@ impl CacheKey {
     pub fn short(&self) -> String {
         format!("{:08x}", self.hi >> 32)
     }
+
+    /// The digest folded to 64 bits — the per-request backoff RNG seed,
+    /// so retry jitter is deterministic per input yet decorrelated
+    /// across inputs.
+    pub(crate) fn seed(&self) -> u64 {
+        self.hi ^ self.lo
+    }
 }
 
 /// Shape and capacity of an [`ArtifactCache`].

@@ -61,17 +61,22 @@
 
 pub use velus_common::{DiagRecord, FailureReport};
 
+pub mod admit;
 pub mod cache;
+pub mod cancel;
 pub mod pool;
 pub mod sched;
 pub mod service;
 pub mod stats;
 
+pub use admit::{AdmissionConfig, RetryPolicy};
 pub use cache::{ArtifactCache, CacheConfig, CacheCounters, CacheKey};
-pub use pool::WorkerPool;
+pub use cancel::{CancelReason, CancelToken};
+pub use pool::{ShutdownTimeout, WorkerPool};
 pub use sched::{CostModel, SchedulePolicy};
 pub use service::{
-    ArtifactReport, BatchReport, CompileService, RequestReport, ServiceConfig, ServiceError,
+    ArtifactReport, BatchReport, CompileService, DrainReport, RequestReport, ServiceConfig,
+    ServiceError, Submission,
 };
 pub use stats::{KindStats, StageLatency, StatsSnapshot};
 
@@ -388,6 +393,12 @@ pub struct CompileRequest {
     pub root: Option<String>,
     /// Artifact options.
     pub options: CompileOptions,
+    /// Per-request deadline in milliseconds, measured from admission
+    /// (queue wait counts). `None` means no deadline. Expired requests
+    /// fail with `ServiceError::DeadlineExceeded` (`E0802`); the
+    /// pipeline aborts cooperatively at the next pass boundary. Not part
+    /// of the cache key.
+    pub deadline_ms: Option<u64>,
 }
 
 impl CompileRequest {
@@ -398,6 +409,7 @@ impl CompileRequest {
             source: source.into(),
             root: None,
             options: CompileOptions::default(),
+            deadline_ms: None,
         }
     }
 
@@ -412,6 +424,13 @@ impl CompileRequest {
     #[must_use]
     pub fn with_options(mut self, options: CompileOptions) -> CompileRequest {
         self.options = options;
+        self
+    }
+
+    /// Sets a per-request deadline in milliseconds from admission.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> CompileRequest {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 }
@@ -540,6 +559,22 @@ pub trait Compiler: Send + Sync + 'static {
         req: &CompileRequest,
         kinds: &[ArtifactKind],
     ) -> Result<CompileOutput<Self::Artifact>, Self::Error>;
+
+    /// Like [`Compiler::compile`], but handed the request's
+    /// [`CancelToken`] so long compilations can abort cooperatively at
+    /// internal boundaries (pass transitions, injected delays) when the
+    /// deadline expires or the service drains. The default ignores the
+    /// token — existing compilers stay correct, just not early-exiting;
+    /// the service detects expiry itself after the call returns.
+    fn compile_cancellable(
+        &self,
+        req: &CompileRequest,
+        kinds: &[ArtifactKind],
+        cancel: &CancelToken,
+    ) -> Result<CompileOutput<Self::Artifact>, Self::Error> {
+        let _ = cancel;
+        self.compile(req, kinds)
+    }
 
     /// Flattens a compilation failure into the structured, coded
     /// [`FailureReport`] the service stores in

@@ -1,19 +1,56 @@
-//! The compilation service proper: cache lookup, worker-pool dispatch,
-//! panic containment, and statistics.
+//! The compilation service proper: admission control, cache lookup,
+//! worker-pool dispatch, deadlines, retry, panic containment and
+//! quarantine, graceful drain, and statistics.
+//!
+//! The fault-tolerance layer (see `docs/ARCHITECTURE.md`, "Fault
+//! tolerance in the serving layer") wraps every request in a fixed
+//! state machine:
+//!
+//! ```text
+//! submit ── admission ──► queued ──► gate ──► attempt ──► done
+//!              │ E0801/E0805          │ E0802/E0803  │
+//!              ▼                      ▼              ▼ transient?
+//!            shed                 rejected      retry w/ backoff
+//! ```
+//!
+//! * **Admission** ([`crate::AdmissionConfig`]) bounds outstanding work
+//!   by count and by *predicted cost* (the cost model's ns/hint ratio)
+//!   and sheds the excess with [`ServiceError::Overloaded`] instead of
+//!   queueing unboundedly.
+//! * **Deadlines**: a request's `deadline_ms` starts at admission; the
+//!   per-request [`CancelToken`] is checked before each attempt and at
+//!   every pass boundary of a cooperative compiler.
+//! * **Retry**: transient failures (per
+//!   [`velus_common::codes::retry_class_of`]) are re-attempted up to
+//!   [`crate::RetryPolicy::budget`] with decorrelated-jitter backoff;
+//!   source failures never are.
+//! * **Quarantine**: an input whose compilation still panics after its
+//!   retries has its digest blocklisted; repeat offenders are rejected
+//!   with [`ServiceError::Quarantined`] before touching a worker.
+//! * **Drain** ([`CompileService::drain`]) closes admission, waits for
+//!   in-flight work, and cancels stragglers via the shared kill switch.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+use std::thread;
 use std::time::{Duration, Instant};
 
+use velus_common::{codes, RetryClass, Severity};
 use velus_obs::trace;
 use velus_obs::Recorder;
 
+use crate::admit::{Admission, AdmissionConfig, AdmitReject, Backoff, Quarantine, RetryPolicy};
 use crate::cache::{ArtifactCache, CacheConfig, CacheKey};
-use crate::pool::WorkerPool;
+use crate::cancel::{CancelReason, CancelToken};
+use crate::pool::{WorkerPool, DEFAULT_SHUTDOWN_TIMEOUT};
 use crate::sched::{submission_order, CostModel, SchedulePolicy};
 use crate::stats::{StatsCollector, StatsSnapshot};
 use crate::{ArtifactKind, CompileRequest, Compiler, DiagRecord, FailureReport};
+
+/// How long past the drain deadline the service waits for cooperative
+/// cancellation to land after flipping the kill switch.
+const DRAIN_GRACE: Duration = Duration::from_millis(500);
 
 /// Service construction knobs.
 #[derive(Debug, Clone)]
@@ -32,6 +69,18 @@ pub struct ServiceConfig {
     /// retains the slowest requests' span trees. `None` (the default)
     /// keeps the service entirely trace-free.
     pub recorder: Option<Recorder>,
+    /// Admission bounds (queue cap, cost budget). The default admits
+    /// everything, matching the pre-admission behavior.
+    pub admission: AdmissionConfig,
+    /// Retry policy for transient failures. The default budget is 0:
+    /// retrying is opt-in.
+    pub retry: RetryPolicy,
+    /// Capacity of the panic quarantine (input digests); 0 disables it.
+    pub quarantine_cap: usize,
+    /// How long shutdown waits for each worker to acknowledge before
+    /// surfacing a coded `E0804` timeout (and how long `Drop` waits
+    /// before detaching wedged workers instead of hanging).
+    pub shutdown_timeout: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +91,10 @@ impl Default for ServiceConfig {
             cache: CacheConfig::default(),
             schedule: SchedulePolicy::default(),
             recorder: None,
+            admission: AdmissionConfig::default(),
+            retry: RetryPolicy::default(),
+            quarantine_cap: 64,
+            shutdown_timeout: DEFAULT_SHUTDOWN_TIMEOUT,
         }
     }
 }
@@ -69,6 +122,70 @@ pub enum ServiceError<E> {
     /// The worker executing the request disappeared before reporting
     /// (should not happen; a defensive placeholder, never silent).
     Lost,
+    /// Admission control shed the request: the queue cap or cost budget
+    /// was exceeded (`E0801`). Retrying later, when load has receded,
+    /// may succeed.
+    Overloaded {
+        /// Outstanding admitted requests at rejection time.
+        queued: u64,
+    },
+    /// The request's deadline expired — while queued, or at a pass
+    /// boundary of a cooperative compiler (`E0802`).
+    DeadlineExceeded,
+    /// The input's digest is quarantined after repeated panics
+    /// (`E0803`). Resubmitting the identical input is rejected until
+    /// the quarantine entry ages out.
+    Quarantined,
+    /// The service is draining or shut down; the request was rejected
+    /// or cancelled (`E0805`).
+    Draining,
+}
+
+impl<E> ServiceError<E> {
+    /// The structured, coded report of this failure — every variant
+    /// yields at least one [`DiagRecord`] with a stable code, so shed
+    /// and timed-out requests are machine-readable like compile errors.
+    pub fn failure_report(&self) -> FailureReport {
+        fn coded(code: velus_common::Code, message: String) -> FailureReport {
+            FailureReport {
+                diagnostics: vec![DiagRecord {
+                    code: code.id,
+                    severity: Severity::Error,
+                    stage: velus_common::DiagStage::Driver.name(),
+                    message,
+                    line: 0,
+                    col: 0,
+                }],
+            }
+        }
+        match self {
+            ServiceError::Compile { report, .. } => report.clone(),
+            ServiceError::Panic(msg) => {
+                FailureReport::from_message(format!("compiler panicked: {msg}"))
+            }
+            ServiceError::MissingArtifact(kind) => {
+                FailureReport::from_message(format!("compiler produced no `{kind}` artifact"))
+            }
+            ServiceError::Lost => {
+                FailureReport::from_message("request lost by the worker pool".to_owned())
+            }
+            ServiceError::Overloaded { queued } => coded(
+                codes::E0801,
+                format!("service overloaded: shed with {queued} requests outstanding"),
+            ),
+            ServiceError::DeadlineExceeded => {
+                coded(codes::E0802, "request deadline exceeded".to_owned())
+            }
+            ServiceError::Quarantined => coded(
+                codes::E0803,
+                "input quarantined after repeated compiler panics".to_owned(),
+            ),
+            ServiceError::Draining => coded(
+                codes::E0805,
+                "service is draining; request rejected or cancelled".to_owned(),
+            ),
+        }
+    }
 }
 
 impl<E: std::fmt::Display> std::fmt::Display for ServiceError<E> {
@@ -80,6 +197,13 @@ impl<E: std::fmt::Display> std::fmt::Display for ServiceError<E> {
                 write!(f, "compiler produced no `{kind}` artifact")
             }
             ServiceError::Lost => f.write_str("request lost by the worker pool"),
+            ServiceError::Overloaded { queued } => write!(
+                f,
+                "error[E0801]: service overloaded ({queued} requests outstanding)"
+            ),
+            ServiceError::DeadlineExceeded => f.write_str("error[E0802]: deadline exceeded"),
+            ServiceError::Quarantined => f.write_str("error[E0803]: input quarantined"),
+            ServiceError::Draining => f.write_str("error[E0805]: service draining"),
         }
     }
 }
@@ -113,6 +237,10 @@ pub struct RequestReport<C: Compiler> {
     /// End-to-end latency of this request (queueing excluded; measured
     /// from when a worker picks it up).
     pub latency: Duration,
+    /// Compilation attempts executed: 1 for the normal path, more when
+    /// transient failures were retried, 0 when the request never ran
+    /// (shed at admission, quarantined, or expired while queued).
+    pub attempts: u32,
 }
 
 impl<C: Compiler> RequestReport<C> {
@@ -158,6 +286,19 @@ impl<C: Compiler> BatchReport<C> {
         self.items.iter().filter(|r| r.cache_hit).count()
     }
 
+    /// Number of requests shed at admission (overload or drain).
+    pub fn shed_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.result,
+                    Err(ServiceError::Overloaded { .. }) | Err(ServiceError::Draining)
+                ) && r.attempts == 0
+            })
+            .count()
+    }
+
     /// Requests per second over the batch wall time.
     pub fn throughput(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
@@ -169,17 +310,115 @@ impl<C: Compiler> BatchReport<C> {
     }
 }
 
+/// The outcome of a [`CompileService::drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests still in flight when the drain deadline expired and the
+    /// kill switch was flipped (each was cancelled cooperatively).
+    pub cancelled: u64,
+    /// Requests still outstanding when the drain returned — 0 unless a
+    /// non-cooperative compilation outlived the grace period too.
+    pub outstanding: u64,
+    /// Wall-clock time the drain took.
+    pub duration: Duration,
+}
+
+impl DrainReport {
+    /// Whether every in-flight request completed before the deadline
+    /// (nothing was cancelled, nothing left outstanding).
+    pub fn clean(&self) -> bool {
+        self.cancelled == 0 && self.outstanding == 0
+    }
+}
+
+impl std::fmt::Display for DrainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.clean() {
+            write!(f, "drain: clean in {:.1?}", self.duration)
+        } else {
+            write!(
+                f,
+                "drain: cancelled {} in-flight ({} unresponsive) in {:.1?}",
+                self.cancelled, self.outstanding, self.duration
+            )
+        }
+    }
+}
+
+/// A single request dispatched through [`CompileService::submit`].
+pub struct Submission<C: Compiler> {
+    admitted: bool,
+    rx: mpsc::Receiver<RequestReport<C>>,
+}
+
+impl<C: Compiler> Submission<C> {
+    /// Whether the request passed admission (a shed request still
+    /// resolves — immediately, with its coded rejection).
+    pub fn admitted(&self) -> bool {
+        self.admitted
+    }
+
+    /// Blocks until the request's report is available.
+    pub fn wait(self) -> RequestReport<C> {
+        self.rx.recv().unwrap_or_else(|_| RequestReport {
+            name: "<lost>".to_owned(),
+            result: Err(ServiceError::Lost),
+            cache_hit: false,
+            warnings: Vec::new(),
+            latency: Duration::ZERO,
+            attempts: 0,
+        })
+    }
+}
+
+/// Everything a request's execution needs, shared once per job instead
+/// of cloning six `Arc`s into every closure.
+struct Inner<C: Compiler> {
+    compiler: C,
+    cache: ArtifactCache<C::Artifact>,
+    caching: bool,
+    stats: StatsCollector,
+    cost_model: CostModel,
+    in_flight: AtomicU64,
+    admission: Admission,
+    quarantine: Quarantine,
+    retry: RetryPolicy,
+    /// Drain/shutdown kill switch shared with every request token.
+    kill: Arc<AtomicBool>,
+}
+
+impl<C: Compiler> Inner<C> {
+    /// The cost-model ratio for admission pricing — `None` (and no
+    /// pricing work at all) unless a cost budget is configured *and*
+    /// the model has observed samples. `ns_per_hint` locks and sorts
+    /// the model's window, so the fault-free warm path must not pay it.
+    fn admission_ratio(&self) -> Option<f64> {
+        if self.admission.config().cost_budget_ms.is_some() {
+            self.cost_model.ns_per_hint()
+        } else {
+            None
+        }
+    }
+
+    fn price(&self, req: &CompileRequest, ratio: Option<f64>) -> u64 {
+        ratio.map_or(0, |r| (self.compiler.cost_hint(req) as f64 * r) as u64)
+    }
+
+    fn token_for(&self, req: &CompileRequest) -> CancelToken {
+        CancelToken::for_request(
+            req.deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            Arc::clone(&self.kill),
+        )
+    }
+}
+
 /// A parallel, cache-backed batch compilation service over any
 /// [`Compiler`]. See the crate docs for the architecture.
 pub struct CompileService<C: Compiler> {
-    compiler: Arc<C>,
-    cache: Arc<ArtifactCache<C::Artifact>>,
-    caching: bool,
+    inner: Arc<Inner<C>>,
     schedule: SchedulePolicy,
     pool: WorkerPool,
-    stats: Arc<StatsCollector>,
-    cost_model: Arc<CostModel>,
-    in_flight: Arc<AtomicU64>,
     recorder: Option<Recorder>,
 }
 
@@ -187,17 +426,20 @@ impl<C: Compiler> CompileService<C> {
     /// Builds a service with its own worker pool and empty cache.
     pub fn new(compiler: C, config: ServiceConfig) -> CompileService<C> {
         CompileService {
-            compiler: Arc::new(compiler),
-            cache: Arc::new(ArtifactCache::with_config(
-                config.cache,
-                Box::new(C::artifact_bytes),
-            )),
-            caching: config.caching,
+            inner: Arc::new(Inner {
+                compiler,
+                cache: ArtifactCache::with_config(config.cache, Box::new(C::artifact_bytes)),
+                caching: config.caching,
+                stats: StatsCollector::new(),
+                cost_model: CostModel::new(),
+                in_flight: AtomicU64::new(0),
+                admission: Admission::new(config.admission),
+                quarantine: Quarantine::new(config.quarantine_cap),
+                retry: config.retry,
+                kill: Arc::new(AtomicBool::new(false)),
+            }),
             schedule: config.schedule,
-            pool: WorkerPool::new(config.workers),
-            stats: Arc::new(StatsCollector::new()),
-            cost_model: Arc::new(CostModel::new()),
-            in_flight: Arc::new(AtomicU64::new(0)),
+            pool: WorkerPool::with_shutdown_timeout(config.workers, config.shutdown_timeout),
             recorder: config.recorder,
         }
     }
@@ -213,46 +455,90 @@ impl<C: Compiler> CompileService<C> {
         self.pool.worker_count()
     }
 
+    /// The wrapped compiler (e.g. to read a fault injector's counters).
+    pub fn compiler(&self) -> &C {
+        &self.inner.compiler
+    }
+
+    /// Worker threads that died (0 in a healthy service: panics are
+    /// contained per request, and per-job as a second line of defense).
+    pub fn dead_workers(&self) -> usize {
+        self.pool.dead_workers()
+    }
+
     /// Number of distinct artifacts cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.inner.cache.len()
     }
 
     /// Requests currently being compiled (approximate, for monitoring).
     pub fn in_flight(&self) -> u64 {
-        self.in_flight.load(Ordering::Relaxed)
+        self.inner.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Admitted requests not yet completed (queued + running).
+    pub fn outstanding(&self) -> u64 {
+        self.inner.admission.outstanding()
     }
 
     /// A point-in-time statistics snapshot (including the cache's
-    /// occupancy and eviction counters and the in-flight queue depth).
+    /// occupancy and eviction counters, the in-flight queue depth, and
+    /// the robustness counters).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot(self.cache.counters(), self.in_flight())
+        self.inner.stats.snapshot(
+            self.inner.cache.counters(),
+            self.in_flight(),
+            self.inner.quarantine.len(),
+        )
     }
 
-    /// The online cost model driving [`SchedulePolicy::Cost`].
+    /// The online cost model driving [`SchedulePolicy::Cost`] and the
+    /// admission cost budget.
     pub fn cost_model(&self) -> &CostModel {
-        &self.cost_model
+        &self.inner.cost_model
     }
 
     /// Drops every cached artifact (for benchmarking cold paths).
     pub fn clear_cache(&self) {
-        self.cache.clear();
+        self.inner.cache.clear();
     }
 
-    /// Compiles one request on the calling thread (same cache and
-    /// accounting as a batch; traced when a recorder is configured —
-    /// without a queue-wait interval, since nothing queued).
+    /// Compiles one request on the calling thread (same cache,
+    /// deadline/retry/quarantine handling, and accounting as a batch;
+    /// traced when a recorder is configured — without a queue-wait
+    /// interval, since nothing queued). Runs outside admission — it
+    /// consumes no pool capacity — but a draining service rejects it.
     pub fn compile_one(&self, req: CompileRequest) -> RequestReport<C> {
         let _scope = self.recorder.as_ref().map(|rec| rec.scope(&req.name));
-        run_request(
-            self.compiler.as_ref(),
-            &self.cache,
-            self.caching,
-            &self.stats,
-            &self.cost_model,
-            &self.in_flight,
-            req,
-        )
+        if self.inner.admission.is_closed() {
+            return rejected(&self.inner.stats, req.name, ServiceError::Draining);
+        }
+        let token = self.inner.token_for(&req);
+        run_request(&self.inner, req, &token)
+    }
+
+    /// Dispatches one request to the worker pool without blocking: the
+    /// open-loop entry point (arrivals are not gated on completions).
+    /// A shed request resolves immediately with its coded rejection.
+    pub fn submit(&self, req: CompileRequest) -> Submission<C> {
+        let (tx, rx) = mpsc::channel();
+        let cost_ns = self.inner.price(&req, self.inner.admission_ratio());
+        if let Err(reject) = self.inner.admission.try_admit(cost_ns) {
+            let report = rejected(&self.inner.stats, req.name, reject_error(reject));
+            let _ = tx.send(report);
+            return Submission {
+                admitted: false,
+                rx,
+            };
+        }
+        let token = self.inner.token_for(&req);
+        let inner = Arc::clone(&self.inner);
+        self.pool.execute(move || {
+            let report = run_request(&inner, req, &token);
+            inner.admission.release(cost_ns);
+            let _ = tx.send(report);
+        });
+        Submission { admitted: true, rx }
     }
 
     /// Compiles a batch on the worker pool and reports per-request
@@ -263,6 +549,10 @@ impl<C: Compiler> CompileService<C> {
     /// FIFO submits in request order; cost-predicted scheduling submits
     /// longest-predicted-first (LPT), which shortens the makespan of
     /// skewed batches by keeping the expensive requests off the tail.
+    ///
+    /// Requests the admission layer sheds fail immediately with a coded
+    /// [`ServiceError::Overloaded`]/[`ServiceError::Draining`] — their
+    /// slots in the report are never silently dropped.
     pub fn compile_batch(&self, reqs: Vec<CompileRequest>) -> BatchReport<C> {
         let start = Instant::now();
         let n = reqs.len();
@@ -270,25 +560,30 @@ impl<C: Compiler> CompileService<C> {
             SchedulePolicy::Fifo => (0..n).collect(),
             SchedulePolicy::Cost => {
                 // One lock + sort for the whole batch, not per request.
-                let ratio = self.cost_model.ns_per_hint().unwrap_or(1.0);
+                let ratio = self.inner.cost_model.ns_per_hint().unwrap_or(1.0);
                 let costs: Vec<u64> = reqs
                     .iter()
-                    .map(|r| (self.compiler.cost_hint(r) as f64 * ratio) as u64)
+                    .map(|r| (self.inner.compiler.cost_hint(r) as f64 * ratio) as u64)
                     .collect();
                 submission_order(SchedulePolicy::Cost, &costs)
             }
         };
+        let admit_ratio = self.inner.admission_ratio();
         let mut slots_in: Vec<Option<CompileRequest>> = reqs.into_iter().map(Some).collect();
         let (tx, rx) = mpsc::channel::<(usize, RequestReport<C>)>();
         for (submit_index, index) in order.into_iter().enumerate() {
             let req = slots_in[index].take().expect("each request submits once");
+            let cost_ns = self.inner.price(&req, admit_ratio);
+            if let Err(reject) = self.inner.admission.try_admit(cost_ns) {
+                let report = rejected(&self.inner.stats, req.name, reject_error(reject));
+                let _ = tx.send((index, report));
+                continue;
+            }
+            // The token starts now, at admission: queue wait counts
+            // against the request's deadline.
+            let token = self.inner.token_for(&req);
             let tx = tx.clone();
-            let compiler = Arc::clone(&self.compiler);
-            let cache = Arc::clone(&self.cache);
-            let stats = Arc::clone(&self.stats);
-            let cost_model = Arc::clone(&self.cost_model);
-            let in_flight = Arc::clone(&self.in_flight);
-            let caching = self.caching;
+            let inner = Arc::clone(&self.inner);
             let schedule = self.schedule;
             // The trace ID is allocated at submission so the queue-wait
             // interval (submit → worker pickup) can be keyed to it.
@@ -310,15 +605,8 @@ impl<C: Compiler> CompileService<C> {
                     );
                     scope
                 });
-                let report = run_request(
-                    compiler.as_ref(),
-                    &cache,
-                    caching,
-                    &stats,
-                    &cost_model,
-                    &in_flight,
-                    req,
-                );
+                let report = run_request(&inner, req, &token);
+                inner.admission.release(cost_ns);
                 // The receiver outlives the batch; a send failure means
                 // the batch was abandoned, which compile_batch never does.
                 let _ = tx.send((index, report));
@@ -339,6 +627,7 @@ impl<C: Compiler> CompileService<C> {
                     cache_hit: false,
                     warnings: Vec::new(),
                     latency: Duration::ZERO,
+                    attempts: 0,
                 })
             })
             .collect();
@@ -347,41 +636,247 @@ impl<C: Compiler> CompileService<C> {
             wall: start.elapsed(),
         }
     }
+
+    /// Gracefully drains the service: closes admission (subsequent
+    /// requests are rejected with `E0805`), waits up to `deadline` for
+    /// admitted work to complete, then flips the shared kill switch so
+    /// stragglers cancel cooperatively at their next check point. The
+    /// drain duration is recorded in the statistics, so the final
+    /// snapshot/Prometheus flush reflects it.
+    ///
+    /// Admission stays closed forever — draining is one-way. Work
+    /// running via [`CompileService::compile_one`] on a caller's thread
+    /// is cancelled by the kill switch but not waited for (it was never
+    /// admitted).
+    pub fn drain(&self, deadline: Duration) -> DrainReport {
+        let start = Instant::now();
+        self.inner.admission.close();
+        let end = start + deadline;
+        while self.inner.admission.outstanding() > 0 && Instant::now() < end {
+            thread::sleep(Duration::from_micros(200));
+        }
+        let cancelled = self.inner.admission.outstanding();
+        if cancelled > 0 {
+            self.inner.kill.store(true, Ordering::Relaxed);
+            let grace_end = end + DRAIN_GRACE;
+            while self.inner.admission.outstanding() > 0 && Instant::now() < grace_end {
+                thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let duration = start.elapsed();
+        self.inner.stats.record_drain(duration.as_nanos() as u64);
+        DrainReport {
+            cancelled,
+            outstanding: self.inner.admission.outstanding(),
+            duration,
+        }
+    }
+
+    /// Shuts the worker pool down, waiting up to the configured
+    /// `shutdown_timeout` for every worker to acknowledge.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ShutdownTimeout`] (`E0804`) when a worker fails to ack
+    /// in time (its thread is detached, not joined — no hang).
+    pub fn shutdown(&self) -> Result<(), crate::pool::ShutdownTimeout> {
+        self.inner.admission.close();
+        self.inner.kill.store(true, Ordering::Relaxed);
+        self.pool.shutdown(self.pool.shutdown_timeout())
+    }
 }
 
-/// The per-request path: per-kind cache probe, one guarded compile for
-/// the missing kinds, per-kind cache fill, accounting. Runs on a worker
-/// (batch) or the caller (`compile_one`).
-fn run_request<C: Compiler>(
-    compiler: &C,
-    cache: &ArtifactCache<C::Artifact>,
-    caching: bool,
+fn reject_error<E>(reject: AdmitReject) -> ServiceError<E> {
+    match reject {
+        AdmitReject::Overloaded { queued } => ServiceError::Overloaded { queued },
+        AdmitReject::Draining => ServiceError::Draining,
+    }
+}
+
+/// Builds the immediate report of a request rejected at admission and
+/// records it: one `shed` count plus its coded failure row.
+fn rejected<C: Compiler>(
     stats: &StatsCollector,
-    cost_model: &CostModel,
-    in_flight: &AtomicU64,
+    name: String,
+    err: ServiceError<C::Error>,
+) -> RequestReport<C> {
+    stats.record_shed();
+    stats.record_failure_codes(&err.failure_report().codes());
+    RequestReport {
+        name,
+        result: Err(err),
+        cache_hit: false,
+        warnings: Vec::new(),
+        latency: Duration::ZERO,
+        attempts: 0,
+    }
+}
+
+fn cancel_to_error<E>(reason: CancelReason) -> ServiceError<E> {
+    match reason {
+        CancelReason::Deadline => ServiceError::DeadlineExceeded,
+        CancelReason::Shutdown => ServiceError::Draining,
+    }
+}
+
+/// The per-request path: cancellation gate, quarantine gate, then the
+/// attempt loop (per-kind cache probe, one guarded compile for the
+/// missing kinds, per-kind cache fill) with transient-failure retry,
+/// and accounting. Runs on a worker (batch/submit) or the caller
+/// (`compile_one`).
+fn run_request<C: Compiler>(
+    inner: &Inner<C>,
     req: CompileRequest,
+    token: &CancelToken,
 ) -> RequestReport<C> {
     let start = Instant::now();
-    stats.record_request();
-    in_flight.fetch_add(1, Ordering::Relaxed);
+    inner.stats.record_request();
+    inner.in_flight.fetch_add(1, Ordering::Relaxed);
     let kinds = req.options.effective_kinds();
     let keys: Vec<CacheKey> = kinds
         .iter()
         .map(|kind| CacheKey::of_request(&req, kind))
         .collect();
 
-    // Probe every kind first: a request recompiles only for the kinds
-    // the cache cannot serve, and a fully warm request never touches
-    // the compiler at all.
+    let mut attempts: u32 = 0;
+    let mut backoff = Backoff::new(inner.retry, keys[0].seed());
+    let mut all_hit = false;
+    let mut warnings: Vec<DiagRecord> = Vec::new();
+    let result = loop {
+        // Gates, re-checked before every attempt: a request that
+        // expired while queued (or while backing off) never runs, and a
+        // quarantined input never reaches a worker's compiler.
+        if let Some(reason) = token.state() {
+            break Err(cancel_to_error(reason));
+        }
+        if inner.quarantine.check(&keys[0]) {
+            inner.stats.record_quarantine_hit();
+            break Err(ServiceError::Quarantined);
+        }
+        let first = attempts == 0;
+        attempts += 1;
+        let (hit, warn, outcome) = attempt(inner, &req, &kinds, &keys, token, first);
+        all_hit = hit;
+        warnings = warn;
+        match outcome {
+            Ok(artifacts) => {
+                if attempts > 1 {
+                    inner.stats.record_retry_success();
+                }
+                break Ok(artifacts);
+            }
+            Err(err) => {
+                // A cooperative compiler surfaces cancellation as a
+                // coded compile failure; map it back to the
+                // service-level condition (and never retry it — the
+                // E08xx transient class is for *client-side* retries
+                // with a fresh deadline, not for re-running a request
+                // whose own deadline is already spent).
+                if let ServiceError::Compile { report, .. } = &err {
+                    let codes = report.codes();
+                    if codes.contains(&codes::E0802.id) {
+                        break Err(ServiceError::DeadlineExceeded);
+                    }
+                    if codes.contains(&codes::E0805.id) {
+                        break Err(ServiceError::Draining);
+                    }
+                }
+                let transient = match &err {
+                    ServiceError::Panic(_) => true,
+                    ServiceError::Compile { report, .. } => {
+                        let failure_codes = report.codes();
+                        !failure_codes.is_empty()
+                            && failure_codes
+                                .iter()
+                                .all(|c| codes::retry_class_of(c) == RetryClass::Transient)
+                    }
+                    _ => false,
+                };
+                if transient && attempts <= inner.retry.budget {
+                    let sleep = backoff.next();
+                    // Retry only when the backoff fits inside the
+                    // remaining deadline; otherwise the sleep itself
+                    // would turn a real failure into E0802.
+                    let fits = token.remaining().is_none_or(|rem| rem > sleep);
+                    if fits && !token.is_cancelled() {
+                        inner.stats.record_retry_attempt();
+                        thread::sleep(sleep);
+                        continue;
+                    }
+                }
+                // Final outcome. A panic that survived its retries
+                // quarantines the input's digest: repeat offenders are
+                // rejected instantly instead of re-poisoning workers.
+                if matches!(err, ServiceError::Panic(_)) {
+                    inner.quarantine.insert(keys[0]);
+                }
+                break Err(err);
+            }
+        }
+    };
+
+    match &result {
+        // Compile errors and panics are disjoint counters (a panicking
+        // request counts only under `panics`, recorded per attempt in
+        // compile_guarded).
+        Err(ServiceError::Compile { report, .. }) => {
+            inner.stats.record_error();
+            inner.stats.record_failure_codes(&report.codes());
+        }
+        Err(ServiceError::DeadlineExceeded) => {
+            inner.stats.record_deadline_exceeded();
+            inner.stats.record_failure_codes(&[codes::E0802.id]);
+        }
+        Err(ServiceError::Quarantined) => {
+            inner.stats.record_failure_codes(&[codes::E0803.id]);
+        }
+        Err(ServiceError::Draining) => {
+            inner.stats.record_failure_codes(&[codes::E0805.id]);
+        }
+        _ => {}
+    }
+    let latency = start.elapsed();
+    inner.stats.record_latency(latency.as_nanos() as u64);
+    inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+    RequestReport {
+        name: req.name,
+        result,
+        cache_hit: all_hit,
+        warnings,
+        latency,
+        attempts,
+    }
+}
+
+/// One attempt: per-kind cache probe, one guarded compile for the
+/// missing kinds, per-kind cache fill, artifact assembly. Kind and
+/// hit/miss counters record only on the first attempt so retries do
+/// not inflate per-request statistics; the cache is re-probed on every
+/// attempt (another worker may have filled it meanwhile).
+#[allow(clippy::type_complexity)]
+fn attempt<C: Compiler>(
+    inner: &Inner<C>,
+    req: &CompileRequest,
+    kinds: &[ArtifactKind],
+    keys: &[CacheKey],
+    token: &CancelToken,
+    first: bool,
+) -> (
+    bool,
+    Vec<DiagRecord>,
+    Result<Vec<ArtifactReport<C>>, ServiceError<C::Error>>,
+) {
     let probe = trace::enter("cache-probe");
     let mut slots: Vec<Option<Arc<C::Artifact>>> = Vec::with_capacity(kinds.len());
-    for (kind, key) in kinds.iter().zip(&keys) {
-        let found = if caching {
-            cache.get(key, &req, kind)
+    for (kind, key) in kinds.iter().zip(keys) {
+        let found = if inner.caching {
+            inner.cache.get(key, req, kind)
         } else {
             None
         };
-        stats.record_kind(kind, found.is_some());
+        if first {
+            inner.stats.record_kind(kind, found.is_some());
+        }
         if trace::active() {
             let outcome = if found.is_some() { "hit" } else { "miss" };
             trace::instant("probe", Some(format!("{kind}:{outcome}")));
@@ -391,10 +886,12 @@ fn run_request<C: Compiler>(
     trace::exit(probe);
     let missing: Vec<usize> = (0..kinds.len()).filter(|&i| slots[i].is_none()).collect();
     let all_hit = missing.is_empty();
-    if all_hit {
-        stats.record_hit();
-    } else {
-        stats.record_miss();
+    if first {
+        if all_hit {
+            inner.stats.record_hit();
+        } else {
+            inner.stats.record_miss();
+        }
     }
 
     let mut warnings: Vec<DiagRecord> = Vec::new();
@@ -402,9 +899,9 @@ fn run_request<C: Compiler>(
         Ok(())
     } else {
         let missing_kinds: Vec<ArtifactKind> = missing.iter().map(|&i| kinds[i]).collect();
-        compile_guarded(compiler, stats, cost_model, &req, &missing_kinds).map(|output| {
+        compile_guarded(inner, req, &missing_kinds, token).map(|output| {
             let _store = trace::span("cache-fill");
-            stats.record_warnings(output.warnings.len() as u64);
+            inner.stats.record_warnings(output.warnings.len() as u64);
             warnings = output.warnings;
             for (kind, artifact) in output.artifacts {
                 // Only requested-and-missing kinds are admitted; a
@@ -414,8 +911,8 @@ fn run_request<C: Compiler>(
                 else {
                     continue;
                 };
-                let shared = if caching {
-                    cache.insert(keys[slot], &req, kind, artifact)
+                let shared = if inner.caching {
+                    inner.cache.insert(keys[slot], req, kind, artifact)
                 } else {
                     Arc::new(artifact)
                 };
@@ -438,54 +935,39 @@ fn run_request<C: Compiler>(
         }
         Ok(artifacts)
     });
-
-    // Compile errors and panics are disjoint counters (a panicking
-    // request counts only under `panics`, recorded in compile_guarded).
-    if let Err(ServiceError::Compile { report, .. }) = &result {
-        stats.record_error();
-        stats.record_failure_codes(&report.codes());
-    }
-    let latency = start.elapsed();
-    stats.record_latency(latency.as_nanos() as u64);
-    in_flight.fetch_sub(1, Ordering::Relaxed);
-    RequestReport {
-        name: req.name,
-        result,
-        cache_hit: all_hit,
-        warnings,
-        latency,
-    }
+    (all_hit, warnings, result)
 }
 
 fn compile_guarded<C: Compiler>(
-    compiler: &C,
-    stats: &StatsCollector,
-    cost_model: &CostModel,
+    inner: &Inner<C>,
     req: &CompileRequest,
     kinds: &[ArtifactKind],
+    token: &CancelToken,
 ) -> Result<crate::CompileOutput<C::Artifact>, ServiceError<C::Error>> {
     let compile_start = Instant::now();
     let guard = trace::enter("compile");
-    let outcome = catch_unwind(AssertUnwindSafe(|| compiler.compile(req, kinds)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        inner.compiler.compile_cancellable(req, kinds, token)
+    }));
     trace::exit(guard);
     match outcome {
         Ok(Ok(output)) => {
-            stats.record_stages(&output.samples);
+            inner.stats.record_stages(&output.samples);
             // Teach the cost model what this request actually cost
             // (successes only: failures abort early and would skew the
             // nanoseconds-per-hint ratio down).
-            cost_model.record(
-                compiler.cost_hint(req),
+            inner.cost_model.record(
+                inner.compiler.cost_hint(req),
                 compile_start.elapsed().as_nanos() as u64,
             );
             Ok(output)
         }
         Ok(Err(error)) => {
-            let report = compiler.failure_report(req, &error);
+            let report = inner.compiler.failure_report(req, &error);
             Err(ServiceError::Compile { error, report })
         }
         Err(panic) => {
-            stats.record_panic();
+            inner.stats.record_panic();
             Err(ServiceError::Panic(panic_message(panic.as_ref())))
         }
     }
@@ -507,16 +989,23 @@ mod tests {
     use crate::{CompileOptions, StageSample};
 
     /// A toy compiler: uppercases the source; `source == "BOOM"` panics,
-    /// `source == "ERR"` errors, and each compile counts its invocations
-    /// so cache hits are observable as *absent* invocations.
+    /// `source == "ERR"` errors (uncoded → transient class),
+    /// `source == "SRCERR"` errors with a source-class code,
+    /// `source == "FLAKY"` fails transiently on the first attempt only,
+    /// `source == "SLOW"` spins cooperatively until cancelled, and each
+    /// compile counts its invocations so cache hits (and retries) are
+    /// observable as invocation counts.
     struct Toy {
         calls: AtomicU64,
+        /// Sources already attempted once (drives `FLAKY`).
+        seen: std::sync::Mutex<std::collections::HashSet<String>>,
     }
 
     impl Toy {
         fn new() -> Toy {
             Toy {
                 calls: AtomicU64::new(0),
+                seen: std::sync::Mutex::new(std::collections::HashSet::new()),
             }
         }
     }
@@ -534,6 +1023,22 @@ mod tests {
             match req.source.as_str() {
                 "BOOM" => panic!("toy compiler exploded"),
                 "ERR" => Err("toy compile error".to_owned()),
+                "SRCERR" => Err("source:bad program".to_owned()),
+                "FLAKY" => {
+                    let fresh = self
+                        .seen
+                        .lock()
+                        .unwrap()
+                        .insert(format!("{}:{}", req.name, req.source));
+                    if fresh {
+                        Err("transient glitch".to_owned())
+                    } else {
+                        Ok(crate::CompileOutput::new(
+                            kinds.iter().map(|k| (*k, "FLAKY-OK".to_owned())).collect(),
+                            Vec::new(),
+                        ))
+                    }
+                }
                 "FORGETFUL" => Ok(crate::CompileOutput::new(Vec::new(), Vec::new())),
                 src => Ok(crate::CompileOutput::new(
                     kinds
@@ -565,6 +1070,54 @@ mod tests {
                 })),
             }
         }
+
+        fn compile_cancellable(
+            &self,
+            req: &CompileRequest,
+            kinds: &[ArtifactKind],
+            cancel: &CancelToken,
+        ) -> Result<crate::CompileOutput<String>, String> {
+            if req.source == "SLOW" {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                // Spin in short slices like a cooperative pipeline
+                // checking the token at pass boundaries (bounded as a
+                // failsafe so a broken drain cannot hang the tests).
+                for _ in 0..30_000 {
+                    if let Some(reason) = cancel.state() {
+                        return Err(format!("cancelled:{}", reason.code()));
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+                return Err("slow request was never cancelled".to_owned());
+            }
+            self.compile(req, kinds)
+        }
+
+        fn failure_report(&self, _req: &CompileRequest, err: &String) -> FailureReport {
+            // `source:` errors carry a source-class code; `cancelled:`
+            // errors carry the cancellation code the token reported —
+            // the same shapes the real pipeline produces.
+            let coded = |code: &'static str| FailureReport {
+                diagnostics: vec![DiagRecord {
+                    code,
+                    severity: velus_common::Severity::Error,
+                    stage: "driver",
+                    message: err.clone(),
+                    line: 0,
+                    col: 0,
+                }],
+            };
+            if err.starts_with("source:") {
+                coded(codes::E0201.id)
+            } else if let Some(code) = err.strip_prefix("cancelled:") {
+                match code {
+                    "E0802" => coded(codes::E0802.id),
+                    _ => coded(codes::E0805.id),
+                }
+            } else {
+                FailureReport::from_message(err.clone())
+            }
+        }
     }
 
     fn service(workers: usize) -> CompileService<Toy> {
@@ -578,6 +1131,14 @@ mod tests {
         )
     }
 
+    fn fast_retry(budget: u32) -> RetryPolicy {
+        RetryPolicy {
+            budget,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(2),
+        }
+    }
+
     #[test]
     fn batch_results_are_in_request_order() {
         let svc = service(4);
@@ -589,6 +1150,7 @@ mod tests {
         for (i, item) in batch.items.iter().enumerate() {
             assert_eq!(item.name, format!("r{i}"));
             assert_eq!(**item.primary().unwrap(), format!("SRC{i}"));
+            assert_eq!(item.attempts, 1);
         }
     }
 
@@ -600,11 +1162,14 @@ mod tests {
             .collect();
         let cold = svc.compile_batch(reqs.clone());
         assert_eq!(cold.hit_count(), 0);
-        let calls_after_cold = svc.compiler.calls.load(Ordering::SeqCst);
+        let calls_after_cold = svc.inner.compiler.calls.load(Ordering::SeqCst);
         let warm = svc.compile_batch(reqs);
         assert_eq!(warm.hit_count(), 8);
         // The compiler ran zero additional times: the pipeline was skipped.
-        assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), calls_after_cold);
+        assert_eq!(
+            svc.inner.compiler.calls.load(Ordering::SeqCst),
+            calls_after_cold
+        );
         // And the artifacts are the identical allocations.
         for (a, b) in cold.items.iter().zip(&warm.items) {
             assert!(Arc::ptr_eq(a.primary().unwrap(), b.primary().unwrap()));
@@ -652,6 +1217,7 @@ mod tests {
         // The pool survives and serves subsequent batches.
         let after = svc.compile_batch(vec![CompileRequest::new("again", "gamma")]);
         assert_eq!(after.ok_count(), 1);
+        assert_eq!(svc.dead_workers(), 0);
         // Errors and panics are disjoint counters: 1 compile error, 1
         // contained panic.
         let stats = svc.stats();
@@ -673,7 +1239,7 @@ mod tests {
         let report = svc.compile_one(req);
         assert!(!report.cache_hit);
         assert_eq!(svc.cache_len(), 0);
-        assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), 2);
+        assert_eq!(svc.inner.compiler.calls.load(Ordering::SeqCst), 2);
     }
 
     #[test]
@@ -713,7 +1279,7 @@ mod tests {
         let again = svc.compile_one(ra);
         assert!(!again.cache_hit);
         assert_eq!(**again.primary().unwrap(), "ONE");
-        assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), 3);
+        assert_eq!(svc.inner.compiler.calls.load(Ordering::SeqCst), 3);
         assert!(svc.stats().cache_evictions >= 1);
         let _ = rb;
     }
@@ -731,7 +1297,7 @@ mod tests {
         assert_eq!(*artifacts[1].artifact, "baseline-diff:X");
         // One compiler invocation produced both kinds; both were cached
         // under separate keys.
-        assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(svc.inner.compiler.calls.load(Ordering::SeqCst), 1);
         assert_eq!(svc.cache_len(), 2);
 
         // A request for just one of the kinds hits that kind's entry.
@@ -744,7 +1310,7 @@ mod tests {
             one.artifact(&ArtifactKind::BaselineDiff).unwrap(),
             &artifacts[1].artifact
         ));
-        assert_eq!(svc.compiler.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(svc.inner.compiler.calls.load(Ordering::SeqCst), 1);
 
         // A request widening the kind set compiles only the missing kind.
         let wider = svc.compile_one(req.with_options(CompileOptions::for_kinds(vec![
@@ -834,5 +1400,249 @@ mod tests {
         // A warm batch is unaffected by scheduling: all hits.
         let warm = svc.compile_batch(reqs);
         assert_eq!(warm.hit_count(), 3);
+    }
+
+    #[test]
+    fn a_zero_queue_cap_sheds_every_request_with_coded_errors() {
+        let svc = CompileService::new(
+            Toy::new(),
+            ServiceConfig {
+                workers: 2,
+                admission: AdmissionConfig {
+                    queue_cap: Some(0),
+                    cost_budget_ms: None,
+                },
+                ..Default::default()
+            },
+        );
+        let batch = svc.compile_batch(vec![
+            CompileRequest::new("a", "x"),
+            CompileRequest::new("b", "y"),
+            CompileRequest::new("c", "z"),
+        ]);
+        assert_eq!(batch.ok_count(), 0);
+        assert_eq!(batch.shed_count(), 3);
+        for item in &batch.items {
+            match &item.result {
+                Err(err @ ServiceError::Overloaded { .. }) => {
+                    assert_eq!(err.failure_report().primary_code(), Some("E0801"));
+                    assert_eq!(item.attempts, 0);
+                }
+                other => panic!("expected Overloaded, got ok={}", other.is_ok()),
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!((stats.shed, stats.requests), (3, 0));
+        assert_eq!(stats.failure_codes, vec![("E0801", 3)]);
+        assert_eq!(svc.inner.compiler.calls.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn transient_failures_retry_and_succeed_within_budget() {
+        let svc = CompileService::new(
+            Toy::new(),
+            ServiceConfig {
+                workers: 1,
+                retry: fast_retry(2),
+                ..Default::default()
+            },
+        );
+        let report = svc.compile_one(CompileRequest::new("f", "FLAKY"));
+        assert!(report.result.is_ok(), "flaky request must succeed on retry");
+        assert_eq!(report.attempts, 2);
+        let stats = svc.stats();
+        assert_eq!((stats.retries_attempted, stats.retries_succeeded), (1, 1));
+        assert_eq!(stats.errors, 0, "the retried failure is not a failure");
+    }
+
+    #[test]
+    fn source_failures_are_never_retried() {
+        let svc = CompileService::new(
+            Toy::new(),
+            ServiceConfig {
+                workers: 1,
+                retry: fast_retry(3),
+                ..Default::default()
+            },
+        );
+        let report = svc.compile_one(CompileRequest::new("s", "SRCERR"));
+        assert!(matches!(
+            &report.result,
+            Err(ServiceError::Compile { report, .. }) if report.primary_code() == Some("E0201")
+        ));
+        assert_eq!(report.attempts, 1, "source-class failures never retry");
+        assert_eq!(svc.stats().retries_attempted, 0);
+        assert_eq!(svc.inner.compiler.calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn transient_retries_exhaust_their_budget_then_fail() {
+        let svc = CompileService::new(
+            Toy::new(),
+            ServiceConfig {
+                workers: 1,
+                retry: fast_retry(2),
+                ..Default::default()
+            },
+        );
+        // "ERR" fails identically on every attempt with the transient
+        // E0000 class: the budget is spent, then the error surfaces.
+        let report = svc.compile_one(CompileRequest::new("e", "ERR"));
+        assert!(matches!(&report.result, Err(ServiceError::Compile { .. })));
+        assert_eq!(report.attempts, 3, "1 initial + 2 retries");
+        let stats = svc.stats();
+        assert_eq!((stats.retries_attempted, stats.retries_succeeded), (2, 0));
+        assert_eq!(stats.errors, 1, "one failed request, not three");
+    }
+
+    #[test]
+    fn a_panicking_input_is_quarantined_and_rejected_on_resubmit() {
+        let svc = service(1);
+        let first = svc.compile_one(CompileRequest::new("p1", "BOOM"));
+        assert!(matches!(first.result, Err(ServiceError::Panic(_))));
+        assert_eq!(first.attempts, 1);
+        let calls = svc.inner.compiler.calls.load(Ordering::SeqCst);
+        // Same input (different name — quarantine keys on content):
+        // rejected before reaching the compiler.
+        let second = svc.compile_one(CompileRequest::new("p2", "BOOM"));
+        match &second.result {
+            Err(err @ ServiceError::Quarantined) => {
+                assert_eq!(err.failure_report().primary_code(), Some("E0803"));
+            }
+            other => panic!("expected Quarantined, got ok={}", other.is_ok()),
+        }
+        assert_eq!(second.attempts, 0);
+        assert_eq!(
+            svc.inner.compiler.calls.load(Ordering::SeqCst),
+            calls,
+            "the quarantined input never reached the compiler again"
+        );
+        let stats = svc.stats();
+        assert_eq!(
+            (stats.panics, stats.quarantine_hits, stats.quarantined),
+            (1, 1, 1)
+        );
+        // Other inputs are unaffected.
+        assert!(svc
+            .compile_one(CompileRequest::new("ok", "fine"))
+            .result
+            .is_ok());
+    }
+
+    #[test]
+    fn an_expired_deadline_rejects_before_compiling() {
+        let svc = service(1);
+        let report = svc.compile_one(CompileRequest::new("d", "x").with_deadline_ms(0));
+        match &report.result {
+            Err(err @ ServiceError::DeadlineExceeded) => {
+                assert_eq!(err.failure_report().primary_code(), Some("E0802"));
+            }
+            other => panic!("expected DeadlineExceeded, got ok={}", other.is_ok()),
+        }
+        assert_eq!(report.attempts, 0);
+        let stats = svc.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.failure_codes, vec![("E0802", 1)]);
+        assert_eq!(svc.inner.compiler.calls.load(Ordering::SeqCst), 0);
+        // A generous deadline compiles normally.
+        let ok = svc.compile_one(CompileRequest::new("d2", "y").with_deadline_ms(60_000));
+        assert!(ok.result.is_ok());
+    }
+
+    #[test]
+    fn drain_completes_quiet_services_cleanly() {
+        let svc = service(2);
+        let batch = svc.compile_batch(vec![CompileRequest::new("a", "x")]);
+        assert_eq!(batch.ok_count(), 1);
+        let drained = svc.drain(Duration::from_secs(5));
+        assert!(drained.clean(), "{drained}");
+        // Admission is closed: everything afterwards is rejected with a
+        // coded error, through every entry point.
+        let after = svc.compile_batch(vec![CompileRequest::new("late", "y")]);
+        assert!(matches!(after.items[0].result, Err(ServiceError::Draining)));
+        assert!(matches!(
+            svc.compile_one(CompileRequest::new("later", "z")).result,
+            Err(ServiceError::Draining)
+        ));
+        let sub = svc.submit(CompileRequest::new("latest", "w"));
+        assert!(!sub.admitted());
+        assert!(matches!(sub.wait().result, Err(ServiceError::Draining)));
+        let stats = svc.stats();
+        assert_eq!(stats.drains, 1);
+        assert_eq!(stats.shed, 3);
+    }
+
+    #[test]
+    fn drain_cancels_in_flight_work_by_the_deadline_without_losing_counts() {
+        let svc = service(2);
+        // Occupy both workers with cooperative slow compilations and
+        // queue a third request behind them.
+        let s1 = svc.submit(CompileRequest::new("slow1", "SLOW"));
+        let s2 = svc.submit(CompileRequest::new("slow2", "SLOW"));
+        let s3 = svc.submit(CompileRequest::new("queued", "x"));
+        assert!(s1.admitted() && s2.admitted() && s3.admitted());
+        // Wait until both slow compilations actually started.
+        let began = Instant::now();
+        while svc.inner.compiler.calls.load(Ordering::SeqCst) < 2 {
+            assert!(
+                began.elapsed() < Duration::from_secs(10),
+                "workers never started"
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+        let drained = svc.drain(Duration::from_millis(100));
+        // The slow requests could not finish by the deadline: they were
+        // cancelled cooperatively; nothing is left outstanding.
+        assert!(drained.cancelled >= 2, "{drained}");
+        assert_eq!(drained.outstanding, 0, "{drained}");
+        assert!(!drained.clean());
+        // Every submission resolves — no lost requests.
+        let r1 = s1.wait();
+        let r2 = s2.wait();
+        let r3 = s3.wait();
+        for r in [&r1, &r2] {
+            assert!(
+                matches!(r.result, Err(ServiceError::Draining)),
+                "slow requests resolve as cancelled-by-drain"
+            );
+        }
+        // The queued request either completed before the kill switch or
+        // was rejected by it — never lost.
+        assert!(
+            r3.result.is_ok() || matches!(r3.result, Err(ServiceError::Draining)),
+            "queued request must resolve"
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 3, "all admitted requests were accounted");
+        assert_eq!(stats.drains, 1);
+        assert!(stats.drain_ns > 0);
+        assert_eq!(svc.dead_workers(), 0);
+        // The failure rows carry the drain code for the cancelled work.
+        assert!(
+            stats.failure_codes.iter().any(|(c, _)| *c == "E0805"),
+            "{:?}",
+            stats.failure_codes
+        );
+    }
+
+    #[test]
+    fn submit_resolves_like_compile_one() {
+        let svc = service(2);
+        let ok = svc.submit(CompileRequest::new("s", "hello")).wait();
+        assert_eq!(**ok.primary().unwrap(), "HELLO");
+        assert_eq!(ok.attempts, 1);
+        let warm = svc.submit(CompileRequest::new("s", "hello")).wait();
+        assert!(warm.cache_hit);
+    }
+
+    #[test]
+    fn service_shutdown_is_acknowledged() {
+        let svc = service(2);
+        assert_eq!(
+            svc.compile_batch(vec![CompileRequest::new("a", "x")])
+                .ok_count(),
+            1
+        );
+        svc.shutdown().expect("idle workers ack shutdown promptly");
     }
 }

@@ -18,8 +18,13 @@
 //!   proptest suite, `velus-bench --bin diff`, and CI all drive this one
 //!   implementation.
 //! * [`json`] — a minimal JSON reader for replaying reproducer records.
+//! * [`chaos`] — deterministic fault injection for the compilation
+//!   service: a [`chaos::ChaosCompiler`] wrapping any compiler with
+//!   seeded panics, transient failures, and cancellable delays (the
+//!   engine of `velus-bench --bin chaos`).
 
 pub mod campaign;
+pub mod chaos;
 pub mod diff;
 pub mod gen;
 pub mod industrial;
