@@ -1,0 +1,244 @@
+//! The worklist fixpoint engine.
+//!
+//! Every analysis of this crate is an instance of the same scheme: an
+//! abstract value per variable (an element of a [`Lattice`]), a
+//! *transfer function* per equation mapping the current environment to
+//! new abstract values for the variables the equation defines, and a
+//! worklist iteration to a fixpoint.
+//!
+//! # Termination
+//!
+//! The engine terminates for every monotone transfer function because
+//!
+//! * environments only grow: new values are *joined* into the old ones,
+//!   and an equation is re-queued only when some variable it reads
+//!   actually changed;
+//! * after [`WIDEN_AFTER`] visits of the same equation, joins are
+//!   replaced by [`Lattice::widen_with`], whose contract is that every
+//!   chain `x, x ∇ y₁, (x ∇ y₁) ∇ y₂, …` stabilizes in finitely many
+//!   steps (finite lattices take `widen = join`; the interval lattice
+//!   jumps to ⊤).
+//!
+//! Equations are seeded in program order. Scheduling has already
+//! ordered them write-before-read (the order derived from
+//! [`velus_nlustre::deps`]), so the first sweep is effectively a
+//! topological pass and non-recursive programs converge in one or two
+//! rounds; only `fby` back-edges cause re-queues.
+
+use velus_common::{ident_map_with_capacity, Ident, IdentMap};
+use velus_nlustre::ast::Node;
+use velus_ops::Ops;
+
+/// A join-semilattice of abstract values.
+///
+/// The contract the engine relies on:
+///
+/// * [`Lattice::bottom`] is a least element: `bottom.join_with(x)`
+///   makes the receiver equal to `x`;
+/// * [`Lattice::join_with`] computes an upper bound in place and
+///   reports whether the receiver changed (ascending chains only);
+/// * [`Lattice::widen_with`] is an upper bound like `join_with` but
+///   with the additional guarantee that repeated widening stabilizes
+///   in finitely many steps. Finite-height lattices keep the default
+///   (`widen = join`).
+pub trait Lattice: Clone + PartialEq {
+    /// The least element (no information / unreachable).
+    fn bottom() -> Self;
+
+    /// Joins `other` into `self`; returns whether `self` changed.
+    fn join_with(&mut self, other: &Self) -> bool;
+
+    /// Widens `self` by `other`; returns whether `self` changed.
+    /// Defaults to [`Lattice::join_with`] (correct for finite lattices).
+    fn widen_with(&mut self, other: &Self) -> bool {
+        self.join_with(other)
+    }
+}
+
+/// An abstract environment: variable → lattice element, with unmapped
+/// variables implicitly at [`Lattice::bottom`].
+#[derive(Debug, Clone)]
+pub struct Env<L: Lattice> {
+    map: IdentMap<L>,
+    bottom: L,
+}
+
+impl<L: Lattice> Env<L> {
+    /// An empty environment (everything at bottom).
+    pub fn new() -> Env<L> {
+        Env {
+            map: IdentMap::default(),
+            bottom: L::bottom(),
+        }
+    }
+
+    /// The abstract value of `x` (bottom when never written).
+    pub fn get(&self, x: Ident) -> &L {
+        self.map.get(&x).unwrap_or(&self.bottom)
+    }
+
+    /// Sets the abstract value of `x` outright (used to seed inputs).
+    pub fn set(&mut self, x: Ident, v: L) {
+        self.map.insert(x, v);
+    }
+
+    /// Joins (or, when `widen`, widens) `v` into the value of `x`;
+    /// returns whether the value changed.
+    pub fn update(&mut self, x: Ident, v: L, widen: bool) -> bool {
+        match self.map.get_mut(&x) {
+            Some(cur) => {
+                if widen {
+                    cur.widen_with(&v)
+                } else {
+                    cur.join_with(&v)
+                }
+            }
+            None => {
+                let changed = v != self.bottom;
+                if changed {
+                    self.map.insert(x, v);
+                }
+                changed
+            }
+        }
+    }
+}
+
+impl<L: Lattice> Default for Env<L> {
+    fn default() -> Env<L> {
+        Env::new()
+    }
+}
+
+/// Number of visits of one equation after which joins become widenings.
+pub const WIDEN_AFTER: usize = 8;
+
+/// Runs the worklist iteration over the equations of `node` until the
+/// environment stabilizes.
+///
+/// `transfer` receives the node, the index of the equation to
+/// (re-)evaluate and the current environment, and appends the abstract
+/// values the equation produces to `out` (one entry per defined
+/// variable). The engine joins them into the environment and re-queues
+/// every equation that reads a variable whose value changed.
+pub fn solve<O: Ops, L: Lattice>(
+    node: &Node<O>,
+    env: &mut Env<L>,
+    mut transfer: impl FnMut(&Node<O>, usize, &Env<L>, &mut Vec<(Ident, L)>),
+) {
+    let n = node.eqs.len();
+    // Variable → indices of the equations that read it (clock variables
+    // included), the re-activation index of the worklist.
+    let mut readers: IdentMap<Vec<usize>> = ident_map_with_capacity(n);
+    let mut reads: Vec<Ident> = Vec::new();
+    for (i, eq) in node.eqs.iter().enumerate() {
+        reads.clear();
+        eq.reads_into(&mut reads);
+        for &x in &reads {
+            let entry = readers.entry(x).or_default();
+            if entry.last() != Some(&i) {
+                entry.push(i);
+            }
+        }
+    }
+
+    let mut queue: std::collections::VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    let mut visits = vec![0usize; n];
+    let mut out: Vec<(Ident, L)> = Vec::new();
+    while let Some(i) = queue.pop_front() {
+        queued[i] = false;
+        visits[i] += 1;
+        let widen = visits[i] > WIDEN_AFTER;
+        out.clear();
+        transfer(node, i, env, &mut out);
+        for (x, v) in out.drain(..) {
+            if env.update(x, v, widen) {
+                if let Some(rs) = readers.get(&x) {
+                    for &j in rs {
+                        if !queued[j] {
+                            queued[j] = true;
+                            queue.push_back(j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velus_nlustre::ast::{CExpr, Equation, Expr, VarDecl};
+    use velus_nlustre::clock::Clock;
+    use velus_ops::{CConst, CTy, ClightOps};
+
+    /// A one-bit "reached" lattice.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Reach(bool);
+
+    impl Lattice for Reach {
+        fn bottom() -> Reach {
+            Reach(false)
+        }
+        fn join_with(&mut self, other: &Reach) -> bool {
+            let changed = !self.0 && other.0;
+            self.0 |= other.0;
+            changed
+        }
+    }
+
+    fn var(n: &str) -> Expr<ClightOps> {
+        Expr::Var(Ident::new(n), CTy::I32)
+    }
+
+    #[test]
+    fn propagates_through_a_copy_chain_and_a_fby_back_edge() {
+        // x = 0 fby z; y = x; z = y;  — the back edge forces a re-queue.
+        let node: Node<ClightOps> = Node {
+            name: Ident::new("f"),
+            inputs: vec![],
+            outputs: vec![VarDecl {
+                name: Ident::new("z"),
+                ty: CTy::I32,
+                ck: Clock::Base,
+            }],
+            locals: vec![],
+            eqs: vec![
+                Equation::Fby {
+                    x: Ident::new("x"),
+                    ck: Clock::Base,
+                    init: CConst::int(0),
+                    rhs: var("z"),
+                },
+                Equation::Def {
+                    x: Ident::new("y"),
+                    ck: Clock::Base,
+                    rhs: CExpr::Expr(var("x")),
+                },
+                Equation::Def {
+                    x: Ident::new("z"),
+                    ck: Clock::Base,
+                    rhs: CExpr::Expr(var("y")),
+                },
+            ],
+        };
+        let mut env: Env<Reach> = Env::new();
+        // Taint the fby: everything downstream must become reached.
+        solve(&node, &mut env, |node, i, env, out| match &node.eqs[i] {
+            Equation::Fby { x, .. } => out.push((*x, Reach(true))),
+            Equation::Def { x, rhs, .. } => {
+                let mut v = Reach::bottom();
+                for y in rhs.free_vars() {
+                    v.join_with(env.get(y));
+                }
+                out.push((*x, v));
+            }
+            Equation::Call { .. } => unreachable!(),
+        });
+        assert_eq!(env.get(Ident::new("x")), &Reach(true));
+        assert_eq!(env.get(Ident::new("y")), &Reach(true));
+        assert_eq!(env.get(Ident::new("z")), &Reach(true));
+    }
+}

@@ -1,0 +1,226 @@
+//! Liveness and reachability lints: variables no output transitively
+//! reads ([`codes::W0104`]) and nodes never instantiated from the root
+//! ([`codes::W0105`]).
+//!
+//! Liveness is a backwards closure per node: the outputs seed the live
+//! set, and any equation defining a live variable makes everything it
+//! reads — clock variables included — live too. A local that never
+//! becomes live is dead weight: its equation still executes (and may
+//! allocate state for a `fby`), but nothing observable depends on it.
+//!
+//! Compiler-introduced names (they contain `#`, which the surface
+//! grammar cannot produce) are never reported: the normalizer is free
+//! to introduce helper streams that later passes fuse away.
+
+use velus_common::{codes, DiagStage, Diagnostic, Diagnostics, Ident, IdentSet, SpanMap};
+use velus_nlustre::ast::{Equation, Node, Program};
+use velus_ops::Ops;
+
+/// The nodes transitively instantiated from `root` (on any clock),
+/// including `root` itself.
+pub fn reachable<O: Ops>(prog: &Program<O>, root: Ident) -> IdentSet {
+    let mut seen = IdentSet::default();
+    if prog.node(root).is_none() {
+        return seen;
+    }
+    seen.insert(root);
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        let Some(node) = prog.node(n) else { continue };
+        for eq in &node.eqs {
+            if let Equation::Call { node: callee, .. } = eq {
+                if !seen.contains(callee) {
+                    seen.insert(*callee);
+                    stack.push(*callee);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// The variables of `node` an output transitively depends on (through
+/// data *or* clock reads), outputs included.
+pub fn live_vars<O: Ops>(node: &Node<O>) -> IdentSet {
+    let mut live = IdentSet::default();
+    for o in &node.outputs {
+        live.insert(o.name);
+    }
+    let mut reads: Vec<Ident> = Vec::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for eq in &node.eqs {
+            if !eq.defined().iter().any(|x| live.contains(x)) {
+                continue;
+            }
+            reads.clear();
+            eq.reads_into(&mut reads);
+            for &x in &reads {
+                if !live.contains(&x) {
+                    live.insert(x);
+                    changed = true;
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Appends the liveness ([`codes::W0104`]) and reachability
+/// ([`codes::W0105`]) lints for `prog` rooted at `root` to `diags`.
+pub fn check_liveness<O: Ops>(
+    prog: &Program<O>,
+    root: Ident,
+    spans: &SpanMap,
+    diags: &mut Diagnostics,
+) {
+    let reached = reachable(prog, root);
+    for node in &prog.nodes {
+        if !reached.contains(&node.name) {
+            diags.push(
+                Diagnostic::warning(
+                    codes::W0105,
+                    format!(
+                        "node {} is never instantiated from the root node {root}",
+                        node.name
+                    ),
+                    spans.node_span(node.name),
+                )
+                .at_stage(DiagStage::Analysis),
+            );
+        }
+        let live = live_vars(node);
+        for eq in &node.eqs {
+            if eq.defined().iter().any(|x| live.contains(x)) {
+                continue;
+            }
+            for &x in eq.defined() {
+                if x.as_str().contains('#') {
+                    continue; // compiler-introduced helper stream
+                }
+                diags.push(
+                    Diagnostic::warning(
+                        codes::W0104,
+                        format!("variable {x} is never read by any output of {}", node.name),
+                        spans.eq_span(node.name, x),
+                    )
+                    .at_stage(DiagStage::Analysis),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velus_nlustre::ast::{CExpr, Expr, VarDecl};
+    use velus_nlustre::clock::Clock;
+    use velus_ops::{CConst, CTy, ClightOps};
+
+    fn decl(n: &str, ty: CTy) -> VarDecl<ClightOps> {
+        VarDecl {
+            name: Ident::new(n),
+            ty,
+            ck: Clock::Base,
+        }
+    }
+
+    fn copy_eq(x: &str, y: &str) -> Equation<ClightOps> {
+        Equation::Def {
+            x: Ident::new(x),
+            ck: Clock::Base,
+            rhs: CExpr::Expr(Expr::Var(Ident::new(y), CTy::I32)),
+        }
+    }
+
+    #[test]
+    fn unused_locals_and_unreachable_nodes_are_reported() {
+        // helper: reachable; orphan: not. In f, `dead` feeds nothing,
+        // and the compiler-shaped `n#tmp` is exempt.
+        let orphan = Node::<ClightOps> {
+            name: Ident::new("orphan"),
+            inputs: vec![decl("x", CTy::I32)],
+            outputs: vec![decl("o", CTy::I32)],
+            locals: vec![],
+            eqs: vec![copy_eq("o", "x")],
+        };
+        let helper = Node::<ClightOps> {
+            name: Ident::new("helper"),
+            inputs: vec![decl("x", CTy::I32)],
+            outputs: vec![decl("o", CTy::I32)],
+            locals: vec![],
+            eqs: vec![copy_eq("o", "x")],
+        };
+        let f = Node::<ClightOps> {
+            name: Ident::new("f"),
+            inputs: vec![decl("x", CTy::I32)],
+            outputs: vec![decl("y", CTy::I32)],
+            locals: vec![
+                decl("dead", CTy::I32),
+                decl("n#tmp", CTy::I32),
+                decl("mid", CTy::I32),
+            ],
+            eqs: vec![
+                Equation::Def {
+                    x: Ident::new("dead"),
+                    ck: Clock::Base,
+                    rhs: CExpr::Expr(Expr::Const(CConst::int(1))),
+                },
+                copy_eq("n#tmp", "x"),
+                Equation::Call {
+                    xs: vec![Ident::new("mid")],
+                    ck: Clock::Base,
+                    node: Ident::new("helper"),
+                    args: vec![Expr::Var(Ident::new("x"), CTy::I32)],
+                },
+                copy_eq("y", "mid"),
+            ],
+        };
+        let prog = Program::new(vec![orphan, helper, f]);
+        let mut diags = Diagnostics::new();
+        check_liveness(&prog, Ident::new("f"), &SpanMap::new(), &mut diags);
+        let mut found: Vec<(&str, String)> = diags
+            .iter()
+            .map(|d| (d.code.id, d.message.clone()))
+            .collect();
+        found.sort();
+        assert_eq!(found.len(), 2, "{diags}");
+        assert_eq!(found[0].0, "W0104");
+        assert!(found[0].1.contains("dead"));
+        assert_eq!(found[1].0, "W0105");
+        assert!(found[1].1.contains("orphan"));
+    }
+
+    #[test]
+    fn clock_reads_keep_variables_live() {
+        // k only appears as a clock of y's equation — still live.
+        let f = Node::<ClightOps> {
+            name: Ident::new("f"),
+            inputs: vec![decl("x", CTy::I32), decl("c", CTy::Bool)],
+            outputs: vec![VarDecl {
+                name: Ident::new("y"),
+                ty: CTy::I32,
+                ck: Clock::Base.on(Ident::new("k"), true),
+            }],
+            locals: vec![decl("k", CTy::Bool)],
+            eqs: vec![
+                copy_eq("k", "c"),
+                Equation::Def {
+                    x: Ident::new("y"),
+                    ck: Clock::Base.on(Ident::new("k"), true),
+                    rhs: CExpr::Expr(Expr::When(
+                        Box::new(Expr::Var(Ident::new("x"), CTy::I32)),
+                        Ident::new("k"),
+                        true,
+                    )),
+                },
+            ],
+        };
+        let prog = Program::new(vec![f]);
+        let mut diags = Diagnostics::new();
+        check_liveness(&prog, Ident::new("f"), &SpanMap::new(), &mut diags);
+        assert!(diags.is_empty(), "{diags}");
+    }
+}

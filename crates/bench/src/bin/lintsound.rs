@@ -1,0 +1,146 @@
+//! The lint soundness campaign runner.
+//!
+//! Each seed generates a random well-formed Lustre program under a
+//! trap-allowing profile (constant-zero divisors and `i32::MIN / -1`
+//! patterns are permitted, plus lint bait), compiles it while
+//! collecting the static analyses' trap verdicts, then executes the
+//! generated Clight under the interpreter and holds reality against
+//! the claims: every `E0110`/`E0111` (guaranteed trap) must trap on
+//! the first step, and no program free of trap findings may ever trap
+//! (see `velus_testkit::soundness`). A broken claim prints the `.lus`
+//! reproducer and fails the run.
+//!
+//! ```text
+//! cargo run --release -p velus-bench --bin lintsound -- --seeds 1000
+//! cargo run --release -p velus-bench --bin lintsound -- --seeds 300 --json
+//! ```
+//!
+//! A quarter of the seed budget runs under a trap-*free* generator
+//! profile (safe constant divisors only): under it the analysis can
+//! actually prove programs clean, so the strongest claim — "no trap
+//! finding means no execution may trap" — gets exercised at scale
+//! rather than only by handcrafted tests.
+//!
+//! Flags:
+//!
+//! * `--seeds N` — total seeds to run (default 300; ¾ trap-allowing,
+//!   ¼ trap-free);
+//! * `--seed-start S` — first seed (default 0);
+//! * `--workers K` — worker threads (default 4). Seeds are split into
+//!   contiguous per-worker chunks; every per-seed outcome is
+//!   independent, so the merged report is identical for any `K`;
+//! * `--steps T` — instants executed per accepted seed (default 10);
+//! * `--json` — machine-readable summary on stdout.
+//!
+//! Exit status: 0 when every claim survived execution, 1 when any seed
+//! violated one (the reproducer source is printed either way).
+
+use std::time::Instant;
+
+use velus_bench::{parse_bool_flag, parse_flag};
+use velus_testkit::soundness::{run_soundness, SoundnessConfig, SoundnessReport};
+
+fn merge_reports(into: &mut SoundnessReport, from: SoundnessReport) {
+    into.checked += from.checked;
+    into.rejected += from.rejected;
+    into.guaranteed += from.guaranteed;
+    into.possible += from.possible;
+    into.clean += from.clean;
+    into.trapped_runs += from.trapped_runs;
+    into.violations.extend(from.violations);
+}
+
+/// Runs `count` seeds from `from` under `cfg`, split into contiguous
+/// per-worker chunks, and merges the per-chunk reports.
+fn run_parallel(cfg: &SoundnessConfig, from: u64, count: u64, workers: u64) -> SoundnessReport {
+    let chunk = count.div_ceil(workers).max(1);
+    let mut report = SoundnessReport::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut next = from;
+        let end = from.saturating_add(count);
+        while next < end {
+            let n = chunk.min(end - next);
+            let cfg = cfg.clone();
+            handles.push(scope.spawn(move || run_soundness(&cfg, next, n)));
+            next += n;
+        }
+        for h in handles {
+            merge_reports(&mut report, h.join().expect("soundness worker"));
+        }
+    });
+    report
+}
+
+fn main() {
+    let seeds = parse_flag("--seeds", 300) as u64;
+    let seed_start = parse_flag("--seed-start", 0) as u64;
+    let workers = parse_flag("--workers", 4).max(1) as u64;
+    let json = parse_bool_flag("--json");
+    let trap_cfg = SoundnessConfig {
+        steps: parse_flag("--steps", 10),
+        ..SoundnessConfig::default()
+    };
+    let clean_cfg = SoundnessConfig {
+        gen: velus_testkit::gen::GenConfig {
+            trap_divisors: false,
+            ..trap_cfg.gen.clone()
+        },
+        ..trap_cfg.clone()
+    };
+
+    // Compile/execution panics are caught and classified as violations
+    // by the oracle; suppress the default hook's backtrace spew.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let start = Instant::now();
+    let clean_seeds = seeds / 4;
+    let trap_seeds = seeds - clean_seeds;
+    let mut report = run_parallel(&trap_cfg, seed_start, trap_seeds, workers);
+    merge_reports(
+        &mut report,
+        run_parallel(&clean_cfg, seed_start, clean_seeds, workers),
+    );
+    let elapsed = start.elapsed();
+
+    if json {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"seeds\": {}", report.checked));
+        out.push_str(&format!(", \"rejected\": {}", report.rejected));
+        out.push_str(&format!(
+            ", \"claims\": {{\"guaranteed\": {}, \"possible\": {}, \"clean\": {}}}",
+            report.guaranteed, report.possible, report.clean
+        ));
+        out.push_str(&format!(", \"trapped_runs\": {}", report.trapped_runs));
+        out.push_str(&format!(", \"violations\": {}", report.violations.len()));
+        out.push_str(", \"violating_seeds\": [");
+        for (i, v) in report.violations.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&v.seed.to_string());
+        }
+        out.push(']');
+        out.push_str(&format!(", \"elapsed_ms\": {}", elapsed.as_millis()));
+        out.push('}');
+        println!("{out}");
+    } else {
+        println!(
+            "lint soundness campaign: {} seeds in {elapsed:.2?} ({workers} workers)",
+            report.checked
+        );
+        print!("{report}");
+        for v in &report.violations {
+            println!("--- reproducer (seed {}) ---", v.seed);
+            println!("{}", v.source.trim_end());
+        }
+    }
+
+    if !report.sound() {
+        eprintln!(
+            "lint soundness FAILED: {} violated claim(s)",
+            report.violations.len()
+        );
+        std::process::exit(1);
+    }
+}

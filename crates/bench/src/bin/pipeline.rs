@@ -22,10 +22,13 @@
 //! restricts the reported stage rows to one stage (e.g. `--stage
 //! frontend` when sweeping front-end changes); `--smoke` runs a tiny
 //! corpus, asserts the JSON output is well formed, *and* acts as the
-//! front-end allocation guard: it profiles the paper-benchmark corpus
-//! and fails if frontend allocs-per-compile exceed
-//! [`FRONTEND_ALLOCS_GUARD`] (checked in ~10% above the post-arena
-//! number, so an accidental allocation regression fails CI).
+//! allocation guard: it profiles the paper-benchmark corpus and fails
+//! if frontend allocs-per-compile exceed [`FRONTEND_ALLOCS_GUARD`]
+//! (checked in ~10% above the post-arena number, so an accidental
+//! allocation regression fails CI) or if the static-analysis (lint)
+//! pass exceeds [`ANALYSIS_ALLOCS_GUARD`]. The lint pass is forced
+//! after emission so the `analysis` stage row carries real numbers,
+//! even though a plain compile never runs it.
 //!
 //! `--overhead` instead measures the cost of the observability layer:
 //! the industrial corpus is compiled with tracing disabled and then
@@ -129,6 +132,9 @@ fn profile_one(profile: &mut Profile, source: &str, root: Option<&str>) {
             StagedPipeline::from_source(source, root, &mut observe).expect("corpus compiles");
         let c = staged.emit(TestIo::Volatile).expect("corpus emits");
         assert!(!c.is_empty());
+        // Force the off-chain lint pass too, so the `analysis` stage row
+        // carries real numbers and `--smoke` can guard its allocations.
+        staged.lint().expect("corpus lints");
     }
     let elapsed_ns = wall.elapsed().as_nanos() as u64;
     profile.total_ns += elapsed_ns;
@@ -179,6 +185,15 @@ fn profile_corpus(corpus: &[(String, String)], passes: usize) -> Profile {
 /// not time — so exceeding it means a real front-end allocation
 /// regression, not machine noise.
 const FRONTEND_ALLOCS_GUARD: f64 = 315.0;
+
+/// Ceiling on analysis (lint) allocs/compile over the paper-benchmark
+/// corpus, also enforced by `--smoke`. The lint pass is off the compile
+/// chain — a request without `--emit lint` never runs it — but this
+/// guard keeps the pass itself from silently bloating: like the
+/// front-end guard it counts allocator calls, set ~15% above the
+/// measured single-pass number (131.7), so exceeding it means a real
+/// analysis allocation regression.
+const ANALYSIS_ALLOCS_GUARD: f64 = 155.0;
 
 fn print_profile(label: &str, p: &Profile, stage_filter: Option<&str>) {
     println!("{label}: {} cold compiles", p.compiles);
@@ -373,6 +388,7 @@ fn main() {
     println!("pipeline bench: per-stage cold compile profile ({passes} passes)\n");
     let mut sections: Vec<String> = Vec::new();
     let mut frontend_allocs_on_benchmarks = 0.0f64;
+    let mut analysis_allocs_on_benchmarks = 0.0f64;
     for (label, corpus) in &corpora {
         let profile = profile_corpus(corpus, passes);
         print_profile(label, &profile, stage_filter.as_deref());
@@ -380,6 +396,8 @@ fn main() {
         if *label == "benchmarks" {
             let t = profile.stages[stage_index(Stage::Frontend)];
             frontend_allocs_on_benchmarks = t.allocs as f64 / profile.compiles as f64;
+            let a = profile.stages[stage_index(Stage::Analysis)];
+            analysis_allocs_on_benchmarks = a.allocs as f64 / profile.compiles as f64;
         }
     }
 
@@ -399,9 +417,17 @@ fn main() {
              on the benchmark corpus exceeds the checked-in guard of {FRONTEND_ALLOCS_GUARD:.0} \
              (see FRONTEND_ALLOCS_GUARD in crates/bench/src/bin/pipeline.rs)"
         );
+        assert!(
+            analysis_allocs_on_benchmarks <= ANALYSIS_ALLOCS_GUARD,
+            "lint allocation regression: {analysis_allocs_on_benchmarks:.1} allocs/compile \
+             on the benchmark corpus exceeds the checked-in guard of {ANALYSIS_ALLOCS_GUARD:.0} \
+             (see ANALYSIS_ALLOCS_GUARD in crates/bench/src/bin/pipeline.rs)"
+        );
         println!(
             "smoke ok: harness emitted well-formed JSON; frontend allocs/compile \
-             {frontend_allocs_on_benchmarks:.1} within guard {FRONTEND_ALLOCS_GUARD:.0}"
+             {frontend_allocs_on_benchmarks:.1} within guard {FRONTEND_ALLOCS_GUARD:.0}; \
+             analysis allocs/compile {analysis_allocs_on_benchmarks:.1} within guard \
+             {ANALYSIS_ALLOCS_GUARD:.0}"
         );
     }
 }

@@ -144,7 +144,12 @@ macro_rules! code_registry {
 /// | `E07xx` | translation validation and analyses           |
 /// | `E08xx` | serving layer: admission, deadlines, drain    |
 /// | `E09xx` | usage: CLI flags, roots, service requests     |
-/// | `W00xx` | warnings                                      |
+/// | `W00xx` | warnings (legacy syntactic checks)            |
+/// | `W01xx` | lint warnings (`velus-analysis`)              |
+///
+/// Within `E01xx`, `E0101`–`E0109` belong to lexing/parsing and
+/// `E0110`–`E0119` to the semantic lint analyses (guaranteed-trap
+/// errors found by `velus-analysis`).
 ///
 /// To add a code: pick the next free id in the owning layer's range,
 /// register it here with a short title, construct diagnostics with it,
@@ -169,6 +174,16 @@ pub mod codes {
         E0104 = ("E0104", "expected token");
         /// A numeric literal that does not scan.
         E0105 = ("E0105", "malformed literal");
+
+        // -- semantic lint errors (velus-analysis) ---------------------
+        /// An integer division or modulo whose divisor is provably
+        /// always zero on an always-active equation: the program traps
+        /// on every execution.
+        E0110 = ("E0110", "guaranteed division by zero");
+        /// An integer division provably `MIN / -1` (signed overflow) on
+        /// an always-active equation: the program traps on every
+        /// execution.
+        E0111 = ("E0111", "guaranteed division overflow");
 
         // -- elaboration: types and structure --------------------------
         /// A variable (or constant) name that is not in scope.
@@ -323,9 +338,36 @@ pub mod codes {
         E0904 = ("E0904", "usage error");
 
         // -- warnings --------------------------------------------------
-        /// A `pre` that may be read before initialization.
+        /// A `pre` that may be read before initialization (the legacy
+        /// syntactic check; superseded by the semantic [`W0101`] and no
+        /// longer emitted by the front end, but kept registered for
+        /// stability of the code space).
         W0001 = ("W0001", "possibly uninitialized pre");
+
+        // -- lint warnings (velus-analysis) ----------------------------
+        /// A `pre` whose default value may reach a node output before
+        /// any real value does (semantic initialization analysis).
+        W0101 = ("W0101", "possibly uninitialized pre");
+        /// An integer division or modulo whose divisor *may* be zero
+        /// (or `MIN / -1`) for some execution the value-range analysis
+        /// cannot exclude.
+        W0102 = ("W0102", "possible division trap");
+        /// An `if`/`merge` condition that is provably always true or
+        /// always false: one branch is dead.
+        W0103 = ("W0103", "constant condition");
+        /// A variable (and its defining equation) that no node output
+        /// transitively reads.
+        W0104 = ("W0104", "unused variable");
+        /// A node that the root node never (transitively) instantiates.
+        W0105 = ("W0105", "unreachable node");
+        /// An equation sampled on a clock that is provably never true:
+        /// it never produces a value.
+        W0106 = ("W0106", "dead under clock");
     }
+
+    /// The codes the `velus-analysis` lint layer can emit, in id order —
+    /// the key space of the service's per-code lint counters.
+    pub const LINT_CODES: &[Code] = &[E0110, E0111, W0101, W0102, W0103, W0104, W0105, W0106];
 
     /// The retry class of a failure-counter key. Registered codes map
     /// through [`Code::retry_class`]; keys that are not registered

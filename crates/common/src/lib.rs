@@ -52,7 +52,7 @@ pub use identmap::{
     ident_map_with_capacity, ident_set_with_capacity, BuildIdentHasher, DenseBitSet, IdentHasher,
     IdentMap, IdentScratch, IdentSet,
 };
-pub use span::{Loc, NodeSpans, Span, SpanMap, Spanned};
+pub use span::{Loc, NodeSpans, PreMarks, Span, SpanMap, Spanned};
 
 /// Runs `f` on a thread with a `stack_mb`-MiB stack and returns its
 /// result.

@@ -204,9 +204,71 @@ impl SpanMap {
     }
 }
 
+/// The normalizer's record of which memory (`fby`) variables were
+/// introduced by desugaring a surface `pre` — as opposed to an explicit
+/// `c fby e`, whose initial value the programmer chose.
+///
+/// The semantic initialization analysis (`velus-analysis`) treats only
+/// these memories as suspect at the first instant: an explicit `fby`
+/// initializer is a real value, while a `pre`'s synthesized default may
+/// leak to an output before any real value does. Each mark keeps the
+/// span of the originating `pre` token so the warning points at the
+/// source construct, not at a compiler-generated equation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PreMarks {
+    nodes: crate::IdentMap<crate::IdentMap<Span>>,
+}
+
+impl PreMarks {
+    /// An empty table (no `pre` anywhere).
+    pub fn new() -> PreMarks {
+        PreMarks::default()
+    }
+
+    /// Whether no marks were recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.values().all(|vars| vars.is_empty())
+    }
+
+    /// Records that memory variable `var` of `node` came from a `pre`
+    /// whose token occupied `span`.
+    pub fn record(&mut self, node: crate::Ident, var: crate::Ident, span: Span) {
+        self.nodes.entry(node).or_default().insert(var, span);
+    }
+
+    /// The marks of `node`: memory variable → span of the originating
+    /// `pre`. Empty for nodes with no marks.
+    pub fn of_node(&self, node: crate::Ident) -> impl Iterator<Item = (crate::Ident, Span)> + '_ {
+        self.nodes
+            .get(&node)
+            .into_iter()
+            .flat_map(|vars| vars.iter().map(|(v, s)| (*v, *s)))
+    }
+
+    /// The span of the `pre` that introduced `var` in `node`, if any.
+    pub fn get(&self, node: crate::Ident, var: crate::Ident) -> Option<Span> {
+        self.nodes
+            .get(&node)
+            .and_then(|vars| vars.get(&var))
+            .copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pre_marks_record_and_lookup() {
+        let mut m = PreMarks::new();
+        assert!(m.is_empty());
+        let (f, v) = (crate::Ident::new("f"), crate::Ident::new("n#fby"));
+        m.record(f, v, Span::new(3, 6));
+        assert!(!m.is_empty());
+        assert_eq!(m.get(f, v), Some(Span::new(3, 6)));
+        assert_eq!(m.get(v, f), None);
+        assert_eq!(m.of_node(f).collect::<Vec<_>>(), vec![(v, Span::new(3, 6))]);
+    }
 
     #[test]
     fn span_map_survives_reordering_lookups() {

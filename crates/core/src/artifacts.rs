@@ -143,6 +143,45 @@ impl ReportArtifact {
     }
 }
 
+/// The static-analysis lint report: every finding of the
+/// `velus-analysis` pass over the scheduled program, with both
+/// renderings prebuilt (the source is gone by serving time, and caret
+/// rendering needs it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintArtifact {
+    /// The root node the program was analyzed for.
+    pub root: String,
+    /// The findings, flattened (code, severity, stage, position).
+    pub findings: Vec<DiagRecord>,
+    /// The caret rendering against the request source (what `velus
+    /// lint` prints for humans). Empty when there are no findings.
+    human: String,
+    /// The machine-readable JSON rendering.
+    json: String,
+}
+
+impl LintArtifact {
+    /// Whether any finding is an error-severity one (a guaranteed
+    /// trap): `velus lint` exits nonzero exactly on these.
+    pub fn has_errors(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| f.severity == velus_common::Severity::Error)
+    }
+
+    /// The caret rendering (empty when the program is lint-clean).
+    pub fn render_human(&self) -> &str {
+        &self.human
+    }
+
+    /// Renders the findings as one JSON object,
+    /// `{"lint":{"root":…,"findings":[…]}}` — deterministic, so warm
+    /// cache passes compare byte-identical.
+    pub fn render(&self) -> String {
+        self.json.clone()
+    }
+}
+
 /// A retained intermediate representation (the typed AST, not its
 /// rendering — rendering is cheap and deterministic, retention is what
 /// the cache must weigh).
@@ -285,6 +324,8 @@ pub enum ServiceArtifact {
     IrDump(IrSnapshot),
     /// A validation/diagnostics report.
     Report(ReportArtifact),
+    /// The static-analysis lint report.
+    Lint(LintArtifact),
 }
 
 impl ServiceArtifact {
@@ -296,6 +337,7 @@ impl ServiceArtifact {
             ServiceArtifact::BaselineDiff(_) => ArtifactKind::BaselineDiff,
             ServiceArtifact::IrDump(ir) => ArtifactKind::IrDump { stage: ir.stage() },
             ServiceArtifact::Report(_) => ArtifactKind::Report,
+            ServiceArtifact::Lint(_) => ArtifactKind::Lint,
         }
     }
 
@@ -318,6 +360,7 @@ impl ServiceArtifact {
             ServiceArtifact::BaselineDiff(d) => d.render(),
             ServiceArtifact::IrDump(ir) => ir.render(),
             ServiceArtifact::Report(r) => r.render(),
+            ServiceArtifact::Lint(l) => l.render(),
         }
     }
 
@@ -340,6 +383,16 @@ impl ServiceArtifact {
                     + r.warnings
                         .iter()
                         .map(|w| std::mem::size_of::<DiagRecord>() + w.message.len())
+                        .sum::<usize>()
+            }
+            ServiceArtifact::Lint(l) => {
+                std::mem::size_of::<LintArtifact>()
+                    + l.root.len()
+                    + l.human.len()
+                    + l.json.len()
+                    + l.findings
+                        .iter()
+                        .map(|f| std::mem::size_of::<DiagRecord>() + f.message.len())
                         .sum::<usize>()
             }
         }
@@ -458,10 +511,43 @@ pub fn produce(
                 IrStageKind::ObcFused => IrSnapshot::ObcFused(staged.obc_fused()?.clone()),
             }),
             ArtifactKind::Report => ServiceArtifact::Report(report(staged, source)?),
+            ArtifactKind::Lint => ServiceArtifact::Lint(lint(staged, source)?),
         };
         artifacts.push((*kind, artifact));
     }
     Ok(artifacts)
+}
+
+/// Builds the lint artifact: forces the analysis pass (scheduling
+/// included) and prerenders both the caret and JSON forms against the
+/// request source, so the cached artifact serves either without the
+/// source.
+fn lint(staged: &mut StagedPipeline<'_>, source: &str) -> Result<LintArtifact, VelusError> {
+    let findings = staged.lint()?;
+    let human = if findings.is_empty() {
+        String::new()
+    } else {
+        findings.render_human(source)
+    };
+    let records: Vec<DiagRecord> = findings.iter().map(|f| DiagRecord::of(f, source)).collect();
+    let root = staged.root().to_string();
+    let mut json = format!(
+        "{{\"lint\":{{\"root\":\"{}\",\"findings\":[",
+        json_escape(&root)
+    );
+    for (i, f) in records.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        f.render_json_into(&mut json);
+    }
+    json.push_str("]}}");
+    Ok(LintArtifact {
+        root,
+        findings: records,
+        human,
+        json,
+    })
 }
 
 /// Builds the validation report: forces the pipeline through Clight
@@ -595,7 +681,7 @@ mod tests {
             produce(&mut staged, &[ArtifactKind::Report], TestIo::Volatile, src).unwrap();
         drop(staged);
         let rendered = artifacts[0].1.render();
-        assert!(rendered.contains("\"code\":\"W0001\""), "{rendered}");
+        assert!(rendered.contains("\"code\":\"W0101\""), "{rendered}");
         assert!(rendered.contains("\"line\":1"), "{rendered}");
     }
 

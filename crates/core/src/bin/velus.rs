@@ -7,6 +7,7 @@
 //! velus run     FILE [--node NAME] --steps N              interpret (dataflow semantics)
 //! velus validate FILE [--node NAME] --steps N             full translation validation
 //! velus wcet    FILE [--node NAME] [--model cc|gcc|gcci]  WCET estimate of step
+//! velus lint    FILE [--node NAME]                        static-analysis lint findings
 //! velus dump    FILE [--node NAME] [--ir nlustre|snlustre|obc|obc-fused]
 //! velus batch   DIR [--workers N] [--passes N] [--stdio]
 //!               [--cache-cap N] [--sched fifo|cost]
@@ -18,10 +19,17 @@
 //!
 //! `--emit KINDS` is a comma-separated artifact set: `c`,
 //! `wcet[:cc|gcc|gcci]`, `baseline`, `nlustre`, `snlustre`, `obc`,
-//! `obc-fused`, `report`. A plain `wcet` uses `--model`. Only the
-//! pipeline stages the set needs are run: `--emit wcet` never prints C,
-//! `--emit nlustre` stops after the front-end checks; `--emit report`
-//! serves the per-program validation/diagnostics report as JSON.
+//! `obc-fused`, `report`, `lint`. A plain `wcet` uses `--model`. Only
+//! the pipeline stages the set needs are run: `--emit wcet` never
+//! prints C, `--emit nlustre` stops after the front-end checks;
+//! `--emit report` serves the per-program validation/diagnostics report
+//! as JSON, `--emit lint` the static-analysis findings (initialization,
+//! value ranges, liveness, dead clocks) as JSON.
+//!
+//! `lint` runs only the front end, scheduling, and the `velus-analysis`
+//! pass, prints every finding (caret rendering, or one JSON object
+//! with `--error-format json`), and exits nonzero exactly when an
+//! error-severity finding — a guaranteed runtime trap — is present.
 //!
 //! `--error-format human|json` (every command) selects how failures are
 //! rendered: `human` draws carets against the source on stderr, `json`
@@ -231,13 +239,13 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: velus <compile|check|run|validate|wcet|dump> FILE [options]
+    "usage: velus <compile|check|run|validate|wcet|lint|dump> FILE [options]
        velus batch DIR [--workers N] [--passes N] [--stdio] [--cache-cap N] [--sched fifo|cost] [--emit KINDS]
                        [--trace-out FILE] [--metrics-out FILE] [--slow-trace-ms N]
                        [--deadline-ms N] [--queue-cap N] [--retries N] [--drain-ms N]
 options: --node NAME, -o OUT.c, --steps N, --stdio, --model cc|gcc|gcci,
          --ir nlustre|snlustre|obc|obc-fused, --error-format human|json,
-         --emit c,wcet[:cc|gcc|gcci],baseline,nlustre,snlustre,obc,obc-fused,report,
+         --emit c,wcet[:cc|gcc|gcci],baseline,nlustre,snlustre,obc,obc-fused,report,lint,
          --trace-out FILE (Chrome trace JSON), --metrics-out FILE (Prometheus text),
          --slow-trace-ms N (flight-record requests slower than N ms),
          --deadline-ms N (per-request deadline, E0802 on expiry),
@@ -740,6 +748,35 @@ fn dispatch(args: &Args) -> Result<(), String> {
                 report.staterep_checks,
                 report.trace_events
             );
+            Ok(())
+        }
+        "lint" => {
+            // Front end + scheduling + the analysis pass; the back half
+            // of the pipeline never runs.
+            let mut observe = |_, _| {};
+            let mut staged = velus::StagedPipeline::from_source(&source, node, &mut observe)
+                .map_err(render_err)?;
+            let findings = staged.lint().map_err(render_err)?.clone();
+            drop(staged);
+            match error_format {
+                ErrorFormat::Json => println!("{}", findings.render_json(&source)),
+                ErrorFormat::Human if findings.is_empty() => println!("ok: no lint findings"),
+                ErrorFormat::Human => print!("{}", findings.render_human(&source)),
+            }
+            let errors = findings
+                .iter()
+                .filter(|f| f.severity == velus_common::Severity::Error)
+                .count();
+            if errors > 0 {
+                // Findings are already on stdout; in human mode add a
+                // one-line verdict, in JSON mode exit nonzero quietly.
+                return Err(match error_format {
+                    ErrorFormat::Human => {
+                        format!("{errors} error-severity lint finding(s) (guaranteed traps)")
+                    }
+                    ErrorFormat::Json => String::new(),
+                });
+            }
             Ok(())
         }
         "wcet" => {

@@ -27,7 +27,7 @@
 use std::time::Instant;
 
 use velus_clight::printer::TestIo;
-use velus_common::{codes, DiagStage, Diagnostic, Diagnostics, Ident, Span, SpanMap};
+use velus_common::{codes, DiagStage, Diagnostic, Diagnostics, Ident, PreMarks, Span, SpanMap};
 use velus_nlustre::ast::Program;
 use velus_nlustre::{clockcheck, typecheck};
 use velus_obc::ast::ObcProgram;
@@ -91,6 +91,7 @@ pub fn diag_stage(stage: Stage) -> DiagStage {
         Stage::Fuse => DiagStage::Fuse,
         Stage::Generate => DiagStage::Generate,
         Stage::Emit => DiagStage::Emit,
+        Stage::Analysis => DiagStage::Analysis,
     }
 }
 
@@ -245,6 +246,9 @@ pub struct Elaborated {
     pub warnings: Diagnostics,
     /// Node/equation source spans recorded by the elaborator.
     pub spans: SpanMap,
+    /// The memory variables normalization introduced for surface `pre`s
+    /// (the initialization analysis's input).
+    pub pre_marks: PreMarks,
 }
 
 /// Picks the default root node: a node never instantiated by another
@@ -293,7 +297,8 @@ impl<'a> Pass<'a> for ElaboratePass {
             Ok(mut scratch) => velus_lustre::frontend_with::<ClightOps>(input.source, &mut scratch),
             Err(_) => velus_lustre::frontend::<ClightOps>(input.source),
         })?;
-        let (nlustre, warnings, spans) = (front.program, front.warnings, front.spans);
+        let (nlustre, warnings, spans, pre_marks) =
+            (front.program, front.warnings, front.spans, front.pre_marks);
         let root = match input.root {
             Some(r) => {
                 let root = Ident::new(r);
@@ -314,6 +319,7 @@ impl<'a> Pass<'a> for ElaboratePass {
             root,
             warnings,
             spans,
+            pre_marks,
         })
     }
 }
@@ -485,6 +491,43 @@ impl<'a> Pass<'a> for EmitPass {
     }
 }
 
+/// Input of the lint pass: the scheduled program plus everything the
+/// analyses resolve findings through.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInput<'a> {
+    /// The scheduled program to analyze.
+    pub program: &'a Program<ClightOps>,
+    /// The root node (reachability/activity start from it).
+    pub root: Ident,
+    /// Where normalization put each surface `pre`'s memory.
+    pub pre_marks: &'a PreMarks,
+    /// Node/equation spans the findings anchor to.
+    pub spans: &'a SpanMap,
+}
+
+/// The static-analysis lint pass (`velus-analysis`): initialization,
+/// value ranges, liveness, dead clocks. Off the main compilation chain
+/// — it runs only when a lint artifact (or `velus lint`) asks for it,
+/// and its findings never fail the compilation.
+pub struct LintPass;
+
+impl<'a> Pass<'a> for LintPass {
+    type Input = LintInput<'a>;
+    type Output = Diagnostics;
+
+    const STAGE: Stage = Stage::Analysis;
+    const NAME: &'static str = "lint";
+
+    fn run(&self, input: LintInput<'a>) -> Result<Diagnostics, VelusError> {
+        Ok(velus_analysis::lint_program(
+            input.program,
+            input.root,
+            input.pre_marks,
+            input.spans,
+        ))
+    }
+}
+
 /// The pipeline composed on demand: each stage runs (and re-validates)
 /// the first time it is requested and is memoized afterwards.
 ///
@@ -498,10 +541,12 @@ pub struct StagedPipeline<'o> {
     root: Ident,
     warnings: Diagnostics,
     spans: SpanMap,
+    pre_marks: PreMarks,
     snlustre: Option<Program<ClightOps>>,
     obc: Option<ObcProgram<ClightOps>>,
     obc_fused: Option<ObcProgram<ClightOps>>,
     clight: Option<velus_clight::ast::Program>,
+    lint: Option<Diagnostics>,
 }
 
 impl<'o> StagedPipeline<'o> {
@@ -568,6 +613,7 @@ impl<'o> StagedPipeline<'o> {
                 root,
                 warnings,
                 spans: SpanMap::new(),
+                pre_marks: PreMarks::new(),
             },
             PassManager::new(observe),
         )
@@ -584,10 +630,12 @@ impl<'o> StagedPipeline<'o> {
             root: elaborated.root,
             warnings: elaborated.warnings,
             spans: elaborated.spans,
+            pre_marks: elaborated.pre_marks,
             snlustre: None,
             obc: None,
             obc_fused: None,
             clight: None,
+            lint: None,
         })
     }
 
@@ -682,6 +730,39 @@ impl<'o> StagedPipeline<'o> {
             self.clight = Some(clight);
         }
         Ok(self.clight.as_ref().expect("just generated"))
+    }
+
+    /// The full static-analysis lint findings, analyzing on first
+    /// demand (forcing scheduling first — the analyses run over the
+    /// scheduled program). Findings never fail the compilation: a
+    /// guaranteed trap is an `E`-severity *finding*, surfaced through
+    /// the lint artifact and `velus lint`, not a compile error.
+    ///
+    /// # Errors
+    ///
+    /// Scheduling failures (the lint pass itself is total).
+    pub fn lint(&mut self) -> Result<&Diagnostics, VelusError> {
+        if self.lint.is_none() {
+            self.snlustre()?;
+            let findings = self.pm.run(
+                &LintPass,
+                LintInput {
+                    program: self.snlustre.as_ref().expect("scheduled"),
+                    root: self.root,
+                    pre_marks: &self.pre_marks,
+                    spans: &self.spans,
+                },
+                &self.spans,
+            )?;
+            self.lint = Some(findings);
+        }
+        Ok(self.lint.as_ref().expect("just linted"))
+    }
+
+    /// The lint findings, if [`StagedPipeline::lint`] already ran
+    /// (`None` otherwise — this never forces the analysis).
+    pub fn lint_cached(&self) -> Option<&Diagnostics> {
+        self.lint.as_ref()
     }
 
     /// Prints the C translation unit (forcing generation first). The

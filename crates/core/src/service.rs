@@ -151,10 +151,14 @@ fn compile_impl(
     let mut staged =
         StagedPipeline::from_source_with(&req.source, req.root.as_deref(), &mut sink, cancel)?;
     let artifacts = produce(&mut staged, kinds, io, &req.source)?;
-    // Front-end warnings ride the output instead of being dropped:
-    // the service counts them and the batch CLI prints them.
+    // Warnings ride the output instead of being dropped: the service
+    // counts them (per lint code) and the batch CLI prints them. When
+    // the lint pass ran for this request its findings are a superset of
+    // the front-end warnings (the initialization analysis is one of the
+    // lint analyses), so they replace rather than duplicate them.
     let warnings: Vec<DiagRecord> = staged
-        .warnings()
+        .lint_cached()
+        .unwrap_or_else(|| staged.warnings())
         .iter()
         .map(|w| DiagRecord::of(w, &req.source))
         .collect();
@@ -225,7 +229,9 @@ pub fn service(config: ServiceConfig) -> VelusService {
 }
 
 // Re-exported so `velus::service::{ServiceConfig, …}` is self-contained.
-pub use crate::artifacts::{BaselineDiffArtifact, BaselineRow, IrSnapshot, WcetArtifact};
+pub use crate::artifacts::{
+    BaselineDiffArtifact, BaselineRow, IrSnapshot, LintArtifact, WcetArtifact,
+};
 pub use velus_server::{
     ArtifactReport, BatchReport, CompileOptions, CompileRequest as Request, RequestReport,
     ServiceConfig, ServiceError, StageLatency, StatsSnapshot,
@@ -252,9 +258,37 @@ mod tests {
             )
             .unwrap();
         let reported: Vec<Stage> = output.samples.iter().map(|s| s.stage).collect();
-        assert_eq!(reported, Stage::ALL.to_vec());
+        // Every main-chain stage runs for C; the off-chain analysis
+        // stage does not (no lint artifact was requested).
+        let main_chain: Vec<Stage> = Stage::ALL
+            .into_iter()
+            .filter(|s| *s != Stage::Analysis)
+            .collect();
+        assert_eq!(reported, main_chain);
         let c_code = output.artifacts[0].1.c_code().unwrap();
         assert!(c_code.contains("counter__step"), "{c_code}");
+    }
+
+    #[test]
+    fn lint_requests_run_the_analysis_stage_and_surface_findings() {
+        // `pre x` reaches the output: the initialization lint fires.
+        let src = "node f(x: int) returns (y: int) let y = pre x; tel";
+        let output = PipelineCompiler
+            .compile(&CompileRequest::new("f", src), &[ArtifactKind::Lint])
+            .unwrap();
+        assert!(
+            output.samples.iter().any(|s| s.stage == Stage::Analysis),
+            "{:?}",
+            output.samples
+        );
+        // Emission never ran: lint stops at the scheduled program.
+        assert!(output.samples.iter().all(|s| s.stage != Stage::Emit));
+        // The artifact renders valid JSON carrying the finding…
+        let rendered = output.artifacts[0].1.render();
+        assert!(rendered.contains("\"code\":\"W0101\""), "{rendered}");
+        // …and the output warnings carry the full lint findings, which
+        // is what the service's per-code counters are fed from.
+        assert!(output.warnings.iter().any(|w| w.code == "W0101"));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! and produces an *annotated* AST ([`TExpr`]) in which every variable and
 //! operator application carries its machine type, literals have been
 //! resolved to constants of the operator interface, `pre` has been
-//! desugared to `fby` of the type's default value (with an initialization
-//! lint), and casts have been resolved.
+//! desugared to `fby` of the type's default value (marked in the arena
+//! for the semantic initialization analysis), and casts have been
+//! resolved.
 //!
 //! Typed expressions live in a [`TArena`] pool addressed by [`TExprId`],
 //! mirroring the surface arena: building is a bump push, dropping is
@@ -103,6 +104,11 @@ pub enum TExpr<O: Ops> {
 pub struct TArena<O: Ops> {
     exprs: Vec<TExpr<O>>,
     args: Vec<TExprId>,
+    /// `Fby` expressions introduced by desugaring a `pre`, with the
+    /// `pre`'s source span (id-ascending). Normalization threads these
+    /// into the [`velus_common::PreMarks`] the initialization analysis
+    /// consumes; the old syntactic W0001 check lived here instead.
+    pre_spans: Vec<(TExprId, Span)>,
 }
 
 impl<O: Ops> Default for TArena<O> {
@@ -117,6 +123,7 @@ impl<O: Ops> TArena<O> {
         TArena {
             exprs: Vec::new(),
             args: Vec::new(),
+            pre_spans: Vec::new(),
         }
     }
 
@@ -124,6 +131,21 @@ impl<O: Ops> TArena<O> {
     pub fn clear(&mut self) {
         self.exprs.clear();
         self.args.clear();
+        self.pre_spans.clear();
+    }
+
+    /// Records that `id` is a `Fby` desugared from a `pre` at `span`.
+    fn mark_pre(&mut self, id: TExprId, span: Span) {
+        debug_assert!(self.pre_spans.last().is_none_or(|(p, _)| p.0 < id.0));
+        self.pre_spans.push((id, span));
+    }
+
+    /// The `pre` span of `id`, when `id` is a `pre`-introduced `Fby`.
+    pub fn pre_span(&self, id: TExprId) -> Option<Span> {
+        self.pre_spans
+            .binary_search_by_key(&id.0, |(p, _)| p.0)
+            .ok()
+            .map(|i| self.pre_spans[i].1)
     }
 
     /// Adds an expression, returning its id.
@@ -275,7 +297,6 @@ struct Elab<'a, O: Ops> {
     ua: &'a UArena,
     ta: &'a mut TArena<O>,
     env: NodeEnv<'a, O>,
-    warnings: &'a mut Diagnostics,
     /// Scratch for call arguments (drained into the arena per call).
     arg_stack: &'a mut Vec<TExprId>,
 }
@@ -409,9 +430,11 @@ impl<'a, O: Ops> Elab<'a, O> {
     /// Builds a typed expression at the expected type, returning its id
     /// in the typed arena.
     ///
-    /// `initialized` tracks whether the expression sits under the
-    /// right-hand side of an `->` (for the `pre` lint).
-    fn build(&mut self, e: ExprId, expected: &O::Ty, initialized: bool) -> EResult<TExprId> {
+    /// A `pre` desugars to an uninitialized `fby` and is marked in the
+    /// arena ([`TArena::pre_span`]); whether its default value can
+    /// actually be observed is decided later by the semantic
+    /// initialization analysis (`velus-analysis`), not here.
+    fn build(&mut self, e: ExprId, expected: &O::Ty) -> EResult<TExprId> {
         match self.ua[e] {
             UExpr::Lit(lit, s) => match O::const_of_literal(&lit, expected) {
                 Some(c) => Ok(self.ta.push(TExpr::Const(c))),
@@ -456,7 +479,7 @@ impl<'a, O: Ops> Elab<'a, O> {
                     SurfaceUnOp::Not => O::bool_type(),
                     SurfaceUnOp::Neg => expected.clone(),
                 };
-                let te = self.build(e1, &operand_ty, initialized)?;
+                let te = self.build(e1, &operand_ty)?;
                 match O::elab_unop(sop, &operand_ty) {
                     Some((op, rty)) if rty == *expected => {
                         Ok(self.ta.push(TExpr::Unop(op, te, rty)))
@@ -485,8 +508,8 @@ impl<'a, O: Ops> Elab<'a, O> {
                     And | Or | Xor => O::bool_type(),
                     _ => expected.clone(),
                 };
-                let tl = self.build(l, &operand_ty, initialized)?;
-                let tr = self.build(r, &operand_ty, initialized)?;
+                let tl = self.build(l, &operand_ty)?;
+                let tr = self.build(r, &operand_ty)?;
                 match O::elab_binop(sop, &operand_ty, &operand_ty) {
                     Some((op, rty)) if rty == *expected => {
                         Ok(self.ta.push(TExpr::Binop(op, tl, tr, rty)))
@@ -505,44 +528,36 @@ impl<'a, O: Ops> Elab<'a, O> {
             }
             UExpr::When(e1, x, k, s) => {
                 self.require_bool_var(x, s)?;
-                let te = self.build(e1, expected, initialized)?;
+                let te = self.build(e1, expected)?;
                 Ok(self.ta.push(TExpr::When(te, x, k)))
             }
             UExpr::Merge(x, t, f, s) => {
                 self.require_bool_var(x, s)?;
-                let tt = self.build(t, expected, initialized)?;
-                let tf = self.build(f, expected, initialized)?;
+                let tt = self.build(t, expected)?;
+                let tf = self.build(f, expected)?;
                 Ok(self.ta.push(TExpr::Merge(x, tt, tf)))
             }
             UExpr::If(c, t, f, _) => {
-                let tc = self.build(c, &O::bool_type(), initialized)?;
-                let tt = self.build(t, expected, initialized)?;
-                let tf = self.build(f, expected, initialized)?;
+                let tc = self.build(c, &O::bool_type())?;
+                let tt = self.build(t, expected)?;
+                let tf = self.build(f, expected)?;
                 Ok(self.ta.push(TExpr::If(tc, tt, tf)))
             }
             UExpr::Fby(c, e1, _) => {
                 let init = self.const_value(c, expected)?;
-                let te = self.build(e1, expected, initialized)?;
+                let te = self.build(e1, expected)?;
                 Ok(self.ta.push(TExpr::Fby(init, te)))
             }
             UExpr::Arrow(l, r, _) => {
-                let tl = self.build(l, expected, initialized)?;
-                let tr = self.build(r, expected, true)?;
+                let tl = self.build(l, expected)?;
+                let tr = self.build(r, expected)?;
                 Ok(self.ta.push(TExpr::Arrow(tl, tr)))
             }
             UExpr::Pre(e1, s) => {
-                if !initialized {
-                    self.warnings.push(
-                        Diagnostic::warning(
-                            codes::W0001,
-                            "`pre` may be read before initialization; consider `e -> pre …`",
-                            s,
-                        )
-                        .at_stage(DiagStage::Elaborate),
-                    );
-                }
-                let te = self.build(e1, expected, initialized)?;
-                Ok(self.ta.push(TExpr::Fby(O::default_const(expected), te)))
+                let te = self.build(e1, expected)?;
+                let id = self.ta.push(TExpr::Fby(O::default_const(expected), te));
+                self.ta.mark_pre(id, s);
+                Ok(id)
             }
             UExpr::Call(f, args, s) => {
                 // Type cast?
@@ -565,7 +580,7 @@ impl<'a, O: Ops> Elab<'a, O> {
                     let arg = args[0];
                     let from_p = self.infer(arg)?;
                     let from = self.resolve(from_p, s)?;
-                    let te = self.build(arg, &from, initialized)?;
+                    let te = self.build(arg, &from)?;
                     return match O::elab_cast(&from, &to) {
                         Some(op) => Ok(self.ta.push(TExpr::Unop(op, te, to))),
                         None => err(codes::E0208, format!("no cast from {from} to {to}"), s),
@@ -595,7 +610,7 @@ impl<'a, O: Ops> Elab<'a, O> {
                         s,
                     );
                 }
-                let targs = self.build_args(f, ins, args, s, initialized)?;
+                let targs = self.build_args(f, ins, args, s)?;
                 let out_ty = outs[0].1.clone();
                 Ok(self.ta.push(TExpr::Call(f, targs, out_ty)))
             }
@@ -608,7 +623,6 @@ impl<'a, O: Ops> Elab<'a, O> {
         ins: &[O::Ty],
         args: crate::ast::ExprRange,
         span: Span,
-        initialized: bool,
     ) -> EResult<TRange> {
         let ua: &'a UArena = self.ua;
         let args = ua.args(args);
@@ -625,7 +639,7 @@ impl<'a, O: Ops> Elab<'a, O> {
         }
         let base = self.arg_stack.len();
         for (&a, t) in args.iter().zip(ins) {
-            match self.build(a, t, initialized) {
+            match self.build(a, t) {
                 Ok(id) => self.arg_stack.push(id),
                 Err(e) => {
                     self.arg_stack.truncate(base);
@@ -958,7 +972,6 @@ fn elab_node<O: Ops>(
     ta: &mut TArena<O>,
     consts: &IdentMap<O::Const>,
     sigs: &SigMap<O>,
-    warnings: &mut Diagnostics,
     arg_stack: &mut Vec<TExprId>,
 ) -> EResult<TNode<O>> {
     let (vars, [inputs, outputs, locals]) =
@@ -991,7 +1004,6 @@ fn elab_node<O: Ops>(
         ua,
         ta,
         env: NodeEnv { vars, consts, sigs },
-        warnings,
         arg_stack,
     };
 
@@ -1067,7 +1079,7 @@ fn elab_node<O: Ops>(
                             );
                         }
                     }
-                    let targs = elab.build_args(f, ins, args, s, false)?;
+                    let targs = elab.build_args(f, ins, args, s)?;
                     let out_ty = outs[0].1.clone();
                     elab.ta.push(TExpr::Call(f, targs, out_ty))
                 }
@@ -1082,7 +1094,7 @@ fn elab_node<O: Ops>(
         } else {
             let x = ueq.lhs[0];
             let tx = elab.env.vars[&x].0.clone();
-            elab.build(ueq.rhs, &tx, false)?
+            elab.build(ueq.rhs, &tx)?
         };
         elab.check_clock(rhs, &ck, ueq.span)?;
         eqs.push(TEquation {
@@ -1125,7 +1137,10 @@ fn elab_node<O: Ops>(
 /// returned program's ids index it. Callers that compile repeatedly
 /// pass the same arena back in to reuse its pools.
 ///
-/// Returns the typed program and accumulated warnings.
+/// Returns the typed program and accumulated warnings (elaboration
+/// itself currently emits none: the old syntactic `pre` lint moved to
+/// the semantic initialization analysis in `velus-analysis`, fed by
+/// [`TArena::pre_span`]).
 ///
 /// # Errors
 ///
@@ -1137,7 +1152,6 @@ pub fn elaborate<O: Ops>(
 ) -> Result<(TProgram<O>, Diagnostics), Diagnostics> {
     ta.clear();
     ta.exprs.reserve(ua.num_exprs());
-    let mut warnings = Diagnostics::new();
     let mut arg_stack: Vec<TExprId> = Vec::new();
 
     // Global constants.
@@ -1158,7 +1172,6 @@ pub fn elaborate<O: Ops>(
                     consts: &consts,
                     sigs: &empty_sigs,
                 },
-                warnings: &mut warnings,
                 arg_stack: &mut arg_stack,
             };
             scratch.const_value(c.value, &ty)?
@@ -1176,15 +1189,7 @@ pub fn elaborate<O: Ops>(
     let mut sigs: SigMap<O> = ident_map_with_capacity(prog.nodes.len());
     let mut nodes = Vec::with_capacity(prog.nodes.len());
     for i in order {
-        let tnode = elab_node::<O>(
-            &prog.nodes[i],
-            ua,
-            ta,
-            &consts,
-            &sigs,
-            &mut warnings,
-            &mut arg_stack,
-        )?;
+        let tnode = elab_node::<O>(&prog.nodes[i], ua, ta, &consts, &sigs, &mut arg_stack)?;
         sigs.insert(
             tnode.name,
             (
@@ -1198,5 +1203,5 @@ pub fn elaborate<O: Ops>(
         );
         nodes.push(tnode);
     }
-    Ok((TProgram { nodes }, warnings))
+    Ok((TProgram { nodes }, Diagnostics::new()))
 }

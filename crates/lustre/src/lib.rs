@@ -46,7 +46,7 @@ pub mod lexer;
 pub mod normalize;
 pub mod parser;
 
-use velus_common::{codes, DiagStage, Diagnostics, SpanMap};
+use velus_common::{codes, DiagStage, Diagnostics, PreMarks, SpanMap};
 use velus_nlustre::ast::Program;
 use velus_ops::Ops;
 
@@ -57,12 +57,16 @@ use velus_ops::Ops;
 pub struct Frontend<O: Ops> {
     /// The elaborated, normalized N-Lustre program.
     pub program: Program<O>,
-    /// Non-fatal warnings (e.g. the initialization lint for `pre`),
-    /// coded and stage-tagged.
+    /// Non-fatal warnings (e.g. the semantic initialization lint for
+    /// `pre`, `W0101`), coded and stage-tagged.
     pub warnings: Diagnostics,
     /// Source spans of every node and (defined-variable-keyed)
     /// equation, surviving scheduling's reordering.
     pub spans: SpanMap,
+    /// The memory variables normalization introduced for a surface
+    /// `pre`, with the `pre`'s span — the input of the initialization
+    /// analysis, kept for the full lint pass downstream.
+    pub pre_marks: PreMarks,
 }
 
 /// Reusable front-end working memory: the token buffer and the surface
@@ -139,21 +143,26 @@ pub fn frontend_with<O: Ops>(
 ) -> Result<Frontend<O>, Diagnostics> {
     lexer::lex_into(source, &mut scratch.tokens)?;
     let uprog = parser::parse(&scratch.tokens, source, &mut scratch.ua)?;
-    let (typed, warnings) = elab::elaborate::<O>(&uprog, &scratch.ua, &mut scratch.ta)?;
-    let (program, spans) = normalize::normalize::<O>(typed, &scratch.ta).map_err(|e| {
-        Diagnostics::from(
-            velus_common::Diagnostic::error(
-                codes::E0310,
-                format!("normalization: {e}"),
-                velus_common::Span::DUMMY,
+    let (typed, mut warnings) = elab::elaborate::<O>(&uprog, &scratch.ua, &mut scratch.ta)?;
+    let (program, spans, pre_marks) =
+        normalize::normalize::<O>(typed, &scratch.ta).map_err(|e| {
+            Diagnostics::from(
+                velus_common::Diagnostic::error(
+                    codes::E0310,
+                    format!("normalization: {e}"),
+                    velus_common::Span::DUMMY,
+                )
+                .at_stage(DiagStage::Normalize),
             )
-            .at_stage(DiagStage::Normalize),
-        )
-    })?;
+        })?;
+    // The semantic replacement for the old syntactic `pre` lint: warn
+    // only when a `pre`'s default value can actually reach an output.
+    velus_analysis::init::check_initialization(&program, &pre_marks, &mut warnings);
     Ok(Frontend {
         program,
         warnings,
         spans,
+        pre_marks,
     })
 }
 

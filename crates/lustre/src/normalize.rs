@@ -25,7 +25,7 @@
 //! slice counts how many equations and locals extraction will create, so
 //! every output vector is sized once up front.
 
-use velus_common::{FreshGen, Ident, Span, SpanMap};
+use velus_common::{FreshGen, Ident, PreMarks, Span, SpanMap};
 use velus_nlustre::ast::{CExpr, Equation, Expr, Node, Program, VarDecl};
 use velus_nlustre::clock::Clock;
 use velus_nlustre::SemError;
@@ -47,6 +47,9 @@ struct Norm<'a, O: Ops> {
     current_span: Span,
     /// Defined variable -> source span, for the node's `SpanMap` entry.
     eq_spans: Vec<(Ident, Span)>,
+    /// Memory variable -> `pre` span, for the node's [`PreMarks`] entry
+    /// (the initialization analysis only inspects these memories).
+    pre_marks: Vec<(Ident, Span)>,
 }
 
 impl<'a, O: Ops> Norm<'a, O> {
@@ -151,6 +154,9 @@ impl<'a, O: Ops> Norm<'a, O> {
                 let ty = ta.ty_of(e1);
                 let x = self.fresh_var("fby", ty.clone(), ck.clone());
                 self.eq_spans.push((x, self.current_span));
+                if let Some(ps) = ta.pre_span(e) {
+                    self.pre_marks.push((x, ps));
+                }
                 self.new_eqs.push(Equation::Fby {
                     x,
                     ck: ck.clone(),
@@ -220,6 +226,7 @@ fn normalize_node<O: Ops>(
     tnode: TNode<O>,
     ta: &TArena<O>,
     spans: &mut SpanMap,
+    marks: &mut PreMarks,
 ) -> Result<Node<O>, SemError> {
     let extractions = count_extractions(ta, &tnode);
     let mut norm = Norm::<O> {
@@ -230,6 +237,7 @@ fn normalize_node<O: Ops>(
         init_flags: Vec::new(),
         current_span: Span::DUMMY,
         eq_spans: Vec::with_capacity(tnode.eqs.len() + extractions + 1),
+        pre_marks: Vec::new(),
     };
     let output_names: Vec<Ident> = tnode.outputs.iter().map(|d| d.name).collect();
     let mut eqs = Vec::with_capacity(tnode.eqs.len() + 1);
@@ -264,12 +272,18 @@ fn normalize_node<O: Ops>(
             // Keep top-level fbys as fby equations; copy through a fresh
             // local when the target is an output.
             TExpr::Fby(init, e1) => {
+                let pre = ta.pre_span(*rhs);
                 let (init, e1) = (init.clone(), *e1);
                 let rhs = norm.norm_expr(e1, ck)?;
                 let ty = ta.ty_of(e1);
                 if output_names.contains(&x) {
                     let m = norm.fresh_var("mem", ty.clone(), ck.clone());
                     norm.eq_spans.push((m, *span));
+                    // The mark follows the memory: the copy `x = m` is
+                    // what the initialization analysis sees reading it.
+                    if let Some(ps) = pre {
+                        norm.pre_marks.push((m, ps));
+                    }
                     eqs.push(Equation::Fby {
                         x: m,
                         ck: ck.clone(),
@@ -282,6 +296,9 @@ fn normalize_node<O: Ops>(
                         rhs: CExpr::Expr(Expr::Var(m, ty)),
                     });
                 } else {
+                    if let Some(ps) = pre {
+                        norm.pre_marks.push((x, ps));
+                    }
                     eqs.push(Equation::Fby {
                         x,
                         ck: ck.clone(),
@@ -321,6 +338,9 @@ fn normalize_node<O: Ops>(
             eqs: eq_spans,
         },
     );
+    for (v, ps) in norm.pre_marks {
+        marks.record(tnode.name, v, ps);
+    }
     eqs.extend(norm.new_eqs);
     let mut locals = tnode.locals;
     locals.extend(norm.new_locals);
@@ -343,7 +363,10 @@ fn normalize_node<O: Ops>(
 /// Also returns the [`SpanMap`] recording where every node and equation
 /// came from (fresh equations inherit the span of the source equation
 /// they were extracted from) — the bridge that lets scheduling,
-/// checking and validation failures point at real source positions.
+/// checking and validation failures point at real source positions —
+/// and the [`PreMarks`] naming the memory variables that stand for a
+/// surface `pre` (with the `pre`'s own span), the input of the semantic
+/// initialization analysis.
 ///
 /// # Errors
 ///
@@ -352,14 +375,15 @@ fn normalize_node<O: Ops>(
 pub fn normalize<O: Ops>(
     prog: TProgram<O>,
     ta: &TArena<O>,
-) -> Result<(Program<O>, SpanMap), SemError> {
+) -> Result<(Program<O>, SpanMap, PreMarks), SemError> {
     let mut spans = SpanMap::new();
+    let mut marks = PreMarks::new();
     let nodes = prog
         .nodes
         .into_iter()
-        .map(|n| normalize_node(n, ta, &mut spans))
+        .map(|n| normalize_node(n, ta, &mut spans, &mut marks))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok((Program::new(nodes), spans))
+    Ok((Program::new(nodes), spans, marks))
 }
 
 #[cfg(test)]

@@ -205,12 +205,17 @@ pub enum ArtifactKind {
     /// which stages ran and re-validated, program shape, and the
     /// front-end warnings with their codes.
     Report,
+    /// The static-analysis lint report (machine-readable): every
+    /// `W01xx`/`E01xx` finding of the `velus-analysis` lint pass, with
+    /// codes, severities and source positions.
+    Lint,
 }
 
 impl ArtifactKind {
     /// The statistics groups, in display order. Kinds with payloads
     /// (model, stage) share one group each.
-    pub const GROUPS: [&'static str; 5] = ["c", "wcet", "baseline-diff", "ir-dump", "report"];
+    pub const GROUPS: [&'static str; 6] =
+        ["c", "wcet", "baseline-diff", "ir-dump", "report", "lint"];
 
     /// Index of this kind's statistics group in [`ArtifactKind::GROUPS`].
     pub fn group_index(&self) -> usize {
@@ -220,6 +225,7 @@ impl ArtifactKind {
             ArtifactKind::BaselineDiff => 2,
             ArtifactKind::IrDump { .. } => 3,
             ArtifactKind::Report => 4,
+            ArtifactKind::Lint => 5,
         }
     }
 
@@ -232,6 +238,7 @@ impl ArtifactKind {
             ArtifactKind::BaselineDiff => [2, 0],
             ArtifactKind::IrDump { stage } => [3, *stage as u8 + 1],
             ArtifactKind::Report => [4, 0],
+            ArtifactKind::Lint => [5, 0],
         }
     }
 }
@@ -244,6 +251,7 @@ impl std::fmt::Display for ArtifactKind {
             ArtifactKind::BaselineDiff => f.write_str("baseline-diff"),
             ArtifactKind::IrDump { stage } => f.write_str(stage.name()),
             ArtifactKind::Report => f.write_str("report"),
+            ArtifactKind::Lint => f.write_str("lint"),
         }
     }
 }
@@ -252,7 +260,7 @@ impl std::str::FromStr for ArtifactKind {
     type Err = String;
 
     /// Parses one `--emit` token: `c`, `wcet`, `wcet:cc|gcc|gcci`,
-    /// `baseline` / `baseline-diff`, `report`, or an IR name
+    /// `baseline` / `baseline-diff`, `report`, `lint`, or an IR name
     /// (`nlustre|snlustre|obc|obc-fused`). Unknown tokens yield a coded
     /// usage diagnostic with a did-you-mean suggestion.
     fn from_str(s: &str) -> Result<ArtifactKind, String> {
@@ -299,6 +307,7 @@ impl std::str::FromStr for ArtifactKind {
                     },
                 ),
                 ("report", ArtifactKind::Report),
+                ("lint", ArtifactKind::Lint),
             ],
         )
     }
@@ -453,11 +462,14 @@ pub enum Stage {
     Generate,
     /// Printing the C translation unit.
     Emit,
+    /// The static-analysis lint pass (off the main chain: runs only
+    /// when a lint artifact is requested).
+    Analysis,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Frontend,
         Stage::Check,
         Stage::Schedule,
@@ -465,6 +477,7 @@ impl Stage {
         Stage::Fuse,
         Stage::Generate,
         Stage::Emit,
+        Stage::Analysis,
     ];
 
     /// A short stable name for tables and logs.
@@ -477,6 +490,7 @@ impl Stage {
             Stage::Fuse => "fuse",
             Stage::Generate => "generate",
             Stage::Emit => "emit",
+            Stage::Analysis => "analysis",
         }
     }
 
@@ -623,6 +637,7 @@ mod kind_tests {
             "obc",
             "obc-fused",
             "report",
+            "lint",
         ] {
             let kind: ArtifactKind = token.parse().unwrap();
             assert_eq!(kind.to_string(), token);
@@ -690,6 +705,7 @@ mod kind_tests {
                 stage: IrStageKind::ObcFused,
             },
             ArtifactKind::Report,
+            ArtifactKind::Lint,
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {

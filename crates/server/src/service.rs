@@ -902,6 +902,9 @@ fn attempt<C: Compiler>(
         compile_guarded(inner, req, &missing_kinds, token).map(|output| {
             let _store = trace::span("cache-fill");
             inner.stats.record_warnings(output.warnings.len() as u64);
+            inner
+                .stats
+                .record_lint_codes(output.warnings.iter().map(|w| w.code));
             warnings = output.warnings;
             for (kind, artifact) in output.artifacts {
                 // Only requested-and-missing kinds are admitted; a
@@ -1058,7 +1061,7 @@ mod tests {
                 )
                 .with_warnings(if src == "warny" {
                     vec![crate::DiagRecord {
-                        code: "W0001",
+                        code: "W0102",
                         severity: velus_common::Severity::Warning,
                         stage: "elaborate",
                         message: "toy warning".to_owned(),
@@ -1358,7 +1361,7 @@ mod tests {
         // them in the statistics.
         let cold = svc.compile_one(CompileRequest::new("w", "warny"));
         assert_eq!(cold.warnings.len(), 1);
-        assert_eq!(cold.warnings[0].code, "W0001");
+        assert_eq!(cold.warnings[0].code, "W0102");
         // A warm request skips the pipeline: no (re-)warnings.
         let warm = svc.compile_one(CompileRequest::new("w", "warny"));
         assert!(warm.cache_hit && warm.warnings.is_empty());
@@ -1367,6 +1370,9 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.warnings, 1);
         assert_eq!(stats.failure_codes, vec![("E0000", 1)]);
+        // The warning carried a registered lint code: its per-code row
+        // counts the cold compile once (the warm hit adds nothing).
+        assert_eq!(stats.lint_codes, vec![("W0102", 1)]);
         let rendered = stats.to_string();
         assert!(rendered.contains("warnings 1"), "{rendered}");
         assert!(rendered.contains("failures by code: E0000:1"), "{rendered}");

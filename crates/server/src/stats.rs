@@ -59,6 +59,10 @@ pub(crate) struct StatsCollector {
     drains: AtomicU64,
     drain_ns: AtomicU64,
     kinds: KindCounters,
+    /// Lint findings per code, indexed by the code's position in
+    /// [`codes::LINT_CODES`] (a fixed key space, so plain atomics
+    /// suffice — no lock on the warning path).
+    lint_codes: [AtomicU64; codes::LINT_CODES.len()],
     /// Diagnostic code -> failed requests carrying it (a `BTreeMap` so
     /// snapshots list codes in stable order).
     failure_codes: Mutex<BTreeMap<&'static str, u64>>,
@@ -94,6 +98,16 @@ impl StatsCollector {
     /// Counts non-fatal warnings emitted by one (uncached) compilation.
     pub(crate) fn record_warnings(&self, n: u64) {
         self.warnings.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts findings under their lint codes. Ids outside
+    /// [`codes::LINT_CODES`] only land in the coarse `warnings` total.
+    pub(crate) fn record_lint_codes<'a>(&self, ids: impl IntoIterator<Item = &'a str>) {
+        for id in ids {
+            if let Some(i) = codes::LINT_CODES.iter().position(|c| c.id == id) {
+                self.lint_codes[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Counts one request rejected at admission (overload or drain).
@@ -197,6 +211,12 @@ impl StatsCollector {
             .iter()
             .map(|(code, n)| (*code, *n))
             .collect();
+        let lint_codes: Vec<(&'static str, u64)> = codes::LINT_CODES
+            .iter()
+            .zip(&self.lint_codes)
+            .map(|(code, n)| (code.id, n.load(Ordering::Relaxed)))
+            .filter(|(_, n)| *n > 0)
+            .collect();
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -213,6 +233,7 @@ impl StatsCollector {
             drains: self.drains.load(Ordering::Relaxed),
             drain_ns: self.drain_ns.load(Ordering::Relaxed),
             failure_codes,
+            lint_codes,
             cache_entries: cache.entries,
             cache_bytes: cache.bytes,
             cache_evictions: cache.evictions,
@@ -298,6 +319,10 @@ pub struct StatsSnapshot {
     /// Failed requests per diagnostic code, code-ordered. A request
     /// carrying several distinct codes counts once under each.
     pub failure_codes: Vec<(&'static str, u64)>,
+    /// Lint findings per code ([`codes::LINT_CODES`] order, zero rows
+    /// elided). Each finding counts one, so one compilation can add
+    /// several to the same code.
+    pub lint_codes: Vec<(&'static str, u64)>,
     /// Artifacts currently held by the cache.
     pub cache_entries: u64,
     /// Weighed bytes currently held by the cache (stored source plus
@@ -387,6 +412,16 @@ impl StatsSnapshot {
             "counter",
         );
         w.sample("warnings_total", &[], self.warnings as f64);
+        if !self.lint_codes.is_empty() {
+            w.header(
+                "lint_findings_total",
+                "Static-analysis lint findings per diagnostic code.",
+                "counter",
+            );
+            for (code, n) in &self.lint_codes {
+                w.sample("lint_findings_total", &[("code", code)], *n as f64);
+            }
+        }
         w.header(
             "shed_total",
             "Requests rejected at admission (overload or drain).",
@@ -578,6 +613,14 @@ impl std::fmt::Display for StatsSnapshot {
                 .collect();
             writeln!(f, "failures by code: {}", rows.join("  "))?;
         }
+        if !self.lint_codes.is_empty() {
+            let rows: Vec<String> = self
+                .lint_codes
+                .iter()
+                .map(|(code, n)| format!("{code}:{n}"))
+                .collect();
+            writeln!(f, "lint findings by code: {}", rows.join("  "))?;
+        }
         writeln!(
             f,
             "robustness: shed {}  deadline-exceeded {}  retries {}/{}  \
@@ -753,6 +796,8 @@ mod tests {
         c.record_miss();
         c.record_error();
         c.record_failure_codes(&["E0201", "E0000"]);
+        c.record_warnings(3);
+        c.record_lint_codes(["W0102", "W0102", "W0104", "E0042"]);
         c.record_kind(&ArtifactKind::CCode, false);
         c.record_latency(1_500_000);
         c.record_shed();
@@ -768,6 +813,11 @@ mod tests {
         velus_obs::prom::check(&text).expect("exposition must validate");
         assert!(text.contains("velus_failures_total{code=\"E0201\",class=\"source\"} 1"));
         assert!(text.contains("velus_failures_total{code=\"E0000\",class=\"transient\"} 1"));
+        // Lint findings count per code; unregistered ids stay out.
+        assert!(text.contains("velus_lint_findings_total{code=\"W0102\"} 2"));
+        assert!(text.contains("velus_lint_findings_total{code=\"W0104\"} 1"));
+        assert!(!text.contains("E0042"), "{text}");
+        assert_eq!(snap.lint_codes, vec![("W0102", 2), ("W0104", 1)]);
         assert!(text.contains("velus_queue_depth 3"));
         assert!(text.contains("velus_kind_requests_total{kind=\"c\"} 1"));
         assert!(text.contains("request_latency_seconds{quantile=\"0.999\"}"));
@@ -785,6 +835,10 @@ mod tests {
         let table = snap.to_string();
         assert!(
             table.contains("robustness: shed 2  deadline-exceeded 1  retries 1/2"),
+            "{table}"
+        );
+        assert!(
+            table.contains("lint findings by code: W0102:2  W0104:1"),
             "{table}"
         );
         assert!(

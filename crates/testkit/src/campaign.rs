@@ -74,12 +74,17 @@ pub struct Profile {
     pub steps: usize,
 }
 
-/// The four stock profiles: the default shape, a clock-heavy shape
+/// The five stock profiles: the default shape, a clock-heavy shape
 /// (deep sampling, merges), a float-arithmetic shape (compared
-/// bit-exactly, see the module docs), and a deep-nesting shape whose
+/// bit-exactly, see the module docs), a deep-nesting shape whose
 /// towering `if`/binop/`when` trees stress arena growth and deep
-/// front-end traversals. Seeds rotate over profiles (`seed % len`), so
-/// every profile is exercised by any contiguous seed block.
+/// front-end traversals, and a lint-rich shape seasoned with the
+/// generator's *total* lint bait (unused locals, constant conditions,
+/// dead sub-clocks, interval-opaque divisors — see
+/// [`GenConfig::lint_bait_pct`]), which the static analyses flag but
+/// the dataflow semantics shrugs off. Seeds rotate over profiles
+/// (`seed % len`), so every profile is exercised by any contiguous
+/// seed block.
 pub fn default_profiles() -> Vec<Profile> {
     vec![
         Profile {
@@ -94,7 +99,7 @@ pub fn default_profiles() -> Vec<Profile> {
                 eqs_per_node: 8,
                 expr_depth: 4,
                 subclock_pct: 70,
-                floats: false,
+                ..GenConfig::default()
             },
             steps: 10,
         },
@@ -113,7 +118,15 @@ pub fn default_profiles() -> Vec<Profile> {
                 eqs_per_node: 4,
                 expr_depth: 9,
                 subclock_pct: 25,
-                floats: false,
+                ..GenConfig::default()
+            },
+            steps: 10,
+        },
+        Profile {
+            name: "lint-rich",
+            gen: GenConfig {
+                lint_bait_pct: 70,
+                ..GenConfig::default()
             },
             steps: 10,
         },
@@ -211,7 +224,7 @@ impl CheckOutcome {
     }
 }
 
-fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = e.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = e.downcast_ref::<String>() {

@@ -38,6 +38,20 @@ pub struct GenConfig {
     pub subclock_pct: u32,
     /// Whether to generate `real` (f64) arithmetic.
     pub floats: bool,
+    /// Probability (0–100) of each lint-bait construct per node: an
+    /// unused local, a constant condition, a dead sub-clock, and an
+    /// interval-opaque (but provably safe) divisor. Every bait construct
+    /// is *total* — flagged by the static analyses yet semantically
+    /// harmless — so bait-heavy profiles remain usable by the
+    /// differential campaign, whose oracles require the program to have
+    /// a dataflow semantics.
+    pub lint_bait_pct: u32,
+    /// Whether divisors may be arbitrary expressions — including the
+    /// constant zero and the `i32::MIN / -1` overflow pattern — instead
+    /// of safe non-zero constants. Such programs may trap at runtime;
+    /// only the lint soundness oracle ([`crate::soundness`]) enables
+    /// this, never the differential campaign.
+    pub trap_divisors: bool,
 }
 
 impl Default for GenConfig {
@@ -48,6 +62,8 @@ impl Default for GenConfig {
             expr_depth: 3,
             subclock_pct: 40,
             floats: false,
+            lint_bait_pct: 0,
+            trap_divisors: false,
         }
     }
 }
@@ -183,20 +199,46 @@ impl<R: Rng> NodeGen<'_, R> {
                 // undefined operation. Both exclusions keep the dataflow
                 // semantics total. (The -1 case is not hypothetical: the
                 // differential campaign found it at seed 306.)
+                //
+                // Under `trap_divisors` both exclusions are lifted: the
+                // soundness oracle *wants* programs whose divisions can
+                // (or must) trap, so it can hold the range analysis's
+                // verdicts against real executions.
                 1 => {
-                    let mut d = self.rng.gen_range(1..7);
-                    if self.rng.gen() && d != 1 {
-                        d = -d;
-                    }
                     let op = if self.rng.gen() {
                         CBinOp::Div
                     } else {
                         CBinOp::Mod
                     };
+                    if self.cfg.trap_divisors && self.rng.gen_ratio(1, 12) {
+                        // The overflow trap: `i32::MIN op -1`.
+                        return Expr::Binop(
+                            op,
+                            Box::new(Expr::Const(CConst::int(i32::MIN))),
+                            Box::new(Expr::Const(CConst::int(-1))),
+                            CTy::I32,
+                        );
+                    }
+                    let divisor = if self.cfg.trap_divisors && self.rng.gen_ratio(1, 2) {
+                        if self.rng.gen_ratio(1, 4) {
+                            // A certain divide-by-zero wherever it runs.
+                            Expr::Const(CConst::int(0))
+                        } else {
+                            // An arbitrary divisor whose runtime value
+                            // may or may not hit 0 (or -1).
+                            self.expr(CTy::I32, ck, depth - 1)
+                        }
+                    } else {
+                        let mut d = self.rng.gen_range(1..7);
+                        if self.rng.gen() && d != 1 {
+                            d = -d;
+                        }
+                        Expr::Const(CConst::int(d))
+                    };
                     Expr::Binop(
                         op,
                         Box::new(self.expr(CTy::I32, ck, depth - 1)),
-                        Box::new(Expr::Const(CConst::int(d))),
+                        Box::new(divisor),
                         CTy::I32,
                     )
                 }
@@ -239,6 +281,10 @@ impl<R: Rng> NodeGen<'_, R> {
             }
         }
         CExpr::Expr(self.expr(ty, ck, depth))
+    }
+
+    fn roll_bait(&mut self) -> bool {
+        self.rng.gen_range(0..100) < self.cfg.lint_bait_pct
     }
 }
 
@@ -387,6 +433,134 @@ fn gen_node<R: Rng>(
         });
     }
 
+    // Phase 2½: lint bait. Each construct below is flagged by one of the
+    // static analyses but is *total* — it never traps and never disturbs
+    // the streams the outputs read — so bait-enabled profiles stay valid
+    // inputs for the differential campaign too.
+    if g.cfg.lint_bait_pct > 0 {
+        // (a) An unused local (W0104): defined, deliberately not
+        // registered readable, so nothing downstream ever reads it.
+        if g.roll_bait() {
+            let ty = g.pick_ty();
+            let x = g.fresh("u");
+            let rhs = g.cexpr(ty, &Clock::Base, 1);
+            locals.push(VarDecl {
+                name: x,
+                ty,
+                ck: Clock::Base,
+            });
+            eqs.push(Equation::Def {
+                x,
+                ck: Clock::Base,
+                rhs,
+            });
+        }
+        // (b) A constant condition (W0103): both branches are generated
+        // and total, only one is live.
+        if g.roll_bait() {
+            let ty = g.pick_ty();
+            let x = g.fresh("v");
+            let rhs = CExpr::If(
+                Expr::Const(CConst::bool(g.rng.gen())),
+                Box::new(CExpr::Expr(g.expr(ty, &Clock::Base, 1))),
+                Box::new(CExpr::Expr(g.expr(ty, &Clock::Base, 1))),
+            );
+            locals.push(VarDecl {
+                name: x,
+                ty,
+                ck: Clock::Base,
+            });
+            eqs.push(Equation::Def {
+                x,
+                ck: Clock::Base,
+                rhs,
+            });
+            g.vars.push(VarInfo {
+                name: x,
+                ty,
+                ck: Clock::Base,
+                readable: true,
+            });
+        }
+        // (c) A dead sub-clock (W0106): `z = false; w = e when z(true)`.
+        // The equation for `w` is guarded by a clock that is never
+        // active, so its body never runs (and may not even be scheduled
+        // to read anything live).
+        if g.roll_bait() {
+            let z = g.fresh("z");
+            locals.push(VarDecl {
+                name: z,
+                ty: CTy::Bool,
+                ck: Clock::Base,
+            });
+            eqs.push(Equation::Def {
+                x: z,
+                ck: Clock::Base,
+                rhs: CExpr::Expr(Expr::Const(CConst::bool(false))),
+            });
+            g.vars.push(VarInfo {
+                name: z,
+                ty: CTy::Bool,
+                ck: Clock::Base,
+                readable: true,
+            });
+            let dead_ck = Clock::Base.on(z, true);
+            let w = g.fresh("w");
+            let rhs = CExpr::Expr(g.expr(CTy::I32, &dead_ck, 1));
+            locals.push(VarDecl {
+                name: w,
+                ty: CTy::I32,
+                ck: dead_ck.clone(),
+            });
+            eqs.push(Equation::Def {
+                x: w,
+                ck: dead_ck,
+                rhs,
+            });
+        }
+        // (d) An interval-opaque but provably safe divisor (W0102):
+        // `v*v + 1` is never 0 and never -1 in wrapping i32 arithmetic
+        // (squares are 0, 1 or 4 mod 8, so v² ≡ -1 and v² ≡ -2 have no
+        // solutions mod 2³²), yet the interval analysis sees a
+        // full-range divisor and must warn. The program stays total.
+        if g.roll_bait() {
+            let candidates = g.readable_vars(CTy::I32, &Clock::Base);
+            if let Some(v) = candidates.choose(g.rng) {
+                let v = Expr::Var(v.name, CTy::I32);
+                let vv = Expr::Binop(CBinOp::Mul, Box::new(v.clone()), Box::new(v), CTy::I32);
+                let divisor = Expr::Binop(
+                    CBinOp::Add,
+                    Box::new(vv),
+                    Box::new(Expr::Const(CConst::int(1))),
+                    CTy::I32,
+                );
+                let x = g.fresh("q");
+                let rhs = CExpr::Expr(Expr::Binop(
+                    CBinOp::Div,
+                    Box::new(g.expr(CTy::I32, &Clock::Base, 1)),
+                    Box::new(divisor),
+                    CTy::I32,
+                ));
+                locals.push(VarDecl {
+                    name: x,
+                    ty: CTy::I32,
+                    ck: Clock::Base,
+                });
+                eqs.push(Equation::Def {
+                    x,
+                    ck: Clock::Base,
+                    rhs,
+                });
+                g.vars.push(VarInfo {
+                    name: x,
+                    ty: CTy::I32,
+                    ck: Clock::Base,
+                    readable: true,
+                });
+            }
+        }
+    }
+
     // Phase 3: close the fby definitions. Their right-hand sides may read
     // ordinary variables freely, and fby variables only at an index >= k:
     // a `fby` equation reading another delayed variable must be scheduled
@@ -494,6 +668,53 @@ mod tests {
             let node = prog.node(root).unwrap().clone();
             let inputs = gen_inputs(&mut rng, &node, 10);
             velus_nlustre::dataflow::run_node(&prog, root, &inputs, 10)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
+        }
+    }
+
+    #[test]
+    fn lint_bait_programs_stay_total() {
+        // Bait-heavy programs must still be well-formed, schedulable and
+        // — crucially — *total*: the differential campaign rotates over
+        // the lint-rich profile, and its oracles require a dataflow
+        // semantics on every input prefix.
+        let cfg = GenConfig {
+            lint_bait_pct: 100,
+            ..GenConfig::default()
+        };
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(3000 + seed);
+            let mut prog = gen_program(&mut rng, &cfg);
+            typecheck::check_program(&prog).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
+            clockcheck::check_program_clocks(&prog)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
+            velus_nlustre::schedule::schedule_program(&mut prog)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
+            let root = prog.nodes.last().expect("nodes").name;
+            let node = prog.node(root).unwrap().clone();
+            let inputs = gen_inputs(&mut rng, &node, 8);
+            velus_nlustre::dataflow::run_node(&prog, root, &inputs, 8)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
+        }
+    }
+
+    #[test]
+    fn trap_divisor_programs_are_well_formed() {
+        // Trap-allowing programs may have no dataflow semantics (that is
+        // the point), but they must still type- and clock-check: the
+        // soundness oracle needs them to reach the code generator.
+        let cfg = GenConfig {
+            trap_divisors: true,
+            lint_bait_pct: 40,
+            ..GenConfig::default()
+        };
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(4000 + seed);
+            let mut prog = gen_program(&mut rng, &cfg);
+            typecheck::check_program(&prog).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
+            clockcheck::check_program_clocks(&prog)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
+            velus_nlustre::schedule::schedule_program(&mut prog)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{prog}"));
         }
     }

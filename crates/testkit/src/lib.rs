@@ -17,6 +17,11 @@
 //!   shrinking and `.lus` + JSON reproducer records on divergence. The
 //!   proptest suite, `velus-bench --bin diff`, and CI all drive this one
 //!   implementation.
+//! * [`soundness`] — the lint soundness oracle: per-seed generate a
+//!   trap-allowing program, compile it, collect the static analyses'
+//!   trap claims (`E0110`/`E0111` guaranteed, `W0102` possible, none —
+//!   clean), execute the generated Clight under the interpreter, and
+//!   fail on any claim the execution contradicts.
 //! * [`json`] — a minimal JSON reader for replaying reproducer records.
 //! * [`chaos`] — deterministic fault injection for the compilation
 //!   service: a [`chaos::ChaosCompiler`] wrapping any compiler with
@@ -31,3 +36,4 @@ pub mod industrial;
 pub mod json;
 pub mod mutate;
 pub mod render;
+pub mod soundness;

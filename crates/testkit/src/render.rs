@@ -207,7 +207,7 @@ mod tests {
                 eqs_per_node: 8,
                 expr_depth: 4,
                 subclock_pct: 70,
-                floats: false,
+                ..GenConfig::default()
             },
             GenConfig {
                 floats: true,

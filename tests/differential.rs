@@ -61,7 +61,7 @@ proptest! {
             eqs_per_node: 8,
             expr_depth: 4,
             subclock_pct: 70,
-            floats: false,
+            ..GenConfig::default()
         };
         expect_agreed(seed, &single_profile("clock-heavy", gen, 10))
             .map_err(TestCaseError::fail)?;
